@@ -1,0 +1,41 @@
+//! Arrangement construction cost: subdividing Ω (Fig. 3) at increasing
+//! grid resolutions and deployment sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cool_common::SeedSequence;
+use cool_geometry::{AnyRegion, Arrangement, DeploymentKind, DeploymentSpec, Disk, Rect};
+
+fn bench_arrangement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrangement_build");
+    group.sample_size(20);
+    for &n in &[20usize, 50, 100] {
+        let mut rng = SeedSequence::new(5).nth_rng(n as u64);
+        let omega = Rect::square(100.0);
+        let spec = DeploymentSpec::new(omega, n, DeploymentKind::UniformRandom);
+        let regions: Vec<AnyRegion> =
+            spec.generate(&mut rng).into_iter().map(|p| Disk::new(p, 15.0).into()).collect();
+        for &resolution in &[128usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new("grid", format!("n{n}_res{resolution}")),
+                &(&regions, resolution),
+                |b, (regions, resolution)| {
+                    b.iter(|| black_box(Arrangement::build(omega, regions, *resolution)))
+                },
+            );
+        }
+        for &depth in &[7usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("adaptive", format!("n{n}_depth{depth}")),
+                &(&regions, depth),
+                |b, (regions, depth)| {
+                    b.iter(|| black_box(Arrangement::build_adaptive(omega, regions, *depth)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrangement);
+criterion_main!(benches);

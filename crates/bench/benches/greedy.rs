@@ -1,0 +1,68 @@
+//! Greedy scheduler scaling: naive vs lazy (CELF) across deployment sizes
+//! — the ablation behind DESIGN.md's "lazy marginal-gain evaluation" call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cool_common::SeedSequence;
+use cool_core::greedy::{greedy_active_lazy, greedy_active_naive, greedy_passive_naive};
+use cool_core::horizon::greedy_horizon;
+use cool_core::instances::fig9_instance;
+use cool_core::local_search::improve_schedule;
+use cool_energy::ChargeCycle;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    for &(n, m) in &[(100usize, 10usize), (200, 20), (400, 40)] {
+        let mut rng = SeedSequence::new(1).nth_rng(n as u64);
+        let utility = fig9_instance(n, m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", format!("n{n}_m{m}")), &utility, |b, u| {
+            b.iter(|| black_box(greedy_active_naive(u, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", format!("n{n}_m{m}")), &utility, |b, u| {
+            b.iter(|| black_box(greedy_active_lazy(u, 4)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("greedy_passive");
+    for &(n, m) in &[(100usize, 10usize), (200, 20)] {
+        let mut rng = SeedSequence::new(2).nth_rng(n as u64);
+        let utility = fig9_instance(n, m, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &utility, |b, u| {
+            b.iter(|| black_box(greedy_passive_naive(u, 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horizon_greedy");
+    group.sample_size(20);
+    for &(n, slots) in &[(40usize, 8usize), (80, 8)] {
+        let mut rng = SeedSequence::new(3).nth_rng(n as u64);
+        let utility = fig9_instance(n, 8, &mut rng);
+        let cycles = vec![ChargeCycle::paper_sunny(); n];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_L{slots}")),
+            &(&utility, &cycles, slots),
+            |b, (u, cycles, slots)| b.iter(|| black_box(greedy_horizon(*u, cycles, *slots))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("local_search");
+    for &n in &[100usize, 300] {
+        let mut rng = SeedSequence::new(4).nth_rng(n as u64);
+        let utility = fig9_instance(n, 20, &mut rng);
+        let schedule = greedy_active_naive(&utility, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}")),
+            &(&utility, &schedule),
+            |b, (u, s)| b.iter(|| black_box(improve_schedule((*s).clone(), *u, 4))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_extensions);
+criterion_main!(benches);

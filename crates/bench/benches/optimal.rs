@@ -1,0 +1,32 @@
+//! Exact solvers: plain exhaustive enumeration vs submodularity-pruned
+//! branch & bound (identical optima, very different costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cool_common::SeedSequence;
+use cool_core::instances::random_multi_target;
+use cool_core::optimal::{branch_and_bound, exhaustive_optimal};
+use cool_core::schedule::ScheduleMode;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_optimal");
+    group.sample_size(10);
+    for &n in &[6usize, 8] {
+        let mut rng = SeedSequence::new(10).nth_rng(n as u64);
+        let utility = random_multi_target(n, 2, 0.5, 0.4, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", format!("n{n}_T3")),
+            &utility,
+            |b, u| b.iter(|| black_box(exhaustive_optimal(u, 3, ScheduleMode::ActiveSlot))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", format!("n{n}_T3")),
+            &utility,
+            |b, u| b.iter(|| black_box(branch_and_bound(u, 3))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Simplex solve times on scheduling-shaped LPs (the §IV-A.1 relaxation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cool_common::SeedSequence;
+use cool_core::instances::random_multi_target;
+use cool_core::lp::LpScheduler;
+use cool_core::problem::Problem;
+use cool_energy::ChargeCycle;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_schedule");
+    group.sample_size(10);
+    for &(n, m) in &[(10usize, 3usize), (20, 5), (30, 8)] {
+        let mut rng = SeedSequence::new(6).nth_rng(n as u64);
+        let utility = random_multi_target(n, m, 0.4, 0.4, &mut rng);
+        let problem =
+            Problem::new(utility, ChargeCycle::paper_sunny(), 1).expect("valid instance");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = SeedSequence::new(7).nth_rng(0);
+                    black_box(LpScheduler::new(4).schedule(p, &mut rng).expect("LP solves"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Utility-evaluation benches: incremental evaluators vs from-scratch
+//! marginal gains — the per-query cost behind every scheduler loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use cool_common::{SeedSequence, SensorId, SensorSet};
+use cool_core::instances::random_multi_target;
+use cool_utility::{Evaluator, UtilityFunction};
+
+fn bench_gains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marginal_gain");
+    for &(n, m) in &[(100usize, 10usize), (400, 40)] {
+        let mut rng = SeedSequence::new(3).nth_rng(n as u64);
+        let utility = random_multi_target(n, m, 0.2, 0.4, &mut rng);
+
+        // A half-full current set.
+        let members: Vec<usize> = (0..n).step_by(2).collect();
+        let set = SensorSet::from_indices(n, members.iter().copied());
+        let mut evaluator = utility.evaluator();
+        for &v in &members {
+            evaluator.insert(SensorId(v));
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("n{n}_m{m}")),
+            &evaluator,
+            |b, e| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for v in (1..n).step_by(2) {
+                        acc += e.gain(SensorId(v));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("n{n}_m{m}")),
+            &(&utility, &set),
+            |b, (u, s)| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for v in (1..n).step_by(2) {
+                        acc += u.marginal_gain(s, SensorId(v));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_full_set");
+    for &(n, m) in &[(100usize, 10usize), (400, 40)] {
+        let mut rng = SeedSequence::new(4).nth_rng(n as u64);
+        let utility = random_multi_target(n, m, 0.2, 0.4, &mut rng);
+        let set = SensorSet::full(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(&utility, &set),
+            |b, (u, s)| b.iter(|| black_box(u.eval(s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gains, bench_eval);
+criterion_main!(benches);

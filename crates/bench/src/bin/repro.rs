@@ -1,0 +1,88 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro <experiment>... [--seed N] [--out DIR]
+//! repro all
+//! repro list
+//! ```
+//!
+//! Prints each experiment's tables (the same rows/series the paper
+//! reports) and writes CSVs under `--out` (default `results/`).
+
+use cool_bench::experiments;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+
+/// Writes to stdout, exiting quietly if the reader closed the pipe early
+/// (`cool ... | head` must not panic).
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut seed = 2011u64; // the paper's year, for want of a better default
+    let mut out = PathBuf::from("results");
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return usage("--out needs a directory"),
+            },
+            "list" => {
+                let mut out = String::from("available experiments:\n");
+                for id in experiments::ALL {
+                    out.push_str(&format!("  {id}\n"));
+                }
+                emit(&out);
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage("no experiment given");
+    }
+
+    for id in &ids {
+        let Some(report) = experiments::run(id, seed) else {
+            eprintln!("unknown experiment `{id}` — try `repro list`");
+            return ExitCode::FAILURE;
+        };
+        emit(&report.to_string());
+        match report.write_csvs(&out) {
+            Ok(paths) => {
+                for p in paths {
+                    emit(&format!("wrote {}\n", p.display()));
+                }
+            }
+            Err(e) => {
+                eprintln!("failed writing CSVs to {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        emit("\n");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: repro <experiment>... [--seed N] [--out DIR] | repro all | repro list");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,197 @@
+//! Empirical approximation ratios for the greedy (Lemma 4.1, Theorems 4.3
+//! and 4.4): greedy / exhaustive-optimal across random instances, for both
+//! the `ρ > 1` and `ρ ≤ 1` schedulers, plus the period-repetition
+//! equivalence of Theorem 4.3.
+
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, Table};
+use cool_core::greedy::{greedy_active_naive, greedy_passive_naive};
+use cool_core::instances::random_multi_target;
+use cool_core::optimal::exhaustive_optimal;
+use cool_core::schedule::ScheduleMode;
+use cool_utility::UtilityFunction;
+
+const TRIALS: usize = 40;
+
+struct RatioStats {
+    min: f64,
+    mean: f64,
+    at_optimum: usize,
+}
+
+fn ratio_sweep(
+    seeds: SeedSequence,
+    slots: usize,
+    mode: ScheduleMode,
+    n_range: (usize, usize),
+) -> RatioStats {
+    let mut min: f64 = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut at_optimum = 0;
+    for trial in 0..TRIALS {
+        let mut rng = seeds.nth_rng(trial as u64);
+        let n = n_range.0 + (trial % (n_range.1 - n_range.0 + 1));
+        let m = 1 + trial % 3;
+        let u = random_multi_target(n, m, 0.6, 0.4, &mut rng);
+        let greedy = match mode {
+            ScheduleMode::ActiveSlot => greedy_active_naive(&u, slots),
+            ScheduleMode::PassiveSlot => greedy_passive_naive(&u, slots),
+        };
+        let opt = exhaustive_optimal(&u, slots, mode);
+        let g = greedy.period_utility(&u);
+        let o = opt.period_utility(&u);
+        let ratio = if o > 0.0 { g / o } else { 1.0 };
+        assert!(
+            ratio + 1e-9 >= 0.5,
+            "trial {trial}: ratio {ratio} violates the ½-approximation"
+        );
+        min = min.min(ratio);
+        sum += ratio;
+        if ratio > 1.0 - 1e-9 {
+            at_optimum += 1;
+        }
+    }
+    RatioStats { min, mean: sum / TRIALS as f64, at_optimum }
+}
+
+/// Runs the approximation-ratio study.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("approx");
+    let seeds = SeedSequence::new(seed);
+
+    let mut table = Table::new([
+        "scheduler",
+        "T",
+        "trials",
+        "min ratio",
+        "mean ratio",
+        "optimal found",
+        "guarantee",
+    ]);
+    for (label, slots, mode, child) in [
+        ("greedy active (ρ>1)", 3usize, ScheduleMode::ActiveSlot, 0u64),
+        ("greedy active (ρ>1)", 4, ScheduleMode::ActiveSlot, 1),
+        ("greedy passive (ρ≤1)", 3, ScheduleMode::PassiveSlot, 2),
+        ("greedy passive (ρ≤1)", 4, ScheduleMode::PassiveSlot, 3),
+    ] {
+        let stats = ratio_sweep(seeds.child(child), slots, mode, (3, 7));
+        table.row([
+            label.to_string(),
+            slots.to_string(),
+            TRIALS.to_string(),
+            format!("{:.4}", stats.min),
+            format!("{:.4}", stats.mean),
+            format!("{}/{}", stats.at_optimum, TRIALS),
+            "0.5".to_string(),
+        ]);
+    }
+    report.add_table("ratios", table);
+
+    // Theorem 4.3: repeating the one-period schedule α times multiplies the
+    // utility exactly by α, so the horizon ratio equals the period ratio.
+    let mut rng = seeds.child(9).nth_rng(0);
+    let u = random_multi_target(6, 2, 0.6, 0.4, &mut rng);
+    let schedule = greedy_active_naive(&u, 4);
+    let per_period = schedule.period_utility(&u);
+    let mut repeat = Table::new(["alpha", "total utility", "alpha × period utility"]);
+    for alpha in [1usize, 2, 4, 12] {
+        // Summing the repeated schedule slot-by-slot:
+        let total: f64 = (0..alpha)
+            .map(|_| {
+                (0..4).map(|t| u.eval(&schedule.active_set(t))).sum::<f64>()
+            })
+            .sum();
+        repeat.row([
+            alpha.to_string(),
+            format!("{total:.9}"),
+            format!("{:.9}", alpha as f64 * per_period),
+        ]);
+    }
+    report.add_table("theorem43_repetition", repeat);
+
+    // Greedy + 1-exchange local search: does post-optimisation close the
+    // residual gap to the optimum on the instances where greedy is not
+    // already optimal?
+    let mut ls_table = Table::new([
+        "trials",
+        "greedy at optimum",
+        "greedy+LS at optimum",
+        "mean ratio greedy",
+        "mean ratio greedy+LS",
+    ]);
+    {
+        let mut greedy_opt = 0usize;
+        let mut ls_opt = 0usize;
+        let mut greedy_sum = 0.0;
+        let mut ls_sum = 0.0;
+        let trials = 60usize;
+        for trial in 0..trials {
+            let mut rng = seeds.child(20).nth_rng(trial as u64);
+            let n = 3 + trial % 5;
+            let u = random_multi_target(n, 2, 0.6, 0.4, &mut rng);
+            let slots = 3;
+            let greedy = greedy_active_naive(&u, slots);
+            let improved =
+                cool_core::local_search::improve_schedule(greedy.clone(), &u, 32);
+            let opt = exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot)
+                .period_utility(&u);
+            let g_ratio = greedy.period_utility(&u) / opt;
+            let l_ratio = improved.final_value / opt;
+            assert!(l_ratio >= g_ratio - 1e-12, "local search never degrades");
+            greedy_sum += g_ratio;
+            ls_sum += l_ratio;
+            if g_ratio > 1.0 - 1e-9 {
+                greedy_opt += 1;
+            }
+            if l_ratio > 1.0 - 1e-9 {
+                ls_opt += 1;
+            }
+        }
+        ls_table.row([
+            trials.to_string(),
+            format!("{greedy_opt}/{trials}"),
+            format!("{ls_opt}/{trials}"),
+            format!("{:.4}", greedy_sum / trials as f64),
+            format!("{:.4}", ls_sum / trials as f64),
+        ]);
+    }
+    report.add_table("local_search", ls_table);
+
+    report.add_note(
+        "Every observed ratio is far above the proven ½ bound; the greedy finds \
+         the exact optimum on a large fraction of random instances — matching the \
+         paper's 'performs even better than the theoretical bound'.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_exceed_guarantee() {
+        // `run` asserts ≥ 0.5 internally for every trial.
+        let r = run(11);
+        let (_, table) = &r.tables()[0];
+        for line in table.to_csv().lines().skip(1) {
+            let min_ratio: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(min_ratio >= 0.5);
+            assert!(min_ratio > 0.8, "empirically ratios are high, got {min_ratio}");
+        }
+    }
+
+    #[test]
+    fn repetition_identity_exact() {
+        let r = run(12);
+        let (_, table) =
+            r.tables().iter().find(|(n, _)| n == "theorem43_repetition").unwrap();
+        for line in table.to_csv().lines().skip(1) {
+            let mut cells = line.split(',');
+            let _alpha = cells.next();
+            let total: f64 = cells.next().unwrap().parse().unwrap();
+            let product: f64 = cells.next().unwrap().parse().unwrap();
+            assert!((total - product).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! §III — the NP-hardness gadget behaving exactly as the reduction proves:
+//! with utility `U(S) = log(1 + Σ I)` and `T = 2` slots, the optimal
+//! schedule achieves `2·log(1 + ΣI/2)` **iff** the integers admit a
+//! balanced split.
+
+use crate::ExperimentReport;
+use cool_common::Table;
+use cool_core::optimal::exhaustive_optimal;
+use cool_core::schedule::ScheduleMode;
+use cool_utility::LogSumUtility;
+
+/// Subset-Sum instances: half with a perfect split, half without.
+const INSTANCES: [(&str, &[u64]); 6] = [
+    ("balanced-1", &[3, 1, 2, 2]),
+    ("balanced-2", &[5, 5]),
+    ("balanced-3", &[1, 2, 3, 4, 10]),
+    ("unbalanced-1", &[1, 1, 5]),
+    ("unbalanced-2", &[2, 4, 16]),
+    ("unbalanced-3", &[1, 1, 1]),
+];
+
+fn has_balanced_split(xs: &[u64]) -> bool {
+    let total: u64 = xs.iter().sum();
+    if !total.is_multiple_of(2) {
+        return false;
+    }
+    let target = total / 2;
+    let mut reachable = vec![false; (target + 1) as usize];
+    reachable[0] = true;
+    for &x in xs {
+        for s in (x as usize..reachable.len()).rev() {
+            if reachable[s - x as usize] {
+                reachable[s] = true;
+            }
+        }
+    }
+    reachable[target as usize]
+}
+
+/// Runs the hardness-gadget verification.
+pub fn run(_seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("hardness");
+    let mut table = Table::new([
+        "instance",
+        "integers",
+        "balanced split?",
+        "opt 2-slot utility",
+        "2·log(1+Σ/2)",
+        "achieves bound?",
+    ]);
+    for (name, xs) in INSTANCES {
+        let utility = LogSumUtility::from_integers(xs);
+        let total = utility.total_weight();
+        let bound = 2.0 * (1.0 + total / 2.0).ln();
+        let opt = exhaustive_optimal(&utility, 2, ScheduleMode::ActiveSlot)
+            .period_utility(&utility);
+        let achieves = (opt - bound).abs() < 1e-9;
+        let balanced = has_balanced_split(xs);
+        assert_eq!(
+            achieves, balanced,
+            "{name}: the reduction equivalence must hold (opt={opt}, bound={bound})"
+        );
+        table.row([
+            name.to_string(),
+            format!("{xs:?}"),
+            balanced.to_string(),
+            format!("{opt:.9}"),
+            format!("{bound:.9}"),
+            achieves.to_string(),
+        ]);
+    }
+    report.add_table("subset_sum_reduction", table);
+    report.add_note(
+        "Theorem 3.1's reduction verified constructively: the two-slot optimum \
+         meets 2·log(1+Σ/2) exactly when Subset-Sum has a balanced solution.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_equivalence_holds_for_all_instances() {
+        // `run` asserts internally; reaching here means all six pass.
+        let r = run(0);
+        assert_eq!(r.tables()[0].1.len(), 6);
+    }
+
+    #[test]
+    fn balanced_split_detector() {
+        assert!(has_balanced_split(&[3, 1, 2, 2]));
+        assert!(has_balanced_split(&[5, 5]));
+        assert!(!has_balanced_split(&[1, 1, 5]));
+        assert!(!has_balanced_split(&[1, 1, 1]), "odd total");
+        assert!(has_balanced_split(&[]), "empty splits trivially");
+    }
+}

@@ -1,0 +1,103 @@
+//! The §VI-B headline numbers: n = 100, one target, p = 0.4 — greedy
+//! average utility vs the closed-form optimum bound, on the ideal schedule
+//! and on the simulated testbed.
+
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, Table};
+use cool_core::bounds::single_target_upper_bound;
+use cool_core::greedy::greedy_schedule;
+use cool_core::policy::SchedulePolicy;
+use cool_core::problem::Problem;
+use cool_energy::ChargeCycle;
+use cool_testbed::{RooftopDeployment, TestbedSim};
+use cool_utility::DetectionUtility;
+
+/// Runs the headline comparison.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("headline");
+    let seeds = SeedSequence::new(seed);
+    let cycle = ChargeCycle::paper_sunny();
+    let n = 100;
+    let p = 0.4;
+
+    let utility = DetectionUtility::uniform(n, p);
+    let problem = Problem::new(utility.clone(), cycle, 12).expect("valid instance");
+    let schedule = greedy_schedule(&problem);
+    let ideal = problem.average_utility_per_target_slot(&schedule);
+    let bound = single_target_upper_bound(n, cycle.slots_per_period(), p);
+
+    // The same schedule executed on the simulated rooftop for 30 daytime
+    // half-days (the paper's 30-day run).
+    let mut rng = seeds.nth_rng(0);
+    let deployment = RooftopDeployment::paper_layout(&mut rng);
+    let mut sim = TestbedSim::new(deployment, cycle);
+    let slots = 30 * cycle.slots_in_hours(12.0);
+    let metrics = sim.run(SchedulePolicy::new(schedule), &utility, slots, &mut rng);
+
+    let mut table = Table::new(["quantity", "paper", "this reproduction"]);
+    table.row(["greedy avg utility (ideal schedule)", "0.983408764", &format!("{ideal:.9}")]);
+    table.row(["optimum upper bound", "0.999380", &format!("{bound:.9}")]);
+    table.row([
+        "greedy avg utility (simulated testbed, 30 days)",
+        "0.983408764",
+        &format!("{:.9}", metrics.average_utility()),
+    ]);
+    report.add_table("headline", table);
+
+    report.add_note(
+        "The stated formulas give: balanced greedy = 1 − 0.6^25 ≈ 0.9999972 and \
+         bound = 1 − 0.6^25 (they coincide when T divides n). The paper's printed \
+         0.9834/0.99938 correspond to ≈8 and ≈14.5 effective sensors per slot — \
+         consistent with testbed imperfections (not every node ready each slot), \
+         not with the formulas at p = 0.4.",
+    );
+    report.add_note(
+        "Shape preserved: greedy sits within a fraction of a percent of the bound \
+         in both the paper and the reproduction.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_close_to_bound() {
+        let r = run(7);
+        let (_, table) = &r.tables()[0];
+        let csv = table.to_csv();
+        let ideal: f64 = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let bound: f64 = csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ideal <= bound + 1e-9);
+        assert!(bound - ideal < 0.01, "greedy within 1% of the bound");
+    }
+
+    #[test]
+    fn simulated_testbed_matches_ideal_on_sunny_cycle() {
+        let r = run(8);
+        let (_, table) = &r.tables()[0];
+        let csv = table.to_csv();
+        let ideal: f64 =
+            csv.lines().nth(1).unwrap().split(',').next_back().unwrap().parse().unwrap();
+        let simulated: f64 =
+            csv.lines().nth(3).unwrap().split(',').next_back().unwrap().parse().unwrap();
+        assert!((ideal - simulated).abs() < 1e-6, "{ideal} vs {simulated}");
+    }
+}

@@ -1,0 +1,134 @@
+//! k-coverage scheduling — an extension instance: each target wants `k`
+//! **simultaneous** observers, so the per-slot utility is
+//! `Σ w·min(count, k)/k` (piecewise-linear diminishing returns instead of
+//! the detection utility's smooth geometric ones). The greedy machinery is
+//! unchanged; this experiment measures how the requirement `k` reshapes
+//! schedules and how close greedy stays to the optimum.
+
+use crate::svg::{LineChart, Series};
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, SensorSet, Table};
+use cool_core::greedy::greedy_active_naive;
+use cool_core::optimal::branch_and_bound;
+use cool_energy::ChargeCycle;
+use cool_utility::KCoverageUtility;
+use rand::Rng;
+
+const TRIALS: usize = 8;
+
+fn random_coverages<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    prob: f64,
+    rng: &mut R,
+) -> Vec<SensorSet> {
+    (0..m)
+        .map(|_| {
+            let mut cov = SensorSet::new(n);
+            for v in 0..n {
+                if rng.random_range(0.0..1.0) < prob {
+                    cov.insert(cool_common::SensorId(v));
+                }
+            }
+            if cov.is_empty() {
+                cov.insert(cool_common::SensorId(rng.random_range(0..n)));
+            }
+            cov
+        })
+        .collect()
+}
+
+/// Runs the k-coverage study.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("kcover");
+    let seeds = SeedSequence::new(seed);
+    let cycle = ChargeCycle::paper_sunny();
+    let t = cycle.slots_per_period();
+
+    // 1. Utility vs k at fixed deployment (n = 40, m = 6, dense coverage):
+    //    higher k demands more simultaneous sensors per slot, so per-slot
+    //    value drops as the same n spreads across T slots.
+    let mut table = Table::new(["k", "greedy avg/target/slot", "max possible/slot"]);
+    let mut series = Vec::new();
+    for k in 1..=5u32 {
+        let mut sum = 0.0;
+        for trial in 0..TRIALS {
+            let mut rng = seeds.child(k as u64).nth_rng(trial as u64);
+            let coverages = random_coverages(40, 6, 0.5, &mut rng);
+            let u = KCoverageUtility::uniform(coverages, k);
+            let schedule = greedy_active_naive(&u, t);
+            sum += schedule.period_utility(&u) / (t * u.n_targets()) as f64;
+        }
+        let avg = sum / TRIALS as f64;
+        table.row([k.to_string(), format!("{avg:.4}"), "1.0000".to_string()]);
+        series.push((k as f64, avg));
+    }
+    report.add_table("utility_vs_k", table);
+    report.add_chart(
+        "utility_vs_k",
+        LineChart::new(
+            "k-coverage — greedy utility vs requirement k",
+            "required simultaneous observers k",
+            "average utility per target per slot",
+        )
+        .with_series(Series::new("greedy (n=40, m=6, T=4)", series))
+        .render(),
+    );
+
+    // 2. Greedy vs exact optimum on enumerable instances.
+    let mut opt_table = Table::new(["n", "m", "k", "greedy", "optimal", "ratio"]);
+    for (i, (n, m, k)) in [(6usize, 2usize, 2u32), (8, 3, 2), (8, 2, 3)].iter().enumerate() {
+        let mut rng = seeds.child(100 + i as u64).nth_rng(0);
+        let coverages = random_coverages(*n, *m, 0.7, &mut rng);
+        let u = KCoverageUtility::uniform(coverages, *k);
+        let greedy = greedy_active_naive(&u, t).period_utility(&u);
+        let optimal = branch_and_bound(&u, t).period_utility(&u);
+        assert!(
+            greedy + 1e-9 >= 0.5 * optimal,
+            "½-approximation holds for k-coverage too"
+        );
+        opt_table.row([
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            format!("{greedy:.4}"),
+            format!("{optimal:.4}"),
+            format!("{:.4}", greedy / optimal.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    report.add_table("greedy_vs_optimal", opt_table);
+
+    report.add_note(
+        "k-coverage slots straight into Algorithm 1 (it is monotone submodular); \
+         utility falls with k as the fixed sensor budget must pile k-deep on each \
+         target every slot, and greedy stays within the ½ guarantee (empirically \
+         near-optimal) throughout.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_decreases_in_k_and_ratios_hold() {
+        let r = run(55);
+        let (_, table) = r.tables().iter().find(|(n, _)| n == "utility_vs_k").unwrap();
+        let values: Vec<f64> = table
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        for pair in values.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9, "higher k cannot raise utility: {values:?}");
+        }
+
+        let (_, opt) = r.tables().iter().find(|(n, _)| n == "greedy_vs_optimal").unwrap();
+        for line in opt.to_csv().lines().skip(1) {
+            let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
+            assert!((0.5..=1.0 + 1e-9).contains(&ratio), "{line}");
+        }
+    }
+}

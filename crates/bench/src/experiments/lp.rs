@@ -1,0 +1,157 @@
+//! §IV-A.1 — the LP-relaxation pipeline: relaxation value (an upper bound
+//! on OPT), randomised-rounding value, greedy value, and exact optimum on
+//! enumerable instances.
+
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, Table};
+use cool_core::greedy::greedy_schedule;
+use cool_core::instances::random_multi_target;
+use cool_core::lp::LpScheduler;
+use cool_core::optimal::branch_and_bound;
+use cool_core::problem::Problem;
+use cool_energy::ChargeCycle;
+
+/// Runs the LP study.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("lp");
+    let seeds = SeedSequence::new(seed);
+    let cycle = ChargeCycle::paper_sunny();
+    let scheduler = LpScheduler::new(32);
+
+    let mut table = Table::new([
+        "n",
+        "m",
+        "LP value (UB)",
+        "LP + rounding",
+        "greedy",
+        "optimal",
+        "rounding/opt",
+    ]);
+    for (i, (n, m)) in [(6usize, 1usize), (8, 2), (10, 3), (12, 2)].iter().enumerate() {
+        let mut rng = seeds.nth_rng(i as u64);
+        let utility = random_multi_target(*n, *m, 0.6, 0.4, &mut rng);
+        let problem = Problem::new(utility.clone(), cycle, 1).expect("valid instance");
+        let outcome = scheduler.schedule(&problem, &mut rng).expect("LP solves");
+        let greedy = greedy_schedule(&problem).period_utility(&utility);
+        let optimal =
+            branch_and_bound(&utility, cycle.slots_per_period()).period_utility(&utility);
+        assert!(
+            outcome.lp_value + 1e-6 >= optimal,
+            "LP value {} must upper-bound OPT {}",
+            outcome.lp_value,
+            optimal
+        );
+        table.row([
+            n.to_string(),
+            m.to_string(),
+            format!("{:.6}", outcome.lp_value),
+            format!("{:.6}", outcome.rounded_value),
+            format!("{greedy:.6}"),
+            format!("{optimal:.6}"),
+            format!("{:.4}", outcome.rounded_value / optimal.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    report.add_table("lp_vs_greedy", table);
+
+    // Rounding-trial ablation (the paper's iterated rounding): best-of-k
+    // rounded value as k grows.
+    let mut rng = seeds.nth_rng(100);
+    let utility = random_multi_target(12, 3, 0.6, 0.4, &mut rng);
+    let problem = Problem::new(utility.clone(), cycle, 1).expect("valid instance");
+    let mut trials_table = Table::new(["rounding trials", "best rounded value"]);
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut rng = seeds.nth_rng(200);
+        let outcome = LpScheduler::new(k).schedule(&problem, &mut rng).expect("LP solves");
+        trials_table.row([k.to_string(), format!("{:.6}", outcome.rounded_value)]);
+    }
+    report.add_table("rounding_trials", trials_table);
+
+    // The full multi-period window LP (sliding Σ_{window} x ≤ 1) with the
+    // paper's two repair strategies.
+    let mut window_table = Table::new([
+        "n",
+        "L",
+        "window LP (UB)",
+        "resample repair",
+        "deactivate repair",
+        "greedy (period-repeated)",
+    ]);
+    for (i, (n, alpha)) in [(8usize, 2usize), (10, 3)].iter().enumerate() {
+        let mut rng = seeds.nth_rng(300 + i as u64);
+        let utility = random_multi_target(*n, 2, 0.6, 0.4, &mut rng);
+        let t = cycle.slots_per_period();
+        let slots = alpha * t;
+        let resample = cool_core::lp_window::solve_window_lp(
+            &utility,
+            t,
+            slots,
+            cool_core::lp_window::RepairStrategy::Resample,
+            16,
+            &mut seeds.nth_rng(310 + i as u64),
+        )
+        .expect("window LP solves");
+        let deactivate = cool_core::lp_window::solve_window_lp(
+            &utility,
+            t,
+            slots,
+            cool_core::lp_window::RepairStrategy::Deactivate,
+            16,
+            &mut seeds.nth_rng(320 + i as u64),
+        )
+        .expect("window LP solves");
+        let repeated = cool_core::horizon::HorizonSchedule::from_period(
+            &cool_core::greedy::greedy_active_naive(&utility, t),
+            *alpha,
+        );
+        window_table.row([
+            n.to_string(),
+            slots.to_string(),
+            format!("{:.4}", resample.lp_value),
+            format!("{:.4}", resample.rounded_value),
+            format!("{:.4}", deactivate.rounded_value),
+            format!("{:.4}", repeated.total_utility(&utility)),
+        ]);
+    }
+    report.add_table("window_lp", window_table);
+
+    report.add_note(
+        "The LP value upper-bounds the optimum on every instance (concave-envelope \
+         relaxation); rounding recovers most of it, and iterating the rounding — \
+         the paper's repair loop, which in the one-period form is re-sampling — \
+         closes the rest. Greedy remains the better practical scheduler.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_bounds_hold() {
+        // Internal asserts verify LP ≥ OPT on every instance.
+        let r = run(31);
+        let (_, table) = &r.tables()[0];
+        assert_eq!(table.len(), 4);
+        for line in table.to_csv().lines().skip(1) {
+            let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
+            assert!(ratio > 0.6, "rounding recovers most of the optimum: {ratio}");
+            assert!(ratio <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_rounding_trials_never_hurt() {
+        let r = run(32);
+        let (_, table) = r.tables().iter().find(|(n, _)| n == "rounding_trials").unwrap();
+        let values: Vec<f64> = table
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next_back().unwrap().parse().unwrap())
+            .collect();
+        for pair in values.windows(2) {
+            assert!(pair[1] + 1e-9 >= pair[0], "best-of-k is monotone in k: {values:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The experiment runners — one module per paper figure/table.
+
+pub mod ablation;
+pub mod approx;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod hardness;
+pub mod headline;
+pub mod horizon;
+pub mod kcover;
+pub mod lp;
+pub mod randmodel;
+pub mod region;
+pub mod testbed30;
+
+use crate::ExperimentReport;
+
+/// All experiment ids, in suggested running order.
+pub const ALL: [&str; 13] = [
+    "fig7", "fig8", "headline", "fig9", "hardness", "approx", "lp", "randmodel", "testbed30",
+    "ablation", "horizon", "region", "kcover",
+];
+
+/// Dispatches an experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
+    match id {
+        "fig7" => Some(fig7::run(seed)),
+        "fig8" => Some(fig8::run(seed)),
+        "headline" => Some(headline::run(seed)),
+        "fig9" => Some(fig9::run(seed)),
+        "hardness" => Some(hardness::run(seed)),
+        "approx" => Some(approx::run(seed)),
+        "lp" => Some(lp::run(seed)),
+        "randmodel" => Some(randmodel::run(seed)),
+        "testbed30" => Some(testbed30::run(seed)),
+        "ablation" => Some(ablation::run(seed)),
+        "horizon" => Some(horizon::run(seed)),
+        "region" => Some(region::run(seed)),
+        "kcover" => Some(kcover::run(seed)),
+        _ => None,
+    }
+}

@@ -1,0 +1,118 @@
+//! §V — the random charging model: schedule with the effective ratio `ρ'`,
+//! evaluate by Monte-Carlo simulation of the stochastic energy process.
+
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, Table};
+use cool_core::schedule::{PeriodSchedule, ScheduleMode};
+use cool_common::SensorSet;
+use cool_core::stochastic::{rho_prime_cycle, simulate_schedule, stochastic_greedy, stochastic_lp};
+use cool_energy::RandomChargeModel;
+use cool_utility::SumUtility;
+
+const SIM_PERIODS: usize = 200;
+
+/// Runs the stochastic-model study.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("randmodel");
+    let seeds = SeedSequence::new(seed);
+    let n = 20;
+    let utility = SumUtility::multi_target_detection(&[SensorSet::full(n)], 0.4);
+
+    // Scenarios: (label, λ_a /min, λ_d min, T̄_r, σ) with T_d = 15 min.
+    let scenarios: [(&str, f64, f64, f64, f64); 4] = [
+        ("busy events, slow solar", 0.2, 2.0, 112.5, 10.0),
+        ("rare events, slow solar", 0.05, 2.0, 150.0, 15.0),
+        ("busy events, fast solar", 0.2, 2.0, 37.5, 5.0),
+        ("saturated sensing", 1.0, 3.0, 45.0, 5.0),
+    ];
+
+    let mut table = Table::new([
+        "scenario",
+        "duty",
+        "T̄_d (min)",
+        "rho'",
+        "T slots",
+        "greedy(ρ') sim utility",
+        "LP(ρ') sim utility",
+        "round-robin sim utility",
+        "static sim utility",
+    ]);
+    for (i, (label, la, ld, tr, sigma)) in scenarios.iter().enumerate() {
+        let model = RandomChargeModel::new(15.0, *la, *ld, *tr, *sigma).expect("valid model");
+        let cycle = rho_prime_cycle(&model).expect("quantizable");
+        let (_, greedy_plan) = stochastic_greedy(&utility, &model).expect("schedulable");
+        let t = cycle.slots_per_period();
+        let mode = if cycle.rho() > 1.0 {
+            ScheduleMode::ActiveSlot
+        } else {
+            ScheduleMode::PassiveSlot
+        };
+        let round_robin =
+            PeriodSchedule::new(mode, t, (0..n).map(|v| v % t).collect());
+        let static_plan = PeriodSchedule::new(mode, t, vec![0; n]);
+
+        let sim = |plan: &PeriodSchedule, stream: u64| {
+            let mut rng = seeds.child(i as u64).nth_rng(stream);
+            simulate_schedule(&utility, plan, &model, cycle.slot_minutes(), SIM_PERIODS, &mut rng)
+        };
+        let g = sim(&greedy_plan, 0);
+        let lp = stochastic_lp(&utility, &model, 16, &mut seeds.child(i as u64).nth_rng(9))
+            .ok()
+            .map(|(_, plan)| sim(&plan, 3));
+        let rr = sim(&round_robin, 1);
+        let st = sim(&static_plan, 2);
+        table.row([
+            label.to_string(),
+            format!("{:.2}", model.duty_factor()),
+            format!("{:.1}", model.mean_discharge_minutes()),
+            format!("{:.2}", model.rho_prime()),
+            t.to_string(),
+            format!("{g:.4}"),
+            lp.map_or("n/a (rho'<=1)".into(), |v| format!("{v:.4}")),
+            format!("{rr:.4}"),
+            format!("{st:.4}"),
+        ]);
+    }
+    report.add_table("stochastic_scheduling", table);
+
+    report.add_note(
+        "The paper proposes feeding ρ' = T̄_r/T̄_d to the (LP-based) scheduler and \
+         leaves the greedy extension open; here the ρ'-greedy is evaluated under \
+         the full stochastic process. It matches round-robin on identical sensors \
+         (both balance) and dominates the static baseline in every scenario.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_dominates_static_in_all_scenarios() {
+        let r = run(17);
+        let (_, table) = &r.tables()[0];
+        for line in table.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let g: f64 = cells[cells.len() - 4].parse().unwrap();
+            let st: f64 = cells[cells.len() - 1].parse().unwrap();
+            assert!(g > st, "greedy {g} ≤ static {st} in {line}");
+        }
+    }
+
+    #[test]
+    fn utilities_are_probabilities() {
+        let r = run(18);
+        let (_, table) = &r.tables()[0];
+        for line in table.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            for cell in &cells[cells.len() - 4..] {
+                if cell.starts_with("n/a") {
+                    continue;
+                }
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

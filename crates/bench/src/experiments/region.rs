@@ -1,0 +1,118 @@
+//! Region monitoring (Eq. 2, Fig. 3) — the paper's second utility model,
+//! exercised end to end: sensing disks subdivide Ω into signature
+//! subregions, the utility is weighted covered area, and the greedy
+//! schedules against it. The paper describes this model without evaluating
+//! it; this experiment fills that gap.
+
+use crate::svg::{LineChart, Series};
+use crate::ExperimentReport;
+use cool_common::{SeedSequence, Table};
+use cool_core::baselines::{round_robin_schedule, static_schedule};
+use cool_core::greedy::greedy_schedule;
+use cool_core::problem::Problem;
+use cool_energy::ChargeCycle;
+use cool_geometry::{AnyRegion, Arrangement, DeploymentKind, DeploymentSpec, Disk, Rect};
+use cool_utility::{CoverageUtility, UtilityFunction};
+
+const SENSOR_COUNTS: [usize; 4] = [20, 40, 60, 80];
+const RADIUS: f64 = 18.0;
+const SIDE: f64 = 100.0;
+const RESOLUTION: usize = 192;
+
+/// Runs the region-monitoring study.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut report = ExperimentReport::new("region");
+    let seeds = SeedSequence::new(seed);
+    let cycle = ChargeCycle::paper_sunny();
+    let omega = Rect::square(SIDE);
+
+    let mut table = Table::new([
+        "n",
+        "subregions",
+        "n² bound",
+        "coverable %",
+        "2-covered %",
+        "greedy %/slot",
+        "round-robin %/slot",
+        "static %/slot",
+    ]);
+    let mut greedy_series = Vec::new();
+    let mut rr_series = Vec::new();
+    for (i, &n) in SENSOR_COUNTS.iter().enumerate() {
+        let mut rng = seeds.nth_rng(i as u64);
+        let spec = DeploymentSpec::new(omega, n, DeploymentKind::UniformRandom);
+        let regions: Vec<AnyRegion> = spec
+            .generate(&mut rng)
+            .into_iter()
+            .map(|p| Disk::new(p, RADIUS).into())
+            .collect();
+        let arrangement = Arrangement::build(omega, &regions, RESOLUTION);
+        let utility = CoverageUtility::new(&arrangement);
+        let max = utility.max_value();
+
+        let problem = Problem::new(utility, cycle, 1).expect("valid instance");
+        let greedy = problem.average_utility_per_slot(&greedy_schedule(&problem)) / max;
+        let rr =
+            problem.average_utility_per_slot(&round_robin_schedule(&problem)) / max;
+        let st = problem.average_utility_per_slot(&static_schedule(&problem)) / max;
+
+        table.row([
+            n.to_string(),
+            arrangement.subregions().len().to_string(),
+            (n * n).to_string(),
+            format!("{:.1}", arrangement.total_coverable_area() / omega.area() * 100.0),
+            format!("{:.1}", arrangement.area_covered_at_least(2) / omega.area() * 100.0),
+            format!("{:.1}", greedy * 100.0),
+            format!("{:.1}", rr * 100.0),
+            format!("{:.1}", st * 100.0),
+        ]);
+        greedy_series.push((n as f64, greedy));
+        rr_series.push((n as f64, rr));
+        assert!(
+            arrangement.subregions().len() <= n * n,
+            "the paper's polynomial subregion bound holds"
+        );
+    }
+    report.add_table("region_coverage", table);
+    report.add_chart(
+        "coverage_fraction",
+        LineChart::new(
+            "Region monitoring (Eq. 2) — covered-area fraction per slot",
+            "number of sensors",
+            "fraction of coverable weighted area",
+        )
+        .with_series(Series::new("greedy", greedy_series))
+        .with_series(Series::new("round-robin", rr_series))
+        .render(),
+    );
+
+    report.add_note(
+        "Eq. 2's weighted-area utility scheduled end to end: subregion counts stay \
+         well under the paper's n² bound; the greedy keeps the largest covered \
+         fraction every slot and the static baseline collapses to ≈ 1/T of it.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_dominates_baselines_and_bound_holds() {
+        let r = run(2025);
+        let (_, table) = &r.tables()[0];
+        for line in table.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let greedy: f64 = cells[5].parse().unwrap();
+            let rr: f64 = cells[6].parse().unwrap();
+            let st: f64 = cells[7].parse().unwrap();
+            assert!(greedy + 1e-9 >= rr, "{line}");
+            assert!(greedy > st, "{line}");
+            let subs: usize = cells[1].parse().unwrap();
+            let bound: usize = cells[2].parse().unwrap();
+            assert!(subs <= bound);
+        }
+        assert_eq!(r.charts().len(), 1);
+    }
+}

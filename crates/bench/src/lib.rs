@@ -1,0 +1,28 @@
+//! Experiment runners reproducing every figure and table of the paper.
+//!
+//! Each experiment module exposes `run(seed) -> ExperimentReport`; the
+//! `repro` binary dispatches on experiment id, prints the report's tables
+//! (the same rows/series the paper reports) and writes CSVs under
+//! `results/`.
+//!
+//! | id | paper artefact | module |
+//! |---|---|---|
+//! | `fig7` | charging-pattern traces + 2-hour stability (§VI-A, Fig. 7) | [`experiments::fig7`] |
+//! | `fig8` | greedy vs optimal/upper bound, m = 1..4 (Fig. 8) | [`experiments::fig8`] |
+//! | `headline` | the §VI-B single-target numbers | [`experiments::headline`] |
+//! | `fig9` | utility vs (n, m) at scale (Fig. 9) | [`experiments::fig9`] |
+//! | `hardness` | the §III Subset-Sum gadget behaving as proved | [`experiments::hardness`] |
+//! | `approx` | empirical ½-approximation (Lemma 4.1 / Thms 4.3, 4.4) | [`experiments::approx`] |
+//! | `lp` | LP relaxation vs rounding vs greedy (§IV-A.1) | [`experiments::lp`] |
+//! | `randmodel` | the §V stochastic-charging pipeline | [`experiments::randmodel`] |
+//! | `testbed30` | the 30-day, 100-node testbed run (§VI-B) | [`experiments::testbed30`] |
+//! | `ablation` | lazy vs naive greedy, rounding trials, baselines, leakage | [`experiments::ablation`] |
+//! | `horizon` | §VIII extensions: heterogeneous fleets, partial recharge | [`experiments::horizon`] |
+//! | `region` | region monitoring with Eq. 2 over the Fig. 3 arrangement | [`experiments::region`] |
+//! | `kcover` | k-coverage extension through the same scheduler | [`experiments::kcover`] |
+
+pub mod experiments;
+pub mod report;
+pub mod svg;
+
+pub use report::ExperimentReport;

@@ -1,0 +1,146 @@
+//! Experiment report structure shared by all runners.
+
+use cool_common::Table;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The output of one experiment: named tables plus free-form notes
+/// (paper-vs-measured commentary).
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentReport {
+    id: String,
+    tables: Vec<(String, Table)>,
+    charts: Vec<(String, String)>,
+    notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for experiment `id`.
+    pub fn new(id: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            tables: Vec::new(),
+            charts: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The experiment id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Adds a named table.
+    pub fn add_table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.push((name.into(), table));
+        self
+    }
+
+    /// Adds a rendered SVG chart.
+    pub fn add_chart(&mut self, name: impl Into<String>, svg: impl Into<String>) -> &mut Self {
+        self.charts.push((name.into(), svg.into()));
+        self
+    }
+
+    /// Adds a note line.
+    pub fn add_note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The charts, in insertion order.
+    pub fn charts(&self) -> &[(String, String)] {
+        &self.charts
+    }
+
+    /// The tables, in insertion order.
+    pub fn tables(&self) -> &[(String, Table)] {
+        &self.tables
+    }
+
+    /// The notes, in insertion order.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Writes every table as `<dir>/<id>_<table-name>.csv` and every chart
+    /// as `<dir>/<id>_<chart-name>.svg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writes.
+    pub fn write_csvs(&self, dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, table) in &self.tables {
+            let path = dir.join(format!("{}_{}.csv", self.id, slugify(name)));
+            fs::write(&path, table.to_csv())?;
+            written.push(path);
+        }
+        for (name, svg) in &self.charts {
+            let path = dir.join(format!("{}_{}.svg", self.id, slugify(name)));
+            fs::write(&path, svg)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+fn slugify(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== experiment {} ===", self.id)?;
+        for (name, table) in &self.tables {
+            writeln!(f, "\n-- {name} --")?;
+            write!(f, "{table}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "\nnotes:")?;
+            for note in &self.notes {
+                writeln!(f, "  * {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_tables_and_notes() {
+        let mut r = ExperimentReport::new("demo");
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        r.add_table("values", t).add_note("a note");
+        let text = r.to_string();
+        assert!(text.contains("experiment demo"));
+        assert!(text.contains("values"));
+        assert!(text.contains("a note"));
+        assert_eq!(r.tables().len(), 1);
+        assert_eq!(r.notes().len(), 1);
+    }
+
+    #[test]
+    fn csv_writing_slugifies_names() {
+        let tmp = std::env::temp_dir().join(format!("cool_report_test_{}", std::process::id()));
+        let mut r = ExperimentReport::new("x");
+        let mut t = Table::new(["c"]);
+        t.row(["2"]);
+        r.add_table("My Table!", t);
+        let written = r.write_csvs(&tmp).unwrap();
+        assert_eq!(written.len(), 1);
+        assert!(written[0].file_name().unwrap().to_str().unwrap().starts_with("x_my_table_"));
+        let content = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(content.starts_with("c\n"));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -1,0 +1,329 @@
+//! Minimal self-contained SVG line charts for the figure reproductions.
+//!
+//! The paper's evaluation is figures, not tables; this module renders the
+//! harness's series as standalone `.svg` files (no plotting dependency —
+//! the charts are simple enough to emit directly).
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// A multi-series line chart.
+///
+/// # Examples
+///
+/// ```
+/// use cool_bench::svg::{LineChart, Series};
+///
+/// let chart = LineChart::new("demo", "n", "utility")
+///     .with_series(Series::new("greedy", vec![(20.0, 0.92), (100.0, 0.99)]));
+/// let svg = chart.render();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// assert!(svg.contains("greedy"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+    y_range: Option<(f64, f64)>,
+}
+
+/// A qualitative palette that stays readable on white.
+const PALETTE: [&str; 6] = ["#1b6ca8", "#d1495b", "#3a7d44", "#8d6a9f", "#c77d1e", "#444444"];
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 48.0;
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 400.0,
+            y_range: None,
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fixes the y axis range instead of auto-scaling.
+    #[must_use]
+    pub fn with_y_range(mut self, min: f64, max: f64) -> Self {
+        assert!(min < max, "empty y range");
+        self.y_range = Some((min, max));
+        self
+    }
+
+    /// Number of series.
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.ranges();
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let px = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+        let py = |y: f64| {
+            MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(svg, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            self.width / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            self.height - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Axes + grid + ticks.
+        let _ = write!(
+            svg,
+            r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#999"/>"##,
+            x = MARGIN_LEFT,
+            y = MARGIN_TOP,
+            w = plot_w,
+            h = plot_h
+        );
+        for i in 0..=4 {
+            let frac = i as f64 / 4.0;
+            let xv = x_min + frac * (x_max - x_min);
+            let yv = y_min + frac * (y_max - y_min);
+            let xp = px(xv);
+            let yp = py(yv);
+            let _ = write!(
+                svg,
+                r##"<line x1="{xp}" y1="{}" x2="{xp}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_TOP,
+                MARGIN_TOP + plot_h
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{yp}" x2="{}" y2="{yp}" stroke="#ddd"/>"##,
+                MARGIN_LEFT,
+                MARGIN_LEFT + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{xp}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_TOP + plot_h + 16.0,
+                format_tick(xv)
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                yp + 4.0,
+                format_tick(yv)
+            );
+        }
+
+        // Series.
+        for (idx, series) in self.series.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            let mut path = String::new();
+            for &(x, y) in &series.points {
+                let _ = write!(path, "{:.2},{:.2} ", px(x), py(y));
+            }
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.trim_end()
+            );
+            for &(x, y) in &series.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_TOP + 14.0 * idx as f64 + 4.0;
+            let lx = MARGIN_LEFT + plot_w - 130.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&series.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    fn ranges(&self) -> (f64, f64, f64, f64) {
+        let points = self.series.iter().flat_map(|s| s.points.iter().copied());
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for (x, y) in points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if !x_min.is_finite() {
+            (x_min, x_max, y_min, y_max) = (0.0, 1.0, 0.0, 1.0);
+        }
+        if x_min == x_max {
+            x_max = x_min + 1.0;
+        }
+        if let Some((lo, hi)) = self.y_range {
+            (y_min, y_max) = (lo, hi);
+        } else {
+            if y_min == y_max {
+                y_max = y_min + 1.0;
+            }
+            // 5% padding.
+            let pad = (y_max - y_min) * 0.05;
+            y_min -= pad;
+            y_max += pad;
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("Fig. 8(a)", "number of sensors", "utility")
+            .with_series(Series::new("greedy", vec![(20.0, 0.92), (60.0, 0.99), (100.0, 0.999)]))
+            .with_series(Series::new("bound", vec![(20.0, 0.93), (60.0, 0.995), (100.0, 0.9995)]))
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("greedy") && svg.contains("bound"));
+        assert!(svg.matches("<circle").count() >= 6);
+        // Balanced tags of the kinds we emit.
+        for tag in ["text", "svg"] {
+            assert_eq!(
+                svg.matches(&format!("<{tag}")).count(),
+                svg.matches(&format!("</{tag}")).count(),
+                "unbalanced <{tag}>"
+            );
+        }
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = LineChart::new("a<b & c>d", "x", "y")
+            .with_series(Series::new("s<1>", vec![(0.0, 0.0)]))
+            .render();
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn fixed_y_range_is_respected() {
+        let svg = chart().with_y_range(0.0, 1.0).render();
+        assert!(svg.contains(">1<") || svg.contains(">1.00<"), "top tick shows 1: {svg}");
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let svg = LineChart::new("empty", "x", "y").render();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty y range")]
+    fn degenerate_y_range_panics() {
+        let _ = chart().with_y_range(1.0, 1.0);
+    }
+
+    #[test]
+    fn single_point_series_is_finite() {
+        let svg = LineChart::new("one", "x", "y")
+            .with_series(Series::new("p", vec![(5.0, 0.5)]))
+            .render();
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Typed index newtypes.
+//!
+//! The scheduling model juggles three kinds of indices — sensors `v_i`,
+//! targets `O_j` and time slots `t_k` — that are all "small integers".
+//! Newtypes keep them from being confused ([C-NEWTYPE]) while staying
+//! zero-cost.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Index of a sensor node `v_i` in the deployment, `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::SensorId;
+/// let v = SensorId(4);
+/// assert_eq!(v.index(), 4);
+/// assert_eq!(v.to_string(), "v4");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SensorId(pub usize);
+
+/// Index of a monitored target `O_j`, `0..m`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::TargetId;
+/// assert_eq!(TargetId(0).to_string(), "O0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TargetId(pub usize);
+
+/// Index of a time slot within the working time `L` (or within one charging
+/// period `T`, depending on context — the owner documents which).
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::SlotId;
+/// assert_eq!(SlotId(2).to_string(), "t2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SlotId(pub usize);
+
+/// Index of a subregion `A_i` in the arrangement of sensing regions
+/// (Fig. 3(b) of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::SubregionId;
+/// assert_eq!(SubregionId(7).to_string(), "A7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SubregionId(pub usize);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $ty {
+            #[inline]
+            fn from(value: usize) -> Self {
+                $ty(value)
+            }
+        }
+
+        impl From<$ty> for usize {
+            #[inline]
+            fn from(value: $ty) -> usize {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(SensorId, "v");
+impl_id!(TargetId, "O");
+impl_id!(SlotId, "t");
+impl_id!(SubregionId, "A");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let v: SensorId = 12usize.into();
+        assert_eq!(usize::from(v), 12);
+        let o: TargetId = 3usize.into();
+        assert_eq!(o.index(), 3);
+        let t: SlotId = 9usize.into();
+        assert_eq!(t.index(), 9);
+        let a: SubregionId = 1usize.into();
+        assert_eq!(a.index(), 1);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(SensorId(1).to_string(), "v1");
+        assert_eq!(TargetId(2).to_string(), "O2");
+        assert_eq!(SlotId(3).to_string(), "t3");
+        assert_eq!(SubregionId(4).to_string(), "A4");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(SensorId(1) < SensorId(2));
+        assert!(SlotId(0) < SlotId(10));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property: SensorId and TargetId cannot be compared.
+        // (This test documents intent; the type system enforces it.)
+        fn takes_sensor(_: SensorId) {}
+        takes_sensor(SensorId(0));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", SensorId::default()).is_empty());
+    }
+}

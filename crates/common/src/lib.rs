@@ -1,0 +1,41 @@
+//! Shared primitives for the `cool` workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks used by every
+//! other crate in the reproduction of *"Cool: On Coverage with Solar-Powered
+//! Sensors"* (Tang et al., ICDCS 2011):
+//!
+//! * [`SensorId`], [`TargetId`], [`SlotId`] — typed indices ([`id`]);
+//! * [`SensorSet`] — a compact growable bitset over sensor indices, the
+//!   universal "set of activated sensors" representation consumed by the
+//!   submodular utility functions ([`set`]);
+//! * [`stats`] — streaming and batch summary statistics used by the
+//!   experiment harness;
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed;
+//! * [`table`] — fixed-width ASCII table rendering for the `repro` binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cool_common::{SensorId, SensorSet};
+//!
+//! let mut active = SensorSet::new(8);
+//! active.insert(SensorId(3));
+//! active.insert(SensorId(5));
+//! assert_eq!(active.len(), 2);
+//! assert!(active.contains(SensorId(3)));
+//! ```
+
+pub mod id;
+pub mod parallel;
+pub mod rng;
+pub mod set;
+pub mod stats;
+pub mod table;
+
+pub use id::{SensorId, SlotId, SubregionId, TargetId};
+pub use parallel::{default_sweep_threads, parallel_map};
+pub use rng::SeedSequence;
+pub use set::SensorSet;
+pub use stats::{OnlineStats, Summary};
+pub use table::Table;

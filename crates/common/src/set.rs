@@ -1,0 +1,504 @@
+//! [`SensorSet`]: a fixed-universe bitset over sensor indices.
+//!
+//! Every utility function in the paper is a set function `U : 2^V -> R`, so
+//! the representation of "a set of sensors" is on the hot path of every
+//! scheduler. A `Vec<u64>` bitset gives O(n/64) union/intersection, O(1)
+//! insert/remove/contains and cheap iteration, while staying ordinary safe
+//! Rust.
+
+use crate::SensorId;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of sensors drawn from a fixed universe `{v_0, ..., v_{n-1}}`.
+///
+/// The universe size is fixed at construction; all binary operations require
+/// both operands to share the same universe size and panic otherwise (they
+/// would otherwise silently conflate different deployments).
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::{SensorId, SensorSet};
+///
+/// let mut s = SensorSet::new(10);
+/// s.insert(SensorId(1));
+/// s.insert(SensorId(4));
+/// let t = SensorSet::from_indices(10, [4, 7]);
+/// assert_eq!(s.union(&t).len(), 3);
+/// assert_eq!(s.intersection(&t).len(), 1);
+/// assert!(s.intersection(&t).contains(SensorId(4)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct SensorSet {
+    universe: usize,
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SensorSet {
+    /// Creates an empty set over a universe of `universe` sensors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::SensorSet;
+    /// let s = SensorSet::new(100);
+    /// assert!(s.is_empty());
+    /// assert_eq!(s.universe(), 100);
+    /// ```
+    pub fn new(universe: usize) -> Self {
+        SensorSet {
+            universe,
+            words: vec![0; universe.div_ceil(WORD_BITS)],
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{v_0, ..., v_{n-1}}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::SensorSet;
+    /// assert_eq!(SensorSet::full(5).len(), 5);
+    /// ```
+    pub fn full(universe: usize) -> Self {
+        let mut set = SensorSet::new(universe);
+        for i in 0..universe {
+            set.insert(SensorId(i));
+        }
+        set
+    }
+
+    /// Creates a set from raw indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= universe`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::SensorSet;
+    /// let s = SensorSet::from_indices(8, [0, 3, 3, 7]);
+    /// assert_eq!(s.len(), 3);
+    /// ```
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, indices: I) -> Self {
+        let mut set = SensorSet::new(universe);
+        for i in indices {
+            set.insert(SensorId(i));
+        }
+        set
+    }
+
+    /// Number of sensors in the universe (not in the set).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of sensors in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set contains no sensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `sensor` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is outside the universe.
+    #[inline]
+    pub fn contains(&self, sensor: SensorId) -> bool {
+        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        self.words[sensor.0 / WORD_BITS] >> (sensor.0 % WORD_BITS) & 1 == 1
+    }
+
+    /// Inserts `sensor`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, sensor: SensorId) -> bool {
+        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        let word = &mut self.words[sensor.0 / WORD_BITS];
+        let mask = 1u64 << (sensor.0 % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `sensor`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, sensor: SensorId) -> bool {
+        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        let word = &mut self.words[sensor.0 / WORD_BITS];
+        let mask = 1u64 << (sensor.0 % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Removes all sensors.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Returns the union `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn union(&self, other: &SensorSet) -> SensorSet {
+        self.check_universe(other);
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        SensorSet::from_words(self.universe, words)
+    }
+
+    /// Returns the intersection `self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn intersection(&self, other: &SensorSet) -> SensorSet {
+        self.check_universe(other);
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        SensorSet::from_words(self.universe, words)
+    }
+
+    /// Returns the difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn difference(&self, other: &SensorSet) -> SensorSet {
+        self.check_universe(other);
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        SensorSet::from_words(self.universe, words)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn union_with(&mut self, other: &SensorSet) {
+        self.check_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn intersect_with(&mut self, other: &SensorSet) {
+        self.check_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// Returns `true` if every sensor of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn is_subset(&self, other: &SensorSet) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no sensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn is_disjoint(&self, other: &SensorSet) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Size of the intersection without materialising it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn intersection_len(&self, other: &SensorSet) -> usize {
+        self.check_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over members in increasing index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::SensorSet;
+    /// let s = SensorSet::from_indices(70, [69, 0, 33]);
+    /// let ids: Vec<usize> = s.iter().map(|v| v.index()).collect();
+    /// assert_eq!(ids, [0, 33, 69]);
+    /// ```
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn from_words(universe: usize, words: Vec<u64>) -> SensorSet {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        SensorSet { universe, words, len }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    #[inline]
+    fn check_universe(&self, other: &SensorSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "sensor sets drawn from different universes ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+}
+
+impl fmt::Debug for SensorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SensorSet{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}/{}", self.universe)
+    }
+}
+
+impl Extend<SensorId> for SensorSet {
+    fn extend<I: IntoIterator<Item = SensorId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over the members of a [`SensorSet`], produced by
+/// [`SensorSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a SensorSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = SensorId;
+
+    fn next(&mut self) -> Option<SensorId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(SensorId(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SensorSet {
+    type Item = SensorId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SensorSet::new(130);
+        assert!(s.insert(SensorId(0)));
+        assert!(s.insert(SensorId(64)));
+        assert!(s.insert(SensorId(129)));
+        assert!(!s.insert(SensorId(129)), "re-insert reports not-fresh");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(SensorId(64)));
+        assert!(!s.contains(SensorId(63)));
+        assert!(s.remove(SensorId(64)));
+        assert!(!s.remove(SensorId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = SensorSet::full(100);
+        assert_eq!(s.len(), 100);
+        assert!((0..100).all(|i| s.contains(SensorId(i))));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a = SensorSet::from_indices(10, [1, 2, 3]);
+        let b = SensorSet::from_indices(10, [3, 4]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert!(!a.is_subset(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let a = SensorSet::from_indices(200, [0, 63, 64, 65, 199]);
+        let b = SensorSet::from_indices(200, [63, 65, 100]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.intersection(&b));
+    }
+
+    #[test]
+    fn iterates_in_order_across_words() {
+        let s = SensorSet::from_indices(300, [299, 0, 64, 128, 5]);
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, [0, 5, 64, 128, 299]);
+    }
+
+    #[test]
+    fn extend_collects_ids() {
+        let mut s = SensorSet::new(16);
+        s.extend([SensorId(1), SensorId(2), SensorId(1)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn contains_out_of_universe_panics() {
+        SensorSet::new(4).contains(SensorId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn union_of_mismatched_universes_panics() {
+        let a = SensorSet::new(4);
+        let b = SensorSet::new(5);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_empty_set() {
+        let s = SensorSet::new(3);
+        assert_eq!(format!("{s:?}"), "SensorSet{}/3");
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let s = SensorSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_hashset(xs in proptest::collection::vec(0usize..256, 0..60),
+                                     ys in proptest::collection::vec(0usize..256, 0..60)) {
+            use std::collections::BTreeSet;
+            let a = SensorSet::from_indices(256, xs.iter().copied());
+            let b = SensorSet::from_indices(256, ys.iter().copied());
+            let ra: BTreeSet<usize> = xs.into_iter().collect();
+            let rb: BTreeSet<usize> = ys.into_iter().collect();
+
+            let union: Vec<usize> = a.union(&b).iter().map(|v| v.index()).collect();
+            let runion: Vec<usize> = ra.union(&rb).copied().collect();
+            prop_assert_eq!(union, runion);
+
+            let inter: Vec<usize> = a.intersection(&b).iter().map(|v| v.index()).collect();
+            let rinter: Vec<usize> = ra.intersection(&rb).copied().collect();
+            prop_assert_eq!(inter, rinter);
+
+            let diff: Vec<usize> = a.difference(&b).iter().map(|v| v.index()).collect();
+            let rdiff: Vec<usize> = ra.difference(&rb).copied().collect();
+            prop_assert_eq!(diff, rdiff);
+
+            prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
+            prop_assert_eq!(a.is_disjoint(&b), ra.is_disjoint(&rb));
+            prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        }
+
+        #[test]
+        fn len_tracks_membership(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+            let mut s = SensorSet::new(128);
+            let mut reference = std::collections::BTreeSet::new();
+            for (idx, add) in ops {
+                if add {
+                    s.insert(SensorId(idx));
+                    reference.insert(idx);
+                } else {
+                    s.remove(SensorId(idx));
+                    reference.remove(&idx);
+                }
+                prop_assert_eq!(s.len(), reference.len());
+            }
+        }
+    }
+}

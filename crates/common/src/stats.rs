@@ -1,0 +1,394 @@
+//! Summary statistics for the experiment harness.
+//!
+//! The evaluation section reports averages over many slots/days/trials
+//! (e.g. "average utility per target per time-slot"). [`OnlineStats`]
+//! accumulates mean/variance in one pass (Welford's algorithm) and
+//! [`Summary`] captures a batch snapshot with percentiles.
+
+use std::fmt;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`] (an explicit impl because the derived
+    /// default would zero the running min/max instead of using ±∞).
+    fn default() -> Self {
+        OnlineStats::new()
+    }
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `0.0` for fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on the
+    /// mean (`1.96 · s/√count`); `0.0` for fewer than two observations.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.sample_std() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::OnlineStats;
+    /// let mut a = OnlineStats::new();
+    /// let mut b = OnlineStats::new();
+    /// a.push(1.0);
+    /// a.push(2.0);
+    /// b.push(3.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 3);
+    /// assert!((a.mean() - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean={:.6} ±{:.6} (n={}, min={:.6}, max={:.6})",
+            self.mean(),
+            self.ci95_halfwidth(),
+            self.count,
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Batch snapshot of a sample: mean, std, extremes and percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::Summary;
+///
+/// let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert!((s.median - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 50th percentile (linear interpolation).
+    pub median: f64,
+    /// 5th percentile (linear interpolation).
+    pub p05: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "cannot summarise a sample containing NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
+        let stats: OnlineStats = samples.iter().copied().collect();
+        Summary {
+            count: samples.len(),
+            mean: stats.mean(),
+            std: stats.sample_std(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            median: percentile(&sorted, 0.50),
+            p05: percentile(&sorted, 0.05),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} std={:.6} min={:.6} p05={:.6} median={:.6} p95={:.6} max={:.6}",
+            self.count, self.mean, self.std, self.min, self.p05, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice.
+///
+/// `q` is a fraction in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::stats::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 1.0), 4.0);
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // The derived Default would zero min/max; the explicit impl must
+        // behave exactly like `new` so `entry().or_default()` is safe.
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(7.0);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [0.3, -1.2, 5.5, 2.2, 0.0, 9.1, -3.3];
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut b = OnlineStats::new();
+        b.merge(&before);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::from_samples(&[2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.p05, 2.0);
+        assert_eq!(s.p95, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_of_empty_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: OnlineStats = [1.0].into_iter().collect();
+        assert!(s.to_string().contains("mean="));
+        let sum = Summary::from_samples(&[1.0, 2.0]);
+        assert!(sum.to_string().contains("median="));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+                                   ys in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let mut merged: OnlineStats = xs.iter().copied().collect();
+            let other: OnlineStats = ys.iter().copied().collect();
+            merged.merge(&other);
+
+            let all: OnlineStats = xs.iter().chain(ys.iter()).copied().collect();
+            let mean_scale = all.mean().abs().max(1.0);
+            prop_assert!((merged.mean() - all.mean()).abs() < 1e-9 * mean_scale);
+            let var_scale = all.sample_variance().abs().max(1.0);
+            prop_assert!((merged.sample_variance() - all.sample_variance()).abs() < 1e-9 * var_scale);
+            prop_assert_eq!(merged.count(), all.count());
+            prop_assert_eq!(merged.min(), all.min());
+            prop_assert_eq!(merged.max(), all.max());
+        }
+
+        #[test]
+        fn percentiles_are_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.min <= s.p05 + 1e-12);
+            prop_assert!(s.p05 <= s.median + 1e-12);
+            prop_assert!(s.median <= s.p95 + 1e-12);
+            prop_assert!(s.p95 <= s.max + 1e-12);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-width ASCII tables for the experiment binaries.
+//!
+//! The `repro` harness prints the same rows/series the paper reports; a tiny
+//! table renderer keeps that output legible without pulling in a formatting
+//! dependency.
+
+use std::fmt;
+
+/// A column-aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::Table;
+///
+/// let mut t = Table::new(["n", "greedy", "bound"]);
+/// t.row(["20", "0.9397", "0.9590"]);
+/// t.row(["40", "0.9523", "0.9832"]);
+/// let s = t.to_string();
+/// assert!(s.contains("greedy"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows), for machine-readable output
+    /// alongside the human-readable `Display`.
+    ///
+    /// Cells containing commas or quotes are quoted per RFC 4180.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cool_common::Table;
+    /// let mut t = Table::new(["a", "b"]);
+    /// t.row(["1", "x,y"]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        let rule: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        writeln!(f, "{rule}")?;
+        write_row(f, &self.header)?;
+        writeln!(f, "{rule}")?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        writeln!(f, "{rule}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer", "23456"]);
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // rule, header, rule, two rows, rule
+        assert_eq!(lines.len(), 6);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "all lines same width:\n{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(["a"]);
+        t.row(["he said \"hi\""]);
+        assert_eq!(t.to_csv(), "a\n\"he said \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn empty_table_still_renders_header() {
+        let t = Table::new(["col"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_string().contains("col"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Baseline schedulers the greedy is compared against.
+//!
+//! The paper's testbed evaluation reports greedy vs. the optimal/upper
+//! bound; the ablation harness additionally contrasts these standard
+//! baselines:
+//!
+//! * [`random_schedule`] — each sensor picks a uniform slot (what naive
+//!   duty-cycling without coordination does);
+//! * [`round_robin_schedule`] — sensor `i` takes slot `i mod T`
+//!   (coordination by index only, coverage-blind);
+//! * [`static_schedule`] — everyone activates in slot 0 (the "no
+//!   scheduling" strawman: burn together, recharge together).
+
+use crate::problem::Problem;
+use crate::schedule::{PeriodSchedule, ScheduleMode};
+use cool_utility::UtilityFunction;
+use rand::Rng;
+
+fn mode_for<U: UtilityFunction>(problem: &Problem<U>) -> ScheduleMode {
+    if problem.cycle().rho() > 1.0 {
+        ScheduleMode::ActiveSlot
+    } else {
+        ScheduleMode::PassiveSlot
+    }
+}
+
+/// Uniform random slot per sensor.
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::{baselines::random_schedule, problem::Problem};
+/// use cool_common::SeedSequence;
+/// use cool_energy::ChargeCycle;
+/// use cool_utility::DetectionUtility;
+///
+/// let p = Problem::new(DetectionUtility::uniform(10, 0.4),
+///                      ChargeCycle::paper_sunny(), 1).unwrap();
+/// let s = random_schedule(&p, &mut SeedSequence::new(0).nth_rng(0));
+/// assert!(s.is_feasible(p.cycle()));
+/// ```
+pub fn random_schedule<U: UtilityFunction, R: Rng + ?Sized>(
+    problem: &Problem<U>,
+    rng: &mut R,
+) -> PeriodSchedule {
+    let t = problem.slots_per_period();
+    let assignment = (0..problem.n_sensors()).map(|_| rng.random_range(0..t)).collect();
+    PeriodSchedule::new(mode_for(problem), t, assignment)
+}
+
+/// Sensor `i` takes slot `i mod T`.
+pub fn round_robin_schedule<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    let t = problem.slots_per_period();
+    let assignment = (0..problem.n_sensors()).map(|i| i % t).collect();
+    PeriodSchedule::new(mode_for(problem), t, assignment)
+}
+
+/// Everyone in slot 0: all sensors active together (ρ > 1) or all passive
+/// together (ρ ≤ 1).
+pub fn static_schedule<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    let t = problem.slots_per_period();
+    PeriodSchedule::new(mode_for(problem), t, vec![0; problem.n_sensors()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_schedule;
+    use cool_common::SeedSequence;
+    use cool_energy::ChargeCycle;
+    use cool_utility::DetectionUtility;
+
+    fn problem(n: usize) -> Problem<DetectionUtility> {
+        Problem::new(DetectionUtility::uniform(n, 0.4), ChargeCycle::paper_sunny(), 1).unwrap()
+    }
+
+    #[test]
+    fn all_baselines_are_feasible() {
+        let p = problem(13);
+        let mut rng = SeedSequence::new(8).nth_rng(0);
+        for s in [
+            random_schedule(&p, &mut rng),
+            round_robin_schedule(&p),
+            static_schedule(&p),
+        ] {
+            assert!(s.is_feasible(p.cycle()));
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = problem(12);
+        let s = round_robin_schedule(&p);
+        for t in 0..4 {
+            assert_eq!(s.active_set(t).len(), 3);
+        }
+    }
+
+    #[test]
+    fn static_wastes_slots() {
+        let p = problem(8);
+        let s = static_schedule(&p);
+        assert_eq!(s.active_set(0).len(), 8);
+        for t in 1..4 {
+            assert!(s.active_set(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_dominates_baselines_on_identical_sensors() {
+        let p = problem(10);
+        let mut rng = SeedSequence::new(9).nth_rng(0);
+        let g = p.total_utility(&greedy_schedule(&p));
+        assert!(g >= p.total_utility(&round_robin_schedule(&p)) - 1e-9);
+        assert!(g >= p.total_utility(&static_schedule(&p)) - 1e-9);
+        assert!(g >= p.total_utility(&random_schedule(&p, &mut rng)) - 1e-9);
+    }
+
+    #[test]
+    fn baselines_respect_passive_mode() {
+        let cycle = ChargeCycle::from_rho(0.5, 10.0).unwrap();
+        let p = Problem::new(DetectionUtility::uniform(6, 0.4), cycle, 1).unwrap();
+        let s = round_robin_schedule(&p);
+        assert_eq!(s.mode(), ScheduleMode::PassiveSlot);
+        assert!(s.is_feasible(cycle));
+    }
+}

@@ -1,0 +1,407 @@
+//! The Greedy Hill-Climbing Activation Scheme (Algorithm 1, §IV).
+//!
+//! `ρ > 1`: schedule sensors one by one, each time assigning the
+//! (sensor, slot) pair with the **maximum incremental utility** given
+//! everything scheduled so far; ½-approximate for `L = T` (Lemma 4.1) and
+//! for `L = αT` by repeating the period schedule (Theorem 4.3).
+//!
+//! `ρ ≤ 1`: start from "everyone active everywhere" and allocate each
+//! sensor's **passive** slot with the **minimum decremental utility**
+//! (§IV-B, Theorem 4.4) — also ½-approximate.
+//!
+//! Two implementations are provided with identical outputs:
+//!
+//! * [`greedy_schedule`] — the literal O(n²·T)-gain-query loop of
+//!   Algorithm 1 (with incremental evaluators, each query is cheap);
+//! * [`greedy_schedule_lazy`] — a lazy-evaluation (CELF-style) variant
+//!   exploiting submodularity: stale heap entries only ever shrink, so most
+//!   re-evaluations are skipped. Assigning a sensor to slot `t` only
+//!   changes gains *within slot `t`*, which makes lazy evaluation
+//!   particularly effective here.
+
+use crate::problem::Problem;
+use crate::schedule::{PeriodSchedule, ScheduleMode};
+use cool_common::SensorId;
+use cool_utility::{Evaluator, UtilityFunction};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Runs Algorithm 1 (or its `ρ ≤ 1` dual) and returns the per-period
+/// schedule. Deterministic: ties break toward the lower slot, then lower
+/// sensor index.
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::{greedy::greedy_schedule, problem::Problem};
+/// use cool_energy::ChargeCycle;
+/// use cool_utility::DetectionUtility;
+///
+/// let p = Problem::new(DetectionUtility::uniform(9, 0.4),
+///                      ChargeCycle::from_rho(5.0, 15.0).unwrap(), 1).unwrap();
+/// let s = greedy_schedule(&p);
+/// assert!(s.is_feasible(p.cycle()));
+/// ```
+pub fn greedy_schedule<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    if problem.cycle().rho() > 1.0 {
+        greedy_active_naive(problem.utility(), problem.slots_per_period())
+    } else {
+        greedy_passive_naive(problem.utility(), problem.slots_per_period())
+    }
+}
+
+/// Lazy (CELF-style) greedy; identical output to [`greedy_schedule`]
+/// (asserted by the crate's property tests), asymptotically faster on large
+/// instances.
+pub fn greedy_schedule_lazy<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    if problem.cycle().rho() > 1.0 {
+        greedy_active_lazy(problem.utility(), problem.slots_per_period())
+    } else {
+        // Passive-slot allocation has no "stale entries only shrink"
+        // structure for the *minimum* loss (losses can both grow and
+        // shrink as sensors leave slots), so the lazy variant applies only
+        // to the active case; fall back to the exact naive dual.
+        greedy_passive_naive(problem.utility(), problem.slots_per_period())
+    }
+}
+
+/// ρ > 1 greedy on raw parts (exposed for schedulers composing their own
+/// horizon logic). `slots` is the period length `T`.
+///
+/// # Panics
+///
+/// Panics if `slots == 0`.
+pub fn greedy_active_naive<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
+    assert!(slots > 0, "need at least one slot");
+    let n = utility.universe();
+    let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    for _step in 0..n {
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, sensor, slot)
+        for &v in &unassigned {
+            for (t, eval) in evaluators.iter().enumerate() {
+                let gain = eval.gain(SensorId(v));
+                let candidate = (gain, v, t);
+                best = Some(match best {
+                    None => candidate,
+                    Some(current) => max_by_gain(current, candidate),
+                });
+            }
+        }
+        let (_, v, t) = best.expect("unassigned sensors remain");
+        evaluators[t].insert(SensorId(v));
+        assignment[v] = t;
+        unassigned.retain(|&u| u != v);
+    }
+    PeriodSchedule::new(ScheduleMode::ActiveSlot, slots, assignment)
+}
+
+/// ρ ≤ 1 greedy: allocate passive slots by minimum decremental utility.
+///
+/// # Panics
+///
+/// Panics if `slots == 0`.
+pub fn greedy_passive_naive<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
+    assert!(slots > 0, "need at least one slot");
+    let n = utility.universe();
+    // Start with everyone active in every slot.
+    let mut evaluators: Vec<U::Evaluator> = (0..slots)
+        .map(|_| {
+            let mut e = utility.evaluator();
+            for v in 0..n {
+                e.insert(SensorId(v));
+            }
+            e
+        })
+        .collect();
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    for _step in 0..n {
+        let mut best: Option<(f64, usize, usize)> = None; // (loss, sensor, slot)
+        for &v in &unassigned {
+            for (t, eval) in evaluators.iter().enumerate() {
+                let loss = eval.loss(SensorId(v));
+                let candidate = (loss, v, t);
+                best = Some(match best {
+                    None => candidate,
+                    Some(current) => min_by_loss(current, candidate),
+                });
+            }
+        }
+        let (_, v, t) = best.expect("unassigned sensors remain");
+        evaluators[t].remove(SensorId(v));
+        assignment[v] = t;
+        unassigned.retain(|&u| u != v);
+    }
+    PeriodSchedule::new(ScheduleMode::PassiveSlot, slots, assignment)
+}
+
+/// Lazy-evaluation ρ > 1 greedy (CELF).
+///
+/// Key structural fact: inserting a sensor into slot `t` leaves the
+/// evaluators of all other slots untouched, so a heap entry `(v, t', g)`
+/// with `t' ≠ t` stays exact. We stamp entries with the per-slot version
+/// and re-evaluate only entries whose slot has advanced.
+pub fn greedy_active_lazy<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
+    assert!(slots > 0, "need at least one slot");
+    let n = utility.universe();
+    let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
+    let mut slot_version = vec![0u32; slots];
+    let mut assigned = vec![false; n];
+    let mut assignment = vec![usize::MAX; n];
+
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n * slots);
+    for v in 0..n {
+        for (t, eval) in evaluators.iter().enumerate() {
+            heap.push(HeapEntry { gain: eval.gain(SensorId(v)), slot: t, sensor: v, version: 0 });
+        }
+    }
+
+    let mut remaining = n;
+    while remaining > 0 {
+        let entry = heap.pop().expect("heap holds all unassigned (sensor, slot) pairs");
+        if assigned[entry.sensor] {
+            continue;
+        }
+        if entry.version != slot_version[entry.slot] {
+            // Stale: the slot advanced since this gain was computed.
+            // Submodularity ⇒ the true gain is no larger; recompute, re-push.
+            let gain = evaluators[entry.slot].gain(SensorId(entry.sensor));
+            heap.push(HeapEntry {
+                gain,
+                slot: entry.slot,
+                sensor: entry.sensor,
+                version: slot_version[entry.slot],
+            });
+            continue;
+        }
+        // Fresh maximal entry: assign.
+        evaluators[entry.slot].insert(SensorId(entry.sensor));
+        slot_version[entry.slot] += 1;
+        assigned[entry.sensor] = true;
+        assignment[entry.sensor] = entry.slot;
+        remaining -= 1;
+    }
+    PeriodSchedule::new(ScheduleMode::ActiveSlot, slots, assignment)
+}
+
+/// Greedy tie-breaking total order, shared by the naive loop and the lazy
+/// heap so they produce identical schedules: larger gain wins; ties go to
+/// the lower sensor index, then the lower slot.
+fn max_by_gain(
+    current: (f64, usize, usize),
+    candidate: (f64, usize, usize),
+) -> (f64, usize, usize) {
+    let better = candidate.0 > current.0
+        || (candidate.0 == current.0 && (candidate.1, candidate.2) < (current.1, current.2));
+    if better {
+        candidate
+    } else {
+        current
+    }
+}
+
+/// Dual order for the passive allocation: smaller loss wins; ties go to the
+/// lower sensor index, then the lower slot.
+fn min_by_loss(
+    current: (f64, usize, usize),
+    candidate: (f64, usize, usize),
+) -> (f64, usize, usize) {
+    let better = candidate.0 < current.0
+        || (candidate.0 == current.0 && (candidate.1, candidate.2) < (current.1, current.2));
+    if better {
+        candidate
+    } else {
+        current
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    gain: f64,
+    slot: usize,
+    sensor: usize,
+    version: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on gain; ties prefer LOWER sensor then LOWER slot —
+        // the same total order as `max_by_gain` (components reversed
+        // because BinaryHeap pops the maximum).
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are finite")
+            .then_with(|| other.sensor.cmp(&self.sensor))
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::{SensorSet, SeedSequence};
+    use cool_energy::ChargeCycle;
+    use cool_utility::{DetectionUtility, LinearUtility, SumUtility};
+    use proptest::prelude::*;
+
+    fn sunny_problem(n: usize) -> Problem<DetectionUtility> {
+        Problem::new(DetectionUtility::uniform(n, 0.4), ChargeCycle::paper_sunny(), 1).unwrap()
+    }
+
+    #[test]
+    fn greedy_balances_identical_sensors() {
+        // 8 identical sensors over 4 slots → 2 per slot (any imbalance
+        // would contradict diminishing returns).
+        let p = sunny_problem(8);
+        let s = greedy_schedule(&p);
+        for t in 0..4 {
+            assert_eq!(s.active_set(t).len(), 2, "slot {t}");
+        }
+        assert!(s.is_feasible(p.cycle()));
+    }
+
+    #[test]
+    fn greedy_spreads_before_stacking() {
+        // 3 sensors, 4 slots: each goes to its own slot.
+        let p = sunny_problem(3);
+        let s = greedy_schedule(&p);
+        let sizes: Vec<usize> = (0..4).map(|t| s.active_set(t).len()).collect();
+        assert_eq!(sizes.iter().filter(|&&x| x == 1).count(), 3);
+        assert_eq!(sizes.iter().filter(|&&x| x == 0).count(), 1);
+    }
+
+    #[test]
+    fn lazy_matches_naive_on_random_instances() {
+        let seq = SeedSequence::new(33);
+        for trial in 0..20u64 {
+            let mut rng = seq.nth_rng(trial);
+            let n = 3 + (trial as usize % 10);
+            let m = 1 + (trial as usize % 4);
+            let u = crate::instances::random_multi_target(n, m, 0.5, 0.4, &mut rng);
+            let naive = greedy_active_naive(&u, 4);
+            let lazy = greedy_active_lazy(&u, 4);
+            assert_eq!(
+                naive.assignment(),
+                lazy.assignment(),
+                "trial {trial}: naive and lazy greedy disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn passive_greedy_is_feasible_and_balanced() {
+        // ρ = 1/3 → T = 4, one passive slot each; 8 identical sensors →
+        // passive slots spread 2 per slot.
+        let cycle = ChargeCycle::from_rho(1.0 / 3.0, 15.0).unwrap();
+        let p = Problem::new(DetectionUtility::uniform(8, 0.4), cycle, 1).unwrap();
+        let s = greedy_schedule(&p);
+        assert_eq!(s.mode(), ScheduleMode::PassiveSlot);
+        assert!(s.is_feasible(cycle));
+        for t in 0..4 {
+            assert_eq!(s.active_set(t).len(), 6, "slot {t}: 8 − 2 passive");
+        }
+    }
+
+    #[test]
+    fn single_sensor_gets_a_slot() {
+        let p = sunny_problem(1);
+        let s = greedy_schedule(&p);
+        assert_eq!(s.n_sensors(), 1);
+        assert!(s.assigned_slot(SensorId(0)).index() < 4);
+    }
+
+    #[test]
+    fn linear_utility_greedy_achieves_everything() {
+        // Modular utility: every assignment achieves Σw per period; greedy
+        // must too.
+        let u = LinearUtility::new(vec![1.0, 2.0, 3.0]);
+        let s = greedy_active_naive(&u, 4);
+        assert!((s.period_utility(&u) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_target_greedy_covers_each_target_every_slot_when_possible() {
+        // Two disjoint targets with 4 sensors each over T=4: greedy should
+        // leave no slot without coverage of either target.
+        let cov0 = SensorSet::from_indices(8, 0..4);
+        let cov1 = SensorSet::from_indices(8, 4..8);
+        let u = SumUtility::multi_target_detection(&[cov0.clone(), cov1.clone()], 0.4);
+        let s = greedy_active_naive(&u, 4);
+        for t in 0..4 {
+            let active = s.active_set(t);
+            assert!(!active.is_disjoint(&cov0), "target 0 uncovered at slot {t}");
+            assert!(!active.is_disjoint(&cov1), "target 1 uncovered at slot {t}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Lemma 4.1 (empirical): greedy ≥ ½ · OPT on exhaustively solved
+        /// instances.
+        #[test]
+        fn greedy_is_half_optimal(
+            n in 2usize..7,
+            m in 1usize..3,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SeedSequence::new(seed).nth_rng(0);
+            let u = crate::instances::random_multi_target(n, m, 0.6, 0.4, &mut rng);
+            let slots = 3;
+            let greedy = greedy_active_naive(&u, slots);
+            let opt = crate::optimal::exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot);
+            let g = greedy.period_utility(&u);
+            let o = opt.period_utility(&u);
+            prop_assert!(g + 1e-9 >= 0.5 * o, "greedy {} < half of optimal {}", g, o);
+            prop_assert!(g <= o + 1e-9, "greedy cannot beat optimal");
+        }
+
+        /// Theorem 4.4 (empirical): the passive-slot greedy is ≥ ½ · OPT.
+        #[test]
+        fn passive_greedy_is_half_optimal(
+            n in 2usize..6,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SeedSequence::new(seed).nth_rng(1);
+            let u = crate::instances::random_multi_target(n, 2, 0.6, 0.4, &mut rng);
+            let slots = 3;
+            let greedy = greedy_passive_naive(&u, slots);
+            let opt = crate::optimal::exhaustive_optimal(&u, slots, ScheduleMode::PassiveSlot);
+            let g = greedy.period_utility(&u);
+            let o = opt.period_utility(&u);
+            prop_assert!(g + 1e-9 >= 0.5 * o, "greedy {} < half of optimal {}", g, o);
+        }
+
+        /// Lazy and naive agree on every instance.
+        #[test]
+        fn lazy_equals_naive(
+            n in 1usize..12,
+            slots in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SeedSequence::new(seed).nth_rng(2);
+            let u = crate::instances::random_multi_target(n, 2, 0.5, 0.5, &mut rng);
+            let naive = greedy_active_naive(&u, slots);
+            let lazy = greedy_active_lazy(&u, slots);
+            prop_assert_eq!(naive.assignment(), lazy.assignment());
+        }
+    }
+}

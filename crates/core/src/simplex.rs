@@ -1,0 +1,490 @@
+//! A self-contained two-phase dense simplex solver.
+//!
+//! The paper's LP-based scheduler (§IV-A.1) needs a generic LP oracle; this
+//! module provides one with no external dependency: maximise `c·x` subject
+//! to linear constraints (`≤`, `=`, `≥`) and `x ≥ 0`, via the standard
+//! two-phase tableau method with Bland's rule (guaranteeing termination).
+//!
+//! The implementation favours clarity over sparsity — the scheduling LPs it
+//! solves have a few hundred variables.
+
+use std::fmt;
+
+/// Constraint relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// A linear program: maximise `c·x` s.t. constraints, `x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::simplex::{LinearProgram, Relation};
+///
+/// // max 3x + 5y  s.t.  x ≤ 4,  2y ≤ 12,  3x + 2y ≤ 18  (classic Dantzig)
+/// let mut lp = LinearProgram::new(2);
+/// lp.set_objective(vec![3.0, 5.0]);
+/// lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+/// lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+/// lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective_value - 36.0).abs() < 1e-9);
+/// assert!((sol.x[0] - 2.0).abs() < 1e-9);
+/// assert!((sol.x[1] - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    relations: Vec<Relation>,
+    rhs: Vec<f64>,
+}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimplexSolution {
+    /// The optimal objective value.
+    pub objective_value: f64,
+    /// An optimal assignment of the original variables.
+    pub x: Vec<f64>,
+}
+
+/// Solver failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The program was malformed (e.g. a constraint of the wrong width).
+    Malformed(String),
+}
+
+impl fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "linear program is infeasible"),
+            SimplexError::Unbounded => write!(f, "linear program is unbounded"),
+            SimplexError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
+
+const TOL: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Creates an empty program over `n_vars` non-negative variables with a
+    /// zero objective.
+    pub fn new(n_vars: usize) -> Self {
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+            relations: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Sets the maximisation objective `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != n_vars`.
+    pub fn set_objective(&mut self, c: Vec<f64>) {
+        assert_eq!(c.len(), self.n_vars, "objective width mismatch");
+        self.objective = c;
+    }
+
+    /// Adds a constraint `a·x REL b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n_vars`.
+    pub fn add_constraint(&mut self, a: Vec<f64>, rel: Relation, b: f64) {
+        assert_eq!(a.len(), self.n_vars, "constraint width mismatch");
+        self.rows.push(a);
+        self.relations.push(rel);
+        self.rhs.push(b);
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// [`SimplexError::Infeasible`] when no point satisfies the constraints,
+    /// [`SimplexError::Unbounded`] when the maximum is `+∞`,
+    /// [`SimplexError::Malformed`] for NaN coefficients.
+    pub fn solve(&self) -> Result<SimplexSolution, SimplexError> {
+        if self.objective.iter().any(|v| v.is_nan())
+            || self.rows.iter().flatten().any(|v| v.is_nan())
+            || self.rhs.iter().any(|v| v.is_nan())
+        {
+            return Err(SimplexError::Malformed("NaN coefficient".into()));
+        }
+        self.solve_impl()
+    }
+}
+
+/// The working tableau: `m` constraint rows over columns
+/// `[decision | slack/surplus | artificial | rhs]`, plus a basis map.
+struct Tableau {
+    m: usize,
+    /// Total structural columns (decision + slack + artificial).
+    cols: usize,
+    first_artificial: usize,
+    /// `m × (cols + 1)` matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Result<Self, SimplexError> {
+        let m = lp.rows.len();
+        let n = lp.n_vars;
+
+        // Count auxiliary columns: one slack/surplus per inequality, one
+        // artificial per `=`/`≥` row (and per `≤` row with negative rhs,
+        // handled by sign normalisation first).
+        let mut rows: Vec<Vec<f64>> = lp.rows.clone();
+        let mut relations = lp.relations.clone();
+        let mut rhs = lp.rhs.clone();
+        for i in 0..m {
+            if rhs[i] < 0.0 {
+                for v in rows[i].iter_mut() {
+                    *v = -*v;
+                }
+                rhs[i] = -rhs[i];
+                relations[i] = match relations[i] {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+        let n_slack = relations.iter().filter(|r| **r != Relation::Eq).count();
+        let n_artificial =
+            relations.iter().filter(|r| matches!(r, Relation::Eq | Relation::Ge)).count();
+        let cols = n + n_slack + n_artificial;
+        let first_artificial = n + n_slack;
+
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_cursor = n;
+        let mut art_cursor = first_artificial;
+        for i in 0..m {
+            a[i][..n].copy_from_slice(&rows[i]);
+            a[i][cols] = rhs[i];
+            match relations[i] {
+                Relation::Le => {
+                    a[i][slack_cursor] = 1.0;
+                    basis[i] = slack_cursor;
+                    slack_cursor += 1;
+                }
+                Relation::Ge => {
+                    a[i][slack_cursor] = -1.0;
+                    slack_cursor += 1;
+                    a[i][art_cursor] = 1.0;
+                    basis[i] = art_cursor;
+                    art_cursor += 1;
+                }
+                Relation::Eq => {
+                    a[i][art_cursor] = 1.0;
+                    basis[i] = art_cursor;
+                    art_cursor += 1;
+                }
+            }
+        }
+
+        let mut tableau = Tableau { m, cols, first_artificial, a, basis };
+
+        if n_artificial > 0 {
+            // Phase 1: maximise −Σ artificials.
+            let mut phase1 = vec![0.0; cols];
+            for coeff in phase1.iter_mut().skip(first_artificial) {
+                *coeff = -1.0;
+            }
+            let value = tableau.run_simplex(&phase1)?;
+            if value < -1e-7 {
+                return Err(SimplexError::Infeasible);
+            }
+            tableau.evict_artificials();
+        }
+        Ok(tableau)
+    }
+
+    /// Runs simplex iterations maximising `c · columns` (length `cols`),
+    /// returning the optimal value. Uses Bland's rule; all columns may
+    /// enter.
+    fn run_simplex(&mut self, c: &[f64]) -> Result<f64, SimplexError> {
+        let cols = self.cols;
+        self.run_simplex_excluding(c, cols)
+    }
+
+    /// Pivot on `(row, col)`: make column `col` basic in `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.a[row][col];
+        debug_assert!(pivot.abs() > TOL, "pivot too small");
+        for v in self.a[row].iter_mut() {
+            *v /= pivot;
+        }
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor.abs() <= TOL {
+                continue;
+            }
+            for jj in 0..=self.cols {
+                let delta = factor * self.a[row][jj];
+                self.a[i][jj] -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot remaining artificial variables out of the basis
+    /// where possible (degenerate rows), so phase 2 never re-enters them.
+    fn evict_artificials(&mut self) {
+        for i in 0..self.m {
+            if self.basis[i] >= self.first_artificial {
+                // Find a non-artificial column with nonzero coefficient.
+                if let Some(j) =
+                    (0..self.first_artificial).find(|&j| self.a[i][j].abs() > TOL)
+                {
+                    self.pivot(i, j);
+                }
+                // Otherwise the row is all-zero (redundant constraint) with
+                // zero rhs; the artificial stays basic at value 0 — harmless
+                // as long as it never increases, which phase 2 prevents by
+                // giving artificials no positive reduced cost... enforced by
+                // excluding artificial columns from entering in phase 2
+                // (their phase-2 cost is 0 and values are 0).
+            }
+        }
+    }
+}
+
+impl LinearProgram {
+    /// Internal: full pipeline (build → phase 1 → phase 2 → extract).
+    fn solve_impl(&self) -> Result<SimplexSolution, SimplexError> {
+        let mut tableau = Tableau::build(self)?;
+        let mut c = vec![0.0; tableau.cols];
+        c[..self.n_vars].copy_from_slice(&self.objective);
+        // Phase 2 must never re-admit artificials.
+        let first_art = tableau.first_artificial;
+        for coeff in c.iter_mut().skip(first_art) {
+            *coeff = 0.0;
+        }
+        let value = tableau.run_simplex_excluding(&c, first_art)?;
+        let mut x = vec![0.0; self.n_vars];
+        for (i, &b) in tableau.basis.iter().enumerate() {
+            if b < self.n_vars {
+                x[b] = tableau.a[i][tableau.cols];
+            }
+        }
+        Ok(SimplexSolution { objective_value: value, x })
+    }
+}
+
+impl Tableau {
+    /// Like [`run_simplex`] but columns `≥ excluded_from` may never enter
+    /// the basis (phase 2 locking out artificials).
+    fn run_simplex_excluding(
+        &mut self,
+        c: &[f64],
+        excluded_from: usize,
+    ) -> Result<f64, SimplexError> {
+        loop {
+            let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+            let mut entering = None;
+            for (j, &cj) in c.iter().enumerate().take(excluded_from) {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut d = cj;
+                for (row, &cb_i) in self.a.iter().zip(&cb) {
+                    d -= cb_i * row[j];
+                }
+                if d > TOL {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                let value: f64 =
+                    self.basis.iter().zip(&self.a).map(|(&b, row)| c[b] * row[self.cols]).sum();
+                return Ok(value);
+            };
+
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                if self.a[i][j] > TOL {
+                    let ratio = self.a[i][self.cols] / self.a[i][j];
+                    if leaving.is_none() || ratio < best_ratio - TOL {
+                        best_ratio = ratio;
+                        leaving = Some(i);
+                    } else if (ratio - best_ratio).abs() <= TOL {
+                        // Bland tie-break: smaller basis index leaves.
+                        if let Some(l) = leaving {
+                            if self.basis[i] < self.basis[l] {
+                                leaving = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(r) = leaving else {
+                return Err(SimplexError::Unbounded);
+            };
+            self.pivot(r, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dantzig_textbook_example() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![3.0, 5.0]);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective_value - 36.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9 && (sol.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x ≤ 3 → opt 5 with x ≤ 3.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 5.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective_value - 5.0).abs() < 1e-9);
+        assert!((sol.x[0] + sol.x[1] - 5.0).abs() < 1e-9);
+        assert!(sol.x[0] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn ge_constraints_and_minimization_flavor() {
+        // max −x s.t. x ≥ 2 → opt −2 at x = 2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![-1.0]);
+        lp.add_constraint(vec![1.0], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective_value + 2.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 0.0]);
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x ≥ 0, −x ≤ −2 ⇔ x ≥ 2; max −x → −2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![-1.0]);
+        lp.add_constraint(vec![-1.0], Relation::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // Duplicate constraints should not confuse the solver.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![1.0, 1.0]);
+        for _ in 0..3 {
+            lp.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0);
+        }
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![f64::NAN]);
+        assert!(matches!(lp.solve(), Err(SimplexError::Malformed(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SimplexError::Infeasible.to_string().contains("infeasible"));
+        assert!(SimplexError::Unbounded.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn scheduling_shaped_lp() {
+        // A miniature of the §IV-A LP: 2 sensors × 2 slots, x(v,t) ∈ [0,1],
+        // Σ_t x(v,t) ≤ 1, maximise total "coverage mass" with per-slot caps:
+        //   max Σ y_t, y_t ≤ x(0,t)·0.4 + x(1,t)·0.4, y_t ≤ 1.
+        // Vars: x00 x01 x10 x11 y0 y1.
+        let mut lp = LinearProgram::new(6);
+        lp.set_objective(vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![-0.4, 0.0, -0.4, 0.0, 1.0, 0.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.0, -0.4, 0.0, -0.4, 0.0, 1.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0], Relation::Le, 1.0);
+        for v in 0..4 {
+            let mut row = vec![0.0; 6];
+            row[v] = 1.0;
+            lp.add_constraint(row, Relation::Le, 1.0);
+        }
+        let sol = lp.solve().unwrap();
+        // Each sensor spends its single activation; total mass 0.8.
+        assert!((sol.objective_value - 0.8).abs() < 1e-9);
+    }
+}

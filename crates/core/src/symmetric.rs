@@ -1,0 +1,238 @@
+//! Exact optimal schedules for **symmetric** utilities in polynomial time.
+//!
+//! When every sensor is interchangeable — the per-slot utility depends only
+//! on *how many* sensors are active, `U(S) = f(|S|)` with `f` concave
+//! non-decreasing (the paper's single-target evaluation with uniform
+//! `p` is exactly this: `f(k) = 1 − (1−p)^k`) — the NP-hard assignment
+//! problem collapses to an integer partition problem:
+//!
+//! ```text
+//! maximise Σ_{t=1}^{T} f(k_t)   subject to   Σ k_t = n,  k_t ≥ 0
+//! ```
+//!
+//! solved exactly in `O(T · n²)` by dynamic programming (and, for concave
+//! `f`, by the balanced partition in `O(1)` — both are provided, each
+//! validating the other). This gives the paper's "optimal by enumeration"
+//! reference at `n = 100`, far beyond the reach of `T^n` enumeration.
+
+use crate::schedule::{PeriodSchedule, ScheduleMode};
+
+/// The optimal per-period value and per-slot counts for a symmetric
+/// utility `f` over counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymmetricOptimum {
+    /// Optimal total per-period utility `Σ_t f(k_t)`.
+    pub value: f64,
+    /// The optimal per-slot sensor counts (sorted descending).
+    pub counts: Vec<usize>,
+}
+
+impl SymmetricOptimum {
+    /// Materialises a [`PeriodSchedule`] realising these counts (sensors
+    /// assigned in index order).
+    pub fn to_schedule(&self) -> PeriodSchedule {
+        let mut assignment = Vec::new();
+        for (slot, &count) in self.counts.iter().enumerate() {
+            assignment.extend(std::iter::repeat_n(slot, count));
+        }
+        PeriodSchedule::new(ScheduleMode::ActiveSlot, self.counts.len(), assignment)
+    }
+}
+
+/// Exact DP over count partitions: `best[t][k]` = max utility of filling
+/// `t` slots with `k` sensors. Works for **any** `f` with `f(0) = 0`
+/// (concavity not required).
+///
+/// # Panics
+///
+/// Panics if `slots == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::symmetric::optimal_partition_dp;
+///
+/// // The paper's single-target instance: f(k) = 1 − 0.6^k, n = 100, T = 4.
+/// let f = |k: usize| 1.0 - 0.6f64.powi(k as i32);
+/// let opt = optimal_partition_dp(100, 4, f);
+/// assert_eq!(opt.counts, vec![25, 25, 25, 25]);
+/// assert!((opt.value - 4.0 * (1.0 - 0.6f64.powi(25))).abs() < 1e-12);
+/// ```
+pub fn optimal_partition_dp<F: Fn(usize) -> f64>(
+    n: usize,
+    slots: usize,
+    f: F,
+) -> SymmetricOptimum {
+    assert!(slots > 0, "need at least one slot");
+    let values: Vec<f64> = (0..=n).map(&f).collect();
+
+    // best[k] after processing t slots; choice[t][k] = count in slot t.
+    let mut best = vec![f64::NEG_INFINITY; n + 1];
+    best[0] = 0.0;
+    let mut choices: Vec<Vec<usize>> = Vec::with_capacity(slots);
+    for _t in 0..slots {
+        let mut next = vec![f64::NEG_INFINITY; n + 1];
+        let mut choice = vec![0usize; n + 1];
+        for used in 0..=n {
+            if best[used] == f64::NEG_INFINITY {
+                continue;
+            }
+            for take in 0..=(n - used) {
+                let candidate = best[used] + values[take];
+                if candidate > next[used + take] {
+                    next[used + take] = candidate;
+                    choice[used + take] = take;
+                }
+            }
+        }
+        best = next;
+        choices.push(choice);
+    }
+
+    // Backtrack from exactly-n (all sensors must be scheduled — adding a
+    // sensor never hurts a monotone f, and for non-monotone f the caller
+    // asked for a partition of all n anyway).
+    let mut counts = Vec::with_capacity(slots);
+    let mut remaining = n;
+    for choice in choices.iter().rev() {
+        let take = choice[remaining];
+        counts.push(take);
+        remaining -= take;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    SymmetricOptimum { value: best[n], counts }
+}
+
+/// Closed-form optimum for **concave non-decreasing** `f`: the balanced
+/// partition `k_t ∈ {⌊n/T⌋, ⌈n/T⌉}` (by the discrete Jensen inequality /
+/// exchange argument: moving a sensor from a fuller slot to an emptier one
+/// never decreases `f(a−1) + f(b+1) − f(a) − f(b) ≥ 0` when `a > b + 1`).
+///
+/// # Panics
+///
+/// Panics if `slots == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::symmetric::balanced_partition;
+///
+/// let f = |k: usize| 1.0 - 0.6f64.powi(k as i32);
+/// let opt = balanced_partition(10, 4, f);
+/// assert_eq!(opt.counts, vec![3, 3, 2, 2]);
+/// ```
+pub fn balanced_partition<F: Fn(usize) -> f64>(
+    n: usize,
+    slots: usize,
+    f: F,
+) -> SymmetricOptimum {
+    assert!(slots > 0, "need at least one slot");
+    let base = n / slots;
+    let extra = n % slots;
+    let counts: Vec<usize> =
+        (0..slots).map(|t| if t < extra { base + 1 } else { base }).collect();
+    let value = counts.iter().map(|&k| f(k)).sum();
+    SymmetricOptimum { value, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::exhaustive_optimal;
+    use cool_utility::DetectionUtility;
+    use proptest::prelude::*;
+
+    fn detection(p: f64) -> impl Fn(usize) -> f64 {
+        move |k| 1.0 - (1.0 - p).powi(k as i32)
+    }
+
+    #[test]
+    fn dp_matches_balanced_for_concave_f() {
+        for (n, t) in [(10usize, 4usize), (100, 4), (7, 3), (1, 5), (0, 2)] {
+            let dp = optimal_partition_dp(n, t, detection(0.4));
+            let bal = balanced_partition(n, t, detection(0.4));
+            assert!(
+                (dp.value - bal.value).abs() < 1e-12,
+                "n={n}, T={t}: DP {} vs balanced {}",
+                dp.value,
+                bal.value
+            );
+            assert_eq!(dp.counts, bal.counts, "n={n}, T={t}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_instances() {
+        for n in 1..=6usize {
+            let u = DetectionUtility::uniform(n, 0.4);
+            let t = 3;
+            let dp = optimal_partition_dp(n, t, detection(0.4));
+            let ex = exhaustive_optimal(&u, t, crate::schedule::ScheduleMode::ActiveSlot);
+            assert!(
+                (dp.value - ex.period_utility(&u)).abs() < 1e-12,
+                "n={n}: DP {} vs exhaustive {}",
+                dp.value,
+                ex.period_utility(&u)
+            );
+        }
+    }
+
+    #[test]
+    fn dp_handles_non_concave_f() {
+        // f with a sweet spot at exactly 2 sensors (non-concave): the DP
+        // must find the 2+2 split, the balanced heuristic would too here,
+        // but try n=5, T=2: best is 2+3 vs balanced 3+2 — equal; use a
+        // sharper f: f(2)=1, else 0.
+        let f = |k: usize| if k == 2 { 1.0 } else { 0.0 };
+        let opt = optimal_partition_dp(6, 3, f);
+        assert_eq!(opt.value, 3.0, "three slots of exactly 2");
+        assert_eq!(opt.counts, vec![2, 2, 2]);
+
+        let opt = optimal_partition_dp(5, 3, f);
+        assert_eq!(opt.value, 2.0, "two slots of 2, one slot of 1");
+    }
+
+    #[test]
+    fn schedule_realises_counts() {
+        let opt = optimal_partition_dp(10, 4, detection(0.4));
+        let schedule = opt.to_schedule();
+        let u = DetectionUtility::uniform(10, 0.4);
+        assert!((schedule.period_utility(&u) - opt.value).abs() < 1e-12);
+        let mut sizes: Vec<usize> =
+            (0..4).map(|t| schedule.active_set(t).len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sizes, opt.counts);
+    }
+
+    #[test]
+    fn paper_scale_runs_instantly() {
+        // n = 500, T = 13 — far beyond enumeration.
+        let opt = optimal_partition_dp(500, 13, detection(0.4));
+        assert_eq!(opt.counts.iter().sum::<usize>(), 500);
+        assert!(opt.value > 0.0);
+    }
+
+    proptest! {
+        /// DP ≥ balanced always (DP is exact), and equal for the concave
+        /// detection family.
+        #[test]
+        fn dp_dominates_balanced(n in 0usize..60, t in 1usize..8, p in 0.01f64..0.99) {
+            let dp = optimal_partition_dp(n, t, detection(p));
+            let bal = balanced_partition(n, t, detection(p));
+            prop_assert!(dp.value + 1e-12 >= bal.value);
+            prop_assert!((dp.value - bal.value).abs() < 1e-9, "concave ⇒ balanced optimal");
+        }
+
+        /// The greedy from §IV matches the exact symmetric optimum on
+        /// uniform single-target instances — at any scale.
+        #[test]
+        fn greedy_is_exactly_optimal_for_symmetric_instances(
+            n in 1usize..80, t in 1usize..6, p in 0.05f64..0.95,
+        ) {
+            let u = DetectionUtility::uniform(n, p);
+            let greedy = crate::greedy::greedy_active_naive(&u, t);
+            let opt = optimal_partition_dp(n, t, detection(p));
+            prop_assert!((greedy.period_utility(&u) - opt.value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! A rechargeable battery with capacity `B` (§II-B).
+//!
+//! The paper's model: energy can be depleted to zero, a node is recharged
+//! while passive, and is only activatable when **fully** charged. The
+//! battery type enforces the `0 ≤ level ≤ capacity` invariant; the policy
+//! ("only activate when full") lives in [`crate::state`].
+
+use std::fmt;
+
+/// A battery holding `level ∈ [0, capacity]` joules.
+///
+/// # Examples
+///
+/// ```
+/// use cool_energy::Battery;
+///
+/// let mut b = Battery::full(100.0);
+/// assert!(b.is_full());
+/// let drawn = b.discharge(30.0);
+/// assert_eq!(drawn, 30.0);
+/// assert_eq!(b.level(), 70.0);
+/// let stored = b.charge(1000.0); // clamps at capacity
+/// assert_eq!(stored, 30.0);
+/// assert!(b.is_full());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Battery {
+    capacity: f64,
+    level: f64,
+}
+
+impl Battery {
+    /// Creates a battery at the given initial level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive/finite or `level ∉ [0, capacity]`.
+    pub fn new(capacity: f64, level: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive, got {capacity}");
+        assert!(
+            level.is_finite() && (0.0..=capacity).contains(&level),
+            "level {level} outside [0, {capacity}]"
+        );
+        Battery { capacity, level }
+    }
+
+    /// Creates a fully-charged battery.
+    pub fn full(capacity: f64) -> Self {
+        Battery::new(capacity, capacity)
+    }
+
+    /// Creates an empty battery.
+    pub fn empty(capacity: f64) -> Self {
+        Battery::new(capacity, 0.0)
+    }
+
+    /// Capacity `B` in joules.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Current level in joules.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Level as a fraction of capacity, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.level / self.capacity
+    }
+
+    /// `true` when charged to capacity (within an epsilon of numerical
+    /// charging error).
+    pub fn is_full(&self) -> bool {
+        self.level >= self.capacity * (1.0 - 1e-12)
+    }
+
+    /// `true` when depleted.
+    pub fn is_empty(&self) -> bool {
+        self.level <= self.capacity * 1e-12
+    }
+
+    /// Draws up to `amount` joules; returns the energy actually delivered
+    /// (less than `amount` when the battery runs out mid-draw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    pub fn discharge(&mut self, amount: f64) -> f64 {
+        assert!(amount.is_finite() && amount >= 0.0, "discharge amount must be non-negative");
+        let drawn = amount.min(self.level);
+        self.level -= drawn;
+        drawn
+    }
+
+    /// Stores up to `amount` joules; returns the energy actually stored
+    /// (clamped at capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    pub fn charge(&mut self, amount: f64) -> f64 {
+        assert!(amount.is_finite() && amount >= 0.0, "charge amount must be non-negative");
+        let stored = amount.min(self.capacity - self.level);
+        self.level += stored;
+        stored
+    }
+
+    /// Forces the level to exactly zero (used when the model declares a node
+    /// depleted at a slot boundary).
+    pub fn deplete(&mut self) {
+        self.level = 0.0;
+    }
+
+    /// Forces the level to exactly capacity (slot-boundary full).
+    pub fn refill(&mut self) {
+        self.level = self.capacity;
+    }
+}
+
+impl fmt::Display for Battery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}/{:.2} J ({:.0}%)", self.level, self.capacity, self.fraction() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_variants() {
+        assert!(Battery::full(10.0).is_full());
+        assert!(Battery::empty(10.0).is_empty());
+        let b = Battery::new(10.0, 4.0);
+        assert_eq!(b.fraction(), 0.4);
+    }
+
+    #[test]
+    fn discharge_clamps_at_zero() {
+        let mut b = Battery::new(10.0, 3.0);
+        assert_eq!(b.discharge(5.0), 3.0);
+        assert!(b.is_empty());
+        assert_eq!(b.discharge(5.0), 0.0);
+    }
+
+    #[test]
+    fn charge_clamps_at_capacity() {
+        let mut b = Battery::new(10.0, 9.0);
+        assert_eq!(b.charge(5.0), 1.0);
+        assert!(b.is_full());
+        assert_eq!(b.charge(5.0), 0.0);
+    }
+
+    #[test]
+    fn deplete_and_refill() {
+        let mut b = Battery::new(10.0, 5.0);
+        b.deplete();
+        assert_eq!(b.level(), 0.0);
+        b.refill();
+        assert_eq!(b.level(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Battery::full(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn overfull_level_panics() {
+        let _ = Battery::new(10.0, 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_discharge_panics() {
+        Battery::full(1.0).discharge(-0.1);
+    }
+
+    proptest! {
+        /// The level invariant holds under any sequence of operations, and
+        /// energy is conserved: level = initial + Σ stored − Σ drawn.
+        #[test]
+        fn invariant_under_random_ops(
+            initial in 0.0f64..100.0,
+            ops in proptest::collection::vec((any::<bool>(), 0.0f64..50.0), 0..100),
+        ) {
+            let mut b = Battery::new(100.0, initial);
+            let mut ledger = initial;
+            for (is_charge, amount) in ops {
+                if is_charge {
+                    ledger += b.charge(amount);
+                } else {
+                    ledger -= b.discharge(amount);
+                }
+                prop_assert!(b.level() >= 0.0 && b.level() <= b.capacity());
+                prop_assert!((b.level() - ledger).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Energy substrate for solar-powered sensor nodes.
+//!
+//! Implements the recharging/discharging model of §II-B of the paper plus
+//! the measurement apparatus of §VI-A:
+//!
+//! * [`ChargeCycle`] — the slot algebra: discharge time `T_d`, recharge time
+//!   `T_r`, ratio `ρ = T_r/T_d`, charging period `T = T_r + T_d`, and the
+//!   normalisation of one time-slot to `T_d` (when `ρ > 1`) or `T_r`
+//!   (when `ρ ≤ 1`) ([`slots`]);
+//! * [`Battery`] and the three-state **active / passive / ready** machine
+//!   ([`battery`], [`state`]);
+//! * a solar harvesting model — diurnal irradiance, weather attenuation,
+//!   solar cell and charge controller — that generates the light-strength /
+//!   charging-voltage traces of Fig. 7 ([`harvest`], [`weather`]);
+//! * charging-pattern estimation: recovering `(T_d, T_r, ρ)` from traces per
+//!   2-hour window, as the paper does from its testbed measurements
+//!   ([`profile`]);
+//! * the random charging model of §V — Poisson event arrivals, exponential
+//!   event durations, normally-distributed recharge times
+//!   ([`random_model`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cool_energy::ChargeCycle;
+//!
+//! // Sunny-day pattern measured in §VI-A: discharge 15 min, recharge 45 min.
+//! let cycle = ChargeCycle::from_minutes(15.0, 45.0).unwrap();
+//! assert_eq!(cycle.rho(), 3.0);
+//! assert_eq!(cycle.slots_per_period(), 4);       // T = ρ + 1 slots
+//! assert_eq!(cycle.slot_minutes(), 15.0);        // one slot = T_d
+//! assert_eq!(cycle.slots_in_hours(12.0), 48);    // L = 12 h of 15-min slots
+//! ```
+
+pub mod battery;
+pub mod harvest;
+pub mod profile;
+pub mod random_model;
+pub mod slots;
+pub mod state;
+pub mod weather;
+
+pub use battery::Battery;
+pub use harvest::{HarvestConfig, HarvestSample, HarvestTrace, SolarCell, SolarDay, TraceParseError};
+pub use profile::{
+    core_window_stability, estimate_pattern, fit_pattern, ChargingPattern, WindowEstimate,
+};
+pub use random_model::RandomChargeModel;
+pub use slots::{ChargeCycle, CycleError};
+pub use state::{NodeEnergyMachine, NodeState};
+pub use weather::{Weather, WeatherGenerator};

@@ -1,0 +1,263 @@
+//! Charging-pattern estimation (§VI-A).
+//!
+//! The paper's methodology: measure light/voltage traces per node, observe
+//! that the charging rate is stable over short windows (≈ 2 hours), extract
+//! the pattern `(T_d, T_r)` for the day's weather, and feed `ρ = T_r/T_d` to
+//! the scheduler. This module reproduces that pipeline on
+//! [`HarvestTrace`]s: per-window estimates of the
+//! recharge time plus a stability check.
+
+use crate::{ChargeCycle, CycleError, HarvestTrace};
+use std::fmt;
+
+/// An estimated charging pattern `(T_d, T_r)` with the derived ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChargingPattern {
+    /// Discharge time in minutes (a property of the node's consumption, not
+    /// of the trace — supplied by the caller from hardware measurement).
+    pub discharge_minutes: f64,
+    /// Estimated recharge time in minutes.
+    pub recharge_minutes: f64,
+}
+
+impl ChargingPattern {
+    /// The ratio `ρ = T_r/T_d`.
+    pub fn rho(&self) -> f64 {
+        self.recharge_minutes / self.discharge_minutes
+    }
+
+    /// Rounds `ρ` (or `1/ρ`) to the nearest integer and builds the
+    /// scheduler-ready [`ChargeCycle`], as the paper does when it sets
+    /// `T_d = 15`, `T_r = 45` from noisy measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the rounded ratio is degenerate (zero).
+    pub fn quantize(&self) -> Result<ChargeCycle, CycleError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            ChargeCycle::from_rho(rho.round().max(1.0), self.discharge_minutes)
+        } else {
+            let inv = (1.0 / rho).round().max(1.0);
+            ChargeCycle::from_rho(1.0 / inv, self.recharge_minutes)
+        }
+    }
+}
+
+impl fmt::Display for ChargingPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T_d={:.1}min, T_r={:.1}min (rho={:.2})",
+            self.discharge_minutes,
+            self.recharge_minutes,
+            self.rho()
+        )
+    }
+}
+
+/// The estimate for one time window of a trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowEstimate {
+    /// Window start, minutes since midnight.
+    pub start_minute: f64,
+    /// Window end, minutes since midnight.
+    pub end_minute: f64,
+    /// Mean charging current in the window (mA).
+    pub mean_current_ma: f64,
+    /// Estimated recharge time in minutes (∞ when no charging occurs).
+    pub recharge_minutes: f64,
+}
+
+/// Estimates the recharge time per window of `window_minutes` across the
+/// daylight portion of a trace.
+///
+/// The recharge time follows from charge balance: a battery of
+/// `capacity_mah` refills in `capacity_mah / mean_current · 60` minutes.
+///
+/// # Panics
+///
+/// Panics if `window_minutes` or `capacity_mah` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use cool_energy::{estimate_pattern, HarvestConfig, HarvestTrace};
+/// use cool_common::SeedSequence;
+///
+/// let trace = HarvestTrace::generate(HarvestConfig::default(),
+///                                    &mut SeedSequence::new(3).nth_rng(0));
+/// let windows = estimate_pattern(&trace, 120.0, 30.0);
+/// assert!(!windows.is_empty());
+/// // Mid-day windows agree: the pattern is stable, as §VI-A observes.
+/// ```
+pub fn estimate_pattern(
+    trace: &HarvestTrace,
+    window_minutes: f64,
+    capacity_mah: f64,
+) -> Vec<WindowEstimate> {
+    assert!(window_minutes > 0.0, "window must be positive");
+    assert!(capacity_mah > 0.0, "capacity must be positive");
+    let day = trace.config().day;
+    let mut windows = Vec::new();
+    let mut start = day.sunrise_minute();
+    while start + window_minutes <= day.sunset_minute() + 1e-9 {
+        let end = start + window_minutes;
+        let in_window: Vec<f64> = trace
+            .samples()
+            .iter()
+            .filter(|s| s.minute >= start && s.minute < end)
+            .map(|s| s.charge_current_ma)
+            .collect();
+        let mean = if in_window.is_empty() {
+            0.0
+        } else {
+            in_window.iter().sum::<f64>() / in_window.len() as f64
+        };
+        let recharge = if mean <= 0.0 {
+            f64::INFINITY
+        } else {
+            capacity_mah / mean * 60.0
+        };
+        windows.push(WindowEstimate {
+            start_minute: start,
+            end_minute: end,
+            mean_current_ma: mean,
+            recharge_minutes: recharge,
+        });
+        start = end;
+    }
+    windows
+}
+
+/// Coefficient of variation of the recharge-time estimates across the
+/// *core* daylight windows (those whose mean current is at least 70% of
+/// the day's maximum — excluding dawn/dusk ramp windows) — the paper's "ρ almost remains at the same level within
+/// 2 hours" claim quantified.
+///
+/// Returns `None` when fewer than two core windows exist.
+pub fn core_window_stability(windows: &[WindowEstimate]) -> Option<f64> {
+    let max_current = windows.iter().map(|w| w.mean_current_ma).fold(0.0, f64::max);
+    let core: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.mean_current_ma >= 0.7 * max_current && w.recharge_minutes.is_finite())
+        .map(|w| w.recharge_minutes)
+        .collect();
+    if core.len() < 2 {
+        return None;
+    }
+    let mean = core.iter().sum::<f64>() / core.len() as f64;
+    let var = core.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (core.len() - 1) as f64;
+    Some(var.sqrt() / mean)
+}
+
+/// Fits a single [`ChargingPattern`] for the day from the core windows.
+///
+/// `discharge_minutes` comes from consumption measurement (15 min for the
+/// paper's nodes); the recharge time is the mean across core windows.
+///
+/// Returns `None` when the trace has no usable charging window.
+pub fn fit_pattern(
+    windows: &[WindowEstimate],
+    discharge_minutes: f64,
+) -> Option<ChargingPattern> {
+    let max_current = windows.iter().map(|w| w.mean_current_ma).fold(0.0, f64::max);
+    let core: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.mean_current_ma >= 0.7 * max_current && w.recharge_minutes.is_finite())
+        .map(|w| w.recharge_minutes)
+        .collect();
+    if core.is_empty() {
+        return None;
+    }
+    Some(ChargingPattern {
+        discharge_minutes,
+        recharge_minutes: core.iter().sum::<f64>() / core.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HarvestConfig, Weather};
+    use cool_common::SeedSequence;
+
+    fn sunny_trace() -> HarvestTrace {
+        HarvestTrace::generate(HarvestConfig::default(), &mut SeedSequence::new(9).nth_rng(0))
+    }
+
+    #[test]
+    fn two_hour_windows_cover_daylight() {
+        let windows = estimate_pattern(&sunny_trace(), 120.0, 30.0);
+        // 06:00–19:00 = 13 h → six full 2-h windows.
+        assert_eq!(windows.len(), 6);
+        assert_eq!(windows[0].start_minute, 360.0);
+        assert_eq!(windows[5].end_minute, 360.0 + 6.0 * 120.0);
+    }
+
+    #[test]
+    fn sunny_pattern_is_stable_within_windows() {
+        let windows = estimate_pattern(&sunny_trace(), 120.0, 30.0);
+        let cv = core_window_stability(&windows).expect("core windows exist");
+        assert!(cv < 0.1, "recharge-time CV on a sunny day is small, got {cv}");
+    }
+
+    #[test]
+    fn fitted_pattern_quantizes_to_paper_cycle() {
+        // Capacity chosen so T_r ≈ 45 min at the 40 mA plateau: 30 mAh.
+        let windows = estimate_pattern(&sunny_trace(), 120.0, 30.0);
+        let pattern = fit_pattern(&windows, 15.0).expect("fit succeeds");
+        assert!(
+            (pattern.recharge_minutes - 45.0).abs() < 5.0,
+            "T_r ≈ 45 min, got {}",
+            pattern.recharge_minutes
+        );
+        let cycle = pattern.quantize().expect("quantizes");
+        assert_eq!(cycle, ChargeCycle::paper_sunny());
+    }
+
+    #[test]
+    fn overcast_day_estimates_longer_recharge() {
+        let overcast = HarvestTrace::generate(
+            HarvestConfig { weather: Weather::Overcast, ..HarvestConfig::default() },
+            &mut SeedSequence::new(9).nth_rng(1),
+        );
+        let sunny_fit =
+            fit_pattern(&estimate_pattern(&sunny_trace(), 120.0, 30.0), 15.0).unwrap();
+        let overcast_fit =
+            fit_pattern(&estimate_pattern(&overcast, 120.0, 30.0), 15.0).unwrap();
+        assert!(
+            overcast_fit.recharge_minutes > 1.5 * sunny_fit.recharge_minutes,
+            "overcast {} vs sunny {}",
+            overcast_fit.recharge_minutes,
+            sunny_fit.recharge_minutes
+        );
+    }
+
+    #[test]
+    fn quantize_handles_fast_recharge() {
+        let p = ChargingPattern { discharge_minutes: 40.0, recharge_minutes: 10.3 };
+        let c = p.quantize().unwrap();
+        assert_eq!(c.rho(), 0.25);
+        assert_eq!(c.recharge_minutes(), 10.3);
+    }
+
+    #[test]
+    fn pattern_display_shows_rho() {
+        let p = ChargingPattern { discharge_minutes: 15.0, recharge_minutes: 45.0 };
+        assert!(p.to_string().contains("rho=3.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = estimate_pattern(&sunny_trace(), 0.0, 30.0);
+    }
+
+    #[test]
+    fn stability_none_for_single_window() {
+        let windows = estimate_pattern(&sunny_trace(), 700.0, 30.0);
+        assert!(windows.len() <= 1);
+        assert!(core_window_stability(&windows).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Weather conditions and day-to-day weather evolution.
+//!
+//! §II-B: "For different weather conditions, although we may have different
+//! discharging/recharging pattern, […] within a relatively small period,
+//! e.g., 2 hours in day time under sunny weather, those two parameters will
+//! not change significantly. When the weather condition changes
+//! significantly, e.g., during one week, we may choose different charging
+//! pattern accordingly."
+//!
+//! [`Weather`] carries the attenuation each condition applies to clear-sky
+//! irradiance and the charging pattern the paper would select for it;
+//! [`WeatherGenerator`] evolves weather across days with a Markov chain, so
+//! week-long experiments see realistic persistence (sunny spells, cloudy
+//! spells).
+
+use crate::{ChargeCycle, CycleError};
+use rand::Rng;
+use std::fmt;
+
+/// A day's dominant weather condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Weather {
+    /// Clear sky; the paper's measured pattern `T_d = 15`, `T_r = 45`.
+    Sunny,
+    /// Broken clouds; harvesting roughly halved.
+    PartlyCloudy,
+    /// Continuous cloud cover; harvesting cut to a quarter.
+    Overcast,
+    /// Rain; harvesting nearly negligible.
+    Rainy,
+}
+
+impl Weather {
+    /// All conditions, in order of decreasing irradiance.
+    pub const ALL: [Weather; 4] =
+        [Weather::Sunny, Weather::PartlyCloudy, Weather::Overcast, Weather::Rainy];
+
+    /// Mean attenuation this condition applies to clear-sky irradiance,
+    /// in `(0, 1]`.
+    pub fn attenuation(self) -> f64 {
+        match self {
+            Weather::Sunny => 1.0,
+            Weather::PartlyCloudy => 0.55,
+            Weather::Overcast => 0.25,
+            Weather::Rainy => 0.08,
+        }
+    }
+
+    /// Short-term flicker amplitude (cloud shadows) as a fraction of the
+    /// attenuated irradiance. Partly-cloudy skies flicker the most.
+    pub fn flicker(self) -> f64 {
+        match self {
+            Weather::Sunny => 0.05,
+            Weather::PartlyCloudy => 0.35,
+            Weather::Overcast => 0.15,
+            Weather::Rainy => 0.10,
+        }
+    }
+
+    /// The charging pattern the paper's methodology selects for this
+    /// condition ("we may choose different charging pattern accordingly").
+    ///
+    /// Recharge slows as attenuation deepens while discharge stays fixed at
+    /// 15 minutes (the node's consumption does not depend on weather).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CycleError`] — never fails for the built-in constants,
+    /// but callers composing their own ratios may rely on the same signature.
+    pub fn charge_cycle(self) -> Result<ChargeCycle, CycleError> {
+        let (t_d, t_r) = match self {
+            Weather::Sunny => (15.0, 45.0),        // ρ = 3 (measured, §VI-A)
+            Weather::PartlyCloudy => (15.0, 90.0), // ρ = 6
+            Weather::Overcast => (15.0, 180.0),    // ρ = 12
+            Weather::Rainy => (15.0, 450.0),       // ρ = 30
+        };
+        ChargeCycle::from_minutes(t_d, t_r)
+    }
+}
+
+impl fmt::Display for Weather {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weather::Sunny => "sunny",
+            Weather::PartlyCloudy => "partly-cloudy",
+            Weather::Overcast => "overcast",
+            Weather::Rainy => "rainy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Markov-chain day-to-day weather evolution.
+///
+/// Transition rows (from → to) encode persistence: tomorrow most likely
+/// repeats today.
+///
+/// # Examples
+///
+/// ```
+/// use cool_energy::{Weather, WeatherGenerator};
+/// use cool_common::SeedSequence;
+///
+/// let mut days = WeatherGenerator::new(Weather::Sunny);
+/// let mut rng = SeedSequence::new(11).nth_rng(0);
+/// let week: Vec<Weather> = (0..7).map(|_| days.next_day(&mut rng)).collect();
+/// assert_eq!(week.len(), 7);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeatherGenerator {
+    current: Weather,
+}
+
+impl WeatherGenerator {
+    /// Row-stochastic transition matrix, indexed by [`Weather::ALL`] order.
+    const TRANSITIONS: [[f64; 4]; 4] = [
+        // from Sunny
+        [0.70, 0.20, 0.07, 0.03],
+        // from PartlyCloudy
+        [0.30, 0.45, 0.18, 0.07],
+        // from Overcast
+        [0.10, 0.30, 0.40, 0.20],
+        // from Rainy
+        [0.10, 0.25, 0.35, 0.30],
+    ];
+
+    /// Creates a generator whose "yesterday" was `start`.
+    pub fn new(start: Weather) -> Self {
+        WeatherGenerator { current: start }
+    }
+
+    /// The most recent day's weather.
+    pub fn current(&self) -> Weather {
+        self.current
+    }
+
+    /// Samples the next day's weather and advances.
+    pub fn next_day<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Weather {
+        let row_idx = Weather::ALL
+            .iter()
+            .position(|&w| w == self.current)
+            .expect("current weather is a member of ALL");
+        let row = &Self::TRANSITIONS[row_idx];
+        let mut u: f64 = rng.random_range(0.0..1.0);
+        for (i, &p) in row.iter().enumerate() {
+            if u < p {
+                self.current = Weather::ALL[i];
+                return self.current;
+            }
+            u -= p;
+        }
+        self.current = Weather::Rainy;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+
+    #[test]
+    fn attenuations_are_ordered_and_positive() {
+        let atts: Vec<f64> = Weather::ALL.iter().map(|w| w.attenuation()).collect();
+        assert!(atts.windows(2).all(|w| w[0] > w[1]), "strictly decreasing");
+        assert!(atts.iter().all(|&a| a > 0.0 && a <= 1.0));
+    }
+
+    #[test]
+    fn sunny_cycle_matches_paper() {
+        let c = Weather::Sunny.charge_cycle().unwrap();
+        assert_eq!(c, ChargeCycle::paper_sunny());
+    }
+
+    #[test]
+    fn all_cycles_are_constructible_with_integral_rho() {
+        for w in Weather::ALL {
+            let c = w.charge_cycle().unwrap();
+            assert!(c.rho() >= 1.0);
+            assert_eq!(c.discharge_minutes(), 15.0);
+        }
+    }
+
+    #[test]
+    fn rainy_recharges_slowest() {
+        assert!(
+            Weather::Rainy.charge_cycle().unwrap().rho()
+                > Weather::Overcast.charge_cycle().unwrap().rho()
+        );
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        for row in WeatherGenerator::TRANSITIONS {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row sums to {sum}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn long_run_visits_every_condition() {
+        let mut generator = WeatherGenerator::new(Weather::Sunny);
+        let mut rng = SeedSequence::new(3).nth_rng(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(generator.next_day(&mut rng));
+        }
+        assert_eq!(seen.len(), 4, "chain is irreducible");
+    }
+
+    #[test]
+    fn sunny_persists_most_of_the_time() {
+        let mut rng = SeedSequence::new(4).nth_rng(0);
+        let mut stays = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut generator = WeatherGenerator::new(Weather::Sunny);
+            if generator.next_day(&mut rng) == Weather::Sunny {
+                stays += 1;
+            }
+        }
+        let rate = stays as f64 / trials as f64;
+        assert!((rate - 0.70).abs() < 0.05, "sunny persistence ≈ 0.70, got {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Weather> {
+            let mut g = WeatherGenerator::new(Weather::PartlyCloudy);
+            let mut rng = SeedSequence::new(seed).nth_rng(0);
+            (0..30).map(|_| g.next_day(&mut rng)).collect()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,385 @@
+//! Deployment generators: where sensors and targets are placed.
+//!
+//! The paper's testbed deploys 100 solar TelosB motes on a rooftop (§VI) and
+//! its larger simulation scales to 500 sensors and 50 targets (Fig. 9).
+//! These generators produce the positions for such synthetic deployments,
+//! deterministically from a caller-supplied RNG.
+
+use crate::{Disk, Point, Rect};
+use cool_common::{SensorId, SensorSet};
+use rand::Rng;
+
+/// The spatial law used to place sensors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeploymentKind {
+    /// Independent uniform positions in `Ω`.
+    UniformRandom,
+    /// A near-square grid, row-major, centred in each cell.
+    Grid,
+    /// Grid positions with independent uniform jitter of at most
+    /// `jitter` × cell-size in each coordinate — models hand-placed testbeds.
+    JitteredGrid {
+        /// Fraction of a grid cell by which each node may deviate, in `[0, 0.5]`.
+        jitter: f64,
+    },
+    /// `clusters` uniform cluster centres, nodes scattered around a random
+    /// centre with Gaussian spread `spread` — models clustered field drops.
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Standard deviation of the per-node scatter.
+        spread: f64,
+    },
+    /// Dart-throwing Poisson-disk: uniform proposals rejected when closer
+    /// than `min_distance` to an accepted node (best effort — falls back to
+    /// accepting after many failed proposals so `n` is always reached).
+    PoissonDisk {
+        /// Desired minimum pairwise distance.
+        min_distance: f64,
+    },
+}
+
+/// A deployment request: how many sensors, where, with what law.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{DeploymentKind, DeploymentSpec, Rect};
+/// use cool_common::SeedSequence;
+///
+/// let spec = DeploymentSpec::new(Rect::square(100.0), 100, DeploymentKind::UniformRandom);
+/// let mut rng = SeedSequence::new(1).nth_rng(0);
+/// let positions = spec.generate(&mut rng);
+/// assert_eq!(positions.len(), 100);
+/// assert!(positions.iter().all(|&p| spec.omega().contains(p)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeploymentSpec {
+    omega: Rect,
+    n: usize,
+    kind: DeploymentKind,
+}
+
+impl DeploymentSpec {
+    /// Creates a deployment spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range (`jitter ∉ [0, 0.5]`,
+    /// `clusters == 0`, negative `spread`/`min_distance`).
+    pub fn new(omega: Rect, n: usize, kind: DeploymentKind) -> Self {
+        match kind {
+            DeploymentKind::JitteredGrid { jitter } => {
+                assert!((0.0..=0.5).contains(&jitter), "jitter must be in [0, 0.5], got {jitter}");
+            }
+            DeploymentKind::Clustered { clusters, spread } => {
+                assert!(clusters > 0, "need at least one cluster");
+                assert!(spread.is_finite() && spread >= 0.0, "spread must be non-negative");
+            }
+            DeploymentKind::PoissonDisk { min_distance } => {
+                assert!(
+                    min_distance.is_finite() && min_distance >= 0.0,
+                    "min distance must be non-negative"
+                );
+            }
+            DeploymentKind::UniformRandom | DeploymentKind::Grid => {}
+        }
+        DeploymentSpec { omega, n, kind }
+    }
+
+    /// The area of interest.
+    pub fn omega(&self) -> Rect {
+        self.omega
+    }
+
+    /// Number of sensors to place.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The placement law.
+    pub fn kind(&self) -> DeploymentKind {
+        self.kind
+    }
+
+    /// Generates the sensor positions.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Point> {
+        match self.kind {
+            DeploymentKind::UniformRandom => {
+                (0..self.n).map(|_| uniform_point(self.omega, rng)).collect()
+            }
+            DeploymentKind::Grid => self.grid_points(0.0, rng),
+            DeploymentKind::JitteredGrid { jitter } => self.grid_points(jitter, rng),
+            DeploymentKind::Clustered { clusters, spread } => {
+                let centers: Vec<Point> =
+                    (0..clusters).map(|_| uniform_point(self.omega, rng)).collect();
+                (0..self.n)
+                    .map(|_| {
+                        let c = centers[rng.random_range(0..centers.len())];
+                        let p = Point::new(
+                            c.x + gaussian(rng) * spread,
+                            c.y + gaussian(rng) * spread,
+                        );
+                        clamp_to(self.omega, p)
+                    })
+                    .collect()
+            }
+            DeploymentKind::PoissonDisk { min_distance } => {
+                let mut accepted: Vec<Point> = Vec::with_capacity(self.n);
+                let d2 = min_distance * min_distance;
+                while accepted.len() < self.n {
+                    let mut placed = false;
+                    for _ in 0..64 {
+                        let p = uniform_point(self.omega, rng);
+                        if accepted.iter().all(|q| q.distance_squared(p) >= d2) {
+                            accepted.push(p);
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        // Saturated: accept an unconstrained point so the
+                        // requested count is always met.
+                        accepted.push(uniform_point(self.omega, rng));
+                    }
+                }
+                accepted
+            }
+        }
+    }
+
+    fn grid_points<R: Rng + ?Sized>(&self, jitter: f64, rng: &mut R) -> Vec<Point> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let cols = (self.n as f64).sqrt().ceil() as usize;
+        let rows = self.n.div_ceil(cols);
+        let cw = self.omega.width() / cols as f64;
+        let ch = self.omega.height() / rows as f64;
+        (0..self.n)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                let base = Point::new(
+                    self.omega.min().x + (c as f64 + 0.5) * cw,
+                    self.omega.min().y + (r as f64 + 0.5) * ch,
+                );
+                let p = if jitter > 0.0 {
+                    Point::new(
+                        base.x + rng.random_range(-jitter..jitter) * cw,
+                        base.y + rng.random_range(-jitter..jitter) * ch,
+                    )
+                } else {
+                    base
+                };
+                clamp_to(self.omega, p)
+            })
+            .collect()
+    }
+}
+
+/// Places `m` targets uniformly at random in `omega`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{deployment::uniform_targets, Rect};
+/// use cool_common::SeedSequence;
+///
+/// let mut rng = SeedSequence::new(2).nth_rng(0);
+/// let targets = uniform_targets(Rect::square(50.0), 10, &mut rng);
+/// assert_eq!(targets.len(), 10);
+/// ```
+pub fn uniform_targets<R: Rng + ?Sized>(omega: Rect, m: usize, rng: &mut R) -> Vec<Point> {
+    (0..m).map(|_| uniform_point(omega, rng)).collect()
+}
+
+/// Builds identical-radius disk sensing regions at the given positions.
+pub fn disks_at(positions: &[Point], radius: f64) -> Vec<Disk> {
+    positions.iter().map(|&p| Disk::new(p, radius)).collect()
+}
+
+/// The set of sensors (by index into `disks`) covering `target` —
+/// the paper's `V(O_i)`.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{deployment::{disks_at, sensors_covering}, Point};
+///
+/// let disks = disks_at(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], 2.0);
+/// let cover = sensors_covering(Point::new(1.0, 0.0), &disks);
+/// assert_eq!(cover.len(), 1);
+/// assert!(cover.contains(cool_common::SensorId(0)));
+/// ```
+pub fn sensors_covering(target: Point, disks: &[Disk]) -> SensorSet {
+    use crate::Region;
+    let mut set = SensorSet::new(disks.len());
+    for (i, d) in disks.iter().enumerate() {
+        if d.contains(target) {
+            set.insert(SensorId(i));
+        }
+    }
+    set
+}
+
+fn uniform_point<R: Rng + ?Sized>(omega: Rect, rng: &mut R) -> Point {
+    Point::new(
+        rng.random_range(omega.min().x..=omega.max().x),
+        rng.random_range(omega.min().y..=omega.max().y),
+    )
+}
+
+fn clamp_to(omega: Rect, p: Point) -> Point {
+    Point::new(
+        p.x.clamp(omega.min().x, omega.max().x),
+        p.y.clamp(omega.min().y, omega.max().y),
+    )
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+
+    fn rng() -> rand::rngs::StdRng {
+        SeedSequence::new(42).nth_rng(0)
+    }
+
+    #[test]
+    fn uniform_stays_in_omega() {
+        let spec = DeploymentSpec::new(Rect::square(100.0), 500, DeploymentKind::UniformRandom);
+        let pts = spec.generate(&mut rng());
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|&p| spec.omega().contains(p)));
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_even() {
+        let spec = DeploymentSpec::new(Rect::square(100.0), 100, DeploymentKind::Grid);
+        let a = spec.generate(&mut rng());
+        let b = spec.generate(&mut rng());
+        assert_eq!(a, b, "grid ignores the RNG");
+        // 10×10 grid: first point at (5, 5).
+        assert_eq!(a[0], Point::new(5.0, 5.0));
+        assert_eq!(a[99], Point::new(95.0, 95.0));
+    }
+
+    #[test]
+    fn non_square_grid_count_is_respected() {
+        let spec = DeploymentSpec::new(Rect::square(100.0), 7, DeploymentKind::Grid);
+        assert_eq!(spec.generate(&mut rng()).len(), 7);
+    }
+
+    #[test]
+    fn jittered_grid_stays_in_omega() {
+        let spec = DeploymentSpec::new(
+            Rect::square(10.0),
+            50,
+            DeploymentKind::JitteredGrid { jitter: 0.5 },
+        );
+        let pts = spec.generate(&mut rng());
+        assert!(pts.iter().all(|&p| spec.omega().contains(p)));
+        let grid = DeploymentSpec::new(Rect::square(10.0), 50, DeploymentKind::Grid)
+            .generate(&mut rng());
+        assert_ne!(pts, grid, "jitter moves points");
+    }
+
+    #[test]
+    fn clustered_points_cluster() {
+        let spec = DeploymentSpec::new(
+            Rect::square(1000.0),
+            200,
+            DeploymentKind::Clustered { clusters: 2, spread: 5.0 },
+        );
+        let pts = spec.generate(&mut rng());
+        assert_eq!(pts.len(), 200);
+        // Mean nearest-neighbour distance must be far below the uniform
+        // expectation (~0.5·√(A/n) ≈ 35) because points concentrate.
+        let mean_nn: f64 = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                pts.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &q)| p.distance(q))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(mean_nn < 10.0, "clustered mean-NN {mean_nn} should be small");
+    }
+
+    #[test]
+    fn poisson_disk_respects_min_distance_when_feasible() {
+        let spec = DeploymentSpec::new(
+            Rect::square(100.0),
+            20,
+            DeploymentKind::PoissonDisk { min_distance: 10.0 },
+        );
+        let pts = spec.generate(&mut rng());
+        assert_eq!(pts.len(), 20);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(
+                    pts[i].distance(pts[j]) >= 10.0 - 1e-9,
+                    "pair ({i},{j}) too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_disk_saturated_still_returns_n() {
+        // 100 nodes at min distance 50 in a 10×10 box is impossible; the
+        // generator must fall back rather than loop forever.
+        let spec = DeploymentSpec::new(
+            Rect::square(10.0),
+            100,
+            DeploymentKind::PoissonDisk { min_distance: 50.0 },
+        );
+        assert_eq!(spec.generate(&mut rng()).len(), 100);
+    }
+
+    #[test]
+    fn sensors_covering_respects_radius() {
+        let disks = disks_at(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)], 2.5);
+        let cover = sensors_covering(Point::new(2.0, 0.0), &disks);
+        assert_eq!(cover.len(), 2);
+        let cover = sensors_covering(Point::new(-2.0, 0.0), &disks);
+        assert_eq!(cover.len(), 1);
+        let cover = sensors_covering(Point::new(100.0, 0.0), &disks);
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn generation_is_reproducible_from_seed() {
+        let spec = DeploymentSpec::new(Rect::square(10.0), 30, DeploymentKind::UniformRandom);
+        let a = spec.generate(&mut SeedSequence::new(5).nth_rng(1));
+        let b = spec.generate(&mut SeedSequence::new(5).nth_rng(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn excessive_jitter_panics() {
+        let _ = DeploymentSpec::new(
+            Rect::square(1.0),
+            1,
+            DeploymentKind::JitteredGrid { jitter: 0.9 },
+        );
+    }
+
+    #[test]
+    fn zero_sensors_is_fine() {
+        let spec = DeploymentSpec::new(Rect::square(1.0), 0, DeploymentKind::Grid);
+        assert!(spec.generate(&mut rng()).is_empty());
+    }
+}

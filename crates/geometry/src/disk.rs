@@ -1,0 +1,190 @@
+//! Exact disk–disk intersection area.
+//!
+//! Used to cross-check the numerical arrangement areas and to compute
+//! pairwise coverage overlap statistics for deployments.
+
+use crate::region::Disk;
+
+/// Exact area of the intersection of two disks (the "lens" area).
+///
+/// Handles all configurations: disjoint (`0`), one containing the other
+/// (area of the smaller), and partial overlap (circular-segment formula).
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{disk_intersection_area, Disk, Point};
+/// use std::f64::consts::PI;
+///
+/// let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+/// let b = Disk::new(Point::new(3.0, 0.0), 1.0);
+/// assert_eq!(disk_intersection_area(&a, &b), 0.0);
+///
+/// let c = Disk::new(Point::new(0.0, 0.0), 2.0);
+/// assert!((disk_intersection_area(&a, &c) - PI).abs() < 1e-12); // a ⊂ c
+/// ```
+pub fn disk_intersection_area(a: &Disk, b: &Disk) -> f64 {
+    let d = a.center().distance(b.center());
+    let (r, s) = (a.radius(), b.radius());
+
+    if d >= r + s {
+        return 0.0; // disjoint (or tangent)
+    }
+    if d + r.min(s) <= r.max(s) {
+        // Smaller disk entirely inside the larger.
+        let rm = r.min(s);
+        return std::f64::consts::PI * rm * rm;
+    }
+
+    // Partial overlap: sum of two circular segments.
+    // Half-angle at each centre subtended by the chord through the two
+    // circle-circle intersection points.
+    let alpha = ((d * d + r * r - s * s) / (2.0 * d * r)).clamp(-1.0, 1.0).acos();
+    let beta = ((d * d + s * s - r * r) / (2.0 * d * s)).clamp(-1.0, 1.0).acos();
+    r * r * (alpha - alpha.sin() * alpha.cos()) + s * s * (beta - beta.sin() * beta.cos())
+}
+
+/// The points where two circles intersect, if they cross transversally.
+///
+/// Returns `None` when the circles are disjoint, nested, or identical.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{disk::circle_intersection_points, Disk, Point};
+///
+/// let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+/// let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+/// let (p, q) = circle_intersection_points(&a, &b).unwrap();
+/// assert!((p.x - 0.5).abs() < 1e-12 && (q.x - 0.5).abs() < 1e-12);
+/// ```
+pub fn circle_intersection_points(a: &Disk, b: &Disk) -> Option<(crate::Point, crate::Point)> {
+    let d = a.center().distance(b.center());
+    let (r, s) = (a.radius(), b.radius());
+    if d == 0.0 || d > r + s || d < (r - s).abs() {
+        return None;
+    }
+    // Distance from a's centre to the chord, along the centre line.
+    let x = (d * d + r * r - s * s) / (2.0 * d);
+    let h_sq = r * r - x * x;
+    if h_sq < 0.0 {
+        return None;
+    }
+    let h = h_sq.sqrt();
+    let dir = (b.center() - a.center()) * (1.0 / d);
+    let mid = a.center() + dir * x;
+    let perp = crate::Point::new(-dir.y, dir.x);
+    Some((mid + perp * h, mid + perp * (-h)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point, Region};
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identical_disks_intersect_fully() {
+        let d = Disk::new(Point::new(1.0, 1.0), 2.0);
+        assert!((disk_intersection_area(&d, &d) - PI * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tangent_disks_have_zero_intersection() {
+        let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+        let b = Disk::new(Point::new(2.0, 0.0), 1.0);
+        assert_eq!(disk_intersection_area(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_known_value() {
+        // Two unit circles at distance 1: lens area = 2π/3 − √3/2.
+        let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+        let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+        let expected = 2.0 * PI / 3.0 - 3f64.sqrt() / 2.0;
+        assert!((disk_intersection_area(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_disks_return_smaller_area() {
+        let big = Disk::new(Point::new(0.0, 0.0), 5.0);
+        let small = Disk::new(Point::new(1.0, 0.0), 1.0);
+        assert!((disk_intersection_area(&big, &small) - PI).abs() < 1e-12);
+        assert!((disk_intersection_area(&small, &big) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_disk_has_zero_intersection() {
+        let a = Disk::new(Point::new(0.0, 0.0), 0.0);
+        let b = Disk::new(Point::new(0.0, 0.0), 1.0);
+        assert_eq!(disk_intersection_area(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn intersection_points_lie_on_both_circles() {
+        let a = Disk::new(Point::new(0.0, 0.0), 2.0);
+        let b = Disk::new(Point::new(3.0, 1.0), 1.5);
+        let (p, q) = circle_intersection_points(&a, &b).expect("circles cross");
+        for pt in [p, q] {
+            assert!((a.center().distance(pt) - a.radius()).abs() < 1e-9);
+            assert!((b.center().distance(pt) - b.radius()).abs() < 1e-9);
+        }
+        assert!(p.distance(q) > 1e-9, "two distinct points");
+    }
+
+    #[test]
+    fn no_intersection_points_when_nested_or_disjoint() {
+        let a = Disk::new(Point::new(0.0, 0.0), 5.0);
+        let inner = Disk::new(Point::new(0.5, 0.0), 1.0);
+        let far = Disk::new(Point::new(100.0, 0.0), 1.0);
+        assert!(circle_intersection_points(&a, &inner).is_none());
+        assert!(circle_intersection_points(&a, &far).is_none());
+        assert!(circle_intersection_points(&a, &a).is_none(), "identical circles");
+    }
+
+    /// Monte-Carlo cross-check of the closed form.
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        use rand::Rng;
+        let a = Disk::new(Point::new(0.0, 0.0), 2.0);
+        let b = Disk::new(Point::new(1.5, 0.7), 1.3);
+        let exact = disk_intersection_area(&a, &b);
+
+        let bbox = a.bounding_box();
+        let mut rng = cool_common::SeedSequence::new(7).nth_rng(0);
+        let samples = 400_000;
+        let mut hits = 0u32;
+        for _ in 0..samples {
+            let p = Point::new(
+                rng.random_range(bbox.min().x..bbox.max().x),
+                rng.random_range(bbox.min().y..bbox.max().y),
+            );
+            if a.contains(p) && b.contains(p) {
+                hits += 1;
+            }
+        }
+        let estimate = hits as f64 / samples as f64 * bbox.area();
+        assert!(
+            (estimate - exact).abs() < 0.05,
+            "MC {estimate} vs exact {exact}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn area_is_symmetric_and_bounded(
+            ax in -10f64..10.0, ay in -10f64..10.0, ar in 0.0f64..5.0,
+            bx in -10f64..10.0, by in -10f64..10.0, br in 0.0f64..5.0,
+        ) {
+            let a = Disk::new(Point::new(ax, ay), ar);
+            let b = Disk::new(Point::new(bx, by), br);
+            let ab = disk_intersection_area(&a, &b);
+            let ba = disk_intersection_area(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!(ab >= 0.0);
+            prop_assert!(ab <= PI * ar * ar + 1e-9);
+            prop_assert!(ab <= PI * br * br + 1e-9);
+        }
+    }
+}

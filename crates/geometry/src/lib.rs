@@ -1,0 +1,40 @@
+//! Planar geometry substrate for the `cool` workspace.
+//!
+//! The paper deploys sensors in a two-dimensional region: each sensor `v_i`
+//! monitors a fixed region `R(v_i)` (typically a disk), targets are points,
+//! and for region monitoring the area of interest `Ω` is subdivided by the
+//! sensing regions into at most polynomially-many subregions `A_1..A_b`
+//! (Fig. 3(b)), each with an area `|A_i|` and a preference weight `w_i`
+//! feeding the utility of Eq. (2).
+//!
+//! This crate provides:
+//!
+//! * [`Point`] and [`Rect`] primitives ([`point`]);
+//! * the [`Region`] trait with [`Disk`], [`Rect`], [`ConvexPolygon`] and
+//!   [`Sector`] implementations ([`region`]);
+//! * exact two-disk intersection area ([`disk`]);
+//! * [`Arrangement`]: the signature-based subdivision of `Ω`
+//!   ([`arrangement`]);
+//! * deployment and target-placement generators ([`deployment`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cool_geometry::{Disk, Point, Region};
+//!
+//! let sensor = Disk::new(Point::new(0.0, 0.0), 10.0);
+//! assert!(sensor.contains(Point::new(3.0, 4.0)));
+//! assert!(!sensor.contains(Point::new(8.0, 8.0)));
+//! ```
+
+pub mod arrangement;
+pub mod deployment;
+pub mod disk;
+pub mod point;
+pub mod region;
+
+pub use arrangement::{Arrangement, Subregion};
+pub use deployment::{DeploymentKind, DeploymentSpec};
+pub use disk::disk_intersection_area;
+pub use point::{Point, Rect};
+pub use region::{AnyRegion, CellRelation, ConvexPolygon, Disk, Region, Sector};

@@ -1,0 +1,329 @@
+//! Points and axis-aligned rectangles.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the plane.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert!((a.distance(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` on hot
+    /// paths such as coverage tests).
+    #[inline]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product `self × other`, treating both points
+    /// as vectors. Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm, treating the point as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned rectangle, used for the area of interest `Ω` and for
+/// bounding boxes.
+///
+/// Invariant: `min.x <= max.x` and `min.y <= max.y` (enforced by
+/// [`Rect::new`]).
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{Point, Rect};
+///
+/// let omega = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0));
+/// assert_eq!(omega.area(), 5000.0);
+/// assert!(omega.contains(Point::new(10.0, 10.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` coordinate exceeds the corresponding `max`
+    /// coordinate, or if any coordinate is not finite.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x.is_finite() && min.y.is_finite() && max.x.is_finite() && max.y.is_finite(),
+            "rectangle corners must be finite"
+        );
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "invalid rectangle: min {min} exceeds max {max}"
+        );
+        Rect { min, max }
+    }
+
+    /// Creates the square `[0, side] × [0, side]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is negative or not finite.
+    pub fn square(side: f64) -> Self {
+        assert!(side.is_finite() && side >= 0.0, "side must be non-negative, got {side}");
+        Rect::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (extent along x).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (extent along y).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` if the rectangles overlap (sharing a boundary counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        ))
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+        assert!((Point::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(2.0, 5.0);
+        let b = Point::new(-1.0, 9.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+    }
+
+    #[test]
+    fn rect_basic_queries() {
+        let r = Rect::new(Point::new(1.0, 2.0), Point::new(4.0, 6.0));
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert!(r.contains(Point::new(1.0, 2.0)), "boundary is inside");
+        assert!(!r.contains(Point::new(0.999, 3.0)));
+    }
+
+    #[test]
+    fn rect_intersection_and_union() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let i = a.intersection(&b).expect("overlapping rects intersect");
+        assert_eq!(i, Rect::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        assert_eq!(a.union(&b), Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0)));
+
+        let far = Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(a.intersection(&far).is_none());
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn touching_rects_intersect_with_zero_area() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Rect::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).expect("edges touch").area(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rect_panics() {
+        let _ = Rect::new(Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn square_constructor() {
+        let s = Rect::square(10.0);
+        assert_eq!(s.area(), 100.0);
+        assert_eq!(s.min(), Point::ORIGIN);
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                               bx in -1e3f64..1e3, by in -1e3f64..1e3,
+                               cx in -1e3f64..1e3, cy in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn intersection_is_contained_in_both(
+            x1 in -100f64..100.0, y1 in -100f64..100.0, w1 in 0f64..50.0, h1 in 0f64..50.0,
+            x2 in -100f64..100.0, y2 in -100f64..100.0, w2 in 0f64..50.0, h2 in 0f64..50.0,
+        ) {
+            let a = Rect::new(Point::new(x1, y1), Point::new(x1 + w1, y1 + h1));
+            let b = Rect::new(Point::new(x2, y2), Point::new(x2 + w2, y2 + h2));
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(i.area() <= a.area() + 1e-9);
+                prop_assert!(i.area() <= b.area() + 1e-9);
+                prop_assert!(a.contains(i.center()) && b.contains(i.center()));
+            }
+            let u = a.union(&b);
+            prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Sensing regions `R(v_i)`.
+//!
+//! The paper fixes each sensor's operating power, hence its monitored region
+//! `R(v_i)` is fixed and known; regions of different sensors may differ
+//! ("the coverage patterns of different nodes can be different", §II-A).
+//! [`Region`] abstracts over the shapes; [`AnyRegion`] stores heterogeneous
+//! regions in one deployment.
+
+use crate::{Point, Rect};
+use std::f64::consts::PI;
+use std::fmt;
+
+/// How a region relates to an axis-aligned cell — used by the adaptive
+/// arrangement to stop refining cells whose signature is already uniform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellRelation {
+    /// The region covers no point of the cell.
+    Outside,
+    /// The region covers every point of the cell.
+    Covers,
+    /// The region's boundary may pass through the cell (or the
+    /// implementation cannot tell) — refine further.
+    Partial,
+}
+
+/// A fixed monitored region in the plane.
+///
+/// Implementors must be consistent: `contains(p)` implies
+/// `bounding_box().contains(p)`.
+pub trait Region: fmt::Debug {
+    /// Returns `true` if point `p` is monitored.
+    fn contains(&self, p: Point) -> bool;
+
+    /// A rectangle enclosing the region (used to prune arrangement cells).
+    fn bounding_box(&self) -> Rect;
+
+    /// Exact area when known in closed form; `None` otherwise.
+    ///
+    /// The arrangement computes areas numerically regardless; this is used
+    /// for cross-checks and fast paths.
+    fn area_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Conservatively classifies the region against a cell. Implementations
+    /// may always answer [`CellRelation::Partial`] (the default answers
+    /// [`CellRelation::Outside`] only on a bounding-box miss); answering
+    /// `Covers`/`Outside` must be exact, as the adaptive arrangement stops
+    /// refining such cells.
+    fn classify_cell(&self, cell: Rect) -> CellRelation {
+        if !self.bounding_box().intersects(&cell) {
+            CellRelation::Outside
+        } else {
+            CellRelation::Partial
+        }
+    }
+}
+
+/// A disk sensing region: everything within `radius` of `center`.
+///
+/// This is the canonical omni-directional sensing model used for the paper's
+/// testbed experiments.
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{Disk, Point, Region};
+///
+/// let d = Disk::new(Point::new(1.0, 1.0), 2.0);
+/// assert!(d.contains(Point::new(2.0, 2.0)));
+/// assert_eq!(d.area_hint(), Some(std::f64::consts::PI * 4.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Disk {
+    center: Point,
+    radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be non-negative, got {radius}");
+        Disk { center, radius }
+    }
+
+    /// Disk centre.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Disk radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl Region for Disk {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    fn bounding_box(&self) -> Rect {
+        Rect::new(
+            Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+
+    fn area_hint(&self) -> Option<f64> {
+        Some(PI * self.radius * self.radius)
+    }
+
+    fn classify_cell(&self, cell: Rect) -> CellRelation {
+        let r_sq = self.radius * self.radius;
+        // Farthest cell corner inside the disk ⇒ the disk covers the cell.
+        let fx = (self.center.x - cell.min().x).abs().max((self.center.x - cell.max().x).abs());
+        let fy = (self.center.y - cell.min().y).abs().max((self.center.y - cell.max().y).abs());
+        if fx * fx + fy * fy <= r_sq {
+            return CellRelation::Covers;
+        }
+        // Distance from centre to the cell (clamped point) beyond the
+        // radius ⇒ disjoint.
+        let cx = self.center.x.clamp(cell.min().x, cell.max().x);
+        let cy = self.center.y.clamp(cell.min().y, cell.max().y);
+        if self.center.distance_squared(Point::new(cx, cy)) > r_sq {
+            return CellRelation::Outside;
+        }
+        CellRelation::Partial
+    }
+}
+
+impl Region for Rect {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Rect::contains(self, p)
+    }
+
+    fn bounding_box(&self) -> Rect {
+        *self
+    }
+
+    fn area_hint(&self) -> Option<f64> {
+        Some(self.area())
+    }
+
+    fn classify_cell(&self, cell: Rect) -> CellRelation {
+        if Rect::contains(self, cell.min()) && Rect::contains(self, cell.max()) {
+            CellRelation::Covers
+        } else if !self.intersects(&cell) {
+            CellRelation::Outside
+        } else {
+            CellRelation::Partial
+        }
+    }
+}
+
+/// A convex polygon sensing region (counter-clockwise vertices).
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{ConvexPolygon, Point, Region};
+///
+/// let tri = ConvexPolygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 4.0),
+/// ]);
+/// assert!(tri.contains(Point::new(1.0, 1.0)));
+/// assert!(!tri.contains(Point::new(3.0, 3.0)));
+/// assert_eq!(tri.area_hint(), Some(8.0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a convex polygon from vertices in counter-clockwise order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 vertices are given, or if the vertex sequence
+    /// is not convex counter-clockwise (within a small tolerance).
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            let c = vertices[(i + 2) % n];
+            let turn = (b - a).cross(c - b);
+            assert!(
+                turn >= -1e-9,
+                "vertices must be convex counter-clockwise (turn {turn} at vertex {i})"
+            );
+        }
+        ConvexPolygon { vertices }
+    }
+
+    /// The vertices, counter-clockwise.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Area by the shoelace formula.
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut twice_area = 0.0;
+        for i in 0..n {
+            twice_area += self.vertices[i].cross(self.vertices[(i + 1) % n]);
+        }
+        twice_area.abs() / 2.0
+    }
+}
+
+impl Region for ConvexPolygon {
+    fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        (0..n).all(|i| {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            (b - a).cross(p - a) >= -1e-9
+        })
+    }
+
+    fn bounding_box(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices[1..] {
+            min = Point::new(min.x.min(v.x), min.y.min(v.y));
+            max = Point::new(max.x.max(v.x), max.y.max(v.y));
+        }
+        Rect::new(min, max)
+    }
+
+    fn area_hint(&self) -> Option<f64> {
+        Some(self.area())
+    }
+}
+
+/// A directional (angular sector) sensing region — models sensors such as
+/// cameras whose field of view is limited to an angular range.
+///
+/// Covers points within `radius` of `center` whose bearing from `center`
+/// lies within `half_angle` of `heading` (angles in radians).
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{Point, Region, Sector};
+///
+/// // Faces east with a 90° field of view.
+/// let cam = Sector::new(Point::ORIGIN, 10.0, 0.0, std::f64::consts::FRAC_PI_4);
+/// assert!(cam.contains(Point::new(5.0, 1.0)));
+/// assert!(!cam.contains(Point::new(-5.0, 0.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sector {
+    center: Point,
+    radius: f64,
+    heading: f64,
+    half_angle: f64,
+}
+
+impl Sector {
+    /// Creates a sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative, or `half_angle` is outside `(0, π]`.
+    pub fn new(center: Point, radius: f64, heading: f64, half_angle: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be non-negative, got {radius}");
+        assert!(
+            half_angle > 0.0 && half_angle <= PI,
+            "half-angle must be in (0, π], got {half_angle}"
+        );
+        Sector { center, radius, heading, half_angle }
+    }
+
+    /// Apex of the sector.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Sensing range.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Facing direction in radians.
+    pub fn heading(&self) -> f64 {
+        self.heading
+    }
+
+    /// Half of the angular field of view in radians.
+    pub fn half_angle(&self) -> f64 {
+        self.half_angle
+    }
+}
+
+impl Region for Sector {
+    fn contains(&self, p: Point) -> bool {
+        if self.center.distance_squared(p) > self.radius * self.radius {
+            return false;
+        }
+        if p == self.center {
+            return true;
+        }
+        let bearing = (p.y - self.center.y).atan2(p.x - self.center.x);
+        let mut delta = (bearing - self.heading) % (2.0 * PI);
+        if delta > PI {
+            delta -= 2.0 * PI;
+        }
+        if delta < -PI {
+            delta += 2.0 * PI;
+        }
+        delta.abs() <= self.half_angle + 1e-12
+    }
+
+    fn bounding_box(&self) -> Rect {
+        // Conservative: the full disk's box.
+        Disk::new(self.center, self.radius).bounding_box()
+    }
+
+    fn area_hint(&self) -> Option<f64> {
+        Some(self.half_angle * self.radius * self.radius)
+    }
+}
+
+/// A heterogeneous sensing region, for deployments mixing shapes
+/// ("coverage patterns of different nodes can be different", §II-A).
+///
+/// # Examples
+///
+/// ```
+/// use cool_geometry::{AnyRegion, Disk, Point, Rect, Region};
+///
+/// let regions: Vec<AnyRegion> = vec![
+///     Disk::new(Point::ORIGIN, 1.0).into(),
+///     Rect::square(2.0).into(),
+/// ];
+/// assert!(regions[0].contains(Point::new(0.5, 0.0)));
+/// assert!(regions[1].contains(Point::new(1.5, 1.5)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnyRegion {
+    /// Disk region.
+    Disk(Disk),
+    /// Rectangle region.
+    Rect(Rect),
+    /// Convex polygon region.
+    Polygon(ConvexPolygon),
+    /// Directional sector region.
+    Sector(Sector),
+}
+
+impl Region for AnyRegion {
+    fn contains(&self, p: Point) -> bool {
+        match self {
+            AnyRegion::Disk(r) => r.contains(p),
+            AnyRegion::Rect(r) => Region::contains(r, p),
+            AnyRegion::Polygon(r) => r.contains(p),
+            AnyRegion::Sector(r) => r.contains(p),
+        }
+    }
+
+    fn bounding_box(&self) -> Rect {
+        match self {
+            AnyRegion::Disk(r) => r.bounding_box(),
+            AnyRegion::Rect(r) => *r,
+            AnyRegion::Polygon(r) => r.bounding_box(),
+            AnyRegion::Sector(r) => r.bounding_box(),
+        }
+    }
+
+    fn area_hint(&self) -> Option<f64> {
+        match self {
+            AnyRegion::Disk(r) => r.area_hint(),
+            AnyRegion::Rect(r) => Region::area_hint(r),
+            AnyRegion::Polygon(r) => r.area_hint(),
+            AnyRegion::Sector(r) => r.area_hint(),
+        }
+    }
+
+    fn classify_cell(&self, cell: Rect) -> CellRelation {
+        match self {
+            AnyRegion::Disk(r) => r.classify_cell(cell),
+            AnyRegion::Rect(r) => Region::classify_cell(r, cell),
+            AnyRegion::Polygon(r) => r.classify_cell(cell),
+            AnyRegion::Sector(r) => r.classify_cell(cell),
+        }
+    }
+}
+
+impl From<Disk> for AnyRegion {
+    fn from(value: Disk) -> Self {
+        AnyRegion::Disk(value)
+    }
+}
+
+impl From<Rect> for AnyRegion {
+    fn from(value: Rect) -> Self {
+        AnyRegion::Rect(value)
+    }
+}
+
+impl From<ConvexPolygon> for AnyRegion {
+    fn from(value: ConvexPolygon) -> Self {
+        AnyRegion::Polygon(value)
+    }
+}
+
+impl From<Sector> for AnyRegion {
+    fn from(value: Sector) -> Self {
+        AnyRegion::Sector(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disk_contains_boundary() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!(d.contains(Point::new(1.0, 0.0)));
+        assert!(!d.contains(Point::new(1.0 + 1e-9, 0.0)));
+        assert!(d.contains(Point::ORIGIN));
+    }
+
+    #[test]
+    fn zero_radius_disk_contains_only_center() {
+        let d = Disk::new(Point::new(2.0, 2.0), 0.0);
+        assert!(d.contains(Point::new(2.0, 2.0)));
+        assert!(!d.contains(Point::new(2.0, 2.0 + 1e-12)));
+        assert_eq!(d.area_hint(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = Disk::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn polygon_square_contains() {
+        let sq = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert_eq!(sq.area(), 4.0);
+        assert!(sq.contains(Point::new(1.0, 1.0)));
+        assert!(sq.contains(Point::new(0.0, 0.0)), "vertices are inside");
+        assert!(!sq.contains(Point::new(2.1, 1.0)));
+        assert_eq!(sq.bounding_box(), Rect::square(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "convex counter-clockwise")]
+    fn clockwise_polygon_panics() {
+        let _ = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 0.0),
+        ]);
+    }
+
+    #[test]
+    fn sector_wraps_around_pi() {
+        // Faces west (heading π); field of view ±45°. A point just below the
+        // negative x-axis has bearing ≈ -π + ε, testing angle wrap-around.
+        let s = Sector::new(Point::ORIGIN, 10.0, PI, PI / 4.0);
+        assert!(s.contains(Point::new(-5.0, -0.1)));
+        assert!(s.contains(Point::new(-5.0, 0.1)));
+        assert!(!s.contains(Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn sector_apex_is_covered() {
+        let s = Sector::new(Point::new(1.0, 1.0), 5.0, 0.0, 0.1);
+        assert!(s.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn full_angle_sector_behaves_like_disk() {
+        let s = Sector::new(Point::ORIGIN, 3.0, 1.234, PI);
+        let d = Disk::new(Point::ORIGIN, 3.0);
+        for p in [
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 0.5),
+            Point::new(0.0, -2.9),
+            Point::new(3.5, 0.0),
+        ] {
+            assert_eq!(s.contains(p), d.contains(p), "disagree at {p}");
+        }
+    }
+
+    #[test]
+    fn any_region_dispatches() {
+        let any: AnyRegion = Disk::new(Point::ORIGIN, 2.0).into();
+        assert!(any.contains(Point::new(1.0, 1.0)));
+        assert_eq!(any.area_hint(), Some(PI * 4.0));
+        let any: AnyRegion = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ])
+        .into();
+        assert_eq!(any.area_hint(), Some(0.5));
+    }
+
+    proptest! {
+        /// Cell classification is consistent with membership: `Covers` ⇒
+        /// every sampled cell point is inside; `Outside` ⇒ none is.
+        #[test]
+        fn classify_cell_is_sound(
+            cx in -20f64..20.0, cy in -20f64..20.0, r in 0.1f64..10.0,
+            x0 in -20f64..20.0, y0 in -20f64..20.0, w in 0.1f64..10.0, h in 0.1f64..10.0,
+        ) {
+            let disk = Disk::new(Point::new(cx, cy), r);
+            let cell = Rect::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+            let relation = disk.classify_cell(cell);
+            for i in 0..5 {
+                for j in 0..5 {
+                    let p = Point::new(
+                        cell.min().x + w * i as f64 / 4.0,
+                        cell.min().y + h * j as f64 / 4.0,
+                    );
+                    match relation {
+                        CellRelation::Covers => prop_assert!(disk.contains(p)),
+                        CellRelation::Outside => prop_assert!(!disk.contains(p)),
+                        CellRelation::Partial => {}
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn contains_implies_in_bounding_box(
+            cx in -50f64..50.0, cy in -50f64..50.0, r in 0f64..20.0,
+            px in -100f64..100.0, py in -100f64..100.0,
+        ) {
+            let d = Disk::new(Point::new(cx, cy), r);
+            let p = Point::new(px, py);
+            if d.contains(p) {
+                prop_assert!(d.bounding_box().contains(p));
+            }
+        }
+
+        #[test]
+        fn sector_subset_of_disk(
+            heading in -7f64..7.0, half in 0.01f64..PI,
+            px in -10f64..10.0, py in -10f64..10.0,
+        ) {
+            let s = Sector::new(Point::ORIGIN, 5.0, heading, half);
+            let d = Disk::new(Point::ORIGIN, 5.0);
+            let p = Point::new(px, py);
+            if s.contains(p) {
+                prop_assert!(d.contains(p));
+            }
+        }
+    }
+}

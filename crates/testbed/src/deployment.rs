@@ -1,0 +1,120 @@
+//! The rooftop testbed layout.
+
+use cool_geometry::{DeploymentKind, DeploymentSpec, Point, Rect};
+use rand::Rng;
+
+/// Positions of the simulated rooftop testbed: sensor nodes on the roof, a
+/// sink "in the lab" at the edge, and a few always-powered relay nodes
+/// bridging the two (as in Fig. 6(d) of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RooftopDeployment {
+    roof: Rect,
+    nodes: Vec<Point>,
+    relays: Vec<Point>,
+    sink: Point,
+    comm_range: f64,
+}
+
+impl RooftopDeployment {
+    /// The paper's testbed: 100 nodes on a jittered 10×10 grid over a
+    /// 45×45 m roof, three relays marching toward the sink 15 m off-roof,
+    /// 12 m radio range.
+    pub fn paper_layout<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        RooftopDeployment::new(Rect::square(45.0), 100, 12.0, rng)
+    }
+
+    /// A custom layout: `n` nodes on a jittered grid over `roof`, relays
+    /// placed automatically between the roof edge and the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `comm_range <= 0`.
+    pub fn new<R: Rng + ?Sized>(roof: Rect, n: usize, comm_range: f64, rng: &mut R) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(comm_range > 0.0, "communication range must be positive");
+        let spec = DeploymentSpec::new(roof, n, DeploymentKind::JitteredGrid { jitter: 0.25 });
+        let nodes = spec.generate(rng);
+        // Sink sits beyond the roof's right edge; relays every ~0.8·range.
+        let sink = Point::new(roof.max().x + comm_range * 1.25, roof.center().y);
+        let relay_step = comm_range * 0.8;
+        let mut relays = Vec::new();
+        let mut x = roof.max().x + relay_step * 0.5;
+        while x < sink.x {
+            relays.push(Point::new(x, roof.center().y));
+            x += relay_step;
+        }
+        RooftopDeployment { roof, nodes, relays, sink, comm_range }
+    }
+
+    /// The roof rectangle.
+    pub fn roof(&self) -> Rect {
+        self.roof
+    }
+
+    /// Sensor node positions.
+    pub fn nodes(&self) -> &[Point] {
+        &self.nodes
+    }
+
+    /// Number of sensor nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Relay positions (always powered, not scheduled).
+    pub fn relays(&self) -> &[Point] {
+        &self.relays
+    }
+
+    /// The sink position.
+    pub fn sink(&self) -> Point {
+        self.sink
+    }
+
+    /// Radio communication range.
+    pub fn comm_range(&self) -> f64 {
+        self.comm_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+
+    fn rng() -> rand::rngs::StdRng {
+        SeedSequence::new(12).nth_rng(0)
+    }
+
+    #[test]
+    fn paper_layout_shape() {
+        let d = RooftopDeployment::paper_layout(&mut rng());
+        assert_eq!(d.n_nodes(), 100);
+        assert!(d.nodes().iter().all(|&p| d.roof().contains(p)));
+        assert!(!d.relays().is_empty(), "relays bridge roof to sink");
+        assert!(d.sink().x > d.roof().max().x);
+    }
+
+    #[test]
+    fn relays_chain_within_comm_range() {
+        let d = RooftopDeployment::paper_layout(&mut rng());
+        // Consecutive relays (and the last relay to the sink) within range.
+        let chain: Vec<Point> = d.relays().iter().copied().chain([d.sink()]).collect();
+        for pair in chain.windows(2) {
+            assert!(pair[0].distance(pair[1]) <= d.comm_range() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_layout_is_deterministic() {
+        let a = RooftopDeployment::new(Rect::square(30.0), 25, 10.0, &mut rng());
+        let b = RooftopDeployment::new(Rect::square(30.0), 25, 10.0, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_layout_panics() {
+        let _ = RooftopDeployment::new(Rect::square(10.0), 0, 5.0, &mut rng());
+    }
+}

@@ -1,0 +1,161 @@
+//! Event-level validation of the detection utility's semantics.
+//!
+//! §II-C defines `U_i(S) = 1 − Π_{v∈S}(1 − p_v)` as "the probability that
+//! the event happened at the target O_i will be detected by these S
+//! sensors". This module closes the loop: it simulates actual events at
+//! targets and per-sensor Bernoulli detections, counts what fraction of
+//! events the active sets of a schedule catch, and compares that frequency
+//! with the analytic schedule utility. Agreement here means the scheduler
+//! is optimising the quantity the application actually cares about.
+
+use cool_common::{SensorId, SensorSet};
+use cool_core::schedule::PeriodSchedule;
+use rand::Rng;
+
+/// Result of an event-level detection simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionOutcome {
+    /// Events generated.
+    pub events: u64,
+    /// Events detected by at least one active covering sensor.
+    pub detected: u64,
+}
+
+impl DetectionOutcome {
+    /// Empirical detection rate (`1.0` when no events occurred).
+    pub fn rate(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.events as f64
+        }
+    }
+}
+
+/// Simulates `events_per_slot` events per target per slot over `periods`
+/// repetitions of `schedule`; each event at target `i` is independently
+/// detected by every **active** sensor of `coverages[i]` with probability
+/// `p`. Returns per-target outcomes.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`, `periods == 0`, or a coverage universe
+/// mismatches the schedule.
+pub fn simulate_detection<R: Rng + ?Sized>(
+    schedule: &PeriodSchedule,
+    coverages: &[SensorSet],
+    p: f64,
+    events_per_slot: usize,
+    periods: usize,
+    rng: &mut R,
+) -> Vec<DetectionOutcome> {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(periods > 0, "need at least one period");
+    assert!(
+        coverages.iter().all(|c| c.universe() == schedule.n_sensors()),
+        "coverage universe mismatch"
+    );
+
+    let t_slots = schedule.slots_per_period();
+    let active_sets: Vec<SensorSet> = (0..t_slots).map(|t| schedule.active_set(t)).collect();
+    let mut outcomes = vec![DetectionOutcome { events: 0, detected: 0 }; coverages.len()];
+
+    for _period in 0..periods {
+        for active in &active_sets {
+            for (target, coverage) in coverages.iter().enumerate() {
+                // Sensors that are both active and able to see the target.
+                let watchers: Vec<SensorId> =
+                    coverage.intersection(active).iter().collect();
+                for _ in 0..events_per_slot {
+                    outcomes[target].events += 1;
+                    let caught = watchers
+                        .iter()
+                        .any(|_| rng.random_range(0.0..1.0) < p);
+                    if caught {
+                        outcomes[target].detected += 1;
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+/// The analytic per-target average detection probability of a schedule:
+/// `mean_t [1 − (1−p)^{|S(t) ∩ V(O_i)|}]`.
+pub fn analytic_detection(
+    schedule: &PeriodSchedule,
+    coverages: &[SensorSet],
+    p: f64,
+) -> Vec<f64> {
+    let t_slots = schedule.slots_per_period();
+    coverages
+        .iter()
+        .map(|coverage| {
+            (0..t_slots)
+                .map(|t| {
+                    let watchers = coverage.intersection_len(&schedule.active_set(t));
+                    1.0 - (1.0 - p).powi(watchers as i32)
+                })
+                .sum::<f64>()
+                / t_slots as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+    use cool_core::greedy::greedy_active_naive;
+    use cool_core::schedule::ScheduleMode;
+    use cool_utility::SumUtility;
+
+    #[test]
+    fn empirical_rate_matches_analytic_utility() {
+        let coverages = vec![
+            SensorSet::from_indices(8, [0, 1, 2, 3]),
+            SensorSet::from_indices(8, [4, 5, 6, 7]),
+        ];
+        let p = 0.4;
+        let u = SumUtility::multi_target_detection(&coverages, p);
+        let schedule = greedy_active_naive(&u, 4);
+
+        let mut rng = SeedSequence::new(88).nth_rng(0);
+        let outcomes = simulate_detection(&schedule, &coverages, p, 5, 2_000, &mut rng);
+        let analytic = analytic_detection(&schedule, &coverages, p);
+        for (target, (outcome, expected)) in outcomes.iter().zip(&analytic).enumerate() {
+            assert!(
+                (outcome.rate() - expected).abs() < 0.01,
+                "target {target}: empirical {} vs analytic {expected}",
+                outcome.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn uncovered_target_detects_nothing() {
+        let coverages = vec![SensorSet::new(2)];
+        let schedule = PeriodSchedule::new(ScheduleMode::ActiveSlot, 2, vec![0, 1]);
+        let mut rng = SeedSequence::new(89).nth_rng(0);
+        let outcomes = simulate_detection(&schedule, &coverages, 0.9, 3, 50, &mut rng);
+        assert_eq!(outcomes[0].detected, 0);
+        assert_eq!(outcomes[0].events, 2 * 3 * 50);
+        assert_eq!(outcomes[0].rate(), 0.0);
+    }
+
+    #[test]
+    fn certain_detection_with_p_one() {
+        let coverages = vec![SensorSet::from_indices(2, [0, 1])];
+        let schedule = PeriodSchedule::new(ScheduleMode::ActiveSlot, 2, vec![0, 1]);
+        let mut rng = SeedSequence::new(90).nth_rng(0);
+        let outcomes = simulate_detection(&schedule, &coverages, 1.0, 2, 10, &mut rng);
+        assert_eq!(outcomes[0].rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_events_rate_is_one() {
+        let outcome = DetectionOutcome { events: 0, detected: 0 };
+        assert_eq!(outcome.rate(), 1.0);
+    }
+}

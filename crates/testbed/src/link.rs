@@ -1,0 +1,126 @@
+//! Link quality: distance-dependent packet reception.
+//!
+//! The base simulator treats links inside the communication range as
+//! perfect. Real 802.15.4 links degrade smoothly with distance (the
+//! "transitional region"); [`LinkQuality`] models the packet reception
+//! ratio (PRR) as a logistic curve and lets the simulator sample per-hop
+//! delivery, so collection success becomes probabilistic the way testbed
+//! measurements are.
+
+use cool_geometry::Point;
+use rand::Rng;
+
+/// Logistic PRR-vs-distance model:
+/// `PRR(d) = 1 / (1 + exp((d − d50) / steepness))`.
+///
+/// `d50` is the distance at which half the packets get through;
+/// `steepness` controls the width of the transitional region.
+///
+/// # Examples
+///
+/// ```
+/// use cool_testbed::LinkQuality;
+///
+/// let link = LinkQuality::new(10.0, 1.5);
+/// assert!((link.prr(10.0) - 0.5).abs() < 1e-12);
+/// assert!(link.prr(2.0) > 0.99);
+/// assert!(link.prr(18.0) < 0.01);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkQuality {
+    d50: f64,
+    steepness: f64,
+}
+
+impl LinkQuality {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d50 > 0` and `steepness > 0`.
+    pub fn new(d50: f64, steepness: f64) -> Self {
+        assert!(d50.is_finite() && d50 > 0.0, "d50 must be positive");
+        assert!(steepness.is_finite() && steepness > 0.0, "steepness must be positive");
+        LinkQuality { d50, steepness }
+    }
+
+    /// TelosB-class defaults relative to a nominal `comm_range`: solid
+    /// links up to ≈70% of the range, a transitional region around it.
+    pub fn for_comm_range(comm_range: f64) -> Self {
+        LinkQuality::new(comm_range * 0.85, comm_range * 0.08)
+    }
+
+    /// Packet reception ratio at distance `d`.
+    pub fn prr(&self, d: f64) -> f64 {
+        1.0 / (1.0 + ((d - self.d50) / self.steepness).exp())
+    }
+
+    /// Samples one packet transmission across a link of length `d`.
+    pub fn sample<R: Rng + ?Sized>(&self, d: f64, rng: &mut R) -> bool {
+        rng.random_range(0.0..1.0) < self.prr(d)
+    }
+
+    /// End-to-end delivery probability along a multi-hop path (independent
+    /// per-hop losses, no retransmissions).
+    pub fn path_delivery_probability(&self, path: &[Point]) -> f64 {
+        path.windows(2).map(|pair| self.prr(pair[0].distance(pair[1]))).product()
+    }
+
+    /// Samples end-to-end delivery along a path.
+    pub fn sample_path<R: Rng + ?Sized>(&self, path: &[Point], rng: &mut R) -> bool {
+        path.windows(2).all(|pair| self.sample(pair[0].distance(pair[1]), rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+
+    #[test]
+    fn prr_is_monotone_decreasing() {
+        let link = LinkQuality::new(10.0, 2.0);
+        let mut prev = 1.0;
+        for d in 0..30 {
+            let p = link.prr(d as f64);
+            assert!(p <= prev + 1e-12, "PRR rose at d={d}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn comm_range_defaults_are_sane() {
+        let link = LinkQuality::for_comm_range(12.0);
+        assert!(link.prr(6.0) > 0.98, "short links are solid");
+        assert!(link.prr(12.0) < 0.25, "range-edge links are lossy");
+    }
+
+    #[test]
+    fn path_probability_multiplies_hops() {
+        let link = LinkQuality::new(10.0, 2.0);
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(8.0, 0.0);
+        let c = Point::new(16.0, 0.0);
+        let two_hop = link.path_delivery_probability(&[a, b, c]);
+        let per_hop = link.prr(8.0);
+        assert!((two_hop - per_hop * per_hop).abs() < 1e-12);
+        assert_eq!(link.path_delivery_probability(&[a]), 1.0, "empty path is certain");
+    }
+
+    #[test]
+    fn sampling_matches_probability() {
+        let link = LinkQuality::new(10.0, 2.0);
+        let mut rng = SeedSequence::new(31).nth_rng(0);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| link.sample(9.0, &mut rng)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - link.prr(9.0)).abs() < 0.02, "{rate} vs {}", link.prr(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "d50 must be positive")]
+    fn zero_d50_panics() {
+        let _ = LinkQuality::new(0.0, 1.0);
+    }
+}

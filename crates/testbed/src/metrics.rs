@@ -1,0 +1,116 @@
+//! Metrics collected by a simulation run.
+
+use cool_common::OnlineStats;
+
+/// Aggregated observations from one [`TestbedSim`](crate::TestbedSim) run.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    per_slot_utility: Vec<f64>,
+    utility_stats: OnlineStats,
+    requested_activations: u64,
+    honoured_activations: u64,
+    delivered_reports: u64,
+    energy_spent_mj: f64,
+}
+
+impl SimMetrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SimMetrics::default()
+    }
+
+    /// Records one slot.
+    pub fn record_slot(
+        &mut self,
+        utility: f64,
+        requested: usize,
+        honoured: usize,
+        delivered: usize,
+        energy_mj: f64,
+    ) {
+        self.per_slot_utility.push(utility);
+        self.utility_stats.push(utility);
+        self.requested_activations += requested as u64;
+        self.honoured_activations += honoured as u64;
+        self.delivered_reports += delivered as u64;
+        self.energy_spent_mj += energy_mj;
+    }
+
+    /// Number of recorded slots.
+    pub fn slots(&self) -> usize {
+        self.per_slot_utility.len()
+    }
+
+    /// The per-slot utility series.
+    pub fn per_slot_utility(&self) -> &[f64] {
+        &self.per_slot_utility
+    }
+
+    /// Mean utility per slot.
+    pub fn average_utility(&self) -> f64 {
+        self.utility_stats.mean()
+    }
+
+    /// Utility statistics (mean/std/min/max).
+    pub fn utility_stats(&self) -> OnlineStats {
+        self.utility_stats
+    }
+
+    /// Activations requested by the policy across the run.
+    pub fn requested_activations(&self) -> u64 {
+        self.requested_activations
+    }
+
+    /// Activations actually honoured by node energy state.
+    pub fn honoured_activations(&self) -> u64 {
+        self.honoured_activations
+    }
+
+    /// Fraction of requested activations honoured (1.0 when none were
+    /// requested).
+    pub fn activation_success_rate(&self) -> f64 {
+        if self.requested_activations == 0 {
+            1.0
+        } else {
+            self.honoured_activations as f64 / self.requested_activations as f64
+        }
+    }
+
+    /// Reports delivered to the sink.
+    pub fn delivered_reports(&self) -> u64 {
+        self.delivered_reports
+    }
+
+    /// Total energy expended by active slots (mJ).
+    pub fn energy_spent_mj(&self) -> f64 {
+        self.energy_spent_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_slots() {
+        let mut m = SimMetrics::new();
+        m.record_slot(0.5, 10, 9, 9, 100.0);
+        m.record_slot(0.7, 10, 10, 10, 110.0);
+        assert_eq!(m.slots(), 2);
+        assert!((m.average_utility() - 0.6).abs() < 1e-12);
+        assert_eq!(m.requested_activations(), 20);
+        assert_eq!(m.honoured_activations(), 19);
+        assert!((m.activation_success_rate() - 0.95).abs() < 1e-12);
+        assert_eq!(m.delivered_reports(), 19);
+        assert!((m.energy_spent_mj() - 210.0).abs() < 1e-12);
+        assert_eq!(m.per_slot_utility(), &[0.5, 0.7]);
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = SimMetrics::new();
+        assert_eq!(m.slots(), 0);
+        assert_eq!(m.average_utility(), 0.0);
+        assert_eq!(m.activation_success_rate(), 1.0);
+    }
+}

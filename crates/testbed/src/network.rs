@@ -1,0 +1,194 @@
+//! Min-hop collection tree to the sink.
+//!
+//! The testbed "locates a sink in a lab in the building and deploys several
+//! relay nodes" (§VI-A); sensed data is "systematically gathered […] and
+//! eventually transmitted to a base station" (§I). The collection tree
+//! fixes each node's parent toward the sink over the radio graph (nodes +
+//! relays + sink, edges within communication range) by BFS from the sink;
+//! per-slot forwarding load follows by walking each report up the tree.
+
+use cool_geometry::Point;
+use std::collections::VecDeque;
+
+/// Vertex index space: `0..n` are sensor nodes, `n..n+r` relays, `n+r` the
+/// sink.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionTree {
+    n_nodes: usize,
+    n_relays: usize,
+    /// Parent vertex of each vertex (sink's parent is itself).
+    parent: Vec<usize>,
+    /// Hop count to the sink (usize::MAX when disconnected).
+    hops: Vec<usize>,
+}
+
+impl CollectionTree {
+    /// Builds the tree from positions and a communication range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm_range <= 0`.
+    pub fn build(nodes: &[Point], relays: &[Point], sink: Point, comm_range: f64) -> Self {
+        assert!(comm_range > 0.0, "communication range must be positive");
+        let n = nodes.len();
+        let r = relays.len();
+        let total = n + r + 1;
+        let position = |v: usize| -> Point {
+            if v < n {
+                nodes[v]
+            } else if v < n + r {
+                relays[v - n]
+            } else {
+                sink
+            }
+        };
+        let range_sq = comm_range * comm_range;
+        let sink_idx = n + r;
+
+        let mut parent = vec![usize::MAX; total];
+        let mut hops = vec![usize::MAX; total];
+        parent[sink_idx] = sink_idx;
+        hops[sink_idx] = 0;
+        let mut queue = VecDeque::from([sink_idx]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..total {
+                if hops[v] == usize::MAX
+                    && position(u).distance_squared(position(v)) <= range_sq
+                {
+                    hops[v] = hops[u] + 1;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        CollectionTree { n_nodes: n, n_relays: r, parent, hops }
+    }
+
+    /// Number of sensor nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The sink's vertex index.
+    pub fn sink_index(&self) -> usize {
+        self.n_nodes + self.n_relays
+    }
+
+    /// Hop count from sensor `node` to the sink; `None` if disconnected.
+    pub fn hops_to_sink(&self, node: usize) -> Option<usize> {
+        match self.hops.get(node) {
+            Some(&h) if h != usize::MAX => Some(h),
+            _ => None,
+        }
+    }
+
+    /// `true` when every sensor node can reach the sink.
+    pub fn fully_connected(&self) -> bool {
+        (0..self.n_nodes).all(|v| self.hops[v] != usize::MAX)
+    }
+
+    /// The path from `node` to the sink (inclusive), or `None` if
+    /// disconnected.
+    pub fn path_to_sink(&self, node: usize) -> Option<Vec<usize>> {
+        if self.hops.get(node).copied().unwrap_or(usize::MAX) == usize::MAX {
+            return None;
+        }
+        let mut path = vec![node];
+        let mut v = node;
+        while v != self.sink_index() {
+            v = self.parent[v];
+            path.push(v);
+        }
+        Some(path)
+    }
+
+    /// Per-vertex `(rx, tx)` packet counts when each sensor in `reporters`
+    /// originates one report that is forwarded hop-by-hop to the sink.
+    /// Disconnected reporters transmit once into the void.
+    pub fn forwarding_load(&self, reporters: &[usize]) -> Vec<(usize, usize)> {
+        let mut load = vec![(0usize, 0usize); self.parent.len()];
+        for &origin in reporters {
+            match self.path_to_sink(origin) {
+                Some(path) => {
+                    // Each vertex on the path except the sink transmits; each
+                    // vertex except the origin receives.
+                    for pair in path.windows(2) {
+                        load[pair[0]].1 += 1;
+                        load[pair[1]].0 += 1;
+                    }
+                }
+                None => {
+                    load[origin].1 += 1;
+                }
+            }
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RooftopDeployment;
+    use cool_common::SeedSequence;
+
+    fn line_tree() -> CollectionTree {
+        // nodes at x = 0, 1; relay at 2; sink at 3; range 1.1.
+        CollectionTree::build(
+            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            &[Point::new(2.0, 0.0)],
+            Point::new(3.0, 0.0),
+            1.1,
+        )
+    }
+
+    #[test]
+    fn hop_counts_on_a_line() {
+        let t = line_tree();
+        assert_eq!(t.hops_to_sink(0), Some(3));
+        assert_eq!(t.hops_to_sink(1), Some(2));
+        assert!(t.fully_connected());
+        assert_eq!(t.sink_index(), 3);
+    }
+
+    #[test]
+    fn paths_walk_to_sink() {
+        let t = line_tree();
+        assert_eq!(t.path_to_sink(0), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.path_to_sink(1), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn forwarding_load_accumulates() {
+        let t = line_tree();
+        let load = t.forwarding_load(&[0, 1]);
+        // Node 0 transmits its own report; node 1 receives it and transmits
+        // it plus its own; relay receives 2 and transmits 2; sink receives 2.
+        assert_eq!(load[0], (0, 1));
+        assert_eq!(load[1], (1, 2));
+        assert_eq!(load[2], (2, 2));
+        assert_eq!(load[3], (2, 0));
+    }
+
+    #[test]
+    fn disconnected_node_reported() {
+        let t = CollectionTree::build(
+            &[Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            &[],
+            Point::new(101.0, 0.0),
+            2.0,
+        );
+        assert_eq!(t.hops_to_sink(0), None);
+        assert!(!t.fully_connected());
+        assert_eq!(t.path_to_sink(0), None);
+        let load = t.forwarding_load(&[0]);
+        assert_eq!(load[0], (0, 1), "lost transmission still costs energy");
+    }
+
+    #[test]
+    fn paper_layout_is_fully_connected() {
+        let d = RooftopDeployment::paper_layout(&mut SeedSequence::new(4).nth_rng(0));
+        let t = CollectionTree::build(d.nodes(), d.relays(), d.sink(), d.comm_range());
+        assert!(t.fully_connected(), "the rooftop testbed must reach its sink");
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-slot radio/CPU energy expenditure.
+//!
+//! §I of the paper: "Our extensive testbed measurements show that the
+//! energy expenditure of a node only has a small fluctuation when a node is
+//! active (for either idle listening, packets receiving, and/or packets
+//! transmitting)." This is the empirical fact that justifies modelling the
+//! discharge time `T_d` as fixed. The radio model reproduces it: TelosB/
+//! CC2420-class current draws where idle listening dominates (the radio
+//! listens all slot; packet handling adds little on top).
+
+use rand::Rng;
+
+/// Energy cost coefficients for one active slot, in millijoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioModel {
+    /// Cost of a slot of idle listening (radio on, no traffic).
+    pub idle_listen_mj: f64,
+    /// Marginal cost of receiving one packet.
+    pub rx_packet_mj: f64,
+    /// Marginal cost of transmitting one packet.
+    pub tx_packet_mj: f64,
+    /// Relative σ of the multiplicative measurement noise.
+    pub noise_sigma: f64,
+}
+
+impl RadioModel {
+    /// TelosB-class defaults: a 15-minute active slot of idle listening at
+    /// ≈ 20 mA / 3 V ≈ 54 J dominates; packets cost fractions of a joule.
+    pub fn telosb() -> Self {
+        RadioModel {
+            idle_listen_mj: 54_000.0,
+            rx_packet_mj: 25.0,
+            tx_packet_mj: 30.0,
+            noise_sigma: 0.01,
+        }
+    }
+
+    /// Energy spent in one active slot handling the given traffic, with
+    /// multiplicative Gaussian measurement noise.
+    pub fn slot_energy_mj<R: Rng + ?Sized>(
+        &self,
+        rx_packets: usize,
+        tx_packets: usize,
+        rng: &mut R,
+    ) -> SlotEnergyBreakdown {
+        let noise = 1.0 + self.noise_sigma * standard_normal(rng);
+        let idle = self.idle_listen_mj * noise.max(0.0);
+        let rx = self.rx_packet_mj * rx_packets as f64;
+        let tx = self.tx_packet_mj * tx_packets as f64;
+        SlotEnergyBreakdown { idle_mj: idle, rx_mj: rx, tx_mj: tx }
+    }
+
+    /// The relative spread of total slot energy across traffic loads from
+    /// zero to `max_packets` each way — the "small fluctuation" the paper
+    /// measures. Deterministic (noise-free) part only.
+    pub fn relative_fluctuation(&self, max_packets: usize) -> f64 {
+        let base = self.idle_listen_mj;
+        let peak = self.idle_listen_mj
+            + (self.rx_packet_mj + self.tx_packet_mj) * max_packets as f64;
+        (peak - base) / peak
+    }
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel::telosb()
+    }
+}
+
+/// Energy breakdown of one active slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlotEnergyBreakdown {
+    /// Idle-listening component (mJ).
+    pub idle_mj: f64,
+    /// Receive component (mJ).
+    pub rx_mj: f64,
+    /// Transmit component (mJ).
+    pub tx_mj: f64,
+}
+
+impl SlotEnergyBreakdown {
+    /// Total energy (mJ).
+    pub fn total_mj(&self) -> f64 {
+        self.idle_mj + self.rx_mj + self.tx_mj
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+
+    #[test]
+    fn idle_listening_dominates() {
+        let model = RadioModel::telosb();
+        // Even a busy slot (50 packets each way) fluctuates little.
+        assert!(
+            model.relative_fluctuation(50) < 0.06,
+            "fluctuation {} should be small",
+            model.relative_fluctuation(50)
+        );
+    }
+
+    #[test]
+    fn slot_energy_accumulates_traffic() {
+        let model = RadioModel { noise_sigma: 0.0, ..RadioModel::telosb() };
+        let mut rng = SeedSequence::new(1).nth_rng(0);
+        let quiet = model.slot_energy_mj(0, 0, &mut rng);
+        let busy = model.slot_energy_mj(10, 5, &mut rng);
+        assert_eq!(quiet.total_mj(), model.idle_listen_mj);
+        assert!((busy.rx_mj - 250.0).abs() < 1e-9);
+        assert!((busy.tx_mj - 150.0).abs() < 1e-9);
+        assert!(busy.total_mj() > quiet.total_mj());
+    }
+
+    #[test]
+    fn measurement_noise_is_small_and_centred() {
+        let model = RadioModel::telosb();
+        let mut rng = SeedSequence::new(2).nth_rng(0);
+        let samples: Vec<f64> =
+            (0..2000).map(|_| model.slot_energy_mj(0, 0, &mut rng).total_mj()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - model.idle_listen_mj).abs() / model.idle_listen_mj < 0.005);
+        let spread = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread / mean < 0.12, "fluctuation is a few percent, got {}", spread / mean);
+    }
+}

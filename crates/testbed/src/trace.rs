@@ -1,0 +1,164 @@
+//! Multi-day, multi-node harvest traces — the Fig. 7 data.
+//!
+//! The paper's charging-pattern experiment logs light strength and charging
+//! voltage for individual nodes (nodes 5 and 6 are shown) across July
+//! 15–17. [`NodeTraceSet`] generates the same structure: per node, per day,
+//! a full [`HarvestTrace`], with weather evolving by the Markov model and
+//! per-node panel variation (hand-mounted cells differ slightly).
+
+use cool_common::SeedSequence;
+use cool_energy::{
+    estimate_pattern, fit_pattern, ChargingPattern, HarvestConfig, HarvestTrace, SolarCell,
+    Weather, WeatherGenerator,
+};
+
+/// All days of one node's trace.
+#[derive(Clone, Debug)]
+pub struct NodeTrace {
+    /// Node index in the deployment.
+    pub node: usize,
+    /// One trace per day, in day order.
+    pub days: Vec<HarvestTrace>,
+}
+
+/// Traces for a set of nodes over consecutive days.
+#[derive(Clone, Debug)]
+pub struct NodeTraceSet {
+    traces: Vec<NodeTrace>,
+    weather: Vec<Weather>,
+}
+
+impl NodeTraceSet {
+    /// Generates `days` days of traces for `nodes` node indices, starting
+    /// sunny, with per-node panel efficiency jitter of ±5%.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0` or `nodes` is empty.
+    pub fn generate(nodes: &[usize], days: usize, seeds: SeedSequence) -> Self {
+        assert!(days > 0, "need at least one day");
+        assert!(!nodes.is_empty(), "need at least one node");
+
+        // One weather sequence shared by all nodes (they share a roof).
+        let mut weather_gen = WeatherGenerator::new(Weather::Sunny);
+        let mut weather_rng = seeds.nth_rng(0);
+        let weather: Vec<Weather> = std::iter::once(Weather::Sunny)
+            .chain((1..days).map(|_| weather_gen.next_day(&mut weather_rng)))
+            .collect();
+
+        let traces = nodes
+            .iter()
+            .enumerate()
+            .map(|(k, &node)| {
+                let node_seeds = seeds.child(1 + k as u64);
+                // Per-node cell: ±5% max-current spread.
+                let jitter = 1.0 + 0.1 * ((node % 7) as f64 / 6.0 - 0.5);
+                let cell = SolarCell::new(25.0, 0.10, 40.0 * jitter, 2.5);
+                let days = weather
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &w)| {
+                        let config = HarvestConfig {
+                            cell,
+                            weather: w,
+                            ..HarvestConfig::default()
+                        };
+                        HarvestTrace::generate(config, &mut node_seeds.nth_rng(d as u64))
+                    })
+                    .collect();
+                NodeTrace { node, days }
+            })
+            .collect();
+        NodeTraceSet { traces, weather }
+    }
+
+    /// The traces, in the order of the requested nodes.
+    pub fn traces(&self) -> &[NodeTrace] {
+        &self.traces
+    }
+
+    /// The shared daily weather sequence.
+    pub fn weather(&self) -> &[Weather] {
+        &self.weather
+    }
+
+    /// Fits a charging pattern per node per day (2-hour windows, 30 mAh
+    /// battery, 15-minute measured discharge), as §VI-A does to pick the
+    /// day's `(T_d, T_r)`.
+    pub fn fitted_patterns(&self) -> Vec<Vec<Option<ChargingPattern>>> {
+        self.traces
+            .iter()
+            .map(|t| {
+                t.days
+                    .iter()
+                    .map(|day| fit_pattern(&estimate_pattern(day, 120.0, 30.0), 15.0))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> NodeTraceSet {
+        NodeTraceSet::generate(&[5, 6], 3, SeedSequence::new(2009))
+    }
+
+    #[test]
+    fn shape_matches_request() {
+        let s = set();
+        assert_eq!(s.traces().len(), 2);
+        assert_eq!(s.traces()[0].node, 5);
+        assert_eq!(s.traces()[0].days.len(), 3);
+        assert_eq!(s.weather().len(), 3);
+        assert_eq!(s.weather()[0], Weather::Sunny);
+    }
+
+    #[test]
+    fn nodes_share_weather_but_differ_in_noise() {
+        let s = set();
+        let a = &s.traces()[0].days[0];
+        let b = &s.traces()[1].days[0];
+        assert_eq!(a.config().weather, b.config().weather);
+        assert_ne!(
+            a.samples()[700].light_wm2,
+            b.samples()[700].light_wm2,
+            "independent flicker per node"
+        );
+    }
+
+    #[test]
+    fn sunny_day_fits_paper_pattern() {
+        let s = set();
+        let patterns = s.fitted_patterns();
+        // Day 0 is sunny by construction; both nodes should fit T_r ≈ 45
+        // within the per-node panel spread.
+        for node_patterns in &patterns {
+            let p = node_patterns[0].expect("sunny day fits");
+            assert!(
+                (p.recharge_minutes - 45.0).abs() < 10.0,
+                "T_r ≈ 45, got {}",
+                p.recharge_minutes
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = set();
+        let b = set();
+        assert_eq!(a.weather(), b.weather());
+        assert_eq!(
+            a.traces()[1].days[2].samples()[100],
+            b.traces()[1].days[2].samples()[100]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn zero_days_panics() {
+        let _ = NodeTraceSet::generate(&[1], 0, SeedSequence::new(1));
+    }
+}

@@ -1,0 +1,286 @@
+//! Numerical verification of the submodular-utility axioms.
+//!
+//! The ½-approximation of the greedy scheduler is only guaranteed for
+//! normalised, monotone, submodular utilities (§II-C). [`check_utility`]
+//! stress-tests a function against all three axioms on random set pairs —
+//! used by the crate's own property tests and available to users shipping
+//! custom utilities.
+
+use crate::traits::UtilityFunction;
+use cool_common::{SensorId, SensorSet};
+use rand::Rng;
+
+/// A detected violation of the utility axioms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UtilityViolation {
+    /// `U(∅) ≠ 0`.
+    NotNormalized {
+        /// The observed `U(∅)`.
+        value: f64,
+    },
+    /// `U(S₁) > U(S₂)` for some `S₁ ⊆ S₂`.
+    NotMonotone {
+        /// The smaller set.
+        subset: SensorSet,
+        /// The larger set.
+        superset: SensorSet,
+        /// `U(S₁) − U(S₂) > 0`.
+        excess: f64,
+    },
+    /// Marginal gain increased from `S₁` to `S₂ ⊇ S₁` for some `v`.
+    NotSubmodular {
+        /// The smaller set.
+        subset: SensorSet,
+        /// The larger set.
+        superset: SensorSet,
+        /// The element whose gain increased.
+        element: SensorId,
+        /// `gain(S₂, v) − gain(S₁, v) > 0`.
+        excess: f64,
+    },
+}
+
+impl std::fmt::Display for UtilityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UtilityViolation::NotNormalized { value } => {
+                write!(f, "U(empty set) = {value}, expected 0")
+            }
+            UtilityViolation::NotMonotone { excess, .. } => {
+                write!(f, "monotonicity violated by {excess}")
+            }
+            UtilityViolation::NotSubmodular { element, excess, .. } => {
+                write!(f, "submodularity violated at {element} by {excess}")
+            }
+        }
+    }
+}
+
+/// Stress-tests `utility` against normalisation, monotonicity and
+/// submodularity on `trials` random `(S₁ ⊆ S₂, v ∉ S₂)` triples.
+///
+/// Tolerance `1e-9 · max(1, |U|)` absorbs floating-point roundoff.
+///
+/// # Errors
+///
+/// Returns the first [`UtilityViolation`] found.
+///
+/// # Examples
+///
+/// ```
+/// use cool_utility::{check_utility, DetectionUtility};
+/// use cool_common::SeedSequence;
+///
+/// let u = DetectionUtility::uniform(6, 0.4);
+/// check_utility(&u, 200, &mut SeedSequence::new(1).nth_rng(0)).unwrap();
+/// ```
+pub fn check_utility<U: UtilityFunction, R: Rng + ?Sized>(
+    utility: &U,
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), UtilityViolation> {
+    let n = utility.universe();
+    let empty = SensorSet::new(n);
+    let at_empty = utility.eval(&empty);
+    if at_empty.abs() > 1e-9 {
+        return Err(UtilityViolation::NotNormalized { value: at_empty });
+    }
+    if n == 0 {
+        return Ok(());
+    }
+
+    for _ in 0..trials {
+        // Random subset S1, then S2 ⊇ S1 by adding more elements.
+        let mut s1 = SensorSet::new(n);
+        let mut s2 = SensorSet::new(n);
+        for i in 0..n {
+            let r: f64 = rng.random_range(0.0..1.0);
+            if r < 0.3 {
+                s1.insert(SensorId(i));
+                s2.insert(SensorId(i));
+            } else if r < 0.6 {
+                s2.insert(SensorId(i));
+            }
+        }
+        let u1 = utility.eval(&s1);
+        let u2 = utility.eval(&s2);
+        let tol = 1e-9 * u2.abs().max(1.0);
+        if u1 > u2 + tol {
+            return Err(UtilityViolation::NotMonotone {
+                subset: s1,
+                superset: s2,
+                excess: u1 - u2,
+            });
+        }
+
+        // Pick v outside S2 when one exists.
+        let outside: Vec<usize> = (0..n).filter(|&i| !s2.contains(SensorId(i))).collect();
+        if outside.is_empty() {
+            continue;
+        }
+        let v = SensorId(outside[rng.random_range(0..outside.len())]);
+        let gain1 = utility.marginal_gain(&s1, v);
+        let gain2 = utility.marginal_gain(&s2, v);
+        if gain2 > gain1 + tol {
+            return Err(UtilityViolation::NotSubmodular {
+                subset: s1,
+                superset: s2,
+                element: v,
+                excess: gain2 - gain1,
+            });
+        }
+        if gain1 < -tol {
+            return Err(UtilityViolation::NotMonotone {
+                subset: s1.clone(),
+                superset: {
+                    let mut w = s1.clone();
+                    w.insert(v);
+                    w
+                },
+                excess: -gain1,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CoverageUtility, DetectionUtility, FacilityLocationUtility, LinearUtility, LogSumUtility,
+        SumUtility,
+    };
+    use cool_common::SeedSequence;
+    use proptest::prelude::*;
+
+    fn rng() -> rand::rngs::StdRng {
+        SeedSequence::new(101).nth_rng(0)
+    }
+
+    #[test]
+    fn all_builtin_utilities_pass() {
+        check_utility(&DetectionUtility::uniform(8, 0.4), 300, &mut rng()).unwrap();
+        check_utility(&LogSumUtility::new(vec![1.0, 5.0, 2.0, 0.0, 3.0]), 300, &mut rng())
+            .unwrap();
+        check_utility(&LinearUtility::new(vec![0.5, 1.5, 2.5]), 300, &mut rng()).unwrap();
+        check_utility(
+            &FacilityLocationUtility::new(vec![vec![1.0, 2.0, 0.5], vec![0.1, 0.0, 3.0]]),
+            300,
+            &mut rng(),
+        )
+        .unwrap();
+        check_utility(
+            &CoverageUtility::from_parts(
+                4,
+                vec![
+                    SensorSet::from_indices(4, [0, 1]),
+                    SensorSet::from_indices(4, [2]),
+                    SensorSet::from_indices(4, [1, 2, 3]),
+                ],
+                vec![2.0, 1.0, 4.0],
+            ),
+            300,
+            &mut rng(),
+        )
+        .unwrap();
+        check_utility(
+            &SumUtility::multi_target_detection(
+                &[SensorSet::from_indices(5, [0, 1, 2]), SensorSet::from_indices(5, [3, 4])],
+                0.3,
+            ),
+            300,
+            &mut rng(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn catches_non_normalized_function() {
+        // A linear function shifted away from zero, expressed by abusing the
+        // checker with a wrapper.
+        struct Shifted(LinearUtility);
+        impl UtilityFunction for Shifted {
+            type Evaluator = crate::LinearEvaluator;
+            fn universe(&self) -> usize {
+                self.0.universe()
+            }
+            fn eval(&self, set: &SensorSet) -> f64 {
+                self.0.eval(set) + 1.0
+            }
+            fn evaluator(&self) -> Self::Evaluator {
+                self.0.evaluator()
+            }
+        }
+        let err = check_utility(&Shifted(LinearUtility::new(vec![1.0])), 10, &mut rng())
+            .unwrap_err();
+        assert!(matches!(err, UtilityViolation::NotNormalized { .. }));
+        assert!(err.to_string().contains("expected 0"));
+    }
+
+    #[test]
+    fn catches_supermodular_function() {
+        // U(S) = |S|² is supermodular (increasing returns).
+        struct Quadratic(usize);
+        impl UtilityFunction for Quadratic {
+            type Evaluator = crate::LinearEvaluator;
+            fn universe(&self) -> usize {
+                self.0
+            }
+            fn eval(&self, set: &SensorSet) -> f64 {
+                (set.len() * set.len()) as f64
+            }
+            fn evaluator(&self) -> Self::Evaluator {
+                LinearUtility::new(vec![0.0; self.0]).evaluator()
+            }
+        }
+        let err = check_utility(&Quadratic(8), 500, &mut rng()).unwrap_err();
+        assert!(matches!(err, UtilityViolation::NotSubmodular { .. }));
+    }
+
+    #[test]
+    fn catches_non_monotone_function() {
+        // U(S) = |S mod 2| oscillates.
+        struct Parity(usize);
+        impl UtilityFunction for Parity {
+            type Evaluator = crate::LinearEvaluator;
+            fn universe(&self) -> usize {
+                self.0
+            }
+            fn eval(&self, set: &SensorSet) -> f64 {
+                (set.len() % 2) as f64
+            }
+            fn evaluator(&self) -> Self::Evaluator {
+                LinearUtility::new(vec![0.0; self.0]).evaluator()
+            }
+        }
+        let err = check_utility(&Parity(8), 500, &mut rng()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                UtilityViolation::NotMonotone { .. } | UtilityViolation::NotSubmodular { .. }
+            ),
+            "parity violates monotonicity or submodularity, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_universe_passes() {
+        check_utility(&LinearUtility::new(vec![]), 10, &mut rng()).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Random detection/coverage instances always pass the checker.
+        #[test]
+        fn random_instances_pass(
+            probs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+            seed in any::<u64>(),
+        ) {
+            let u = DetectionUtility::new(probs);
+            let mut r = SeedSequence::new(seed).nth_rng(0);
+            prop_assert!(check_utility(&u, 100, &mut r).is_ok());
+        }
+    }
+}

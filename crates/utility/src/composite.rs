@@ -1,0 +1,423 @@
+//! Composite utilities: runtime-polymorphic [`AnyUtility`] and the
+//! multi-target sum `Σ_i U_i(S)` ([`SumUtility`]).
+//!
+//! §II-C/§II-D: the overall utility of a multi-target WSN at a slot is the
+//! (symmetric) sum of per-target utilities, each evaluated on the activated
+//! sensors that can monitor that target. Sums of monotone submodular
+//! functions are monotone submodular, so the greedy guarantee carries over.
+
+use crate::coverage::{CoverageEvaluator, CoverageUtility};
+use crate::detection::{DetectionEvaluator, DetectionUtility};
+use crate::facility::{FacilityEvaluator, FacilityLocationUtility};
+use crate::kcover::{KCoverageEvaluator, KCoverageUtility};
+use crate::linear::{LinearEvaluator, LinearUtility};
+use crate::logsum::{LogSumEvaluator, LogSumUtility};
+use crate::traits::{Evaluator, UtilityFunction};
+use cool_common::{SensorId, SensorSet};
+
+/// Any of the crate's built-in utilities, for heterogeneous composition.
+///
+/// # Examples
+///
+/// ```
+/// use cool_utility::{AnyUtility, DetectionUtility, LinearUtility, UtilityFunction};
+/// use cool_common::SensorSet;
+///
+/// let parts: Vec<AnyUtility> = vec![
+///     DetectionUtility::uniform(3, 0.4).into(),
+///     LinearUtility::new(vec![0.0, 1.0, 0.0]).into(),
+/// ];
+/// assert!(parts.iter().all(|u| u.universe() == 3));
+/// ```
+#[derive(Clone, Debug)]
+pub enum AnyUtility {
+    /// Detection probability `1 − Π(1−p)` (§II-C).
+    Detection(DetectionUtility),
+    /// Log-sum `ln(1 + Σw)` (§III gadget).
+    LogSum(LogSumUtility),
+    /// Modular `Σw`.
+    Linear(LinearUtility),
+    /// Weighted-area coverage (Eq. 2).
+    Coverage(CoverageUtility),
+    /// Facility location `Σ max`.
+    Facility(FacilityLocationUtility),
+    /// k-coverage `Σ w·min(count, k)/k`.
+    KCover(KCoverageUtility),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $u:ident => $body:expr) => {
+        match $self {
+            AnyUtility::Detection($u) => $body,
+            AnyUtility::LogSum($u) => $body,
+            AnyUtility::Linear($u) => $body,
+            AnyUtility::Coverage($u) => $body,
+            AnyUtility::Facility($u) => $body,
+            AnyUtility::KCover($u) => $body,
+        }
+    };
+}
+
+impl UtilityFunction for AnyUtility {
+    type Evaluator = AnyEvaluator;
+
+    fn universe(&self) -> usize {
+        dispatch!(self, u => u.universe())
+    }
+
+    fn eval(&self, set: &SensorSet) -> f64 {
+        dispatch!(self, u => u.eval(set))
+    }
+
+    fn max_value(&self) -> f64 {
+        dispatch!(self, u => u.max_value())
+    }
+
+    fn evaluator(&self) -> AnyEvaluator {
+        match self {
+            AnyUtility::Detection(u) => AnyEvaluator::Detection(u.evaluator()),
+            AnyUtility::LogSum(u) => AnyEvaluator::LogSum(u.evaluator()),
+            AnyUtility::Linear(u) => AnyEvaluator::Linear(u.evaluator()),
+            AnyUtility::Coverage(u) => AnyEvaluator::Coverage(u.evaluator()),
+            AnyUtility::Facility(u) => AnyEvaluator::Facility(u.evaluator()),
+            AnyUtility::KCover(u) => AnyEvaluator::KCover(u.evaluator()),
+        }
+    }
+}
+
+impl From<DetectionUtility> for AnyUtility {
+    fn from(value: DetectionUtility) -> Self {
+        AnyUtility::Detection(value)
+    }
+}
+
+impl From<LogSumUtility> for AnyUtility {
+    fn from(value: LogSumUtility) -> Self {
+        AnyUtility::LogSum(value)
+    }
+}
+
+impl From<LinearUtility> for AnyUtility {
+    fn from(value: LinearUtility) -> Self {
+        AnyUtility::Linear(value)
+    }
+}
+
+impl From<CoverageUtility> for AnyUtility {
+    fn from(value: CoverageUtility) -> Self {
+        AnyUtility::Coverage(value)
+    }
+}
+
+impl From<FacilityLocationUtility> for AnyUtility {
+    fn from(value: FacilityLocationUtility) -> Self {
+        AnyUtility::Facility(value)
+    }
+}
+
+impl From<KCoverageUtility> for AnyUtility {
+    fn from(value: KCoverageUtility) -> Self {
+        AnyUtility::KCover(value)
+    }
+}
+
+/// Evaluator companion of [`AnyUtility`].
+#[derive(Clone, Debug)]
+pub enum AnyEvaluator {
+    /// Detection evaluator.
+    Detection(DetectionEvaluator),
+    /// Log-sum evaluator.
+    LogSum(LogSumEvaluator),
+    /// Linear evaluator.
+    Linear(LinearEvaluator),
+    /// Coverage evaluator.
+    Coverage(CoverageEvaluator),
+    /// Facility evaluator.
+    Facility(FacilityEvaluator),
+    /// k-coverage evaluator.
+    KCover(KCoverageEvaluator),
+}
+
+macro_rules! dispatch_eval {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            AnyEvaluator::Detection($e) => $body,
+            AnyEvaluator::LogSum($e) => $body,
+            AnyEvaluator::Linear($e) => $body,
+            AnyEvaluator::Coverage($e) => $body,
+            AnyEvaluator::Facility($e) => $body,
+            AnyEvaluator::KCover($e) => $body,
+        }
+    };
+}
+
+impl Evaluator for AnyEvaluator {
+    fn value(&self) -> f64 {
+        dispatch_eval!(self, e => e.value())
+    }
+
+    fn gain(&self, v: SensorId) -> f64 {
+        dispatch_eval!(self, e => e.gain(v))
+    }
+
+    fn loss(&self, v: SensorId) -> f64 {
+        dispatch_eval!(self, e => e.loss(v))
+    }
+
+    fn insert(&mut self, v: SensorId) -> f64 {
+        dispatch_eval!(self, e => e.insert(v))
+    }
+
+    fn remove(&mut self, v: SensorId) -> f64 {
+        dispatch_eval!(self, e => e.remove(v))
+    }
+
+    fn contains(&self, v: SensorId) -> bool {
+        dispatch_eval!(self, e => e.contains(v))
+    }
+
+    fn current_set(&self) -> SensorSet {
+        dispatch_eval!(self, e => e.current_set())
+    }
+}
+
+/// The multi-target overall utility `U(S) = Σ_i U_i(S)` (Eq. 1).
+///
+/// Per-target coverage restriction `S ∩ V(O_i)` is encoded inside each part
+/// (e.g. zero detection probability outside `V(O_i)` — see
+/// [`DetectionUtility::uniform_on`]).
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::SensorSet;
+/// use cool_utility::{DetectionUtility, SumUtility, UtilityFunction};
+///
+/// // Two targets: V(O₀) = {0,1}, V(O₁) = {1,2}, p = 0.4 everywhere.
+/// let u = SumUtility::new(vec![
+///     DetectionUtility::uniform_on(&SensorSet::from_indices(3, [0, 1]), 0.4).into(),
+///     DetectionUtility::uniform_on(&SensorSet::from_indices(3, [1, 2]), 0.4).into(),
+/// ]);
+/// let only_shared = SensorSet::from_indices(3, [1]);
+/// assert!((u.eval(&only_shared) - 0.8).abs() < 1e-12); // 0.4 per target
+/// ```
+#[derive(Clone, Debug)]
+pub struct SumUtility {
+    parts: Vec<AnyUtility>,
+    universe: usize,
+}
+
+impl SumUtility {
+    /// Creates the sum from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the parts disagree on universe size.
+    pub fn new(parts: Vec<AnyUtility>) -> Self {
+        assert!(!parts.is_empty(), "sum utility needs at least one part");
+        let universe = parts[0].universe();
+        assert!(
+            parts.iter().all(|p| p.universe() == universe),
+            "all parts must share one universe"
+        );
+        SumUtility { parts, universe }
+    }
+
+    /// The paper's multi-target detection instance: target `i` is watched by
+    /// `coverages[i]`, every covering sensor detects with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverages` is empty, universes disagree, or `p ∉ [0, 1]`.
+    pub fn multi_target_detection(coverages: &[SensorSet], p: f64) -> Self {
+        assert!(!coverages.is_empty(), "need at least one target");
+        SumUtility::new(
+            coverages
+                .iter()
+                .map(|cov| DetectionUtility::uniform_on(cov, p).into())
+                .collect(),
+        )
+    }
+
+    /// The parts `U_i`.
+    pub fn parts(&self) -> &[AnyUtility] {
+        &self.parts
+    }
+
+    /// Number of targets (parts).
+    pub fn n_targets(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Per-part values at `set` — the per-target utility breakdown.
+    pub fn eval_parts(&self, set: &SensorSet) -> Vec<f64> {
+        self.parts.iter().map(|p| p.eval(set)).collect()
+    }
+}
+
+impl UtilityFunction for SumUtility {
+    type Evaluator = SumEvaluator;
+
+    fn universe(&self) -> usize {
+        self.universe
+    }
+
+    fn eval(&self, set: &SensorSet) -> f64 {
+        self.parts.iter().map(|p| p.eval(set)).sum()
+    }
+
+    fn max_value(&self) -> f64 {
+        self.parts.iter().map(|p| p.max_value()).sum()
+    }
+
+    fn target_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn evaluator(&self) -> SumEvaluator {
+        SumEvaluator {
+            parts: self.parts.iter().map(|p| p.evaluator()).collect(),
+            members: SensorSet::new(self.universe),
+        }
+    }
+}
+
+/// Evaluator companion of [`SumUtility`].
+#[derive(Clone, Debug)]
+pub struct SumEvaluator {
+    parts: Vec<AnyEvaluator>,
+    members: SensorSet,
+}
+
+impl Evaluator for SumEvaluator {
+    fn value(&self) -> f64 {
+        self.parts.iter().map(|p| p.value()).sum()
+    }
+
+    fn gain(&self, v: SensorId) -> f64 {
+        if self.members.contains(v) {
+            return 0.0;
+        }
+        self.parts.iter().map(|p| p.gain(v)).sum()
+    }
+
+    fn loss(&self, v: SensorId) -> f64 {
+        if !self.members.contains(v) {
+            return 0.0;
+        }
+        self.parts.iter().map(|p| p.loss(v)).sum()
+    }
+
+    fn insert(&mut self, v: SensorId) -> f64 {
+        if !self.members.insert(v) {
+            return 0.0;
+        }
+        self.parts.iter_mut().map(|p| p.insert(v)).sum()
+    }
+
+    fn remove(&mut self, v: SensorId) -> f64 {
+        if !self.members.remove(v) {
+            return 0.0;
+        }
+        self.parts.iter_mut().map(|p| p.remove(v)).sum()
+    }
+
+    fn contains(&self, v: SensorId) -> bool {
+        self.members.contains(v)
+    }
+
+    fn current_set(&self) -> SensorSet {
+        self.members.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_target_sum() -> SumUtility {
+        SumUtility::multi_target_detection(
+            &[SensorSet::from_indices(4, [0, 1]), SensorSet::from_indices(4, [1, 2, 3])],
+            0.4,
+        )
+    }
+
+    #[test]
+    fn sum_adds_per_target_values() {
+        let u = two_target_sum();
+        assert_eq!(u.n_targets(), 2);
+        let s = SensorSet::from_indices(4, [0, 2]);
+        let parts = u.eval_parts(&s);
+        assert!((parts[0] - 0.4).abs() < 1e-12);
+        assert!((parts[1] - 0.4).abs() < 1e-12);
+        assert!((u.eval(&s) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_value_sums_part_maxima() {
+        let u = two_target_sum();
+        let expected = (1.0 - 0.6f64.powi(2)) + (1.0 - 0.6f64.powi(3));
+        assert!((u.max_value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_utility_dispatch_consistency() {
+        let base = DetectionUtility::uniform(3, 0.5);
+        let any: AnyUtility = base.clone().into();
+        let s = SensorSet::from_indices(3, [0, 2]);
+        assert_eq!(any.eval(&s), base.eval(&s));
+        assert_eq!(any.universe(), 3);
+        let lin: AnyUtility = LinearUtility::new(vec![1.0]).into();
+        assert_eq!(lin.eval(&SensorSet::full(1)), 1.0);
+        let log: AnyUtility = LogSumUtility::new(vec![1.0]).into();
+        assert!(log.eval(&SensorSet::full(1)) > 0.0);
+        let fac: AnyUtility = FacilityLocationUtility::new(vec![vec![2.0]]).into();
+        assert_eq!(fac.eval(&SensorSet::full(1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one universe")]
+    fn mixed_universes_panic() {
+        let _ = SumUtility::new(vec![
+            DetectionUtility::uniform(2, 0.4).into(),
+            DetectionUtility::uniform(3, 0.4).into(),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_sum_panics() {
+        let _ = SumUtility::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn sum_evaluator_matches_eval(
+            cov1 in proptest::collection::vec(0usize..5, 1..5),
+            cov2 in proptest::collection::vec(0usize..5, 1..5),
+            p in 0.05f64..0.95,
+            ops in proptest::collection::vec((any::<bool>(), 0usize..5), 0..25),
+        ) {
+            let u = SumUtility::multi_target_detection(
+                &[
+                    SensorSet::from_indices(5, cov1.iter().copied()),
+                    SensorSet::from_indices(5, cov2.iter().copied()),
+                ],
+                p,
+            );
+            let mut e = u.evaluator();
+            for (add, raw) in ops {
+                let v = SensorId(raw % 5);
+                if add {
+                    let predicted = e.gain(v);
+                    prop_assert!((predicted - e.insert(v)).abs() < 1e-9);
+                } else {
+                    let predicted = e.loss(v);
+                    prop_assert!((predicted - e.remove(v)).abs() < 1e-9);
+                }
+                prop_assert!((e.value() - u.eval(&e.current_set())).abs() < 1e-9);
+            }
+        }
+    }
+}

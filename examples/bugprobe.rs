@@ -1,0 +1,41 @@
+use cool_common::{SeedSequence, SensorSet};
+use cool_core::lp::LpScheduler;
+use cool_core::problem::Problem;
+use cool_energy::ChargeCycle;
+use cool_utility::SumUtility;
+
+fn main() {
+    // Probe 1: LpScheduler on a rho <= 1 problem.
+    let u = SumUtility::multi_target_detection(&[SensorSet::full(6)], 0.4);
+    let cycle = ChargeCycle::from_rho(0.5, 10.0).unwrap();
+    let p = Problem::new(u.clone(), cycle, 1).unwrap();
+    let mut rng = SeedSequence::new(1).nth_rng(0);
+    let out = LpScheduler::new(4).schedule(&p, &mut rng).unwrap();
+    println!(
+        "probe1: rho={} mode={:?} feasible={}",
+        cycle.rho(),
+        out.schedule.mode(),
+        out.schedule.is_feasible(p.cycle())
+    );
+
+    // Probe 2: stochastic rho' in (1, 1.5) -> quantised to 1 -> FastRecharge?
+    // T_d_cont=15, lambda_a=0.2, mean event=2 -> T_d_bar = 37.5; T_r_bar=48.75 -> rho'=1.3
+    let m = cool_energy::RandomChargeModel::new(15.0, 0.2, 2.0, 48.75, 1.0).unwrap();
+    println!("probe2: rho'={}", m.rho_prime());
+    let r = cool_core::stochastic::stochastic_lp(&u, &m, 2, &mut rng);
+    match r {
+        Ok((c, _)) => println!("probe2: ok cycle rho={}", c.rho()),
+        Err(e) => println!("probe2: err {e}"),
+    }
+
+    // Probe 3: LP value claim as upper bound with greedy completion overshoot?
+    // (rounded_value <= lp_value?) on a rho>1 instance
+    let p2 = Problem::new(u.clone(), ChargeCycle::paper_sunny(), 1).unwrap();
+    let out2 = LpScheduler::new(16).schedule(&p2, &mut rng).unwrap();
+    println!(
+        "probe3: lp={} rounded={} ok={}",
+        out2.lp_value,
+        out2.rounded_value,
+        out2.rounded_value <= out2.lp_value + 1e-9
+    );
+}

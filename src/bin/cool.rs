@@ -1,0 +1,239 @@
+//! `cool` — schedule solar-powered sensor coverage from a scenario file,
+//! and run the charging-pattern measurement pipeline on harvest traces.
+//!
+//! ```text
+//! cool run [scenario.txt] [--set key=value]...   # run a scenario
+//! cool template                                  # print a scenario template
+//! cool trace [--weather W] [--seed N] [--out F]  # synthesize a day's harvest trace (CSV)
+//! cool estimate <trace.csv> [--discharge M] [--capacity MAH]
+//!                                                # fit (T_d, T_r, rho) from a trace
+//! ```
+
+use cool::common::SeedSequence;
+use cool::energy::{
+    core_window_stability, estimate_pattern, fit_pattern, HarvestConfig, HarvestTrace, Weather,
+};
+use cool::scenario::Scenario;
+use std::process::ExitCode;
+
+
+/// Writes to stdout, exiting quietly if the reader closed the pipe early
+/// (`cool ... | head` must not panic).
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => {
+            emit(&Scenario::template());
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("estimate") => estimate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut scenario = Scenario::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--set" => {
+                let Some(pair) = iter.next() else {
+                    eprintln!("--set needs key=value");
+                    return usage();
+                };
+                let Some((key, value)) = pair.split_once('=') else {
+                    eprintln!("--set needs key=value, got `{pair}`");
+                    return usage();
+                };
+                if let Err(e) = scenario.set(key.trim(), value.trim()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            path if !path.starts_with('-') => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                scenario = match Scenario::parse(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error in {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    match scenario.run() {
+        Ok(outcome) => {
+            emit(&outcome.to_string());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_weather(s: &str) -> Option<Weather> {
+    match s {
+        "sunny" => Some(Weather::Sunny),
+        "partly-cloudy" => Some(Weather::PartlyCloudy),
+        "overcast" => Some(Weather::Overcast),
+        "rainy" => Some(Weather::Rainy),
+        _ => None,
+    }
+}
+
+fn trace(args: &[String]) -> ExitCode {
+    let mut weather = Weather::Sunny;
+    let mut seed = 2011u64;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--weather" => match iter.next().map(String::as_str).and_then(parse_weather) {
+                Some(w) => weather = w,
+                None => {
+                    eprintln!("--weather needs sunny | partly-cloudy | overcast | rainy");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let config = HarvestConfig { weather, ..HarvestConfig::default() };
+    let trace = HarvestTrace::generate(config, &mut SeedSequence::new(seed).nth_rng(0));
+    let csv = trace.to_csv();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({weather}, seed {seed})");
+        }
+        None => emit(&csv),
+    }
+    ExitCode::SUCCESS
+}
+
+fn estimate(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut discharge = 15.0f64;
+    let mut capacity = 30.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--discharge" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(v) if v > 0.0 => discharge = v,
+                _ => {
+                    eprintln!("--discharge needs positive minutes");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--capacity" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(v) if v > 0.0 => capacity = v,
+                _ => {
+                    eprintln!("--capacity needs positive mAh");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p if !p.starts_with('-') => path = Some(arg),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("estimate needs a trace CSV path");
+        return usage();
+    };
+    let csv = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match HarvestTrace::from_csv(HarvestConfig::default(), &csv) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let windows = estimate_pattern(&trace, 120.0, capacity);
+    let mut out = format!("2-hour windows (battery {capacity} mAh):\n");
+    for w in &windows {
+        out.push_str(&format!(
+            "  {:>5.0}–{:<5.0} min  mean {:>6.2} mA  T_r ≈ {:>7.1} min\n",
+            w.start_minute, w.end_minute, w.mean_current_ma, w.recharge_minutes
+        ));
+    }
+    if let Some(cv) = core_window_stability(&windows) {
+        out.push_str(&format!("core-window stability (CV): {cv:.3}\n"));
+    }
+    match fit_pattern(&windows, discharge) {
+        Some(pattern) => {
+            out.push_str(&format!("fitted pattern: {pattern}\n"));
+            match pattern.quantize() {
+                Ok(cycle) => out.push_str(&format!("quantized cycle: {cycle}\n")),
+                Err(e) => out.push_str(&format!("quantization failed: {e}\n")),
+            }
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: no usable charging window in the trace");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cool run [scenario.txt] [--set key=value]... \
+         | cool template \
+         | cool trace [--weather W] [--seed N] [--out F] \
+         | cool estimate <trace.csv> [--discharge M] [--capacity MAH]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,477 @@
+//! Scenario files: declarative scheduling runs for the `cool` CLI.
+//!
+//! A scenario is a tiny `key = value` text format (comments with `#`)
+//! describing a deployment, a utility, a charging pattern and a scheduler;
+//! [`Scenario::parse`] reads it, [`Scenario::run`] executes it and returns
+//! a [`ScenarioOutcome`] the CLI renders. Example:
+//!
+//! ```text
+//! # 100 sensors watching 5 targets through a sunny day
+//! sensors            = 100
+//! targets            = 5
+//! detection_p        = 0.4
+//! discharge_minutes  = 15
+//! recharge_minutes   = 45
+//! hours              = 12
+//! region             = 500
+//! radius             = 100
+//! seed               = 7
+//! scheduler          = greedy
+//! ```
+
+use cool_common::{SeedSequence, Table};
+use cool_core::baselines::{random_schedule, round_robin_schedule, static_schedule};
+use cool_core::bounds::single_target_upper_bound_with_budget;
+use cool_core::greedy::{greedy_schedule, greedy_schedule_lazy};
+use cool_core::instances::geometric_multi_target;
+use cool_core::problem::Problem;
+use cool_core::schedule::PeriodSchedule;
+use cool_energy::ChargeCycle;
+use cool_geometry::Rect;
+use cool_utility::{AnyUtility, SumUtility};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which scheduling algorithm a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Greedy hill-climbing (Algorithm 1), naive implementation.
+    #[default]
+    Greedy,
+    /// Lazy (CELF) greedy — identical output, faster.
+    Lazy,
+    /// Round-robin baseline.
+    RoundRobin,
+    /// Uniform random baseline.
+    Random,
+    /// Everyone-in-slot-0 baseline.
+    Static,
+}
+
+impl FromStr for SchedulerKind {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "greedy" => Ok(SchedulerKind::Greedy),
+            "lazy" => Ok(SchedulerKind::Lazy),
+            "round-robin" | "round_robin" => Ok(SchedulerKind::RoundRobin),
+            "random" => Ok(SchedulerKind::Random),
+            "static" => Ok(SchedulerKind::Static),
+            other => Err(ScenarioError::BadValue {
+                key: "scheduler".into(),
+                value: other.into(),
+                expected: "greedy | lazy | round-robin | random | static".into(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::Lazy => "lazy",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::Random => "random",
+            SchedulerKind::Static => "static",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error parsing a scenario file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A line was not `key = value` or a comment.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown key.
+    UnknownKey {
+        /// The key.
+        key: String,
+    },
+    /// A value failed to parse or was out of range.
+    BadValue {
+        /// The key.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadLine { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got `{text}`")
+            }
+            ScenarioError::UnknownKey { key } => write!(f, "unknown key `{key}`"),
+            ScenarioError::BadValue { key, value, expected } => {
+                write!(f, "bad value `{value}` for `{key}` (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A declarative scheduling run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Number of sensors `n`.
+    pub sensors: usize,
+    /// Number of targets `m`.
+    pub targets: usize,
+    /// Per-sensor detection probability `p`.
+    pub detection_p: f64,
+    /// Discharge time `T_d` in minutes.
+    pub discharge_minutes: f64,
+    /// Recharge time `T_r` in minutes.
+    pub recharge_minutes: f64,
+    /// Working time in hours.
+    pub hours: f64,
+    /// Square region side length.
+    pub region: f64,
+    /// Sensing radius.
+    pub radius: f64,
+    /// Root random seed.
+    pub seed: u64,
+    /// Scheduler to run.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for Scenario {
+    /// The paper's testbed setting: 100 sensors, 5 targets, `p = 0.4`,
+    /// sunny cycle, 12-hour day.
+    fn default() -> Self {
+        Scenario {
+            sensors: 100,
+            targets: 5,
+            detection_p: 0.4,
+            discharge_minutes: 15.0,
+            recharge_minutes: 45.0,
+            hours: 12.0,
+            region: 500.0,
+            radius: 100.0,
+            seed: 2011,
+            scheduler: SchedulerKind::Greedy,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario file; unspecified keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for malformed lines, unknown keys, or
+    /// out-of-range values.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut scenario = Scenario::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScenarioError::BadLine { line: idx + 1, text: raw.trim().into() });
+            };
+            scenario.set(key.trim(), value.trim())?;
+        }
+        Ok(scenario)
+    }
+
+    /// Applies one `key = value` override (also used for CLI `--set`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::parse`].
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        fn num<T: FromStr>(key: &str, value: &str, expected: &str) -> Result<T, ScenarioError> {
+            value.parse().map_err(|_| ScenarioError::BadValue {
+                key: key.into(),
+                value: value.into(),
+                expected: expected.into(),
+            })
+        }
+        match key {
+            "sensors" => {
+                self.sensors = num(key, value, "a positive integer")?;
+                if self.sensors == 0 {
+                    return Err(ScenarioError::BadValue {
+                        key: key.into(),
+                        value: value.into(),
+                        expected: "a positive integer".into(),
+                    });
+                }
+            }
+            "targets" => {
+                self.targets = num(key, value, "a positive integer")?;
+                if self.targets == 0 {
+                    return Err(ScenarioError::BadValue {
+                        key: key.into(),
+                        value: value.into(),
+                        expected: "a positive integer".into(),
+                    });
+                }
+            }
+            "detection_p" => {
+                self.detection_p = num(key, value, "a probability in [0, 1]")?;
+                if !(0.0..=1.0).contains(&self.detection_p) {
+                    return Err(ScenarioError::BadValue {
+                        key: key.into(),
+                        value: value.into(),
+                        expected: "a probability in [0, 1]".into(),
+                    });
+                }
+            }
+            "discharge_minutes" => self.discharge_minutes = num(key, value, "minutes > 0")?,
+            "recharge_minutes" => self.recharge_minutes = num(key, value, "minutes > 0")?,
+            "hours" => self.hours = num(key, value, "hours > 0")?,
+            "region" => self.region = num(key, value, "a side length > 0")?,
+            "radius" => self.radius = num(key, value, "a radius > 0")?,
+            "seed" => self.seed = num(key, value, "an unsigned integer")?,
+            "scheduler" => self.scheduler = value.parse()?,
+            other => return Err(ScenarioError::UnknownKey { key: other.into() }),
+        }
+        Ok(())
+    }
+
+    /// A template scenario file with the defaults spelled out.
+    pub fn template() -> String {
+        let d = Scenario::default();
+        format!(
+            "# cool scheduling scenario\n\
+             sensors            = {}\n\
+             targets            = {}\n\
+             detection_p        = {}\n\
+             discharge_minutes  = {}\n\
+             recharge_minutes   = {}\n\
+             hours              = {}\n\
+             region             = {}\n\
+             radius             = {}\n\
+             seed               = {}\n\
+             scheduler          = {}   # greedy | lazy | round-robin | random | static\n",
+            d.sensors,
+            d.targets,
+            d.detection_p,
+            d.discharge_minutes,
+            d.recharge_minutes,
+            d.hours,
+            d.region,
+            d.radius,
+            d.seed,
+            d.scheduler
+        )
+    }
+
+    /// Executes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error string for invalid cycle parameters (e.g. a
+    /// non-integral ρ) or degenerate horizons.
+    pub fn run(&self) -> Result<ScenarioOutcome, String> {
+        let cycle = ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
+            .map_err(|e| e.to_string())?;
+        let periods = cycle.periods_in_hours(self.hours).max(1);
+
+        let seeds = SeedSequence::new(self.seed);
+        let mut rng = seeds.nth_rng(0);
+        let (utility, _positions, _targets) = geometric_multi_target(
+            Rect::square(self.region),
+            self.sensors,
+            self.targets,
+            self.radius,
+            self.detection_p,
+            &mut rng,
+        );
+        let problem =
+            Problem::new(utility, cycle, periods).map_err(|e| e.to_string())?;
+
+        let schedule = match self.scheduler {
+            SchedulerKind::Greedy => greedy_schedule(&problem),
+            SchedulerKind::Lazy => greedy_schedule_lazy(&problem),
+            SchedulerKind::RoundRobin => round_robin_schedule(&problem),
+            SchedulerKind::Random => random_schedule(&problem, &mut seeds.nth_rng(1)),
+            SchedulerKind::Static => static_schedule(&problem),
+        };
+        if !schedule.is_feasible(cycle) {
+            return Err("scheduler produced an infeasible schedule".into());
+        }
+
+        let average = problem.average_utility_per_target_slot(&schedule);
+        let bound = self.average_bound(&problem, cycle);
+        Ok(ScenarioOutcome { scenario: self.clone(), cycle, schedule, average, bound })
+    }
+
+    fn average_bound(&self, problem: &Problem<SumUtility>, cycle: ChargeCycle) -> f64 {
+        let t = cycle.slots_per_period();
+        let budget = cycle.active_slots_per_period();
+        let bounds: Vec<f64> = problem
+            .utility()
+            .parts()
+            .iter()
+            .map(|part| match part {
+                AnyUtility::Detection(d) => single_target_upper_bound_with_budget(
+                    d.coverage().len().max(1),
+                    t,
+                    budget,
+                    self.detection_p,
+                ),
+                _ => 1.0,
+            })
+            .collect();
+        bounds.iter().sum::<f64>() / bounds.len() as f64
+    }
+}
+
+/// The result of running a [`Scenario`].
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that produced this outcome.
+    pub scenario: Scenario,
+    /// The derived charging cycle.
+    pub cycle: ChargeCycle,
+    /// The produced (feasible) schedule.
+    pub schedule: PeriodSchedule,
+    /// Average utility per target per slot.
+    pub average: f64,
+    /// Per-target-averaged optimum upper bound.
+    pub bound: f64,
+}
+
+impl fmt::Display for ScenarioOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario: {} sensors, {} targets, p = {}, {} scheduler",
+            self.scenario.sensors, self.scenario.targets,
+            self.scenario.detection_p, self.scenario.scheduler)?;
+        writeln!(f, "cycle:    {}", self.cycle)?;
+        writeln!(f, "horizon:  {} h = {} periods",
+            self.scenario.hours,
+            self.cycle.periods_in_hours(self.scenario.hours).max(1))?;
+        writeln!(f)?;
+        let mut table = Table::new(["metric", "value"]);
+        table.row(["avg utility / target / slot", &format!("{:.6}", self.average)]);
+        table.row(["optimum upper bound", &format!("{:.6}", self.bound)]);
+        table.row(["fraction of bound", &format!("{:.2}%", self.average / self.bound * 100.0)]);
+        write!(f, "{table}")?;
+        writeln!(f)?;
+        writeln!(f, "per-slot active counts (one period):")?;
+        for t in 0..self.schedule.slots_per_period() {
+            writeln!(f, "  t{t}: {:>4} sensors", self.schedule.active_set(t).len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips() {
+        let template = Scenario::template();
+        let parsed = Scenario::parse(&template).unwrap();
+        assert_eq!(parsed, Scenario::default());
+    }
+
+    #[test]
+    fn parse_with_comments_and_overrides() {
+        let s = Scenario::parse(
+            "# comment\n\nsensors = 10  # trailing comment\nscheduler = lazy\n",
+        )
+        .unwrap();
+        assert_eq!(s.sensors, 10);
+        assert_eq!(s.scheduler, SchedulerKind::Lazy);
+        assert_eq!(s.targets, Scenario::default().targets);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert!(matches!(
+            Scenario::parse("nonsense line"),
+            Err(ScenarioError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("volume = 11"),
+            Err(ScenarioError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("detection_p = 1.5"),
+            Err(ScenarioError::BadValue { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("sensors = 0"),
+            Err(ScenarioError::BadValue { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("scheduler = quantum"),
+            Err(ScenarioError::BadValue { .. })
+        ));
+        let err = Scenario::parse("scheduler = quantum").unwrap_err();
+        assert!(err.to_string().contains("greedy"));
+    }
+
+    #[test]
+    fn run_small_scenario() {
+        let mut s = Scenario::default();
+        s.set("sensors", "20").unwrap();
+        s.set("targets", "3").unwrap();
+        s.set("region", "100").unwrap();
+        s.set("radius", "40").unwrap();
+        let outcome = s.run().unwrap();
+        assert!(outcome.average > 0.0 && outcome.average <= 1.0);
+        assert!(outcome.average <= outcome.bound + 1e-9);
+        assert!(outcome.schedule.is_feasible(outcome.cycle));
+        let text = outcome.to_string();
+        assert!(text.contains("avg utility"));
+    }
+
+    #[test]
+    fn fast_recharge_bound_dominates() {
+        // ρ ≤ 1 regression: the bound must account for multi-slot activity.
+        let mut s = Scenario::default();
+        s.set("sensors", "30").unwrap();
+        s.set("targets", "4").unwrap();
+        s.set("detection_p", "0.3").unwrap();
+        s.set("discharge_minutes", "45").unwrap();
+        s.set("recharge_minutes", "15").unwrap();
+        s.set("region", "200").unwrap();
+        s.set("radius", "60").unwrap();
+        let outcome = s.run().unwrap();
+        assert!(
+            outcome.average <= outcome.bound + 1e-9,
+            "utility {} exceeded bound {}",
+            outcome.average,
+            outcome.bound
+        );
+    }
+
+    #[test]
+    fn all_schedulers_run() {
+        for kind in ["greedy", "lazy", "round-robin", "random", "static"] {
+            let mut s = Scenario::default();
+            s.set("sensors", "12").unwrap();
+            s.set("targets", "2").unwrap();
+            s.set("scheduler", kind).unwrap();
+            let outcome = s.run().unwrap();
+            assert!(outcome.schedule.is_feasible(outcome.cycle), "{kind}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_integral_rho() {
+        let mut s = Scenario::default();
+        s.set("recharge_minutes", "40").unwrap(); // 40/15 not integral
+        let err = s.run().unwrap_err();
+        assert!(err.contains("integer"));
+    }
+}

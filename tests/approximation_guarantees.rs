@@ -1,0 +1,58 @@
+//! Workspace-level property tests of the paper's theorems, run through the
+//! public facade API on randomly generated instances.
+
+use cool::common::SeedSequence;
+use cool::core::greedy::{greedy_active_naive, greedy_passive_naive};
+use cool::core::instances::random_multi_target;
+use cool::core::optimal::exhaustive_optimal;
+use cool::core::schedule::ScheduleMode;
+use cool::utility::check_utility;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 4.1: greedy ≥ ½·OPT, exhaustively verified.
+    #[test]
+    fn greedy_half_approximation(n in 2usize..7, m in 1usize..4,
+                                 slots in 2usize..4, seed in any::<u64>()) {
+        let mut rng = SeedSequence::new(seed).nth_rng(0);
+        let u = random_multi_target(n, m, 0.5, 0.4, &mut rng);
+        let greedy = greedy_active_naive(&u, slots).period_utility(&u);
+        let opt = exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot).period_utility(&u);
+        prop_assert!(greedy + 1e-9 >= 0.5 * opt);
+        prop_assert!(greedy <= opt + 1e-9);
+    }
+
+    /// Theorem 4.4: the passive-slot dual also ≥ ½·OPT.
+    #[test]
+    fn passive_half_approximation(n in 2usize..6, slots in 2usize..4, seed in any::<u64>()) {
+        let mut rng = SeedSequence::new(seed).nth_rng(1);
+        let u = random_multi_target(n, 2, 0.5, 0.4, &mut rng);
+        let greedy = greedy_passive_naive(&u, slots).period_utility(&u);
+        let opt = exhaustive_optimal(&u, slots, ScheduleMode::PassiveSlot).period_utility(&u);
+        prop_assert!(greedy + 1e-9 >= 0.5 * opt);
+    }
+
+    /// Every generated instance satisfies the §II-C utility axioms the
+    /// guarantees rest on.
+    #[test]
+    fn instances_satisfy_utility_axioms(n in 1usize..10, m in 1usize..5, seed in any::<u64>()) {
+        let mut rng = SeedSequence::new(seed).nth_rng(2);
+        let u = random_multi_target(n, m, 0.4, 0.6, &mut rng);
+        prop_assert!(check_utility(&u, 80, &mut rng).is_ok());
+    }
+
+    /// The greedy never assigns an out-of-range slot and covers every
+    /// sensor exactly once (feasibility half of Theorem 4.3).
+    #[test]
+    fn greedy_assignment_shape(n in 1usize..20, slots in 1usize..6, seed in any::<u64>()) {
+        let mut rng = SeedSequence::new(seed).nth_rng(3);
+        let u = random_multi_target(n, 2, 0.5, 0.4, &mut rng);
+        let schedule = greedy_active_naive(&u, slots);
+        prop_assert_eq!(schedule.assignment().len(), n);
+        prop_assert!(schedule.assignment().iter().all(|&t| t < slots));
+        let total: usize = (0..slots).map(|t| schedule.active_set(t).len()).sum();
+        prop_assert_eq!(total, n, "each sensor active exactly once per period");
+    }
+}

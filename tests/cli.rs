@@ -1,0 +1,132 @@
+//! End-to-end tests of the `cool` CLI binary.
+
+use std::process::Command;
+
+fn cool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cool"))
+}
+
+#[test]
+fn template_round_trips_through_a_file() {
+    let out = cool().arg("template").output().expect("binary runs");
+    assert!(out.status.success());
+    let template = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(template.contains("sensors"));
+
+    let dir = std::env::temp_dir().join(format!("cool_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.txt");
+    std::fs::write(&path, &template).unwrap();
+
+    let out = cool()
+        .args(["run", path.to_str().unwrap(), "--set", "sensors=16", "--set", "targets=2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("16 sensors, 2 targets"));
+    assert!(text.contains("avg utility / target / slot"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_without_file_uses_defaults_with_overrides() {
+    let out = cool()
+        .args(["run", "--set", "sensors=12", "--set", "scheduler=round-robin"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("round-robin scheduler"));
+}
+
+#[test]
+fn bad_key_fails_with_message() {
+    let out = cool().args(["run", "--set", "volume=11"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
+}
+
+#[test]
+fn bad_cycle_fails_with_message() {
+    let out = cool()
+        .args(["run", "--set", "recharge_minutes=40"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("integer"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cool().args(["run", "/nonexistent/scenario.txt"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn usage_on_no_arguments() {
+    let out = cool().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn trace_estimate_pipeline_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cool_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sunny.csv");
+
+    let out = cool()
+        .args(["trace", "--weather", "sunny", "--seed", "9", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cool()
+        .args(["estimate", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("fitted pattern"), "{text}");
+    assert!(text.contains("rho=3.0"), "sunny trace quantizes to the paper cycle: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn estimate_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("cool_cli_garbage_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.csv");
+    std::fs::write(&path, "not,a,trace\n").unwrap();
+    let out = cool().args(["estimate", path.to_str().unwrap()]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("header"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bundled_scenarios_run() {
+    for file in ["paper_testbed.txt", "overcast_week.txt", "dense_fast_recharge.txt"] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        let out = cool().args(["run", &path]).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{file} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        // The bound must dominate the achieved utility in every bundle.
+        let pick = |label: &str| -> f64 {
+            text.lines()
+                .find(|l| l.contains(label))
+                .and_then(|l| l.split('|').nth(2))
+                .and_then(|c| c.trim().trim_end_matches('%').parse().ok())
+                .unwrap_or_else(|| panic!("missing {label} in output:\n{text}"))
+        };
+        let avg = pick("avg utility / target / slot");
+        let bound = pick("optimum upper bound");
+        assert!(avg <= bound + 1e-9, "{file}: {avg} > {bound}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Randomised validation of the in-crate simplex against an independent
+//! reference: for small LPs with bounded variables, dense grid search over
+//! the box (feasibility-filtered) lower-bounds the optimum, and constraint
+//! checking certifies the returned point. Run through the public facade.
+
+use cool::core::simplex::{LinearProgram, Relation, SimplexError};
+use proptest::prelude::*;
+
+/// Builds `max c·x` s.t. `A x ≤ b`, `x ≤ 1` (boxed), `x ≥ 0` — always
+/// feasible (x = 0) and always bounded (box).
+fn boxed_lp(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LinearProgram {
+    let n = c.len();
+    let mut lp = LinearProgram::new(n);
+    lp.set_objective(c.to_vec());
+    for (row, &rhs) in a.iter().zip(b) {
+        lp.add_constraint(row.clone(), Relation::Le, rhs);
+    }
+    for v in 0..n {
+        let mut row = vec![0.0; n];
+        row[v] = 1.0;
+        lp.add_constraint(row, Relation::Le, 1.0);
+    }
+    lp
+}
+
+fn grid_best(c: &[f64], a: &[Vec<f64>], b: &[f64], steps: usize) -> f64 {
+    // Exhaustive grid over [0,1]^n (n ≤ 3).
+    let n = c.len();
+    let mut best = f64::NEG_INFINITY;
+    let mut idx = vec![0usize; n];
+    loop {
+        let x: Vec<f64> = idx.iter().map(|&i| i as f64 / steps as f64).collect();
+        let feasible = a
+            .iter()
+            .zip(b)
+            .all(|(row, &rhs)| row.iter().zip(&x).map(|(r, xi)| r * xi).sum::<f64>() <= rhs + 1e-9);
+        if feasible {
+            let value: f64 = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+            best = best.max(value);
+        }
+        let mut d = 0;
+        loop {
+            if d == n {
+                return best;
+            }
+            idx[d] += 1;
+            if idx[d] <= steps {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simplex optimum (a) satisfies all constraints and (b) dominates
+    /// every feasible grid point.
+    #[test]
+    fn simplex_beats_grid_reference(
+        c in proptest::collection::vec(0.0f64..5.0, 2..=3),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..3.0, 3), 1..4),
+        rhs in proptest::collection::vec(0.5f64..4.0, 1..4),
+    ) {
+        let n = c.len();
+        let m = rows.len().min(rhs.len());
+        let a: Vec<Vec<f64>> = rows[..m].iter().map(|r| r[..n].to_vec()).collect();
+        let b = &rhs[..m];
+
+        let lp = boxed_lp(&c, &a, b);
+        let sol = lp.solve().expect("boxed LP is feasible and bounded");
+
+        // (a) Feasibility of the returned point.
+        for (row, &limit) in a.iter().zip(b) {
+            let lhs: f64 = row.iter().zip(&sol.x).map(|(r, x)| r * x).sum();
+            prop_assert!(lhs <= limit + 1e-6, "constraint violated: {lhs} > {limit}");
+        }
+        for &x in &sol.x {
+            prop_assert!((-1e-9..=1.0 + 1e-6).contains(&x));
+        }
+        // Objective consistency.
+        let recomputed: f64 = c.iter().zip(&sol.x).map(|(ci, xi)| ci * xi).sum();
+        prop_assert!((recomputed - sol.objective_value).abs() < 1e-6);
+
+        // (b) Dominance over the grid reference.
+        let reference = grid_best(&c, &a, b, 20);
+        prop_assert!(
+            sol.objective_value + 1e-6 >= reference,
+            "simplex {} below grid reference {}",
+            sol.objective_value,
+            reference
+        );
+    }
+
+    /// Infeasibility detection: contradictory bounds are reported, never
+    /// silently "solved".
+    #[test]
+    fn contradictions_are_infeasible(limit in 1.5f64..10.0) {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0], Relation::Ge, limit);
+        prop_assert_eq!(lp.solve().unwrap_err(), SimplexError::Infeasible);
+    }
+}
