@@ -1,10 +1,10 @@
 //! Arrangement construction cost: subdividing Ω (Fig. 3) at increasing
 //! grid resolutions and deployment sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use cool_common::SeedSequence;
 use cool_geometry::{AnyRegion, Arrangement, DeploymentKind, DeploymentSpec, Disk, Rect};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_arrangement(c: &mut Criterion) {
     let mut group = c.benchmark_group("arrangement_build");
@@ -13,14 +13,17 @@ fn bench_arrangement(c: &mut Criterion) {
         let mut rng = SeedSequence::new(5).nth_rng(n as u64);
         let omega = Rect::square(100.0);
         let spec = DeploymentSpec::new(omega, n, DeploymentKind::UniformRandom);
-        let regions: Vec<AnyRegion> =
-            spec.generate(&mut rng).into_iter().map(|p| Disk::new(p, 15.0).into()).collect();
+        let regions: Vec<AnyRegion> = spec
+            .generate(&mut rng)
+            .into_iter()
+            .map(|p| Disk::new(p, 15.0).into())
+            .collect();
         for &resolution in &[128usize, 256] {
             group.bench_with_input(
                 BenchmarkId::new("grid", format!("n{n}_res{resolution}")),
                 &(&regions, resolution),
                 |b, (regions, resolution)| {
-                    b.iter(|| black_box(Arrangement::build(omega, regions, *resolution)))
+                    b.iter(|| black_box(Arrangement::build(omega, regions, *resolution)));
                 },
             );
         }
@@ -29,7 +32,7 @@ fn bench_arrangement(c: &mut Criterion) {
                 BenchmarkId::new("adaptive", format!("n{n}_depth{depth}")),
                 &(&regions, depth),
                 |b, (regions, depth)| {
-                    b.iter(|| black_box(Arrangement::build_adaptive(omega, regions, *depth)))
+                    b.iter(|| black_box(Arrangement::build_adaptive(omega, regions, *depth)));
                 },
             );
         }

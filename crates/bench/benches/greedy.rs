@@ -1,26 +1,33 @@
 //! Greedy scheduler scaling: naive vs lazy (CELF) across deployment sizes
 //! — the ablation behind DESIGN.md's "lazy marginal-gain evaluation" call.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+// Benchmarks abort loudly on a broken instance; unwrap/expect are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cool_common::SeedSequence;
 use cool_core::greedy::{greedy_active_lazy, greedy_active_naive, greedy_passive_naive};
 use cool_core::horizon::greedy_horizon;
 use cool_core::instances::fig9_instance;
 use cool_core::local_search::improve_schedule;
 use cool_energy::ChargeCycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_greedy(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy");
     for &(n, m) in &[(100usize, 10usize), (200, 20), (400, 40)] {
         let mut rng = SeedSequence::new(1).nth_rng(n as u64);
         let utility = fig9_instance(n, m, &mut rng);
-        group.bench_with_input(BenchmarkId::new("naive", format!("n{n}_m{m}")), &utility, |b, u| {
-            b.iter(|| black_box(greedy_active_naive(u, 4)))
-        });
-        group.bench_with_input(BenchmarkId::new("lazy", format!("n{n}_m{m}")), &utility, |b, u| {
-            b.iter(|| black_box(greedy_active_lazy(u, 4)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_m{m}")),
+            &utility,
+            |b, u| b.iter(|| black_box(greedy_active_naive(u, 4).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy", format!("n{n}_m{m}")),
+            &utility,
+            |b, u| b.iter(|| black_box(greedy_active_lazy(u, 4).unwrap())),
+        );
     }
     group.finish();
 
@@ -28,9 +35,11 @@ fn bench_greedy(c: &mut Criterion) {
     for &(n, m) in &[(100usize, 10usize), (200, 20)] {
         let mut rng = SeedSequence::new(2).nth_rng(n as u64);
         let utility = fig9_instance(n, m, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &utility, |b, u| {
-            b.iter(|| black_box(greedy_passive_naive(u, 4)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &utility,
+            |b, u| b.iter(|| black_box(greedy_passive_naive(u, 4).unwrap())),
+        );
     }
     group.finish();
 }
@@ -54,7 +63,7 @@ fn bench_extensions(c: &mut Criterion) {
     for &n in &[100usize, 300] {
         let mut rng = SeedSequence::new(4).nth_rng(n as u64);
         let utility = fig9_instance(n, 20, &mut rng);
-        let schedule = greedy_active_naive(&utility, 4);
+        let schedule = greedy_active_naive(&utility, 4).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}")),
             &(&utility, &schedule),

@@ -1,12 +1,12 @@
 //! Exact solvers: plain exhaustive enumeration vs submodularity-pruned
 //! branch & bound (identical optima, very different costs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use cool_common::SeedSequence;
 use cool_core::instances::random_multi_target;
 use cool_core::optimal::{branch_and_bound, exhaustive_optimal};
 use cool_core::schedule::ScheduleMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_optimal");

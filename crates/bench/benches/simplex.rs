@@ -1,12 +1,15 @@
 //! Simplex solve times on scheduling-shaped LPs (the §IV-A.1 relaxation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+// Benchmarks abort loudly on a broken instance; unwrap/expect are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cool_common::SeedSequence;
 use cool_core::instances::random_multi_target;
 use cool_core::lp::LpScheduler;
 use cool_core::problem::Problem;
 use cool_energy::ChargeCycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_schedule");
@@ -14,16 +17,19 @@ fn bench_lp(c: &mut Criterion) {
     for &(n, m) in &[(10usize, 3usize), (20, 5), (30, 8)] {
         let mut rng = SeedSequence::new(6).nth_rng(n as u64);
         let utility = random_multi_target(n, m, 0.4, 0.4, &mut rng);
-        let problem =
-            Problem::new(utility, ChargeCycle::paper_sunny(), 1).expect("valid instance");
+        let problem = Problem::new(utility, ChargeCycle::paper_sunny(), 1).expect("valid instance");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}")),
             &problem,
             |b, p| {
                 b.iter(|| {
                     let mut rng = SeedSequence::new(7).nth_rng(0);
-                    black_box(LpScheduler::new(4).schedule(p, &mut rng).expect("LP solves"))
-                })
+                    black_box(
+                        LpScheduler::new(4)
+                            .schedule(p, &mut rng)
+                            .expect("LP solves"),
+                    )
+                });
             },
         );
     }

@@ -1,8 +1,9 @@
 //! Testbed simulator throughput: full-day (48-slot) runs of the 100-node
 //! rooftop under the greedy policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+// Benchmarks abort loudly on a broken instance; unwrap/expect are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cool_common::SeedSequence;
 use cool_core::greedy::greedy_schedule;
 use cool_core::policy::SchedulePolicy;
@@ -10,18 +11,16 @@ use cool_core::problem::Problem;
 use cool_energy::ChargeCycle;
 use cool_testbed::{RooftopDeployment, TestbedSim};
 use cool_utility::DetectionUtility;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_sim_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("testbed_day");
     group.sample_size(20);
     for &n in &[25usize, 100] {
         let mut rng = SeedSequence::new(8).nth_rng(n as u64);
-        let deployment = RooftopDeployment::new(
-            cool_geometry::Rect::square(45.0),
-            n,
-            12.0,
-            &mut rng,
-        );
+        let deployment =
+            RooftopDeployment::new(cool_geometry::Rect::square(45.0), n, 12.0, &mut rng);
         let cycle = ChargeCycle::paper_sunny();
         let utility = DetectionUtility::uniform(n, 0.4);
         let problem = Problem::new(utility.clone(), cycle, 12).expect("valid instance");
@@ -33,13 +32,8 @@ fn bench_sim_day(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sim = TestbedSim::new(deployment.clone(), cycle);
                     let mut rng = SeedSequence::new(9).nth_rng(0);
-                    black_box(sim.run(
-                        SchedulePolicy::new(schedule.clone()),
-                        utility,
-                        48,
-                        &mut rng,
-                    ))
-                })
+                    black_box(sim.run(SchedulePolicy::new(schedule.clone()), utility, 48, &mut rng))
+                });
             },
         );
     }

@@ -1,11 +1,11 @@
 //! Utility-evaluation benches: incremental evaluators vs from-scratch
 //! marginal gains — the per-query cost behind every scheduler loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use cool_common::{SeedSequence, SensorId, SensorSet};
 use cool_core::instances::random_multi_target;
 use cool_utility::{Evaluator, UtilityFunction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 fn bench_gains(c: &mut Criterion) {
     let mut group = c.benchmark_group("marginal_gain");
@@ -31,7 +31,7 @@ fn bench_gains(c: &mut Criterion) {
                         acc += e.gain(SensorId(v));
                     }
                     black_box(acc)
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -44,7 +44,7 @@ fn bench_gains(c: &mut Criterion) {
                         acc += u.marginal_gain(s, SensorId(v));
                     }
                     black_box(acc)
-                })
+                });
             },
         );
     }

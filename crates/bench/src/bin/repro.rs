@@ -13,7 +13,6 @@ use cool_bench::experiments;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-
 /// Writes to stdout, exiting quietly if the reader closed the pipe early
 /// (`cool ... | head` must not panic).
 fn emit(text: &str) {
@@ -41,14 +40,15 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a directory"),
             },
             "list" => {
+                use std::fmt::Write as _;
                 let mut out = String::from("available experiments:\n");
                 for id in experiments::ALL {
-                    out.push_str(&format!("  {id}\n"));
+                    let _ = writeln!(out, "  {id}");
                 }
                 emit(&out);
                 return ExitCode::SUCCESS;
             }
-            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            "all" => ids.extend(experiments::ALL.iter().map(ToString::to_string)),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
             }

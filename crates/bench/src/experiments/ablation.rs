@@ -20,16 +20,25 @@ pub fn run(seed: u64) -> ExperimentReport {
     let t_slots = cycle.slots_per_period();
 
     // 1. Lazy vs naive greedy: identical outputs, different wall time.
-    let mut lazy_table =
-        Table::new(["n", "m", "naive ms", "lazy ms", "speedup", "identical output"]);
-    for (i, (n, m)) in [(100usize, 10usize), (200, 20), (400, 30)].iter().enumerate() {
+    let mut lazy_table = Table::new([
+        "n",
+        "m",
+        "naive ms",
+        "lazy ms",
+        "speedup",
+        "identical output",
+    ]);
+    for (i, (n, m)) in [(100usize, 10usize), (200, 20), (400, 30)]
+        .iter()
+        .enumerate()
+    {
         let mut rng = seeds.child(1).nth_rng(i as u64);
         let u = fig9_instance(*n, *m, &mut rng);
         let start = Instant::now();
-        let naive = greedy_active_naive(&u, t_slots);
+        let naive = greedy_active_naive(&u, t_slots).unwrap();
         let naive_ms = start.elapsed().as_secs_f64() * 1e3;
         let start = Instant::now();
-        let lazy = greedy_active_lazy(&u, t_slots);
+        let lazy = greedy_active_lazy(&u, t_slots).unwrap();
         let lazy_ms = start.elapsed().as_secs_f64() * 1e3;
         lazy_table.row([
             n.to_string(),
@@ -50,7 +59,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         let u = random_multi_target(*n, *m, 0.3, 0.4, &mut rng);
 
         let start = Instant::now();
-        let _ = greedy_active_naive(&u, t_slots);
+        let _ = greedy_active_naive(&u, t_slots).unwrap();
         let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
 
         // From-scratch variant: the same loop with marginal_gain on sets.
@@ -83,16 +92,14 @@ pub fn run(seed: u64) -> ExperimentReport {
     report.add_table("incremental_vs_scratch", eval_table);
 
     // 3. Greedy vs baselines across n (utility, not time).
-    let mut base_table =
-        Table::new(["n", "m", "greedy", "round-robin", "random", "static"]);
+    let mut base_table = Table::new(["n", "m", "greedy", "round-robin", "random", "static"]);
     for (i, (n, m)) in [(100usize, 10usize), (300, 30)].iter().enumerate() {
         let mut rng = seeds.child(3).nth_rng(i as u64);
         let u = fig9_instance(*n, *m, &mut rng);
         let problem = Problem::new(u, cycle, 1).expect("valid instance");
         let g = problem.average_utility_per_target_slot(&greedy_schedule(&problem));
         let rr = problem.average_utility_per_target_slot(&round_robin_schedule(&problem));
-        let rnd = problem
-            .average_utility_per_target_slot(&random_schedule(&problem, &mut rng));
+        let rnd = problem.average_utility_per_target_slot(&random_schedule(&problem, &mut rng));
         let st = problem.average_utility_per_target_slot(&static_schedule(&problem));
         base_table.row([
             n.to_string(),
@@ -135,18 +142,13 @@ pub fn run(seed: u64) -> ExperimentReport {
         use cool_utility::DetectionUtility;
 
         let mut rng = seeds.child(5).nth_rng(0);
-        let deployment = RooftopDeployment::new(
-            cool_geometry::Rect::square(30.0),
-            25,
-            10.0,
-            &mut rng,
-        );
+        let deployment =
+            RooftopDeployment::new(cool_geometry::Rect::square(30.0), 25, 10.0, &mut rng);
         let utility = DetectionUtility::uniform(25, 0.4);
         let problem = Problem::new(utility.clone(), cycle, 12).expect("valid instance");
         let schedule = cool_core::greedy::greedy_schedule(&problem);
         for leakage in [0.0, 0.02, 0.05, 0.1, 0.2] {
-            let mut sim = TestbedSim::new(deployment.clone(), cycle)
-                .with_ready_leakage(leakage);
+            let mut sim = TestbedSim::new(deployment.clone(), cycle).with_ready_leakage(leakage);
             let metrics = sim.run(
                 SchedulePolicy::new(schedule.clone()),
                 &utility,
@@ -192,7 +194,11 @@ mod tests {
     #[test]
     fn lazy_output_identical_and_baselines_ordered() {
         let r = run(5);
-        let (_, lazy) = r.tables().iter().find(|(n, _)| n == "lazy_vs_naive").unwrap();
+        let (_, lazy) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "lazy_vs_naive")
+            .unwrap();
         for line in lazy.to_csv().lines().skip(1) {
             assert!(line.ends_with("true"), "lazy output differs: {line}");
         }
@@ -204,8 +210,10 @@ mod tests {
                 .map(|c| c.parse().unwrap())
                 .collect();
             let (g, rr, rnd, st) = (cells[0], cells[1], cells[2], cells[3]);
-            assert!(g + 1e-9 >= rr && g + 1e-9 >= rnd && g + 1e-9 >= st,
-                    "greedy dominates: {line}");
+            assert!(
+                g + 1e-9 >= rr && g + 1e-9 >= rnd && g + 1e-9 >= st,
+                "greedy dominates: {line}"
+            );
             assert!(st < g, "static is strictly worse: {line}");
         }
     }
@@ -213,7 +221,11 @@ mod tests {
     #[test]
     fn numerical_drift_is_negligible() {
         let r = run(6);
-        let (_, drift) = r.tables().iter().find(|(n, _)| n == "numerical_drift").unwrap();
+        let (_, drift) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "numerical_drift")
+            .unwrap();
         let v: f64 = drift
             .to_csv()
             .lines()

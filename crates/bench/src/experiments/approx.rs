@@ -34,8 +34,8 @@ fn ratio_sweep(
         let m = 1 + trial % 3;
         let u = random_multi_target(n, m, 0.6, 0.4, &mut rng);
         let greedy = match mode {
-            ScheduleMode::ActiveSlot => greedy_active_naive(&u, slots),
-            ScheduleMode::PassiveSlot => greedy_passive_naive(&u, slots),
+            ScheduleMode::ActiveSlot => greedy_active_naive(&u, slots).unwrap(),
+            ScheduleMode::PassiveSlot => greedy_passive_naive(&u, slots).unwrap(),
         };
         let opt = exhaustive_optimal(&u, slots, mode);
         let g = greedy.period_utility(&u);
@@ -51,7 +51,11 @@ fn ratio_sweep(
             at_optimum += 1;
         }
     }
-    RatioStats { min, mean: sum / TRIALS as f64, at_optimum }
+    RatioStats {
+        min,
+        mean: sum / TRIALS as f64,
+        at_optimum,
+    }
 }
 
 /// Runs the approximation-ratio study.
@@ -69,7 +73,12 @@ pub fn run(seed: u64) -> ExperimentReport {
         "guarantee",
     ]);
     for (label, slots, mode, child) in [
-        ("greedy active (ρ>1)", 3usize, ScheduleMode::ActiveSlot, 0u64),
+        (
+            "greedy active (ρ>1)",
+            3usize,
+            ScheduleMode::ActiveSlot,
+            0u64,
+        ),
         ("greedy active (ρ>1)", 4, ScheduleMode::ActiveSlot, 1),
         ("greedy passive (ρ≤1)", 3, ScheduleMode::PassiveSlot, 2),
         ("greedy passive (ρ≤1)", 4, ScheduleMode::PassiveSlot, 3),
@@ -91,15 +100,13 @@ pub fn run(seed: u64) -> ExperimentReport {
     // utility exactly by α, so the horizon ratio equals the period ratio.
     let mut rng = seeds.child(9).nth_rng(0);
     let u = random_multi_target(6, 2, 0.6, 0.4, &mut rng);
-    let schedule = greedy_active_naive(&u, 4);
+    let schedule = greedy_active_naive(&u, 4).unwrap();
     let per_period = schedule.period_utility(&u);
     let mut repeat = Table::new(["alpha", "total utility", "alpha × period utility"]);
     for alpha in [1usize, 2, 4, 12] {
         // Summing the repeated schedule slot-by-slot:
         let total: f64 = (0..alpha)
-            .map(|_| {
-                (0..4).map(|t| u.eval(&schedule.active_set(t))).sum::<f64>()
-            })
+            .map(|_| (0..4).map(|t| u.eval(&schedule.active_set(t))).sum::<f64>())
             .sum();
         repeat.row([
             alpha.to_string(),
@@ -130,11 +137,9 @@ pub fn run(seed: u64) -> ExperimentReport {
             let n = 3 + trial % 5;
             let u = random_multi_target(n, 2, 0.6, 0.4, &mut rng);
             let slots = 3;
-            let greedy = greedy_active_naive(&u, slots);
-            let improved =
-                cool_core::local_search::improve_schedule(greedy.clone(), &u, 32);
-            let opt = exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot)
-                .period_utility(&u);
+            let greedy = greedy_active_naive(&u, slots).unwrap();
+            let improved = cool_core::local_search::improve_schedule(greedy.clone(), &u, 32);
+            let opt = exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot).period_utility(&u);
             let g_ratio = greedy.period_utility(&u) / opt;
             let l_ratio = improved.final_value / opt;
             assert!(l_ratio >= g_ratio - 1e-12, "local search never degrades");
@@ -177,15 +182,21 @@ mod tests {
         for line in table.to_csv().lines().skip(1) {
             let min_ratio: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
             assert!(min_ratio >= 0.5);
-            assert!(min_ratio > 0.8, "empirically ratios are high, got {min_ratio}");
+            assert!(
+                min_ratio > 0.8,
+                "empirically ratios are high, got {min_ratio}"
+            );
         }
     }
 
     #[test]
     fn repetition_identity_exact() {
         let r = run(12);
-        let (_, table) =
-            r.tables().iter().find(|(n, _)| n == "theorem43_repetition").unwrap();
+        let (_, table) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "theorem43_repetition")
+            .unwrap();
         for line in table.to_csv().lines().skip(1) {
             let mut cells = line.split(',');
             let _alpha = cells.next();

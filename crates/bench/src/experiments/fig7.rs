@@ -20,8 +20,14 @@ pub fn run(seed: u64) -> ExperimentReport {
 
     // Hourly trace excerpt per node/day (the figure's series, decimated).
     for trace in set.traces() {
-        let mut table =
-            Table::new(["day", "weather", "hour", "light W/m²", "voltage V", "charge mA"]);
+        let mut table = Table::new([
+            "day",
+            "weather",
+            "hour",
+            "light W/m²",
+            "voltage V",
+            "charge mA",
+        ]);
         for (d, day) in trace.days.iter().enumerate() {
             for sample in day.samples().iter().filter(|s| s.minute % 60.0 == 0.0) {
                 table.row([
@@ -88,7 +94,7 @@ pub fn run(seed: u64) -> ExperimentReport {
                 format!("{:.3}", day.daytime_voltage_relative_spread()),
                 fitted.map_or("n/a".into(), |p| format!("{:.1}", p.recharge_minutes)),
                 fitted.map_or("n/a".into(), |p| format!("{:.2}", p.rho())),
-                cv.map_or("n/a".into(), |c| format!("{:.3}", c)),
+                cv.map_or("n/a".into(), |c| format!("{c:.3}")),
             ]);
         }
     }
@@ -117,14 +123,22 @@ mod tests {
         assert_eq!(r.tables().len(), 3);
         assert!(r.tables().iter().any(|(n, _)| n == "node5_trace"));
         assert!(r.tables().iter().any(|(n, _)| n == "node6_trace"));
-        let (_, claims) = r.tables().iter().find(|(n, _)| n == "pattern_stability").unwrap();
+        let (_, claims) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "pattern_stability")
+            .unwrap();
         assert_eq!(claims.len(), 6, "2 nodes × 3 days");
     }
 
     #[test]
     fn sunny_first_day_estimates_paper_pattern() {
         let r = run(2009);
-        let (_, claims) = r.tables().iter().find(|(n, _)| n == "pattern_stability").unwrap();
+        let (_, claims) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "pattern_stability")
+            .unwrap();
         // Render and spot-check the first row mentions a T_r close to 45.
         let csv = claims.to_csv();
         let first_row = csv.lines().nth(1).unwrap();

@@ -9,8 +9,8 @@ use cool_core::bounds::single_target_upper_bound;
 use cool_core::greedy::greedy_schedule;
 use cool_core::instances::fig8_instance;
 use cool_core::optimal::branch_and_bound;
-use cool_core::symmetric::optimal_partition_dp;
 use cool_core::problem::Problem;
+use cool_core::symmetric::optimal_partition_dp;
 use cool_energy::ChargeCycle;
 use cool_utility::AnyUtility;
 
@@ -24,9 +24,7 @@ fn multi_target_bound(u: &cool_utility::SumUtility, t: usize, p: f64) -> f64 {
         .parts()
         .iter()
         .map(|part| match part {
-            AnyUtility::Detection(d) => {
-                single_target_upper_bound(d.coverage().len(), t, p)
-            }
+            AnyUtility::Detection(d) => single_target_upper_bound(d.coverage().len(), t, p),
             _ => 1.0,
         })
         .collect();
@@ -44,7 +42,13 @@ pub fn run(seed: u64) -> ExperimentReport {
         let mut greedy_points = Vec::new();
         let mut bound_points = Vec::new();
         let mut table = if m == 1 {
-            Table::new(["n", "greedy avg utility", "exact optimum (DP)", "upper bound", "gap %"])
+            Table::new([
+                "n",
+                "greedy avg utility",
+                "exact optimum (DP)",
+                "upper bound",
+                "gap %",
+            ])
         } else {
             Table::new(["n", "greedy avg utility", "upper bound", "gap %"])
         };
@@ -69,9 +73,11 @@ pub fn run(seed: u64) -> ExperimentReport {
                 // DP gives the exact optimum even at n = 100, where T^n
                 // enumeration is unthinkable.
                 let t = cycle.slots_per_period();
-                let exact =
-                    optimal_partition_dp(n, t, |k| 1.0 - 0.6f64.powi(k as i32)).value
-                        / t as f64;
+                let exact = optimal_partition_dp(n, t, |k| {
+                    1.0 - 0.6f64.powi(i32::try_from(k).unwrap_or(i32::MAX))
+                })
+                .value
+                    / t as f64;
                 table.row([
                     n.to_string(),
                     format!("{greedy:.6}"),
@@ -104,8 +110,7 @@ pub fn run(seed: u64) -> ExperimentReport {
 
     // Optimal-by-enumeration comparison, feasible at small n (the paper
     //'s "optimal obtained by enumerating all possible scheduling").
-    let mut opt_table =
-        Table::new(["m", "n", "greedy", "optimal (B&B)", "ratio"]);
+    let mut opt_table = Table::new(["m", "n", "greedy", "optimal (B&B)", "ratio"]);
     for m in 1..=4usize {
         for n in [4usize, 6, 8, 10] {
             let mut rng = seeds.child(100 + m as u64).nth_rng(n as u64);
@@ -152,7 +157,10 @@ mod tests {
         let row = csv.lines().nth(1).unwrap();
         assert!(row.starts_with("20,0.9222"), "row was {row}");
         let cells: Vec<&str> = row.split(',').collect();
-        assert_eq!(cells[1], cells[2], "greedy equals the exact symmetric optimum");
+        assert_eq!(
+            cells[1], cells[2],
+            "greedy equals the exact symmetric optimum"
+        );
         // n = 100 row: greedy = 1 − 0.6^25 ≈ 0.9999972.
         let row = csv.lines().nth(5).unwrap();
         assert!(row.starts_with("100,0.99999"), "row was {row}");
@@ -161,8 +169,11 @@ mod tests {
     #[test]
     fn greedy_is_near_optimal_on_enumerable_instances() {
         let r = run(43);
-        let (_, table) =
-            r.tables().iter().find(|(n, _)| n == "greedy_vs_optimal").unwrap();
+        let (_, table) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "greedy_vs_optimal")
+            .unwrap();
         for line in table.to_csv().lines().skip(1) {
             let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
             assert!(ratio >= 0.9, "greedy/optimal ratio {ratio} in {line}");

@@ -102,16 +102,40 @@ mod tests {
     #[test]
     fn floors_hold() {
         let r = run(99);
-        let (_, floors) = r.tables().iter().find(|(n, _)| n == "utility_floors").unwrap();
+        let (_, floors) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "utility_floors")
+            .unwrap();
         let csv = floors.to_csv();
-        let small: f64 =
-            csv.lines().nth(1).unwrap().split(',').next_back().unwrap().parse().unwrap();
-        let large: f64 =
-            csv.lines().nth(2).unwrap().split(',').next_back().unwrap().parse().unwrap();
+        let small: f64 = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let large: f64 = csv
+            .lines()
+            .nth(2)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(small >= 0.5, "½-approximation floor: {small}");
         assert!(large >= 0.5, "½-approximation floor: {large}");
-        assert!((small - 0.69).abs() < 0.12, "n≤200 floor near paper's 0.69: {small}");
-        assert!((large - 0.78).abs() < 0.12, "n≥300 floor near paper's 0.78: {large}");
+        assert!(
+            (small - 0.69).abs() < 0.12,
+            "n≤200 floor near paper's 0.69: {small}"
+        );
+        assert!(
+            (large - 0.78).abs() < 0.12,
+            "n≥300 floor near paper's 0.78: {large}"
+        );
         assert!(large > small, "more sensors help");
     }
 

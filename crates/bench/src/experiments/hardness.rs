@@ -52,8 +52,8 @@ pub fn run(_seed: u64) -> ExperimentReport {
         let utility = LogSumUtility::from_integers(xs);
         let total = utility.total_weight();
         let bound = 2.0 * (1.0 + total / 2.0).ln();
-        let opt = exhaustive_optimal(&utility, 2, ScheduleMode::ActiveSlot)
-            .period_utility(&utility);
+        let opt =
+            exhaustive_optimal(&utility, 2, ScheduleMode::ActiveSlot).period_utility(&utility);
         let achieves = (opt - bound).abs() < 1e-9;
         let balanced = has_balanced_split(xs);
         assert_eq!(

@@ -35,7 +35,11 @@ pub fn run(seed: u64) -> ExperimentReport {
     let metrics = sim.run(SchedulePolicy::new(schedule), &utility, slots, &mut rng);
 
     let mut table = Table::new(["quantity", "paper", "this reproduction"]);
-    table.row(["greedy avg utility (ideal schedule)", "0.983408764", &format!("{ideal:.9}")]);
+    table.row([
+        "greedy avg utility (ideal schedule)",
+        "0.983408764",
+        &format!("{ideal:.9}"),
+    ]);
     table.row(["optimum upper bound", "0.999380", &format!("{bound:.9}")]);
     table.row([
         "greedy avg utility (simulated testbed, 30 days)",
@@ -94,10 +98,24 @@ mod tests {
         let r = run(8);
         let (_, table) = &r.tables()[0];
         let csv = table.to_csv();
-        let ideal: f64 =
-            csv.lines().nth(1).unwrap().split(',').next_back().unwrap().parse().unwrap();
-        let simulated: f64 =
-            csv.lines().nth(3).unwrap().split(',').next_back().unwrap().parse().unwrap();
+        let ideal: f64 = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let simulated: f64 = csv
+            .lines()
+            .nth(3)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((ideal - simulated).abs() < 1e-6, "{ideal} vs {simulated}");
     }
 }

@@ -18,10 +18,19 @@ pub fn run(seed: u64) -> ExperimentReport {
 
     // 1. Homogeneous sanity: horizon greedy vs Theorem 4.3 period
     //    repetition — same model, so they should be close (typically equal).
-    let mut homo = Table::new(["n", "m", "alpha", "horizon greedy", "period repeated", "ratio"]);
+    let mut homo = Table::new([
+        "n",
+        "m",
+        "alpha",
+        "horizon greedy",
+        "period repeated",
+        "ratio",
+    ]);
     let sunny = ChargeCycle::paper_sunny();
     let t = sunny.slots_per_period();
-    for (i, (n, m, alpha)) in [(8usize, 2usize, 2usize), (12, 3, 3), (16, 4, 2)].iter().enumerate()
+    for (i, (n, m, alpha)) in [(8usize, 2usize, 2usize), (12, 3, 3), (16, 4, 2)]
+        .iter()
+        .enumerate()
     {
         let mut h_sum = 0.0;
         let mut r_sum = 0.0;
@@ -31,7 +40,8 @@ pub fn run(seed: u64) -> ExperimentReport {
             let cycles = vec![sunny; *n];
             let horizon = greedy_horizon(&u, &cycles, alpha * t);
             assert!(horizon.is_feasible(&cycles));
-            let repeated = HorizonSchedule::from_period(&greedy_active_naive(&u, t), *alpha);
+            let repeated =
+                HorizonSchedule::from_period(&greedy_active_naive(&u, t).unwrap(), *alpha);
             h_sum += horizon.total_utility(&u);
             r_sum += repeated.total_utility(&u);
         }
@@ -49,19 +59,34 @@ pub fn run(seed: u64) -> ExperimentReport {
     // 2. Heterogeneous fleets: mixed ρ per sensor. Homogeneous schedulers
     //    must assume the worst cycle fleet-wide; the horizon greedy uses
     //    each sensor's own budget.
-    let mut hetero =
-        Table::new(["fleet", "horizon greedy", "worst-cycle fallback", "improvement"]);
+    let mut hetero = Table::new([
+        "fleet",
+        "horizon greedy",
+        "worst-cycle fallback",
+        "improvement",
+    ]);
     for (i, (label, rhos)) in [
-        ("half ρ=3, half ρ=7", vec![3.0, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0, 7.0]),
-        ("mixed ρ ∈ {1,3,7}", vec![1.0, 1.0, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0]),
-        ("mostly fast ρ=1", vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 7.0, 7.0]),
+        (
+            "half ρ=3, half ρ=7",
+            vec![3.0, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0, 7.0],
+        ),
+        (
+            "mixed ρ ∈ {1,3,7}",
+            vec![1.0, 1.0, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0],
+        ),
+        (
+            "mostly fast ρ=1",
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 7.0, 7.0],
+        ),
     ]
     .iter()
     .enumerate()
     {
         let n = rhos.len();
-        let cycles: Vec<ChargeCycle> =
-            rhos.iter().map(|&r| ChargeCycle::from_rho(r, 15.0).expect("integral rho")).collect();
+        let cycles: Vec<ChargeCycle> = rhos
+            .iter()
+            .map(|&r| ChargeCycle::from_rho(r, 15.0).expect("integral rho"))
+            .collect();
         let worst = cycles
             .iter()
             .copied()
@@ -76,7 +101,7 @@ pub fn run(seed: u64) -> ExperimentReport {
             let u = random_multi_target(n, 3, 0.6, 0.4, &mut rng);
             let horizon = greedy_horizon(&u, &cycles, horizon_slots);
             assert!(horizon.is_feasible(&cycles));
-            let fallback_period = greedy_active_naive(&u, worst.slots_per_period());
+            let fallback_period = greedy_active_naive(&u, worst.slots_per_period()).unwrap();
             let fallback = HorizonSchedule::from_period(&fallback_period, 2);
             h_sum += horizon.total_utility(&u);
             w_sum += fallback.total_utility(&u);
@@ -138,7 +163,11 @@ mod tests {
     #[test]
     fn homogeneous_ratios_near_one() {
         let r = run(77);
-        let (_, homo) = r.tables().iter().find(|(n, _)| n == "homogeneous_sanity").unwrap();
+        let (_, homo) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "homogeneous_sanity")
+            .unwrap();
         for line in homo.to_csv().lines().skip(1) {
             let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
             assert!((0.95..=1.05).contains(&ratio), "ratio {ratio} in {line}");
@@ -148,11 +177,17 @@ mod tests {
     #[test]
     fn heterogeneous_always_improves() {
         let r = run(78);
-        let (_, het) =
-            r.tables().iter().find(|(n, _)| n == "heterogeneous_fleets").unwrap();
+        let (_, het) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "heterogeneous_fleets")
+            .unwrap();
         for line in het.to_csv().lines().skip(1) {
             let imp = line.split(',').next_back().unwrap();
-            assert!(imp.starts_with('+'), "improvement should be positive: {line}");
+            assert!(
+                imp.starts_with('+'),
+                "improvement should be positive: {line}"
+            );
         }
     }
 }

@@ -16,12 +16,7 @@ use rand::Rng;
 
 const TRIALS: usize = 8;
 
-fn random_coverages<R: Rng + ?Sized>(
-    n: usize,
-    m: usize,
-    prob: f64,
-    rng: &mut R,
-) -> Vec<SensorSet> {
+fn random_coverages<R: Rng + ?Sized>(n: usize, m: usize, prob: f64, rng: &mut R) -> Vec<SensorSet> {
     (0..m)
         .map(|_| {
             let mut cov = SensorSet::new(n);
@@ -53,15 +48,15 @@ pub fn run(seed: u64) -> ExperimentReport {
     for k in 1..=5u32 {
         let mut sum = 0.0;
         for trial in 0..TRIALS {
-            let mut rng = seeds.child(k as u64).nth_rng(trial as u64);
+            let mut rng = seeds.child(u64::from(k)).nth_rng(trial as u64);
             let coverages = random_coverages(40, 6, 0.5, &mut rng);
             let u = KCoverageUtility::uniform(coverages, k);
-            let schedule = greedy_active_naive(&u, t);
+            let schedule = greedy_active_naive(&u, t).unwrap();
             sum += schedule.period_utility(&u) / (t * u.n_targets()) as f64;
         }
         let avg = sum / TRIALS as f64;
         table.row([k.to_string(), format!("{avg:.4}"), "1.0000".to_string()]);
-        series.push((k as f64, avg));
+        series.push((f64::from(k), avg));
     }
     report.add_table("utility_vs_k", table);
     report.add_chart(
@@ -77,11 +72,14 @@ pub fn run(seed: u64) -> ExperimentReport {
 
     // 2. Greedy vs exact optimum on enumerable instances.
     let mut opt_table = Table::new(["n", "m", "k", "greedy", "optimal", "ratio"]);
-    for (i, (n, m, k)) in [(6usize, 2usize, 2u32), (8, 3, 2), (8, 2, 3)].iter().enumerate() {
+    for (i, (n, m, k)) in [(6usize, 2usize, 2u32), (8, 3, 2), (8, 2, 3)]
+        .iter()
+        .enumerate()
+    {
         let mut rng = seeds.child(100 + i as u64).nth_rng(0);
         let coverages = random_coverages(*n, *m, 0.7, &mut rng);
         let u = KCoverageUtility::uniform(coverages, *k);
-        let greedy = greedy_active_naive(&u, t).period_utility(&u);
+        let greedy = greedy_active_naive(&u, t).unwrap().period_utility(&u);
         let optimal = branch_and_bound(&u, t).period_utility(&u);
         assert!(
             greedy + 1e-9 >= 0.5 * optimal,
@@ -114,7 +112,11 @@ mod tests {
     #[test]
     fn utility_decreases_in_k_and_ratios_hold() {
         let r = run(55);
-        let (_, table) = r.tables().iter().find(|(n, _)| n == "utility_vs_k").unwrap();
+        let (_, table) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "utility_vs_k")
+            .unwrap();
         let values: Vec<f64> = table
             .to_csv()
             .lines()
@@ -122,10 +124,17 @@ mod tests {
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
         for pair in values.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-9, "higher k cannot raise utility: {values:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-9,
+                "higher k cannot raise utility: {values:?}"
+            );
         }
 
-        let (_, opt) = r.tables().iter().find(|(n, _)| n == "greedy_vs_optimal").unwrap();
+        let (_, opt) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "greedy_vs_optimal")
+            .unwrap();
         for line in opt.to_csv().lines().skip(1) {
             let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
             assert!((0.5..=1.0 + 1e-9).contains(&ratio), "{line}");

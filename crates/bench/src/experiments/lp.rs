@@ -27,14 +27,16 @@ pub fn run(seed: u64) -> ExperimentReport {
         "optimal",
         "rounding/opt",
     ]);
-    for (i, (n, m)) in [(6usize, 1usize), (8, 2), (10, 3), (12, 2)].iter().enumerate() {
+    for (i, (n, m)) in [(6usize, 1usize), (8, 2), (10, 3), (12, 2)]
+        .iter()
+        .enumerate()
+    {
         let mut rng = seeds.nth_rng(i as u64);
         let utility = random_multi_target(*n, *m, 0.6, 0.4, &mut rng);
         let problem = Problem::new(utility.clone(), cycle, 1).expect("valid instance");
         let outcome = scheduler.schedule(&problem, &mut rng).expect("LP solves");
         let greedy = greedy_schedule(&problem).period_utility(&utility);
-        let optimal =
-            branch_and_bound(&utility, cycle.slots_per_period()).period_utility(&utility);
+        let optimal = branch_and_bound(&utility, cycle.slots_per_period()).period_utility(&utility);
         assert!(
             outcome.lp_value + 1e-6 >= optimal,
             "LP value {} must upper-bound OPT {}",
@@ -48,7 +50,10 @@ pub fn run(seed: u64) -> ExperimentReport {
             format!("{:.6}", outcome.rounded_value),
             format!("{greedy:.6}"),
             format!("{optimal:.6}"),
-            format!("{:.4}", outcome.rounded_value / optimal.max(f64::MIN_POSITIVE)),
+            format!(
+                "{:.4}",
+                outcome.rounded_value / optimal.max(f64::MIN_POSITIVE)
+            ),
         ]);
     }
     report.add_table("lp_vs_greedy", table);
@@ -61,7 +66,9 @@ pub fn run(seed: u64) -> ExperimentReport {
     let mut trials_table = Table::new(["rounding trials", "best rounded value"]);
     for k in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut rng = seeds.nth_rng(200);
-        let outcome = LpScheduler::new(k).schedule(&problem, &mut rng).expect("LP solves");
+        let outcome = LpScheduler::new(k)
+            .schedule(&problem, &mut rng)
+            .expect("LP solves");
         trials_table.row([k.to_string(), format!("{:.6}", outcome.rounded_value)]);
     }
     report.add_table("rounding_trials", trials_table);
@@ -100,7 +107,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         )
         .expect("window LP solves");
         let repeated = cool_core::horizon::HorizonSchedule::from_period(
-            &cool_core::greedy::greedy_active_naive(&utility, t),
+            &cool_core::greedy::greedy_active_naive(&utility, t).unwrap(),
             *alpha,
         );
         window_table.row([
@@ -135,7 +142,10 @@ mod tests {
         assert_eq!(table.len(), 4);
         for line in table.to_csv().lines().skip(1) {
             let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
-            assert!(ratio > 0.6, "rounding recovers most of the optimum: {ratio}");
+            assert!(
+                ratio > 0.6,
+                "rounding recovers most of the optimum: {ratio}"
+            );
             assert!(ratio <= 1.0 + 1e-9);
         }
     }
@@ -143,7 +153,11 @@ mod tests {
     #[test]
     fn more_rounding_trials_never_hurt() {
         let r = run(32);
-        let (_, table) = r.tables().iter().find(|(n, _)| n == "rounding_trials").unwrap();
+        let (_, table) = r
+            .tables()
+            .iter()
+            .find(|(n, _)| n == "rounding_trials")
+            .unwrap();
         let values: Vec<f64> = table
             .to_csv()
             .lines()
@@ -151,7 +165,10 @@ mod tests {
             .map(|l| l.split(',').next_back().unwrap().parse().unwrap())
             .collect();
         for pair in values.windows(2) {
-            assert!(pair[1] + 1e-9 >= pair[0], "best-of-k is monotone in k: {values:?}");
+            assert!(
+                pair[1] + 1e-9 >= pair[0],
+                "best-of-k is monotone in k: {values:?}"
+            );
         }
     }
 }

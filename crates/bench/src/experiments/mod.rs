@@ -18,8 +18,19 @@ use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
 pub const ALL: [&str; 13] = [
-    "fig7", "fig8", "headline", "fig9", "hardness", "approx", "lp", "randmodel", "testbed30",
-    "ablation", "horizon", "region", "kcover",
+    "fig7",
+    "fig8",
+    "headline",
+    "fig9",
+    "hardness",
+    "approx",
+    "lp",
+    "randmodel",
+    "testbed30",
+    "ablation",
+    "horizon",
+    "region",
+    "kcover",
 ];
 
 /// Dispatches an experiment by id.

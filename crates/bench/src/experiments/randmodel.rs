@@ -2,9 +2,9 @@
 //! evaluate by Monte-Carlo simulation of the stochastic energy process.
 
 use crate::ExperimentReport;
+use cool_common::SensorSet;
 use cool_common::{SeedSequence, Table};
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
-use cool_common::SensorSet;
 use cool_core::stochastic::{rho_prime_cycle, simulate_schedule, stochastic_greedy, stochastic_lp};
 use cool_energy::RandomChargeModel;
 use cool_utility::SumUtility;
@@ -47,13 +47,19 @@ pub fn run(seed: u64) -> ExperimentReport {
         } else {
             ScheduleMode::PassiveSlot
         };
-        let round_robin =
-            PeriodSchedule::new(mode, t, (0..n).map(|v| v % t).collect());
+        let round_robin = PeriodSchedule::new(mode, t, (0..n).map(|v| v % t).collect());
         let static_plan = PeriodSchedule::new(mode, t, vec![0; n]);
 
         let sim = |plan: &PeriodSchedule, stream: u64| {
             let mut rng = seeds.child(i as u64).nth_rng(stream);
-            simulate_schedule(&utility, plan, &model, cycle.slot_minutes(), SIM_PERIODS, &mut rng)
+            simulate_schedule(
+                &utility,
+                plan,
+                &model,
+                cycle.slot_minutes(),
+                SIM_PERIODS,
+                &mut rng,
+            )
         };
         let g = sim(&greedy_plan, 0);
         let lp = stochastic_lp(&utility, &model, 16, &mut seeds.child(i as u64).nth_rng(9))

@@ -52,16 +52,21 @@ pub fn run(seed: u64) -> ExperimentReport {
 
         let problem = Problem::new(utility, cycle, 1).expect("valid instance");
         let greedy = problem.average_utility_per_slot(&greedy_schedule(&problem)) / max;
-        let rr =
-            problem.average_utility_per_slot(&round_robin_schedule(&problem)) / max;
+        let rr = problem.average_utility_per_slot(&round_robin_schedule(&problem)) / max;
         let st = problem.average_utility_per_slot(&static_schedule(&problem)) / max;
 
         table.row([
             n.to_string(),
             arrangement.subregions().len().to_string(),
             (n * n).to_string(),
-            format!("{:.1}", arrangement.total_coverable_area() / omega.area() * 100.0),
-            format!("{:.1}", arrangement.area_covered_at_least(2) / omega.area() * 100.0),
+            format!(
+                "{:.1}",
+                arrangement.total_coverable_area() / omega.area() * 100.0
+            ),
+            format!(
+                "{:.1}",
+                arrangement.area_covered_at_least(2) / omega.area() * 100.0
+            ),
             format!("{:.1}", greedy * 100.0),
             format!("{:.1}", rr * 100.0),
             format!("{:.1}", st * 100.0),

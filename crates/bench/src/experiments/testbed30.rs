@@ -55,16 +55,22 @@ pub fn run(seed: u64) -> ExperimentReport {
         "activation rate",
     ]);
     let mut overall = OnlineStats::new();
-    let mut per_weather: std::collections::BTreeMap<String, OnlineStats> = Default::default();
+    let mut per_weather = std::collections::BTreeMap::<String, OnlineStats>::new();
 
     for day in 0..DAYS {
-        let weather =
-            if day == 0 { Weather::Sunny } else { weather_gen.next_day(&mut rng) };
+        let weather = if day == 0 {
+            Weather::Sunny
+        } else {
+            weather_gen.next_day(&mut rng)
+        };
 
         // Morning: estimate the day's charging pattern from a harvest trace
         // (the §VI-A measurement pipeline) and re-plan.
         let trace = HarvestTrace::generate(
-            HarvestConfig { weather, ..HarvestConfig::default() },
+            HarvestConfig {
+                weather,
+                ..HarvestConfig::default()
+            },
             &mut seeds.child(1).nth_rng(day as u64),
         );
         let fitted = fit_pattern(&estimate_pattern(&trace, 120.0, 30.0), 15.0);
@@ -85,7 +91,10 @@ pub fn run(seed: u64) -> ExperimentReport {
 
         let per_target = metrics.average_utility() / TARGETS as f64;
         overall.push(per_target);
-        per_weather.entry(weather.to_string()).or_default().push(per_target);
+        per_weather
+            .entry(weather.to_string())
+            .or_default()
+            .push(per_target);
         days_table.row([
             (day + 1).to_string(),
             weather.to_string(),
@@ -133,11 +142,7 @@ pub fn run(seed: u64) -> ExperimentReport {
 struct SnapshotPolicy<'a>(&'a mut AdaptivePolicy<SumUtility>);
 
 impl ActivationPolicy for SnapshotPolicy<'_> {
-    fn decide(
-        &mut self,
-        slot: usize,
-        ready: &cool_common::SensorSet,
-    ) -> cool_common::SensorSet {
+    fn decide(&mut self, slot: usize, ready: &cool_common::SensorSet) -> cool_common::SensorSet {
         self.0.decide(slot, ready)
     }
 
@@ -157,9 +162,15 @@ mod tests {
         assert_eq!(daily.len(), DAYS);
         let (_, summary) = r.tables().iter().find(|(n, _)| n == "summary").unwrap();
         let csv = summary.to_csv();
-        let sunny = csv.lines().find(|l| l.starts_with("sunny")).expect("some sunny days");
+        let sunny = csv
+            .lines()
+            .find(|l| l.starts_with("sunny"))
+            .expect("some sunny days");
         let mean: f64 = sunny.split(',').nth(2).unwrap().parse().unwrap();
-        assert!(mean > 0.8, "sunny-day per-target utility is high, got {mean}");
+        assert!(
+            mean > 0.8,
+            "sunny-day per-target utility is high, got {mean}"
+        );
         let min: f64 = sunny.split(',').nth(3).unwrap().parse().unwrap();
         assert!(min > 0.0, "per-weather min tracks real observations");
     }

@@ -90,7 +90,13 @@ impl ExperimentReport {
 
 fn slugify(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -138,7 +144,12 @@ mod tests {
         r.add_table("My Table!", t);
         let written = r.write_csvs(&tmp).unwrap();
         assert_eq!(written.len(), 1);
-        assert!(written[0].file_name().unwrap().to_str().unwrap().starts_with("x_my_table_"));
+        assert!(written[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("x_my_table_"));
         let content = std::fs::read_to_string(&written[0]).unwrap();
         assert!(content.starts_with("c\n"));
         std::fs::remove_dir_all(&tmp).ok();

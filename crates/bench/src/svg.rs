@@ -18,7 +18,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points }
+        Series {
+            name: name.into(),
+            points,
+        }
     }
 }
 
@@ -48,7 +51,9 @@ pub struct LineChart {
 }
 
 /// A qualitative palette that stays readable on white.
-const PALETTE: [&str; 6] = ["#1b6ca8", "#d1495b", "#3a7d44", "#8d6a9f", "#c77d1e", "#444444"];
+const PALETTE: [&str; 6] = [
+    "#1b6ca8", "#d1495b", "#3a7d44", "#8d6a9f", "#c77d1e", "#444444",
+];
 
 const MARGIN_LEFT: f64 = 64.0;
 const MARGIN_RIGHT: f64 = 24.0;
@@ -99,9 +104,7 @@ impl LineChart {
         let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
         let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
         let px = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
-        let py = |y: f64| {
-            MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h
-        };
+        let py = |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h;
 
         let mut svg = String::new();
         let _ = write!(
@@ -110,7 +113,11 @@ impl LineChart {
             w = self.width,
             h = self.height
         );
-        let _ = write!(svg, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+        let _ = write!(
+            svg,
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        );
         // Title and axis labels.
         let _ = write!(
             svg,
@@ -136,14 +143,10 @@ impl LineChart {
         // Axes + grid + ticks.
         let _ = write!(
             svg,
-            r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#999"/>"##,
-            x = MARGIN_LEFT,
-            y = MARGIN_TOP,
-            w = plot_w,
-            h = plot_h
+            r##"<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#999"/>"##,
         );
         for i in 0..=4 {
-            let frac = i as f64 / 4.0;
+            let frac = f64::from(i) / 4.0;
             let xv = x_min + frac * (x_max - x_min);
             let yv = y_min + frac * (y_max - y_min);
             let xp = px(xv);
@@ -249,7 +252,9 @@ impl LineChart {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn format_tick(v: f64) -> String {
@@ -268,8 +273,14 @@ mod tests {
 
     fn chart() -> LineChart {
         LineChart::new("Fig. 8(a)", "number of sensors", "utility")
-            .with_series(Series::new("greedy", vec![(20.0, 0.92), (60.0, 0.99), (100.0, 0.999)]))
-            .with_series(Series::new("bound", vec![(20.0, 0.93), (60.0, 0.995), (100.0, 0.9995)]))
+            .with_series(Series::new(
+                "greedy",
+                vec![(20.0, 0.92), (60.0, 0.99), (100.0, 0.999)],
+            ))
+            .with_series(Series::new(
+                "bound",
+                vec![(20.0, 0.93), (60.0, 0.995), (100.0, 0.9995)],
+            ))
     }
 
     #[test]
@@ -303,7 +314,10 @@ mod tests {
     #[test]
     fn fixed_y_range_is_respected() {
         let svg = chart().with_y_range(0.0, 1.0).render();
-        assert!(svg.contains(">1<") || svg.contains(">1.00<"), "top tick shows 1: {svg}");
+        assert!(
+            svg.contains(">1<") || svg.contains(">1.00<"),
+            "top tick shows 1: {svg}"
+        );
     }
 
     #[test]

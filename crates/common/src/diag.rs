@@ -1,0 +1,233 @@
+//! The stable `COOL-Exxx` / `COOL-Wxxx` diagnostic code table.
+//!
+//! Every machine-readable diagnostic the workspace emits — from the
+//! `cool-lint` static analyser, from typed scheduler errors in `cool-core`,
+//! or from the `cool-testbed` simulation pre-flight — carries one of these
+//! codes. The table is append-only: codes are never renumbered or reused,
+//! so downstream tooling can match on them across releases.
+//!
+//! `E` codes are errors (the input is rejected); `W` codes are warnings
+//! (the input is suspicious but simulable).
+
+use std::fmt;
+
+/// A stable diagnostic code.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::CoolCode;
+///
+/// assert_eq!(CoolCode::InfeasiblePeriodStructure.as_str(), "COOL-E001");
+/// assert_eq!(CoolCode::InfeasiblePeriodStructure.name(), "infeasible-period-structure");
+/// assert!(CoolCode::InfeasiblePeriodStructure.is_error());
+/// assert!(!CoolCode::UnknownScenarioKey.is_error());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CoolCode {
+    /// COOL-E001: a schedule's slot/period/mode structure contradicts `ρ`
+    /// (e.g. `ρ > 1` but a sensor is active in more than one slot per
+    /// period, or the slot count differs from the cycle's `T`).
+    InfeasiblePeriodStructure,
+    /// COOL-E002: a schedule over zero slots was requested.
+    EmptySlotCount,
+    /// COOL-E003: a sensor is activated in more slots per period than its
+    /// energy budget allows.
+    ActivationBudgetExceeded,
+    /// COOL-E004: replaying the schedule against the battery state machine
+    /// found an activation the battery cannot honour.
+    EnergyInfeasibleSchedule,
+    /// COOL-E005: a detection probability is NaN, negative, or above 1.
+    InvalidProbability,
+    /// COOL-E006: a sensing disk is degenerate (non-positive or non-finite
+    /// radius, or a non-finite centre).
+    DegenerateSensingDisk,
+    /// COOL-E007: a scenario field holds an out-of-range or unparsable
+    /// value.
+    ScenarioFieldInvalid,
+    /// COOL-E008: a scenario line is not `key = value` or a comment.
+    ScenarioLineMalformed,
+    /// COOL-E009: a utility function decreased when its argument set grew.
+    NonMonotoneUtility,
+    /// COOL-E010: a utility function violated diminishing returns — the
+    /// greedy `½`-approximation (and the `1 − 1/e` regime) would be void.
+    NonSubmodularUtility,
+    /// COOL-E011: `U(∅) ≠ 0`.
+    NonNormalizedUtility,
+    /// COOL-E012: neither `ρ` nor `1/ρ` is an integer, so the charging
+    /// period does not decompose into equal slots.
+    NonIntegralRho,
+    /// COOL-E013: a charge/discharge duration is zero, negative, or not
+    /// finite.
+    NonPositiveDuration,
+    /// COOL-E014: the working time spans zero whole charging periods.
+    DegenerateHorizon,
+    /// COOL-E015: a utility evaluation returned NaN or an infinity.
+    NonFiniteUtility,
+    /// COOL-E016: a utility universe does not match the sensor count it is
+    /// used with.
+    UniverseMismatch,
+    /// COOL-W001: an unknown scenario key (ignored by the parser).
+    UnknownScenarioKey,
+    /// COOL-W002: a scenario key assigned more than once (last wins).
+    DuplicateScenarioKey,
+    /// COOL-W003: the sensing radius covers the whole region — coverage is
+    /// trivially complete and the instance degenerates.
+    DiskCoversRegion,
+    /// COOL-W004: a target no sensor can ever observe.
+    UnreachableTarget,
+    /// COOL-W005: a target (utility part) whose weight or attainable value
+    /// is zero — it cannot influence scheduling.
+    ZeroWeightTarget,
+    /// COOL-W006: a sensor deployed outside the declared region.
+    SensorOutsideRegion,
+}
+
+impl CoolCode {
+    /// The stable code string, e.g. `"COOL-E001"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoolCode::InfeasiblePeriodStructure => "COOL-E001",
+            CoolCode::EmptySlotCount => "COOL-E002",
+            CoolCode::ActivationBudgetExceeded => "COOL-E003",
+            CoolCode::EnergyInfeasibleSchedule => "COOL-E004",
+            CoolCode::InvalidProbability => "COOL-E005",
+            CoolCode::DegenerateSensingDisk => "COOL-E006",
+            CoolCode::ScenarioFieldInvalid => "COOL-E007",
+            CoolCode::ScenarioLineMalformed => "COOL-E008",
+            CoolCode::NonMonotoneUtility => "COOL-E009",
+            CoolCode::NonSubmodularUtility => "COOL-E010",
+            CoolCode::NonNormalizedUtility => "COOL-E011",
+            CoolCode::NonIntegralRho => "COOL-E012",
+            CoolCode::NonPositiveDuration => "COOL-E013",
+            CoolCode::DegenerateHorizon => "COOL-E014",
+            CoolCode::NonFiniteUtility => "COOL-E015",
+            CoolCode::UniverseMismatch => "COOL-E016",
+            CoolCode::UnknownScenarioKey => "COOL-W001",
+            CoolCode::DuplicateScenarioKey => "COOL-W002",
+            CoolCode::DiskCoversRegion => "COOL-W003",
+            CoolCode::UnreachableTarget => "COOL-W004",
+            CoolCode::ZeroWeightTarget => "COOL-W005",
+            CoolCode::SensorOutsideRegion => "COOL-W006",
+        }
+    }
+
+    /// The human-readable slug, e.g. `"infeasible-period-structure"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoolCode::InfeasiblePeriodStructure => "infeasible-period-structure",
+            CoolCode::EmptySlotCount => "empty-slot-count",
+            CoolCode::ActivationBudgetExceeded => "activation-budget-exceeded",
+            CoolCode::EnergyInfeasibleSchedule => "energy-infeasible-schedule",
+            CoolCode::InvalidProbability => "invalid-probability",
+            CoolCode::DegenerateSensingDisk => "degenerate-sensing-disk",
+            CoolCode::ScenarioFieldInvalid => "scenario-field-invalid",
+            CoolCode::ScenarioLineMalformed => "scenario-line-malformed",
+            CoolCode::NonMonotoneUtility => "non-monotone-utility",
+            CoolCode::NonSubmodularUtility => "non-submodular-utility",
+            CoolCode::NonNormalizedUtility => "non-normalized-utility",
+            CoolCode::NonIntegralRho => "non-integral-rho",
+            CoolCode::NonPositiveDuration => "non-positive-duration",
+            CoolCode::DegenerateHorizon => "degenerate-horizon",
+            CoolCode::NonFiniteUtility => "non-finite-utility",
+            CoolCode::UniverseMismatch => "universe-mismatch",
+            CoolCode::UnknownScenarioKey => "unknown-scenario-key",
+            CoolCode::DuplicateScenarioKey => "duplicate-scenario-key",
+            CoolCode::DiskCoversRegion => "disk-covers-region",
+            CoolCode::UnreachableTarget => "unreachable-target",
+            CoolCode::ZeroWeightTarget => "zero-weight-target",
+            CoolCode::SensorOutsideRegion => "sensor-outside-region",
+        }
+    }
+
+    /// `true` for `COOL-E` codes, `false` for `COOL-W` codes.
+    #[must_use]
+    pub fn is_error(self) -> bool {
+        self.as_str().starts_with("COOL-E")
+    }
+
+    /// Every defined code, in numbering order — the source of truth for the
+    /// documentation table and the exhaustiveness tests.
+    #[must_use]
+    pub fn all() -> &'static [CoolCode] {
+        &[
+            CoolCode::InfeasiblePeriodStructure,
+            CoolCode::EmptySlotCount,
+            CoolCode::ActivationBudgetExceeded,
+            CoolCode::EnergyInfeasibleSchedule,
+            CoolCode::InvalidProbability,
+            CoolCode::DegenerateSensingDisk,
+            CoolCode::ScenarioFieldInvalid,
+            CoolCode::ScenarioLineMalformed,
+            CoolCode::NonMonotoneUtility,
+            CoolCode::NonSubmodularUtility,
+            CoolCode::NonNormalizedUtility,
+            CoolCode::NonIntegralRho,
+            CoolCode::NonPositiveDuration,
+            CoolCode::DegenerateHorizon,
+            CoolCode::NonFiniteUtility,
+            CoolCode::UniverseMismatch,
+            CoolCode::UnknownScenarioKey,
+            CoolCode::DuplicateScenarioKey,
+            CoolCode::DiskCoversRegion,
+            CoolCode::UnreachableTarget,
+            CoolCode::ZeroWeightTarget,
+            CoolCode::SensorOutsideRegion,
+        ]
+    }
+}
+
+impl fmt::Display for CoolCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.as_str(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = HashSet::new();
+        let mut names = HashSet::new();
+        for &code in CoolCode::all() {
+            let s = code.as_str();
+            assert!(
+                s.starts_with("COOL-E") || s.starts_with("COOL-W"),
+                "malformed code {s}"
+            );
+            assert_eq!(
+                s.len(),
+                "COOL-E001".len(),
+                "code {s} must be zero-padded to 3 digits"
+            );
+            assert!(seen.insert(s), "duplicate code {s}");
+            assert!(names.insert(code.name()), "duplicate name {}", code.name());
+            assert!(code
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn errors_and_warnings_split() {
+        assert!(CoolCode::EnergyInfeasibleSchedule.is_error());
+        assert!(!CoolCode::ZeroWeightTarget.is_error());
+        let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
+        let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
+        assert_eq!(errors, 16);
+        assert_eq!(warnings, 6);
+    }
+
+    #[test]
+    fn display_combines_code_and_name() {
+        let text = CoolCode::NonSubmodularUtility.to_string();
+        assert!(text.contains("COOL-E010") && text.contains("non-submodular-utility"));
+    }
+}

@@ -26,6 +26,7 @@
 //! assert!(active.contains(SensorId(3)));
 //! ```
 
+pub mod diag;
 pub mod id;
 pub mod parallel;
 pub mod rng;
@@ -33,6 +34,7 @@ pub mod set;
 pub mod stats;
 pub mod table;
 
+pub use diag::CoolCode;
 pub use id::{SensorId, SlotId, SubregionId, TargetId};
 pub use parallel::{default_sweep_threads, parallel_map};
 pub use rng::SeedSequence;

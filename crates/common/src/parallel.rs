@@ -24,6 +24,10 @@
 /// assert_eq!(squares[7], 49);
 /// assert_eq!(squares.len(), 100);
 /// ```
+// The `expect`s below state invariants of the cursor protocol (each slot
+// taken and filled exactly once) and of mutex poisoning, which can only
+// follow a worker panic that `scope` already propagates.
+#[allow(clippy::expect_used)]
 pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -36,8 +40,10 @@ where
     let n = items.len();
     let workers = threads.min(n);
     // Hand out items with their indices through a shared cursor.
-    let work: Vec<std::sync::Mutex<Option<T>>> =
-        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
@@ -72,8 +78,9 @@ where
 
 /// Default worker count for sweeps: the available parallelism, capped at 8
 /// (experiment cells are memory-light; more threads stop paying off).
+#[must_use]
 pub fn default_sweep_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 #[cfg(test)]
@@ -90,7 +97,10 @@ mod tests {
     fn sequential_fallback() {
         assert_eq!(parallel_map(1, vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
         assert_eq!(parallel_map(8, vec![5], |x| x + 1), vec![6]);
-        assert_eq!(parallel_map(8, Vec::<i32>::new(), |x| x + 1), Vec::<i32>::new());
+        assert_eq!(
+            parallel_map(8, Vec::<i32>::new(), |x| x + 1),
+            Vec::<i32>::new()
+        );
     }
 
     #[test]
@@ -106,7 +116,9 @@ mod tests {
     #[test]
     fn results_match_sequential_for_stateful_work() {
         // Each cell derives data from its input alone — determinism check.
-        let seq: Vec<u64> = (0..200u64).map(|x| x.wrapping_mul(x).rotate_left(7)).collect();
+        let seq: Vec<u64> = (0..200u64)
+            .map(|x| x.wrapping_mul(x).rotate_left(7))
+            .collect();
         let par = parallel_map(6, (0..200u64).collect(), |x| {
             x.wrapping_mul(x).rotate_left(7)
         });

@@ -79,6 +79,7 @@ impl SeedSequence {
     /// let trials = SeedSequence::new(1).child(5);
     /// assert_ne!(trials.root(), SeedSequence::new(1).root());
     /// ```
+    #[must_use]
     pub fn child(&self, n: u64) -> SeedSequence {
         SeedSequence::new(self.nth_seed(n))
     }
@@ -100,7 +101,10 @@ mod tests {
 
     #[test]
     fn distinct_roots_give_distinct_streams() {
-        assert_ne!(SeedSequence::new(1).nth_seed(0), SeedSequence::new(2).nth_seed(0));
+        assert_ne!(
+            SeedSequence::new(1).nth_seed(0),
+            SeedSequence::new(2).nth_seed(0)
+        );
     }
 
     #[test]
@@ -115,7 +119,9 @@ mod tests {
         let parent = SeedSequence::new(99);
         let child = parent.child(0);
         let parent_seeds: HashSet<u64> = (0..100).map(|n| parent.nth_seed(n)).collect();
-        let overlap = (0..100).filter(|&n| parent_seeds.contains(&child.nth_seed(n))).count();
+        let overlap = (0..100)
+            .filter(|&n| parent_seeds.contains(&child.nth_seed(n)))
+            .count();
         assert_eq!(overlap, 0);
     }
 

@@ -118,7 +118,11 @@ impl SensorSet {
     /// Panics if `sensor` is outside the universe.
     #[inline]
     pub fn contains(&self, sensor: SensorId) -> bool {
-        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        assert!(
+            sensor.0 < self.universe,
+            "sensor {sensor} outside universe of {}",
+            self.universe
+        );
         self.words[sensor.0 / WORD_BITS] >> (sensor.0 % WORD_BITS) & 1 == 1
     }
 
@@ -129,12 +133,16 @@ impl SensorSet {
     /// Panics if `sensor` is outside the universe.
     #[inline]
     pub fn insert(&mut self, sensor: SensorId) -> bool {
-        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        assert!(
+            sensor.0 < self.universe,
+            "sensor {sensor} outside universe of {}",
+            self.universe
+        );
         let word = &mut self.words[sensor.0 / WORD_BITS];
         let mask = 1u64 << (sensor.0 % WORD_BITS);
         let fresh = *word & mask == 0;
         *word |= mask;
-        self.len += fresh as usize;
+        self.len += usize::from(fresh);
         fresh
     }
 
@@ -145,12 +153,16 @@ impl SensorSet {
     /// Panics if `sensor` is outside the universe.
     #[inline]
     pub fn remove(&mut self, sensor: SensorId) -> bool {
-        assert!(sensor.0 < self.universe, "sensor {sensor} outside universe of {}", self.universe);
+        assert!(
+            sensor.0 < self.universe,
+            "sensor {sensor} outside universe of {}",
+            self.universe
+        );
         let word = &mut self.words[sensor.0 / WORD_BITS];
         let mask = 1u64 << (sensor.0 % WORD_BITS);
         let present = *word & mask != 0;
         *word &= !mask;
-        self.len -= present as usize;
+        self.len -= usize::from(present);
         present
     }
 
@@ -165,6 +177,7 @@ impl SensorSet {
     /// # Panics
     ///
     /// Panics if universes differ.
+    #[must_use]
     pub fn union(&self, other: &SensorSet) -> SensorSet {
         self.check_universe(other);
         let words: Vec<u64> = self
@@ -181,6 +194,7 @@ impl SensorSet {
     /// # Panics
     ///
     /// Panics if universes differ.
+    #[must_use]
     pub fn intersection(&self, other: &SensorSet) -> SensorSet {
         self.check_universe(other);
         let words: Vec<u64> = self
@@ -197,6 +211,7 @@ impl SensorSet {
     /// # Panics
     ///
     /// Panics if universes differ.
+    #[must_use]
     pub fn difference(&self, other: &SensorSet) -> SensorSet {
         self.check_universe(other);
         let words: Vec<u64> = self
@@ -241,7 +256,10 @@ impl SensorSet {
     /// Panics if universes differ.
     pub fn is_subset(&self, other: &SensorSet) -> bool {
         self.check_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if the sets share no sensor.
@@ -288,7 +306,11 @@ impl SensorSet {
 
     fn from_words(universe: usize, words: Vec<u64>) -> SensorSet {
         let len = words.iter().map(|w| w.count_ones() as usize).sum();
-        SensorSet { universe, words, len }
+        SensorSet {
+            universe,
+            words,
+            len,
+        }
     }
 
     fn recount(&mut self) {
@@ -420,7 +442,7 @@ mod tests {
     #[test]
     fn iterates_in_order_across_words() {
         let s = SensorSet::from_indices(300, [299, 0, 64, 128, 5]);
-        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        let got: Vec<usize> = s.iter().map(super::super::id::SensorId::index).collect();
         assert_eq!(got, [0, 5, 64, 128, 299]);
     }
 
@@ -468,15 +490,15 @@ mod tests {
             let ra: BTreeSet<usize> = xs.into_iter().collect();
             let rb: BTreeSet<usize> = ys.into_iter().collect();
 
-            let union: Vec<usize> = a.union(&b).iter().map(|v| v.index()).collect();
+            let union: Vec<usize> = a.union(&b).iter().map(super::super::id::SensorId::index).collect();
             let runion: Vec<usize> = ra.union(&rb).copied().collect();
             prop_assert_eq!(union, runion);
 
-            let inter: Vec<usize> = a.intersection(&b).iter().map(|v| v.index()).collect();
+            let inter: Vec<usize> = a.intersection(&b).iter().map(super::super::id::SensorId::index).collect();
             let rinter: Vec<usize> = ra.intersection(&rb).copied().collect();
             prop_assert_eq!(inter, rinter);
 
-            let diff: Vec<usize> = a.difference(&b).iter().map(|v| v.index()).collect();
+            let diff: Vec<usize> = a.difference(&b).iter().map(super::super::id::SensorId::index).collect();
             let rdiff: Vec<usize> = ra.difference(&rb).copied().collect();
             prop_assert_eq!(diff, rdiff);
 

@@ -142,8 +142,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -227,7 +227,7 @@ impl Summary {
             "cannot summarise a sample containing NaN"
         );
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
+        sorted.sort_by(f64::total_cmp); // NaN ruled out above
         let stats: OnlineStats = samples.iter().copied().collect();
         Summary {
             count: samples.len(),

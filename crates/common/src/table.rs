@@ -93,7 +93,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -119,7 +126,7 @@ impl fmt::Display for Table {
         let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
             for (cell, w) in cells.iter().zip(&widths) {
-                write!(f, " {cell:>w$} |", w = w)?;
+                write!(f, " {cell:>w$} |")?;
             }
             writeln!(f)
         };
@@ -155,7 +162,10 @@ mod tests {
         // rule, header, rule, two rows, rule
         assert_eq!(lines.len(), 6);
         let len = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == len), "all lines same width:\n{rendered}");
+        assert!(
+            lines.iter().all(|l| l.len() == len),
+            "all lines same width:\n{rendered}"
+        );
     }
 
     #[test]

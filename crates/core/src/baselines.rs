@@ -44,7 +44,9 @@ pub fn random_schedule<U: UtilityFunction, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PeriodSchedule {
     let t = problem.slots_per_period();
-    let assignment = (0..problem.n_sensors()).map(|_| rng.random_range(0..t)).collect();
+    let assignment = (0..problem.n_sensors())
+        .map(|_| rng.random_range(0..t))
+        .collect();
     PeriodSchedule::new(mode_for(problem), t, assignment)
 }
 
@@ -71,7 +73,12 @@ mod tests {
     use cool_utility::DetectionUtility;
 
     fn problem(n: usize) -> Problem<DetectionUtility> {
-        Problem::new(DetectionUtility::uniform(n, 0.4), ChargeCycle::paper_sunny(), 1).unwrap()
+        Problem::new(
+            DetectionUtility::uniform(n, 0.4),
+            ChargeCycle::paper_sunny(),
+            1,
+        )
+        .unwrap()
     }
 
     #[test]

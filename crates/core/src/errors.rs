@@ -1,0 +1,77 @@
+//! Typed, `COOL`-coded errors for schedule construction.
+//!
+//! Scheduler entry points used to `assert!` on malformed inputs, aborting
+//! the process. They now return a [`ScheduleBuildError`] carrying a stable
+//! [`CoolCode`], so callers (the `cool` CLI, the `cool-lint` analyser, the
+//! testbed pre-flight) can surface machine-readable diagnostics instead of
+//! an abort.
+
+use cool_common::CoolCode;
+use std::fmt;
+
+/// Why a schedule could not be built.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScheduleBuildError {
+    /// A schedule over zero slots was requested ([`CoolCode::EmptySlotCount`]).
+    EmptySlotCount,
+    /// The utility produced a NaN or infinite marginal gain/loss for this
+    /// (sensor, slot) query ([`CoolCode::NonFiniteUtility`]): the greedy
+    /// total order — and with it the approximation guarantee — is undefined.
+    NonFiniteGain {
+        /// The sensor whose query misbehaved.
+        sensor: usize,
+        /// The slot being evaluated.
+        slot: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl ScheduleBuildError {
+    /// The stable diagnostic code for this error.
+    #[must_use]
+    pub fn code(&self) -> CoolCode {
+        match self {
+            ScheduleBuildError::EmptySlotCount => CoolCode::EmptySlotCount,
+            ScheduleBuildError::NonFiniteGain { .. } => CoolCode::NonFiniteUtility,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleBuildError::EmptySlotCount => {
+                write!(f, "{}: a schedule needs at least one slot per period", self.code())
+            }
+            ScheduleBuildError::NonFiniteGain { sensor, slot, value } => write!(
+                f,
+                "{}: utility returned non-finite marginal value {value} for sensor {sensor} in slot {slot}",
+                self.code()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_messages() {
+        let e = ScheduleBuildError::EmptySlotCount;
+        assert_eq!(e.code(), CoolCode::EmptySlotCount);
+        assert!(e.to_string().contains("COOL-E002"));
+
+        let e = ScheduleBuildError::NonFiniteGain {
+            sensor: 3,
+            slot: 1,
+            value: f64::NAN,
+        };
+        assert_eq!(e.code(), CoolCode::NonFiniteUtility);
+        let text = e.to_string();
+        assert!(text.contains("COOL-E015") && text.contains("sensor 3"));
+    }
+}

@@ -19,6 +19,7 @@
 //!   changes gains *within slot `t`*, which makes lazy evaluation
 //!   particularly effective here.
 
+use crate::errors::ScheduleBuildError;
 use crate::problem::Problem;
 use crate::schedule::{PeriodSchedule, ScheduleMode};
 use cool_common::SensorId;
@@ -29,6 +30,12 @@ use std::collections::BinaryHeap;
 /// Runs Algorithm 1 (or its `ρ ≤ 1` dual) and returns the per-period
 /// schedule. Deterministic: ties break toward the lower slot, then lower
 /// sensor index.
+///
+/// # Panics
+///
+/// Panics only if the utility produces a non-finite marginal gain
+/// ([`Problem`] construction rules out every other failure mode); use
+/// [`try_greedy_schedule`] for a `COOL`-coded error instead.
 ///
 /// # Examples
 ///
@@ -43,6 +50,18 @@ use std::collections::BinaryHeap;
 /// assert!(s.is_feasible(p.cycle()));
 /// ```
 pub fn greedy_schedule<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    try_greedy_schedule(problem).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`greedy_schedule`].
+///
+/// # Errors
+///
+/// Returns a [`ScheduleBuildError`] (with a stable `COOL` code) when the
+/// utility produces a non-finite marginal value.
+pub fn try_greedy_schedule<U: UtilityFunction>(
+    problem: &Problem<U>,
+) -> Result<PeriodSchedule, ScheduleBuildError> {
     if problem.cycle().rho() > 1.0 {
         greedy_active_naive(problem.utility(), problem.slots_per_period())
     } else {
@@ -53,7 +72,23 @@ pub fn greedy_schedule<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedu
 /// Lazy (CELF-style) greedy; identical output to [`greedy_schedule`]
 /// (asserted by the crate's property tests), asymptotically faster on large
 /// instances.
+///
+/// # Panics
+///
+/// As [`greedy_schedule`]; use [`try_greedy_schedule_lazy`] for a
+/// `COOL`-coded error instead.
 pub fn greedy_schedule_lazy<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+    try_greedy_schedule_lazy(problem).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`greedy_schedule_lazy`].
+///
+/// # Errors
+///
+/// As [`try_greedy_schedule`].
+pub fn try_greedy_schedule_lazy<U: UtilityFunction>(
+    problem: &Problem<U>,
+) -> Result<PeriodSchedule, ScheduleBuildError> {
     if problem.cycle().rho() > 1.0 {
         greedy_active_lazy(problem.utility(), problem.slots_per_period())
     } else {
@@ -68,11 +103,18 @@ pub fn greedy_schedule_lazy<U: UtilityFunction>(problem: &Problem<U>) -> PeriodS
 /// ρ > 1 greedy on raw parts (exposed for schedulers composing their own
 /// horizon logic). `slots` is the period length `T`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `slots == 0`.
-pub fn greedy_active_naive<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
-    assert!(slots > 0, "need at least one slot");
+/// Returns [`ScheduleBuildError::EmptySlotCount`] (`COOL-E002`) if
+/// `slots == 0`, and [`ScheduleBuildError::NonFiniteGain`] (`COOL-E015`)
+/// if the utility produces a NaN or infinite marginal gain.
+pub fn greedy_active_naive<U: UtilityFunction>(
+    utility: &U,
+    slots: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError> {
+    if slots == 0 {
+        return Err(ScheduleBuildError::EmptySlotCount);
+    }
     let n = utility.universe();
     let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
     let mut assignment = vec![usize::MAX; n];
@@ -83,6 +125,13 @@ pub fn greedy_active_naive<U: UtilityFunction>(utility: &U, slots: usize) -> Per
         for &v in &unassigned {
             for (t, eval) in evaluators.iter().enumerate() {
                 let gain = eval.gain(SensorId(v));
+                if !gain.is_finite() {
+                    return Err(ScheduleBuildError::NonFiniteGain {
+                        sensor: v,
+                        slot: t,
+                        value: gain,
+                    });
+                }
                 let candidate = (gain, v, t);
                 best = Some(match best {
                     None => candidate,
@@ -90,21 +139,38 @@ pub fn greedy_active_naive<U: UtilityFunction>(utility: &U, slots: usize) -> Per
                 });
             }
         }
-        let (_, v, t) = best.expect("unassigned sensors remain");
+        let Some((gain, v, t)) = best else {
+            break; // n == 0: nothing to assign
+        };
+        // Monotonicity invariant: marginal gains of a monotone utility are
+        // never negative (beyond roundoff).
+        debug_assert!(
+            gain >= -1e-9,
+            "negative marginal gain {gain} for sensor {v} in slot {t}"
+        );
         evaluators[t].insert(SensorId(v));
         assignment[v] = t;
         unassigned.retain(|&u| u != v);
     }
-    PeriodSchedule::new(ScheduleMode::ActiveSlot, slots, assignment)
+    Ok(PeriodSchedule::new(
+        ScheduleMode::ActiveSlot,
+        slots,
+        assignment,
+    ))
 }
 
 /// ρ ≤ 1 greedy: allocate passive slots by minimum decremental utility.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `slots == 0`.
-pub fn greedy_passive_naive<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
-    assert!(slots > 0, "need at least one slot");
+/// As [`greedy_active_naive`].
+pub fn greedy_passive_naive<U: UtilityFunction>(
+    utility: &U,
+    slots: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError> {
+    if slots == 0 {
+        return Err(ScheduleBuildError::EmptySlotCount);
+    }
     let n = utility.universe();
     // Start with everyone active in every slot.
     let mut evaluators: Vec<U::Evaluator> = (0..slots)
@@ -124,6 +190,13 @@ pub fn greedy_passive_naive<U: UtilityFunction>(utility: &U, slots: usize) -> Pe
         for &v in &unassigned {
             for (t, eval) in evaluators.iter().enumerate() {
                 let loss = eval.loss(SensorId(v));
+                if !loss.is_finite() {
+                    return Err(ScheduleBuildError::NonFiniteGain {
+                        sensor: v,
+                        slot: t,
+                        value: loss,
+                    });
+                }
                 let candidate = (loss, v, t);
                 best = Some(match best {
                     None => candidate,
@@ -131,12 +204,22 @@ pub fn greedy_passive_naive<U: UtilityFunction>(utility: &U, slots: usize) -> Pe
                 });
             }
         }
-        let (_, v, t) = best.expect("unassigned sensors remain");
+        let Some((loss, v, t)) = best else {
+            break; // n == 0: nothing to assign
+        };
+        debug_assert!(
+            loss >= -1e-9,
+            "negative marginal loss {loss} for sensor {v} in slot {t}"
+        );
         evaluators[t].remove(SensorId(v));
         assignment[v] = t;
         unassigned.retain(|&u| u != v);
     }
-    PeriodSchedule::new(ScheduleMode::PassiveSlot, slots, assignment)
+    Ok(PeriodSchedule::new(
+        ScheduleMode::PassiveSlot,
+        slots,
+        assignment,
+    ))
 }
 
 /// Lazy-evaluation ρ > 1 greedy (CELF).
@@ -145,8 +228,17 @@ pub fn greedy_passive_naive<U: UtilityFunction>(utility: &U, slots: usize) -> Pe
 /// evaluators of all other slots untouched, so a heap entry `(v, t', g)`
 /// with `t' ≠ t` stays exact. We stamp entries with the per-slot version
 /// and re-evaluate only entries whose slot has advanced.
-pub fn greedy_active_lazy<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
-    assert!(slots > 0, "need at least one slot");
+///
+/// # Errors
+///
+/// As [`greedy_active_naive`].
+pub fn greedy_active_lazy<U: UtilityFunction>(
+    utility: &U,
+    slots: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError> {
+    if slots == 0 {
+        return Err(ScheduleBuildError::EmptySlotCount);
+    }
     let n = utility.universe();
     let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
     let mut slot_version = vec![0u32; slots];
@@ -156,13 +248,30 @@ pub fn greedy_active_lazy<U: UtilityFunction>(utility: &U, slots: usize) -> Peri
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n * slots);
     for v in 0..n {
         for (t, eval) in evaluators.iter().enumerate() {
-            heap.push(HeapEntry { gain: eval.gain(SensorId(v)), slot: t, sensor: v, version: 0 });
+            let gain = eval.gain(SensorId(v));
+            if !gain.is_finite() {
+                return Err(ScheduleBuildError::NonFiniteGain {
+                    sensor: v,
+                    slot: t,
+                    value: gain,
+                });
+            }
+            heap.push(HeapEntry {
+                gain,
+                slot: t,
+                sensor: v,
+                version: 0,
+            });
         }
     }
 
     let mut remaining = n;
     while remaining > 0 {
-        let entry = heap.pop().expect("heap holds all unassigned (sensor, slot) pairs");
+        let Some(entry) = heap.pop() else {
+            // Unreachable: the heap always holds an entry per unassigned
+            // (sensor, slot) pair. Guard anyway rather than panic.
+            return Err(ScheduleBuildError::EmptySlotCount);
+        };
         if assigned[entry.sensor] {
             continue;
         }
@@ -170,6 +279,19 @@ pub fn greedy_active_lazy<U: UtilityFunction>(utility: &U, slots: usize) -> Peri
             // Stale: the slot advanced since this gain was computed.
             // Submodularity ⇒ the true gain is no larger; recompute, re-push.
             let gain = evaluators[entry.slot].gain(SensorId(entry.sensor));
+            if !gain.is_finite() {
+                return Err(ScheduleBuildError::NonFiniteGain {
+                    sensor: entry.sensor,
+                    slot: entry.slot,
+                    value: gain,
+                });
+            }
+            // The CELF correctness invariant: stale entries only shrink.
+            debug_assert!(
+                gain <= entry.gain + 1e-9,
+                "stale gain grew from {} to {gain}: utility is not submodular",
+                entry.gain
+            );
             heap.push(HeapEntry {
                 gain,
                 slot: entry.slot,
@@ -185,7 +307,11 @@ pub fn greedy_active_lazy<U: UtilityFunction>(utility: &U, slots: usize) -> Peri
         assignment[entry.sensor] = entry.slot;
         remaining -= 1;
     }
-    PeriodSchedule::new(ScheduleMode::ActiveSlot, slots, assignment)
+    Ok(PeriodSchedule::new(
+        ScheduleMode::ActiveSlot,
+        slots,
+        assignment,
+    ))
 }
 
 /// Greedy tie-breaking total order, shared by the naive loop and the lazy
@@ -245,10 +371,12 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on gain; ties prefer LOWER sensor then LOWER slot —
         // the same total order as `max_by_gain` (components reversed
-        // because BinaryHeap pops the maximum).
+        // because BinaryHeap pops the maximum). Gains are checked finite
+        // before entering the heap, so `partial_cmp` cannot fail; treat
+        // the impossible NaN as equal rather than panic.
         self.gain
             .partial_cmp(&other.gain)
-            .expect("gains are finite")
+            .unwrap_or(Ordering::Equal)
             .then_with(|| other.sensor.cmp(&self.sensor))
             .then_with(|| other.slot.cmp(&self.slot))
     }
@@ -257,13 +385,18 @@ impl Ord for HeapEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cool_common::{SensorSet, SeedSequence};
+    use cool_common::{SeedSequence, SensorSet};
     use cool_energy::ChargeCycle;
     use cool_utility::{DetectionUtility, LinearUtility, SumUtility};
     use proptest::prelude::*;
 
     fn sunny_problem(n: usize) -> Problem<DetectionUtility> {
-        Problem::new(DetectionUtility::uniform(n, 0.4), ChargeCycle::paper_sunny(), 1).unwrap()
+        Problem::new(
+            DetectionUtility::uniform(n, 0.4),
+            ChargeCycle::paper_sunny(),
+            1,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -296,8 +429,8 @@ mod tests {
             let n = 3 + (trial as usize % 10);
             let m = 1 + (trial as usize % 4);
             let u = crate::instances::random_multi_target(n, m, 0.5, 0.4, &mut rng);
-            let naive = greedy_active_naive(&u, 4);
-            let lazy = greedy_active_lazy(&u, 4);
+            let naive = greedy_active_naive(&u, 4).unwrap();
+            let lazy = greedy_active_lazy(&u, 4).unwrap();
             assert_eq!(
                 naive.assignment(),
                 lazy.assignment(),
@@ -333,7 +466,7 @@ mod tests {
         // Modular utility: every assignment achieves Σw per period; greedy
         // must too.
         let u = LinearUtility::new(vec![1.0, 2.0, 3.0]);
-        let s = greedy_active_naive(&u, 4);
+        let s = greedy_active_naive(&u, 4).unwrap();
         assert!((s.period_utility(&u) - 6.0).abs() < 1e-12);
     }
 
@@ -344,7 +477,7 @@ mod tests {
         let cov0 = SensorSet::from_indices(8, 0..4);
         let cov1 = SensorSet::from_indices(8, 4..8);
         let u = SumUtility::multi_target_detection(&[cov0.clone(), cov1.clone()], 0.4);
-        let s = greedy_active_naive(&u, 4);
+        let s = greedy_active_naive(&u, 4).unwrap();
         for t in 0..4 {
             let active = s.active_set(t);
             assert!(!active.is_disjoint(&cov0), "target 0 uncovered at slot {t}");
@@ -366,7 +499,7 @@ mod tests {
             let mut rng = SeedSequence::new(seed).nth_rng(0);
             let u = crate::instances::random_multi_target(n, m, 0.6, 0.4, &mut rng);
             let slots = 3;
-            let greedy = greedy_active_naive(&u, slots);
+            let greedy = greedy_active_naive(&u, slots).unwrap();
             let opt = crate::optimal::exhaustive_optimal(&u, slots, ScheduleMode::ActiveSlot);
             let g = greedy.period_utility(&u);
             let o = opt.period_utility(&u);
@@ -383,7 +516,7 @@ mod tests {
             let mut rng = SeedSequence::new(seed).nth_rng(1);
             let u = crate::instances::random_multi_target(n, 2, 0.6, 0.4, &mut rng);
             let slots = 3;
-            let greedy = greedy_passive_naive(&u, slots);
+            let greedy = greedy_passive_naive(&u, slots).unwrap();
             let opt = crate::optimal::exhaustive_optimal(&u, slots, ScheduleMode::PassiveSlot);
             let g = greedy.period_utility(&u);
             let o = opt.period_utility(&u);
@@ -399,8 +532,8 @@ mod tests {
         ) {
             let mut rng = SeedSequence::new(seed).nth_rng(2);
             let u = crate::instances::random_multi_target(n, 2, 0.5, 0.5, &mut rng);
-            let naive = greedy_active_naive(&u, slots);
-            let lazy = greedy_active_lazy(&u, slots);
+            let naive = greedy_active_naive(&u, slots).unwrap();
+            let lazy = greedy_active_lazy(&u, slots).unwrap();
             prop_assert_eq!(naive.assignment(), lazy.assignment());
         }
     }

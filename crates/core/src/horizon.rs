@@ -49,7 +49,10 @@ impl HorizonSchedule {
     pub fn empty(n: usize, slots: usize) -> Self {
         assert!(n > 0, "need at least one sensor");
         assert!(slots > 0, "need at least one slot");
-        HorizonSchedule { active: vec![SensorSet::new(n); slots], n }
+        HorizonSchedule {
+            active: vec![SensorSet::new(n); slots],
+            n,
+        }
     }
 
     /// Unrolls a [`PeriodSchedule`](crate::schedule::PeriodSchedule) over
@@ -58,9 +61,13 @@ impl HorizonSchedule {
         assert!(alpha > 0, "need at least one period");
         let t = schedule.slots_per_period();
         let per_period = schedule.active_sets();
-        let active: Vec<SensorSet> =
-            (0..alpha * t).map(|slot| per_period[slot % t].clone()).collect();
-        HorizonSchedule { active, n: schedule.n_sensors() }
+        let active: Vec<SensorSet> = (0..alpha * t)
+            .map(|slot| per_period[slot % t].clone())
+            .collect();
+        HorizonSchedule {
+            active,
+            n: schedule.n_sensors(),
+        }
     }
 
     /// Number of sensors.
@@ -139,7 +146,12 @@ impl HorizonSchedule {
 
 impl fmt::Display for HorizonSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "HorizonSchedule ({} sensors × {} slots):", self.n, self.horizon())?;
+        writeln!(
+            f,
+            "HorizonSchedule ({} sensors × {} slots):",
+            self.n,
+            self.horizon()
+        )?;
         for (t, set) in self.active.iter().enumerate() {
             writeln!(f, "  t{t}: {} active", set.len())?;
         }
@@ -196,8 +208,9 @@ pub fn greedy_horizon<U: UtilityFunction>(
     let mut schedule = HorizonSchedule::empty(n, slots);
     let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
     // (v, t) pairs still plausibly addable.
-    let mut candidates: Vec<(usize, usize)> =
-        (0..n).flat_map(|v| (0..slots).map(move |t| (v, t))).collect();
+    let mut candidates: Vec<(usize, usize)> = (0..n)
+        .flat_map(|v| (0..slots).map(move |t| (v, t)))
+        .collect();
 
     loop {
         let mut best: Option<(f64, usize, usize)> = None;
@@ -237,8 +250,18 @@ pub fn greedy_horizon<U: UtilityFunction>(
 
         match best {
             Some((gain, v, t)) if gain > 1e-15 => {
+                // Monotonicity: the chosen marginal gain is never negative.
+                debug_assert!(
+                    gain >= -1e-9,
+                    "monotone utility produced negative gain {gain}"
+                );
                 schedule.activate(SensorId(v), t);
-                evaluators[t].insert(SensorId(v));
+                let realised = evaluators[t].insert(SensorId(v));
+                // Evaluator consistency: insert must realise the queried gain.
+                debug_assert!(
+                    (realised - gain).abs() <= 1e-9 * gain.abs().max(1.0),
+                    "evaluator gain/insert mismatch: {gain} vs {realised}"
+                );
             }
             _ => break,
         }
@@ -261,11 +284,8 @@ mod tests {
 
     #[test]
     fn from_period_unrolls_correctly() {
-        let period = crate::schedule::PeriodSchedule::new(
-            ScheduleMode::ActiveSlot,
-            2,
-            vec![0, 1, 0],
-        );
+        let period =
+            crate::schedule::PeriodSchedule::new(ScheduleMode::ActiveSlot, 2, vec![0, 1, 0]);
         let horizon = HorizonSchedule::from_period(&period, 3);
         assert_eq!(horizon.horizon(), 6);
         for t in 0..6 {
@@ -283,7 +303,7 @@ mod tests {
         let horizon = greedy_horizon(&u, &cycles, 8);
         assert!(horizon.is_feasible(&cycles));
 
-        let period = greedy_active_naive(&u, 4);
+        let period = greedy_active_naive(&u, 4).unwrap();
         let repeated = HorizonSchedule::from_period(&period, 2);
         assert!(
             horizon.total_utility(&u) + 1e-9 >= repeated.total_utility(&u),
@@ -361,7 +381,7 @@ mod tests {
             let horizon = greedy_horizon(&u, &cycles, alpha * t);
             prop_assert!(horizon.is_feasible(&cycles));
 
-            let repeated = HorizonSchedule::from_period(&greedy_active_naive(&u, t), alpha);
+            let repeated = HorizonSchedule::from_period(&greedy_active_naive(&u, t).unwrap(), alpha);
             prop_assert!(repeated.is_feasible(&cycles));
             // No domination theorem exists for the horizon variant (the
             // paper leaves it open); empirically it stays within a few

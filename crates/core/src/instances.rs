@@ -50,7 +50,10 @@ pub fn random_multi_target<R: Rng + ?Sized>(
 ) -> SumUtility {
     assert!(n > 0, "need at least one sensor");
     assert!(m > 0, "need at least one target");
-    assert!((0.0..=1.0).contains(&coverage_prob), "coverage_prob in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&coverage_prob),
+        "coverage_prob in [0,1]"
+    );
     assert!((0.0..=1.0).contains(&p), "p in [0,1]");
     let coverages: Vec<SensorSet> = (0..m)
         .map(|_| {
@@ -118,7 +121,11 @@ pub fn geometric_multi_target<R: Rng + ?Sized>(
         targets.push(target);
         coverages.push(cov);
     }
-    (SumUtility::multi_target_detection(&coverages, p), positions, targets)
+    (
+        SumUtility::multi_target_detection(&coverages, p),
+        positions,
+        targets,
+    )
 }
 
 /// The Fig. 8 instance family: `n` sensors, `m ∈ {1,2,3,4}` targets,

@@ -52,6 +52,7 @@
 
 pub mod baselines;
 pub mod bounds;
+pub mod errors;
 pub mod greedy;
 pub mod horizon;
 pub mod instances;
@@ -68,7 +69,10 @@ pub mod symmetric;
 
 pub use baselines::{random_schedule, round_robin_schedule, static_schedule};
 pub use bounds::single_target_upper_bound;
-pub use greedy::{greedy_schedule, greedy_schedule_lazy};
+pub use errors::ScheduleBuildError;
+pub use greedy::{
+    greedy_schedule, greedy_schedule_lazy, try_greedy_schedule, try_greedy_schedule_lazy,
+};
 pub use horizon::{greedy_horizon, HorizonSchedule};
 pub use local_search::{improve_schedule, LocalSearchOutcome};
 pub use lp::{LpOutcome, LpScheduler};

@@ -58,10 +58,13 @@ impl LocalSearchOutcome {
 /// use cool_utility::DetectionUtility;
 ///
 /// let u = DetectionUtility::uniform(9, 0.4);
-/// let greedy = greedy_active_naive(&u, 3);
+/// let greedy = greedy_active_naive(&u, 3).unwrap();
 /// let improved = improve_schedule(greedy, &u, 8);
 /// assert!(improved.final_value + 1e-12 >= improved.initial_value);
 /// ```
+// The schedule is taken by value deliberately: local search is the next
+// pipeline stage after a scheduler, which hands its result over entirely.
+#[allow(clippy::needless_pass_by_value)]
 pub fn improve_schedule<U: UtilityFunction>(
     schedule: PeriodSchedule,
     utility: &U,
@@ -72,7 +75,11 @@ pub fn improve_schedule<U: UtilityFunction>(
         ScheduleMode::ActiveSlot,
         "local search operates on active-slot schedules"
     );
-    assert_eq!(utility.universe(), schedule.n_sensors(), "utility universe mismatch");
+    assert_eq!(
+        utility.universe(),
+        schedule.n_sensors(),
+        "utility universe mismatch"
+    );
     let n = schedule.n_sensors();
     let slots = schedule.slots_per_period();
     let initial_value = schedule.period_utility(utility);
@@ -120,7 +127,13 @@ pub fn improve_schedule<U: UtilityFunction>(
 
     let schedule = PeriodSchedule::new(ScheduleMode::ActiveSlot, slots, assignment);
     let final_value = schedule.period_utility(utility);
-    LocalSearchOutcome { schedule, initial_value, final_value, moves, sweeps }
+    LocalSearchOutcome {
+        schedule,
+        initial_value,
+        final_value,
+        moves,
+        sweeps,
+    }
 }
 
 #[cfg(test)]
@@ -138,10 +151,15 @@ mod tests {
         for trial in 0..20u64 {
             let n = 3 + (trial as usize % 8);
             let u = crate::instances::random_multi_target(n, 2, 0.6, 0.4, &mut rng);
-            let greedy = greedy_active_naive(&u, 4);
+            let greedy = greedy_active_naive(&u, 4).unwrap();
             let out = improve_schedule(greedy, &u, 16);
-            assert!(out.final_value + 1e-12 >= out.initial_value, "trial {trial}");
-            assert!(out.schedule.is_feasible(cool_energy::ChargeCycle::paper_sunny()));
+            assert!(
+                out.final_value + 1e-12 >= out.initial_value,
+                "trial {trial}"
+            );
+            assert!(out
+                .schedule
+                .is_feasible(cool_energy::ChargeCycle::paper_sunny()));
         }
     }
 
@@ -165,7 +183,7 @@ mod tests {
     #[test]
     fn greedy_output_is_often_already_stable() {
         let u = DetectionUtility::uniform(12, 0.4);
-        let greedy = greedy_active_naive(&u, 4);
+        let greedy = greedy_active_naive(&u, 4).unwrap();
         let out = improve_schedule(greedy, &u, 8);
         assert_eq!(out.moves, 0, "balanced greedy is exchange-stable");
         assert_eq!(out.sweeps, 1);
@@ -189,7 +207,7 @@ mod tests {
         fn converges_to_exchange_stable(n in 2usize..7, slots in 2usize..4, seed in any::<u64>()) {
             let mut rng = SeedSequence::new(seed).nth_rng(0);
             let u = crate::instances::random_multi_target(n, 2, 0.5, 0.4, &mut rng);
-            let greedy = greedy_active_naive(&u, slots);
+            let greedy = greedy_active_naive(&u, slots).unwrap();
             let out = improve_schedule(greedy, &u, 64);
             prop_assert!(out.final_value + 1e-12 >= out.initial_value);
 

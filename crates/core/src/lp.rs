@@ -136,8 +136,7 @@ impl LpScheduler {
         let t_slots = problem.slots_per_period();
 
         // Gather items across all parts.
-        let items: Vec<(f64, Vec<f64>)> =
-            utility.parts().iter().flat_map(coverage_items).collect();
+        let items: Vec<(f64, Vec<f64>)> = utility.parts().iter().flat_map(coverage_items).collect();
         let k_items = items.len();
 
         // Variables: x(v,t) laid out v*T + t, then y(k,t) at n*T + k*T + t.
@@ -191,6 +190,19 @@ impl LpScheduler {
             let mut assignment = vec![usize::MAX; n];
             let mut evaluators: Vec<_> = (0..t_slots).map(|_| utility.evaluator()).collect();
             for v in 0..n {
+                // The simplex solution must be a (sub-)probability row per
+                // sensor for the rounding below to be well-defined.
+                debug_assert!(
+                    (0..t_slots).all(|t| {
+                        let p = x[v * t_slots + t];
+                        (-1e-9..=1.0 + 1e-9).contains(&p)
+                    }),
+                    "LP slot-assignment variables for sensor {v} outside [0, 1]"
+                );
+                debug_assert!(
+                    (0..t_slots).map(|t| x[v * t_slots + t]).sum::<f64>() <= 1.0 + 1e-6,
+                    "LP slot-assignment row for sensor {v} exceeds probability mass 1"
+                );
                 let mut u: f64 = rng.random_range(0.0..1.0);
                 for t in 0..t_slots {
                     let p = x[v * t_slots + t];
@@ -206,7 +218,10 @@ impl LpScheduler {
                     // Greedy completion.
                     let (_, best_t) = (0..t_slots)
                         .map(|t| (evaluators[t].gain(SensorId(v)), t))
-                        .fold((f64::NEG_INFINITY, 0), |acc, c| if c.0 > acc.0 { c } else { acc });
+                        .fold(
+                            (f64::NEG_INFINITY, 0),
+                            |acc, c| if c.0 > acc.0 { c } else { acc },
+                        );
                     *slot = best_t;
                 }
                 evaluators[*slot].insert(SensorId(v));
@@ -217,8 +232,14 @@ impl LpScheduler {
                 best = Some((value, schedule));
             }
         }
-        let (rounded_value, schedule) = best.expect("at least one trial");
-        Ok(LpOutcome { lp_value: solution.objective_value, schedule, rounded_value })
+        let Some((rounded_value, schedule)) = best else {
+            unreachable!("trials >= 1, so at least one rounding attempt ran")
+        };
+        Ok(LpOutcome {
+            lp_value: solution.objective_value,
+            schedule,
+            rounded_value,
+        })
     }
 }
 
@@ -295,11 +316,9 @@ mod tests {
         // For random sets: U(S) ≤ Σ_k w_k min(1, Σ q).
         let mut r = rng();
         let u = crate::instances::random_multi_target(10, 4, 0.5, 0.4, &mut r);
-        let items: Vec<(f64, Vec<f64>)> =
-            u.parts().iter().flat_map(coverage_items).collect();
+        let items: Vec<(f64, Vec<f64>)> = u.parts().iter().flat_map(coverage_items).collect();
         for trial in 0..100 {
-            let members: Vec<usize> =
-                (0..10).filter(|_| r.random_range(0.0..1.0) < 0.5).collect();
+            let members: Vec<usize> = (0..10).filter(|_| r.random_range(0.0..1.0) < 0.5).collect();
             let s = SensorSet::from_indices(10, members.iter().copied());
             let envelope: f64 = items
                 .iter()

@@ -91,8 +91,7 @@ pub fn solve_window_lp<R: Rng + ?Sized>(
     let n = utility.universe();
 
     // Variables: x(v,t) at v*slots + t; y(k,t) after them.
-    let items: Vec<(f64, Vec<f64>)> =
-        utility.parts().iter().flat_map(coverage_items).collect();
+    let items: Vec<(f64, Vec<f64>)> = utility.parts().iter().flat_map(coverage_items).collect();
     let n_x = n * slots;
     let n_vars = n_x + items.len() * slots;
     let mut lp = LinearProgram::new(n_vars);
@@ -144,7 +143,9 @@ pub fn solve_window_lp<R: Rng + ?Sized>(
             best = Some((value, schedule, repairs));
         }
     }
-    let (rounded_value, schedule, repair_operations) = best.expect("at least one trial");
+    let Some((rounded_value, schedule, repair_operations)) = best else {
+        unreachable!("trials >= 1, so at least one rounding attempt ran")
+    };
     Ok(WindowLpOutcome {
         lp_value: solution.objective_value,
         schedule,
@@ -164,7 +165,11 @@ fn round_and_repair<R: Rng + ?Sized>(
 ) -> (HorizonSchedule, usize) {
     let n = utility.universe();
     let mut patterns: Vec<Vec<bool>> = (0..n)
-        .map(|v| (0..slots).map(|t| rng.random_range(0.0..1.0) < x[v * slots + t]).collect())
+        .map(|v| {
+            (0..slots)
+                .map(|t| rng.random_range(0.0..1.0) < x[v * slots + t])
+                .collect()
+        })
         .collect();
     let mut repairs = 0usize;
 
@@ -268,8 +273,7 @@ mod tests {
         let u = single_target(8);
         let cycles = vec![ChargeCycle::paper_sunny(); 8];
         for strategy in [RepairStrategy::Resample, RepairStrategy::Deactivate] {
-            let out =
-                solve_window_lp(&u, 4, 12, strategy, 4, &mut rng()).expect("LP solves");
+            let out = solve_window_lp(&u, 4, 12, strategy, 4, &mut rng()).expect("LP solves");
             assert!(
                 out.schedule.is_feasible(&cycles),
                 "{strategy:?} produced an infeasible schedule"
@@ -299,9 +303,8 @@ mod tests {
     fn lp_value_upper_bounds_period_repetition() {
         use crate::greedy::greedy_active_naive;
         let u = single_target(6);
-        let out =
-            solve_window_lp(&u, 4, 8, RepairStrategy::Deactivate, 8, &mut rng()).unwrap();
-        let repeated = HorizonSchedule::from_period(&greedy_active_naive(&u, 4), 2);
+        let out = solve_window_lp(&u, 4, 8, RepairStrategy::Deactivate, 8, &mut rng()).unwrap();
+        let repeated = HorizonSchedule::from_period(&greedy_active_naive(&u, 4).unwrap(), 2);
         assert!(out.lp_value + 1e-6 >= repeated.total_utility(&u));
     }
 

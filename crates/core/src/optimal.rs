@@ -82,16 +82,6 @@ pub fn exhaustive_optimal<U: UtilityFunction>(
 ///
 /// Panics if `slots == 0`.
 pub fn branch_and_bound<U: UtilityFunction>(utility: &U, slots: usize) -> PeriodSchedule {
-    assert!(slots > 0, "need at least one slot");
-    let n = utility.universe();
-    let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
-    let assignment = vec![0usize; n];
-
-    // Seed the incumbent with the greedy solution for strong initial pruning.
-    let greedy = crate::greedy::greedy_active_naive(utility, slots);
-    let best_value = greedy.period_utility(utility);
-    let best_assignment = greedy.assignment().to_vec();
-
     struct Search<'a, U: UtilityFunction> {
         evaluators: &'a mut Vec<U::Evaluator>,
         assignment: Vec<usize>,
@@ -130,6 +120,18 @@ pub fn branch_and_bound<U: UtilityFunction>(utility: &U, slots: usize) -> Period
             }
         }
     }
+
+    assert!(slots > 0, "need at least one slot");
+    let n = utility.universe();
+    let mut evaluators: Vec<U::Evaluator> = (0..slots).map(|_| utility.evaluator()).collect();
+    let assignment = vec![0usize; n];
+
+    // Seed the incumbent with the greedy solution for strong initial pruning.
+    // `slots > 0` was checked above, so only a non-finite utility can fail.
+    let greedy =
+        crate::greedy::greedy_active_naive(utility, slots).unwrap_or_else(|e| panic!("{e}"));
+    let best_value = greedy.period_utility(utility);
+    let best_assignment = greedy.assignment().to_vec();
 
     let mut search = Search::<U> {
         evaluators: &mut evaluators,

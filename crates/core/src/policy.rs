@@ -60,7 +60,9 @@ impl SchedulePolicy {
 
 impl ActivationPolicy for SchedulePolicy {
     fn decide(&mut self, slot: usize, ready: &SensorSet) -> SensorSet {
-        let want = self.schedule.active_set(slot % self.schedule.slots_per_period());
+        let want = self
+            .schedule
+            .active_set(slot % self.schedule.slots_per_period());
         want.intersection(ready)
     }
 
@@ -83,15 +85,23 @@ impl<U: UtilityFunction> AdaptivePolicy<U> {
     /// Creates the policy with an initial cycle (planning immediately).
     pub fn new(utility: U, cycle: ChargeCycle) -> Self {
         let current = Self::plan(&utility, cycle);
-        AdaptivePolicy { utility, cycle, current, replans: 0 }
+        AdaptivePolicy {
+            utility,
+            cycle,
+            current,
+            replans: 0,
+        }
     }
 
     fn plan(utility: &U, cycle: ChargeCycle) -> PeriodSchedule {
-        if cycle.rho() > 1.0 {
+        // A valid `ChargeCycle` always has ≥ 2 slots, so only a
+        // non-finite utility can fail here.
+        let planned = if cycle.rho() > 1.0 {
             greedy::greedy_active_lazy(utility, cycle.slots_per_period())
         } else {
             greedy::greedy_passive_naive(utility, cycle.slots_per_period())
-        }
+        };
+        planned.unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Informs the policy of a new charging pattern (e.g. tomorrow's
@@ -122,7 +132,9 @@ impl<U: UtilityFunction> AdaptivePolicy<U> {
 
 impl<U: UtilityFunction> ActivationPolicy for AdaptivePolicy<U> {
     fn decide(&mut self, slot: usize, ready: &SensorSet) -> SensorSet {
-        let want = self.current.active_set(slot % self.current.slots_per_period());
+        let want = self
+            .current
+            .active_set(slot % self.current.slots_per_period());
         want.intersection(ready)
     }
 
@@ -144,7 +156,11 @@ mod tests {
         let mut ready = SensorSet::full(3);
         ready.remove(cool_common::SensorId(0));
         let decided = policy.decide(0, &ready);
-        assert_eq!(decided.len(), 1, "sensor 0 not ready, only sensor 1 requested");
+        assert_eq!(
+            decided.len(),
+            1,
+            "sensor 0 not ready, only sensor 1 requested"
+        );
         assert!(decided.contains(cool_common::SensorId(1)));
         assert_eq!(policy.slots_per_period(), 2);
         assert_eq!(policy.schedule().n_sensors(), 3);

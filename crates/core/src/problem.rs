@@ -51,7 +51,11 @@ impl<U: UtilityFunction> Problem<U> {
         if periods == 0 {
             return Err(ProblemError::NoPeriods);
         }
-        Ok(Problem { utility, cycle, periods })
+        Ok(Problem {
+            utility,
+            cycle,
+            periods,
+        })
     }
 
     /// The per-slot utility function.
@@ -121,7 +125,12 @@ mod tests {
     use cool_utility::DetectionUtility;
 
     fn problem() -> Problem<DetectionUtility> {
-        Problem::new(DetectionUtility::uniform(8, 0.4), ChargeCycle::paper_sunny(), 12).unwrap()
+        Problem::new(
+            DetectionUtility::uniform(8, 0.4),
+            ChargeCycle::paper_sunny(),
+            12,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -137,13 +146,21 @@ mod tests {
     #[test]
     fn rejects_degenerate_instances() {
         assert_eq!(
-            Problem::new(DetectionUtility::uniform(0, 0.4), ChargeCycle::paper_sunny(), 1)
-                .unwrap_err(),
+            Problem::new(
+                DetectionUtility::uniform(0, 0.4),
+                ChargeCycle::paper_sunny(),
+                1
+            )
+            .unwrap_err(),
             ProblemError::NoSensors
         );
         assert_eq!(
-            Problem::new(DetectionUtility::uniform(3, 0.4), ChargeCycle::paper_sunny(), 0)
-                .unwrap_err(),
+            Problem::new(
+                DetectionUtility::uniform(3, 0.4),
+                ChargeCycle::paper_sunny(),
+                0
+            )
+            .unwrap_err(),
             ProblemError::NoPeriods
         );
     }
@@ -152,16 +169,11 @@ mod tests {
     fn total_utility_scales_with_periods() {
         let p = problem();
         // Round-robin-ish: sensor i active in slot i mod 4.
-        let schedule = PeriodSchedule::new(
-            ScheduleMode::ActiveSlot,
-            4,
-            (0..8).map(|i| i % 4).collect(),
-        );
+        let schedule =
+            PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, (0..8).map(|i| i % 4).collect());
         let per_period = schedule.period_utility(p.utility());
         assert!((p.total_utility(&schedule) - 12.0 * per_period).abs() < 1e-12);
-        assert!(
-            (p.average_utility_per_slot(&schedule) - per_period / 4.0).abs() < 1e-12
-        );
+        assert!((p.average_utility_per_slot(&schedule) - per_period / 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -169,7 +181,10 @@ mod tests {
         use cool_common::SensorSet;
         use cool_utility::SumUtility;
         let u = SumUtility::multi_target_detection(
-            &[SensorSet::from_indices(4, [0, 1]), SensorSet::from_indices(4, [2, 3])],
+            &[
+                SensorSet::from_indices(4, [0, 1]),
+                SensorSet::from_indices(4, [2, 3]),
+            ],
             0.4,
         );
         let p = Problem::new(u, ChargeCycle::paper_sunny(), 1).unwrap();

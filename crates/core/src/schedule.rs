@@ -61,7 +61,11 @@ impl PeriodSchedule {
             assignment.iter().all(|&s| s < slots_per_period),
             "assigned slot out of range 0..{slots_per_period}"
         );
-        PeriodSchedule { mode, slots_per_period, assignment }
+        PeriodSchedule {
+            mode,
+            slots_per_period,
+            assignment,
+        }
     }
 
     /// The schedule's mode.
@@ -121,7 +125,9 @@ impl PeriodSchedule {
 
     /// All per-slot active sets for one period.
     pub fn active_sets(&self) -> Vec<SensorSet> {
-        (0..self.slots_per_period).map(|t| self.active_set(t)).collect()
+        (0..self.slots_per_period)
+            .map(|t| self.active_set(t))
+            .collect()
     }
 
     /// One period's total utility `Σ_t U(S(t))`.
@@ -135,7 +141,9 @@ impl PeriodSchedule {
             self.assignment.len(),
             "utility universe does not match schedule"
         );
-        (0..self.slots_per_period).map(|t| utility.eval(&self.active_set(t))).sum()
+        (0..self.slots_per_period)
+            .map(|t| utility.eval(&self.active_set(t)))
+            .sum()
     }
 
     /// Verifies energy feasibility by driving every sensor's
@@ -187,7 +195,11 @@ impl fmt::Display for PeriodSchedule {
             ScheduleMode::ActiveSlot => "active",
             ScheduleMode::PassiveSlot => "passive",
         };
-        writeln!(f, "PeriodSchedule ({label}-slot, T={}):", self.slots_per_period)?;
+        writeln!(
+            f,
+            "PeriodSchedule ({label}-slot, T={}):",
+            self.slots_per_period
+        )?;
         for t in 0..self.slots_per_period {
             let set = self.active_set(t);
             write!(f, "  t{t}: ")?;

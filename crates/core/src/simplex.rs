@@ -171,7 +171,7 @@ impl Tableau {
         let mut rhs = lp.rhs.clone();
         for i in 0..m {
             if rhs[i] < 0.0 {
-                for v in rows[i].iter_mut() {
+                for v in &mut rows[i] {
                     *v = -*v;
                 }
                 rhs[i] = -rhs[i];
@@ -183,8 +183,10 @@ impl Tableau {
             }
         }
         let n_slack = relations.iter().filter(|r| **r != Relation::Eq).count();
-        let n_artificial =
-            relations.iter().filter(|r| matches!(r, Relation::Eq | Relation::Ge)).count();
+        let n_artificial = relations
+            .iter()
+            .filter(|r| matches!(r, Relation::Eq | Relation::Ge))
+            .count();
         let cols = n + n_slack + n_artificial;
         let first_artificial = n + n_slack;
 
@@ -216,7 +218,13 @@ impl Tableau {
             }
         }
 
-        let mut tableau = Tableau { m, cols, first_artificial, a, basis };
+        let mut tableau = Tableau {
+            m,
+            cols,
+            first_artificial,
+            a,
+            basis,
+        };
 
         if n_artificial > 0 {
             // Phase 1: maximise −Σ artificials.
@@ -245,7 +253,7 @@ impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
         let pivot = self.a[row][col];
         debug_assert!(pivot.abs() > TOL, "pivot too small");
-        for v in self.a[row].iter_mut() {
+        for v in &mut self.a[row] {
             *v /= pivot;
         }
         for i in 0..self.m {
@@ -270,9 +278,7 @@ impl Tableau {
         for i in 0..self.m {
             if self.basis[i] >= self.first_artificial {
                 // Find a non-artificial column with nonzero coefficient.
-                if let Some(j) =
-                    (0..self.first_artificial).find(|&j| self.a[i][j].abs() > TOL)
-                {
+                if let Some(j) = (0..self.first_artificial).find(|&j| self.a[i][j].abs() > TOL) {
                     self.pivot(i, j);
                 }
                 // Otherwise the row is all-zero (redundant constraint) with
@@ -304,7 +310,10 @@ impl LinearProgram {
                 x[b] = tableau.a[i][tableau.cols];
             }
         }
-        Ok(SimplexSolution { objective_value: value, x })
+        Ok(SimplexSolution {
+            objective_value: value,
+            x,
+        })
     }
 }
 
@@ -333,8 +342,12 @@ impl Tableau {
                 }
             }
             let Some(j) = entering else {
-                let value: f64 =
-                    self.basis.iter().zip(&self.a).map(|(&b, row)| c[b] * row[self.cols]).sum();
+                let value: f64 = self
+                    .basis
+                    .iter()
+                    .zip(&self.a)
+                    .map(|(&b, row)| c[b] * row[self.cols])
+                    .sum();
                 return Ok(value);
             };
 

@@ -58,12 +58,14 @@ pub fn stochastic_greedy<U: UtilityFunction>(
     model: &RandomChargeModel,
 ) -> Result<(ChargeCycle, PeriodSchedule), CycleError> {
     let cycle = rho_prime_cycle(model)?;
+    // A valid `ChargeCycle` always has ≥ 2 slots, so only a non-finite
+    // utility can fail here.
     let schedule = if cycle.rho() > 1.0 {
         greedy::greedy_active_lazy(utility, cycle.slots_per_period())
     } else {
         greedy::greedy_passive_naive(utility, cycle.slots_per_period())
     };
-    Ok((cycle, schedule))
+    Ok((cycle, schedule.unwrap_or_else(|e| panic!("{e}"))))
 }
 
 /// Error from the §V LP pipeline.
@@ -83,7 +85,10 @@ impl std::fmt::Display for StochasticLpError {
             StochasticLpError::Cycle(e) => write!(f, "cycle error: {e}"),
             StochasticLpError::Lp(e) => write!(f, "lp error: {e}"),
             StochasticLpError::FastRecharge => {
-                write!(f, "rho' <= 1: the LP pipeline covers the slow-recharge case only")
+                write!(
+                    f,
+                    "rho' <= 1: the LP pipeline covers the slow-recharge case only"
+                )
             }
         }
     }
@@ -110,7 +115,7 @@ pub fn stochastic_lp<R: Rng + ?Sized>(
         return Err(StochasticLpError::FastRecharge);
     }
     let problem = crate::problem::Problem::new(utility.clone(), cycle, 1)
-        .expect("non-empty utility and one period");
+        .unwrap_or_else(|e| unreachable!("non-empty utility and one period: {e}"));
     let outcome = crate::lp::LpScheduler::new(rounding_trials)
         .schedule(&problem, rng)
         .map_err(StochasticLpError::Lp)?;
@@ -135,11 +140,6 @@ pub fn simulate_schedule<U: UtilityFunction, R: Rng + ?Sized>(
     periods: usize,
     rng: &mut R,
 ) -> f64 {
-    assert!(periods > 0, "need at least one period");
-    assert!(slot_minutes > 0.0, "slot length must be positive");
-    let n = schedule.n_sensors();
-    let t_slots = schedule.slots_per_period();
-
     #[derive(Clone, Copy)]
     enum EnergyState {
         /// Remaining continuous-monitoring budget in minutes.
@@ -148,9 +148,15 @@ pub fn simulate_schedule<U: UtilityFunction, R: Rng + ?Sized>(
         Recharging(f64),
     }
 
+    assert!(periods > 0, "need at least one period");
+    assert!(slot_minutes > 0.0, "slot length must be positive");
+    let n = schedule.n_sensors();
+    let t_slots = schedule.slots_per_period();
+
     let full_budget = |_rng: &mut R| model_budget(model);
-    let mut states: Vec<EnergyState> =
-        (0..n).map(|_| EnergyState::Available(full_budget(rng))).collect();
+    let mut states: Vec<EnergyState> = (0..n)
+        .map(|_| EnergyState::Available(full_budget(rng)))
+        .collect();
 
     let mut total = 0.0;
     let mut slots = 0usize;

@@ -58,11 +58,7 @@ impl SymmetricOptimum {
 /// assert_eq!(opt.counts, vec![25, 25, 25, 25]);
 /// assert!((opt.value - 4.0 * (1.0 - 0.6f64.powi(25))).abs() < 1e-12);
 /// ```
-pub fn optimal_partition_dp<F: Fn(usize) -> f64>(
-    n: usize,
-    slots: usize,
-    f: F,
-) -> SymmetricOptimum {
+pub fn optimal_partition_dp<F: Fn(usize) -> f64>(n: usize, slots: usize, f: F) -> SymmetricOptimum {
     assert!(slots > 0, "need at least one slot");
     let values: Vec<f64> = (0..=n).map(&f).collect();
 
@@ -100,7 +96,10 @@ pub fn optimal_partition_dp<F: Fn(usize) -> f64>(
         remaining -= take;
     }
     counts.sort_unstable_by(|a, b| b.cmp(a));
-    SymmetricOptimum { value: best[n], counts }
+    SymmetricOptimum {
+        value: best[n],
+        counts,
+    }
 }
 
 /// Closed-form optimum for **concave non-decreasing** `f`: the balanced
@@ -121,16 +120,13 @@ pub fn optimal_partition_dp<F: Fn(usize) -> f64>(
 /// let opt = balanced_partition(10, 4, f);
 /// assert_eq!(opt.counts, vec![3, 3, 2, 2]);
 /// ```
-pub fn balanced_partition<F: Fn(usize) -> f64>(
-    n: usize,
-    slots: usize,
-    f: F,
-) -> SymmetricOptimum {
+pub fn balanced_partition<F: Fn(usize) -> f64>(n: usize, slots: usize, f: F) -> SymmetricOptimum {
     assert!(slots > 0, "need at least one slot");
     let base = n / slots;
     let extra = n % slots;
-    let counts: Vec<usize> =
-        (0..slots).map(|t| if t < extra { base + 1 } else { base }).collect();
+    let counts: Vec<usize> = (0..slots)
+        .map(|t| if t < extra { base + 1 } else { base })
+        .collect();
     let value = counts.iter().map(|&k| f(k)).sum();
     SymmetricOptimum { value, counts }
 }
@@ -143,7 +139,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn detection(p: f64) -> impl Fn(usize) -> f64 {
-        move |k| 1.0 - (1.0 - p).powi(k as i32)
+        move |k| 1.0 - (1.0 - p).powi(i32::try_from(k).unwrap())
     }
 
     #[test]
@@ -198,8 +194,7 @@ mod tests {
         let schedule = opt.to_schedule();
         let u = DetectionUtility::uniform(10, 0.4);
         assert!((schedule.period_utility(&u) - opt.value).abs() < 1e-12);
-        let mut sizes: Vec<usize> =
-            (0..4).map(|t| schedule.active_set(t).len()).collect();
+        let mut sizes: Vec<usize> = (0..4).map(|t| schedule.active_set(t).len()).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(sizes, opt.counts);
     }
@@ -230,7 +225,7 @@ mod tests {
             n in 1usize..80, t in 1usize..6, p in 0.05f64..0.95,
         ) {
             let u = DetectionUtility::uniform(n, p);
-            let greedy = crate::greedy::greedy_active_naive(&u, t);
+            let greedy = crate::greedy::greedy_active_naive(&u, t).unwrap();
             let opt = optimal_partition_dp(n, t, detection(p));
             prop_assert!((greedy.period_utility(&u) - opt.value).abs() < 1e-9);
         }

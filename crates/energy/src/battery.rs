@@ -36,7 +36,10 @@ impl Battery {
     ///
     /// Panics if `capacity` is not positive/finite or `level ∉ [0, capacity]`.
     pub fn new(capacity: f64, level: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive, got {capacity}");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive, got {capacity}"
+        );
         assert!(
             level.is_finite() && (0.0..=capacity).contains(&level),
             "level {level} outside [0, {capacity}]"
@@ -87,7 +90,10 @@ impl Battery {
     ///
     /// Panics if `amount` is negative or not finite.
     pub fn discharge(&mut self, amount: f64) -> f64 {
-        assert!(amount.is_finite() && amount >= 0.0, "discharge amount must be non-negative");
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "discharge amount must be non-negative"
+        );
         let drawn = amount.min(self.level);
         self.level -= drawn;
         drawn
@@ -100,7 +106,10 @@ impl Battery {
     ///
     /// Panics if `amount` is negative or not finite.
     pub fn charge(&mut self, amount: f64) -> f64 {
-        assert!(amount.is_finite() && amount >= 0.0, "charge amount must be non-negative");
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "charge amount must be non-negative"
+        );
         let stored = amount.min(self.capacity - self.level);
         self.level += stored;
         stored
@@ -120,7 +129,13 @@ impl Battery {
 
 impl fmt::Display for Battery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2}/{:.2} J ({:.0}%)", self.level, self.capacity, self.fraction() * 100.0)
+        write!(
+            f,
+            "{:.2}/{:.2} J ({:.0}%)",
+            self.level,
+            self.capacity,
+            self.fraction() * 100.0
+        )
     }
 }
 

@@ -48,12 +48,20 @@ impl SolarDay {
     /// Panics unless `0 ≤ sunrise < sunset ≤ 1440` and `peak_wm2 > 0`.
     pub fn new(sunrise_minute: f64, sunset_minute: f64, peak_wm2: f64) -> Self {
         assert!(
-            (0.0..1440.0).contains(&sunrise_minute) && sunrise_minute < sunset_minute
+            (0.0..1440.0).contains(&sunrise_minute)
+                && sunrise_minute < sunset_minute
                 && sunset_minute <= 1440.0,
             "need 0 <= sunrise < sunset <= 1440, got {sunrise_minute}..{sunset_minute}"
         );
-        assert!(peak_wm2.is_finite() && peak_wm2 > 0.0, "peak must be positive");
-        SolarDay { sunrise_minute, sunset_minute, peak_wm2 }
+        assert!(
+            peak_wm2.is_finite() && peak_wm2 > 0.0,
+            "peak must be positive"
+        );
+        SolarDay {
+            sunrise_minute,
+            sunset_minute,
+            peak_wm2,
+        }
     }
 
     /// Minute of sunrise since midnight.
@@ -111,10 +119,18 @@ impl SolarCell {
         battery_nominal_v: f64,
     ) -> Self {
         assert!(area_cm2 > 0.0, "area must be positive");
-        assert!((0.0..=1.0).contains(&efficiency) && efficiency > 0.0, "efficiency in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&efficiency) && efficiency > 0.0,
+            "efficiency in (0, 1]"
+        );
         assert!(max_charge_current_ma > 0.0, "max current must be positive");
         assert!(battery_nominal_v > 0.0, "voltage must be positive");
-        SolarCell { area_cm2, efficiency, max_charge_current_ma, battery_nominal_v }
+        SolarCell {
+            area_cm2,
+            efficiency,
+            max_charge_current_ma,
+            battery_nominal_v,
+        }
     }
 
     /// Raw panel current (mA) under `irradiance_wm2`, before the controller.
@@ -126,7 +142,8 @@ impl SolarCell {
 
     /// Charging current (mA) after the saturating controller.
     pub fn charging_current_ma(&self, irradiance_wm2: f64) -> f64 {
-        self.panel_current_ma(irradiance_wm2).min(self.max_charge_current_ma)
+        self.panel_current_ma(irradiance_wm2)
+            .min(self.max_charge_current_ma)
     }
 
     /// Charging voltage (V) the measurement node observes: near-nominal
@@ -226,7 +243,10 @@ impl HarvestTrace {
     /// Flicker is a bounded multiplicative AR(1) process — cloud shadows are
     /// correlated minute-to-minute, not white noise.
     pub fn generate<R: Rng + ?Sized>(config: HarvestConfig, rng: &mut R) -> Self {
-        assert!(config.sample_minutes > 0.0, "sample cadence must be positive");
+        assert!(
+            config.sample_minutes > 0.0,
+            "sample cadence must be positive"
+        );
         let n = (1440.0 / config.sample_minutes).floor() as usize;
         let mut samples = Vec::with_capacity(n);
         let mut flicker_state = 0.0f64;
@@ -235,8 +255,7 @@ impl HarvestTrace {
             let minute = k as f64 * config.sample_minutes;
             let clear = config.day.clear_sky_irradiance(minute);
             // AR(1): x ← 0.9x + ε, bounded to ±1.
-            flicker_state =
-                (0.9 * flicker_state + rng.random_range(-0.3..0.3)).clamp(-1.0, 1.0);
+            flicker_state = (0.9 * flicker_state + rng.random_range(-0.3..0.3)).clamp(-1.0, 1.0);
             let factor =
                 (config.weather.attenuation() * (1.0 + amplitude * flicker_state)).max(0.0);
             let light = clear * factor;
@@ -295,12 +314,14 @@ impl HarvestTrace {
     /// assert_eq!(back.samples().len(), trace.samples().len());
     /// ```
     pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::from("minute,light_wm2,voltage,charge_current_ma\n");
         for s in &self.samples {
-            out.push_str(&format!(
-                "{},{},{},{}\n",
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
                 s.minute, s.light_wm2, s.voltage, s.charge_current_ma
-            ));
+            );
         }
         out
     }
@@ -315,7 +336,12 @@ impl HarvestTrace {
         let mut lines = csv.lines().enumerate();
         match lines.next() {
             Some((_, header)) if header.trim() == "minute,light_wm2,voltage,charge_current_ma" => {}
-            _ => return Err(TraceParseError { line: 1, reason: "missing or wrong header".into() }),
+            _ => {
+                return Err(TraceParseError {
+                    line: 1,
+                    reason: "missing or wrong header".into(),
+                })
+            }
         }
         let mut samples = Vec::new();
         for (idx, line) in lines {
@@ -366,7 +392,10 @@ impl HarvestTrace {
             samples.push(sample);
         }
         if samples.is_empty() {
-            return Err(TraceParseError { line: 1, reason: "no samples".into() });
+            return Err(TraceParseError {
+                line: 1,
+                reason: "no samples".into(),
+            });
         }
         Ok(HarvestTrace { config, samples })
     }
@@ -405,7 +434,11 @@ impl HarvestTrace {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.charge_current_ma).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.charge_current_ma)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     fn daylight_samples(&self) -> impl Iterator<Item = &HarvestSample> {
@@ -443,8 +476,8 @@ fn relative_spread(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
     if max <= 0.0 {
         0.0
     } else {
@@ -476,7 +509,7 @@ mod tests {
         let day = SolarDay::default();
         assert_eq!(day.clear_sky_irradiance(0.0), 0.0);
         assert_eq!(day.clear_sky_irradiance(1439.0), 0.0);
-        let mid = (day.sunrise_minute() + day.sunset_minute()) / 2.0;
+        let mid = f64::midpoint(day.sunrise_minute(), day.sunset_minute());
         assert!((day.clear_sky_irradiance(mid) - 1000.0).abs() < 1e-9);
         assert!(day.clear_sky_irradiance(mid - 120.0) < 1000.0);
     }
@@ -505,7 +538,10 @@ mod tests {
     #[test]
     fn voltage_plateau_on_sunny_day() {
         let trace = HarvestTrace::generate(HarvestConfig::default(), &mut rng());
-        assert!(trace.light_relative_spread() > 0.5, "light varies significantly");
+        assert!(
+            trace.light_relative_spread() > 0.5,
+            "light varies significantly"
+        );
         assert!(
             trace.daytime_voltage_relative_spread() < 0.1,
             "voltage stays level while harvesting: spread {}",
@@ -517,7 +553,10 @@ mod tests {
     fn rainy_day_harvests_much_less() {
         let sunny = HarvestTrace::generate(HarvestConfig::default(), &mut rng());
         let rainy = HarvestTrace::generate(
-            HarvestConfig { weather: Weather::Rainy, ..HarvestConfig::default() },
+            HarvestConfig {
+                weather: Weather::Rainy,
+                ..HarvestConfig::default()
+            },
             &mut rng(),
         );
         assert!(
@@ -530,7 +569,10 @@ mod tests {
 
     #[test]
     fn trace_cadence_and_determinism() {
-        let cfg = HarvestConfig { sample_minutes: 5.0, ..HarvestConfig::default() };
+        let cfg = HarvestConfig {
+            sample_minutes: 5.0,
+            ..HarvestConfig::default()
+        };
         let a = HarvestTrace::generate(cfg, &mut rng());
         let b = HarvestTrace::generate(cfg, &mut rng());
         assert_eq!(a, b, "same seed, same trace");
@@ -542,7 +584,10 @@ mod tests {
     fn light_is_never_negative() {
         for weather in Weather::ALL {
             let trace = HarvestTrace::generate(
-                HarvestConfig { weather, ..HarvestConfig::default() },
+                HarvestConfig {
+                    weather,
+                    ..HarvestConfig::default()
+                },
                 &mut rng(),
             );
             assert!(trace.samples().iter().all(|s| s.light_wm2 >= 0.0));
@@ -588,9 +633,8 @@ mod tests {
         .unwrap_err();
         assert!(err.reason.contains("light_wm2"));
 
-        let err =
-            HarvestTrace::from_csv(cfg, "minute,light_wm2,voltage,charge_current_ma\n")
-                .unwrap_err();
+        let err = HarvestTrace::from_csv(cfg, "minute,light_wm2,voltage,charge_current_ma\n")
+            .unwrap_err();
         assert!(err.reason.contains("no samples"));
     }
 
@@ -598,8 +642,18 @@ mod tests {
     fn from_samples_validates() {
         let cfg = HarvestConfig::default();
         let good = vec![
-            HarvestSample { minute: 0.0, light_wm2: 1.0, voltage: 2.0, charge_current_ma: 3.0 },
-            HarvestSample { minute: 1.0, light_wm2: 1.0, voltage: 2.0, charge_current_ma: 3.0 },
+            HarvestSample {
+                minute: 0.0,
+                light_wm2: 1.0,
+                voltage: 2.0,
+                charge_current_ma: 3.0,
+            },
+            HarvestSample {
+                minute: 1.0,
+                light_wm2: 1.0,
+                voltage: 2.0,
+                charge_current_ma: 3.0,
+            },
         ];
         let trace = HarvestTrace::from_samples(cfg, good);
         assert_eq!(trace.samples().len(), 2);
@@ -610,8 +664,18 @@ mod tests {
     fn from_samples_rejects_disorder() {
         let cfg = HarvestConfig::default();
         let bad = vec![
-            HarvestSample { minute: 5.0, light_wm2: 1.0, voltage: 2.0, charge_current_ma: 3.0 },
-            HarvestSample { minute: 1.0, light_wm2: 1.0, voltage: 2.0, charge_current_ma: 3.0 },
+            HarvestSample {
+                minute: 5.0,
+                light_wm2: 1.0,
+                voltage: 2.0,
+                charge_current_ma: 3.0,
+            },
+            HarvestSample {
+                minute: 1.0,
+                light_wm2: 1.0,
+                voltage: 2.0,
+                charge_current_ma: 3.0,
+            },
         ];
         let _ = HarvestTrace::from_samples(cfg, bad);
     }

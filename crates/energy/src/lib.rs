@@ -41,7 +41,9 @@ pub mod state;
 pub mod weather;
 
 pub use battery::Battery;
-pub use harvest::{HarvestConfig, HarvestSample, HarvestTrace, SolarCell, SolarDay, TraceParseError};
+pub use harvest::{
+    HarvestConfig, HarvestSample, HarvestTrace, SolarCell, SolarDay, TraceParseError,
+};
 pub use profile::{
     core_window_stability, estimate_pattern, fit_pattern, ChargingPattern, WindowEstimate,
 };

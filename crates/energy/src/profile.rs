@@ -137,7 +137,10 @@ pub fn estimate_pattern(
 ///
 /// Returns `None` when fewer than two core windows exist.
 pub fn core_window_stability(windows: &[WindowEstimate]) -> Option<f64> {
-    let max_current = windows.iter().map(|w| w.mean_current_ma).fold(0.0, f64::max);
+    let max_current = windows
+        .iter()
+        .map(|w| w.mean_current_ma)
+        .fold(0.0, f64::max);
     let core: Vec<f64> = windows
         .iter()
         .filter(|w| w.mean_current_ma >= 0.7 * max_current && w.recharge_minutes.is_finite())
@@ -157,11 +160,11 @@ pub fn core_window_stability(windows: &[WindowEstimate]) -> Option<f64> {
 /// paper's nodes); the recharge time is the mean across core windows.
 ///
 /// Returns `None` when the trace has no usable charging window.
-pub fn fit_pattern(
-    windows: &[WindowEstimate],
-    discharge_minutes: f64,
-) -> Option<ChargingPattern> {
-    let max_current = windows.iter().map(|w| w.mean_current_ma).fold(0.0, f64::max);
+pub fn fit_pattern(windows: &[WindowEstimate], discharge_minutes: f64) -> Option<ChargingPattern> {
+    let max_current = windows
+        .iter()
+        .map(|w| w.mean_current_ma)
+        .fold(0.0, f64::max);
     let core: Vec<f64> = windows
         .iter()
         .filter(|w| w.mean_current_ma >= 0.7 * max_current && w.recharge_minutes.is_finite())
@@ -183,7 +186,10 @@ mod tests {
     use cool_common::SeedSequence;
 
     fn sunny_trace() -> HarvestTrace {
-        HarvestTrace::generate(HarvestConfig::default(), &mut SeedSequence::new(9).nth_rng(0))
+        HarvestTrace::generate(
+            HarvestConfig::default(),
+            &mut SeedSequence::new(9).nth_rng(0),
+        )
     }
 
     #[test]
@@ -199,7 +205,10 @@ mod tests {
     fn sunny_pattern_is_stable_within_windows() {
         let windows = estimate_pattern(&sunny_trace(), 120.0, 30.0);
         let cv = core_window_stability(&windows).expect("core windows exist");
-        assert!(cv < 0.1, "recharge-time CV on a sunny day is small, got {cv}");
+        assert!(
+            cv < 0.1,
+            "recharge-time CV on a sunny day is small, got {cv}"
+        );
     }
 
     #[test]
@@ -219,13 +228,14 @@ mod tests {
     #[test]
     fn overcast_day_estimates_longer_recharge() {
         let overcast = HarvestTrace::generate(
-            HarvestConfig { weather: Weather::Overcast, ..HarvestConfig::default() },
+            HarvestConfig {
+                weather: Weather::Overcast,
+                ..HarvestConfig::default()
+            },
             &mut SeedSequence::new(9).nth_rng(1),
         );
-        let sunny_fit =
-            fit_pattern(&estimate_pattern(&sunny_trace(), 120.0, 30.0), 15.0).unwrap();
-        let overcast_fit =
-            fit_pattern(&estimate_pattern(&overcast, 120.0, 30.0), 15.0).unwrap();
+        let sunny_fit = fit_pattern(&estimate_pattern(&sunny_trace(), 120.0, 30.0), 15.0).unwrap();
+        let overcast_fit = fit_pattern(&estimate_pattern(&overcast, 120.0, 30.0), 15.0).unwrap();
         assert!(
             overcast_fit.recharge_minutes > 1.5 * sunny_fit.recharge_minutes,
             "overcast {} vs sunny {}",
@@ -236,7 +246,10 @@ mod tests {
 
     #[test]
     fn quantize_handles_fast_recharge() {
-        let p = ChargingPattern { discharge_minutes: 40.0, recharge_minutes: 10.3 };
+        let p = ChargingPattern {
+            discharge_minutes: 40.0,
+            recharge_minutes: 10.3,
+        };
         let c = p.quantize().unwrap();
         assert_eq!(c.rho(), 0.25);
         assert_eq!(c.recharge_minutes(), 10.3);
@@ -244,7 +257,10 @@ mod tests {
 
     #[test]
     fn pattern_display_shows_rho() {
-        let p = ChargingPattern { discharge_minutes: 15.0, recharge_minutes: 45.0 };
+        let p = ChargingPattern {
+            discharge_minutes: 15.0,
+            recharge_minutes: 45.0,
+        };
         assert!(p.to_string().contains("rho=3.00"));
     }
 

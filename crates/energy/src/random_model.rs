@@ -43,7 +43,10 @@ pub struct InvalidModelError;
 
 impl fmt::Display for InvalidModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "random charge model parameters must be positive and finite (std may be zero)")
+        write!(
+            f,
+            "random charge model parameters must be positive and finite (std may be zero)"
+        )
     }
 }
 
@@ -231,8 +234,10 @@ mod tests {
         let m = RandomChargeModel::new(15.0, 2.0, 0.2, 45.0, 5.0).unwrap();
         let mut rng = SeedSequence::new(21).nth_rng(0);
         let n = 4000;
-        let mean: f64 =
-            (0..n).map(|_| m.sample_discharge_minutes(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_discharge_minutes(&mut rng))
+            .sum::<f64>()
+            / f64::from(n);
         let expected = m.mean_discharge_minutes();
         assert!(
             (mean - expected).abs() / expected < 0.05,
@@ -248,11 +253,19 @@ mod tests {
         let m = model();
         let mut rng = SeedSequence::new(23).nth_rng(0);
         let n = 4000;
-        let mean: f64 =
-            (0..n).map(|_| m.sample_discharge_minutes(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_discharge_minutes(&mut rng))
+            .sum::<f64>()
+            / f64::from(n);
         let fluid = m.mean_discharge_minutes();
-        assert!(mean > fluid, "overshoot raises the sampled mean: {mean} vs {fluid}");
-        assert!(mean < 1.4 * fluid, "but only by a bounded margin: {mean} vs {fluid}");
+        assert!(
+            mean > fluid,
+            "overshoot raises the sampled mean: {mean} vs {fluid}"
+        );
+        assert!(
+            mean < 1.4 * fluid,
+            "but only by a bounded margin: {mean} vs {fluid}"
+        );
     }
 
     #[test]
@@ -260,12 +273,14 @@ mod tests {
         let m = model();
         let mut rng = SeedSequence::new(22).nth_rng(0);
         let n = 4000;
-        let samples: Vec<f64> = (0..n).map(|_| m.sample_recharge_minutes(&mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.sample_recharge_minutes(&mut rng))
+            .collect();
         assert!(samples.iter().all(|&x| x > 0.0));
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
         assert!((mean - 45.0).abs() < 1.0, "sampled mean {mean}");
-        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64)
-            .sqrt();
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n - 1)).sqrt();
         assert!((std - 5.0).abs() < 0.5, "sampled std {std}");
     }
 

@@ -23,10 +23,16 @@ impl fmt::Display for CycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CycleError::NonPositiveDuration => {
-                write!(f, "discharge and recharge times must be positive and finite")
+                write!(
+                    f,
+                    "discharge and recharge times must be positive and finite"
+                )
             }
             CycleError::NonIntegralRatio => {
-                write!(f, "neither rho nor 1/rho is an integer, period does not slot evenly")
+                write!(
+                    f,
+                    "neither rho nor 1/rho is an integer, period does not slot evenly"
+                )
             }
         }
     }
@@ -82,7 +88,10 @@ impl ChargeCycle {
         if (ratio - ratio.round()).abs() > Self::RATIO_TOLERANCE * ratio {
             return Err(CycleError::NonIntegralRatio);
         }
-        Ok(ChargeCycle { discharge_minutes, recharge_minutes })
+        Ok(ChargeCycle {
+            discharge_minutes,
+            recharge_minutes,
+        })
     }
 
     /// Creates a cycle from `ρ` directly, with slot length `slot_minutes`.
@@ -118,7 +127,10 @@ impl ChargeCycle {
     /// The sunny-day pattern measured on the paper's testbed (§VI-A):
     /// `T_d = 15 min`, `T_r = 45 min`, so `ρ = 3`.
     pub fn paper_sunny() -> Self {
-        ChargeCycle::from_minutes(15.0, 45.0).expect("paper constants are valid")
+        match ChargeCycle::from_minutes(15.0, 45.0) {
+            Ok(cycle) => cycle,
+            Err(_) => unreachable!("paper constants are valid"),
+        }
     }
 
     /// Discharge time `T_d` in minutes.
@@ -288,7 +300,10 @@ mod tests {
             ChargeCycle::from_minutes(10.0, 25.0),
             Err(CycleError::NonIntegralRatio)
         );
-        assert_eq!(ChargeCycle::from_rho(-1.0, 10.0), Err(CycleError::NonPositiveDuration));
+        assert_eq!(
+            ChargeCycle::from_rho(-1.0, 10.0),
+            Err(CycleError::NonPositiveDuration)
+        );
     }
 
     #[test]

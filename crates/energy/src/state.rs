@@ -247,7 +247,11 @@ mod tests {
         assert_eq!(node.state(), NodeState::Passive);
         assert!(!node.step(true), "refused while passive");
         assert_eq!(node.refused_activations(), 1);
-        assert_eq!(node.state(), NodeState::Ready, "one passive slot refills when rho<1");
+        assert_eq!(
+            node.state(),
+            NodeState::Ready,
+            "one passive slot refills when rho<1"
+        );
     }
 
     #[test]
@@ -290,8 +294,7 @@ mod tests {
         // an idle (leaking) slot is no longer fully charged and — under the
         // paper's ρ ≥ 1 rule "activate only when full" — must refuse and
         // spend the slot topping up instead.
-        let mut node =
-            NodeEnergyMachine::new(ChargeCycle::paper_sunny()).with_ready_leakage(0.05);
+        let mut node = NodeEnergyMachine::new(ChargeCycle::paper_sunny()).with_ready_leakage(0.05);
         assert!(!node.step(false), "idle slot leaks");
         assert!(node.battery_fraction() < 1.0);
         assert!(!node.step(true), "refused while below full");
@@ -328,14 +331,17 @@ mod tests {
         assert!(!node.step(false), "idle slot leaks");
         assert!(node.step(true), "tolerant activation succeeds");
         assert_eq!(node.refused_activations(), 0);
-        assert_eq!(node.state(), NodeState::Passive, "drained by the active slot");
+        assert_eq!(
+            node.state(),
+            NodeState::Passive,
+            "drained by the active slot"
+        );
     }
 
     #[test]
     #[should_panic(expected = "fraction of the slot energy")]
     fn excessive_tolerance_panics() {
-        let _ =
-            NodeEnergyMachine::new(ChargeCycle::paper_sunny()).with_activation_tolerance(2.0);
+        let _ = NodeEnergyMachine::new(ChargeCycle::paper_sunny()).with_activation_tolerance(2.0);
     }
 
     proptest! {

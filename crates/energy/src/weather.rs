@@ -32,8 +32,12 @@ pub enum Weather {
 
 impl Weather {
     /// All conditions, in order of decreasing irradiance.
-    pub const ALL: [Weather; 4] =
-        [Weather::Sunny, Weather::PartlyCloudy, Weather::Overcast, Weather::Rainy];
+    pub const ALL: [Weather; 4] = [
+        Weather::Sunny,
+        Weather::PartlyCloudy,
+        Weather::Overcast,
+        Weather::Rainy,
+    ];
 
     /// Mean attenuation this condition applies to clear-sky irradiance,
     /// in `(0, 1]`.
@@ -139,7 +143,7 @@ impl WeatherGenerator {
         let row_idx = Weather::ALL
             .iter()
             .position(|&w| w == self.current)
-            .expect("current weather is a member of ALL");
+            .unwrap_or_default(); // every Weather variant is a member of ALL
         let row = &Self::TRANSITIONS[row_idx];
         let mut u: f64 = rng.random_range(0.0..1.0);
         for (i, &p) in row.iter().enumerate() {
@@ -220,8 +224,11 @@ mod tests {
                 stays += 1;
             }
         }
-        let rate = stays as f64 / trials as f64;
-        assert!((rate - 0.70).abs() < 0.05, "sunny persistence ≈ 0.70, got {rate}");
+        let rate = f64::from(stays) / f64::from(trials);
+        assert!(
+            (rate - 0.70).abs() < 0.05,
+            "sunny persistence ≈ 0.70, got {rate}"
+        );
     }
 
     #[test]

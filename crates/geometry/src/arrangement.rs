@@ -206,15 +206,17 @@ impl Arrangement {
         Arrangement::from_groups(omega, n, groups)
     }
 
-    fn from_groups(
-        omega: Rect,
-        n: usize,
-        groups: HashMap<SensorSet, (f64, Point)>,
-    ) -> Arrangement {
-        let mut entries: Vec<(SensorSet, f64, Point)> =
-            groups.into_iter().map(|(sig, (area, rep))| (sig, area, rep)).collect();
+    fn from_groups(omega: Rect, n: usize, groups: HashMap<SensorSet, (f64, Point)>) -> Arrangement {
+        let mut entries: Vec<(SensorSet, f64, Point)> = groups
+            .into_iter()
+            .map(|(sig, (area, rep))| (sig, area, rep))
+            .collect();
         // Deterministic order: by signature members.
-        entries.sort_by_key(|(sig, _, _)| sig.iter().map(|v| v.index()).collect::<Vec<_>>());
+        entries.sort_by_key(|(sig, _, _)| {
+            sig.iter()
+                .map(cool_common::SensorId::index)
+                .collect::<Vec<_>>()
+        });
 
         let subregions = entries
             .into_iter()
@@ -228,7 +230,11 @@ impl Arrangement {
             })
             .collect();
 
-        Arrangement { omega, n_sensors: n, subregions }
+        Arrangement {
+            omega,
+            n_sensors: n,
+            subregions,
+        }
     }
 
     /// Applies a preference weight field `w(p)` — each subregion's weight is
@@ -248,7 +254,10 @@ impl Arrangement {
     pub fn with_weights<F: Fn(Point) -> f64>(mut self, weight: F) -> Self {
         for sub in &mut self.subregions {
             let w = weight(sub.representative);
-            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative and finite, got {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be non-negative and finite, got {w}"
+            );
             sub.weight = w;
         }
         self
@@ -363,8 +372,7 @@ impl Arrangement {
                 .min_by(|a, b| {
                     a.representative
                         .distance_squared(p)
-                        .partial_cmp(&b.representative.distance_squared(p))
-                        .expect("distances are finite")
+                        .total_cmp(&b.representative.distance_squared(p))
                 })
                 .is_some_and(|s| !s.signature.is_disjoint(active))
     }
@@ -438,9 +446,7 @@ mod tests {
         let area = arr.total_coverable_area();
         assert!(
             (area - PI).abs() / PI < 0.02,
-            "quarter disk area {} vs π {}",
-            area,
-            PI
+            "quarter disk area {area} vs π {PI}"
         );
     }
 
@@ -468,7 +474,10 @@ mod tests {
         // Activating disk 0 covers its full (unclipped) disk: π·r².
         let expected = PI * 4.0;
         let got = arr.covered_weighted_area(&only0);
-        assert!((got - expected).abs() / expected < 0.02, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]
@@ -531,8 +540,7 @@ mod tests {
         let omega = Rect::square(10.0);
         let exact = PI * 4.0;
         let grid = Arrangement::build(omega, &regions, 64).total_coverable_area();
-        let adaptive =
-            Arrangement::build_adaptive(omega, &regions, 6).total_coverable_area();
+        let adaptive = Arrangement::build_adaptive(omega, &regions, 6).total_coverable_area();
         assert!(
             (adaptive - exact).abs() <= (grid - exact).abs() + 1e-9,
             "adaptive {adaptive} vs grid {grid} vs exact {exact}"
@@ -545,7 +553,10 @@ mod tests {
         let regions: Vec<AnyRegion> = vec![Rect::square(10.0).into()];
         let arr = Arrangement::build_adaptive(Rect::square(10.0), &regions, 8);
         assert_eq!(arr.subregions().len(), 1);
-        assert!((arr.total_coverable_area() - 100.0).abs() < 1e-9, "exact, no refinement");
+        assert!(
+            (arr.total_coverable_area() - 100.0).abs() < 1e-9,
+            "exact, no refinement"
+        );
 
         let empty = Arrangement::build_adaptive(Rect::square(1.0), &Vec::<AnyRegion>::new(), 4);
         assert!(empty.subregions().is_empty());
@@ -558,7 +569,11 @@ mod tests {
         let double = arr.area_covered_at_least(2);
         assert!(all > double && double > 0.0);
         assert_eq!(arr.area_covered_at_least(3), 0.0);
-        assert_eq!(arr.area_covered_at_least(0), all, "k = 0 counts covered cells only");
+        assert_eq!(
+            arr.area_covered_at_least(0),
+            all,
+            "k = 0 counts covered cells only"
+        );
 
         // The ≥2 region is exactly the lens.
         let exact = crate::disk_intersection_area(

@@ -70,11 +70,17 @@ impl DeploymentSpec {
     pub fn new(omega: Rect, n: usize, kind: DeploymentKind) -> Self {
         match kind {
             DeploymentKind::JitteredGrid { jitter } => {
-                assert!((0.0..=0.5).contains(&jitter), "jitter must be in [0, 0.5], got {jitter}");
+                assert!(
+                    (0.0..=0.5).contains(&jitter),
+                    "jitter must be in [0, 0.5], got {jitter}"
+                );
             }
             DeploymentKind::Clustered { clusters, spread } => {
                 assert!(clusters > 0, "need at least one cluster");
-                assert!(spread.is_finite() && spread >= 0.0, "spread must be non-negative");
+                assert!(
+                    spread.is_finite() && spread >= 0.0,
+                    "spread must be non-negative"
+                );
             }
             DeploymentKind::PoissonDisk { min_distance } => {
                 assert!(
@@ -105,21 +111,20 @@ impl DeploymentSpec {
     /// Generates the sensor positions.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Point> {
         match self.kind {
-            DeploymentKind::UniformRandom => {
-                (0..self.n).map(|_| uniform_point(self.omega, rng)).collect()
-            }
+            DeploymentKind::UniformRandom => (0..self.n)
+                .map(|_| uniform_point(self.omega, rng))
+                .collect(),
             DeploymentKind::Grid => self.grid_points(0.0, rng),
             DeploymentKind::JitteredGrid { jitter } => self.grid_points(jitter, rng),
             DeploymentKind::Clustered { clusters, spread } => {
-                let centers: Vec<Point> =
-                    (0..clusters).map(|_| uniform_point(self.omega, rng)).collect();
+                let centers: Vec<Point> = (0..clusters)
+                    .map(|_| uniform_point(self.omega, rng))
+                    .collect();
                 (0..self.n)
                     .map(|_| {
                         let c = centers[rng.random_range(0..centers.len())];
-                        let p = Point::new(
-                            c.x + gaussian(rng) * spread,
-                            c.y + gaussian(rng) * spread,
-                        );
+                        let p =
+                            Point::new(c.x + gaussian(rng) * spread, c.y + gaussian(rng) * spread);
                         clamp_to(self.omega, p)
                     })
                     .collect()
@@ -286,8 +291,8 @@ mod tests {
         );
         let pts = spec.generate(&mut rng());
         assert!(pts.iter().all(|&p| spec.omega().contains(p)));
-        let grid = DeploymentSpec::new(Rect::square(10.0), 50, DeploymentKind::Grid)
-            .generate(&mut rng());
+        let grid =
+            DeploymentSpec::new(Rect::square(10.0), 50, DeploymentKind::Grid).generate(&mut rng());
         assert_ne!(pts, grid, "jitter moves points");
     }
 
@@ -296,7 +301,10 @@ mod tests {
         let spec = DeploymentSpec::new(
             Rect::square(1000.0),
             200,
-            DeploymentKind::Clustered { clusters: 2, spread: 5.0 },
+            DeploymentKind::Clustered {
+                clusters: 2,
+                spread: 5.0,
+            },
         );
         let pts = spec.generate(&mut rng());
         assert_eq!(pts.len(), 200);
@@ -314,7 +322,10 @@ mod tests {
             })
             .sum::<f64>()
             / pts.len() as f64;
-        assert!(mean_nn < 10.0, "clustered mean-NN {mean_nn} should be small");
+        assert!(
+            mean_nn < 10.0,
+            "clustered mean-NN {mean_nn} should be small"
+        );
     }
 
     #[test]

@@ -39,8 +39,12 @@ pub fn disk_intersection_area(a: &Disk, b: &Disk) -> f64 {
     // Partial overlap: sum of two circular segments.
     // Half-angle at each centre subtended by the chord through the two
     // circle-circle intersection points.
-    let alpha = ((d * d + r * r - s * s) / (2.0 * d * r)).clamp(-1.0, 1.0).acos();
-    let beta = ((d * d + s * s - r * r) / (2.0 * d * s)).clamp(-1.0, 1.0).acos();
+    let alpha = ((d * d + r * r - s * s) / (2.0 * d * r))
+        .clamp(-1.0, 1.0)
+        .acos();
+    let beta = ((d * d + s * s - r * r) / (2.0 * d * s))
+        .clamp(-1.0, 1.0)
+        .acos();
     r * r * (alpha - alpha.sin() * alpha.cos()) + s * s * (beta - beta.sin() * beta.cos())
 }
 
@@ -140,7 +144,10 @@ mod tests {
         let far = Disk::new(Point::new(100.0, 0.0), 1.0);
         assert!(circle_intersection_points(&a, &inner).is_none());
         assert!(circle_intersection_points(&a, &far).is_none());
-        assert!(circle_intersection_points(&a, &a).is_none(), "identical circles");
+        assert!(
+            circle_intersection_points(&a, &a).is_none(),
+            "identical circles"
+        );
     }
 
     /// Monte-Carlo cross-check of the closed form.
@@ -164,7 +171,7 @@ mod tests {
                 hits += 1;
             }
         }
-        let estimate = hits as f64 / samples as f64 * bbox.area();
+        let estimate = f64::from(hits) / f64::from(samples) * bbox.area();
         assert!(
             (estimate - exact).abs() < 0.05,
             "MC {estimate} vs exact {exact}"

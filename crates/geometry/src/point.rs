@@ -148,7 +148,10 @@ impl Rect {
     ///
     /// Panics if `side` is negative or not finite.
     pub fn square(side: f64) -> Self {
-        assert!(side.is_finite() && side >= 0.0, "side must be non-negative, got {side}");
+        assert!(
+            side.is_finite() && side >= 0.0,
+            "side must be non-negative, got {side}"
+        );
         Rect::new(Point::ORIGIN, Point::new(side, side))
     }
 
@@ -179,7 +182,10 @@ impl Rect {
 
     /// Centre point.
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            f64::midpoint(self.min.x, self.max.x),
+            f64::midpoint(self.min.y, self.max.y),
+        )
     }
 
     /// Returns `true` if `p` lies inside or on the boundary.
@@ -208,6 +214,7 @@ impl Rect {
     }
 
     /// Smallest rectangle containing both.
+    #[must_use]
     pub fn union(&self, other: &Rect) -> Rect {
         Rect::new(
             Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
@@ -265,7 +272,10 @@ mod tests {
         let b = Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
         let i = a.intersection(&b).expect("overlapping rects intersect");
         assert_eq!(i, Rect::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
-        assert_eq!(a.union(&b), Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0)));
+        assert_eq!(
+            a.union(&b),
+            Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0))
+        );
 
         let far = Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
         assert!(a.intersection(&far).is_none());

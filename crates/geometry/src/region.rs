@@ -48,10 +48,10 @@ pub trait Region: fmt::Debug {
     /// `Covers`/`Outside` must be exact, as the adaptive arrangement stops
     /// refining such cells.
     fn classify_cell(&self, cell: Rect) -> CellRelation {
-        if !self.bounding_box().intersects(&cell) {
-            CellRelation::Outside
-        } else {
+        if self.bounding_box().intersects(&cell) {
             CellRelation::Partial
+        } else {
+            CellRelation::Outside
         }
     }
 }
@@ -83,7 +83,10 @@ impl Disk {
     ///
     /// Panics if `radius` is negative or not finite.
     pub fn new(center: Point, radius: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "radius must be non-negative, got {radius}");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be non-negative, got {radius}"
+        );
         Disk { center, radius }
     }
 
@@ -118,8 +121,12 @@ impl Region for Disk {
     fn classify_cell(&self, cell: Rect) -> CellRelation {
         let r_sq = self.radius * self.radius;
         // Farthest cell corner inside the disk ⇒ the disk covers the cell.
-        let fx = (self.center.x - cell.min().x).abs().max((self.center.x - cell.max().x).abs());
-        let fy = (self.center.y - cell.min().y).abs().max((self.center.y - cell.max().y).abs());
+        let fx = (self.center.x - cell.min().x)
+            .abs()
+            .max((self.center.x - cell.max().x).abs());
+        let fy = (self.center.y - cell.min().y)
+            .abs()
+            .max((self.center.y - cell.max().y).abs());
         if fx * fx + fy * fy <= r_sq {
             return CellRelation::Covers;
         }
@@ -275,12 +282,20 @@ impl Sector {
     ///
     /// Panics if `radius` is negative, or `half_angle` is outside `(0, π]`.
     pub fn new(center: Point, radius: f64, heading: f64, half_angle: f64) -> Self {
-        assert!(radius.is_finite() && radius >= 0.0, "radius must be non-negative, got {radius}");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be non-negative, got {radius}"
+        );
         assert!(
             half_angle > 0.0 && half_angle <= PI,
             "half-angle must be in (0, π], got {half_angle}"
         );
-        Sector { center, radius, heading, half_angle }
+        Sector {
+            center,
+            radius,
+            heading,
+            half_angle,
+        }
     }
 
     /// Apex of the sector.
@@ -532,8 +547,8 @@ mod tests {
             for i in 0..5 {
                 for j in 0..5 {
                     let p = Point::new(
-                        cell.min().x + w * i as f64 / 4.0,
-                        cell.min().y + h * j as f64 / 4.0,
+                        cell.min().x + w * f64::from(i) / 4.0,
+                        cell.min().y + h * f64::from(j) / 4.0,
                     );
                     match relation {
                         CellRelation::Covers => prop_assert!(disk.contains(p)),

@@ -1,0 +1,339 @@
+//! Diagnostics: a [`Diagnostic`] couples a stable [`CoolCode`] with a
+//! message and an optional source location; a [`Report`] collects them and
+//! renders either a human-readable listing or machine-readable JSON.
+
+use cool_common::CoolCode;
+use std::fmt;
+
+/// Diagnostic severity, derived from the code class (`E` vs `W`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the input is suspicious but runnable.
+    Warning,
+    /// The input violates an invariant; running it would panic or produce
+    /// meaningless output.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding: a stable code, a message, and an optional location/help.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The stable diagnostic code.
+    pub code: CoolCode,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Source file the finding points into, when known.
+    pub file: Option<String>,
+    /// 1-based line number in `file`, when known.
+    pub line: Option<usize>,
+    /// A suggestion for fixing the finding.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no location or help attached.
+    pub fn new(code: CoolCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            file: None,
+            line: None,
+            help: None,
+        }
+    }
+
+    /// Attaches a 1-based source line.
+    #[must_use]
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches a fix suggestion.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Severity, derived from the code class.
+    pub fn severity(&self) -> Severity {
+        if self.code.is_error() {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.file, self.line) {
+            (Some(file), Some(line)) => write!(f, "{file}:{line}: ")?,
+            (Some(file), None) => write!(f, "{file}: ")?,
+            (None, Some(line)) => write!(f, "line {line}: ")?,
+            (None, None) => {}
+        }
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity(),
+            self.code.as_str(),
+            self.message
+        )?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one lint run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+    file: Option<String>,
+}
+
+impl Report {
+    /// An empty report with no file association.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// An empty report whose diagnostics (and JSON header) name `file`.
+    pub fn for_file(file: impl Into<String>) -> Self {
+        Report {
+            diagnostics: Vec::new(),
+            file: Some(file.into()),
+        }
+    }
+
+    /// The file this report is about, if any.
+    pub fn file(&self) -> Option<&str> {
+        self.file.as_deref()
+    }
+
+    /// Adds a diagnostic, stamping the report's file onto it when the
+    /// diagnostic does not already carry one.
+    pub fn push(&mut self, mut diagnostic: Diagnostic) {
+        if diagnostic.file.is_none() {
+            diagnostic.file.clone_from(&self.file);
+        }
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every diagnostic of `other` (re-stamping unlocated ones with
+    /// this report's file).
+    pub fn merge(&mut self, other: Report) {
+        for d in other.diagnostics {
+            self.push(d);
+        }
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when the report carries no errors (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// `true` when the report carries any diagnostic whose code is `code`.
+    pub fn has_code(&self, code: CoolCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Machine-readable JSON rendering — one object with a `diagnostics`
+    /// array, stable key order, no trailing whitespace.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        // Writing into a String is infallible, so the write! results are
+        // discarded.
+        let mut out = String::from("{");
+        out.push_str("\"tool\":\"cool-lint\",");
+        let _ = write!(
+            out,
+            "\"version\":{},",
+            json_string(env!("CARGO_PKG_VERSION"))
+        );
+        match &self.file {
+            Some(file) => {
+                let _ = write!(out, "\"file\":{},", json_string(file));
+            }
+            None => out.push_str("\"file\":null,"),
+        }
+        let status = if self.is_clean() { "clean" } else { "errors" };
+        let _ = write!(out, "\"status\":\"{status}\",");
+        let _ = write!(out, "\"error_count\":{},", self.error_count());
+        let _ = write!(out, "\"warning_count\":{},", self.warning_count());
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let _ = write!(out, "\"code\":{},", json_string(d.code.as_str()));
+            let _ = write!(out, "\"name\":{},", json_string(d.code.name()));
+            let _ = write!(out, "\"severity\":\"{}\",", d.severity());
+            let _ = write!(out, "\"message\":{},", json_string(&d.message));
+            match &d.file {
+                Some(file) => {
+                    let _ = write!(out, "\"file\":{},", json_string(file));
+                }
+                None => out.push_str("\"file\":null,"),
+            }
+            match d.line {
+                Some(line) => {
+                    let _ = write!(out, "\"line\":{line},");
+                }
+                None => out.push_str("\"line\":null,"),
+            }
+            match &d.help {
+                Some(help) => {
+                    let _ = write!(out, "\"help\":{}", json_string(help));
+                }
+                None => out.push_str("\"help\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        let noun = |n: usize, s: &str| format!("{n} {s}{}", if n == 1 { "" } else { "s" });
+        if self.diagnostics.is_empty() {
+            writeln!(f, "clean: no diagnostics")
+        } else {
+            writeln!(
+                f,
+                "{}, {}",
+                noun(self.error_count(), "error"),
+                noun(self.warning_count(), "warning")
+            )
+        }
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_follows_code_class() {
+        let e = Diagnostic::new(CoolCode::InvalidProbability, "p = 2");
+        let w = Diagnostic::new(CoolCode::ZeroWeightTarget, "target 3");
+        assert_eq!(e.severity(), Severity::Error);
+        assert_eq!(w.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = Report::for_file("s.txt");
+        assert!(r.is_clean());
+        r.push(Diagnostic::new(CoolCode::ZeroWeightTarget, "w"));
+        assert!(r.is_clean(), "warnings alone keep a report clean");
+        r.push(Diagnostic::new(CoolCode::EmptySlotCount, "e").with_line(3));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_code(CoolCode::EmptySlotCount));
+        assert!(!r.has_code(CoolCode::NonIntegralRho));
+    }
+
+    #[test]
+    fn push_stamps_report_file() {
+        let mut r = Report::for_file("a.txt");
+        r.push(Diagnostic::new(CoolCode::EmptySlotCount, "e"));
+        assert_eq!(r.diagnostics()[0].file.as_deref(), Some("a.txt"));
+    }
+
+    #[test]
+    fn human_rendering_includes_location_and_help() {
+        let mut r = Report::for_file("s.txt");
+        r.push(
+            Diagnostic::new(
+                CoolCode::InvalidProbability,
+                "detection_p = 1.5 is out of range",
+            )
+            .with_line(4)
+            .with_help("use a probability in [0, 1]"),
+        );
+        let text = r.to_string();
+        assert!(text.contains("s.txt:4: error[COOL-E005]"), "got: {text}");
+        assert!(text.contains("help: use a probability"));
+        assert!(text.contains("1 error, 0 warnings"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Report::for_file("we\"ird.txt");
+        r.push(Diagnostic::new(CoolCode::ScenarioLineMalformed, "line\nbreak").with_line(2));
+        let json = r.to_json();
+        assert!(json.starts_with("{\"tool\":\"cool-lint\""));
+        assert!(json.contains("\"file\":\"we\\\"ird.txt\""));
+        assert!(json.contains("\\nbreak"));
+        assert!(json.contains("\"status\":\"errors\""));
+        assert!(json.contains("\"code\":\"COOL-E008\""));
+    }
+
+    #[test]
+    fn empty_report_renders_clean() {
+        let r = Report::new();
+        assert!(r.to_string().contains("clean"));
+        assert!(r.to_json().contains("\"status\":\"clean\""));
+        assert!(r.to_json().contains("\"diagnostics\":[]"));
+    }
+}

@@ -1,0 +1,692 @@
+//! Scenario-file linting.
+//!
+//! [`lint_scenario_text`] re-implements the `key = value` scenario grammar
+//! of the `cool` CLI as a *tolerant* parser: instead of stopping at the
+//! first malformed input like `Scenario::parse`, it records every problem
+//! as a [`Diagnostic`] with a line number, then — when the fields are
+//! usable — goes on to check the physical invariants the schedulers assume
+//! (slot algebra, probabilities, geometry) and, deterministically
+//! re-deriving the same instance the scenario would run, the reachability
+//! and weight of every target. Nothing here executes a scheduler or the
+//! simulator.
+
+use crate::diag::{Diagnostic, Report};
+use crate::utility::{lint_universe, lint_utility};
+use cool_common::{CoolCode, SeedSequence};
+use cool_core::instances::geometric_multi_target;
+use cool_energy::{ChargeCycle, CycleError};
+use cool_geometry::deployment::{disks_at, sensors_covering};
+use cool_geometry::{Point, Rect};
+use cool_utility::AnyUtility;
+
+/// The scenario fields the linter understands, mirroring the CLI's
+/// `Scenario` defaults (the paper's testbed setting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Number of sensors `n`.
+    pub sensors: usize,
+    /// Number of targets `m`.
+    pub targets: usize,
+    /// Per-sensor detection probability `p`.
+    pub detection_p: f64,
+    /// Discharge time `T_d` in minutes.
+    pub discharge_minutes: f64,
+    /// Recharge time `T_r` in minutes.
+    pub recharge_minutes: f64,
+    /// Working time in hours.
+    pub hours: f64,
+    /// Square region side length.
+    pub region: f64,
+    /// Sensing radius.
+    pub radius: f64,
+    /// Root random seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            sensors: 100,
+            targets: 5,
+            detection_p: 0.4,
+            discharge_minutes: 15.0,
+            recharge_minutes: 45.0,
+            hours: 12.0,
+            region: 500.0,
+            radius: 100.0,
+            seed: 2011,
+        }
+    }
+}
+
+/// Which source line last assigned each field (for diagnostics).
+#[derive(Clone, Copy, Debug, Default)]
+struct FieldLines {
+    sensors: Option<usize>,
+    targets: Option<usize>,
+    detection_p: Option<usize>,
+    discharge_minutes: Option<usize>,
+    recharge_minutes: Option<usize>,
+    hours: Option<usize>,
+    region: Option<usize>,
+    radius: Option<usize>,
+}
+
+const KNOWN_KEYS: [&str; 10] = [
+    "sensors",
+    "targets",
+    "detection_p",
+    "discharge_minutes",
+    "recharge_minutes",
+    "hours",
+    "region",
+    "radius",
+    "seed",
+    "scheduler",
+];
+
+const SCHEDULERS: [&str; 6] = [
+    "greedy",
+    "lazy",
+    "round-robin",
+    "round_robin",
+    "random",
+    "static",
+];
+
+/// Trials for the sampled utility-axiom conformance check.
+const AXIOM_TRIALS: usize = 200;
+
+/// Lints scenario text, attributing diagnostics to `file`.
+///
+/// The returned [`Report`] is clean (possibly with warnings) exactly when
+/// the scenario can be handed to the scheduler pipeline without panicking
+/// or producing a meaningless result.
+pub fn lint_scenario_text(text: &str, file: &str) -> Report {
+    let mut report = Report::for_file(file);
+    let (spec, lines, fields_usable) = parse_tolerant(text, &mut report);
+    check_fields(&spec, lines, &mut report);
+    // Deeper, instance-level checks only make sense on well-formed fields.
+    if fields_usable && report.is_clean() {
+        check_instance(&spec, &mut report);
+    }
+    report
+}
+
+/// Reads and lints a scenario file from disk.
+///
+/// # Errors
+///
+/// Returns the I/O error message when the file cannot be read (an unreadable
+/// file is not a lint finding — there is nothing to attach a line to).
+pub fn lint_scenario_path(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(lint_scenario_text(&text, path))
+}
+
+/// Tolerant `key = value` parse: every malformed line, unknown key,
+/// duplicate key, and unparsable value becomes a diagnostic, and parsing
+/// continues. Returns the spec (defaults where a value was unusable), the
+/// per-field line map, and whether every *present* field parsed.
+fn parse_tolerant(text: &str, report: &mut Report) -> (ScenarioSpec, FieldLines, bool) {
+    let mut spec = ScenarioSpec::default();
+    let mut lines = FieldLines::default();
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut usable = true;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::ScenarioLineMalformed,
+                    format!("expected `key = value`, got `{}`", raw.trim()),
+                )
+                .with_line(lineno)
+                .with_help("write one `key = value` assignment per line; `#` starts a comment"),
+            );
+            usable = false;
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+
+        if !KNOWN_KEYS.contains(&key) {
+            report.push(
+                Diagnostic::new(CoolCode::UnknownScenarioKey, format!("unknown key `{key}`"))
+                    .with_line(lineno)
+                    .with_help(format!("known keys: {}", KNOWN_KEYS.join(", "))),
+            );
+            continue;
+        }
+        if let Some((_, first)) = seen.iter().find(|(k, _)| k == key) {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::DuplicateScenarioKey,
+                    format!("`{key}` was already set on line {first}; the later value wins"),
+                )
+                .with_line(lineno),
+            );
+        }
+        seen.push((key.to_string(), lineno));
+
+        let parsed = apply_field(&mut spec, &mut lines, key, value, lineno, report);
+        usable &= parsed;
+    }
+    (spec, lines, usable)
+}
+
+/// Parses one field value into `spec`; returns `false` (after reporting)
+/// when the value does not parse at all.
+fn apply_field(
+    spec: &mut ScenarioSpec,
+    lines: &mut FieldLines,
+    key: &str,
+    value: &str,
+    lineno: usize,
+    report: &mut Report,
+) -> bool {
+    fn bad(key: &str, value: &str, expected: &str, lineno: usize) -> Diagnostic {
+        Diagnostic::new(
+            CoolCode::ScenarioFieldInvalid,
+            format!("bad value `{value}` for `{key}`"),
+        )
+        .with_line(lineno)
+        .with_help(format!("expected {expected}"))
+    }
+    macro_rules! parse_into {
+        ($field:ident, $ty:ty, $expected:expr) => {
+            match value.parse::<$ty>() {
+                Ok(v) => {
+                    spec.$field = v;
+                    true
+                }
+                Err(_) => {
+                    report.push(bad(key, value, $expected, lineno));
+                    false
+                }
+            }
+        };
+    }
+    match key {
+        "sensors" => {
+            lines.sensors = Some(lineno);
+            parse_into!(sensors, usize, "a positive integer")
+        }
+        "targets" => {
+            lines.targets = Some(lineno);
+            parse_into!(targets, usize, "a positive integer")
+        }
+        "detection_p" => {
+            lines.detection_p = Some(lineno);
+            parse_into!(detection_p, f64, "a probability in [0, 1]")
+        }
+        "discharge_minutes" => {
+            lines.discharge_minutes = Some(lineno);
+            parse_into!(discharge_minutes, f64, "minutes > 0")
+        }
+        "recharge_minutes" => {
+            lines.recharge_minutes = Some(lineno);
+            parse_into!(recharge_minutes, f64, "minutes > 0")
+        }
+        "hours" => {
+            lines.hours = Some(lineno);
+            parse_into!(hours, f64, "hours > 0")
+        }
+        "region" => {
+            lines.region = Some(lineno);
+            parse_into!(region, f64, "a side length > 0")
+        }
+        "radius" => {
+            lines.radius = Some(lineno);
+            parse_into!(radius, f64, "a radius > 0")
+        }
+        "seed" => parse_into!(seed, u64, "an unsigned integer"),
+        "scheduler" => {
+            if SCHEDULERS.contains(&value) {
+                true
+            } else {
+                report.push(bad(
+                    key,
+                    value,
+                    "greedy | lazy | round-robin | random | static",
+                    lineno,
+                ));
+                false
+            }
+        }
+        _ => unreachable!("caller filtered to KNOWN_KEYS"),
+    }
+}
+
+/// Field-level (value-range and slot-algebra) invariants.
+// One flat checklist, one check per field — splitting it would only
+// scatter the field order.
+#[allow(clippy::too_many_lines)]
+fn check_fields(spec: &ScenarioSpec, lines: FieldLines, report: &mut Report) {
+    if spec.sensors == 0 {
+        report.push(
+            Diagnostic::new(
+                CoolCode::ScenarioFieldInvalid,
+                "`sensors` must be at least 1",
+            )
+            .with_line(lines.sensors.unwrap_or(1)),
+        );
+    }
+    if spec.targets == 0 {
+        report.push(
+            Diagnostic::new(
+                CoolCode::ScenarioFieldInvalid,
+                "`targets` must be at least 1",
+            )
+            .with_line(lines.targets.unwrap_or(1)),
+        );
+    }
+    if !spec.detection_p.is_finite() || !(0.0..=1.0).contains(&spec.detection_p) {
+        let mut d = Diagnostic::new(
+            CoolCode::InvalidProbability,
+            format!("detection_p = {} is not a probability", spec.detection_p),
+        )
+        .with_help("per-slot detection probability must lie in [0, 1]");
+        if let Some(line) = lines.detection_p {
+            d = d.with_line(line);
+        }
+        report.push(d);
+    }
+
+    // Slot algebra (§II-B): both durations positive and ρ (or 1/ρ) integral.
+    let mut durations_ok = true;
+    for (label, value, line) in [
+        (
+            "discharge_minutes",
+            spec.discharge_minutes,
+            lines.discharge_minutes,
+        ),
+        (
+            "recharge_minutes",
+            spec.recharge_minutes,
+            lines.recharge_minutes,
+        ),
+        ("hours", spec.hours, lines.hours),
+    ] {
+        if !value.is_finite() || value <= 0.0 {
+            durations_ok = false;
+            let mut d = Diagnostic::new(
+                CoolCode::NonPositiveDuration,
+                format!("{label} = {value} must be positive and finite"),
+            );
+            if let Some(line) = line {
+                d = d.with_line(line);
+            }
+            report.push(d);
+        }
+    }
+    if durations_ok {
+        match ChargeCycle::from_minutes(spec.discharge_minutes, spec.recharge_minutes) {
+            Ok(cycle) => {
+                if cycle.periods_in_hours(spec.hours) == 0 {
+                    let mut d = Diagnostic::new(
+                        CoolCode::DegenerateHorizon,
+                        format!(
+                            "working time of {} h is shorter than one charging period ({} min)",
+                            spec.hours,
+                            cycle.period_minutes()
+                        ),
+                    )
+                    .with_help("extend `hours` to cover at least one full charge/discharge period");
+                    if let Some(line) = lines.hours {
+                        d = d.with_line(line);
+                    }
+                    report.push(d);
+                }
+            }
+            Err(CycleError::NonIntegralRatio) => {
+                let rho = spec.recharge_minutes / spec.discharge_minutes;
+                let mut d = Diagnostic::new(
+                    CoolCode::NonIntegralRho,
+                    format!(
+                        "rho = {}/{} = {rho} is not an integer (nor is 1/rho), so the period \
+                         does not divide into equal slots",
+                        spec.recharge_minutes, spec.discharge_minutes
+                    ),
+                )
+                .with_help("choose recharge/discharge minutes with an integral ratio");
+                if let Some(line) = lines.recharge_minutes.or(lines.discharge_minutes) {
+                    d = d.with_line(line);
+                }
+                report.push(d);
+            }
+            // Positive, finite durations cannot raise NonPositiveDuration.
+            Err(CycleError::NonPositiveDuration) => unreachable!("durations checked above"),
+        }
+    }
+
+    // Geometry.
+    if !spec.region.is_finite() || spec.region <= 0.0 {
+        let mut d = Diagnostic::new(
+            CoolCode::ScenarioFieldInvalid,
+            format!(
+                "region = {} must be a positive, finite side length",
+                spec.region
+            ),
+        );
+        if let Some(line) = lines.region {
+            d = d.with_line(line);
+        }
+        report.push(d);
+    }
+    if !spec.radius.is_finite() || spec.radius <= 0.0 {
+        let mut d = Diagnostic::new(
+            CoolCode::DegenerateSensingDisk,
+            format!(
+                "radius = {} gives every sensor an empty sensing disk",
+                spec.radius
+            ),
+        )
+        .with_help("the sensing radius must be positive and finite");
+        if let Some(line) = lines.radius {
+            d = d.with_line(line);
+        }
+        report.push(d);
+    } else if spec.region.is_finite() && spec.region > 0.0 {
+        // A disk that reaches the far corner from anywhere covers the whole
+        // region: coverage geometry degenerates to "everyone sees everything".
+        let diagonal = spec.region * std::f64::consts::SQRT_2;
+        if spec.radius >= diagonal {
+            let mut d = Diagnostic::new(
+                CoolCode::DiskCoversRegion,
+                format!(
+                    "radius {} covers the whole {}x{} region (diagonal {diagonal:.1}) from \
+                     any position, so target geometry is irrelevant",
+                    spec.radius, spec.region, spec.region
+                ),
+            );
+            if let Some(line) = lines.radius {
+                d = d.with_line(line);
+            }
+            report.push(d);
+        }
+    }
+}
+
+/// Instance-level checks: deterministically re-derive the geometric
+/// instance the scenario would run (same seed path as `Scenario::run`) and
+/// inspect each target's coverage and weight, the utility universe, and —
+/// by sampling — the submodular-utility axioms the greedy's approximation
+/// guarantee rests on.
+fn check_instance(spec: &ScenarioSpec, report: &mut Report) {
+    let seeds = SeedSequence::new(spec.seed);
+    let mut rng = seeds.nth_rng(0);
+    let (utility, positions, targets) = geometric_multi_target(
+        Rect::square(spec.region),
+        spec.sensors,
+        spec.targets,
+        spec.radius,
+        spec.detection_p,
+        &mut rng,
+    );
+
+    report.merge(lint_geometry(
+        &positions,
+        &targets,
+        Rect::square(spec.region),
+        spec.radius,
+        spec.detection_p,
+    ));
+
+    // Defence in depth: any detection part whose probabilities are all zero
+    // despite a positive detection_p (degenerate instance construction).
+    for (k, part) in utility.parts().iter().enumerate() {
+        if let AnyUtility::Detection(d) = part {
+            if spec.detection_p > 0.0
+                && !d.probs().is_empty()
+                && d.probs().iter().all(|&p| p == 0.0)
+            {
+                report.push(Diagnostic::new(
+                    CoolCode::ZeroWeightTarget,
+                    format!("target {k}'s detection probabilities are all zero"),
+                ));
+            }
+        }
+    }
+
+    report.merge(lint_universe(&utility, spec.sensors));
+    report.merge(lint_utility(
+        &utility,
+        AXIOM_TRIALS,
+        &mut seeds.nth_rng(u64::MAX),
+    ));
+}
+
+/// Geometry-level checks on an explicit deployment: sensors outside the
+/// region ([`CoolCode::SensorOutsideRegion`]), targets no sensor can reach
+/// ([`CoolCode::UnreachableTarget`]), and targets whose coverage is moot
+/// because `detection_p = 0` ([`CoolCode::ZeroWeightTarget`]).
+///
+/// Coverage is computed from the geometry, not a utility: with
+/// `detection_p = 0` the utility-level coverage is empty everywhere and
+/// could not distinguish "out of range" from "zero-weight".
+pub fn lint_geometry(
+    positions: &[Point],
+    targets: &[Point],
+    omega: Rect,
+    radius: f64,
+    detection_p: f64,
+) -> Report {
+    let mut report = Report::new();
+    for (i, p) in positions.iter().enumerate() {
+        if !omega.contains(*p) {
+            report.push(Diagnostic::new(
+                CoolCode::SensorOutsideRegion,
+                format!(
+                    "sensor {i} at ({}, {}) lies outside the deployment region",
+                    p.x, p.y
+                ),
+            ));
+        }
+    }
+
+    let disks = disks_at(positions, radius);
+    for (k, target) in targets.iter().enumerate() {
+        if sensors_covering(*target, &disks).is_empty() {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::UnreachableTarget,
+                    format!(
+                        "target {k} at ({:.1}, {:.1}) is outside every sensor's range",
+                        target.x, target.y
+                    ),
+                )
+                .with_help("increase `radius`, add sensors, or shrink the region"),
+            );
+        } else if detection_p == 0.0 {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::ZeroWeightTarget,
+                    format!("target {k} contributes zero utility (detection_p = 0)"),
+                )
+                .with_help("a zero detection probability makes coverage of this target moot"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Report {
+        lint_scenario_text(text, "test.txt")
+    }
+
+    #[test]
+    fn default_scenario_is_clean() {
+        let r = lint("");
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.diagnostics().len(), 0, "{r}");
+    }
+
+    #[test]
+    fn malformed_line_is_e008() {
+        let r = lint("sensors = 10\nnot a key value\n");
+        assert!(r.has_code(CoolCode::ScenarioLineMalformed));
+        assert_eq!(r.diagnostics()[0].line, Some(2));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unknown_key_is_w001_and_stays_clean() {
+        let r = lint("volume = 11\n");
+        assert!(r.has_code(CoolCode::UnknownScenarioKey));
+        assert!(r.is_clean(), "unknown keys warn, they do not error: {r}");
+    }
+
+    #[test]
+    fn duplicate_key_is_w002() {
+        let r = lint("sensors = 10\nsensors = 20\n");
+        assert!(r.has_code(CoolCode::DuplicateScenarioKey));
+        assert!(r.diagnostics()[0].message.contains("line 1"));
+    }
+
+    #[test]
+    fn unparsable_value_is_e007() {
+        let r = lint("sensors = lots\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn zero_sensors_is_e007() {
+        let r = lint("sensors = 0\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_e005() {
+        let r = lint("detection_p = 1.5\n");
+        assert!(r.has_code(CoolCode::InvalidProbability));
+        assert_eq!(r.diagnostics()[0].line, Some(1));
+    }
+
+    #[test]
+    fn nan_probability_is_e005() {
+        let r = lint("detection_p = NaN\n");
+        assert!(r.has_code(CoolCode::InvalidProbability));
+    }
+
+    #[test]
+    fn non_positive_duration_is_e013() {
+        let r = lint("discharge_minutes = -3\n");
+        assert!(r.has_code(CoolCode::NonPositiveDuration));
+    }
+
+    #[test]
+    fn non_integral_rho_is_e012() {
+        let r = lint("discharge_minutes = 15\nrecharge_minutes = 40\n");
+        assert!(r.has_code(CoolCode::NonIntegralRho));
+        assert_eq!(r.diagnostics()[0].line, Some(2), "blames the recharge line");
+    }
+
+    #[test]
+    fn reciprocal_rho_is_accepted() {
+        // ρ = 1/3: the fast-recharge case must not be flagged.
+        let r = lint("discharge_minutes = 45\nrecharge_minutes = 15\n");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn short_horizon_is_e014() {
+        // Period is 60 min; half an hour holds no whole period.
+        let r = lint("hours = 0.5\n");
+        assert!(r.has_code(CoolCode::DegenerateHorizon));
+    }
+
+    #[test]
+    fn zero_radius_is_e006() {
+        let r = lint("radius = 0\n");
+        assert!(r.has_code(CoolCode::DegenerateSensingDisk));
+    }
+
+    #[test]
+    fn oversized_radius_is_w003() {
+        let r = lint("region = 100\nradius = 200\n");
+        assert!(r.has_code(CoolCode::DiskCoversRegion));
+        assert!(
+            r.is_clean(),
+            "covering the region is legal, just degenerate: {r}"
+        );
+    }
+
+    #[test]
+    fn zero_detection_p_warns_zero_weight_targets() {
+        let r = lint("detection_p = 0\nsensors = 10\ntargets = 2\nregion = 100\nradius = 50\n");
+        assert!(r.has_code(CoolCode::ZeroWeightTarget), "{r}");
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn bad_scheduler_is_e007() {
+        let r = lint("scheduler = quantum\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid));
+    }
+
+    #[test]
+    fn multiple_diagnostics_accumulate() {
+        let r = lint("sensors = none\ndetection_p = 2\nmystery = 1\nbroken line\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid));
+        assert!(r.has_code(CoolCode::InvalidProbability));
+        assert!(r.has_code(CoolCode::UnknownScenarioKey));
+        assert!(r.has_code(CoolCode::ScenarioLineMalformed));
+        assert!(
+            r.diagnostics().len() >= 4,
+            "a tolerant parser reports everything: {r}"
+        );
+    }
+
+    #[test]
+    fn instance_checks_only_run_on_clean_fields() {
+        // The malformed probability must not crash the instance derivation.
+        let r = lint("detection_p = 7\nsensors = 4\n");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unreachable_target_is_w004() {
+        // One sensor at the origin, a target far outside its 5-unit disk.
+        let positions = vec![Point::new(0.0, 0.0)];
+        let targets = vec![Point::new(50.0, 50.0)];
+        let r = lint_geometry(&positions, &targets, Rect::square(100.0), 5.0, 0.4);
+        assert!(r.has_code(CoolCode::UnreachableTarget), "{r}");
+        assert!(r.is_clean(), "unreachable targets warn, they do not error");
+    }
+
+    #[test]
+    fn covered_target_is_not_w004() {
+        let positions = vec![Point::new(0.0, 0.0)];
+        let targets = vec![Point::new(3.0, 0.0)];
+        let r = lint_geometry(&positions, &targets, Rect::square(100.0), 5.0, 0.4);
+        assert!(!r.has_code(CoolCode::UnreachableTarget), "{r}");
+        assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn sensor_outside_region_is_w006() {
+        let positions = vec![Point::new(150.0, 10.0)];
+        let targets = vec![];
+        let r = lint_geometry(&positions, &targets, Rect::square(100.0), 5.0, 0.4);
+        assert!(r.has_code(CoolCode::SensorOutsideRegion), "{r}");
+    }
+
+    #[test]
+    fn zero_weight_target_is_w005() {
+        let positions = vec![Point::new(0.0, 0.0)];
+        let targets = vec![Point::new(1.0, 0.0)];
+        let r = lint_geometry(&positions, &targets, Rect::square(100.0), 5.0, 0.0);
+        assert!(r.has_code(CoolCode::ZeroWeightTarget), "{r}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Schedule linting against the slot algebra and per-node energy model.
+//!
+//! [`lint_schedule`] statically validates a [`PeriodSchedule`] against its
+//! governing [`ChargeCycle`]: the period structure (slot count and
+//! active/passive mode must match ρ — [`CoolCode::InfeasiblePeriodStructure`]),
+//! each sensor's activation budget
+//! ([`CoolCode::ActivationBudgetExceeded`]), and a full
+//! [`NodeEnergyMachine`] replay over two periods
+//! ([`CoolCode::EnergyInfeasibleSchedule`]) — the same replay
+//! `PeriodSchedule::is_feasible` performs, but reporting *which* sensor
+//! fails *where* instead of a bare boolean.
+
+use crate::diag::{Diagnostic, Report};
+use cool_common::{CoolCode, SensorId};
+use cool_core::horizon::HorizonSchedule;
+use cool_core::schedule::{PeriodSchedule, ScheduleMode};
+use cool_energy::{ChargeCycle, NodeEnergyMachine};
+
+/// Lints `schedule` against `cycle`. A clean report implies
+/// `schedule.is_feasible(cycle)`.
+pub fn lint_schedule(schedule: &PeriodSchedule, cycle: ChargeCycle) -> Report {
+    let mut report = Report::new();
+    let slots = schedule.slots_per_period();
+
+    if slots == 0 {
+        report.push(
+            Diagnostic::new(
+                CoolCode::EmptySlotCount,
+                "schedule has zero slots per period",
+            )
+            .with_help("a charging period always spans at least two slots"),
+        );
+        return report;
+    }
+
+    let expected_slots = cycle.slots_per_period();
+    if slots != expected_slots {
+        report.push(
+            Diagnostic::new(
+                CoolCode::InfeasiblePeriodStructure,
+                format!(
+                    "schedule divides the period into {slots} slots but the cycle (rho = {}) \
+                     requires {expected_slots}",
+                    cycle.rho()
+                ),
+            )
+            .with_help("slots per period is rho + 1 for rho >= 1, else 1/rho + 1"),
+        );
+    }
+
+    let rho = cycle.rho();
+    let mode_ok = match schedule.mode() {
+        ScheduleMode::ActiveSlot => rho >= 1.0,
+        ScheduleMode::PassiveSlot => rho <= 1.0,
+    };
+    if !mode_ok {
+        report.push(
+            Diagnostic::new(
+                CoolCode::InfeasiblePeriodStructure,
+                format!(
+                    "{:?} scheduling is incompatible with rho = {rho} (sensors {} per period)",
+                    schedule.mode(),
+                    if rho > 1.0 {
+                        "get one active slot"
+                    } else {
+                        "get one passive slot"
+                    }
+                ),
+            )
+            .with_help(
+                "use active-slot assignment when rho > 1 and passive-slot assignment when \
+                 rho < 1",
+            ),
+        );
+    }
+
+    // Structure must line up before budgets or replays mean anything.
+    if !report.is_clean() {
+        return report;
+    }
+
+    // Per-sensor activation budget: with one assigned slot per sensor the
+    // period structure caps activity at `active_slots_per_period`.
+    let budget = cycle.active_slots_per_period();
+    for i in 0..schedule.n_sensors() {
+        let active = (0..slots)
+            .filter(|&t| schedule.is_active(SensorId(i), t))
+            .count();
+        if active > budget {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::ActivationBudgetExceeded,
+                    format!(
+                        "sensor {i} is scheduled active in {active} of {slots} slots, but the \
+                         cycle sustains at most {budget}"
+                    ),
+                )
+                .with_help("the battery recharges too slowly for this activation pattern"),
+            );
+        }
+    }
+    if !report.is_clean() {
+        return report;
+    }
+
+    // Energy replay over two periods (wrap-around deficits appear in the
+    // second), sensor by sensor so the diagnostic can name the failure.
+    for i in 0..schedule.n_sensors() {
+        let mut node = NodeEnergyMachine::new(cycle);
+        'replay: for period in 0..2 {
+            for t in 0..slots {
+                let want = schedule.is_active(SensorId(i), t);
+                let got = node.step(want);
+                if want && !got {
+                    report.push(
+                        Diagnostic::new(
+                            CoolCode::EnergyInfeasibleSchedule,
+                            format!(
+                                "sensor {i} is scheduled active in slot {t} of period {period} \
+                                 but its battery is depleted there"
+                            ),
+                        )
+                        .with_help("the activation pattern demands energy the cycle never banks"),
+                    );
+                    break 'replay;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Lints a horizon-wide schedule against per-sensor cycles: activation
+/// budgets per period window ([`CoolCode::ActivationBudgetExceeded`]) and a
+/// per-sensor energy replay ([`CoolCode::EnergyInfeasibleSchedule`]).
+///
+/// Unlike [`PeriodSchedule`] — whose one-assigned-slot-per-sensor shape
+/// caps activity structurally — a [`HorizonSchedule`] can over-commit a
+/// sensor, so this is where budget violations actually surface.
+pub fn lint_horizon(schedule: &HorizonSchedule, cycles: &[ChargeCycle]) -> Report {
+    let mut report = Report::new();
+    if cycles.len() != schedule.n_sensors() {
+        report.push(
+            Diagnostic::new(
+                CoolCode::UniverseMismatch,
+                format!(
+                    "schedule covers {} sensors but {} charge cycles were supplied",
+                    schedule.n_sensors(),
+                    cycles.len()
+                ),
+            )
+            .with_help("supply exactly one charge cycle per sensor"),
+        );
+        return report;
+    }
+    let horizon = schedule.horizon();
+    if horizon == 0 {
+        report.push(Diagnostic::new(
+            CoolCode::EmptySlotCount,
+            "horizon schedule spans zero slots",
+        ));
+        return report;
+    }
+
+    for (i, &cycle) in cycles.iter().enumerate() {
+        let v = SensorId(i);
+        let period = cycle.slots_per_period();
+        let budget = cycle.active_slots_per_period();
+        // Budget per aligned period window.
+        let mut over_budget = false;
+        let mut window_start = 0;
+        while window_start < horizon {
+            let window_end = (window_start + period).min(horizon);
+            let active = (window_start..window_end)
+                .filter(|&t| schedule.active_set(t).contains(v))
+                .count();
+            if active > budget {
+                report.push(
+                    Diagnostic::new(
+                        CoolCode::ActivationBudgetExceeded,
+                        format!(
+                            "sensor {i} is active {active} times in slots \
+                             {window_start}..{window_end}, but its cycle sustains at most \
+                             {budget} activations per {period}-slot period"
+                        ),
+                    )
+                    .with_help("drop activations or assign the sensor a faster-charging cycle"),
+                );
+                over_budget = true;
+                break;
+            }
+            window_start = window_end;
+        }
+        if !over_budget && !schedule.is_sensor_feasible(v, cycle) {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::EnergyInfeasibleSchedule,
+                    format!(
+                        "sensor {i}'s activation pattern outruns its battery under its charge \
+                         cycle"
+                    ),
+                )
+                .with_help(
+                    "the pattern fits each period's budget but draws energy faster than \
+                            the battery refills across periods",
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_core::greedy::greedy_active_naive;
+    use cool_core::horizon::greedy_horizon;
+    use cool_utility::DetectionUtility;
+
+    #[test]
+    fn greedy_schedule_is_clean() {
+        let cycle = ChargeCycle::paper_sunny();
+        let u = DetectionUtility::uniform(8, 0.4);
+        let schedule = greedy_active_naive(&u, cycle.slots_per_period()).unwrap();
+        let r = lint_schedule(&schedule, cycle);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn slot_count_mismatch_is_e001() {
+        let cycle = ChargeCycle::paper_sunny(); // 4 slots
+        let schedule = PeriodSchedule::new(ScheduleMode::ActiveSlot, 3, vec![0, 1, 2]);
+        let r = lint_schedule(&schedule, cycle);
+        assert!(r.has_code(CoolCode::InfeasiblePeriodStructure), "{r}");
+        assert!(!schedule.is_feasible(cycle), "lint agrees with is_feasible");
+    }
+
+    #[test]
+    fn mode_mismatch_is_e001() {
+        let cycle = ChargeCycle::paper_sunny(); // rho = 3 > 1 => active-slot
+        let schedule = PeriodSchedule::new(ScheduleMode::PassiveSlot, 4, vec![0, 1]);
+        let r = lint_schedule(&schedule, cycle);
+        assert!(r.has_code(CoolCode::InfeasiblePeriodStructure), "{r}");
+    }
+
+    #[test]
+    fn rho_equal_one_accepts_both_modes() {
+        let cycle = ChargeCycle::from_minutes(20.0, 20.0).unwrap();
+        for mode in [ScheduleMode::ActiveSlot, ScheduleMode::PassiveSlot] {
+            let schedule = PeriodSchedule::new(mode, 2, vec![0, 1]);
+            let r = lint_schedule(&schedule, cycle);
+            assert!(r.is_clean(), "{mode:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn clean_report_implies_is_feasible() {
+        // Passive-slot case, rho = 1/3: sensors active 3 of 4 slots.
+        let cycle = ChargeCycle::from_minutes(45.0, 15.0).unwrap();
+        let schedule = PeriodSchedule::new(ScheduleMode::PassiveSlot, 4, vec![0, 1, 2, 3, 0]);
+        let r = lint_schedule(&schedule, cycle);
+        assert!(r.is_clean(), "{r}");
+        assert!(schedule.is_feasible(cycle));
+    }
+
+    #[test]
+    fn greedy_horizon_schedule_is_clean() {
+        let cycles = vec![ChargeCycle::paper_sunny(); 4];
+        let u = DetectionUtility::uniform(4, 0.4);
+        let schedule = greedy_horizon(&u, &cycles, 8);
+        let r = lint_horizon(&schedule, &cycles);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn over_budget_horizon_is_e003() {
+        // rho = 3 sustains one activation per 4-slot period; schedule two.
+        let cycles = vec![ChargeCycle::paper_sunny(); 1];
+        let mut schedule = HorizonSchedule::empty(1, 4);
+        schedule.activate(SensorId(0), 0);
+        schedule.activate(SensorId(0), 1);
+        let r = lint_horizon(&schedule, &cycles);
+        assert!(r.has_code(CoolCode::ActivationBudgetExceeded), "{r}");
+        assert!(
+            !schedule.is_feasible(&cycles),
+            "lint agrees with is_feasible"
+        );
+    }
+
+    #[test]
+    fn cross_period_deficit_is_e003_or_e004() {
+        // One activation per aligned window, but spaced closer than a period
+        // apart (slot 3 then slot 4): the battery cannot refill in time.
+        let cycles = vec![ChargeCycle::paper_sunny(); 1];
+        let mut schedule = HorizonSchedule::empty(1, 8);
+        schedule.activate(SensorId(0), 3);
+        schedule.activate(SensorId(0), 4);
+        let r = lint_horizon(&schedule, &cycles);
+        assert!(!r.is_clean(), "{r}");
+        assert!(
+            !schedule.is_feasible(&cycles),
+            "lint agrees with is_feasible"
+        );
+    }
+
+    #[test]
+    fn horizon_cycle_count_mismatch_is_e016() {
+        let cycles = vec![ChargeCycle::paper_sunny(); 2];
+        let schedule = HorizonSchedule::empty(3, 4);
+        let r = lint_horizon(&schedule, &cycles);
+        assert!(r.has_code(CoolCode::UniverseMismatch), "{r}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Utility-model conformance checks.
+//!
+//! The greedy scheduler's ½-approximation (Lemma 4.1) holds only for
+//! normalised, monotone, submodular utilities. [`lint_utility`] turns the
+//! sampling-based axiom checker of `cool-utility` into COOL-coded
+//! diagnostics, and adds finiteness probes ([`CoolCode::NonFiniteUtility`])
+//! and a universe/deployment size check ([`lint_universe`]).
+
+use crate::diag::{Diagnostic, Report};
+use cool_common::{CoolCode, SensorId, SensorSet};
+use cool_utility::{check_utility, UtilityFunction, UtilityViolation};
+use rand::Rng;
+
+/// Checks that a utility's universe matches the deployment size `expected`
+/// ([`CoolCode::UniverseMismatch`]).
+pub fn lint_universe<U: UtilityFunction>(utility: &U, expected: usize) -> Report {
+    let mut report = Report::new();
+    let universe = utility.universe();
+    if universe != expected {
+        report.push(
+            Diagnostic::new(
+                CoolCode::UniverseMismatch,
+                format!(
+                    "utility is defined over {universe} sensors but the deployment has {expected}"
+                ),
+            )
+            .with_help("construct the utility from the same sensor set the scheduler plans for"),
+        );
+    }
+    report
+}
+
+/// Stress-tests `utility` against the submodular-utility axioms on `trials`
+/// random set pairs, plus finiteness probes on the empty set, singletons,
+/// and the full set.
+///
+/// Violations map to stable codes:
+/// normalisation → [`CoolCode::NonNormalizedUtility`],
+/// monotonicity → [`CoolCode::NonMonotoneUtility`],
+/// submodularity → [`CoolCode::NonSubmodularUtility`],
+/// non-finite values → [`CoolCode::NonFiniteUtility`].
+pub fn lint_utility<U: UtilityFunction, R: Rng + ?Sized>(
+    utility: &U,
+    trials: usize,
+    rng: &mut R,
+) -> Report {
+    let mut report = Report::new();
+    let n = utility.universe();
+
+    // Finiteness first: the axiom checker's arithmetic is meaningless on
+    // NaN, and the greedy would reject the gains anyway (COOL-E015 is the
+    // static twin of `ScheduleBuildError::NonFiniteGain`).
+    let empty = utility.eval(&SensorSet::new(n));
+    if !empty.is_finite() {
+        report.push(Diagnostic::new(
+            CoolCode::NonFiniteUtility,
+            format!("U(empty set) = {empty} is not finite"),
+        ));
+    }
+    let full = utility.eval(&SensorSet::full(n));
+    if !full.is_finite() {
+        report.push(Diagnostic::new(
+            CoolCode::NonFiniteUtility,
+            format!("U(full set) = {full} is not finite"),
+        ));
+    }
+    for v in 0..n {
+        let mut s = SensorSet::new(n);
+        s.insert(SensorId(v));
+        let value = utility.eval(&s);
+        if !value.is_finite() {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::NonFiniteUtility,
+                    format!("U({{{v}}}) = {value} is not finite"),
+                )
+                .with_help("utilities must be finite on every sensor set"),
+            );
+            // One sensor-level finding is enough; the cause is systemic.
+            break;
+        }
+    }
+    if !report.is_clean() {
+        return report;
+    }
+
+    match check_utility(utility, trials, rng) {
+        Ok(()) => {}
+        Err(UtilityViolation::NotNormalized { value }) => {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::NonNormalizedUtility,
+                    format!("U(empty set) = {value}, expected 0"),
+                )
+                .with_help("subtract U(empty set) so the utility is normalised"),
+            );
+        }
+        Err(UtilityViolation::NotMonotone {
+            subset,
+            superset,
+            excess,
+        }) => {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::NonMonotoneUtility,
+                    format!(
+                        "utility decreases by {excess:.3e} when growing a {}-sensor set to \
+                         {} sensors",
+                        subset.len(),
+                        superset.len()
+                    ),
+                )
+                .with_help(
+                    "the greedy's approximation guarantee requires U(S1) <= U(S2) for S1 \
+                     inside S2",
+                ),
+            );
+        }
+        Err(UtilityViolation::NotSubmodular {
+            subset,
+            superset,
+            element,
+            excess,
+        }) => {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::NonSubmodularUtility,
+                    format!(
+                        "marginal gain of {element} grows by {excess:.3e} from a {}-sensor \
+                         context to a {}-sensor context (diminishing returns violated)",
+                        subset.len(),
+                        superset.len()
+                    ),
+                )
+                .with_help(
+                    "the greedy's approximation guarantee requires gains to shrink as the \
+                     active set grows",
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::SeedSequence;
+    use cool_utility::{DetectionUtility, LinearEvaluator, LinearUtility};
+
+    fn rng() -> rand::rngs::StdRng {
+        SeedSequence::new(77).nth_rng(0)
+    }
+
+    /// Wraps a linear utility with an arbitrary value transform, to seed
+    /// axiom violations.
+    struct Warped<F: Fn(&SensorSet) -> f64>(usize, F);
+
+    impl<F: Fn(&SensorSet) -> f64> UtilityFunction for Warped<F> {
+        type Evaluator = LinearEvaluator;
+        fn universe(&self) -> usize {
+            self.0
+        }
+        fn eval(&self, set: &SensorSet) -> f64 {
+            (self.1)(set)
+        }
+        fn evaluator(&self) -> Self::Evaluator {
+            LinearUtility::new(vec![0.0; self.0]).evaluator()
+        }
+    }
+
+    #[test]
+    fn conforming_utility_is_clean() {
+        let u = DetectionUtility::uniform(8, 0.4);
+        let r = lint_utility(&u, 300, &mut rng());
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn shifted_utility_is_e011() {
+        let u = Warped(4, |s: &SensorSet| s.len() as f64 + 1.0);
+        let r = lint_utility(&u, 50, &mut rng());
+        assert!(r.has_code(CoolCode::NonNormalizedUtility), "{r}");
+    }
+
+    #[test]
+    fn oscillating_utility_is_e009_or_e010() {
+        let u = Warped(8, |s: &SensorSet| (s.len() % 2) as f64);
+        let r = lint_utility(&u, 500, &mut rng());
+        assert!(
+            r.has_code(CoolCode::NonMonotoneUtility) || r.has_code(CoolCode::NonSubmodularUtility),
+            "{r}"
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn supermodular_utility_is_e010() {
+        let u = Warped(8, |s: &SensorSet| (s.len() * s.len()) as f64);
+        let r = lint_utility(&u, 500, &mut rng());
+        assert!(r.has_code(CoolCode::NonSubmodularUtility), "{r}");
+    }
+
+    #[test]
+    fn nan_utility_is_e015() {
+        let u = Warped(4, |s: &SensorSet| {
+            if s.len() == 1 {
+                f64::NAN
+            } else {
+                s.len() as f64
+            }
+        });
+        let r = lint_utility(&u, 50, &mut rng());
+        assert!(r.has_code(CoolCode::NonFiniteUtility), "{r}");
+    }
+
+    #[test]
+    fn infinite_full_set_is_e015() {
+        let u = Warped(
+            4,
+            |s: &SensorSet| if s.len() == 4 { f64::INFINITY } else { 0.0 },
+        );
+        let r = lint_utility(&u, 50, &mut rng());
+        assert!(r.has_code(CoolCode::NonFiniteUtility), "{r}");
+    }
+
+    #[test]
+    fn universe_mismatch_is_e016() {
+        let u = DetectionUtility::uniform(8, 0.4);
+        assert!(lint_universe(&u, 8).is_clean());
+        let r = lint_universe(&u, 10);
+        assert!(r.has_code(CoolCode::UniverseMismatch), "{r}");
+    }
+}

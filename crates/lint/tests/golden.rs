@@ -1,0 +1,46 @@
+//! Golden-file test: the JSON rendering of a known-bad scenario is part of
+//! the crate's contract — tooling parses it, so its shape and the code
+//! assignments must not drift silently. Regenerate the golden file by
+//! running the test with `UPDATE_GOLDEN=1` and reviewing the diff.
+
+use cool_lint::{lint_scenario_text, CoolCode};
+
+#[test]
+fn bad_scenario_json_matches_golden() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let scenario = std::fs::read_to_string(format!("{dir}/bad_scenario.txt"))
+        .expect("golden scenario readable");
+    // The file name is attributed as a stable relative path so the golden
+    // output does not depend on where the checkout lives.
+    let json = lint_scenario_text(&scenario, "tests/golden/bad_scenario.txt").to_json();
+
+    let golden_path = format!("{dir}/bad_scenario.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{json}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden JSON readable");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "JSON diagnostics drifted from the golden file; \
+         rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_scenario_exercises_the_codes_it_claims() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let scenario = std::fs::read_to_string(format!("{dir}/bad_scenario.txt")).unwrap();
+    let report = lint_scenario_text(&scenario, "tests/golden/bad_scenario.txt");
+    for code in [
+        CoolCode::DuplicateScenarioKey,
+        CoolCode::InvalidProbability,
+        CoolCode::NonIntegralRho,
+        CoolCode::UnknownScenarioKey,
+        CoolCode::ScenarioLineMalformed,
+    ] {
+        assert!(report.has_code(code), "expected {code} in: {report}");
+    }
+    assert!(!report.is_clean());
+}

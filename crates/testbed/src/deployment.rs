@@ -43,7 +43,13 @@ impl RooftopDeployment {
             relays.push(Point::new(x, roof.center().y));
             x += relay_step;
         }
-        RooftopDeployment { roof, nodes, relays, sink, comm_range }
+        RooftopDeployment {
+            roof,
+            nodes,
+            relays,
+            sink,
+            comm_range,
+        }
     }
 
     /// The roof rectangle.

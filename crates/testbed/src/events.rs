@@ -52,25 +52,30 @@ pub fn simulate_detection<R: Rng + ?Sized>(
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     assert!(periods > 0, "need at least one period");
     assert!(
-        coverages.iter().all(|c| c.universe() == schedule.n_sensors()),
+        coverages
+            .iter()
+            .all(|c| c.universe() == schedule.n_sensors()),
         "coverage universe mismatch"
     );
 
     let t_slots = schedule.slots_per_period();
     let active_sets: Vec<SensorSet> = (0..t_slots).map(|t| schedule.active_set(t)).collect();
-    let mut outcomes = vec![DetectionOutcome { events: 0, detected: 0 }; coverages.len()];
+    let mut outcomes = vec![
+        DetectionOutcome {
+            events: 0,
+            detected: 0
+        };
+        coverages.len()
+    ];
 
     for _period in 0..periods {
         for active in &active_sets {
             for (target, coverage) in coverages.iter().enumerate() {
                 // Sensors that are both active and able to see the target.
-                let watchers: Vec<SensorId> =
-                    coverage.intersection(active).iter().collect();
+                let watchers: Vec<SensorId> = coverage.intersection(active).iter().collect();
                 for _ in 0..events_per_slot {
                     outcomes[target].events += 1;
-                    let caught = watchers
-                        .iter()
-                        .any(|_| rng.random_range(0.0..1.0) < p);
+                    let caught = watchers.iter().any(|_| rng.random_range(0.0..1.0) < p);
                     if caught {
                         outcomes[target].detected += 1;
                     }
@@ -83,11 +88,7 @@ pub fn simulate_detection<R: Rng + ?Sized>(
 
 /// The analytic per-target average detection probability of a schedule:
 /// `mean_t [1 − (1−p)^{|S(t) ∩ V(O_i)|}]`.
-pub fn analytic_detection(
-    schedule: &PeriodSchedule,
-    coverages: &[SensorSet],
-    p: f64,
-) -> Vec<f64> {
+pub fn analytic_detection(schedule: &PeriodSchedule, coverages: &[SensorSet], p: f64) -> Vec<f64> {
     let t_slots = schedule.slots_per_period();
     coverages
         .iter()
@@ -95,7 +96,7 @@ pub fn analytic_detection(
             (0..t_slots)
                 .map(|t| {
                     let watchers = coverage.intersection_len(&schedule.active_set(t));
-                    1.0 - (1.0 - p).powi(watchers as i32)
+                    1.0 - (1.0 - p).powi(i32::try_from(watchers).unwrap_or(i32::MAX))
                 })
                 .sum::<f64>()
                 / t_slots as f64
@@ -119,7 +120,7 @@ mod tests {
         ];
         let p = 0.4;
         let u = SumUtility::multi_target_detection(&coverages, p);
-        let schedule = greedy_active_naive(&u, 4);
+        let schedule = greedy_active_naive(&u, 4).unwrap();
 
         let mut rng = SeedSequence::new(88).nth_rng(0);
         let outcomes = simulate_detection(&schedule, &coverages, p, 5, 2_000, &mut rng);
@@ -155,7 +156,10 @@ mod tests {
 
     #[test]
     fn zero_events_rate_is_one() {
-        let outcome = DetectionOutcome { events: 0, detected: 0 };
+        let outcome = DetectionOutcome {
+            events: 0,
+            detected: 0,
+        };
         assert_eq!(outcome.rate(), 1.0);
     }
 }

@@ -40,7 +40,10 @@ impl LinkQuality {
     /// Panics unless `d50 > 0` and `steepness > 0`.
     pub fn new(d50: f64, steepness: f64) -> Self {
         assert!(d50.is_finite() && d50 > 0.0, "d50 must be positive");
-        assert!(steepness.is_finite() && steepness > 0.0, "steepness must be positive");
+        assert!(
+            steepness.is_finite() && steepness > 0.0,
+            "steepness must be positive"
+        );
         LinkQuality { d50, steepness }
     }
 
@@ -63,12 +66,15 @@ impl LinkQuality {
     /// End-to-end delivery probability along a multi-hop path (independent
     /// per-hop losses, no retransmissions).
     pub fn path_delivery_probability(&self, path: &[Point]) -> f64 {
-        path.windows(2).map(|pair| self.prr(pair[0].distance(pair[1]))).product()
+        path.windows(2)
+            .map(|pair| self.prr(pair[0].distance(pair[1])))
+            .product()
     }
 
     /// Samples end-to-end delivery along a path.
     pub fn sample_path<R: Rng + ?Sized>(&self, path: &[Point], rng: &mut R) -> bool {
-        path.windows(2).all(|pair| self.sample(pair[0].distance(pair[1]), rng))
+        path.windows(2)
+            .all(|pair| self.sample(pair[0].distance(pair[1]), rng))
     }
 }
 
@@ -82,7 +88,7 @@ mod tests {
         let link = LinkQuality::new(10.0, 2.0);
         let mut prev = 1.0;
         for d in 0..30 {
-            let p = link.prr(d as f64);
+            let p = link.prr(f64::from(d));
             assert!(p <= prev + 1e-12, "PRR rose at d={d}");
             assert!((0.0..=1.0).contains(&p));
             prev = p;
@@ -105,7 +111,11 @@ mod tests {
         let two_hop = link.path_delivery_probability(&[a, b, c]);
         let per_hop = link.prr(8.0);
         assert!((two_hop - per_hop * per_hop).abs() < 1e-12);
-        assert_eq!(link.path_delivery_probability(&[a]), 1.0, "empty path is certain");
+        assert_eq!(
+            link.path_delivery_probability(&[a]),
+            1.0,
+            "empty path is certain"
+        );
     }
 
     #[test]
@@ -114,8 +124,12 @@ mod tests {
         let mut rng = SeedSequence::new(31).nth_rng(0);
         let trials = 20_000;
         let hits = (0..trials).filter(|_| link.sample(9.0, &mut rng)).count();
-        let rate = hits as f64 / trials as f64;
-        assert!((rate - link.prr(9.0)).abs() < 0.02, "{rate} vs {}", link.prr(9.0));
+        let rate = hits as f64 / f64::from(trials);
+        assert!(
+            (rate - link.prr(9.0)).abs() < 0.02,
+            "{rate} vs {}",
+            link.prr(9.0)
+        );
     }
 
     #[test]

@@ -52,16 +52,19 @@ impl CollectionTree {
         let mut queue = VecDeque::from([sink_idx]);
         while let Some(u) = queue.pop_front() {
             for v in 0..total {
-                if hops[v] == usize::MAX
-                    && position(u).distance_squared(position(v)) <= range_sq
-                {
+                if hops[v] == usize::MAX && position(u).distance_squared(position(v)) <= range_sq {
                     hops[v] = hops[u] + 1;
                     parent[v] = u;
                     queue.push_back(v);
                 }
             }
         }
-        CollectionTree { n_nodes: n, n_relays: r, parent, hops }
+        CollectionTree {
+            n_nodes: n,
+            n_relays: r,
+            parent,
+            hops,
+        }
     }
 
     /// Number of sensor nodes.
@@ -189,6 +192,9 @@ mod tests {
     fn paper_layout_is_fully_connected() {
         let d = RooftopDeployment::paper_layout(&mut SeedSequence::new(4).nth_rng(0));
         let t = CollectionTree::build(d.nodes(), d.relays(), d.sink(), d.comm_range());
-        assert!(t.fully_connected(), "the rooftop testbed must reach its sink");
+        assert!(
+            t.fully_connected(),
+            "the rooftop testbed must reach its sink"
+        );
     }
 }

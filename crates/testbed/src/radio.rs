@@ -47,7 +47,11 @@ impl RadioModel {
         let idle = self.idle_listen_mj * noise.max(0.0);
         let rx = self.rx_packet_mj * rx_packets as f64;
         let tx = self.tx_packet_mj * tx_packets as f64;
-        SlotEnergyBreakdown { idle_mj: idle, rx_mj: rx, tx_mj: tx }
+        SlotEnergyBreakdown {
+            idle_mj: idle,
+            rx_mj: rx,
+            tx_mj: tx,
+        }
     }
 
     /// The relative spread of total slot energy across traffic loads from
@@ -55,8 +59,8 @@ impl RadioModel {
     /// measures. Deterministic (noise-free) part only.
     pub fn relative_fluctuation(&self, max_packets: usize) -> f64 {
         let base = self.idle_listen_mj;
-        let peak = self.idle_listen_mj
-            + (self.rx_packet_mj + self.tx_packet_mj) * max_packets as f64;
+        let peak =
+            self.idle_listen_mj + (self.rx_packet_mj + self.tx_packet_mj) * max_packets as f64;
         (peak - base) / peak
     }
 }
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn slot_energy_accumulates_traffic() {
-        let model = RadioModel { noise_sigma: 0.0, ..RadioModel::telosb() };
+        let model = RadioModel {
+            noise_sigma: 0.0,
+            ..RadioModel::telosb()
+        };
         let mut rng = SeedSequence::new(1).nth_rng(0);
         let quiet = model.slot_energy_mj(0, 0, &mut rng);
         let busy = model.slot_energy_mj(10, 5, &mut rng);
@@ -123,12 +130,17 @@ mod tests {
     fn measurement_noise_is_small_and_centred() {
         let model = RadioModel::telosb();
         let mut rng = SeedSequence::new(2).nth_rng(0);
-        let samples: Vec<f64> =
-            (0..2000).map(|_| model.slot_energy_mj(0, 0, &mut rng).total_mj()).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| model.slot_energy_mj(0, 0, &mut rng).total_mj())
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - model.idle_listen_mj).abs() / model.idle_listen_mj < 0.005);
-        let spread = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread / mean < 0.12, "fluctuation is a few percent, got {}", spread / mean);
+        let spread = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - samples.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread / mean < 0.12,
+            "fluctuation is a few percent, got {}",
+            spread / mean
+        );
     }
 }

@@ -40,7 +40,9 @@ impl TestbedSim {
             deployment.sink(),
             deployment.comm_range(),
         );
-        let nodes = (0..deployment.n_nodes()).map(|_| NodeEnergyMachine::new(cycle)).collect();
+        let nodes = (0..deployment.n_nodes())
+            .map(|_| NodeEnergyMachine::new(cycle))
+            .collect();
         TestbedSim {
             deployment,
             tree,
@@ -134,11 +136,25 @@ impl TestbedSim {
         self.cycle
     }
 
+    /// The mandatory static pre-flight the simulator applies before
+    /// running: universe/deployment consistency, a non-empty horizon, and
+    /// sampled conformance of the utility to the submodular axioms —
+    /// reported with stable `COOL` codes. See [`cool_lint::preflight`].
+    pub fn preflight<U: UtilityFunction>(&self, utility: &U, slots: usize) -> cool_lint::Report {
+        cool_lint::preflight(utility, self.deployment.n_nodes(), slots)
+    }
+
     /// Runs `slots` slots under `policy`, scoring with `utility`.
+    ///
+    /// The inputs first pass the static [`preflight`](Self::preflight)
+    /// lint; call it directly to inspect the diagnostics without the
+    /// panic.
     ///
     /// # Panics
     ///
-    /// Panics if the utility universe differs from the node count.
+    /// Panics with the rendered `COOL`-coded report when the pre-flight
+    /// finds errors (e.g. a utility universe that differs from the node
+    /// count, or a utility violating the submodular axioms).
     pub fn run<P, U, R>(
         &mut self,
         mut policy: P,
@@ -152,7 +168,8 @@ impl TestbedSim {
         R: Rng + ?Sized,
     {
         let n = self.deployment.n_nodes();
-        assert_eq!(utility.universe(), n, "utility universe must match the deployment");
+        let report = self.preflight(utility, slots);
+        assert!(report.is_clean(), "testbed pre-flight failed:\n{report}");
         let mut metrics = SimMetrics::new();
 
         for slot in 0..slots {
@@ -177,13 +194,13 @@ impl TestbedSim {
             // Reports from active sensors flow up the collection tree;
             // intermediate *sensor* hops must themselves be active to
             // forward (relays and the sink are always powered).
-            let reporters: Vec<usize> = active.iter().map(|v| v.index()).collect();
+            let reporters: Vec<usize> = active.iter().map(cool_common::SensorId::index).collect();
             let mut delivered = 0usize;
             for &origin in &reporters {
                 if let Some(path) = self.tree.path_to_sink(origin) {
-                    let route_awake = path[1..].iter().all(|&hop| {
-                        hop >= n || active.contains(SensorId(hop))
-                    });
+                    let route_awake = path[1..]
+                        .iter()
+                        .all(|&hop| hop >= n || active.contains(SensorId(hop)));
                     if !route_awake {
                         continue;
                     }
@@ -243,7 +260,10 @@ mod tests {
         let deployment =
             RooftopDeployment::new(cool_geometry::Rect::square(20.0), 16, 8.0, &mut rng);
         let utility = DetectionUtility::uniform(16, 0.4);
-        (TestbedSim::new(deployment, ChargeCycle::paper_sunny()), utility)
+        (
+            TestbedSim::new(deployment, ChargeCycle::paper_sunny()),
+            utility,
+        )
     }
 
     #[test]
@@ -273,7 +293,11 @@ mod tests {
         let mut rng = SeedSequence::new(4).nth_rng(1);
         let metrics = sim.run(SchedulePolicy::new(schedule), &utility, 16, &mut rng);
         // All sensors fire in slot 0 of each period; 3 of 4 slots are dark.
-        let dark = metrics.per_slot_utility().iter().filter(|&&u| u == 0.0).count();
+        let dark = metrics
+            .per_slot_utility()
+            .iter()
+            .filter(|&&u| u == 0.0)
+            .count();
         assert_eq!(dark, 12);
     }
 
@@ -307,7 +331,9 @@ mod tests {
     #[test]
     fn lossy_links_reduce_delivery_but_not_utility() {
         let (mut perfect, utility) = small_sim(9);
-        let mut lossy = perfect.clone().with_link_quality(crate::LinkQuality::new(6.0, 1.5));
+        let mut lossy = perfect
+            .clone()
+            .with_link_quality(crate::LinkQuality::new(6.0, 1.5));
         let problem = Problem::new(utility.clone(), ChargeCycle::paper_sunny(), 2).unwrap();
         let schedule = greedy_schedule(&problem);
 
@@ -341,5 +367,56 @@ mod tests {
         let metrics = sim.run(SchedulePolicy::new(schedule), &utility, 4, &mut rng);
         assert!(metrics.delivered_reports() > 0);
         assert!(metrics.delivered_reports() <= metrics.honoured_activations());
+    }
+
+    #[test]
+    fn preflight_rejects_universe_mismatch() {
+        let (sim, _) = small_sim(11);
+        let wrong = DetectionUtility::uniform(9, 0.4); // deployment has 16
+        let report = sim.preflight(&wrong, 16);
+        assert!(!report.is_clean());
+        assert!(
+            report.has_code(cool_common::CoolCode::UniverseMismatch),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn preflight_flags_non_submodular_utility() {
+        // U(S) = |S|² has increasing returns — the greedy guarantee (and
+        // the simulator's scoring assumptions) do not apply.
+        struct Quadratic(usize);
+        impl UtilityFunction for Quadratic {
+            type Evaluator = cool_utility::LinearEvaluator;
+            fn universe(&self) -> usize {
+                self.0
+            }
+            fn eval(&self, set: &SensorSet) -> f64 {
+                (set.len() * set.len()) as f64
+            }
+            fn evaluator(&self) -> Self::Evaluator {
+                cool_utility::LinearUtility::new(vec![0.0; self.0]).evaluator()
+            }
+        }
+        let (sim, _) = small_sim(12);
+        let report = sim.preflight(&Quadratic(16), 16);
+        assert!(
+            report.has_code(cool_common::CoolCode::NonSubmodularUtility),
+            "{report}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "testbed pre-flight failed")]
+    fn run_panics_on_preflight_errors() {
+        let (mut sim, _) = small_sim(13);
+        let wrong = DetectionUtility::uniform(9, 0.4);
+        let mut rng = SeedSequence::new(13).nth_rng(1);
+        let plan = cool_core::schedule::PeriodSchedule::new(
+            cool_core::schedule::ScheduleMode::ActiveSlot,
+            4,
+            vec![0; 9],
+        );
+        sim.run(SchedulePolicy::new(plan), &wrong, 4, &mut rng);
     }
 }

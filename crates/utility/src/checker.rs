@@ -49,7 +49,9 @@ impl std::fmt::Display for UtilityViolation {
             UtilityViolation::NotMonotone { excess, .. } => {
                 write!(f, "monotonicity violated by {excess}")
             }
-            UtilityViolation::NotSubmodular { element, excess, .. } => {
+            UtilityViolation::NotSubmodular {
+                element, excess, ..
+            } => {
                 write!(f, "submodularity violated at {element} by {excess}")
             }
         }
@@ -161,8 +163,12 @@ mod tests {
     #[test]
     fn all_builtin_utilities_pass() {
         check_utility(&DetectionUtility::uniform(8, 0.4), 300, &mut rng()).unwrap();
-        check_utility(&LogSumUtility::new(vec![1.0, 5.0, 2.0, 0.0, 3.0]), 300, &mut rng())
-            .unwrap();
+        check_utility(
+            &LogSumUtility::new(vec![1.0, 5.0, 2.0, 0.0, 3.0]),
+            300,
+            &mut rng(),
+        )
+        .unwrap();
         check_utility(&LinearUtility::new(vec![0.5, 1.5, 2.5]), 300, &mut rng()).unwrap();
         check_utility(
             &FacilityLocationUtility::new(vec![vec![1.0, 2.0, 0.5], vec![0.1, 0.0, 3.0]]),
@@ -186,7 +192,10 @@ mod tests {
         .unwrap();
         check_utility(
             &SumUtility::multi_target_detection(
-                &[SensorSet::from_indices(5, [0, 1, 2]), SensorSet::from_indices(5, [3, 4])],
+                &[
+                    SensorSet::from_indices(5, [0, 1, 2]),
+                    SensorSet::from_indices(5, [3, 4]),
+                ],
                 0.3,
             ),
             300,
@@ -212,8 +221,8 @@ mod tests {
                 self.0.evaluator()
             }
         }
-        let err = check_utility(&Shifted(LinearUtility::new(vec![1.0])), 10, &mut rng())
-            .unwrap_err();
+        let err =
+            check_utility(&Shifted(LinearUtility::new(vec![1.0])), 10, &mut rng()).unwrap_err();
         assert!(matches!(err, UtilityViolation::NotNormalized { .. }));
         assert!(err.to_string().contains("expected 0"));
     }

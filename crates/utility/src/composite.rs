@@ -267,7 +267,7 @@ impl UtilityFunction for SumUtility {
     }
 
     fn max_value(&self) -> f64 {
-        self.parts.iter().map(|p| p.max_value()).sum()
+        self.parts.iter().map(UtilityFunction::max_value).sum()
     }
 
     fn target_count(&self) -> usize {
@@ -276,7 +276,7 @@ impl UtilityFunction for SumUtility {
 
     fn evaluator(&self) -> SumEvaluator {
         SumEvaluator {
-            parts: self.parts.iter().map(|p| p.evaluator()).collect(),
+            parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
             members: SensorSet::new(self.universe),
         }
     }
@@ -291,7 +291,7 @@ pub struct SumEvaluator {
 
 impl Evaluator for SumEvaluator {
     fn value(&self) -> f64 {
-        self.parts.iter().map(|p| p.value()).sum()
+        self.parts.iter().map(Evaluator::value).sum()
     }
 
     fn gain(&self, v: SensorId) -> f64 {
@@ -338,7 +338,10 @@ mod tests {
 
     fn two_target_sum() -> SumUtility {
         SumUtility::multi_target_detection(
-            &[SensorSet::from_indices(4, [0, 1]), SensorSet::from_indices(4, [1, 2, 3])],
+            &[
+                SensorSet::from_indices(4, [0, 1]),
+                SensorSet::from_indices(4, [1, 2, 3]),
+            ],
             0.4,
         )
     }

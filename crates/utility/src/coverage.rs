@@ -51,7 +51,12 @@ impl CoverageUtility {
                 sensor_subregions[v.index()].push(idx);
             }
         }
-        CoverageUtility { universe, values, signatures, sensor_subregions }
+        CoverageUtility {
+            universe,
+            values,
+            signatures,
+            sensor_subregions,
+        }
     }
 
     /// Builds directly from parallel `(signature, weighted_area)` lists —
@@ -77,7 +82,12 @@ impl CoverageUtility {
                 sensor_subregions[v.index()].push(idx);
             }
         }
-        CoverageUtility { universe, values, signatures, sensor_subregions }
+        CoverageUtility {
+            universe,
+            values,
+            signatures,
+            sensor_subregions,
+        }
     }
 
     /// Number of subregions.

@@ -39,7 +39,9 @@ impl DetectionUtility {
     /// Panics if any probability is outside `[0, 1]` or not finite.
     pub fn new(probs: Vec<f64>) -> Self {
         assert!(
-            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            probs
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
             "detection probabilities must lie in [0, 1]"
         );
         DetectionUtility { probs }
@@ -79,7 +81,11 @@ impl DetectionUtility {
     pub fn coverage(&self) -> SensorSet {
         SensorSet::from_indices(
             self.probs.len(),
-            self.probs.iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(i, _)| i),
+            self.probs
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p > 0.0)
+                .map(|(i, _)| i),
         )
     }
 }
@@ -218,7 +224,7 @@ mod tests {
         let u = DetectionUtility::uniform(5, 0.4);
         for k in 0..=5usize {
             let s = SensorSet::from_indices(5, 0..k);
-            let expected = 1.0 - 0.6f64.powi(k as i32);
+            let expected = 1.0 - 0.6f64.powi(i32::try_from(k).unwrap());
             assert!((u.eval(&s) - expected).abs() < 1e-12, "k={k}");
         }
     }

@@ -48,7 +48,10 @@ impl FacilityLocationUtility {
             "benefit rows must have equal length"
         );
         assert!(
-            benefits.iter().flatten().all(|b| b.is_finite() && *b >= 0.0),
+            benefits
+                .iter()
+                .flatten()
+                .all(|b| b.is_finite() && *b >= 0.0),
             "benefits must be non-negative"
         );
         FacilityLocationUtility { benefits, universe }
@@ -67,7 +70,7 @@ impl FacilityLocationUtility {
         self.benefits
             .iter()
             .filter_map(|row| {
-                let cap = row.iter().cloned().fold(0.0, f64::max);
+                let cap = row.iter().copied().fold(0.0, f64::max);
                 if cap <= 0.0 {
                     return None;
                 }
@@ -169,8 +172,11 @@ impl Evaluator for FacilityEvaluator {
         let mut lost = 0.0;
         for (i, row) in self.benefits.iter().enumerate() {
             if row[v.index()] >= self.best[i] && self.best[i] > 0.0 {
-                let next_best =
-                    self.members.iter().map(|u| row[u.index()]).fold(0.0, f64::max);
+                let next_best = self
+                    .members
+                    .iter()
+                    .map(|u| row[u.index()])
+                    .fold(0.0, f64::max);
                 lost += self.best[i] - next_best;
                 self.best[i] = next_best;
             }

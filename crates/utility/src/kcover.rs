@@ -65,7 +65,12 @@ impl KCoverageUtility {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be non-negative"
         );
-        KCoverageUtility { coverages, k, weights, universe }
+        KCoverageUtility {
+            coverages,
+            k,
+            weights,
+            universe,
+        }
     }
 
     /// Uniform variant: every target requires `k` coverers at weight 1.
@@ -268,7 +273,10 @@ mod tests {
         check_utility(&two_targets(), 300, &mut rng).unwrap();
         check_utility(
             &KCoverageUtility::uniform(
-                vec![SensorSet::from_indices(6, [0, 2, 4]), SensorSet::from_indices(6, [1, 3, 5])],
+                vec![
+                    SensorSet::from_indices(6, [0, 2, 4]),
+                    SensorSet::from_indices(6, [1, 3, 5]),
+                ],
                 3,
             ),
             300,

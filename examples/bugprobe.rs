@@ -1,3 +1,6 @@
+// Examples favour brevity: unwrap keeps the algorithmic story readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cool_common::{SeedSequence, SensorSet};
 use cool_core::lp::LpScheduler;
 use cool_core::problem::Problem;

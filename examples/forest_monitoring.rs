@@ -15,6 +15,7 @@ use cool::core::problem::Problem;
 use cool::energy::Weather;
 use cool::geometry::{AnyRegion, Arrangement, Disk, Point, Rect, Sector};
 use cool::utility::{CoverageUtility, UtilityFunction};
+use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SeedSequence::new(7).nth_rng(0);
@@ -23,21 +24,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cameras (directional sectors facing downhill).
     let omega = Rect::square(1000.0);
     let mut regions: Vec<AnyRegion> = Vec::new();
-    use rand::Rng;
     for _ in 0..40 {
         let p = Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0));
         regions.push(Disk::new(p, rng.random_range(80.0..140.0)).into());
     }
     for k in 0..8 {
-        let x = 60.0 + 120.0 * k as f64;
+        let x = 60.0 + 120.0 * f64::from(k);
         regions.push(
-            Sector::new(Point::new(x, 950.0), 260.0, -std::f64::consts::FRAC_PI_2, 0.6).into(),
+            Sector::new(
+                Point::new(x, 950.0),
+                260.0,
+                -std::f64::consts::FRAC_PI_2,
+                0.6,
+            )
+            .into(),
         );
     }
 
     // The ridge (top fifth of the block) is fire-prone: weight 3.
-    let arrangement = Arrangement::build(omega, &regions, 256)
-        .with_weights(|p| if p.y > 800.0 { 3.0 } else { 1.0 });
+    let arrangement =
+        Arrangement::build(omega, &regions, 256)
+            .with_weights(|p| if p.y > 800.0 { 3.0 } else { 1.0 });
     println!(
         "arrangement: {} subregions, {:.0} m² coverable ({:.0} weighted)",
         arrangement.subregions().len(),
@@ -67,10 +74,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where do the ridge cameras land? The greedy staggers them so the
     // weighted ridge keeps coverage in as many slots as possible.
-    let camera_slots: Vec<usize> =
-        (40..48).map(|v| greedy.assigned_slot(cool::common::SensorId(v)).index()).collect();
+    let camera_slots: Vec<usize> = (40..48)
+        .map(|v| greedy.assigned_slot(cool::common::SensorId(v)).index())
+        .collect();
     println!("\nridge-camera active slots: {camera_slots:?}");
     let distinct: std::collections::BTreeSet<_> = camera_slots.iter().collect();
-    println!("cameras spread over {} distinct slots of {}", distinct.len(), cycle.slots_per_period());
+    println!(
+        "cameras spread over {} distinct slots of {}",
+        distinct.len(),
+        cycle.slots_per_period()
+    );
     Ok(())
 }

@@ -7,6 +7,9 @@
 //! cargo run --release --example heterogeneous_fleet
 //! ```
 
+// Examples favour brevity: unwrap keeps the algorithmic story readable.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use cool::common::{SensorId, SensorSet};
 use cool::core::greedy::greedy_active_naive;
 use cool::core::horizon::{greedy_horizon, HorizonSchedule};
@@ -56,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // way to use the homogeneous scheduler) — the fleet's fast rechargers
     // are wasted.
     let worst = ChargeCycle::from_rho(7.0, 15.0)?;
-    let homogeneous = greedy_active_naive(&utility, worst.slots_per_period());
+    let homogeneous = greedy_active_naive(&utility, worst.slots_per_period()).unwrap();
     let unrolled = HorizonSchedule::from_period(&homogeneous, horizon / worst.slots_per_period());
     println!(
         "\nhomogeneous fallback (everyone at rho=7): {:.4} per slot → horizon greedy wins by {:.1}%",
@@ -68,6 +71,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn bars(schedule: &cool::core::horizon::HorizonSchedule, v: usize) -> String {
     (0..schedule.horizon())
-        .map(|t| if schedule.active_set(t).contains(SensorId(v)) { '#' } else { '.' })
+        .map(|t| {
+            if schedule.active_set(t).contains(SensorId(v)) {
+                '#'
+            } else {
+                '.'
+            }
+        })
         .collect()
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = Problem::new(utility, cycle, cycle.periods_in_hours(12.0))?;
     let greedy = greedy_schedule_lazy(&problem);
     println!("\naverage utility per target per slot:");
-    println!("  greedy (lazy)  = {:.4}", problem.average_utility_per_target_slot(&greedy));
+    println!(
+        "  greedy (lazy)  = {:.4}",
+        problem.average_utility_per_target_slot(&greedy)
+    );
     println!(
         "  round-robin    = {:.4}",
         problem.average_utility_per_target_slot(&round_robin_schedule(&problem))
@@ -57,9 +60,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimal = branch_and_bound(&small, cycle.slots_per_period()).period_utility(&small);
     println!("\nsmall instance (n=10, m=3), one period:");
     println!("  LP relaxation value (upper bound) = {:.4}", lp.lp_value);
-    println!("  LP + randomized rounding          = {:.4}", lp.rounded_value);
+    println!(
+        "  LP + randomized rounding          = {:.4}",
+        lp.rounded_value
+    );
     println!("  greedy                            = {greedy_small:.4}");
     println!("  exact optimum (branch & bound)    = {optimal:.4}");
-    println!("  greedy/optimal                    = {:.4}", greedy_small / optimal);
+    println!(
+        "  greedy/optimal                    = {:.4}",
+        greedy_small / optimal
+    );
     Ok(())
 }

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let bound = single_target_upper_bound(problem.n_sensors(), problem.slots_per_period(), 0.4);
     println!("greedy hill-climbing (Algorithm 1):");
-    println!("  average utility  = {:.6}", problem.average_utility_per_target_slot(&greedy));
+    println!(
+        "  average utility  = {:.6}",
+        problem.average_utility_per_target_slot(&greedy)
+    );
     println!("  optimum is below = {bound:.6}  (1 − (1−p)^⌈n/T⌉)");
 
     for (name, schedule) in [

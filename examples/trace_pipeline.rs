@@ -19,11 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    weather, but `HarvestTrace::from_csv` accepts any logger output in
     //    the same format).
     let measured = HarvestTrace::generate(
-        HarvestConfig { weather: Weather::Overcast, ..HarvestConfig::default() },
+        HarvestConfig {
+            weather: Weather::Overcast,
+            ..HarvestConfig::default()
+        },
         &mut SeedSequence::new(77).nth_rng(0),
     );
     let csv = measured.to_csv();
-    println!("received {} samples ({} bytes of CSV)", measured.samples().len(), csv.len());
+    println!(
+        "received {} samples ({} bytes of CSV)",
+        measured.samples().len(),
+        csv.len()
+    );
 
     // 2. Parse it back (the adopter path) and estimate the pattern.
     let trace = HarvestTrace::from_csv(HarvestConfig::default(), &csv)?;

@@ -38,11 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("day  weather        estimated pattern        rho  slots  avg utility");
     for day in 0..7 {
-        let weather = if day == 0 { Weather::Sunny } else { weather_gen.next_day(&mut rng) };
+        let weather = if day == 0 {
+            Weather::Sunny
+        } else {
+            weather_gen.next_day(&mut rng)
+        };
 
         // Morning measurement: trace → 2-hour windows → fitted pattern.
         let trace = HarvestTrace::generate(
-            HarvestConfig { weather, ..HarvestConfig::default() },
+            HarvestConfig {
+                weather,
+                ..HarvestConfig::default()
+            },
             &mut seeds.child(1).nth_rng(day),
         );
         let pattern = fit_pattern(&estimate_pattern(&trace, 120.0, 30.0), 15.0);
@@ -54,8 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Daytime execution.
         let slots = cycle.slots_in_hours(12.0).max(1);
         let mut sim = TestbedSim::new(deployment.clone(), cycle);
-        let metrics =
-            sim.run(DayPolicy(&mut policy), &utility, slots, &mut seeds.child(2).nth_rng(day));
+        let metrics = sim.run(
+            DayPolicy(&mut policy),
+            &utility,
+            slots,
+            &mut seeds.child(2).nth_rng(day),
+        );
 
         println!(
             "{:>3}  {:<13}  {:<23}  {:>3.0}  {:>5}  {:.4}",

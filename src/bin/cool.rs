@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! cool run [scenario.txt] [--set key=value]...   # run a scenario
+//! cool lint <scenario.txt>... [--json]           # static checks, COOL-coded diagnostics
 //! cool template                                  # print a scenario template
 //! cool trace [--weather W] [--seed N] [--out F]  # synthesize a day's harvest trace (CSV)
 //! cool estimate <trace.csv> [--discharge M] [--capacity MAH]
 //!                                                # fit (T_d, T_r, rho) from a trace
 //! ```
+//!
+//! `cool lint` exits 0 when every file is clean (warnings allowed), 1 when
+//! any carries errors, and 2 on usage or I/O problems.
 
 use cool::common::SeedSequence;
 use cool::energy::{
@@ -15,7 +19,6 @@ use cool::energy::{
 };
 use cool::scenario::Scenario;
 use std::process::ExitCode;
-
 
 /// Writes to stdout, exiting quietly if the reader closed the pipe early
 /// (`cool ... | head` must not panic).
@@ -34,10 +37,51 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
         _ => usage(),
     }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            path if !path.starts_with('-') => paths.push(arg),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("lint needs at least one scenario file");
+        return usage();
+    }
+    let mut worst = ExitCode::SUCCESS;
+    for path in paths {
+        match cool::lint::lint_scenario_path(path) {
+            Ok(report) => {
+                if json {
+                    emit(&report.to_json());
+                    emit("\n");
+                } else {
+                    emit(&report.to_string());
+                }
+                if !report.is_clean() {
+                    worst = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    worst
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -110,34 +154,37 @@ fn trace(args: &[String]) -> ExitCode {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--weather" => match iter.next().map(String::as_str).and_then(parse_weather) {
-                Some(w) => weather = w,
-                None => {
+            "--weather" => {
+                let Some(w) = iter.next().map(String::as_str).and_then(parse_weather) else {
                     eprintln!("--weather needs sunny | partly-cloudy | overcast | rainy");
                     return ExitCode::FAILURE;
-                }
-            },
-            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
-                Some(s) => seed = s,
-                None => {
+                };
+                weather = w;
+            }
+            "--seed" => {
+                let Some(s) = iter.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--seed needs an integer");
                     return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match iter.next() {
-                Some(path) => out = Some(path.clone()),
-                None => {
+                };
+                seed = s;
+            }
+            "--out" => {
+                let Some(path) = iter.next() else {
                     eprintln!("--out needs a path");
                     return ExitCode::FAILURE;
-                }
-            },
+                };
+                out = Some(path.clone());
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 return usage();
             }
         }
     }
-    let config = HarvestConfig { weather, ..HarvestConfig::default() };
+    let config = HarvestConfig {
+        weather,
+        ..HarvestConfig::default()
+    };
     let trace = HarvestTrace::generate(config, &mut SeedSequence::new(seed).nth_rng(0));
     let csv = trace.to_csv();
     match out {
@@ -154,6 +201,7 @@ fn trace(args: &[String]) -> ExitCode {
 }
 
 fn estimate(args: &[String]) -> ExitCode {
+    use std::fmt::Write as _;
     let mut path: Option<&String> = None;
     let mut discharge = 15.0f64;
     let mut capacity = 30.0f64;
@@ -203,37 +251,40 @@ fn estimate(args: &[String]) -> ExitCode {
     let windows = estimate_pattern(&trace, 120.0, capacity);
     let mut out = format!("2-hour windows (battery {capacity} mAh):\n");
     for w in &windows {
-        out.push_str(&format!(
-            "  {:>5.0}–{:<5.0} min  mean {:>6.2} mA  T_r ≈ {:>7.1} min\n",
+        let _ = writeln!(
+            out,
+            "  {:>5.0}–{:<5.0} min  mean {:>6.2} mA  T_r ≈ {:>7.1} min",
             w.start_minute, w.end_minute, w.mean_current_ma, w.recharge_minutes
-        ));
+        );
     }
     if let Some(cv) = core_window_stability(&windows) {
-        out.push_str(&format!("core-window stability (CV): {cv:.3}\n"));
+        let _ = writeln!(out, "core-window stability (CV): {cv:.3}");
     }
-    match fit_pattern(&windows, discharge) {
-        Some(pattern) => {
-            out.push_str(&format!("fitted pattern: {pattern}\n"));
-            match pattern.quantize() {
-                Ok(cycle) => out.push_str(&format!("quantized cycle: {cycle}\n")),
-                Err(e) => out.push_str(&format!("quantization failed: {e}\n")),
+    if let Some(pattern) = fit_pattern(&windows, discharge) {
+        let _ = writeln!(out, "fitted pattern: {pattern}");
+        match pattern.quantize() {
+            Ok(cycle) => {
+                let _ = writeln!(out, "quantized cycle: {cycle}");
             }
-            emit(&out);
-            ExitCode::SUCCESS
+            Err(e) => {
+                let _ = writeln!(out, "quantization failed: {e}");
+            }
         }
-        None => {
-            eprintln!("error: no usable charging window in the trace");
-            ExitCode::FAILURE
-        }
+        emit(&out);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: no usable charging window in the trace");
+        ExitCode::FAILURE
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cool run [scenario.txt] [--set key=value]... \
+         | cool lint <scenario.txt>... [--json] \
          | cool template \
          | cool trace [--weather W] [--seed N] [--out F] \
          | cool estimate <trace.csv> [--discharge M] [--capacity MAH]"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }

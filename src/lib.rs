@@ -15,6 +15,7 @@
 //! | [`energy`] | `cool-energy` | ρ/T slot algebra, batteries, solar harvest, weather |
 //! | [`utility`] | `cool-utility` | submodular utilities + incremental evaluators |
 //! | [`core`] | `cool-core` | greedy / LP / exact schedulers, bounds, baselines |
+//! | [`lint`] | `cool-lint` | static invariant analysis with `COOL-Exxx` diagnostics |
 //! | [`testbed`] | `cool-testbed` | the simulated rooftop testbed |
 //!
 //! # Quickstart
@@ -46,5 +47,6 @@ pub use cool_common as common;
 pub use cool_core as core;
 pub use cool_energy as energy;
 pub use cool_geometry as geometry;
+pub use cool_lint as lint;
 pub use cool_testbed as testbed;
 pub use cool_utility as utility;

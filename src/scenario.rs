@@ -113,7 +113,11 @@ impl fmt::Display for ScenarioError {
                 write!(f, "line {line}: expected `key = value`, got `{text}`")
             }
             ScenarioError::UnknownKey { key } => write!(f, "unknown key `{key}`"),
-            ScenarioError::BadValue { key, value, expected } => {
+            ScenarioError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value `{value}` for `{key}` (expected {expected})")
             }
         }
@@ -181,7 +185,10 @@ impl Scenario {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(ScenarioError::BadLine { line: idx + 1, text: raw.trim().into() });
+                return Err(ScenarioError::BadLine {
+                    line: idx + 1,
+                    text: raw.trim().into(),
+                });
             };
             scenario.set(key.trim(), value.trim())?;
         }
@@ -293,8 +300,7 @@ impl Scenario {
             self.detection_p,
             &mut rng,
         );
-        let problem =
-            Problem::new(utility, cycle, periods).map_err(|e| e.to_string())?;
+        let problem = Problem::new(utility, cycle, periods).map_err(|e| e.to_string())?;
 
         let schedule = match self.scheduler {
             SchedulerKind::Greedy => greedy_schedule(&problem),
@@ -309,7 +315,13 @@ impl Scenario {
 
         let average = problem.average_utility_per_target_slot(&schedule);
         let bound = self.average_bound(&problem, cycle);
-        Ok(ScenarioOutcome { scenario: self.clone(), cycle, schedule, average, bound })
+        Ok(ScenarioOutcome {
+            scenario: self.clone(),
+            cycle,
+            schedule,
+            average,
+            bound,
+        })
     }
 
     fn average_bound(&self, problem: &Problem<SumUtility>, cycle: ChargeCycle) -> f64 {
@@ -350,23 +362,41 @@ pub struct ScenarioOutcome {
 
 impl fmt::Display for ScenarioOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "scenario: {} sensors, {} targets, p = {}, {} scheduler",
-            self.scenario.sensors, self.scenario.targets,
-            self.scenario.detection_p, self.scenario.scheduler)?;
+        writeln!(
+            f,
+            "scenario: {} sensors, {} targets, p = {}, {} scheduler",
+            self.scenario.sensors,
+            self.scenario.targets,
+            self.scenario.detection_p,
+            self.scenario.scheduler
+        )?;
         writeln!(f, "cycle:    {}", self.cycle)?;
-        writeln!(f, "horizon:  {} h = {} periods",
+        writeln!(
+            f,
+            "horizon:  {} h = {} periods",
             self.scenario.hours,
-            self.cycle.periods_in_hours(self.scenario.hours).max(1))?;
+            self.cycle.periods_in_hours(self.scenario.hours).max(1)
+        )?;
         writeln!(f)?;
         let mut table = Table::new(["metric", "value"]);
-        table.row(["avg utility / target / slot", &format!("{:.6}", self.average)]);
+        table.row([
+            "avg utility / target / slot",
+            &format!("{:.6}", self.average),
+        ]);
         table.row(["optimum upper bound", &format!("{:.6}", self.bound)]);
-        table.row(["fraction of bound", &format!("{:.2}%", self.average / self.bound * 100.0)]);
+        table.row([
+            "fraction of bound",
+            &format!("{:.2}%", self.average / self.bound * 100.0),
+        ]);
         write!(f, "{table}")?;
         writeln!(f)?;
         writeln!(f, "per-slot active counts (one period):")?;
         for t in 0..self.schedule.slots_per_period() {
-            writeln!(f, "  t{t}: {:>4} sensors", self.schedule.active_set(t).len())?;
+            writeln!(
+                f,
+                "  t{t}: {:>4} sensors",
+                self.schedule.active_set(t).len()
+            )?;
         }
         Ok(())
     }
@@ -385,10 +415,9 @@ mod tests {
 
     #[test]
     fn parse_with_comments_and_overrides() {
-        let s = Scenario::parse(
-            "# comment\n\nsensors = 10  # trailing comment\nscheduler = lazy\n",
-        )
-        .unwrap();
+        let s =
+            Scenario::parse("# comment\n\nsensors = 10  # trailing comment\nscheduler = lazy\n")
+                .unwrap();
         assert_eq!(s.sensors, 10);
         assert_eq!(s.scheduler, SchedulerKind::Lazy);
         assert_eq!(s.targets, Scenario::default().targets);

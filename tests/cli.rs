@@ -19,10 +19,21 @@ fn template_round_trips_through_a_file() {
     std::fs::write(&path, &template).unwrap();
 
     let out = cool()
-        .args(["run", path.to_str().unwrap(), "--set", "sensors=16", "--set", "targets=2"])
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--set",
+            "sensors=16",
+            "--set",
+            "targets=2",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("16 sensors, 2 targets"));
     assert!(text.contains("avg utility / target / slot"));
@@ -32,7 +43,13 @@ fn template_round_trips_through_a_file() {
 #[test]
 fn run_without_file_uses_defaults_with_overrides() {
     let out = cool()
-        .args(["run", "--set", "sensors=12", "--set", "scheduler=round-robin"])
+        .args([
+            "run",
+            "--set",
+            "sensors=12",
+            "--set",
+            "scheduler=round-robin",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
@@ -42,7 +59,10 @@ fn run_without_file_uses_defaults_with_overrides() {
 
 #[test]
 fn bad_key_fails_with_message() {
-    let out = cool().args(["run", "--set", "volume=11"]).output().expect("binary runs");
+    let out = cool()
+        .args(["run", "--set", "volume=11"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
 }
@@ -59,7 +79,10 @@ fn bad_cycle_fails_with_message() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = cool().args(["run", "/nonexistent/scenario.txt"]).output().expect("binary runs");
+    let out = cool()
+        .args(["run", "/nonexistent/scenario.txt"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
@@ -78,19 +101,38 @@ fn trace_estimate_pipeline_round_trips() {
     let path = dir.join("sunny.csv");
 
     let out = cool()
-        .args(["trace", "--weather", "sunny", "--seed", "9", "--out", path.to_str().unwrap()])
+        .args([
+            "trace",
+            "--weather",
+            "sunny",
+            "--seed",
+            "9",
+            "--out",
+            path.to_str().unwrap(),
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cool()
         .args(["estimate", path.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("fitted pattern"), "{text}");
-    assert!(text.contains("rho=3.0"), "sunny trace quantizes to the paper cycle: {text}");
+    assert!(
+        text.contains("rho=3.0"),
+        "sunny trace quantizes to the paper cycle: {text}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -100,7 +142,10 @@ fn estimate_rejects_garbage() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bad.csv");
     std::fs::write(&path, "not,a,trace\n").unwrap();
-    let out = cool().args(["estimate", path.to_str().unwrap()]).output().expect("binary runs");
+    let out = cool()
+        .args(["estimate", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("header"));
     std::fs::remove_dir_all(&dir).ok();
@@ -108,7 +153,11 @@ fn estimate_rejects_garbage() {
 
 #[test]
 fn bundled_scenarios_run() {
-    for file in ["paper_testbed.txt", "overcast_week.txt", "dense_fast_recharge.txt"] {
+    for file in [
+        "paper_testbed.txt",
+        "overcast_week.txt",
+        "dense_fast_recharge.txt",
+    ] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let out = cool().args(["run", &path]).output().expect("binary runs");
         assert!(

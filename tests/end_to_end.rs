@@ -50,8 +50,7 @@ fn geometric_pipeline_plans_and_executes() {
 fn lazy_and_naive_agree_through_the_full_problem_api() {
     let seeds = SeedSequence::new(502);
     let mut rng = seeds.nth_rng(0);
-    let (utility, _, _) =
-        geometric_multi_target(Rect::square(300.0), 80, 12, 60.0, 0.4, &mut rng);
+    let (utility, _, _) = geometric_multi_target(Rect::square(300.0), 80, 12, 60.0, 0.4, &mut rng);
     let problem = Problem::new(utility, ChargeCycle::paper_sunny(), 3).unwrap();
     let a = greedy_schedule(&problem);
     let b = greedy_schedule_lazy(&problem);
@@ -69,8 +68,7 @@ fn fast_recharge_pipeline_schedules_passive_slots() {
 
     // Per-slot active count is n − (passive allocations in that slot);
     // total activity across a period is n · (T − 1).
-    let total_active: usize =
-        (0..4).map(|t| schedule.active_set(t).len()).sum();
+    let total_active: usize = (0..4).map(|t| schedule.active_set(t).len()).sum();
     assert_eq!(total_active, 12 * 3);
 
     // And it executes loss-free on the simulator.
@@ -100,6 +98,6 @@ fn multi_target_average_matches_manual_accounting() {
             manual += utility.eval(&schedule.active_set(t));
         }
     }
-    manual /= (5 * 4) as f64 * utility.n_targets() as f64;
+    manual /= f64::from(5 * 4) * utility.n_targets() as f64;
     assert!((problem.average_utility_per_target_slot(&schedule) - manual).abs() < 1e-12);
 }

@@ -29,9 +29,9 @@ proptest! {
         let mut rng = SeedSequence::new(seed).nth_rng(0);
         let u = random_multi_target(n, 2, 0.5, 0.4, &mut rng);
         let schedule = if cycle.rho() > 1.0 {
-            greedy_active_naive(&u, cycle.slots_per_period())
+            greedy_active_naive(&u, cycle.slots_per_period()).unwrap()
         } else {
-            greedy_passive_naive(&u, cycle.slots_per_period())
+            greedy_passive_naive(&u, cycle.slots_per_period()).unwrap()
         };
         for v in 0..n {
             let mut node = NodeEnergyMachine::new(cycle);

@@ -1,0 +1,123 @@
+//! Lint soundness: a scenario that passes `cool lint` must execute.
+//!
+//! The linter's contract is `report.is_clean()` ⇒ the scheduler pipeline
+//! accepts the scenario (no panic, no error, a feasible schedule). These
+//! tests pin that implication on the shipped scenario files and on randomly
+//! generated field assignments — both well-formed and corrupted.
+
+use cool::lint::lint_scenario_text;
+use cool::scenario::Scenario;
+use proptest::prelude::*;
+
+/// Renders a scenario file from explicit fields.
+#[allow(clippy::too_many_arguments)]
+fn scenario_text(
+    sensors: usize,
+    targets: usize,
+    detection_p: f64,
+    discharge: f64,
+    recharge: f64,
+    hours: f64,
+    region: f64,
+    radius: f64,
+    seed: u64,
+) -> String {
+    format!(
+        "sensors = {sensors}\ntargets = {targets}\ndetection_p = {detection_p}\n\
+         discharge_minutes = {discharge}\nrecharge_minutes = {recharge}\nhours = {hours}\n\
+         region = {region}\nradius = {radius}\nseed = {seed}\n"
+    )
+}
+
+/// Runs the full CLI pipeline the linter vouches for.
+fn execute(text: &str) -> Result<(), String> {
+    let scenario = Scenario::parse(text).map_err(|e| e.to_string())?;
+    let outcome = scenario.run()?;
+    if outcome.schedule.is_feasible(outcome.cycle) {
+        Ok(())
+    } else {
+        Err("schedule infeasible".into())
+    }
+}
+
+#[test]
+fn shipped_scenarios_lint_clean_and_run() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = lint_scenario_text(&text, &path.display().to_string());
+        assert!(report.is_clean(), "{report}");
+        execute(&text).unwrap_or_else(|e| panic!("{} failed to run: {e}", path.display()));
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the three shipped scenario files, found {checked}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Well-formed random scenarios: lint is clean and execution succeeds.
+    #[test]
+    fn clean_scenarios_execute(
+        sensors in 1usize..30,
+        targets in 1usize..5,
+        p in 0.05f64..0.95,
+        slot in 5.0f64..30.0,
+        ratio in 1usize..6,
+        invert in any::<bool>(),
+        periods in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (discharge, recharge) = if invert {
+            (slot * ratio as f64, slot) // rho = 1/ratio
+        } else {
+            (slot, slot * ratio as f64) // rho = ratio
+        };
+        let period_minutes = discharge + recharge;
+        // Half a period of slack so float rounding never lands the horizon a
+        // hair short of the intended whole number of periods.
+        let hours = period_minutes * (periods as f64 + 0.5) / 60.0;
+        let text = scenario_text(
+            sensors, targets, p, discharge, recharge, hours, 200.0, 80.0, seed,
+        );
+        let report = lint_scenario_text(&text, "generated.txt");
+        prop_assert!(report.is_clean(), "{}", report);
+        prop_assert!(execute(&text).is_ok());
+    }
+
+    /// The implication itself, on scenarios corrupted at random: whenever
+    /// the linter stays quiet, execution must succeed. (The converse — the
+    /// linter being *complete* — is deliberately not asserted; extra
+    /// strictness like the degenerate-horizon error is allowed.)
+    #[test]
+    fn lint_clean_implies_run_succeeds(
+        sensors in 0usize..20,
+        targets in 0usize..4,
+        p in -0.5f64..1.5,
+        discharge in prop::sample::select(vec![0.0, 10.0, 15.0, 27.0]),
+        recharge in prop::sample::select(vec![0.0, 15.0, 40.0, 45.0, 180.0]),
+        hours in prop::sample::select(vec![0.2, 6.0, 12.0]),
+        radius in prop::sample::select(vec![0.0, 50.0, 400.0]),
+        seed in any::<u64>(),
+    ) {
+        let text = scenario_text(
+            sensors, targets, p, discharge, recharge, hours, 250.0, radius, seed,
+        );
+        let report = lint_scenario_text(&text, "generated.txt");
+        if report.is_clean() {
+            prop_assert!(
+                execute(&text).is_ok(),
+                "lint saw nothing wrong but execution failed:\n{}",
+                text
+            );
+        }
+    }
+}

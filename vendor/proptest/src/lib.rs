@@ -1,0 +1,397 @@
+//! Offline vendored shim for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps the same surface syntax — the
+//! [`proptest!`] macro, `prop_assert*!`, [`any`], range strategies,
+//! [`collection::vec`] and [`ProptestConfig`] — backed by a simple
+//! deterministic random-case runner (no shrinking; a failing case panics
+//! with the generated inputs in the message instead).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default is 256; keep it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test random source handed to strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for `test_path` (module path + test name), case
+    /// `case`. Deterministic across runs and machines.
+    #[must_use]
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Strategies: value generators for property inputs.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A generator of random values, mirroring `proptest::strategy::Strategy`
+    /// (generation only — this shim does not shrink).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy for "any value of `T`" — see [`super::arbitrary`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng().random()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $via:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng().random::<$via>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8 => u64, u16 => u64, u32 => u32, u64 => u64, usize => u64,
+                        i8 => u64, i16 => u64, i32 => u32, i64 => u64, isize => u64);
+
+    impl Arbitrary for f64 {
+        /// Uniform in `[0, 1)` plus occasional interesting magnitudes —
+        /// enough spread for the numeric properties in this workspace.
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let unit: f64 = rng.rng().random();
+            match rng.rng().random_range(0u32..8) {
+                0 => 0.0,
+                1 => -unit,
+                2 => unit * 1e6,
+                3 => -unit * 1e6,
+                _ => unit,
+            }
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// Always produces a clone of one value, mirroring `proptest::strategy::Just`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().random_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Creates a strategy for vectors whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone + std::fmt::Debug>(Vec<T>);
+
+    /// Creates a strategy that picks one of `options` uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().random_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+}
+
+/// Returns the whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// `proptest::prelude` lookalike: everything the `proptest!` macro and its
+/// callers need in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::strategy::{Any, Arbitrary, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+/// Asserts a property-test condition; panics with the formatted message on
+/// failure (the shim has no shrinking, so this is equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($config).cases;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(__path, u64::from(__case));
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    { $body }
+                }
+            }
+        )+
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0usize..10, flip in any::<bool>()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)+) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(
+            n in 1usize..40,
+            x in -1e3f64..1e3,
+            pair in (0usize..8, any::<bool>()),
+            xs in collection::vec(0.0f64..=1.0, 1..20),
+        ) {
+            prop_assert!((1..40).contains(&n));
+            prop_assert!((-1e3..1e3).contains(&x));
+            prop_assert!(pair.0 < 8);
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Not a tautology: both draws come from one deterministic
+            // stream, so equality would indicate a stuck generator.
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn default_config_without_attribute() {
+        proptest! {
+            fn inner(q in 0u32..5) {
+                prop_assert!(q < 5);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("x::y", 3);
+        let mut b = crate::TestRng::for_case("x::y", 3);
+        use rand::Rng;
+        assert_eq!(a.rng().random::<u64>(), b.rng().random::<u64>());
+    }
+}
