@@ -68,6 +68,15 @@ pub enum CoolCode {
     /// COOL-E016: a utility universe does not match the sensor count it is
     /// used with.
     UniverseMismatch,
+    /// COOL-E017: a service request exceeded its wall-clock budget and was
+    /// abandoned (HTTP 408 in `cool-serve`).
+    RequestTimeout,
+    /// COOL-E018: the service's bounded work queue is full and the request
+    /// was shed (HTTP 429 in `cool-serve`).
+    ServiceOverloaded,
+    /// COOL-E019: a service request body is not valid JSON, misses a
+    /// required field, or names an unknown algorithm (HTTP 400).
+    MalformedRequest,
     /// COOL-W001: an unknown scenario key (ignored by the parser).
     UnknownScenarioKey,
     /// COOL-W002: a scenario key assigned more than once (last wins).
@@ -105,6 +114,9 @@ impl CoolCode {
             CoolCode::DegenerateHorizon => "COOL-E014",
             CoolCode::NonFiniteUtility => "COOL-E015",
             CoolCode::UniverseMismatch => "COOL-E016",
+            CoolCode::RequestTimeout => "COOL-E017",
+            CoolCode::ServiceOverloaded => "COOL-E018",
+            CoolCode::MalformedRequest => "COOL-E019",
             CoolCode::UnknownScenarioKey => "COOL-W001",
             CoolCode::DuplicateScenarioKey => "COOL-W002",
             CoolCode::DiskCoversRegion => "COOL-W003",
@@ -134,6 +146,9 @@ impl CoolCode {
             CoolCode::DegenerateHorizon => "degenerate-horizon",
             CoolCode::NonFiniteUtility => "non-finite-utility",
             CoolCode::UniverseMismatch => "universe-mismatch",
+            CoolCode::RequestTimeout => "request-timeout",
+            CoolCode::ServiceOverloaded => "service-overloaded",
+            CoolCode::MalformedRequest => "malformed-request",
             CoolCode::UnknownScenarioKey => "unknown-scenario-key",
             CoolCode::DuplicateScenarioKey => "duplicate-scenario-key",
             CoolCode::DiskCoversRegion => "disk-covers-region",
@@ -170,6 +185,9 @@ impl CoolCode {
             CoolCode::DegenerateHorizon,
             CoolCode::NonFiniteUtility,
             CoolCode::UniverseMismatch,
+            CoolCode::RequestTimeout,
+            CoolCode::ServiceOverloaded,
+            CoolCode::MalformedRequest,
             CoolCode::UnknownScenarioKey,
             CoolCode::DuplicateScenarioKey,
             CoolCode::DiskCoversRegion,
@@ -221,7 +239,7 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 16);
+        assert_eq!(errors, 19);
         assert_eq!(warnings, 6);
     }
 

@@ -27,7 +27,10 @@
 //! ```
 
 pub mod diag;
+pub mod hash;
 pub mod id;
+pub mod json;
+pub mod metrics;
 pub mod parallel;
 pub mod rng;
 pub mod set;
@@ -35,8 +38,10 @@ pub mod stats;
 pub mod table;
 
 pub use diag::CoolCode;
+pub use hash::{fnv1a_64, StableHasher};
 pub use id::{SensorId, SlotId, SubregionId, TargetId};
-pub use parallel::{default_sweep_threads, parallel_map};
+pub use metrics::{Counter, CounterVec, Gauge, Histogram};
+pub use parallel::{default_sweep_threads, parallel_map, SubmitError, WorkerPool};
 pub use rng::SeedSequence;
 pub use set::SensorSet;
 pub use stats::{OnlineStats, Summary};

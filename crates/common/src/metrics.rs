@@ -1,0 +1,342 @@
+//! Lock-light service metrics with Prometheus text rendering.
+//!
+//! `cool-serve` exposes operational counters on `GET /metrics`; this module
+//! holds the primitives so any future daemon (sweep coordinator, testbed
+//! farm) reports the same way. Three shapes cover everything the workspace
+//! needs:
+//!
+//! * [`Counter`] — a monotone `u64` (`_total` series);
+//! * [`Gauge`] — a signed level (queue depth, in-flight requests);
+//! * [`Histogram`] — fixed cumulative buckets plus `_sum`/`_count`, the
+//!   Prometheus histogram contract;
+//! * [`CounterVec`] — a labelled counter family for low-cardinality labels
+//!   (endpoint, status code).
+//!
+//! All types are internally synchronised: `&self` methods are safe from any
+//! thread. Rendering follows the Prometheus text exposition format v0.0.4
+//! (`# HELP`/`# TYPE` headers, cumulative `le` buckets, `+Inf` bucket equal
+//! to `_count`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Renders `# HELP`/`# TYPE` plus the sample line.
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", self.get());
+    }
+}
+
+/// A settable signed level.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Renders `# HELP`/`# TYPE` plus the sample line.
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", self.get());
+    }
+}
+
+/// A fixed-bucket cumulative histogram of `f64` observations (typically
+/// seconds of latency).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds, strictly increasing; `+Inf` is implicit.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket hit counts (cumulated at render time).
+    counts: Vec<AtomicU64>,
+    /// Count of observations above the last bound.
+    overflow: AtomicU64,
+    /// Sum of observations in micro-units to keep atomics integral.
+    sum_micros: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-increasing bound list.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Default latency buckets: 1 ms … 10 s, roughly log-spaced.
+    #[must_use]
+    pub fn latency_seconds() -> Self {
+        Histogram::new(&[
+            0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+        ])
+    }
+
+    /// Records one observation (negative or non-finite values clamp to 0).
+    pub fn observe(&self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Renders the full histogram family (`_bucket`, `_sum`, `_count`).
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            cumulative += count.load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count());
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// A labelled counter family, for small, bounded label sets.
+///
+/// Keys are pre-rendered label strings such as
+/// `endpoint="schedule",status="200"` — the caller owns cardinality
+/// discipline.
+#[derive(Debug, Default)]
+pub struct CounterVec {
+    cells: Mutex<BTreeMap<String, u64>>,
+}
+
+impl CounterVec {
+    /// An empty family.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterVec::default()
+    }
+
+    /// Adds one to the cell keyed by `labels`.
+    pub fn inc(&self, labels: &str) {
+        let mut cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *cells.entry(labels.to_string()).or_insert(0) += 1;
+    }
+
+    /// The count of the cell keyed by `labels` (0 when absent).
+    pub fn get(&self, labels: &str) -> u64 {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cells.get(labels).copied().unwrap_or(0)
+    }
+
+    /// Sum across every cell.
+    pub fn total(&self) -> u64 {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cells.values().sum()
+    }
+
+    /// Renders one sample line per cell, in sorted label order.
+    pub fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (labels, count) in cells.iter() {
+            let _ = writeln!(out, "{name}{{{labels}}} {count}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut out = String::new();
+        c.render(&mut out, "x_total", "things");
+        assert!(out.contains("# TYPE x_total counter"));
+        assert!(out.contains("x_total 5"));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        let mut out = String::new();
+        g.render(&mut out, "depth", "queue depth");
+        assert!(out.contains("# TYPE depth gauge"));
+        assert!(out.contains("depth -3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(0.5);
+        h.observe(5.0); // overflow
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 6.05).abs() < 1e-6);
+        let mut out = String::new();
+        h.render(&mut out, "lat", "latency");
+        assert!(out.contains("lat_bucket{le=\"0.1\"} 1"));
+        assert!(out.contains("lat_bucket{le=\"1\"} 3"));
+        assert!(out.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn histogram_tolerates_garbage_observations() {
+        let h = Histogram::latency_seconds();
+        h.observe(f64::NAN);
+        h.observe(-2.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn counter_vec_tracks_cells_independently() {
+        let v = CounterVec::new();
+        v.inc("endpoint=\"a\"");
+        v.inc("endpoint=\"a\"");
+        v.inc("endpoint=\"b\"");
+        assert_eq!(v.get("endpoint=\"a\""), 2);
+        assert_eq!(v.get("endpoint=\"b\""), 1);
+        assert_eq!(v.get("endpoint=\"c\""), 0);
+        assert_eq!(v.total(), 3);
+        let mut out = String::new();
+        v.render(&mut out, "req_total", "requests");
+        assert!(out.contains("req_total{endpoint=\"a\"} 2"));
+        assert!(out.contains("req_total{endpoint=\"b\"} 1"));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let c = Counter::new();
+        let h = Histogram::new(&[0.5]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(0.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -1,10 +1,15 @@
-//! Tiny deterministic fork-join helper for experiment sweeps.
+//! Fork-join and long-lived worker-pool primitives.
 //!
-//! The experiment harness runs many independent (instance, seed) cells;
-//! [`parallel_map`] fans them out over scoped threads and returns results
-//! in input order, so sweeps parallelise without any change to their
-//! deterministic seeding. No dependency needed — `std::thread::scope`
-//! suffices at this scale.
+//! Two execution shapes, both dependency-free:
+//!
+//! * [`parallel_map`] — deterministic fork-join for experiment sweeps: fan
+//!   a `Vec` of independent (instance, seed) cells over scoped threads and
+//!   return results in input order.
+//! * [`WorkerPool`] — a long-lived pool draining a **bounded** job queue,
+//!   the execution backbone of the `cool-serve` daemon: submission is
+//!   non-blocking and reports "full" so callers can apply backpressure
+//!   (HTTP 429) instead of queueing without bound, and shutdown drains
+//!   every accepted job before joining the workers.
 
 /// Maps `f` over `items` using up to `threads` OS threads, preserving
 /// input order. Falls back to a plain sequential map for `threads <= 1` or
@@ -83,6 +88,187 @@ pub fn default_sweep_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
+/// Why [`WorkerPool::try_submit`] refused a job.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError<J> {
+    /// The bounded queue is at capacity — apply backpressure. The job is
+    /// handed back untouched.
+    QueueFull(J),
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown(J),
+}
+
+impl<J> SubmitError<J> {
+    /// Recovers the rejected job.
+    pub fn into_job(self) -> J {
+        match self {
+            SubmitError::QueueFull(j) | SubmitError::ShuttingDown(j) => j,
+        }
+    }
+}
+
+struct PoolState<J> {
+    jobs: std::collections::VecDeque<J>,
+    shutting_down: bool,
+    /// Jobs currently being executed by a worker (popped but not finished).
+    in_flight: usize,
+}
+
+struct PoolShared<J> {
+    state: std::sync::Mutex<PoolState<J>>,
+    /// Signals workers that a job arrived or shutdown began.
+    wake: std::sync::Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size thread pool draining a bounded FIFO job queue.
+///
+/// Submission never blocks: when the queue holds `capacity` jobs,
+/// [`WorkerPool::try_submit`] returns the job back so the caller can shed
+/// load. [`WorkerPool::shutdown`] stops intake, lets the workers drain
+/// every accepted job, and joins them — the graceful-shutdown contract the
+/// serving layer builds on.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::parallel::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let counter = Arc::clone(&done);
+/// let pool = WorkerPool::new(2, 16, move |n: usize| {
+///     counter.fetch_add(n, Ordering::SeqCst);
+/// });
+/// for _ in 0..10 {
+///     pool.try_submit(1).unwrap();
+/// }
+/// pool.shutdown(); // drains the queue before returning
+/// assert_eq!(done.load(Ordering::SeqCst), 10);
+/// ```
+pub struct WorkerPool<J: Send + 'static> {
+    shared: std::sync::Arc<PoolShared<J>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `threads` workers (at least one) over a queue bounded at
+    /// `capacity` jobs (at least one). Each worker runs `handler` on the
+    /// jobs it pops, in FIFO order across the pool.
+    pub fn new<F>(threads: usize, capacity: usize, handler: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let shared = std::sync::Arc::new(PoolShared {
+            state: std::sync::Mutex::new(PoolState {
+                jobs: std::collections::VecDeque::new(),
+                shutting_down: false,
+                in_flight: 0,
+            }),
+            wake: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handler = std::sync::Arc::new(handler);
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                let handler = std::sync::Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut state = shared
+                            .state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        loop {
+                            if let Some(job) = state.jobs.pop_front() {
+                                state.in_flight += 1;
+                                break job;
+                            }
+                            if state.shutting_down {
+                                return;
+                            }
+                            state = shared
+                                .wake
+                                .wait(state)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    handler(job);
+                    let mut state = shared
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state.in_flight -= 1;
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues `job` if the queue has room and the pool is accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back inside a [`SubmitError`] when the queue is at
+    /// capacity or the pool is shutting down.
+    pub fn try_submit(&self, job: J) -> Result<(), SubmitError<J>> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.shutting_down {
+            return Err(SubmitError::ShuttingDown(job));
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull(job));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs waiting in the queue (excluding in-flight ones).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+
+    /// Number of jobs a worker has popped but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .in_flight
+    }
+
+    /// Stops intake, drains every queued job, and joins the workers.
+    /// Jobs already accepted are guaranteed to run to completion.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutting_down = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already poisoned nothing we rely on;
+            // keep joining the rest.
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +297,69 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_accepted_job() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&done);
+        let pool = WorkerPool::new(3, 64, move |n: usize| {
+            counter.fetch_add(n, Ordering::SeqCst);
+        });
+        let mut accepted = 0usize;
+        for _ in 0..50 {
+            if pool.try_submit(1).is_ok() {
+                accepted += 1;
+            }
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), accepted);
+    }
+
+    #[test]
+    fn pool_applies_backpressure_when_full() {
+        use std::sync::mpsc;
+        // A single worker blocked on a channel keeps the queue occupied.
+        let (unblock_tx, unblock_rx) = mpsc::channel::<()>();
+        let rx = std::sync::Mutex::new(unblock_rx);
+        let pool = WorkerPool::new(1, 1, move |(): ()| {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = guard.recv();
+        });
+        // First job occupies the worker; second fills the queue; the
+        // worker may or may not have popped the first yet, so allow one
+        // extra accept before demanding a rejection.
+        let mut rejections = 0;
+        let mut accepts = 0;
+        for _ in 0..4 {
+            match pool.try_submit(()) {
+                Ok(()) => accepts += 1,
+                Err(SubmitError::QueueFull(())) => rejections += 1,
+                Err(SubmitError::ShuttingDown(())) => panic!("pool is live"),
+            }
+            // Give the worker a moment to pop the first job.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(rejections >= 1, "bounded queue never pushed back");
+        assert!(accepts >= 2);
+        for _ in 0..accepts {
+            let _ = unblock_tx.send(());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_rejects_after_shutdown_begins() {
+        let pool = WorkerPool::new(1, 4, |(): ()| {});
+        pool.try_submit(()).unwrap();
+        // Depth/in-flight introspection stays callable while live.
+        let _ = pool.queue_depth() + pool.in_flight();
+        pool.shutdown();
+        // `shutdown` consumes the pool, so post-shutdown submission is a
+        // compile-time impossibility; the runtime flag is still exercised
+        // via the worker loop above.
     }
 
     #[test]

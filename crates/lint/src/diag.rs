@@ -2,6 +2,7 @@
 //! message and an optional source location; a [`Report`] collects them and
 //! renders either a human-readable listing or machine-readable JSON.
 
+use cool_common::json::escape as json_string;
 use cool_common::CoolCode;
 use std::fmt;
 
@@ -243,28 +244,6 @@ impl fmt::Display for Report {
             )
         }
     }
-}
-
-/// JSON string literal with the escapes RFC 8259 requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
-//! Scenario files: declarative scheduling runs for the `cool` CLI.
+//! Scenario files: declarative scheduling runs for the `cool` CLI and the
+//! `cool-serve` daemon.
 //!
 //! A scenario is a tiny `key = value` text format (comments with `#`)
 //! describing a deployment, a utility, a charging pattern and a scheduler;
-//! [`Scenario::parse`] reads it, [`Scenario::run`] executes it and returns
-//! a [`ScenarioOutcome`] the CLI renders. Example:
+//! [`Scenario::parse`] reads it, [`Scenario::build`] materialises the
+//! [`Problem`] instance for any scheduler to consume, and
+//! [`Scenario::run`] executes the scenario's own scheduler and returns a
+//! [`ScenarioOutcome`] the CLI renders. [`Scenario::canonical`] renders a
+//! normal form used as the content-addressed cache key by the serving
+//! layer. Example:
 //!
 //! ```text
 //! # 100 sensors watching 5 targets through a sunny day
@@ -170,6 +175,18 @@ impl Default for Scenario {
     }
 }
 
+/// A scenario materialised into a schedulable instance: the problem, its
+/// charging cycle, and the horizon in whole periods.
+#[derive(Clone, Debug)]
+pub struct BuiltScenario {
+    /// The instance any scheduler in `cool-core` accepts.
+    pub problem: Problem<SumUtility>,
+    /// The derived charging cycle.
+    pub cycle: ChargeCycle,
+    /// Whole charging periods in the working time (at least 1).
+    pub periods: usize,
+}
+
 impl Scenario {
     /// Parses a scenario file; unspecified keys keep their defaults.
     ///
@@ -279,13 +296,37 @@ impl Scenario {
         )
     }
 
-    /// Executes the scenario.
+    /// The canonical normal form of this scenario: one `key=value` per
+    /// line, fixed key order, no comments or whitespace variation. Two
+    /// scenario texts that parse to the same [`Scenario`] always
+    /// canonicalise identically, so this string (not the raw input) is the
+    /// right content-addressed cache key.
+    pub fn canonical(&self) -> String {
+        format!(
+            "sensors={}\ntargets={}\ndetection_p={}\ndischarge_minutes={}\n\
+             recharge_minutes={}\nhours={}\nregion={}\nradius={}\nseed={}\nscheduler={}\n",
+            self.sensors,
+            self.targets,
+            self.detection_p,
+            self.discharge_minutes,
+            self.recharge_minutes,
+            self.hours,
+            self.region,
+            self.radius,
+            self.seed,
+            self.scheduler
+        )
+    }
+
+    /// Materialises the scenario into a [`Problem`] without running any
+    /// scheduler — the entry point for callers (like `cool-serve`) that
+    /// choose the algorithm themselves.
     ///
     /// # Errors
     ///
     /// Returns a rendered error string for invalid cycle parameters (e.g. a
     /// non-integral ρ) or degenerate horizons.
-    pub fn run(&self) -> Result<ScenarioOutcome, String> {
+    pub fn build(&self) -> Result<BuiltScenario, String> {
         let cycle = ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
             .map_err(|e| e.to_string())?;
         let periods = cycle.periods_in_hours(self.hours).max(1);
@@ -301,30 +342,49 @@ impl Scenario {
             &mut rng,
         );
         let problem = Problem::new(utility, cycle, periods).map_err(|e| e.to_string())?;
+        Ok(BuiltScenario {
+            problem,
+            cycle,
+            periods,
+        })
+    }
+
+    /// Executes the scenario with its own `scheduler` selection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::build`], plus an infeasible-schedule report if a
+    /// scheduler misbehaves.
+    pub fn run(&self) -> Result<ScenarioOutcome, String> {
+        let built = self.build()?;
+        let BuiltScenario { problem, cycle, .. } = &built;
+        let seeds = SeedSequence::new(self.seed);
 
         let schedule = match self.scheduler {
-            SchedulerKind::Greedy => greedy_schedule(&problem),
-            SchedulerKind::Lazy => greedy_schedule_lazy(&problem),
-            SchedulerKind::RoundRobin => round_robin_schedule(&problem),
-            SchedulerKind::Random => random_schedule(&problem, &mut seeds.nth_rng(1)),
-            SchedulerKind::Static => static_schedule(&problem),
+            SchedulerKind::Greedy => greedy_schedule(problem),
+            SchedulerKind::Lazy => greedy_schedule_lazy(problem),
+            SchedulerKind::RoundRobin => round_robin_schedule(problem),
+            SchedulerKind::Random => random_schedule(problem, &mut seeds.nth_rng(1)),
+            SchedulerKind::Static => static_schedule(problem),
         };
-        if !schedule.is_feasible(cycle) {
+        if !schedule.is_feasible(*cycle) {
             return Err("scheduler produced an infeasible schedule".into());
         }
 
         let average = problem.average_utility_per_target_slot(&schedule);
-        let bound = self.average_bound(&problem, cycle);
+        let bound = self.average_bound(problem, *cycle);
         Ok(ScenarioOutcome {
             scenario: self.clone(),
-            cycle,
+            cycle: *cycle,
             schedule,
             average,
             bound,
         })
     }
 
-    fn average_bound(&self, problem: &Problem<SumUtility>, cycle: ChargeCycle) -> f64 {
+    /// The per-target-averaged optimum upper bound for this scenario's
+    /// instance (§VI-B closed form per detection part, 1.0 otherwise).
+    pub fn average_bound(&self, problem: &Problem<SumUtility>, cycle: ChargeCycle) -> f64 {
         let t = cycle.slots_per_period();
         let budget = cycle.active_slots_per_period();
         let bounds: Vec<f64> = problem
@@ -502,5 +562,44 @@ mod tests {
         s.set("recharge_minutes", "40").unwrap(); // 40/15 not integral
         let err = s.run().unwrap_err();
         assert!(err.contains("integer"));
+    }
+
+    #[test]
+    fn canonical_ignores_surface_syntax() {
+        let a = Scenario::parse("sensors = 10   # c\n\nseed=7\n").unwrap();
+        let b = Scenario::parse("seed = 7\nsensors = 10\n").unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        let c = Scenario::parse("sensors = 11\nseed = 7\n").unwrap();
+        assert_ne!(a.canonical(), c.canonical());
+        // Every field participates in the normal form.
+        for key in [
+            "sensors",
+            "targets",
+            "detection_p",
+            "discharge_minutes",
+            "recharge_minutes",
+            "hours",
+            "region",
+            "radius",
+            "seed",
+            "scheduler",
+        ] {
+            assert!(a.canonical().contains(&format!("{key}=")), "{key} missing");
+        }
+    }
+
+    #[test]
+    fn build_matches_run() {
+        let s = Scenario::parse("sensors = 15\ntargets = 2\nregion = 150\nradius = 50\n").unwrap();
+        let built = s.build().unwrap();
+        assert_eq!(built.cycle.slots_per_period(), 4);
+        assert_eq!(built.periods, built.problem.periods());
+        let schedule = greedy_schedule(&built.problem);
+        let outcome = s.run().unwrap();
+        assert_eq!(
+            built.problem.average_utility_per_target_slot(&schedule),
+            outcome.average,
+            "build() + greedy must reproduce run() exactly"
+        );
     }
 }

@@ -1,0 +1,139 @@
+//! A minimal HTTP/1.1 client over `std::net::TcpStream`, used by the smoke
+//! harness, the e2e suite, and anyone scripting the daemon without curl.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! discipline: write the request, read until EOF, parse the response.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Header name/value pairs (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The response body as text.
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (*k == needle).then_some(v.as_str()))
+    }
+}
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Connection, transport, and response-parse failures.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_mins(1)))?;
+    stream.set_write_timeout(Some(Duration::from_mins(1)))?;
+
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Parses the raw wire bytes of one response.
+///
+/// # Errors
+///
+/// `InvalidData` for anything that is not a well-formed HTTP/1.x response.
+pub fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let text = std::str::from_utf8(raw).map_err(|_| bad_data("non-UTF-8 response"))?;
+    // Tolerate bare-LF separators the same way the server does.
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some(split) => split,
+        None => text
+            .split_once("\n\n")
+            .ok_or_else(|| bad_data("missing header/body separator"))?,
+    };
+    let mut lines = head.lines().map(str::trim_end);
+    let status_line = lines.next().ok_or_else(|| bad_data("empty response"))?;
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(bad_data("malformed status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_data("unsupported HTTP version"));
+    }
+    let status: u16 = code.parse().map_err(|_| bad_data("non-numeric status"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad_data("malformed response header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Response {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 422 Unprocessable Entity\r\ncontent-type: application/json\r\nx-cool-cache: miss\r\n\r\n{\"a\":1}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 422);
+        assert_eq!(resp.header("X-Cool-Cache"), Some("miss"));
+        assert_eq!(resp.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"\r\n\r\n").is_err());
+        assert!(parse_response(b"ICMP boo\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 ok\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn accepts_bare_lf_responses() {
+        let resp = parse_response(b"HTTP/1.1 200 OK\nfoo: bar\n\nhello").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("foo"), Some("bar"));
+        assert_eq!(resp.body, "hello");
+    }
+}

@@ -1,0 +1,284 @@
+//! A deliberately small HTTP/1.1 implementation — exactly the subset the
+//! scheduling service needs, over `std` only.
+//!
+//! One request per connection (`Connection: close`), `Content-Length`
+//! bodies only (no chunked transfer), bounded header and body sizes so a
+//! hostile peer cannot balloon memory. Anything outside that subset is a
+//! clean 4xx, never a panic.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes in the request line or any single header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+const MAX_HEADERS: usize = 64;
+/// Maximum request body size (scenario files are a few hundred bytes; 4 MiB
+/// leaves ample room for large batches).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method, e.g. `POST`.
+    pub method: String,
+    /// The request target, e.g. `/v1/schedule` (query strings are kept
+    /// verbatim; the service's routes do not use them).
+    pub target: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The body, already read to `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-cased).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (*k == needle).then_some(v.as_str()))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+    /// The peer closed the connection before sending a request line.
+    Closed,
+    /// The request is malformed; the message is safe to echo to the peer.
+    BadRequest(&'static str),
+    /// The request exceeds the line/header/body bounds.
+    TooLarge,
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one line terminated by `\n`, rejecting lines longer than
+/// [`MAX_LINE`]; strips the trailing `\r\n` / `\n`.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ReadError::BadRequest("truncated line"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text =
+                String::from_utf8(line).map_err(|_| ReadError::BadRequest("non-UTF-8 header"))?;
+            return Ok(Some(text));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(ReadError::TooLarge);
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from `reader`.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] when the peer sent nothing, [`ReadError::Io`] on
+/// transport problems, and `BadRequest`/`TooLarge` for protocol abuse.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Err(ReadError::Closed);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::BadRequest("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(ReadError::BadRequest("truncated headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::TooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest("malformed header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::BadRequest("invalid Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` response with the given body.
+///
+/// # Errors
+///
+/// Propagates transport write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /v1/schedule HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/schedule");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_lines_are_accepted() {
+        let req = parse("GET /healthz HTTP/1.1\nhost: y\n\n").unwrap();
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn rejects_protocol_garbage() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SMTP/1.0\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_input() {
+        let long = "GET /".to_string() + &"a".repeat(MAX_LINE + 1) + " HTTP/1.1\r\n\r\n";
+        assert!(matches!(parse(&long), Err(ReadError::TooLarge)));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&big_body), Err(ReadError::TooLarge)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            &[("x-cool-cache", "hit")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("x-cool-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn all_emitted_statuses_have_reasons() {
+        for status in [200, 400, 404, 405, 408, 413, 422, 429, 500] {
+            assert_ne!(reason(status), "Unknown", "{status}");
+        }
+    }
+}

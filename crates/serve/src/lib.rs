@@ -1,0 +1,37 @@
+//! # cool-serve — the scheduling daemon
+//!
+//! A std-only HTTP/1.1 JSON service around the `cool-core` schedulers,
+//! turning the offline `cool run` pipeline into a long-lived daemon with
+//! request batching, schedule caching, and an operational metrics surface.
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/v1/schedule` | POST | lint pre-flight → compute (greedy / lp-rounding / horizon) → schedule + per-slot utility JSON; `{"batch":[...]}` fans out over the worker pool |
+//! | `/v1/lint` | POST | the `cool-lint` pre-flight as a standalone check |
+//! | `/healthz` | GET | liveness probe |
+//! | `/metrics` | GET | Prometheus text: request counts, latency histogram, cache hit/miss, queue depth |
+//! | `/v1/shutdown` | POST | graceful drain: stop intake, finish accepted work, exit |
+//!
+//! Architecture (DESIGN.md §8): a nonblocking acceptor feeds a **bounded**
+//! queue drained by a [`cool_common::parallel::WorkerPool`]; a full queue
+//! sheds load with HTTP 429 (`COOL-E018`), requests past their wall-clock
+//! budget answer 408 (`COOL-E017`), and successful schedule bodies are
+//! memoised in a content-addressed LRU cache — sound because bodies are
+//! pure functions of (canonical scenario, algorithm).
+//!
+//! Everything here is `std`-only: no TLS, no async runtime, no serde. The
+//! protocol subset (one request per connection, `Content-Length` bodies)
+//! is deliberately small and fully bounded.
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod smoke;
+
+pub use api::{Algorithm, ApiError};
+pub use cache::{CacheKey, LruCache};
+pub use server::{Server, ServerConfig};
+pub use smoke::run_smoke;

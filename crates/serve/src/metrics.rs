@@ -1,0 +1,174 @@
+//! The daemon's metric surface, rendered on `GET /metrics` in Prometheus
+//! text exposition format.
+//!
+//! Every series is prefixed `cool_` and built from the shared primitives
+//! in [`cool_common::metrics`]; scrape-side dashboards get request counts
+//! by endpoint/status, a latency histogram, cache hit/miss/eviction
+//! counters, and live queue/in-flight gauges.
+
+use cool_common::metrics::{Counter, CounterVec, Gauge, Histogram};
+use std::time::Instant;
+
+/// All metrics the service exports.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// `cool_requests_total{endpoint=...,status=...}`.
+    pub requests: CounterVec,
+    /// `cool_request_seconds` — enqueue-to-response latency.
+    pub latency: Histogram,
+    /// `cool_cache_hits_total`.
+    pub cache_hits: Counter,
+    /// `cool_cache_misses_total`.
+    pub cache_misses: Counter,
+    /// `cool_cache_evictions_total`.
+    pub cache_evictions: Counter,
+    /// `cool_cache_entries` — current cache population.
+    pub cache_entries: Gauge,
+    /// `cool_queue_depth` — jobs accepted but not yet picked up.
+    pub queue_depth: Gauge,
+    /// `cool_inflight_requests` — jobs a worker is currently executing.
+    pub in_flight: Gauge,
+    /// `cool_queue_rejections_total` — requests shed with 429.
+    pub queue_rejections: Counter,
+    /// `cool_request_timeouts_total` — requests abandoned with 408.
+    pub timeouts: Counter,
+    started: Instant,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// A fresh registry; uptime counts from now.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeMetrics {
+            requests: CounterVec::new(),
+            latency: Histogram::latency_seconds(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_evictions: Counter::new(),
+            cache_entries: Gauge::new(),
+            queue_depth: Gauge::new(),
+            in_flight: Gauge::new(),
+            queue_rejections: Counter::new(),
+            timeouts: Counter::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn observe_request(&self, endpoint: &str, status: u16, seconds: f64) {
+        self.requests
+            .inc(&format!("endpoint=\"{endpoint}\",status=\"{status}\""));
+        self.latency.observe(seconds);
+    }
+
+    /// The full Prometheus text page.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        self.requests.render(
+            &mut out,
+            "cool_requests_total",
+            "Requests served, by endpoint and HTTP status.",
+        );
+        self.latency.render(
+            &mut out,
+            "cool_request_seconds",
+            "Wall-clock seconds from accept to response.",
+        );
+        self.cache_hits.render(
+            &mut out,
+            "cool_cache_hits_total",
+            "Schedule requests answered from the LRU cache.",
+        );
+        self.cache_misses.render(
+            &mut out,
+            "cool_cache_misses_total",
+            "Schedule requests computed cold.",
+        );
+        self.cache_evictions.render(
+            &mut out,
+            "cool_cache_evictions_total",
+            "Cache entries evicted by the LRU policy.",
+        );
+        self.cache_entries.render(
+            &mut out,
+            "cool_cache_entries",
+            "Entries currently held by the schedule cache.",
+        );
+        self.queue_depth.render(
+            &mut out,
+            "cool_queue_depth",
+            "Accepted connections waiting for a worker.",
+        );
+        self.in_flight.render(
+            &mut out,
+            "cool_inflight_requests",
+            "Requests currently being executed by workers.",
+        );
+        self.queue_rejections.render(
+            &mut out,
+            "cool_queue_rejections_total",
+            "Connections shed with HTTP 429 because the queue was full.",
+        );
+        self.timeouts.render(
+            &mut out,
+            "cool_request_timeouts_total",
+            "Requests abandoned with HTTP 408 after the wall-clock budget.",
+        );
+        let uptime = Gauge::new();
+        uptime.set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+        uptime.render(
+            &mut out,
+            "cool_uptime_seconds",
+            "Seconds since the daemon started.",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_contains_every_family() {
+        let m = ServeMetrics::new();
+        m.observe_request("schedule", 200, 0.012);
+        m.observe_request("schedule", 422, 0.001);
+        m.cache_hits.inc();
+        m.cache_misses.inc();
+        m.queue_depth.set(3);
+        let page = m.render();
+        for series in [
+            "cool_requests_total{endpoint=\"schedule\",status=\"200\"} 1",
+            "cool_requests_total{endpoint=\"schedule\",status=\"422\"} 1",
+            "cool_request_seconds_bucket",
+            "cool_request_seconds_count 2",
+            "cool_cache_hits_total 1",
+            "cool_cache_misses_total 1",
+            "cool_cache_evictions_total 0",
+            "cool_queue_depth 3",
+            "cool_inflight_requests 0",
+            "cool_queue_rejections_total 0",
+            "cool_request_timeouts_total 0",
+            "cool_uptime_seconds",
+        ] {
+            assert!(page.contains(series), "missing `{series}` in:\n{page}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let m = ServeMetrics::new();
+        m.observe_request("lint", 200, 0.002);
+        m.observe_request("lint", 200, 0.2);
+        let page = m.render();
+        assert!(page.contains("cool_request_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+}

@@ -1,0 +1,599 @@
+//! The daemon itself: a nonblocking acceptor feeding a bounded
+//! [`WorkerPool`], per-request wall-clock budgets, the content-addressed
+//! schedule cache, and graceful drain on shutdown.
+//!
+//! Request flow (DESIGN.md §8): accept → bounded queue (429 when full) →
+//! worker thread → route → lint pre-flight → cache lookup → `cool-core`
+//! compute → cache fill → response. `POST /v1/shutdown` flips a flag the
+//! acceptor polls; accepted work is drained before the listener closes.
+
+use crate::api::{
+    self, parse_lint_body, parse_schedule_body, ApiError, ScheduleBody, ScheduleItem,
+};
+use crate::cache::{CacheKey, LruCache};
+use crate::http::{read_request, write_response, ReadError, Request};
+use crate::metrics::ServeMetrics;
+use cool_common::parallel::{default_sweep_threads, WorkerPool};
+use cool_common::CoolCode;
+use cool_lint::lint_scenario_text;
+use std::fmt::Write as _;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7311` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub threads: usize,
+    /// Bounded queue capacity; beyond it requests are shed with 429.
+    pub queue_cap: usize,
+    /// Schedule-cache capacity in entries.
+    pub cache_cap: usize,
+    /// Per-request wall-clock budget in milliseconds (408 past it).
+    pub timeout_ms: u64,
+    /// Honour `x-cool-test-sleep-ms` request headers (tests only) so e2e
+    /// suites can deterministically saturate the queue or exceed budgets.
+    pub test_hooks: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7311".to_string(),
+            threads: default_sweep_threads(),
+            queue_cap: 64,
+            cache_cap: 128,
+            timeout_ms: 30_000,
+            test_hooks: false,
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct AppState {
+    config: ServerConfig,
+    cache: Mutex<LruCache<CacheKey, String>>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+}
+
+impl AppState {
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache<CacheKey, String>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] consumes it and blocks
+/// until `POST /v1/shutdown` is received and in-flight work has drained.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Binds the listener described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures from the OS.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState {
+                cache: Mutex::new(LruCache::new(config.cache_cap)),
+                metrics: ServeMetrics::new(),
+                shutdown: AtomicBool::new(false),
+                config,
+            }),
+        })
+    }
+
+    /// The actual bound address (useful with `:0` ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until shutdown is requested, then drains accepted requests
+    /// and returns.
+    ///
+    /// # Errors
+    ///
+    /// Only setup failures surface here; per-connection I/O errors are
+    /// contained within their worker.
+    pub fn run(self) -> io::Result<()> {
+        let state = Arc::clone(&self.state);
+        let worker_state = Arc::clone(&self.state);
+        let pool: WorkerPool<(TcpStream, Instant)> = WorkerPool::new(
+            state.config.threads,
+            state.config.queue_cap,
+            move |(stream, accepted_at)| {
+                worker_state.metrics.queue_depth.dec();
+                worker_state.metrics.in_flight.inc();
+                handle_connection(&worker_state, stream, accepted_at);
+                worker_state.metrics.in_flight.dec();
+            },
+        );
+
+        loop {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    state.metrics.queue_depth.inc();
+                    if let Err(rejected) = pool.try_submit((stream, Instant::now())) {
+                        state.metrics.queue_depth.dec();
+                        state.metrics.queue_rejections.inc();
+                        let (stream, accepted_at) = rejected.into_job();
+                        reject_overloaded(&state, stream, accepted_at);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. aborted handshake);
+                    // yield briefly and keep serving.
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+        // Stop intake, run every accepted request to completion, join.
+        pool.shutdown();
+        Ok(())
+    }
+}
+
+/// Sheds one connection with HTTP 429 (`COOL-E018`), inline on the
+/// acceptor thread.
+///
+/// The peer's request is consumed (bounded by the parser's size limits)
+/// before the response goes out: closing a socket with unread bytes in its
+/// receive buffer sends RST, which would tear the 429 off the wire before
+/// the client reads it.
+fn reject_overloaded(state: &AppState, mut stream: TcpStream, accepted_at: Instant) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    if let Ok(clone) = stream.try_clone() {
+        let _ = read_request(&mut BufReader::new(clone));
+    }
+    let err = ApiError::overloaded();
+    let _ = write_response(
+        &mut stream,
+        err.status,
+        "application/json",
+        &[],
+        err.body().as_bytes(),
+    );
+    state
+        .metrics
+        .observe_request("schedule", err.status, accepted_at.elapsed().as_secs_f64());
+}
+
+/// The endpoint label used in metrics for a request target.
+fn endpoint_label(target: &str) -> &'static str {
+    match target {
+        "/v1/schedule" => "schedule",
+        "/v1/lint" => "lint",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Reads one request off `stream`, routes it, writes one response.
+fn handle_connection(state: &AppState, stream: TcpStream, accepted_at: Instant) {
+    let budget = Duration::from_millis(state.config.timeout_ms);
+    // Bound blocking reads by the request budget so a silent peer cannot
+    // pin a worker forever.
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(budget));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(ReadError::Closed | ReadError::Io(_)) => return,
+        Err(ReadError::BadRequest(message)) => {
+            let err = ApiError::malformed(message);
+            respond(
+                state,
+                &mut stream,
+                "other",
+                accepted_at,
+                err.status,
+                &[],
+                &err.body(),
+            );
+            return;
+        }
+        Err(ReadError::TooLarge) => {
+            let mut err = ApiError::malformed("request exceeds size limits");
+            err.status = 413;
+            respond(
+                state,
+                &mut stream,
+                "other",
+                accepted_at,
+                err.status,
+                &[],
+                &err.body(),
+            );
+            return;
+        }
+    };
+
+    let endpoint = endpoint_label(&request.target);
+    let (status, extra, body) = route(state, &request, accepted_at);
+    let extra_refs: Vec<(&str, &str)> = extra
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    respond(
+        state,
+        &mut stream,
+        endpoint,
+        accepted_at,
+        status,
+        &extra_refs,
+        &body,
+    );
+}
+
+/// Writes the response and records the request metric.
+fn respond(
+    state: &AppState,
+    stream: &mut TcpStream,
+    endpoint: &str,
+    accepted_at: Instant,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let content_type = if endpoint == "metrics" && status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    let _ = write_response(stream, status, content_type, extra_headers, body.as_bytes());
+    state
+        .metrics
+        .observe_request(endpoint, status, accepted_at.elapsed().as_secs_f64());
+}
+
+type Routed = (u16, Vec<(String, String)>, String);
+
+/// Dispatches a parsed request to its handler.
+fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/v1/schedule") => handle_schedule(state, request, accepted_at),
+        ("POST", "/v1/lint") => handle_lint(request),
+        ("GET", "/healthz") => (
+            200,
+            Vec::new(),
+            "{\"status\":\"ok\",\"service\":\"cool-serve\"}".to_string(),
+        ),
+        ("GET", "/metrics") => {
+            let entries = state.lock_cache().len();
+            state
+                .metrics
+                .cache_entries
+                .set(i64::try_from(entries).unwrap_or(i64::MAX));
+            (200, Vec::new(), state.metrics.render())
+        }
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                Vec::new(),
+                "{\"status\":\"ok\",\"message\":\"draining in-flight requests\"}".to_string(),
+            )
+        }
+        (_, "/v1/schedule" | "/v1/lint" | "/healthz" | "/metrics" | "/v1/shutdown") => {
+            let err = ApiError::malformed("method not allowed for this path");
+            (405, Vec::new(), err.body())
+        }
+        _ => {
+            let err = ApiError::malformed("no such endpoint");
+            (404, Vec::new(), err.body())
+        }
+    }
+}
+
+/// Runs one schedule item through lint → cache → compute, returning the
+/// response body and whether it was served from cache.
+fn process_item(state: &AppState, item: &ScheduleItem) -> Result<(String, bool), ApiError> {
+    let (scenario, warnings) = api::resolve_and_lint(item)?;
+    let key = api::cache_key(&scenario, &item.algorithm);
+    if let Some(body) = state.lock_cache().get(&key) {
+        state.metrics.cache_hits.inc();
+        return Ok((body, true));
+    }
+    let body = api::compute_response(&scenario, &item.algorithm, &warnings)?;
+    state.metrics.cache_misses.inc();
+    let mut cache = state.lock_cache();
+    if cache.insert(key, body.clone()).is_some() {
+        state.metrics.cache_evictions.inc();
+    }
+    state
+        .metrics
+        .cache_entries
+        .set(i64::try_from(cache.len()).unwrap_or(i64::MAX));
+    drop(cache);
+    Ok((body, false))
+}
+
+/// `POST /v1/schedule` — single or batch.
+fn handle_schedule(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
+    if state.config.test_hooks {
+        if let Some(ms) = request
+            .header("x-cool-test-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+        }
+    }
+    let budget = Duration::from_millis(state.config.timeout_ms);
+    let over_budget = |at: Instant| at.elapsed() > budget;
+    if over_budget(accepted_at) {
+        state.metrics.timeouts.inc();
+        let err = ApiError::timeout(u128::from(state.config.timeout_ms));
+        return (err.status, Vec::new(), err.body());
+    }
+
+    let parsed = match parse_schedule_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(err) => return (err.status, Vec::new(), err.body()),
+    };
+
+    let routed = match parsed {
+        ScheduleBody::Single(item) => match process_item(state, &item) {
+            Ok((body, cached)) => {
+                let cache_header = if cached { "hit" } else { "miss" };
+                (
+                    200,
+                    vec![("x-cool-cache".to_string(), cache_header.to_string())],
+                    body,
+                )
+            }
+            Err(err) => (err.status, Vec::new(), err.body()),
+        },
+        ScheduleBody::Batch(items) => {
+            let threads = state.config.threads.max(1);
+            let results =
+                cool_common::parallel_map(threads, items, |item| process_item(state, &item));
+            let mut hits = 0usize;
+            let mut body = String::from("{\"status\":\"ok\",\"results\":[");
+            for (i, result) in results.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                match result {
+                    Ok((item_body, cached)) => {
+                        hits += usize::from(*cached);
+                        let _ = write!(
+                            body,
+                            "{{\"http_status\":200,\"cached\":{cached},\"response\":{item_body}}}"
+                        );
+                    }
+                    Err(err) => {
+                        let _ = write!(
+                            body,
+                            "{{\"http_status\":{},\"cached\":false,\"response\":{}}}",
+                            err.status,
+                            err.body()
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "],\"count\":{},\"cache_hits\":{hits}}}",
+                results.len()
+            );
+            (200, Vec::new(), body)
+        }
+    };
+
+    // The compute itself may have blown the budget (e.g. a huge instance);
+    // answer 408 rather than pretend the deadline held.
+    if over_budget(accepted_at) {
+        state.metrics.timeouts.inc();
+        let err = ApiError::timeout(u128::from(state.config.timeout_ms));
+        return (err.status, Vec::new(), err.body());
+    }
+    routed
+}
+
+/// `POST /v1/lint` — the pre-flight as a standalone endpoint.
+fn handle_lint(request: &Request) -> Routed {
+    let text = match parse_lint_body(&request.body) {
+        Ok(text) => text,
+        Err(err) => return (err.status, Vec::new(), err.body()),
+    };
+    let report = lint_scenario_text(&text, "request");
+    if report.is_clean() {
+        (
+            200,
+            Vec::new(),
+            format!("{{\"status\":\"ok\",\"lint\":{}}}", report.to_json()),
+        )
+    } else {
+        let code = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code.is_error())
+            .map_or(CoolCode::ScenarioFieldInvalid, |d| d.code);
+        let err = ApiError {
+            status: 422,
+            code,
+            message: "scenario rejected by cool-lint".to_string(),
+            lint_json: Some(report.to_json()),
+        };
+        (err.status, Vec::new(), err.body())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(config: ServerConfig) -> AppState {
+        AppState {
+            cache: Mutex::new(LruCache::new(config.cache_cap)),
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn routes_healthz_and_unknown_paths() {
+        let state = test_state(ServerConfig::default());
+        let (status, _, body) = route(&state, &request("GET", "/healthz", ""), Instant::now());
+        assert_eq!(status, 200);
+        assert!(body.contains("cool-serve"));
+        let (status, _, body) = route(&state, &request("GET", "/nope", ""), Instant::now());
+        assert_eq!(status, 404);
+        assert!(body.contains("COOL-E019"));
+        let (status, _, _) = route(&state, &request("DELETE", "/metrics", ""), Instant::now());
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn schedule_single_then_cached() {
+        let state = test_state(ServerConfig::default());
+        let body = r#"{"scenario":"sensors = 12\ntargets = 2\n"}"#;
+        let (status, extra, first) = route(
+            &state,
+            &request("POST", "/v1/schedule", body),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{first}");
+        assert_eq!(extra[0].1, "miss");
+        let (status, extra, second) = route(
+            &state,
+            &request("POST", "/v1/schedule", body),
+            Instant::now(),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(extra[0].1, "hit");
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        assert_eq!(state.metrics.cache_hits.get(), 1);
+        assert_eq!(state.metrics.cache_misses.get(), 1);
+    }
+
+    #[test]
+    fn schedule_batch_mixes_success_and_failure() {
+        let state = test_state(ServerConfig::default());
+        let body = r#"{"batch":[
+            {"scenario":"sensors = 12\n"},
+            {"scenario":"recharge_minutes = 40\n"}
+        ]}"#;
+        let (status, _, rendered) = route(
+            &state,
+            &request("POST", "/v1/schedule", body),
+            Instant::now(),
+        );
+        assert_eq!(status, 200);
+        assert!(rendered.contains("\"http_status\":200"));
+        assert!(rendered.contains("\"http_status\":422"));
+        assert!(rendered.contains("\"count\":2"));
+        assert!(cool_common::json::parse(&rendered).is_ok(), "{rendered}");
+    }
+
+    #[test]
+    fn lint_endpoint_reports_both_verdicts() {
+        let state = test_state(ServerConfig::default());
+        let (status, _, body) = route(
+            &state,
+            &request("POST", "/v1/lint", r#"{"scenario":"sensors = 10\n"}"#),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""));
+        let (status, _, body) = route(
+            &state,
+            &request(
+                "POST",
+                "/v1/lint",
+                r#"{"scenario":"recharge_minutes = 40\n"}"#,
+            ),
+            Instant::now(),
+        );
+        assert_eq!(status, 422);
+        assert!(body.contains("COOL-E012"), "{body}");
+        assert!(body.contains("\"diagnostics\""));
+    }
+
+    #[test]
+    fn timed_out_requests_get_408() {
+        let config = ServerConfig {
+            timeout_ms: 0,
+            ..ServerConfig::default()
+        };
+        let state = test_state(config);
+        let started = Instant::now()
+            .checked_sub(Duration::from_millis(50))
+            .unwrap();
+        let (status, _, body) = route(
+            &state,
+            &request("POST", "/v1/schedule", r#"{"scenario":"sensors = 4\n"}"#),
+            started,
+        );
+        assert_eq!(status, 408);
+        assert!(body.contains("COOL-E017"));
+        assert_eq!(state.metrics.timeouts.get(), 1);
+    }
+
+    #[test]
+    fn shutdown_endpoint_flips_the_flag() {
+        let state = test_state(ServerConfig::default());
+        assert!(!state.shutdown.load(Ordering::SeqCst));
+        let (status, _, _) = route(&state, &request("POST", "/v1/shutdown", ""), Instant::now());
+        assert_eq!(status, 200);
+        assert!(state.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn metrics_route_reports_cache_population() {
+        let state = test_state(ServerConfig::default());
+        let body = r#"{"scenario":"sensors = 8\n"}"#;
+        let _ = route(
+            &state,
+            &request("POST", "/v1/schedule", body),
+            Instant::now(),
+        );
+        let (status, _, page) = route(&state, &request("GET", "/metrics", ""), Instant::now());
+        assert_eq!(status, 200);
+        assert!(page.contains("cool_cache_entries 1"), "{page}");
+        assert!(page.contains("cool_cache_misses_total 1"));
+    }
+}

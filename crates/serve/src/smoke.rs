@@ -1,0 +1,161 @@
+//! An end-to-end smoke check the CI pipeline (and `cool serve --smoke`)
+//! runs against a real scenario file: boot the daemon on an ephemeral
+//! port, drive the full protocol over TCP, and verify the serving path
+//! agrees with the offline `cool run` path bit-for-bit where it must.
+//!
+//! Checks, in order: `/healthz` answers; `POST /v1/schedule` returns the
+//! same average utility as [`Scenario::run`]; an identical second request
+//! is a recorded cache hit with a byte-identical body; a lint-rejected
+//! scenario comes back 422 with a COOL code; `/metrics` exposes the
+//! request/latency/cache/queue series; shutdown drains cleanly.
+
+use crate::client;
+use crate::server::{Server, ServerConfig};
+use cool_common::json::{self, escape, Value};
+use cool_scenario::Scenario;
+use std::net::SocketAddr;
+
+/// Metric families the scrape must expose for dashboards to work.
+pub const REQUIRED_METRICS: [&str; 5] = [
+    "cool_requests_total",
+    "cool_request_seconds_bucket",
+    "cool_cache_hits_total",
+    "cool_cache_misses_total",
+    "cool_queue_depth",
+];
+
+fn post_schedule(addr: SocketAddr, scenario_text: &str) -> Result<client::Response, String> {
+    let body = format!("{{\"scenario\":{}}}", escape(scenario_text));
+    client::request(addr, "POST", "/v1/schedule", &[], &body)
+        .map_err(|e| format!("schedule request failed: {e}"))
+}
+
+fn drive(addr: SocketAddr, scenario_text: &str, expected_average: f64) -> Result<String, String> {
+    let health = client::request(addr, "GET", "/healthz", &[], "")
+        .map_err(|e| format!("healthz request failed: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("healthz returned {}", health.status));
+    }
+
+    let first = post_schedule(addr, scenario_text)?;
+    if first.status != 200 {
+        return Err(format!(
+            "schedule returned {}: {}",
+            first.status, first.body
+        ));
+    }
+    if first.header("x-cool-cache") != Some("miss") {
+        return Err("first schedule request was not a cache miss".to_string());
+    }
+    let doc = json::parse(&first.body).map_err(|e| format!("schedule body is not JSON: {e}"))?;
+    let served = doc
+        .get("utility")
+        .and_then(|u| u.get("average_per_target_slot"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "schedule body lacks utility.average_per_target_slot".to_string())?;
+    if (served - expected_average).abs() > 1e-12 {
+        return Err(format!(
+            "service utility {served} disagrees with offline run {expected_average}"
+        ));
+    }
+
+    let second = post_schedule(addr, scenario_text)?;
+    if second.header("x-cool-cache") != Some("hit") {
+        return Err("second identical request was not a cache hit".to_string());
+    }
+    if second.body != first.body {
+        return Err("cache hit body differs from cold compute".to_string());
+    }
+
+    let rejected = post_schedule(addr, "recharge_minutes = 40\n")?;
+    if rejected.status != 422 || !rejected.body.contains("COOL-E") {
+        return Err(format!(
+            "lint pre-flight did not reject: {} {}",
+            rejected.status, rejected.body
+        ));
+    }
+
+    let metrics = client::request(addr, "GET", "/metrics", &[], "")
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("metrics returned {}", metrics.status));
+    }
+    for key in REQUIRED_METRICS {
+        if !metrics.body.contains(key) {
+            return Err(format!("metrics page lacks `{key}`"));
+        }
+    }
+    if !metrics.body.contains("cool_cache_hits_total 1") {
+        return Err("cache hit was not recorded in metrics".to_string());
+    }
+    Ok(metrics.body)
+}
+
+/// Boots a daemon on an ephemeral port, drives the full protocol against
+/// `scenario_path`, shuts it down, and returns the final `/metrics` page.
+///
+/// # Errors
+///
+/// A human-readable description of the first failed check.
+pub fn run_smoke(scenario_path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(scenario_path)
+        .map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
+    let scenario =
+        Scenario::parse(&text).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
+    let expected = scenario
+        .run()
+        .map_err(|e| format!("offline run failed: {e}"))?
+        .average;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr failed: {e}"))?;
+    let handle = std::thread::spawn(move || server.run());
+
+    let outcome = drive(addr, &text, expected);
+
+    let shutdown = client::request(addr, "POST", "/v1/shutdown", &[], "")
+        .map_err(|e| format!("shutdown request failed: {e}"));
+    let joined = handle
+        .join()
+        .map_err(|_| "server thread panicked".to_string())
+        .and_then(|r| r.map_err(|e| format!("server loop failed: {e}")));
+
+    let metrics_page = outcome?;
+    let shutdown = shutdown?;
+    if shutdown.status != 200 {
+        return Err(format!("shutdown returned {}", shutdown.status));
+    }
+    joined?;
+    Ok(metrics_page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_passes_against_the_paper_testbed() {
+        // The workspace root holds the scenario; resolve relative to the
+        // crate manifest so `cargo test -p cool-serve` works from anywhere.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/paper_testbed.txt"
+        );
+        let page = run_smoke(path).unwrap_or_else(|e| panic!("smoke failed: {e}"));
+        for key in REQUIRED_METRICS {
+            assert!(page.contains(key));
+        }
+    }
+
+    #[test]
+    fn smoke_reports_missing_files() {
+        let err = run_smoke("/nonexistent/scenario.txt").unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Cache-soundness properties for the serving layer.
+//!
+//! The caching contract has two halves: (1) a cache hit must be
+//! **byte-identical** to the cold compute it replaced — which holds only
+//! because response bodies are pure functions of (canonical scenario,
+//! algorithm); (2) keys are content-addressed, so two requests that differ
+//! in any `--set` override can never alias to one cached response, no
+//! matter what their digests do.
+
+use cool_serve::api::{self, Algorithm, ScheduleItem};
+use cool_serve::cache::LruCache;
+use proptest::prelude::*;
+
+/// A request whose parameters arrive entirely through `--set` overrides,
+/// mirroring `{"scenario": "...", "set": {...}}` bodies.
+fn item_with(sensors: usize, targets: usize, seed: u64, algorithm: Algorithm) -> ScheduleItem {
+    ScheduleItem {
+        scenario_text: "region = 150\nradius = 60\n".to_string(),
+        overrides: vec![
+            ("sensors".to_string(), sensors.to_string()),
+            ("targets".to_string(), targets.to_string()),
+            ("seed".to_string(), seed.to_string()),
+        ],
+        algorithm,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serving from cache returns exactly the bytes a cold compute would
+    /// have produced, for every algorithm and any override values.
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_computes(
+        sensors in 2usize..16,
+        targets in 1usize..4,
+        seed in any::<u64>(),
+        algo in prop::sample::select(vec![0usize, 1, 2]),
+    ) {
+        let algorithm = match algo {
+            0 => Algorithm::Greedy,
+            1 => Algorithm::LpRounding { trials: 3 },
+            _ => Algorithm::Horizon,
+        };
+        let item = item_with(sensors, targets, seed, algorithm);
+        let (scenario, warnings) = api::resolve_and_lint(&item).unwrap();
+        let cold = api::compute_response(&scenario, &item.algorithm, &warnings).unwrap();
+        let again = api::compute_response(&scenario, &item.algorithm, &warnings).unwrap();
+        prop_assert_eq!(&cold, &again, "cold computes must be deterministic");
+
+        let mut cache = LruCache::new(4);
+        cache.insert(api::cache_key(&scenario, &item.algorithm), cold.clone());
+        let hit = cache
+            .get(&api::cache_key(&scenario, &item.algorithm))
+            .expect("key round-trips");
+        prop_assert_eq!(hit, cold);
+    }
+
+    /// Content-addressed keying: requests with equal overrides share a key,
+    /// requests differing in any override never do — and a cache holding
+    /// both answers each with its own body.
+    #[test]
+    fn distinct_set_overrides_never_alias(
+        a_sensors in 1usize..40,
+        b_sensors in 1usize..40,
+        a_seed in 0u64..1000,
+        b_seed in 0u64..1000,
+    ) {
+        let a = item_with(a_sensors, 2, a_seed, Algorithm::Greedy);
+        let b = item_with(b_sensors, 2, b_seed, Algorithm::Greedy);
+        let (sa, _) = api::resolve_and_lint(&a).unwrap();
+        let (sb, _) = api::resolve_and_lint(&b).unwrap();
+        let ka = api::cache_key(&sa, &a.algorithm);
+        let kb = api::cache_key(&sb, &b.algorithm);
+        if (a_sensors, a_seed) == (b_sensors, b_seed) {
+            prop_assert_eq!(&ka, &kb);
+        } else {
+            prop_assert_ne!(&ka, &kb);
+            let mut cache = LruCache::new(8);
+            cache.insert(ka.clone(), "body-a");
+            cache.insert(kb.clone(), "body-b");
+            prop_assert_eq!(cache.get(&ka), Some("body-a"));
+            prop_assert_eq!(cache.get(&kb), Some("body-b"));
+        }
+    }
+
+    /// A capacity-1 cache always holds exactly the most recent insert.
+    #[test]
+    fn capacity_one_holds_only_the_latest_insert(
+        keys in proptest::collection::vec(0u8..8, 1..20),
+    ) {
+        let mut cache = LruCache::new(1);
+        for &k in &keys {
+            cache.insert(k, u16::from(k) * 3);
+        }
+        prop_assert_eq!(cache.len(), 1);
+        let last = *keys.last().unwrap();
+        prop_assert_eq!(cache.get(&last), Some(u16::from(last) * 3));
+        for k in 0u8..8 {
+            if k != last {
+                prop_assert_eq!(cache.get(&k), None);
+            }
+        }
+    }
+}

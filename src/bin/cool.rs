@@ -8,16 +8,23 @@
 //! cool trace [--weather W] [--seed N] [--out F]  # synthesize a day's harvest trace (CSV)
 //! cool estimate <trace.csv> [--discharge M] [--capacity MAH]
 //!                                                # fit (T_d, T_r, rho) from a trace
+//! cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N]
+//!            [--timeout-ms N] [--smoke scenario.txt]
+//!                                                # HTTP scheduling daemon
+//! cool --version                                 # print the version
 //! ```
 //!
 //! `cool lint` exits 0 when every file is clean (warnings allowed), 1 when
-//! any carries errors, and 2 on usage or I/O problems.
+//! any carries errors, and 2 on usage or I/O problems. Malformed flag
+//! values (a non-numeric `--threads`, a `--set` without `key=value`, …)
+//! exit 2 with a message naming the offending flag.
 
 use cool::common::SeedSequence;
 use cool::energy::{
     core_window_stability, estimate_pattern, fit_pattern, HarvestConfig, HarvestTrace, Weather,
 };
 use cool::scenario::Scenario;
+use cool::serve::{run_smoke, Server, ServerConfig};
 use std::process::ExitCode;
 
 /// Writes to stdout, exiting quietly if the reader closed the pipe early
@@ -29,9 +36,21 @@ fn emit(text: &str) {
     }
 }
 
+/// Reports a malformed flag value: exit 2 with a message that names the
+/// offending flag instead of dumping the whole usage text.
+fn flag_error(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("run `cool` without arguments for usage");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("--version" | "-V" | "version") => {
+            emit(concat!("cool ", env!("CARGO_PKG_VERSION"), "\n"));
+            ExitCode::SUCCESS
+        }
         Some("template") => {
             emit(&Scenario::template());
             ExitCode::SUCCESS
@@ -40,6 +59,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -91,16 +111,13 @@ fn run(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--set" => {
                 let Some(pair) = iter.next() else {
-                    eprintln!("--set needs key=value");
-                    return usage();
+                    return flag_error("--set needs key=value");
                 };
                 let Some((key, value)) = pair.split_once('=') else {
-                    eprintln!("--set needs key=value, got `{pair}`");
-                    return usage();
+                    return flag_error(format!("--set needs key=value, got `{pair}`"));
                 };
                 if let Err(e) = scenario.set(key.trim(), value.trim()) {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+                    return flag_error(format!("--set {pair}: {e}"));
                 }
             }
             path if !path.starts_with('-') => {
@@ -156,22 +173,19 @@ fn trace(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--weather" => {
                 let Some(w) = iter.next().map(String::as_str).and_then(parse_weather) else {
-                    eprintln!("--weather needs sunny | partly-cloudy | overcast | rainy");
-                    return ExitCode::FAILURE;
+                    return flag_error("--weather needs sunny | partly-cloudy | overcast | rainy");
                 };
                 weather = w;
             }
             "--seed" => {
                 let Some(s) = iter.next().and_then(|s| s.parse().ok()) else {
-                    eprintln!("--seed needs an integer");
-                    return ExitCode::FAILURE;
+                    return flag_error("--seed needs a non-negative integer");
                 };
                 seed = s;
             }
             "--out" => {
                 let Some(path) = iter.next() else {
-                    eprintln!("--out needs a path");
-                    return ExitCode::FAILURE;
+                    return flag_error("--out needs a path");
                 };
                 out = Some(path.clone());
             }
@@ -210,17 +224,11 @@ fn estimate(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--discharge" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(v) if v > 0.0 => discharge = v,
-                _ => {
-                    eprintln!("--discharge needs positive minutes");
-                    return ExitCode::FAILURE;
-                }
+                _ => return flag_error("--discharge needs positive minutes"),
             },
             "--capacity" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(v) if v > 0.0 => capacity = v,
-                _ => {
-                    eprintln!("--capacity needs positive mAh");
-                    return ExitCode::FAILURE;
-                }
+                _ => return flag_error("--capacity needs positive mAh"),
             },
             p if !p.starts_with('-') => path = Some(arg),
             other => {
@@ -278,13 +286,95 @@ fn estimate(args: &[String]) -> ExitCode {
     }
 }
 
+fn serve(args: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut smoke: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = iter.next() else {
+                    return flag_error("--addr needs host:port");
+                };
+                config.addr.clone_from(addr);
+            }
+            "--threads" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.threads = n,
+                _ => return flag_error("--threads needs a positive integer"),
+            },
+            "--queue-cap" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.queue_cap = n,
+                _ => return flag_error("--queue-cap needs a positive integer"),
+            },
+            "--cache-cap" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.cache_cap = n,
+                _ => return flag_error("--cache-cap needs a positive integer"),
+            },
+            "--timeout-ms" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.timeout_ms = n,
+                _ => return flag_error("--timeout-ms needs a positive integer"),
+            },
+            "--smoke" => {
+                let Some(path) = iter.next() else {
+                    return flag_error("--smoke needs a scenario path");
+                };
+                smoke = Some(path.clone());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    if let Some(path) = smoke {
+        // Self-contained CI probe: boot on an ephemeral port, drive the
+        // full protocol, print the final /metrics page for scraping.
+        return match run_smoke(&path) {
+            Ok(page) => {
+                emit(&page);
+                eprintln!("serve smoke: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Ok(addr) = server.local_addr() {
+        eprintln!("cool-serve listening on http://{addr} (POST /v1/shutdown to stop)");
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("cool-serve drained in-flight requests and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cool run [scenario.txt] [--set key=value]... \
          | cool lint <scenario.txt>... [--json] \
          | cool template \
          | cool trace [--weather W] [--seed N] [--out F] \
-         | cool estimate <trace.csv> [--discharge M] [--capacity MAH]"
+         | cool estimate <trace.csv> [--discharge M] [--capacity MAH] \
+         | cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N] \
+         [--timeout-ms N] [--smoke scenario.txt] \
+         | cool --version"
     );
     ExitCode::from(2)
 }

@@ -16,6 +16,8 @@
 //! | [`utility`] | `cool-utility` | submodular utilities + incremental evaluators |
 //! | [`core`] | `cool-core` | greedy / LP / exact schedulers, bounds, baselines |
 //! | [`lint`] | `cool-lint` | static invariant analysis with `COOL-Exxx` diagnostics |
+//! | [`scenario`] | `cool-scenario` | declarative `key = value` scenario files |
+//! | [`serve`] | `cool-serve` | HTTP/1.1 JSON scheduling daemon with caching + metrics |
 //! | [`testbed`] | `cool-testbed` | the simulated rooftop testbed |
 //!
 //! # Quickstart
@@ -41,12 +43,12 @@
 //! `cargo run -p cool-bench --bin repro -- list` for the paper-figure
 //! reproduction harness.
 
-pub mod scenario;
-
 pub use cool_common as common;
 pub use cool_core as core;
 pub use cool_energy as energy;
 pub use cool_geometry as geometry;
 pub use cool_lint as lint;
+pub use cool_scenario as scenario;
+pub use cool_serve as serve;
 pub use cool_testbed as testbed;
 pub use cool_utility as utility;

@@ -152,6 +152,98 @@ fn estimate_rejects_garbage() {
 }
 
 #[test]
+fn version_flag_prints_the_workspace_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = cool().arg(flag).output().expect("binary runs");
+        assert!(out.status.success(), "{flag}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            text.trim(),
+            format!("cool {}", env!("CARGO_PKG_VERSION")),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
+fn malformed_flag_values_exit_2_naming_the_flag() {
+    // Satellite contract: a bad value for a known flag names that flag and
+    // exits 2 — it does not dump the full usage text.
+    for (args, flag) in [
+        (vec!["run", "--set", "sensors"], "--set"),
+        (vec!["run", "--set", "sensors=abc"], "--set"),
+        (vec!["run", "--set", "volume=11"], "--set"),
+        (vec!["trace", "--seed", "soon"], "--seed"),
+        (vec!["trace", "--weather", "hail"], "--weather"),
+        (
+            vec!["estimate", "x.csv", "--discharge", "-4"],
+            "--discharge",
+        ),
+        (
+            vec!["estimate", "x.csv", "--capacity", "zero"],
+            "--capacity",
+        ),
+        (vec!["serve", "--threads", "many"], "--threads"),
+        (vec!["serve", "--queue-cap", "0"], "--queue-cap"),
+        (vec!["serve", "--cache-cap", "-1"], "--cache-cap"),
+        (vec!["serve", "--timeout-ms", "1.5"], "--timeout-ms"),
+        (vec!["serve", "--smoke"], "--smoke"),
+    ] {
+        let out = cool().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(flag), "{args:?}: {stderr}");
+        assert!(
+            !stderr.contains("usage:"),
+            "named-flag errors must not dump usage ({args:?}): {stderr}"
+        );
+    }
+}
+
+#[test]
+fn usage_lists_the_serve_subcommand_and_its_flags() {
+    let out = cool().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    for needle in [
+        "cool serve",
+        "--addr",
+        "--threads",
+        "--queue-cap",
+        "--cache-cap",
+        "--timeout-ms",
+        "--smoke",
+        "--version",
+    ] {
+        assert!(stderr.contains(needle), "usage lacks `{needle}`: {stderr}");
+    }
+}
+
+#[test]
+fn serve_smoke_runs_the_full_protocol() {
+    let path = format!("{}/scenarios/paper_testbed.txt", env!("CARGO_MANIFEST_DIR"));
+    let out = cool()
+        .args(["serve", "--smoke", &path])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let page = String::from_utf8_lossy(&out.stdout).to_string();
+    for series in [
+        "cool_requests_total",
+        "cool_request_seconds_bucket",
+        "cool_cache_hits_total",
+        "cool_cache_misses_total",
+        "cool_queue_depth",
+    ] {
+        assert!(page.contains(series), "missing `{series}`:\n{page}");
+    }
+}
+
+#[test]
 fn bundled_scenarios_run() {
     for file in [
         "paper_testbed.txt",

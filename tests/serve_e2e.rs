@@ -1,0 +1,259 @@
+//! End-to-end tests of the `cool-serve` daemon over real sockets.
+//!
+//! Each test boots a server on an ephemeral port and drives it with raw
+//! `std::net::TcpStream` writes — no client library — covering the happy
+//! path (schedule + cache hit), the lint pre-flight rejection, queue
+//! saturation (429), request timeouts (408), the `/metrics` scrape, and
+//! the graceful-shutdown drain contract.
+
+// The raw-socket helpers below sit outside `#[test]` functions, where the
+// lint wall's in-test unwrap allowance does not reach; panicking on
+// transport failures is exactly what an e2e harness should do.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use cool::serve::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Boots a daemon on `127.0.0.1:0` and returns its address plus the
+/// serving thread.
+fn boot(mut config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// One raw HTTP/1.1 exchange: hand-written request bytes in, full response
+/// text out, parsed into (status, head, body).
+fn raw_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(request, "{name}: {value}\r\n");
+    }
+    request.push_str("\r\n");
+    request.push_str(body);
+    stream.write_all(request.as_bytes()).expect("write request");
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header separator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    (status, head.to_string(), body.to_string())
+}
+
+fn schedule_body(scenario: &str) -> String {
+    format!("{{\"scenario\":{}}}", cool::common::json::escape(scenario))
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let (status, _, _) = raw_request(addr, "POST", "/v1/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("server loop clean");
+}
+
+#[test]
+fn schedule_cache_lint_and_metrics_over_the_wire() {
+    let (addr, handle) = boot(ServerConfig::default());
+
+    let (status, _, health) = raw_request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""));
+
+    // Schedule the paper testbed scenario; first request is a cold miss.
+    let scenario = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/paper_testbed.txt"
+    ))
+    .expect("bundled scenario");
+    let body = schedule_body(&scenario);
+    let (status, head, first) = raw_request(addr, "POST", "/v1/schedule", &[], &body);
+    assert_eq!(status, 200, "{first}");
+    assert!(head.contains("x-cool-cache: miss"), "{head}");
+    assert!(first.contains("\"average_per_target_slot\""));
+
+    // Identical second request: recorded cache hit, byte-identical body.
+    let (status, head, second) = raw_request(addr, "POST", "/v1/schedule", &[], &body);
+    assert_eq!(status, 200);
+    assert!(head.contains("x-cool-cache: hit"), "{head}");
+    assert_eq!(first, second, "cache hit must replay the exact bytes");
+
+    // Lint pre-flight rejection carries COOL codes.
+    let bad = schedule_body("recharge_minutes = 40\n");
+    let (status, _, rejected) = raw_request(addr, "POST", "/v1/schedule", &[], &bad);
+    assert_eq!(status, 422, "{rejected}");
+    assert!(rejected.contains("COOL-E012"), "{rejected}");
+    assert!(rejected.contains("\"lint\":{"), "{rejected}");
+
+    // Unparsable JSON is COOL-E019.
+    let (status, _, garbage) = raw_request(addr, "POST", "/v1/schedule", &[], "not json");
+    assert_eq!(status, 400);
+    assert!(garbage.contains("COOL-E019"));
+
+    // The scrape reflects everything above.
+    let (status, _, page) = raw_request(addr, "GET", "/metrics", &[], "");
+    assert_eq!(status, 200);
+    for series in [
+        "cool_requests_total{endpoint=\"schedule\",status=\"200\"} 2",
+        "cool_requests_total{endpoint=\"schedule\",status=\"422\"} 1",
+        "cool_request_seconds_bucket",
+        "cool_cache_hits_total 1",
+        "cool_cache_misses_total 1",
+        "cool_cache_entries 1",
+        "cool_queue_depth",
+        "cool_inflight_requests",
+    ] {
+        assert!(page.contains(series), "missing `{series}` in:\n{page}");
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn batch_requests_fan_out_and_report_per_item_status() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let body = r#"{"batch":[
+        {"scenario":"sensors = 10\n"},
+        {"scenario":"sensors = 10\n","algorithm":"horizon"},
+        {"scenario":"recharge_minutes = 40\n"}
+    ]}"#;
+    let (status, _, response) = raw_request(addr, "POST", "/v1/schedule", &[], body);
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"count\":3"));
+    assert!(response.contains("\"http_status\":200"));
+    assert!(response.contains("\"http_status\":422"));
+    assert!(response.contains("COOL-E012"));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_429() {
+    let (addr, handle) = boot(ServerConfig {
+        threads: 1,
+        queue_cap: 1,
+        test_hooks: true,
+        ..ServerConfig::default()
+    });
+
+    // Six concurrent slow requests against one worker and a one-slot
+    // queue: at most two can be in the system, the rest must be shed.
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let body = schedule_body("sensors = 6\n");
+                let (status, _, response) = raw_request(
+                    addr,
+                    "POST",
+                    "/v1/schedule",
+                    &[("x-cool-test-sleep-ms", "400")],
+                    &body,
+                );
+                (status, response)
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u16, String)> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    let served = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    let shed: Vec<&(u16, String)> = outcomes.iter().filter(|(s, _)| *s == 429).collect();
+    assert!(served >= 1, "no request was served: {outcomes:?}");
+    assert!(
+        !shed.is_empty(),
+        "bounded queue never shed load: {outcomes:?}"
+    );
+    for (_, response) in &shed {
+        assert!(response.contains("COOL-E018"), "{response}");
+    }
+
+    let (_, _, page) = raw_request(addr, "GET", "/metrics", &[], "");
+    assert!(
+        !page.contains("cool_queue_rejections_total 0"),
+        "rejections not recorded:\n{page}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn requests_past_their_budget_answer_408() {
+    let (addr, handle) = boot(ServerConfig {
+        timeout_ms: 100,
+        test_hooks: true,
+        ..ServerConfig::default()
+    });
+    let body = schedule_body("sensors = 6\n");
+    let (status, _, response) = raw_request(
+        addr,
+        "POST",
+        "/v1/schedule",
+        &[("x-cool-test-sleep-ms", "400")],
+        &body,
+    );
+    assert_eq!(status, 408, "{response}");
+    assert!(response.contains("COOL-E017"), "{response}");
+    let (_, _, page) = raw_request(addr, "GET", "/metrics", &[], "");
+    assert!(page.contains("cool_request_timeouts_total 1"), "{page}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let (addr, handle) = boot(ServerConfig {
+        threads: 2,
+        test_hooks: true,
+        ..ServerConfig::default()
+    });
+
+    // A slow request occupies a worker while shutdown is requested.
+    let slow = std::thread::spawn(move || {
+        let body = schedule_body("sensors = 8\n");
+        raw_request(
+            addr,
+            "POST",
+            "/v1/schedule",
+            &[("x-cool-test-sleep-ms", "500")],
+            &body,
+        )
+    });
+    // Let the slow request reach its worker before asking for shutdown.
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, _, _) = raw_request(addr, "POST", "/v1/shutdown", &[], "");
+    assert_eq!(status, 200);
+
+    // Drain contract: the accepted slow request still completes with 200.
+    let (status, _, response) = slow.join().expect("slow request thread");
+    assert_eq!(
+        status, 200,
+        "in-flight request dropped on shutdown: {response}"
+    );
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("server loop clean");
+
+    // And the listener is really gone.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
