@@ -10,6 +10,7 @@ pub mod headline;
 pub mod horizon;
 pub mod kcover;
 pub mod lp;
+pub mod perf_greedy;
 pub mod randmodel;
 pub mod region;
 pub mod testbed30;
@@ -17,7 +18,7 @@ pub mod testbed30;
 use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "fig7",
     "fig8",
     "headline",
@@ -31,6 +32,7 @@ pub const ALL: [&str; 13] = [
     "horizon",
     "region",
     "kcover",
+    "perf_greedy",
 ];
 
 /// Dispatches an experiment by id.
@@ -51,6 +53,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
         "horizon" => Some(horizon::run(seed)),
         "region" => Some(region::run(seed)),
         "kcover" => Some(kcover::run(seed)),
+        "perf_greedy" => Some(perf_greedy::run(seed)),
         _ => None,
     }
 }

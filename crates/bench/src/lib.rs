@@ -25,6 +25,7 @@
 //! | `horizon` | §VIII extensions: heterogeneous fleets, partial recharge | [`experiments::horizon`] |
 //! | `region` | region monitoring with Eq. 2 over the Fig. 3 arrangement | [`experiments::region`] |
 //! | `kcover` | k-coverage extension through the same scheduler | [`experiments::kcover`] |
+//! | `perf_greedy` | naive vs lazy vs lazy+parallel greedy wall-clock (emits `BENCH_PR3.json`) | [`experiments::perf_greedy`] |
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::too_many_lines)]
 
 pub mod experiments;

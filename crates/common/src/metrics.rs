@@ -300,6 +300,37 @@ mod tests {
         assert_eq!(h.sum(), 0.0);
     }
 
+    /// Each degenerate observation must be clamped *consistently* across
+    /// `_bucket`, `_sum`, and `_count`: it lands in the first bucket
+    /// (clamped value 0), contributes 0 to the sum, and bumps the count,
+    /// so the `+Inf` bucket always equals `_count`. One case per input
+    /// class.
+    #[test]
+    fn histogram_clamps_each_degenerate_case_consistently() {
+        for (label, garbage) in [
+            ("NaN", f64::NAN),
+            ("negative", -7.5),
+            ("-Inf", f64::NEG_INFINITY),
+            ("+Inf", f64::INFINITY),
+        ] {
+            let h = Histogram::new(&[0.1, 1.0]);
+            h.observe(garbage);
+            assert_eq!(h.count(), 1, "{label}: count");
+            assert_eq!(h.sum(), 0.0, "{label}: sum");
+            let mut out = String::new();
+            h.render(&mut out, "lat", "latency");
+            assert!(
+                out.contains("lat_bucket{le=\"0.1\"} 1"),
+                "{label}: clamped value must land in the first bucket:\n{out}"
+            );
+            assert!(
+                out.contains("lat_bucket{le=\"+Inf\"} 1"),
+                "{label}: +Inf bucket must equal _count:\n{out}"
+            );
+            assert!(out.contains("lat_sum 0"), "{label}: sum renders 0:\n{out}");
+        }
+    }
+
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {

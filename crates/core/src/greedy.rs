@@ -14,22 +14,72 @@
 //! * [`greedy_schedule`] — the literal O(n²·T)-gain-query loop of
 //!   Algorithm 1 (with incremental evaluators, each query is cheap);
 //! * [`greedy_schedule_lazy`] — a lazy-evaluation (CELF-style) variant
-//!   exploiting submodularity: stale heap entries only ever shrink, so most
-//!   re-evaluations are skipped. Assigning a sensor to slot `t` only
-//!   changes gains *within slot `t`*, which makes lazy evaluation
-//!   particularly effective here.
+//!   exploiting submodularity. For `ρ > 1` stale heap entries only ever
+//!   *shrink* (a max-heap of gains); for `ρ ≤ 1` stale entries only ever
+//!   *grow* (a min-heap of losses), because removing sensors shrinks the
+//!   base set and marginal contributions rise under diminishing returns.
+//!   Either way, touching slot `t` only perturbs entries *within slot
+//!   `t`*, which makes lazy evaluation particularly effective here.
+//!
+//! On large instances (`n·T ≥` [`PARALLEL_FANOUT_MIN_CELLS`]) the lazy
+//! variants fan their `O(n·T)` initial gain/loss queries across the
+//! worker threads of [`cool_common::parallel`]; results are written back
+//! by sensor index, so the heap contents — and therefore the schedule —
+//! are identical to a sequential run.
+//!
+//! # Tie-breaking
+//!
+//! Every implementation in this module shares one total order, pinned by
+//! the `tie_break_*` regression tests and the naive≡lazy property tests:
+//! **the larger gain (or smaller loss) wins; exact ties go to the lower
+//! sensor index, then the lower slot index.** DESIGN.md and the README
+//! defer to this paragraph — it is the single normative statement of the
+//! order.
 
 use crate::errors::ScheduleBuildError;
 use crate::problem::Problem;
 use crate::schedule::{PeriodSchedule, ScheduleMode};
+use cool_common::parallel::{default_sweep_threads, parallel_map};
 use cool_common::SensorId;
 use cool_utility::{Evaluator, UtilityFunction};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Cell count `n·T` above which the lazy variants parallelise their
+/// initial gain/loss fan-out. Below it, thread start-up costs more than
+/// the queries themselves.
+pub const PARALLEL_FANOUT_MIN_CELLS: usize = 4096;
+
+/// Worker threads the auto-tuned lazy entry points use for the initial
+/// fan-out: sequential under the cell threshold, the sweep default above.
+fn fanout_threads(n: usize, slots: usize) -> usize {
+    if n.saturating_mul(slots) >= PARALLEL_FANOUT_MIN_CELLS {
+        default_sweep_threads()
+    } else {
+        1
+    }
+}
+
+/// Computes the initial query matrix `rows[v][t] = query(&evaluators[t],
+/// v)` for a lazy variant, fanned across `threads` workers. Rows come back
+/// indexed by sensor, so downstream heap construction is order-identical
+/// to a sequential pass.
+fn initial_rows<E, F>(evaluators: &[E], n: usize, threads: usize, query: F) -> Vec<Vec<f64>>
+where
+    E: Evaluator + Sync,
+    F: Fn(&E, SensorId) -> f64 + Sync,
+{
+    parallel_map(threads, (0..n).collect(), |v| {
+        evaluators
+            .iter()
+            .map(|eval| query(eval, SensorId(v)))
+            .collect()
+    })
+}
+
 /// Runs Algorithm 1 (or its `ρ ≤ 1` dual) and returns the per-period
-/// schedule. Deterministic: ties break toward the lower slot, then lower
-/// sensor index.
+/// schedule. Deterministic: ties break toward the lower sensor index,
+/// then the lower slot (see the module-level *Tie-breaking* section).
 ///
 /// # Panics
 ///
@@ -77,7 +127,11 @@ pub fn try_greedy_schedule<U: UtilityFunction>(
 ///
 /// As [`greedy_schedule`]; use [`try_greedy_schedule_lazy`] for a
 /// `COOL`-coded error instead.
-pub fn greedy_schedule_lazy<U: UtilityFunction>(problem: &Problem<U>) -> PeriodSchedule {
+pub fn greedy_schedule_lazy<U>(problem: &Problem<U>) -> PeriodSchedule
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
     try_greedy_schedule_lazy(problem).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -86,17 +140,17 @@ pub fn greedy_schedule_lazy<U: UtilityFunction>(problem: &Problem<U>) -> PeriodS
 /// # Errors
 ///
 /// As [`try_greedy_schedule`].
-pub fn try_greedy_schedule_lazy<U: UtilityFunction>(
+pub fn try_greedy_schedule_lazy<U>(
     problem: &Problem<U>,
-) -> Result<PeriodSchedule, ScheduleBuildError> {
+) -> Result<PeriodSchedule, ScheduleBuildError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
     if problem.cycle().rho() > 1.0 {
         greedy_active_lazy(problem.utility(), problem.slots_per_period())
     } else {
-        // Passive-slot allocation has no "stale entries only shrink"
-        // structure for the *minimum* loss (losses can both grow and
-        // shrink as sensors leave slots), so the lazy variant applies only
-        // to the active case; fall back to the exact naive dual.
-        greedy_passive_naive(problem.utility(), problem.slots_per_period())
+        greedy_passive_lazy(problem.utility(), problem.slots_per_period())
     }
 }
 
@@ -232,10 +286,34 @@ pub fn greedy_passive_naive<U: UtilityFunction>(
 /// # Errors
 ///
 /// As [`greedy_active_naive`].
-pub fn greedy_active_lazy<U: UtilityFunction>(
+pub fn greedy_active_lazy<U>(
     utility: &U,
     slots: usize,
-) -> Result<PeriodSchedule, ScheduleBuildError> {
+) -> Result<PeriodSchedule, ScheduleBuildError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
+    let threads = fanout_threads(utility.universe(), slots);
+    greedy_active_lazy_with_threads(utility, slots, threads)
+}
+
+/// [`greedy_active_lazy`] with an explicit worker-thread count for the
+/// initial gain fan-out (`1` forces a sequential pass). Output is
+/// independent of `threads`.
+///
+/// # Errors
+///
+/// As [`greedy_active_naive`].
+pub fn greedy_active_lazy_with_threads<U>(
+    utility: &U,
+    slots: usize,
+    threads: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
     if slots == 0 {
         return Err(ScheduleBuildError::EmptySlotCount);
     }
@@ -245,10 +323,10 @@ pub fn greedy_active_lazy<U: UtilityFunction>(
     let mut assigned = vec![false; n];
     let mut assignment = vec![usize::MAX; n];
 
+    let rows = initial_rows(&evaluators, n, threads, Evaluator::gain);
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n * slots);
-    for v in 0..n {
-        for (t, eval) in evaluators.iter().enumerate() {
-            let gain = eval.gain(SensorId(v));
+    for (v, row) in rows.iter().enumerate() {
+        for (t, &gain) in row.iter().enumerate() {
             if !gain.is_finite() {
                 return Err(ScheduleBuildError::NonFiniteGain {
                     sensor: v,
@@ -309,6 +387,136 @@ pub fn greedy_active_lazy<U: UtilityFunction>(
     }
     Ok(PeriodSchedule::new(
         ScheduleMode::ActiveSlot,
+        slots,
+        assignment,
+    ))
+}
+
+/// Lazy-evaluation ρ ≤ 1 greedy: the CELF *dual* of
+/// [`greedy_active_lazy`], a min-heap over decremental losses.
+///
+/// Correctness mirrors the active case with the inequality flipped. The
+/// loss of removing `v` from slot `t` equals the marginal gain of `v` on
+/// the base set `S_t ∖ {v}`; every pop removes a sensor, so the base only
+/// *shrinks*, and by submodularity marginal gains on smaller bases are
+/// *larger* — a stale recorded loss is therefore a **lower bound** on the
+/// true loss, and popping a fresh minimum is safe (every other entry's
+/// true loss is at least its recorded one, which is at least the popped
+/// minimum). As in the active case, removing from slot `t` only perturbs
+/// `evaluators[t]`, so per-slot version stamps keep other slots exact.
+///
+/// # Errors
+///
+/// As [`greedy_active_naive`].
+pub fn greedy_passive_lazy<U>(
+    utility: &U,
+    slots: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
+    let threads = fanout_threads(utility.universe(), slots);
+    greedy_passive_lazy_with_threads(utility, slots, threads)
+}
+
+/// [`greedy_passive_lazy`] with an explicit worker-thread count for the
+/// full-evaluator build and initial loss fan-out (`1` forces a sequential
+/// pass). Output is independent of `threads`.
+///
+/// # Errors
+///
+/// As [`greedy_active_naive`].
+pub fn greedy_passive_lazy_with_threads<U>(
+    utility: &U,
+    slots: usize,
+    threads: usize,
+) -> Result<PeriodSchedule, ScheduleBuildError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
+    if slots == 0 {
+        return Err(ScheduleBuildError::EmptySlotCount);
+    }
+    let n = utility.universe();
+    // Start with everyone active in every slot; the T full evaluators are
+    // independent, so build them on the fan-out workers too.
+    let mut evaluators: Vec<U::Evaluator> = parallel_map(threads, (0..slots).collect(), |_t| {
+        let mut e = utility.evaluator();
+        for v in 0..n {
+            e.insert(SensorId(v));
+        }
+        e
+    });
+    let mut slot_version = vec![0u32; slots];
+    let mut assigned = vec![false; n];
+    let mut assignment = vec![usize::MAX; n];
+
+    let rows = initial_rows(&evaluators, n, threads, Evaluator::loss);
+    let mut heap: BinaryHeap<PassiveHeapEntry> = BinaryHeap::with_capacity(n * slots);
+    for (v, row) in rows.iter().enumerate() {
+        for (t, &loss) in row.iter().enumerate() {
+            if !loss.is_finite() {
+                return Err(ScheduleBuildError::NonFiniteGain {
+                    sensor: v,
+                    slot: t,
+                    value: loss,
+                });
+            }
+            heap.push(PassiveHeapEntry {
+                loss,
+                slot: t,
+                sensor: v,
+                version: 0,
+            });
+        }
+    }
+
+    let mut remaining = n;
+    while remaining > 0 {
+        let Some(entry) = heap.pop() else {
+            // Unreachable: the heap always holds an entry per unassigned
+            // (sensor, slot) pair. Guard anyway rather than panic.
+            return Err(ScheduleBuildError::EmptySlotCount);
+        };
+        if assigned[entry.sensor] {
+            continue;
+        }
+        if entry.version != slot_version[entry.slot] {
+            // Stale: the slot advanced since this loss was computed.
+            // Submodularity ⇒ the true loss is no smaller; recompute, re-push.
+            let loss = evaluators[entry.slot].loss(SensorId(entry.sensor));
+            if !loss.is_finite() {
+                return Err(ScheduleBuildError::NonFiniteGain {
+                    sensor: entry.sensor,
+                    slot: entry.slot,
+                    value: loss,
+                });
+            }
+            // The dual CELF correctness invariant: stale losses only grow.
+            debug_assert!(
+                loss >= entry.loss - 1e-9,
+                "stale loss shrank from {} to {loss}: utility is not submodular",
+                entry.loss
+            );
+            heap.push(PassiveHeapEntry {
+                loss,
+                slot: entry.slot,
+                sensor: entry.sensor,
+                version: slot_version[entry.slot],
+            });
+            continue;
+        }
+        // Fresh minimal entry: allocate this sensor's passive slot.
+        evaluators[entry.slot].remove(SensorId(entry.sensor));
+        slot_version[entry.slot] += 1;
+        assigned[entry.sensor] = true;
+        assignment[entry.sensor] = entry.slot;
+        remaining -= 1;
+    }
+    Ok(PeriodSchedule::new(
+        ScheduleMode::PassiveSlot,
         slots,
         assignment,
     ))
@@ -382,6 +590,43 @@ impl Ord for HeapEntry {
     }
 }
 
+#[derive(Debug, Clone, Copy)]
+struct PassiveHeapEntry {
+    loss: f64,
+    slot: usize,
+    sensor: usize,
+    version: u32,
+}
+
+impl PartialEq for PassiveHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for PassiveHeapEntry {}
+
+impl PartialOrd for PassiveHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PassiveHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the maximum, so reverse the loss comparison to
+        // get a min-heap; ties prefer LOWER sensor then LOWER slot — the
+        // same total order as `min_by_loss`. Losses are checked finite
+        // before entering the heap.
+        other
+            .loss
+            .partial_cmp(&self.loss)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sensor.cmp(&self.sensor))
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +682,107 @@ mod tests {
                 "trial {trial}: naive and lazy greedy disagree"
             );
         }
+    }
+
+    #[test]
+    fn passive_lazy_matches_naive_on_random_instances() {
+        let seq = SeedSequence::new(34);
+        for trial in 0..20u64 {
+            let mut rng = seq.nth_rng(trial);
+            let n = 3 + (trial as usize % 10);
+            let m = 1 + (trial as usize % 4);
+            let u = crate::instances::random_multi_target(n, m, 0.5, 0.4, &mut rng);
+            let naive = greedy_passive_naive(&u, 4).unwrap();
+            let lazy = greedy_passive_lazy(&u, 4).unwrap();
+            assert_eq!(
+                naive.assignment(),
+                lazy.assignment(),
+                "trial {trial}: naive and lazy passive greedy disagree"
+            );
+            assert_eq!(lazy.mode(), ScheduleMode::PassiveSlot);
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_sensor_then_lower_slot() {
+        // The normative order (module doc): ties go to the lower SENSOR
+        // first, then the lower slot. (sensor 0, slot 1) must beat
+        // (sensor 2, slot 0) at equal gain/loss in every comparator.
+        assert_eq!(max_by_gain((1.0, 2, 0), (1.0, 0, 1)), (1.0, 0, 1));
+        assert_eq!(max_by_gain((1.0, 0, 1), (1.0, 2, 0)), (1.0, 0, 1));
+        assert_eq!(max_by_gain((1.0, 0, 1), (1.0, 0, 2)), (1.0, 0, 1));
+        assert_eq!(min_by_loss((1.0, 2, 0), (1.0, 0, 1)), (1.0, 0, 1));
+        assert_eq!(min_by_loss((1.0, 0, 2), (1.0, 0, 1)), (1.0, 0, 1));
+        // A strictly better value always wins regardless of indices.
+        assert_eq!(max_by_gain((1.0, 0, 0), (2.0, 9, 9)), (2.0, 9, 9));
+        assert_eq!(min_by_loss((1.0, 0, 0), (0.5, 9, 9)), (0.5, 9, 9));
+
+        let entry = |gain, sensor, slot| HeapEntry {
+            gain,
+            sensor,
+            slot,
+            version: 0,
+        };
+        let mut heap = BinaryHeap::from([entry(1.0, 2, 0), entry(1.0, 0, 1), entry(1.0, 0, 2)]);
+        let first = heap.pop().unwrap();
+        assert_eq!((first.sensor, first.slot), (0, 1), "max-heap tie order");
+
+        let pentry = |loss, sensor, slot| PassiveHeapEntry {
+            loss,
+            sensor,
+            slot,
+            version: 0,
+        };
+        let mut pheap = BinaryHeap::from([pentry(1.0, 2, 0), pentry(1.0, 0, 1), pentry(1.0, 0, 2)]);
+        let pfirst = pheap.pop().unwrap();
+        assert_eq!((pfirst.sensor, pfirst.slot), (0, 1), "min-heap tie order");
+        let psecond = pheap.pop().unwrap();
+        assert_eq!((psecond.sensor, psecond.slot), (0, 2));
+    }
+
+    #[test]
+    fn tie_break_pins_assignment_across_all_variants() {
+        // 6 identical sensors over T = 4: every greedy step is a mass tie,
+        // so the schedule is determined entirely by the tie-break order.
+        // Active: sensor v takes the lowest-index emptiest slot → v mod 4.
+        // Passive (everyone starts active everywhere): same spread, since
+        // removing from a fuller slot costs least and ties resolve the
+        // same way.
+        let u = DetectionUtility::uniform(6, 0.4);
+        let expected = vec![0, 1, 2, 3, 0, 1];
+        let runs: [(&str, PeriodSchedule); 4] = [
+            ("active naive", greedy_active_naive(&u, 4).unwrap()),
+            ("active lazy", greedy_active_lazy(&u, 4).unwrap()),
+            (
+                "active lazy threads=4",
+                greedy_active_lazy_with_threads(&u, 4, 4).unwrap(),
+            ),
+            ("passive naive", greedy_passive_naive(&u, 4).unwrap()),
+        ];
+        for (label, s) in runs {
+            assert_eq!(s.assignment(), expected.as_slice(), "{label}");
+        }
+        let passive_expected = greedy_passive_naive(&u, 4).unwrap();
+        for threads in [1usize, 4] {
+            let lazy = greedy_passive_lazy_with_threads(&u, 4, threads).unwrap();
+            assert_eq!(
+                lazy.assignment(),
+                passive_expected.assignment(),
+                "passive lazy threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_fanout_is_deterministic() {
+        let mut rng = SeedSequence::new(77).nth_rng(0);
+        let u = crate::instances::random_multi_target(24, 3, 0.5, 0.4, &mut rng);
+        let active_seq = greedy_active_lazy_with_threads(&u, 5, 1).unwrap();
+        let active_par = greedy_active_lazy_with_threads(&u, 5, 4).unwrap();
+        assert_eq!(active_seq.assignment(), active_par.assignment());
+        let passive_seq = greedy_passive_lazy_with_threads(&u, 5, 1).unwrap();
+        let passive_par = greedy_passive_lazy_with_threads(&u, 5, 4).unwrap();
+        assert_eq!(passive_seq.assignment(), passive_par.assignment());
     }
 
     #[test]
@@ -534,6 +880,21 @@ mod tests {
             let u = crate::instances::random_multi_target(n, 2, 0.5, 0.5, &mut rng);
             let naive = greedy_active_naive(&u, slots).unwrap();
             let lazy = greedy_active_lazy(&u, slots).unwrap();
+            prop_assert_eq!(naive.assignment(), lazy.assignment());
+        }
+
+        /// The passive CELF dual and the naive minimum-loss loop agree on
+        /// every instance (assignment-identical, not just equal utility).
+        #[test]
+        fn passive_lazy_equals_naive(
+            n in 1usize..12,
+            slots in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SeedSequence::new(seed).nth_rng(3);
+            let u = crate::instances::random_multi_target(n, 2, 0.5, 0.5, &mut rng);
+            let naive = greedy_passive_naive(&u, slots).unwrap();
+            let lazy = greedy_passive_lazy(&u, slots).unwrap();
             prop_assert_eq!(naive.assignment(), lazy.assignment());
         }
     }

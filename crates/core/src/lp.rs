@@ -119,7 +119,16 @@ impl LpScheduler {
         self.rounding_trials
     }
 
-    /// Runs the pipeline on a `ρ > 1` problem over [`SumUtility`].
+    /// Runs the pipeline on a problem over [`SumUtility`].
+    ///
+    /// For `ρ > 1` this is the paper's active-slot LP (`Σ_t x(v,t) ≤ 1`
+    /// active slot per period). For `ρ ≤ 1` it solves the **passive
+    /// dual**: `x(v,t)` relaxes the indicator "sensor `v` takes its
+    /// passive slot at `t`" with `Σ_t x(v,t) = 1`, the coverage link
+    /// becomes `y(k,t) + Σ_v q_{k,v}·x(v,t) ≤ Σ_v q_{k,v}` (mass lost to
+    /// the sensors resting at `t`), and rounding samples each sensor's
+    /// passive slot, emitting a [`ScheduleMode::PassiveSlot`] schedule.
+    /// In both regimes `lp_value` upper-bounds `rounded_value`.
     ///
     /// # Errors
     ///
@@ -128,6 +137,19 @@ impl LpScheduler {
     /// malformed utility decomposition).
     pub fn schedule<R: Rng + ?Sized>(
         &self,
+        problem: &Problem<SumUtility>,
+        rng: &mut R,
+    ) -> Result<LpOutcome, SimplexError> {
+        if problem.cycle().rho() > 1.0 {
+            self.schedule_active(problem, rng)
+        } else {
+            self.schedule_passive(problem, rng)
+        }
+    }
+
+    /// `ρ > 1`: one active slot per sensor per period.
+    fn schedule_active<R: Rng + ?Sized>(
+        self,
         problem: &Problem<SumUtility>,
         rng: &mut R,
     ) -> Result<LpOutcome, SimplexError> {
@@ -235,6 +257,142 @@ impl LpScheduler {
         let Some((rounded_value, schedule)) = best else {
             unreachable!("trials >= 1, so at least one rounding attempt ran")
         };
+        // The envelope relaxation dominates every integral assignment.
+        debug_assert!(
+            rounded_value <= solution.objective_value + 1e-6,
+            "rounded value {rounded_value} exceeds LP bound {}",
+            solution.objective_value
+        );
+        Ok(LpOutcome {
+            lp_value: solution.objective_value,
+            schedule,
+            rounded_value,
+        })
+    }
+
+    /// `ρ ≤ 1`: one passive slot per sensor per period (the dual form).
+    #[allow(clippy::too_many_lines)] // one linear recipe: build rows, solve, round, complete
+    fn schedule_passive<R: Rng + ?Sized>(
+        self,
+        problem: &Problem<SumUtility>,
+        rng: &mut R,
+    ) -> Result<LpOutcome, SimplexError> {
+        let utility = problem.utility();
+        let n = problem.n_sensors();
+        let t_slots = problem.slots_per_period();
+
+        let items: Vec<(f64, Vec<f64>)> = utility.parts().iter().flat_map(coverage_items).collect();
+        let k_items = items.len();
+
+        // Variables: x(v,t) = P(sensor v rests at slot t) laid out v*T + t,
+        // then y(k,t) at n*T + k*T + t.
+        let n_x = n * t_slots;
+        let n_vars = n_x + k_items * t_slots;
+        let mut lp = LinearProgram::new(n_vars);
+
+        let mut objective = vec![0.0; n_vars];
+        for (k, (cap, _)) in items.iter().enumerate() {
+            for t in 0..t_slots {
+                objective[n_x + k * t_slots + t] = *cap;
+            }
+        }
+        lp.set_objective(objective);
+
+        // Σ_t x(v,t) = 1 per sensor: everyone rests exactly once.
+        for v in 0..n {
+            let mut row = vec![0.0; n_vars];
+            for t in 0..t_slots {
+                row[v * t_slots + t] = 1.0;
+            }
+            lp.add_constraint(row, Relation::Eq, 1.0);
+        }
+        // y(k,t) ≤ 1 and y(k,t) ≤ Σ_v q_{k,v} (1 − x(v,t)), i.e.
+        // y(k,t) + Σ_v q_{k,v} x(v,t) ≤ Σ_v q_{k,v}.
+        for (k, (_, masses)) in items.iter().enumerate() {
+            let total_mass: f64 = masses.iter().sum();
+            for t in 0..t_slots {
+                let y = n_x + k * t_slots + t;
+                let mut cap_row = vec![0.0; n_vars];
+                cap_row[y] = 1.0;
+                lp.add_constraint(cap_row, Relation::Le, 1.0);
+
+                let mut link = vec![0.0; n_vars];
+                link[y] = 1.0;
+                for (v, &q) in masses.iter().enumerate() {
+                    if q != 0.0 {
+                        link[v * t_slots + t] = q;
+                    }
+                }
+                lp.add_constraint(link, Relation::Le, total_mass);
+            }
+        }
+
+        let solution = lp.solve()?;
+        let x = &solution.x[..n_x];
+
+        // Round by sampling each sensor's passive slot from its LP row;
+        // numerical leftovers fall back to the minimum-loss slot given the
+        // draws so far (resting where it hurts least).
+        let mut best: Option<(f64, PeriodSchedule)> = None;
+        for _ in 0..self.rounding_trials {
+            let mut assignment = vec![usize::MAX; n];
+            let mut evaluators: Vec<_> = (0..t_slots)
+                .map(|_| {
+                    let mut e = utility.evaluator();
+                    for v in 0..n {
+                        e.insert(SensorId(v));
+                    }
+                    e
+                })
+                .collect();
+            for v in 0..n {
+                debug_assert!(
+                    (0..t_slots).all(|t| {
+                        let p = x[v * t_slots + t];
+                        (-1e-9..=1.0 + 1e-9).contains(&p)
+                    }),
+                    "LP passive-slot variables for sensor {v} outside [0, 1]"
+                );
+                debug_assert!(
+                    ((0..t_slots).map(|t| x[v * t_slots + t]).sum::<f64>() - 1.0).abs() <= 1e-6,
+                    "LP passive-slot row for sensor {v} is not a probability row"
+                );
+                let mut u: f64 = rng.random_range(0.0..1.0);
+                for t in 0..t_slots {
+                    let p = x[v * t_slots + t];
+                    if u < p {
+                        assignment[v] = t;
+                        break;
+                    }
+                    u -= p;
+                }
+            }
+            for (v, slot) in assignment.iter_mut().enumerate() {
+                if *slot == usize::MAX {
+                    let (_, best_t) = (0..t_slots)
+                        .map(|t| (evaluators[t].loss(SensorId(v)), t))
+                        .fold(
+                            (f64::INFINITY, 0),
+                            |acc, c| if c.0 < acc.0 { c } else { acc },
+                        );
+                    *slot = best_t;
+                }
+                evaluators[*slot].remove(SensorId(v));
+            }
+            let schedule = PeriodSchedule::new(ScheduleMode::PassiveSlot, t_slots, assignment);
+            let value = schedule.period_utility(utility);
+            if best.as_ref().is_none_or(|(b, _)| value > *b) {
+                best = Some((value, schedule));
+            }
+        }
+        let Some((rounded_value, schedule)) = best else {
+            unreachable!("trials >= 1, so at least one rounding attempt ran")
+        };
+        debug_assert!(
+            rounded_value <= solution.objective_value + 1e-6,
+            "rounded value {rounded_value} exceeds LP bound {}",
+            solution.objective_value
+        );
         Ok(LpOutcome {
             lp_value: solution.objective_value,
             schedule,
@@ -340,5 +498,73 @@ mod tests {
     #[should_panic(expected = "at least one rounding trial")]
     fn zero_trials_panics() {
         let _ = LpScheduler::new(0);
+    }
+
+    #[test]
+    fn passive_lp_schedules_fast_recharge_problems() {
+        // Regression (promoted from examples/bugprobe.rs, probe 1): the
+        // scheduler used to emit an ActiveSlot plan regardless of ρ, which
+        // is infeasible on a ρ ≤ 1 cycle. The passive dual must produce a
+        // feasible PassiveSlot schedule bounded by the LP value.
+        let u = SumUtility::multi_target_detection(&[SensorSet::full(6)], 0.4);
+        let cycle = ChargeCycle::from_rho(0.5, 10.0).unwrap();
+        let p = Problem::new(u, cycle, 1).unwrap();
+        let out = LpScheduler::new(4).schedule(&p, &mut rng()).unwrap();
+        assert_eq!(out.schedule.mode(), ScheduleMode::PassiveSlot);
+        assert!(out.schedule.is_feasible(p.cycle()));
+        assert!(
+            out.rounded_value <= out.lp_value + 1e-9,
+            "rounded {} must not exceed LP bound {}",
+            out.rounded_value,
+            out.lp_value
+        );
+        assert!(out.rounded_value > 0.0);
+    }
+
+    #[test]
+    fn passive_lp_value_upper_bounds_passive_optimum() {
+        let u = SumUtility::multi_target_detection(&[SensorSet::full(5)], 0.4);
+        let cycle = ChargeCycle::from_rho(1.0 / 3.0, 10.0).unwrap();
+        let p = Problem::new(u, cycle, 1).unwrap();
+        let out = LpScheduler::new(8).schedule(&p, &mut rng()).unwrap();
+        let opt = crate::optimal::exhaustive_optimal(
+            p.utility(),
+            p.slots_per_period(),
+            ScheduleMode::PassiveSlot,
+        );
+        let opt_value = opt.period_utility(p.utility());
+        assert!(
+            out.lp_value + 1e-9 >= opt_value,
+            "LP {} should dominate passive OPT {}",
+            out.lp_value,
+            opt_value
+        );
+        assert!(out.rounded_value <= opt_value + 1e-9);
+    }
+
+    #[test]
+    fn rounded_value_never_exceeds_lp_value() {
+        // Regression (promoted from examples/bugprobe.rs, probe 3): the
+        // envelope relaxation upper-bounds every rounded draw, including
+        // greedy-completed ones, in both ρ regimes.
+        let mut r = rng();
+        for seed in 0..8u64 {
+            let mut trial_rng = SeedSequence::new(seed).nth_rng(4);
+            let u = crate::instances::random_multi_target(6, 2, 0.5, 0.4, &mut trial_rng);
+            for cycle in [
+                ChargeCycle::paper_sunny(),
+                ChargeCycle::from_rho(0.5, 10.0).unwrap(),
+            ] {
+                let p = Problem::new(u.clone(), cycle, 1).unwrap();
+                let out = LpScheduler::new(16).schedule(&p, &mut r).unwrap();
+                assert!(
+                    out.rounded_value <= out.lp_value + 1e-9,
+                    "seed {seed} rho {}: rounded {} > lp {}",
+                    cycle.rho(),
+                    out.rounded_value,
+                    out.lp_value
+                );
+            }
+        }
     }
 }

@@ -81,7 +81,11 @@ pub struct AdaptivePolicy<U> {
     replans: usize,
 }
 
-impl<U: UtilityFunction> AdaptivePolicy<U> {
+impl<U> AdaptivePolicy<U>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
     /// Creates the policy with an initial cycle (planning immediately).
     pub fn new(utility: U, cycle: ChargeCycle) -> Self {
         let current = Self::plan(&utility, cycle);
@@ -99,7 +103,7 @@ impl<U: UtilityFunction> AdaptivePolicy<U> {
         let planned = if cycle.rho() > 1.0 {
             greedy::greedy_active_lazy(utility, cycle.slots_per_period())
         } else {
-            greedy::greedy_passive_naive(utility, cycle.slots_per_period())
+            greedy::greedy_passive_lazy(utility, cycle.slots_per_period())
         };
         planned.unwrap_or_else(|e| panic!("{e}"))
     }

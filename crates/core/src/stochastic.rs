@@ -53,17 +53,21 @@ pub fn rho_prime_cycle(model: &RandomChargeModel) -> Result<ChargeCycle, CycleEr
 /// # Errors
 ///
 /// Propagates [`CycleError`] from [`rho_prime_cycle`].
-pub fn stochastic_greedy<U: UtilityFunction>(
+pub fn stochastic_greedy<U>(
     utility: &U,
     model: &RandomChargeModel,
-) -> Result<(ChargeCycle, PeriodSchedule), CycleError> {
+) -> Result<(ChargeCycle, PeriodSchedule), CycleError>
+where
+    U: UtilityFunction + Sync,
+    U::Evaluator: Send + Sync,
+{
     let cycle = rho_prime_cycle(model)?;
     // A valid `ChargeCycle` always has ≥ 2 slots, so only a non-finite
     // utility can fail here.
     let schedule = if cycle.rho() > 1.0 {
         greedy::greedy_active_lazy(utility, cycle.slots_per_period())
     } else {
-        greedy::greedy_passive_naive(utility, cycle.slots_per_period())
+        greedy::greedy_passive_lazy(utility, cycle.slots_per_period())
     };
     Ok((cycle, schedule.unwrap_or_else(|e| panic!("{e}"))))
 }
@@ -75,7 +79,10 @@ pub enum StochasticLpError {
     Cycle(CycleError),
     /// The LP solve failed.
     Lp(crate::simplex::SimplexError),
-    /// The `ρ'` cycle has `ρ' ≤ 1`, which the LP scheduler does not cover.
+    /// The **raw** ratio `ρ' ≤ 1`, which the §V LP pipeline does not
+    /// cover. The check uses the un-quantised `ρ'`: a ratio like 1.3
+    /// rounds down to a cycle with `ρ = 1`, but it is still a
+    /// slow-recharge regime and must not be rejected.
     FastRecharge,
 }
 
@@ -110,10 +117,13 @@ pub fn stochastic_lp<R: Rng + ?Sized>(
     rounding_trials: usize,
     rng: &mut R,
 ) -> Result<(ChargeCycle, PeriodSchedule), StochasticLpError> {
-    let cycle = rho_prime_cycle(model).map_err(StochasticLpError::Cycle)?;
-    if cycle.rho() <= 1.0 {
+    // Gate on the RAW ratio, not the quantised cycle: ρ' ∈ (1, 1.5)
+    // rounds to a cycle with ρ = 1 (where active-slot scheduling is still
+    // feasible), and rejecting it here would silently drop the boundary.
+    if model.rho_prime() <= 1.0 {
         return Err(StochasticLpError::FastRecharge);
     }
+    let cycle = rho_prime_cycle(model).map_err(StochasticLpError::Cycle)?;
     let problem = crate::problem::Problem::new(utility.clone(), cycle, 1)
         .unwrap_or_else(|e| unreachable!("non-empty utility and one period: {e}"));
     let outcome = crate::lp::LpScheduler::new(rounding_trials)
@@ -313,6 +323,25 @@ mod tests {
         let u = cool_utility::SumUtility::multi_target_detection(&[SensorSet::full(8)], 0.4);
         let mut rng = SeedSequence::new(72).nth_rng(0);
         let (cycle, schedule) = stochastic_lp(&u, &model(), 8, &mut rng).unwrap();
+        assert!(schedule.is_feasible(cycle));
+    }
+
+    #[test]
+    fn stochastic_lp_accepts_rho_prime_just_above_one() {
+        // Regression (promoted from examples/bugprobe.rs): ρ' = 1.3
+        // quantises to a cycle with ρ = 1, and the old gate on the
+        // *quantised* ratio wrongly returned FastRecharge for this
+        // slow-recharge model. The raw-ρ' gate must let it through and
+        // produce a feasible plan on the ρ = 1 cycle.
+        use cool_common::SensorSet;
+        let u = cool_utility::SumUtility::multi_target_detection(&[SensorSet::full(6)], 0.4);
+        // T̄_d = 15/(0.2·2) … = 37.5 min, T̄_r = 48.75 min → ρ' = 1.3.
+        let m = RandomChargeModel::new(15.0, 0.2, 2.0, 48.75, 1.0).unwrap();
+        assert!((m.rho_prime() - 1.3).abs() < 1e-9);
+        let mut rng = SeedSequence::new(74).nth_rng(0);
+        let (cycle, schedule) = stochastic_lp(&u, &m, 8, &mut rng)
+            .expect("rho' in (1, 1.5) is slow-recharge and must be accepted");
+        assert!((cycle.rho() - 1.0).abs() < 1e-12, "quantises to rho = 1");
         assert!(schedule.is_feasible(cycle));
     }
 

@@ -29,6 +29,11 @@ const MAX_ROUNDING_TRIALS: usize = 256;
 pub enum Algorithm {
     /// Lazy (CELF) greedy — the paper's Algorithm 1, ½-approximate.
     Greedy,
+    /// Explicit alias for the lazy greedy. Same computation as
+    /// [`Algorithm::Greedy`] (identical schedules), but a distinct
+    /// selector — and therefore a distinct cache entry — so clients can
+    /// pin the lazy path by name and the two stay separately observable.
+    GreedyLazy,
     /// LP relaxation + randomised rounding (§IV-A.1).
     LpRounding {
         /// Independent rounding passes; the best schedule wins.
@@ -59,10 +64,11 @@ impl Algorithm {
         };
         match name {
             "greedy" => Ok(Algorithm::Greedy),
+            "greedy-lazy" | "greedy_lazy" | "lazy" => Ok(Algorithm::GreedyLazy),
             "lp-rounding" | "lp_rounding" | "lp" => Ok(Algorithm::LpRounding { trials }),
             "horizon" => Ok(Algorithm::Horizon),
             other => Err(ApiError::malformed(format!(
-                "unknown algorithm `{other}` (expected greedy | lp-rounding | horizon)"
+                "unknown algorithm `{other}` (expected greedy | greedy-lazy | lp-rounding | horizon)"
             ))),
         }
     }
@@ -72,6 +78,7 @@ impl Algorithm {
     pub fn selector(&self) -> String {
         match self {
             Algorithm::Greedy => "greedy".into(),
+            Algorithm::GreedyLazy => "greedy-lazy".into(),
             Algorithm::LpRounding { trials } => format!("lp-rounding:{trials}"),
             Algorithm::Horizon => "horizon".into(),
         }
@@ -82,6 +89,7 @@ impl Algorithm {
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::Greedy => "greedy",
+            Algorithm::GreedyLazy => "greedy-lazy",
             Algorithm::LpRounding { .. } => "lp-rounding",
             Algorithm::Horizon => "horizon",
         }
@@ -406,9 +414,9 @@ pub fn compute_response(
     );
 
     let average = match algorithm {
-        Algorithm::Greedy | Algorithm::LpRounding { .. } => {
+        Algorithm::Greedy | Algorithm::GreedyLazy | Algorithm::LpRounding { .. } => {
             let (schedule, lp_extra) = match algorithm {
-                Algorithm::Greedy => (greedy_schedule_lazy(problem), None),
+                Algorithm::Greedy | Algorithm::GreedyLazy => (greedy_schedule_lazy(problem), None),
                 Algorithm::LpRounding { trials } => {
                     // RNG stream 2: streams 0/1 are taken by instance
                     // generation and the random baseline, so rounding stays
@@ -582,6 +590,7 @@ mod tests {
         let text = "sensors = 12\ntargets = 2\nregion = 100\nradius = 40\n";
         for algorithm in [
             Algorithm::Greedy,
+            Algorithm::GreedyLazy,
             Algorithm::LpRounding { trials: 4 },
             Algorithm::Horizon,
         ] {
@@ -599,6 +608,7 @@ mod tests {
         let s = Scenario::default();
         let keys: Vec<CacheKey> = [
             Algorithm::Greedy,
+            Algorithm::GreedyLazy,
             Algorithm::LpRounding { trials: 16 },
             Algorithm::LpRounding { trials: 8 },
             Algorithm::Horizon,
@@ -610,6 +620,67 @@ mod tests {
             for j in (i + 1)..keys.len() {
                 assert_ne!(keys[i], keys[j]);
             }
+        }
+    }
+
+    #[test]
+    fn greedy_lazy_parses_and_matches_greedy_schedule() {
+        for name in ["greedy-lazy", "greedy_lazy", "lazy"] {
+            let it = item(&format!("{{\"scenario\":\"\",\"algorithm\":\"{name}\"}}"));
+            assert_eq!(it.algorithm, Algorithm::GreedyLazy, "{name}");
+        }
+        // Same scenario, distinct selectors, identical assignment.
+        let text = "sensors = 16\ntargets = 2\nregion = 100\nradius = 40\n";
+        let it = item(&format!("{{\"scenario\":{}}}", escape(text)));
+        let (scenario, warnings) = resolve_and_lint(&it).unwrap();
+        let greedy = compute_response(&scenario, &Algorithm::Greedy, &warnings).unwrap();
+        let lazy = compute_response(&scenario, &Algorithm::GreedyLazy, &warnings).unwrap();
+        assert_ne!(
+            cache_key(&scenario, &Algorithm::Greedy),
+            cache_key(&scenario, &Algorithm::GreedyLazy)
+        );
+        let extract = |body: &str| {
+            json::parse(body)
+                .unwrap()
+                .get("schedule")
+                .and_then(|s| s.get("assignment"))
+                .map(|a| format!("{a:?}"))
+                .unwrap()
+        };
+        assert_eq!(extract(&greedy), extract(&lazy));
+        assert!(greedy.contains("\"algorithm\":\"greedy\""));
+        assert!(lazy.contains("\"algorithm\":\"greedy-lazy\""));
+    }
+
+    #[test]
+    fn tie_break_order_survives_response_rendering() {
+        // Every sensor covers the single target identically (radius ≥
+        // region diagonal), so all greedy gains tie and the response's
+        // assignment is exactly the documented tie-break order: sensor v
+        // takes slot v mod T. A regression guard for the serve replay of
+        // the cool-core tie-break contract.
+        let text = "sensors = 6\ntargets = 1\nregion = 10\nradius = 1000\n";
+        let it = item(&format!("{{\"scenario\":{}}}", escape(text)));
+        let (scenario, warnings) = resolve_and_lint(&it).unwrap();
+        let t_slots = scenario.build().unwrap().cycle.slots_per_period();
+        let expected: Vec<usize> = (0..6).map(|v| v % t_slots).collect();
+        for algorithm in [Algorithm::Greedy, Algorithm::GreedyLazy] {
+            let body = compute_response(&scenario, &algorithm, &warnings).unwrap();
+            let assignment = json::parse(&body)
+                .unwrap()
+                .get("schedule")
+                .and_then(|s| s.get("assignment"))
+                .map(|a| format!("{a:?}"))
+                .unwrap();
+            assert_eq!(
+                assignment,
+                format!(
+                    "{:?}",
+                    Value::Array(expected.iter().map(|&t| Value::Number(t as f64)).collect())
+                ),
+                "{} tie-break drifted",
+                algorithm.name()
+            );
         }
     }
 

@@ -146,6 +146,38 @@ mod tests {
     }
 
     #[test]
+    fn replace_at_capacity_does_not_evict() {
+        // Re-inserting an existing key while the cache is full must
+        // replace in place: no eviction, and the other resident survives.
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.len(), cache.capacity());
+        let evicted = cache.insert("a", 10);
+        assert_eq!(evicted, None, "replacement must not evict");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&"a"), Some(10));
+        assert_eq!(cache.get(&"b"), Some(2), "bystander entry survives");
+    }
+
+    #[test]
+    fn greedy_and_greedy_lazy_selectors_are_distinct_keys() {
+        // Same canonical scenario, different algorithm selector → two
+        // cache entries that never alias.
+        let canonical = "sensors = 10\n".to_string();
+        let greedy = CacheKey::new(canonical.clone(), "greedy".into());
+        let lazy = CacheKey::new(canonical, "greedy-lazy".into());
+        assert_ne!(greedy, lazy);
+        assert_ne!(greedy.hash, lazy.hash);
+        let mut cache = LruCache::new(4);
+        cache.insert(greedy.clone(), "body-greedy");
+        cache.insert(lazy.clone(), "body-lazy");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&greedy), Some("body-greedy"));
+        assert_eq!(cache.get(&lazy), Some("body-lazy"));
+    }
+
+    #[test]
     fn zero_capacity_clamps_to_one() {
         let mut cache = LruCache::new(0);
         assert_eq!(cache.capacity(), 1);

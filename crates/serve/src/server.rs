@@ -511,6 +511,47 @@ mod tests {
     }
 
     #[test]
+    fn greedy_and_greedy_lazy_occupy_distinct_cache_entries() {
+        let state = test_state(ServerConfig::default());
+        let greedy = r#"{"scenario":"sensors = 12\ntargets = 2\n","algorithm":"greedy"}"#;
+        let lazy = r#"{"scenario":"sensors = 12\ntargets = 2\n","algorithm":"greedy-lazy"}"#;
+        let (status, extra, greedy_body) = route(
+            &state,
+            &request("POST", "/v1/schedule", greedy),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{greedy_body}");
+        assert_eq!(extra[0].1, "miss");
+        let (status, extra, lazy_body) = route(
+            &state,
+            &request("POST", "/v1/schedule", lazy),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{lazy_body}");
+        assert_eq!(extra[0].1, "miss", "distinct selector must not hit");
+        assert_eq!(state.metrics.cache_misses.get(), 2);
+        assert_eq!(state.metrics.cache_hits.get(), 0);
+        // Same schedule either way — only the algorithm label differs.
+        let assignment = |body: &str| {
+            cool_common::json::parse(body)
+                .unwrap()
+                .get("schedule")
+                .and_then(|s| s.get("assignment"))
+                .map(|a| format!("{a:?}"))
+                .unwrap()
+        };
+        assert_eq!(assignment(&greedy_body), assignment(&lazy_body));
+        // Replays hit their own entries.
+        let (_, extra, replay) = route(
+            &state,
+            &request("POST", "/v1/schedule", lazy),
+            Instant::now(),
+        );
+        assert_eq!(extra[0].1, "hit");
+        assert_eq!(replay, lazy_body, "cache hit must be byte-identical");
+    }
+
+    #[test]
     fn schedule_batch_mixes_success_and_failure() {
         let state = test_state(ServerConfig::default());
         let body = r#"{"batch":[

@@ -5,9 +5,11 @@
 //!
 //! Checks, in order: `/healthz` answers; `POST /v1/schedule` returns the
 //! same average utility as [`Scenario::run`]; an identical second request
-//! is a recorded cache hit with a byte-identical body; a lint-rejected
-//! scenario comes back 422 with a COOL code; `/metrics` exposes the
-//! request/latency/cache/queue series; shutdown drains cleanly.
+//! is a recorded cache hit with a byte-identical body; the `greedy-lazy`
+//! selector answers from its own cache entry (miss) with the same
+//! utility; a lint-rejected scenario comes back 422 with a COOL code;
+//! `/metrics` exposes the request/latency/cache/queue series; shutdown
+//! drains cleanly.
 
 use crate::client;
 use crate::server::{Server, ServerConfig};
@@ -65,6 +67,36 @@ fn drive(addr: SocketAddr, scenario_text: &str, expected_average: f64) -> Result
     }
     if second.body != first.body {
         return Err("cache hit body differs from cold compute".to_string());
+    }
+
+    // The explicit lazy selector: a fresh cache entry (miss, not a hit on
+    // the `greedy` entry) that must agree with `greedy` on the utility.
+    let lazy_body = format!(
+        "{{\"scenario\":{},\"algorithm\":\"greedy-lazy\"}}",
+        escape(scenario_text)
+    );
+    let lazy = client::request(addr, "POST", "/v1/schedule", &[], &lazy_body)
+        .map_err(|e| format!("greedy-lazy request failed: {e}"))?;
+    if lazy.status != 200 {
+        return Err(format!(
+            "greedy-lazy returned {}: {}",
+            lazy.status, lazy.body
+        ));
+    }
+    if lazy.header("x-cool-cache") != Some("miss") {
+        return Err("greedy-lazy must occupy its own cache entry".to_string());
+    }
+    let lazy_doc =
+        json::parse(&lazy.body).map_err(|e| format!("greedy-lazy body is not JSON: {e}"))?;
+    let lazy_served = lazy_doc
+        .get("utility")
+        .and_then(|u| u.get("average_per_target_slot"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "greedy-lazy body lacks utility.average_per_target_slot".to_string())?;
+    if (lazy_served - expected_average).abs() > 1e-12 {
+        return Err(format!(
+            "greedy-lazy utility {lazy_served} disagrees with greedy {expected_average}"
+        ));
     }
 
     let rejected = post_schedule(addr, "recharge_minutes = 40\n")?;
