@@ -1,0 +1,408 @@
+//! Serve-layer fault injection: drive a real `cool-serve` daemon over raw
+//! sockets with hostile clients — torn request bodies, slow-loris stalls,
+//! protocol garbage, queue saturation, mid-request shutdown — and assert
+//! the fault contract: **every answered fault carries a typed `COOL-Exxx`
+//! status, and no fault corrupts the schedule cache.**
+//!
+//! Violations are reported as `COOL-E023` (`fault-contract-violated`).
+//! Probes run against two live daemons on ephemeral ports: a main server
+//! (tiny worker pool and queue, generous budget) and a short-budget server
+//! used only for the slow-loris probe.
+
+use crate::oracle::Violation;
+use cool_common::CoolCode;
+use cool_serve::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Client-side socket timeout — generous so only a truly unresponsive
+/// daemon trips it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The scenario used by the baseline/cache probes.
+const BASELINE_SCENARIO: &str = "sensors = 9\\ntargets = 2\\n";
+/// A distinct scenario for the saturation probe.
+const SLOW_SCENARIO: &str = "sensors = 6\\n";
+
+/// Outcome of the fault-injection pass.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Probes executed.
+    pub probes_run: usize,
+    /// Contract violations (empty on a healthy daemon).
+    pub violations: Vec<Violation>,
+}
+
+impl FaultReport {
+    /// `true` when every probe upheld the contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A parsed HTTP exchange.
+struct Exchange {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+/// Boots a daemon on an ephemeral port.
+fn boot(mut config: ServerConfig) -> Result<(SocketAddr, JoinHandle<std::io::Result<()>>), String> {
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let handle = std::thread::spawn(move || server.run());
+    Ok((addr, handle))
+}
+
+/// Sends raw bytes, optionally half-closing the write side, and reads the
+/// full response.
+fn raw_exchange(addr: SocketAddr, request: &[u8], half_close: bool) -> Result<Exchange, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .write_all(request)
+        .map_err(|e| format!("write: {e}"))?;
+    if half_close {
+        stream
+            .shutdown(Shutdown::Write)
+            .map_err(|e| format!("half-close: {e}"))?;
+    }
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header separator in response: {raw:?}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head:?}"))?;
+    Ok(Exchange {
+        status,
+        head: head.to_string(),
+        body: body.to_string(),
+    })
+}
+
+/// One well-formed request (the shape every probe perturbs).
+fn well_formed(method: &str, path: &str, headers: &[(&str, &str)], body: &str) -> Vec<u8> {
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: check\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        let _ = write!(request, "{name}: {value}\r\n");
+    }
+    request.push_str("\r\n");
+    request.push_str(body);
+    request.into_bytes()
+}
+
+fn schedule_body(scenario_escaped: &str) -> String {
+    format!("{{\"scenario\":\"{scenario_escaped}\"}}")
+}
+
+/// Runs the full fault-probe battery and reports contract violations.
+#[allow(clippy::too_many_lines)] // one probe after another, linear and flat
+pub fn run_fault_probes() -> FaultReport {
+    let mut violations = Vec::new();
+    let mut probes = 0usize;
+    let fail = |relation: &'static str, detail: String| Violation {
+        code: CoolCode::FaultContractViolated,
+        relation,
+        detail,
+    };
+
+    // Main daemon: one worker, one queue slot, generous budget.
+    let main = boot(ServerConfig {
+        threads: 1,
+        queue_cap: 1,
+        cache_cap: 16,
+        timeout_ms: 10_000,
+        test_hooks: true,
+        ..ServerConfig::default()
+    });
+    let (addr, handle) = match main {
+        Ok(pair) => pair,
+        Err(e) => {
+            violations.push(fail("fault-boot", e));
+            return FaultReport {
+                probes_run: probes,
+                violations,
+            };
+        }
+    };
+
+    // --- Probe 1: baseline happy path (also seeds the cache). ---
+    probes += 1;
+    let baseline_request = well_formed(
+        "POST",
+        "/v1/schedule",
+        &[],
+        &schedule_body(BASELINE_SCENARIO),
+    );
+    let baseline = match raw_exchange(addr, &baseline_request, false) {
+        Ok(x) if x.status == 200 && x.head.contains("x-cool-cache: miss") => Some(x),
+        Ok(x) => {
+            violations.push(fail(
+                "fault-baseline",
+                format!("expected 200 cold miss, got {} ({})", x.status, x.body),
+            ));
+            None
+        }
+        Err(e) => {
+            violations.push(fail("fault-baseline", e));
+            None
+        }
+    };
+
+    // --- Probe 2: torn body — Content-Length promised, bytes withheld. ---
+    probes += 1;
+    let torn = b"POST /v1/schedule HTTP/1.1\r\nhost: check\r\ncontent-length: 64\r\nconnection: close\r\n\r\nshort".to_vec();
+    match raw_exchange(addr, &torn, true) {
+        Ok(x) if x.status == 400 && x.body.contains("COOL-E019") => {}
+        Ok(x) => violations.push(fail(
+            "fault-torn-body",
+            format!(
+                "expected typed 400 COOL-E019, got {} ({})",
+                x.status, x.body
+            ),
+        )),
+        Err(e) => violations.push(fail(
+            "fault-torn-body",
+            format!("no answer to torn body: {e}"),
+        )),
+    }
+
+    // --- Probe 3: protocol garbage. ---
+    probes += 1;
+    match raw_exchange(addr, b"GARBAGE\r\n\r\n", false) {
+        Ok(x) if x.status == 400 && x.body.contains("COOL-E019") => {}
+        Ok(x) => violations.push(fail(
+            "fault-garbage",
+            format!(
+                "expected typed 400 COOL-E019, got {} ({})",
+                x.status, x.body
+            ),
+        )),
+        Err(e) => violations.push(fail("fault-garbage", format!("no answer to garbage: {e}"))),
+    }
+
+    // --- Probe 4: queue saturation — six concurrent slow requests against
+    // one worker and a one-slot queue. Which requests are shed is timing-
+    // dependent; the contract is that every answer is 200 or a typed 429,
+    // and at least one of each occurs. ---
+    probes += 1;
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let request = well_formed(
+                    "POST",
+                    "/v1/schedule",
+                    &[("x-cool-test-sleep-ms", "300")],
+                    &schedule_body(SLOW_SCENARIO),
+                );
+                raw_exchange(addr, &request, false)
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(x)) => match x.status {
+                200 => served += 1,
+                429 if x.body.contains("COOL-E018") => shed += 1,
+                status => violations.push(fail(
+                    "fault-queue-saturation",
+                    format!("untyped or unexpected answer {status}: {}", x.body),
+                )),
+            },
+            Ok(Err(e)) => violations.push(fail(
+                "fault-queue-saturation",
+                format!("no answer under saturation: {e}"),
+            )),
+            Err(_) => violations.push(fail(
+                "fault-queue-saturation",
+                "probe thread panicked".to_string(),
+            )),
+        }
+    }
+    if served == 0 || shed == 0 {
+        violations.push(fail(
+            "fault-queue-saturation",
+            format!("expected both served and shed requests, got {served} served / {shed} shed"),
+        ));
+    }
+
+    // --- Probe 5: cache integrity after the faults — the baseline replay
+    // must be a byte-identical hit, and the daemon still healthy. ---
+    probes += 1;
+    if let Some(baseline) = &baseline {
+        match raw_exchange(addr, &baseline_request, false) {
+            Ok(x)
+                if x.status == 200
+                    && x.head.contains("x-cool-cache: hit")
+                    && x.body == baseline.body => {}
+            Ok(x) => violations.push(fail(
+                "fault-cache-integrity",
+                format!(
+                    "cache replay corrupted: status {}, hit={}, identical={}",
+                    x.status,
+                    x.head.contains("x-cool-cache: hit"),
+                    x.body == baseline.body
+                ),
+            )),
+            Err(e) => violations.push(fail("fault-cache-integrity", e)),
+        }
+    }
+    match raw_exchange(addr, &well_formed("GET", "/healthz", &[], ""), false) {
+        Ok(x) if x.status == 200 => {}
+        Ok(x) => violations.push(fail(
+            "fault-cache-integrity",
+            format!("healthz degraded after faults: {}", x.status),
+        )),
+        Err(e) => violations.push(fail("fault-cache-integrity", format!("healthz: {e}"))),
+    }
+
+    // --- Probe 6: mid-request shutdown — an accepted slow request must
+    // drain to 200, and the listener must actually close. ---
+    probes += 1;
+    let slow = std::thread::spawn(move || {
+        let request = well_formed(
+            "POST",
+            "/v1/schedule",
+            &[("x-cool-test-sleep-ms", "400")],
+            &schedule_body(SLOW_SCENARIO),
+        );
+        raw_exchange(addr, &request, false)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    match raw_exchange(addr, &well_formed("POST", "/v1/shutdown", &[], ""), false) {
+        Ok(x) if x.status == 200 => {}
+        Ok(x) => violations.push(fail(
+            "fault-shutdown-drain",
+            format!("shutdown answered {}", x.status),
+        )),
+        Err(e) => violations.push(fail("fault-shutdown-drain", format!("shutdown: {e}"))),
+    }
+    match slow.join() {
+        Ok(Ok(x)) if x.status == 200 => {}
+        Ok(Ok(x)) => violations.push(fail(
+            "fault-shutdown-drain",
+            format!(
+                "in-flight request dropped on shutdown: {} ({})",
+                x.status, x.body
+            ),
+        )),
+        Ok(Err(e)) => violations.push(fail(
+            "fault-shutdown-drain",
+            format!("in-flight request got no answer: {e}"),
+        )),
+        Err(_) => violations.push(fail(
+            "fault-shutdown-drain",
+            "slow probe thread panicked".to_string(),
+        )),
+    }
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => violations.push(fail(
+            "fault-shutdown-drain",
+            format!("server loop errored: {e}"),
+        )),
+        Err(_) => violations.push(fail(
+            "fault-shutdown-drain",
+            "server thread panicked".to_string(),
+        )),
+    }
+    if TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_ok() {
+        violations.push(fail(
+            "fault-shutdown-drain",
+            "listener still accepting after shutdown".to_string(),
+        ));
+    }
+
+    // --- Probe 7: slow loris against a short-budget daemon — a stalled
+    // request must get a typed 408 when its budget expires. ---
+    probes += 1;
+    match boot(ServerConfig {
+        threads: 1,
+        queue_cap: 4,
+        timeout_ms: 250,
+        test_hooks: false,
+        ..ServerConfig::default()
+    }) {
+        Ok((loris_addr, loris_handle)) => {
+            // A partial request line, then silence — no half-close: EOF
+            // would read as a truncated request (400), not a stall (408).
+            match raw_exchange(loris_addr, b"POST /v1/sched", false) {
+                Ok(x) if x.status == 408 && x.body.contains("COOL-E017") => {}
+                Ok(x) => violations.push(fail(
+                    "fault-slow-loris",
+                    format!(
+                        "expected typed 408 COOL-E017, got {} ({})",
+                        x.status, x.body
+                    ),
+                )),
+                Err(e) => violations.push(fail(
+                    "fault-slow-loris",
+                    format!("stalled client got no answer: {e}"),
+                )),
+            }
+            match raw_exchange(
+                loris_addr,
+                &well_formed("POST", "/v1/shutdown", &[], ""),
+                false,
+            ) {
+                Ok(x) if x.status == 200 => {}
+                Ok(x) => violations.push(fail(
+                    "fault-slow-loris",
+                    format!("loris daemon shutdown answered {}", x.status),
+                )),
+                Err(e) => violations.push(fail(
+                    "fault-slow-loris",
+                    format!("loris daemon shutdown: {e}"),
+                )),
+            }
+            if let Ok(Err(e)) = loris_handle.join() {
+                violations.push(fail(
+                    "fault-slow-loris",
+                    format!("loris server loop errored: {e}"),
+                ));
+            }
+        }
+        Err(e) => violations.push(fail("fault-slow-loris", e)),
+    }
+
+    FaultReport {
+        probes_run: probes,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_battery_is_clean_on_a_healthy_daemon() {
+        let report = run_fault_probes();
+        assert_eq!(report.probes_run, 7);
+        assert!(
+            report.is_clean(),
+            "fault contract violations: {:#?}",
+            report.violations
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! # cool-check
+//!
+//! Deterministic differential-testing and fault-injection harness for the
+//! whole scheduler stack (DESIGN.md §9).
+//!
+//! One run (`cool check --seed N`) does four things:
+//!
+//! 1. **Generate** — derive a batch of scenarios from the seed, covering
+//!    both charging regimes and every utility family ([`gen`]).
+//! 2. **Cross-examine** — run naive greedy, lazy greedy, LP rounding, the
+//!    horizon scheduler, and (on tiny instances) the exhaustive optimum on
+//!    each case, asserting every relation that is a theorem of this
+//!    codebase ([`oracle`]).
+//! 3. **Shrink** — minimise any failing case to the smallest scenario that
+//!    still violates the same relation, rendered as a reproducible
+//!    `scenarios/`-format file ([`shrink`]).
+//! 4. **Fault-inject** — batter a live `cool-serve` daemon with hostile
+//!    clients and assert the typed-error and cache-integrity contract
+//!    ([`fault`]).
+//!
+//! Everything except the serve probes is a pure function of the seed: the
+//! same seed produces byte-identical output, and a shrunk counterexample
+//! file replays with `cool check --replay FILE`.
+
+pub mod fault;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use fault::{run_fault_probes, FaultReport};
+pub use gen::{generate_cases, CheckCase, CheckInstance, UtilityFamily};
+pub use oracle::{check_case, CaseOutcome, OracleSettings, Violation};
+pub use shrink::{parse_counterexample, render_counterexample, shrink_case};
+
+use std::fmt::Write as _;
+
+/// Harness configuration (mirrors the `cool check` CLI flags).
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Root seed; the entire batch derives from it.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: usize,
+    /// LP rounding trials per case.
+    pub lp_trials: usize,
+    /// Required greedy/optimal ratio on tiny cases (Lemma 4.1 proves ½).
+    pub ratio: f64,
+    /// Run the serve-layer fault battery.
+    pub serve_faults: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            seed: 42,
+            cases: 12,
+            lp_trials: 8,
+            ratio: 0.5,
+            serve_faults: true,
+        }
+    }
+}
+
+impl CheckConfig {
+    fn oracle_settings(&self) -> OracleSettings {
+        OracleSettings {
+            lp_trials: self.lp_trials,
+            ratio: self.ratio,
+        }
+    }
+}
+
+/// A shrunk, renderable counterexample.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Suggested file name (`cool-check-case<i>-<relation>.txt`).
+    pub file_name: String,
+    /// The `scenarios/`-format file contents (with `check_*` directives).
+    pub contents: String,
+    /// The relation the file reproduces.
+    pub relation: String,
+    /// Index of the originating case.
+    pub case_index: usize,
+}
+
+/// Everything one harness run produced.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-case one-line summaries, in case order.
+    pub case_lines: Vec<String>,
+    /// Every violation, prefixed with its case label.
+    pub violations: Vec<String>,
+    /// Harness-level errors (a case that failed to build or a scheduler
+    /// that failed outright) — counted as failures.
+    pub errors: Vec<String>,
+    /// Shrunk counterexamples for the CLI to write out.
+    pub counterexamples: Vec<Counterexample>,
+    /// Total relations evaluated.
+    pub relations_checked: usize,
+    /// Cases evaluated.
+    pub cases_checked: usize,
+    /// Fault probes run (0 when the battery is skipped).
+    pub fault_probes: usize,
+}
+
+impl RunReport {
+    /// `true` when no relation was violated and no harness error occurred.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// Deterministic human-readable rendering (no timings, no paths): the
+    /// same seed renders byte-identical text run over run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.case_lines {
+            let _ = writeln!(out, "{line}");
+        }
+        for violation in &self.violations {
+            let _ = writeln!(out, "FAIL {violation}");
+        }
+        for error in &self.errors {
+            let _ = writeln!(out, "ERROR {error}");
+        }
+        if self.fault_probes > 0 {
+            let _ = writeln!(out, "serve-faults: {} probes", self.fault_probes);
+        }
+        let verdict = if self.is_clean() { "ok" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "summary: {} cases, {} relations, {} violations, {} errors — {verdict}",
+            self.cases_checked,
+            self.relations_checked,
+            self.violations.len(),
+            self.errors.len()
+        );
+        out
+    }
+}
+
+/// Checks one case into the report, shrinking any violation.
+fn run_case(case: &CheckCase, label: &str, settings: &OracleSettings, report: &mut RunReport) {
+    match check_case(case, settings) {
+        Ok(outcome) => {
+            report.cases_checked += 1;
+            report.relations_checked += outcome.relations_checked;
+            let verdict = if outcome.is_clean() { "ok" } else { "FAIL" };
+            report.case_lines.push(format!(
+                "{label}: family={} sensors={} targets={} relations={}{} — {verdict}",
+                case.family,
+                case.scenario.sensors,
+                case.scenario.targets,
+                outcome.relations_checked,
+                if outcome.tiny { " tiny" } else { "" },
+            ));
+            let mut shrunk_relations: Vec<&str> = Vec::new();
+            for violation in &outcome.violations {
+                report.violations.push(format!("{label}: {violation}"));
+                if shrunk_relations.contains(&violation.relation) {
+                    continue; // one counterexample per (case, relation)
+                }
+                shrunk_relations.push(violation.relation);
+                let (small, steps) = shrink_case(case, violation.relation, settings);
+                report.counterexamples.push(Counterexample {
+                    file_name: format!("cool-check-case{}-{}.txt", case.index, violation.relation),
+                    contents: render_counterexample(&small, violation.relation),
+                    relation: violation.relation.to_string(),
+                    case_index: case.index,
+                });
+                report.case_lines.push(format!(
+                    "{label}: shrunk {} → {} sensors in {steps} steps for {}",
+                    case.scenario.sensors, small.scenario.sensors, violation.relation
+                ));
+            }
+        }
+        Err(e) => {
+            report.cases_checked += 1;
+            report.errors.push(format!("{label}: {e}"));
+        }
+    }
+}
+
+/// Runs the full harness: generate → cross-examine → shrink → fault-inject.
+pub fn run(config: &CheckConfig) -> RunReport {
+    let settings = config.oracle_settings();
+    let mut report = RunReport::default();
+    for case in generate_cases(config.seed, config.cases) {
+        let label = format!("case {}", case.index);
+        run_case(&case, &label, &settings, &mut report);
+    }
+    if config.serve_faults {
+        let faults = run_fault_probes();
+        report.fault_probes = faults.probes_run;
+        for violation in faults.violations {
+            report.violations.push(format!("serve: {violation}"));
+        }
+    }
+    report
+}
+
+/// Replays a counterexample (or plain scenario) file.
+///
+/// When the file carries a `check_relation` directive, the verdict is
+/// about that specific relation: clean means the relation no longer fails
+/// (e.g. after a fix); a violation means the file still reproduces it.
+///
+/// # Errors
+///
+/// Returns a rendered message for unparsable files.
+pub fn replay(text: &str, config: &CheckConfig) -> Result<RunReport, String> {
+    let (case, relation) = parse_counterexample(text)?;
+    let settings = config.oracle_settings();
+    let mut report = RunReport::default();
+    run_case(&case, "replay", &settings, &mut report);
+    if let Some(relation) = relation {
+        let reproduced = report
+            .violations
+            .iter()
+            .any(|v| v.contains(&format!(" {relation}: ")));
+        report.case_lines.push(format!(
+            "replay: relation {relation} {}",
+            if reproduced {
+                "still reproduces"
+            } else {
+                "no longer fails"
+            }
+        ));
+        // The verdict of a replay is scoped to the named relation.
+        report
+            .violations
+            .retain(|v| v.contains(&format!(" {relation}: ")));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> CheckConfig {
+        CheckConfig {
+            cases: 6,
+            serve_faults: false,
+            ..CheckConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_run_is_clean_and_deterministic() {
+        let config = quick_config();
+        let first = run(&config);
+        assert!(first.is_clean(), "{}", first.render());
+        assert_eq!(first.cases_checked, 6);
+        let second = run(&config);
+        assert_eq!(first.render(), second.render(), "non-deterministic output");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_reports() {
+        let a = run(&quick_config());
+        let b = run(&CheckConfig {
+            seed: 43,
+            ..quick_config()
+        });
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn impossible_ratio_fails_shrinks_and_replays() {
+        let config = CheckConfig {
+            ratio: 1.01,
+            ..quick_config()
+        };
+        let report = run(&config);
+        assert!(!report.is_clean());
+        assert!(!report.counterexamples.is_empty(), "{}", report.render());
+        let ce = &report.counterexamples[0];
+        assert_eq!(ce.relation, "greedy-ratio");
+
+        // The shrunk file must reproduce under the same settings…
+        let replayed = replay(&ce.contents, &config).unwrap();
+        assert!(
+            replayed
+                .case_lines
+                .iter()
+                .any(|l| l.contains("still reproduces")),
+            "{}",
+            replayed.render()
+        );
+        assert!(!replayed.is_clean());
+
+        // …and come up clean once the "bug" (the absurd ratio) is fixed.
+        let fixed = replay(&ce.contents, &quick_config()).unwrap();
+        assert!(fixed.is_clean(), "{}", fixed.render());
+    }
+
+    #[test]
+    fn render_reports_the_verdict() {
+        let report = run(&quick_config());
+        let text = report.render();
+        assert!(text.contains("summary: 6 cases"));
+        assert!(text.trim_end().ends_with("ok"));
+    }
+}

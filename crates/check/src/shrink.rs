@@ -1,0 +1,199 @@
+//! Greedy counterexample shrinking: given a failing case, search for the
+//! smallest scenario that still violates the *same* relation, and render it
+//! as a reproducible `scenarios/`-format file.
+//!
+//! The shrinker is a deterministic greedy fixpoint: at each step it tries a
+//! fixed list of reductions (fewer sensors, fewer targets, one period,
+//! smaller region); a reduction is kept iff the reduced case still fails
+//! the same relation. Candidates that fail a *different* relation (or
+//! fail to build) are rejected — the minimised file must reproduce the
+//! original finding, not merely *a* finding.
+
+use crate::gen::{CheckCase, UtilityFamily};
+use crate::oracle::{check_case, OracleSettings};
+use cool_scenario::Scenario;
+
+/// Directive key naming the utility family in a counterexample file.
+pub const FAMILY_DIRECTIVE: &str = "check_family";
+/// Directive key naming the violated relation in a counterexample file.
+pub const RELATION_DIRECTIVE: &str = "check_relation";
+
+/// Does `case` still violate `relation`?
+fn still_fails(case: &CheckCase, relation: &str, settings: &OracleSettings) -> bool {
+    check_case(case, settings).is_ok_and(|o| o.violations.iter().any(|v| v.relation == relation))
+}
+
+/// All single-step reductions of a scenario, in the order they are tried
+/// (large bites first, then single steps).
+fn reductions(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut Scenario)| {
+        let mut r = s.clone();
+        f(&mut r);
+        if r != *s {
+            out.push(r);
+        }
+    };
+    if s.sensors > 1 {
+        push(&|r| r.sensors = (r.sensors / 2).max(1));
+        push(&|r| r.sensors -= 1);
+    }
+    if s.targets > 1 {
+        push(&|r| r.targets = (r.targets / 2).max(1));
+        push(&|r| r.targets -= 1);
+    }
+    // One period is the shortest meaningful horizon.
+    let one_period_hours = (s.discharge_minutes + s.recharge_minutes + 1.0) / 60.0;
+    if s.hours > one_period_hours {
+        push(&|r| r.hours = (r.discharge_minutes + r.recharge_minutes + 1.0) / 60.0);
+    }
+    if s.region > 100.0 {
+        push(&|r| r.region = (r.region / 2.0).max(100.0));
+    }
+    out
+}
+
+/// Greedily shrinks `case` while it keeps violating `relation`. Returns
+/// the smallest failing case found (possibly the input itself) and the
+/// number of successful reduction steps.
+pub fn shrink_case(
+    case: &CheckCase,
+    relation: &str,
+    settings: &OracleSettings,
+) -> (CheckCase, usize) {
+    debug_assert!(still_fails(case, relation, settings));
+    let mut current = case.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut advanced = false;
+        for scenario in reductions(&current.scenario) {
+            let candidate = CheckCase {
+                index: current.index,
+                scenario,
+                family: current.family,
+            };
+            if still_fails(&candidate, relation, settings) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, steps);
+        }
+    }
+}
+
+/// Renders a shrunk case as a `scenarios/`-format file. The family and
+/// relation ride in comment directives [`Scenario::parse`] ignores, so the
+/// file is simultaneously a valid scenario and a self-describing
+/// counterexample.
+pub fn render_counterexample(case: &CheckCase, relation: &str) -> String {
+    format!(
+        "# cool-check counterexample — reproduce with: cool check --replay <this file>\n\
+         # {FAMILY_DIRECTIVE} = {}\n\
+         # {RELATION_DIRECTIVE} = {}\n\
+         {}",
+        case.family.slug(),
+        relation,
+        case.scenario.canonical()
+    )
+}
+
+/// Parses a counterexample file back into a case plus the relation it
+/// reproduces (`None` when the file carries no relation directive — plain
+/// scenario files are accepted and checked against every relation).
+///
+/// # Errors
+///
+/// Returns a rendered message for an unparsable scenario or an unknown
+/// family slug.
+pub fn parse_counterexample(text: &str) -> Result<(CheckCase, Option<String>), String> {
+    let scenario = Scenario::parse(text).map_err(|e| e.to_string())?;
+    let mut family = UtilityFamily::Detection;
+    let mut relation = None;
+    for line in text.lines() {
+        let Some(comment) = line.trim().strip_prefix('#') else {
+            continue;
+        };
+        let Some((key, value)) = comment.split_once('=') else {
+            continue;
+        };
+        match key.trim() {
+            FAMILY_DIRECTIVE => family = value.trim().parse()?,
+            RELATION_DIRECTIVE => relation = Some(value.trim().to_string()),
+            _ => {}
+        }
+    }
+    Ok((
+        CheckCase {
+            index: 0,
+            scenario,
+            family,
+        },
+        relation,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_cases;
+
+    #[test]
+    fn counterexample_round_trips() {
+        let case = &generate_cases(9, 5)[4];
+        let text = render_counterexample(case, "greedy-ratio");
+        let (parsed, relation) = parse_counterexample(&text).unwrap();
+        assert_eq!(parsed.scenario, case.scenario);
+        assert_eq!(parsed.family, case.family);
+        assert_eq!(relation.as_deref(), Some("greedy-ratio"));
+    }
+
+    #[test]
+    fn plain_scenario_files_are_accepted() {
+        let (case, relation) = parse_counterexample("sensors = 5\nseed = 3\n").unwrap();
+        assert_eq!(case.scenario.sensors, 5);
+        assert_eq!(case.family, UtilityFamily::Detection);
+        assert!(relation.is_none());
+    }
+
+    #[test]
+    fn unknown_family_directive_is_an_error() {
+        let err = parse_counterexample("# check_family = quantum\nsensors = 5\n").unwrap_err();
+        assert!(err.contains("quantum"));
+    }
+
+    #[test]
+    fn shrinker_minimises_an_impossible_ratio_failure() {
+        // ratio > 1 fails on (almost) every tiny case, so the shrinker has
+        // room to bite: it must reach a strictly smaller scenario and every
+        // intermediate acceptance must preserve the failing relation.
+        let settings = OracleSettings {
+            ratio: 1.01,
+            ..OracleSettings::default()
+        };
+        let case = generate_cases(42, 12)
+            .into_iter()
+            .filter(|c| c.build().unwrap().tiny)
+            .find(|c| {
+                check_case(c, &settings)
+                    .is_ok_and(|o| o.violations.iter().any(|v| v.relation == "greedy-ratio"))
+            })
+            .expect("an impossible ratio must fail somewhere");
+        let (small, steps) = shrink_case(&case, "greedy-ratio", &settings);
+        assert!(still_fails(&small, "greedy-ratio", &settings));
+        assert!(small.scenario.sensors <= case.scenario.sensors);
+        assert!(steps == 0 || small.scenario != case.scenario);
+        // Fixpoint: no reduction of the result still fails.
+        for scenario in reductions(&small.scenario) {
+            let candidate = CheckCase {
+                index: 0,
+                scenario,
+                family: small.family,
+            };
+            assert!(!still_fails(&candidate, "greedy-ratio", &settings));
+        }
+    }
+}

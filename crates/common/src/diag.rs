@@ -77,6 +77,21 @@ pub enum CoolCode {
     /// COOL-E019: a service request body is not valid JSON, misses a
     /// required field, or names an unknown algorithm (HTTP 400).
     MalformedRequest,
+    /// COOL-E020: two scheduler implementations required to agree exactly
+    /// (naive vs lazy greedy, including tie-break order) produced different
+    /// schedules on the same instance.
+    DifferentialMismatch,
+    /// COOL-E021: a proven dominance or bound relation between schedulers
+    /// was violated (e.g. a rounded schedule above its LP relaxation, or
+    /// greedy below its approximation factor of the exhaustive optimum).
+    OracleBoundViolated,
+    /// COOL-E022: a value-preserving transformation (sensor relabeling,
+    /// slot rotation, uniform weight scaling) changed a schedule's value.
+    MetamorphicVariance,
+    /// COOL-E023: the serving daemon violated its fault-handling contract —
+    /// a fault probe got no typed `COOL` status, or a fault corrupted the
+    /// schedule cache.
+    FaultContractViolated,
     /// COOL-W001: an unknown scenario key (ignored by the parser).
     UnknownScenarioKey,
     /// COOL-W002: a scenario key assigned more than once (last wins).
@@ -117,6 +132,10 @@ impl CoolCode {
             CoolCode::RequestTimeout => "COOL-E017",
             CoolCode::ServiceOverloaded => "COOL-E018",
             CoolCode::MalformedRequest => "COOL-E019",
+            CoolCode::DifferentialMismatch => "COOL-E020",
+            CoolCode::OracleBoundViolated => "COOL-E021",
+            CoolCode::MetamorphicVariance => "COOL-E022",
+            CoolCode::FaultContractViolated => "COOL-E023",
             CoolCode::UnknownScenarioKey => "COOL-W001",
             CoolCode::DuplicateScenarioKey => "COOL-W002",
             CoolCode::DiskCoversRegion => "COOL-W003",
@@ -149,6 +168,10 @@ impl CoolCode {
             CoolCode::RequestTimeout => "request-timeout",
             CoolCode::ServiceOverloaded => "service-overloaded",
             CoolCode::MalformedRequest => "malformed-request",
+            CoolCode::DifferentialMismatch => "differential-mismatch",
+            CoolCode::OracleBoundViolated => "oracle-bound-violated",
+            CoolCode::MetamorphicVariance => "metamorphic-variance",
+            CoolCode::FaultContractViolated => "fault-contract-violated",
             CoolCode::UnknownScenarioKey => "unknown-scenario-key",
             CoolCode::DuplicateScenarioKey => "duplicate-scenario-key",
             CoolCode::DiskCoversRegion => "disk-covers-region",
@@ -188,6 +211,10 @@ impl CoolCode {
             CoolCode::RequestTimeout,
             CoolCode::ServiceOverloaded,
             CoolCode::MalformedRequest,
+            CoolCode::DifferentialMismatch,
+            CoolCode::OracleBoundViolated,
+            CoolCode::MetamorphicVariance,
+            CoolCode::FaultContractViolated,
             CoolCode::UnknownScenarioKey,
             CoolCode::DuplicateScenarioKey,
             CoolCode::DiskCoversRegion,
@@ -239,7 +266,7 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 19);
+        assert_eq!(errors, 23);
         assert_eq!(warnings, 6);
     }
 

@@ -146,6 +146,23 @@ impl PeriodSchedule {
             .sum()
     }
 
+    /// The schedule shifted by `offset` slots within the period (assigned
+    /// slots move to `(slot + offset) mod T`, mode unchanged). Rotation
+    /// permutes a period's active sets, so [`period_utility`](Self::period_utility)
+    /// is invariant — the slot-rotation metamorphic oracle in `cool-check`
+    /// relies on this, and a rotated schedule stays feasible for any cycle
+    /// the original was feasible for (period boundaries are arbitrary).
+    #[must_use]
+    pub fn rotated(&self, offset: usize) -> PeriodSchedule {
+        let t = self.slots_per_period;
+        let assignment = self.assignment.iter().map(|&s| (s + offset) % t).collect();
+        PeriodSchedule {
+            mode: self.mode,
+            slots_per_period: t,
+            assignment,
+        }
+    }
+
     /// Verifies energy feasibility by driving every sensor's
     /// [`NodeEnergyMachine`] through two full periods of this schedule:
     /// every activation request must be honoured (the battery is never
@@ -280,6 +297,19 @@ mod tests {
         assert!(passive.is_feasible(cycle));
         // They describe the same activation pattern.
         assert_eq!(active.active_set(0), passive.active_set(0));
+    }
+
+    #[test]
+    fn rotation_permutes_active_sets_and_preserves_utility() {
+        let s = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0, 1, 1, 3]);
+        let u = DetectionUtility::uniform(4, 0.4);
+        for offset in 0..8 {
+            let r = s.rotated(offset);
+            assert_eq!(r.active_set(offset % 4), s.active_set(0));
+            assert!((r.period_utility(&u) - s.period_utility(&u)).abs() < 1e-12);
+            assert!(r.is_feasible(ChargeCycle::paper_sunny()), "offset {offset}");
+        }
+        assert_eq!(s.rotated(4), s, "full rotation is the identity");
     }
 
     #[test]

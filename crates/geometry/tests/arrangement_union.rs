@@ -1,0 +1,119 @@
+//! Property test: the subregion areas of an arrangement partition the
+//! covered part of `Ω`, so they must sum to the union area of the sensing
+//! disks — checked against three independent measurements under random
+//! deployments (cool-check satellite, DESIGN.md §9).
+
+use cool_geometry::deployment::disks_at;
+use cool_geometry::{Arrangement, DeploymentKind, DeploymentSpec, Point, Rect, Region};
+
+use cool_common::SeedSequence;
+use rand::Rng;
+
+/// One randomised deployment drawn from the seed stream.
+struct UnionCase {
+    omega: Rect,
+    disks: Vec<cool_geometry::Disk>,
+}
+
+fn random_cases(seed: u64, count: usize) -> Vec<UnionCase> {
+    let seeds = SeedSequence::new(seed);
+    (0..count)
+        .map(|i| {
+            let mut rng = seeds.nth_rng(i as u64);
+            let side = 100.0 + 50.0 * f64::from(rng.random_range(0..3u32));
+            let omega = Rect::square(side);
+            let n = rng.random_range(4..=16usize);
+            let kind = match i % 3 {
+                0 => DeploymentKind::UniformRandom,
+                1 => DeploymentKind::Grid,
+                _ => DeploymentKind::JitteredGrid { jitter: 0.3 },
+            };
+            let positions = DeploymentSpec::new(omega, n, kind).generate(&mut rng);
+            let radius = side * (0.12 + 0.08 * rng.random::<f64>());
+            UnionCase {
+                omega,
+                disks: disks_at(&positions, radius),
+            }
+        })
+        .collect()
+}
+
+/// Monte-Carlo estimate of the disk-union area inside `omega`.
+fn sampled_union_area(case: &UnionCase, samples: usize, rng: &mut impl Rng) -> f64 {
+    let mut covered = 0usize;
+    for _ in 0..samples {
+        let p = Point::new(
+            case.omega.min().x + rng.random::<f64>() * case.omega.width(),
+            case.omega.min().y + rng.random::<f64>() * case.omega.height(),
+        );
+        if case.disks.iter().any(|d| d.contains(p)) {
+            covered += 1;
+        }
+    }
+    case.omega.area() * covered as f64 / samples as f64
+}
+
+#[test]
+fn subregion_areas_sum_to_the_union_area() {
+    let seeds = SeedSequence::new(7);
+    for (i, case) in random_cases(7, 8).iter().enumerate() {
+        let arr = Arrangement::build(case.omega, &case.disks, 256);
+        let sum: f64 = arr.subregions().iter().map(|s| s.area).sum();
+
+        // Internal consistency: the ≥1-covered area *is* the union, and the
+        // subregions partition it exactly (same grid cells, no overlap).
+        let union = arr.area_covered_at_least(1);
+        assert!(
+            (sum - union).abs() <= 1e-9 * case.omega.area(),
+            "case {i}: Σ|A_j| = {sum} but union = {union}"
+        );
+
+        // The union can never exceed Ω or the total disk area.
+        let disk_area: f64 = case
+            .disks
+            .iter()
+            .map(|d| std::f64::consts::PI * d.radius() * d.radius())
+            .sum();
+        assert!(sum <= case.omega.area() + 1e-9, "case {i}: union exceeds Ω");
+        assert!(
+            sum <= disk_area + 1e-9,
+            "case {i}: union exceeds Σ disk areas"
+        );
+
+        // Independent measurement #1: the adaptive quadtree builder settles
+        // uniform cells exactly, so its union must agree with the grid's to
+        // within boundary error (a few percent at these resolutions).
+        let adaptive = Arrangement::build_adaptive(case.omega, &case.disks, 8);
+        let adaptive_sum: f64 = adaptive.subregions().iter().map(|s| s.area).sum();
+        let tol = 0.03 * case.omega.area();
+        assert!(
+            (sum - adaptive_sum).abs() <= tol,
+            "case {i}: grid union {sum} vs adaptive union {adaptive_sum}"
+        );
+
+        // Independent measurement #2: Monte-Carlo point sampling.
+        let mut rng = seeds.child(1).nth_rng(i as u64);
+        let sampled = sampled_union_area(case, 20_000, &mut rng);
+        assert!(
+            (sum - sampled).abs() <= tol.max(0.05 * sum),
+            "case {i}: grid union {sum} vs sampled union {sampled}"
+        );
+    }
+}
+
+#[test]
+fn union_area_is_monotone_in_the_deployment() {
+    // Adding a disk can only grow (or keep) the union — checked across a
+    // growing prefix of one random deployment.
+    let case = &random_cases(11, 1)[0];
+    let mut previous = 0.0;
+    for k in 1..=case.disks.len() {
+        let arr = Arrangement::build(case.omega, &case.disks[..k], 128);
+        let union = arr.area_covered_at_least(1);
+        assert!(
+            union + 1e-9 >= previous,
+            "union shrank from {previous} to {union} at k={k}"
+        );
+        previous = union;
+    }
+}

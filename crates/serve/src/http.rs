@@ -136,7 +136,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
         return Err(ReadError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        // A peer that promises Content-Length bytes and half-closes early
+        // is malformed, not a transport failure — with TCP half-close the
+        // peer can still read the typed 400 the server sends back.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ReadError::BadRequest("truncated request body")
+        } else {
+            ReadError::Io(e)
+        }
+    })?;
 
     Ok(Request {
         method: method.to_ascii_uppercase(),
@@ -243,6 +252,14 @@ mod tests {
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ReadError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_bad_request_not_io() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"),
+            Err(ReadError::BadRequest("truncated request body"))
         ));
     }
 

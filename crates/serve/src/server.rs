@@ -211,7 +211,29 @@ fn handle_connection(state: &AppState, stream: TcpStream, accepted_at: Instant) 
 
     let request = match read_request(&mut reader) {
         Ok(request) => request,
-        Err(ReadError::Closed | ReadError::Io(_)) => return,
+        Err(ReadError::Closed) => return,
+        Err(ReadError::Io(e)) => {
+            // A peer stalling mid-request (slow loris) trips the socket
+            // read timeout; answer a typed 408 best-effort so the client
+            // sees the budget expire rather than a bare FIN.
+            if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) {
+                state.metrics.timeouts.inc();
+                let err = ApiError::timeout(u128::from(state.config.timeout_ms));
+                respond(
+                    state,
+                    &mut stream,
+                    "other",
+                    accepted_at,
+                    err.status,
+                    &[],
+                    &err.body(),
+                );
+            }
+            return;
+        }
         Err(ReadError::BadRequest(message)) => {
             let err = ApiError::malformed(message);
             respond(

@@ -11,6 +11,9 @@
 //! cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N]
 //!            [--timeout-ms N] [--smoke scenario.txt]
 //!                                                # HTTP scheduling daemon
+//! cool check [--seed N] [--cases N] [--lp-trials N] [--ratio R]
+//!            [--no-serve] [--out DIR] [--replay FILE]
+//!                                                # differential-testing harness
 //! cool --version                                 # print the version
 //! ```
 //!
@@ -19,6 +22,7 @@
 //! values (a non-numeric `--threads`, a `--set` without `key=value`, …)
 //! exit 2 with a message naming the offending flag.
 
+use cool::check::CheckConfig;
 use cool::common::SeedSequence;
 use cool::energy::{
     core_window_stability, estimate_pattern, fit_pattern, HarvestConfig, HarvestTrace, Weather,
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("check") => check(&args[1..]),
         _ => usage(),
     }
 }
@@ -365,6 +370,82 @@ fn serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `cool check` — the deterministic differential-testing harness.
+/// Exit codes: 0 every relation held, 1 any violation or harness error,
+/// 2 usage problems.
+fn check(args: &[String]) -> ExitCode {
+    let mut config = CheckConfig::default();
+    let mut out_dir: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => return flag_error("--seed needs a non-negative integer"),
+            },
+            "--cases" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.cases = n,
+                _ => return flag_error("--cases needs a positive integer"),
+            },
+            "--lp-trials" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.lp_trials = n,
+                _ => return flag_error("--lp-trials needs a positive integer"),
+            },
+            "--ratio" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 && r.is_finite() => config.ratio = r,
+                _ => return flag_error("--ratio needs a positive number"),
+            },
+            "--no-serve" => config.serve_faults = false,
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    return flag_error("--out needs a directory path");
+                };
+                out_dir = Some(dir.clone());
+            }
+            "--replay" => {
+                let Some(path) = iter.next() else {
+                    return flag_error("--replay needs a counterexample file");
+                };
+                replay_path = Some(path.clone());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let report = match replay_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => return flag_error(format!("--replay: cannot read {path}: {e}")),
+            };
+            match cool::check::replay(&text, &config) {
+                Ok(report) => report,
+                Err(e) => return flag_error(format!("--replay {path}: {e}")),
+            }
+        }
+        None => cool::check::run(&config),
+    };
+
+    emit(&report.render());
+    for ce in &report.counterexamples {
+        let dir = out_dir.clone().unwrap_or_else(|| ".".to_string());
+        let path = std::path::Path::new(&dir).join(&ce.file_name);
+        match std::fs::write(&path, &ce.contents) {
+            Ok(()) => eprintln!("wrote counterexample {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cool run [scenario.txt] [--set key=value]... \
@@ -374,6 +455,8 @@ fn usage() -> ExitCode {
          | cool estimate <trace.csv> [--discharge M] [--capacity MAH] \
          | cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N] \
          [--timeout-ms N] [--smoke scenario.txt] \
+         | cool check [--seed N] [--cases N] [--lp-trials N] [--ratio R] \
+         [--no-serve] [--out DIR] [--replay FILE] \
          | cool --version"
     );
     ExitCode::from(2)

@@ -18,6 +18,7 @@
 //! | [`lint`] | `cool-lint` | static invariant analysis with `COOL-Exxx` diagnostics |
 //! | [`scenario`] | `cool-scenario` | declarative `key = value` scenario files |
 //! | [`serve`] | `cool-serve` | HTTP/1.1 JSON scheduling daemon with caching + metrics |
+//! | [`check`] | `cool-check` | differential-testing + fault-injection harness |
 //! | [`testbed`] | `cool-testbed` | the simulated rooftop testbed |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@
 //! `cargo run -p cool-bench --bin repro -- list` for the paper-figure
 //! reproduction harness.
 
+pub use cool_check as check;
 pub use cool_common as common;
 pub use cool_core as core;
 pub use cool_energy as energy;

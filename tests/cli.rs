@@ -271,3 +271,99 @@ fn bundled_scenarios_run() {
         assert!(avg <= bound + 1e-9, "{file}: {avg} > {bound}");
     }
 }
+
+#[test]
+fn check_is_byte_for_byte_reproducible() {
+    let run = || {
+        cool()
+            .args(["check", "--seed", "42", "--cases", "4", "--no-serve"])
+            .output()
+            .expect("binary runs")
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = run();
+    assert_eq!(
+        first.stdout, second.stdout,
+        "same seed must render byte-identical output"
+    );
+    let text = String::from_utf8_lossy(&first.stdout).to_string();
+    assert!(text.contains("summary: 4 cases"), "{text}");
+    assert!(text.trim_end().ends_with("ok"), "{text}");
+}
+
+#[test]
+fn check_flags_follow_the_exit_2_contract() {
+    for (args, flag) in [
+        (vec!["check", "--seed", "soon"], "--seed"),
+        (vec!["check", "--cases", "0"], "--cases"),
+        (vec!["check", "--ratio", "-1"], "--ratio"),
+        (vec!["check", "--lp-trials", "few"], "--lp-trials"),
+        (vec!["check", "--replay", "/nonexistent/ce.txt"], "--replay"),
+    ] {
+        let out = cool().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(flag), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn check_replays_a_written_counterexample() {
+    // An impossible ratio manufactures a violation; the shrunk file it
+    // writes must replay (exit 1, "still reproduces") under the same
+    // settings and come up clean under the defaults.
+    let dir = std::env::temp_dir().join(format!("cool_cli_check_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let out = cool()
+        .args([
+            "check",
+            "--seed",
+            "42",
+            "--cases",
+            "3",
+            "--ratio",
+            "1.01",
+            "--no-serve",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "impossible ratio must fail");
+
+    let ce = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().contains("greedy-ratio"))
+        })
+        .expect("a greedy-ratio counterexample was written");
+
+    let out = cool()
+        .args(["check", "--ratio", "1.01", "--no-serve", "--out"])
+        .arg(&dir)
+        .arg("--replay")
+        .arg(&ce)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("still reproduces"), "{text}");
+
+    let out = cool()
+        .args(["check", "--no-serve", "--out"])
+        .arg(&dir)
+        .arg("--replay")
+        .arg(&ce)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "fixed ratio must replay clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
