@@ -11,6 +11,7 @@ pub mod horizon;
 pub mod kcover;
 pub mod lp;
 pub mod perf_greedy;
+pub mod perf_sparse;
 pub mod randmodel;
 pub mod region;
 pub mod testbed30;
@@ -18,7 +19,7 @@ pub mod testbed30;
 use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "fig7",
     "fig8",
     "headline",
@@ -33,6 +34,7 @@ pub const ALL: [&str; 14] = [
     "region",
     "kcover",
     "perf_greedy",
+    "perf_sparse",
 ];
 
 /// Dispatches an experiment by id.
@@ -54,6 +56,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
         "region" => Some(region::run(seed)),
         "kcover" => Some(kcover::run(seed)),
         "perf_greedy" => Some(perf_greedy::run(seed)),
+        "perf_sparse" => Some(perf_sparse::run(seed)),
         _ => None,
     }
 }

@@ -19,6 +19,8 @@
 //! | `rotate-invariant` | `COOL-E022` | rotating a schedule within the period preserves its value and feasibility |
 //! | `relabel-eval` | `COOL-E022` | relabeling sensors and the utility together preserves a schedule's value |
 //! | `scale-exact` | `COOL-E022` | scaling weights by a power of two scales the greedy value exactly and keeps the assignment |
+//! | `sparse-dense-equal` | `COOL-E024` | sparse (incidence-indexed) and dense sum evaluators agree on a random insert/remove/gain/loss trace — gains/losses bitwise, values within `EXACT_TOL` |
+//! | `support-zero-gain` | `COOL-E024` | sparse gain/loss is **exactly** 0 for every sensor outside the sum's support, at every trace state |
 //!
 //! A note on what is deliberately **not** asserted: the *value achieved by
 //! greedy* is not relabeling-invariant. On tie-heavy instances (e.g. the
@@ -30,7 +32,7 @@
 //! to one tie order instead.
 
 use crate::gen::CheckCase;
-use cool_common::{CoolCode, SeedSequence};
+use cool_common::{CoolCode, SeedSequence, SensorId};
 use cool_core::greedy::{
     greedy_active_naive, greedy_passive_naive, try_greedy_schedule, try_greedy_schedule_lazy,
 };
@@ -39,7 +41,8 @@ use cool_core::lp::LpScheduler;
 use cool_core::optimal::exhaustive_optimal;
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
 use cool_lint::{lint_horizon, lint_schedule, Report};
-use cool_utility::{SumUtility, UtilityFunction};
+use cool_utility::{Evaluator, SumUtility, UtilityFunction};
+use rand::Rng;
 use std::fmt;
 
 /// Absolute tolerance for inequality relations between independently
@@ -358,6 +361,76 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
                     scaled.assignment()
                 ),
             });
+        }
+    }
+
+    // --- E024: sparse (incidence-indexed) vs dense evaluator agreement. ---
+    // A seeded random insert/remove/gain/loss trace over the case's own
+    // (mixed-family) sum utility. Gains/losses must match bitwise — the
+    // sparse walk visits the incident parts in the dense walk's order and
+    // skipped parts contribute an exact 0.0 — and the running Kahan value
+    // must track the dense from-scratch sum within EXACT_TOL. Outside the
+    // support, sparse gain/loss must be *exactly* zero at every state.
+    {
+        let n = utility.universe();
+        let support = utility.support();
+        let mut trace_rng = SeedSequence::new(case.scenario.seed).nth_rng(13);
+        let mut sparse = utility.evaluator();
+        let mut dense = utility.dense_evaluator();
+        checked += 2;
+        'trace: for step in 0..64u32 {
+            let v = SensorId(trace_rng.random_range(0..n));
+            let add: bool = trace_rng.random();
+            let (s, d) = if add {
+                (sparse.insert(v), dense.insert(v))
+            } else {
+                (sparse.remove(v), dense.remove(v))
+            };
+            let probe = SensorId(trace_rng.random_range(0..n));
+            // Deltas and gains/losses must be *exactly* equal (IEEE `==`,
+            // no tolerance — only the sign of zero may differ, from empty
+            // vs. non-empty summation); the running value gets EXACT_TOL
+            // for Kahan-vs-from-scratch accumulation order.
+            #[allow(clippy::float_cmp)]
+            let diverged = s != d
+                || sparse.gain(probe) != dense.gain(probe)
+                || sparse.loss(probe) != dense.loss(probe)
+                || (sparse.value() - dense.value()).abs() > EXACT_TOL;
+            if diverged {
+                violations.push(Violation {
+                    code: CoolCode::EvaluatorDivergence,
+                    relation: "sparse-dense-equal",
+                    detail: format!(
+                        "step {step} ({}{}): delta {s} vs {d}, value {} vs {}",
+                        if add { "+" } else { "-" },
+                        v.index(),
+                        sparse.value(),
+                        dense.value()
+                    ),
+                });
+                break 'trace;
+            }
+            for raw in 0..n {
+                let w = SensorId(raw);
+                if support.contains(w) {
+                    continue;
+                }
+                let g = if sparse.contains(w) {
+                    sparse.loss(w)
+                } else {
+                    sparse.gain(w)
+                };
+                if g != 0.0 {
+                    violations.push(Violation {
+                        code: CoolCode::EvaluatorDivergence,
+                        relation: "support-zero-gain",
+                        detail: format!(
+                            "step {step}: sensor {raw} outside support has gain/loss {g}"
+                        ),
+                    });
+                    break 'trace;
+                }
+            }
         }
     }
 

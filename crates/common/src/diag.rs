@@ -92,6 +92,11 @@ pub enum CoolCode {
     /// a fault probe got no typed `COOL` status, or a fault corrupted the
     /// schedule cache.
     FaultContractViolated,
+    /// COOL-E024: the sparse (incidence-indexed) and dense utility
+    /// evaluators diverged — a gain/loss/value disagreed beyond the pinned
+    /// tolerance, or a sensor outside a part's support reported a nonzero
+    /// marginal gain.
+    EvaluatorDivergence,
     /// COOL-W001: an unknown scenario key (ignored by the parser).
     UnknownScenarioKey,
     /// COOL-W002: a scenario key assigned more than once (last wins).
@@ -136,6 +141,7 @@ impl CoolCode {
             CoolCode::OracleBoundViolated => "COOL-E021",
             CoolCode::MetamorphicVariance => "COOL-E022",
             CoolCode::FaultContractViolated => "COOL-E023",
+            CoolCode::EvaluatorDivergence => "COOL-E024",
             CoolCode::UnknownScenarioKey => "COOL-W001",
             CoolCode::DuplicateScenarioKey => "COOL-W002",
             CoolCode::DiskCoversRegion => "COOL-W003",
@@ -172,6 +178,7 @@ impl CoolCode {
             CoolCode::OracleBoundViolated => "oracle-bound-violated",
             CoolCode::MetamorphicVariance => "metamorphic-variance",
             CoolCode::FaultContractViolated => "fault-contract-violated",
+            CoolCode::EvaluatorDivergence => "evaluator-divergence",
             CoolCode::UnknownScenarioKey => "unknown-scenario-key",
             CoolCode::DuplicateScenarioKey => "duplicate-scenario-key",
             CoolCode::DiskCoversRegion => "disk-covers-region",
@@ -215,6 +222,7 @@ impl CoolCode {
             CoolCode::OracleBoundViolated,
             CoolCode::MetamorphicVariance,
             CoolCode::FaultContractViolated,
+            CoolCode::EvaluatorDivergence,
             CoolCode::UnknownScenarioKey,
             CoolCode::DuplicateScenarioKey,
             CoolCode::DiskCoversRegion,
@@ -266,7 +274,7 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 23);
+        assert_eq!(errors, 24);
         assert_eq!(warnings, 6);
     }
 

@@ -27,6 +27,14 @@
 //! by sensor index, so the heap contents — and therefore the schedule —
 //! are identical to a sequential run.
 //!
+//! All variants obtain their per-slot evaluators through
+//! [`UtilityFunction::evaluator`], so a multi-target
+//! [`SumUtility`](cool_utility::SumUtility) answers each gain/loss query
+//! in O(deg(v)) incident parts via its CSR incidence index rather than
+//! walking all `m` parts — sparse gains are bitwise equal to dense ones
+//! (non-incident parts contribute an exact `0.0`), so this is purely a
+//! representation change; schedules are unaffected.
+//!
 //! # Tie-breaking
 //!
 //! Every implementation in this module shares one total order, pinned by

@@ -169,7 +169,10 @@ impl fmt::Display for HorizonSchedule {
 ///
 /// Complexity: `O(P · n · L · (L + gain))` where `P ≤ n·L` is the number of
 /// placements made; instances up to hundreds of sensors × dozens of slots
-/// schedule in well under a second.
+/// schedule in well under a second. The `gain` term uses per-slot
+/// evaluators from [`UtilityFunction::evaluator`], so a multi-target
+/// [`SumUtility`](cool_utility::SumUtility) answers it over the O(deg(v))
+/// incident parts of its sparse incidence index rather than all `m` parts.
 ///
 /// # Panics
 ///

@@ -8,6 +8,12 @@
 //! utilities such exchange-stable solutions are themselves
 //! ½-approximate, so the combination keeps the guarantee while closing
 //! empirical gaps.
+//!
+//! Each exchange probes every slot with gain/loss queries against the
+//! per-slot evaluators from [`UtilityFunction::evaluator`] — O(deg(v))
+//! incident parts per query for a multi-target
+//! [`SumUtility`](cool_utility::SumUtility) thanks to its sparse
+//! incidence index.
 
 use crate::schedule::{PeriodSchedule, ScheduleMode};
 use cool_common::SensorId;

@@ -26,6 +26,11 @@
 //! *by construction* — the iterated-rounding repair of the paper's \[13\]
 //! reduces, in the one-period form, to re-sampling, which
 //! [`LpScheduler::rounding_trials`] performs, keeping the best draw.
+//!
+//! The rounding repair scores candidate slots with per-slot evaluators
+//! from [`UtilityFunction::evaluator`]; for a multi-target
+//! [`SumUtility`] each such gain/loss query is O(deg(v)) via the sparse
+//! incidence index rather than O(m) over all parts.
 
 use crate::problem::Problem;
 use crate::schedule::{PeriodSchedule, ScheduleMode};

@@ -11,7 +11,10 @@
 //!   drain while active, Normal recharge while depleted), reporting the
 //!   achieved average utility;
 //! * [`stochastic_greedy`] — the pragmatic pipeline the paper hints at:
-//!   greedy on the `ρ'` cycle, evaluated by simulation.
+//!   greedy on the `ρ'` cycle, evaluated by simulation. The greedy stage
+//!   inherits the lazy CELF machinery of [`crate::greedy`], including
+//!   sparse O(deg) gain queries for multi-target
+//!   [`SumUtility`](cool_utility::SumUtility) instances.
 
 use crate::greedy;
 use crate::schedule::PeriodSchedule;

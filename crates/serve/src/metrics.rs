@@ -121,6 +121,25 @@ impl ServeMetrics {
             "cool_request_timeouts_total",
             "Requests abandoned with HTTP 408 after the wall-clock budget.",
         );
+        // Sparse-evaluation observability: process-wide totals maintained by
+        // cool-utility's SparseSumEvaluator. parts_touched / gain_queries is
+        // the realised average degree — compare against the target count to
+        // see the O(deg) win over the dense O(m) walk.
+        let stats = cool_utility::stats::snapshot();
+        let gain_queries = Counter::new();
+        gain_queries.add(stats.gain_queries);
+        gain_queries.render(
+            &mut out,
+            "cool_gain_queries_total",
+            "Marginal gain/loss queries answered by sparse sum evaluators.",
+        );
+        let parts_touched = Counter::new();
+        parts_touched.add(stats.parts_touched);
+        parts_touched.render(
+            &mut out,
+            "cool_parts_touched_total",
+            "Incident utility parts visited by those gain/loss queries.",
+        );
         let uptime = Gauge::new();
         uptime.set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
         uptime.render(
@@ -157,10 +176,45 @@ mod tests {
             "cool_inflight_requests 0",
             "cool_queue_rejections_total 0",
             "cool_request_timeouts_total 0",
+            "cool_gain_queries_total",
+            "cool_parts_touched_total",
             "cool_uptime_seconds",
         ] {
             assert!(page.contains(series), "missing `{series}` in:\n{page}");
         }
+    }
+
+    /// The sparse-evaluation counters on the page reflect
+    /// `cool_utility::stats` — driving a sparse evaluator between renders
+    /// must advance the reported totals.
+    #[test]
+    fn sparse_query_counters_advance_between_renders() {
+        use cool_common::{SensorId, SensorSet};
+        use cool_utility::{Evaluator, SumUtility, UtilityFunction};
+
+        let m = ServeMetrics::new();
+        let before = cool_utility::stats::snapshot();
+        let u = SumUtility::multi_target_detection(
+            &[
+                SensorSet::from_indices(3, [0, 1]),
+                SensorSet::from_indices(3, [1, 2]),
+            ],
+            0.4,
+        );
+        let e = u.evaluator();
+        let _ = e.gain(SensorId(1)); // touches 2 parts
+        let after = cool_utility::stats::snapshot();
+        assert!(after.gain_queries > before.gain_queries);
+        assert!(after.parts_touched >= before.parts_touched + 2);
+        let page = m.render();
+        let line = page
+            .lines()
+            .find(|l| l.starts_with("cool_gain_queries_total"))
+            .expect("series rendered");
+        let rendered: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        // Global counters shared with concurrently-running tests: the page
+        // must report at least everything recorded up to the render.
+        assert!(rendered >= after.gain_queries);
     }
 
     #[test]

@@ -5,6 +5,20 @@
 //! (symmetric) sum of per-target utilities, each evaluated on the activated
 //! sensors that can monitor that target. Sums of monotone submodular
 //! functions are monotone submodular, so the greedy guarantee carries over.
+//!
+//! # Sparse evaluation
+//!
+//! Marginal-gain queries against the sum only need the parts whose
+//! [support](UtilityFunction::support) contains the queried sensor: every
+//! other part contributes **exactly** `0.0`. [`SumUtility`] therefore builds
+//! a CSR inverted index `sensor → incident part ids` ([`IncidenceIndex`]) at
+//! construction, and its evaluator ([`SparseSumEvaluator`]) answers
+//! `gain`/`loss`/`insert`/`remove` in O(deg(v)) part visits instead of O(m).
+//! Incident parts are visited in increasing part-id order — the same
+//! relative order as the dense walk — so sparse gains and losses are
+//! *bitwise equal* to the dense ones and every scheduler produces identical
+//! assignments. The dense [`SumEvaluator`] is kept as the differential
+//! oracle ([`SumUtility::dense_evaluator`], COOL-E024 in `cool check`).
 
 use crate::coverage::{CoverageEvaluator, CoverageUtility};
 use crate::detection::{DetectionEvaluator, DetectionUtility};
@@ -12,8 +26,10 @@ use crate::facility::{FacilityEvaluator, FacilityLocationUtility};
 use crate::kcover::{KCoverageEvaluator, KCoverageUtility};
 use crate::linear::{LinearEvaluator, LinearUtility};
 use crate::logsum::{LogSumEvaluator, LogSumUtility};
+use crate::stats;
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// Any of the crate's built-in utilities, for heterogeneous composition.
 ///
@@ -82,6 +98,10 @@ impl UtilityFunction for AnyUtility {
             AnyUtility::Facility(u) => AnyEvaluator::Facility(u.evaluator()),
             AnyUtility::KCover(u) => AnyEvaluator::KCover(u.evaluator()),
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        dispatch!(self, u => u.support())
     }
 }
 
@@ -205,6 +225,9 @@ impl Evaluator for AnyEvaluator {
 pub struct SumUtility {
     parts: Vec<AnyUtility>,
     universe: usize,
+    /// CSR inverted index `sensor → incident part ids`, shared with every
+    /// evaluator.
+    index: Arc<IncidenceIndex>,
 }
 
 impl SumUtility {
@@ -220,7 +243,12 @@ impl SumUtility {
             parts.iter().all(|p| p.universe() == universe),
             "all parts must share one universe"
         );
-        SumUtility { parts, universe }
+        let index = Arc::new(IncidenceIndex::build(universe, &parts));
+        SumUtility {
+            parts,
+            universe,
+            index,
+        }
     }
 
     /// The paper's multi-target detection instance: target `i` is watched by
@@ -249,21 +277,49 @@ impl SumUtility {
         self.parts.len()
     }
 
+    /// The CSR incidence index `sensor → incident part ids`.
+    pub fn incidence(&self) -> &IncidenceIndex {
+        &self.index
+    }
+
     /// Per-part values at `set` — the per-target utility breakdown.
+    ///
+    /// Goes through the sparse evaluator: each member insertion touches
+    /// only its incident parts, so the breakdown costs
+    /// O(m + Σ_{v∈S} deg(v)) instead of O(m·eval).
     pub fn eval_parts(&self, set: &SensorSet) -> Vec<f64> {
-        self.parts.iter().map(|p| p.eval(set)).collect()
+        assert_eq!(set.universe(), self.universe, "set universe mismatch");
+        let mut e = self.evaluator();
+        for v in set {
+            e.insert(v);
+        }
+        e.part_values()
+    }
+
+    /// A dense (all-parts-per-query) evaluator — the differential oracle
+    /// the sparse representation is checked against (COOL-E024).
+    pub fn dense_evaluator(&self) -> SumEvaluator {
+        SumEvaluator {
+            parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
+            members: SensorSet::new(self.universe),
+        }
     }
 }
 
 impl UtilityFunction for SumUtility {
-    type Evaluator = SumEvaluator;
+    type Evaluator = SparseSumEvaluator;
 
     fn universe(&self) -> usize {
         self.universe
     }
 
     fn eval(&self, set: &SensorSet) -> f64 {
-        self.parts.iter().map(|p| p.eval(set)).sum()
+        assert_eq!(set.universe(), self.universe, "set universe mismatch");
+        let mut e = self.evaluator();
+        for v in set {
+            e.insert(v);
+        }
+        e.value()
     }
 
     fn max_value(&self) -> f64 {
@@ -274,11 +330,268 @@ impl UtilityFunction for SumUtility {
         self.parts.len()
     }
 
-    fn evaluator(&self) -> SumEvaluator {
-        SumEvaluator {
+    fn evaluator(&self) -> SparseSumEvaluator {
+        SparseSumEvaluator {
             parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
+            index: Arc::clone(&self.index),
             members: SensorSet::new(self.universe),
+            value: 0.0,
+            comp: 0.0,
+            mutations: 0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        SensorSet::from_indices(
+            self.universe,
+            (0..self.universe).filter(|&v| self.index.degree(SensorId(v)) > 0),
+        )
+    }
+}
+
+/// CSR inverted index `sensor → incident part ids` over the parts of a
+/// [`SumUtility`].
+///
+/// Built once at construction from the parts'
+/// [support sets](UtilityFunction::support). For each sensor `v`,
+/// [`incident`](IncidenceIndex::incident) returns the ids of the parts whose
+/// support contains `v`, **in increasing part-id order** — the invariant
+/// that makes sparse marginal gains bitwise equal to dense ones (the dense
+/// walk visits parts in the same order, and skipped parts contribute an
+/// exact `0.0`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncidenceIndex {
+    /// `offsets[v]..offsets[v+1]` brackets `v`'s slice of `part_ids`;
+    /// length `universe + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated incident part-id lists.
+    part_ids: Vec<u32>,
+}
+
+impl IncidenceIndex {
+    /// Builds the index from each part's support set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parts or index entries exceeds `u32::MAX`.
+    pub fn build(universe: usize, parts: &[AnyUtility]) -> Self {
+        assert!(u32::try_from(parts.len()).is_ok(), "part count fits in u32");
+        let supports: Vec<SensorSet> = parts.iter().map(UtilityFunction::support).collect();
+        let mut offsets = vec![0u32; universe + 1];
+        for sup in &supports {
+            for v in sup {
+                offsets[v.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..universe].to_vec();
+        let mut part_ids = vec![0u32; offsets[universe] as usize];
+        // Parts are scanned in increasing id order, so each sensor's slice
+        // comes out sorted — the order invariant documented above.
+        for (i, sup) in supports.iter().enumerate() {
+            let id = i as u32;
+            for v in sup {
+                let c = &mut cursor[v.index()];
+                part_ids[*c as usize] = id;
+                *c += 1;
+            }
+        }
+        IncidenceIndex { offsets, part_ids }
+    }
+
+    /// Number of sensors the index covers.
+    pub fn universe(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The part ids incident to `v`, in increasing order.
+    pub fn incident(&self, v: SensorId) -> &[u32] {
+        &self.part_ids[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// `deg(v)`: number of parts whose support contains `v`.
+    pub fn degree(&self, v: SensorId) -> usize {
+        self.incident(v).len()
+    }
+
+    /// Total number of (sensor, part) incidences.
+    pub fn n_entries(&self) -> usize {
+        self.part_ids.len()
+    }
+}
+
+/// Sparse evaluator companion of [`SumUtility`]: O(deg(v)) marginal-gain
+/// queries plus an O(1) running [`value`](Evaluator::value).
+///
+/// The running value uses Kahan-compensated summation of insert/remove
+/// deltas and is rebuilt from the part evaluators every
+/// [`REBUILD_CADENCE`](SparseSumEvaluator::REBUILD_CADENCE) mutations, so it
+/// tracks the dense from-scratch value to well under the pinned `1e-9`
+/// differential tolerance (and exactly on integer-weight families, where
+/// every delta is exact).
+#[derive(Clone, Debug)]
+pub struct SparseSumEvaluator {
+    parts: Vec<AnyEvaluator>,
+    index: Arc<IncidenceIndex>,
+    members: SensorSet,
+    /// Kahan-compensated running sum of realised deltas.
+    value: f64,
+    /// Kahan compensation term.
+    comp: f64,
+    /// Mutations since the last full rebuild.
+    mutations: u32,
+}
+
+impl SparseSumEvaluator {
+    /// Mutations between full accumulator rebuilds — bounds worst-case
+    /// drift at roughly `CADENCE · ulp(value)` between rebuilds.
+    pub const REBUILD_CADENCE: u32 = 4096;
+
+    /// Per-part values of the current set — the per-target breakdown.
+    pub fn part_values(&self) -> Vec<f64> {
+        self.parts.iter().map(Evaluator::value).collect()
+    }
+
+    fn kahan_add(&mut self, x: f64) {
+        let t = self.value + x;
+        if self.value.abs() >= x.abs() {
+            self.comp += (self.value - t) + x;
+        } else {
+            self.comp += (x - t) + self.value;
+        }
+        self.value = t;
+    }
+
+    fn after_mutation(&mut self) {
+        self.mutations += 1;
+        if self.mutations >= Self::REBUILD_CADENCE {
+            self.rebuild();
+        }
+    }
+
+    /// Recomputes the running value from the part evaluators (same part
+    /// order as the dense walk), discarding accumulated drift.
+    fn rebuild(&mut self) {
+        self.value = self.parts.iter().map(Evaluator::value).sum();
+        self.comp = 0.0;
+        self.mutations = 0;
+    }
+}
+
+impl Evaluator for SparseSumEvaluator {
+    fn value(&self) -> f64 {
+        self.value + self.comp
+    }
+
+    fn gain(&self, v: SensorId) -> f64 {
+        if self.members.contains(v) {
+            return 0.0;
+        }
+        let incident = self.index.incident(v);
+        stats::record_query(incident.len());
+        // Seeded with +0.0 rather than `.sum()`: f64's `Sum` identity is
+        // -0.0, which would leak a negative zero out of empty (or all-zero)
+        // incident slices and break bitwise agreement with the dense walk.
+        incident
+            .iter()
+            .fold(0.0, |acc, &pid| acc + self.parts[pid as usize].gain(v))
+    }
+
+    fn loss(&self, v: SensorId) -> f64 {
+        if !self.members.contains(v) {
+            return 0.0;
+        }
+        let incident = self.index.incident(v);
+        stats::record_query(incident.len());
+        incident
+            .iter()
+            .fold(0.0, |acc, &pid| acc + self.parts[pid as usize].loss(v))
+    }
+
+    fn insert(&mut self, v: SensorId) -> f64 {
+        if !self.members.insert(v) {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        for &pid in self.index.incident(v) {
+            delta += self.parts[pid as usize].insert(v);
+        }
+        self.kahan_add(delta);
+        self.after_mutation();
+        delta
+    }
+
+    fn remove(&mut self, v: SensorId) -> f64 {
+        if !self.members.remove(v) {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        for &pid in self.index.incident(v) {
+            delta += self.parts[pid as usize].remove(v);
+        }
+        self.kahan_add(-delta);
+        self.after_mutation();
+        delta
+    }
+
+    fn contains(&self, v: SensorId) -> bool {
+        self.members.contains(v)
+    }
+
+    fn current_set(&self) -> SensorSet {
+        self.members.clone()
+    }
+}
+
+/// Dense-evaluation wrapper around a [`SumUtility`] — every query walks all
+/// parts. The baseline arm of the `perf_sparse` benchmark and the oracle
+/// side of the COOL-E024 differential relation; schedulers should use
+/// [`SumUtility`] directly.
+#[derive(Clone, Debug)]
+pub struct DenseSumUtility {
+    inner: SumUtility,
+}
+
+impl DenseSumUtility {
+    /// Wraps the sum.
+    pub fn new(inner: SumUtility) -> Self {
+        DenseSumUtility { inner }
+    }
+
+    /// The wrapped sum.
+    pub fn inner(&self) -> &SumUtility {
+        &self.inner
+    }
+}
+
+impl UtilityFunction for DenseSumUtility {
+    type Evaluator = SumEvaluator;
+
+    fn universe(&self) -> usize {
+        self.inner.universe
+    }
+
+    fn eval(&self, set: &SensorSet) -> f64 {
+        assert_eq!(set.universe(), self.inner.universe, "set universe mismatch");
+        self.inner.parts.iter().map(|p| p.eval(set)).sum()
+    }
+
+    fn max_value(&self) -> f64 {
+        self.inner.max_value()
+    }
+
+    fn target_count(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn evaluator(&self) -> SumEvaluator {
+        self.inner.dense_evaluator()
+    }
+
+    fn support(&self) -> SensorSet {
+        self.inner.support()
     }
 }
 
@@ -294,32 +607,37 @@ impl Evaluator for SumEvaluator {
         self.parts.iter().map(Evaluator::value).sum()
     }
 
+    // Delta chains are seeded with +0.0 (not `.sum()`, whose f64 identity
+    // is -0.0) so that the accumulator's zero sign matches the sparse
+    // evaluator's bit-for-bit: zeros folded into a +0.0-seeded accumulator
+    // never flip its sign, and non-incident parts contribute exact zeros.
+
     fn gain(&self, v: SensorId) -> f64 {
         if self.members.contains(v) {
             return 0.0;
         }
-        self.parts.iter().map(|p| p.gain(v)).sum()
+        self.parts.iter().fold(0.0, |acc, p| acc + p.gain(v))
     }
 
     fn loss(&self, v: SensorId) -> f64 {
         if !self.members.contains(v) {
             return 0.0;
         }
-        self.parts.iter().map(|p| p.loss(v)).sum()
+        self.parts.iter().fold(0.0, |acc, p| acc + p.loss(v))
     }
 
     fn insert(&mut self, v: SensorId) -> f64 {
         if !self.members.insert(v) {
             return 0.0;
         }
-        self.parts.iter_mut().map(|p| p.insert(v)).sum()
+        self.parts.iter_mut().fold(0.0, |acc, p| acc + p.insert(v))
     }
 
     fn remove(&mut self, v: SensorId) -> f64 {
         if !self.members.remove(v) {
             return 0.0;
         }
-        self.parts.iter_mut().map(|p| p.remove(v)).sum()
+        self.parts.iter_mut().fold(0.0, |acc, p| acc + p.remove(v))
     }
 
     fn contains(&self, v: SensorId) -> bool {
@@ -394,7 +712,165 @@ mod tests {
         let _ = SumUtility::new(vec![]);
     }
 
+    #[test]
+    fn incidence_index_lists_supporting_parts_in_order() {
+        let u = two_target_sum();
+        let idx = u.incidence();
+        assert_eq!(idx.universe(), 4);
+        assert_eq!(idx.incident(SensorId(0)), &[0]);
+        assert_eq!(idx.incident(SensorId(1)), &[0, 1]);
+        assert_eq!(idx.incident(SensorId(2)), &[1]);
+        assert_eq!(idx.incident(SensorId(3)), &[1]);
+        assert_eq!(idx.n_entries(), 5);
+        assert_eq!(idx.degree(SensorId(1)), 2);
+    }
+
+    #[test]
+    fn sum_support_is_union_of_part_supports() {
+        let u = SumUtility::multi_target_detection(
+            &[
+                SensorSet::from_indices(5, [0, 1]),
+                SensorSet::from_indices(5, [1, 3]),
+            ],
+            0.4,
+        );
+        assert_eq!(u.support(), SensorSet::from_indices(5, [0, 1, 3]));
+    }
+
+    #[test]
+    fn sparse_gain_is_exactly_zero_outside_support() {
+        let u = two_target_sum(); // no part's support contains... all do here
+        let parts: Vec<AnyUtility> = vec![
+            DetectionUtility::uniform_on(&SensorSet::from_indices(4, [0]), 0.4).into(),
+            LinearUtility::new(vec![0.0, 2.0, 0.0, 0.0]).into(),
+        ];
+        let sparse_only = SumUtility::new(parts);
+        let e = sparse_only.evaluator();
+        assert_eq!(e.gain(SensorId(2)), 0.0);
+        assert_eq!(e.gain(SensorId(3)), 0.0);
+        assert!(e.gain(SensorId(0)) > 0.0);
+        let _ = u;
+    }
+
+    /// The load-bearing property of the sparse representation: gains and
+    /// losses are **bitwise** equal to the dense walk's (non-incident parts
+    /// contribute an exact `0.0`, incident parts are visited in the same
+    /// relative order), so schedulers produce identical assignments.
+    #[test]
+    fn sparse_matches_dense_bitwise_on_trace() {
+        let u = two_target_sum();
+        let mut sparse = u.evaluator();
+        let mut dense = u.dense_evaluator();
+        let trace: Vec<(bool, usize)> = vec![
+            (true, 1),
+            (true, 0),
+            (false, 1),
+            (true, 3),
+            (true, 2),
+            (false, 0),
+            (true, 1),
+        ];
+        for (add, raw) in trace {
+            let v = SensorId(raw);
+            for probe in 0..4 {
+                let p = SensorId(probe);
+                assert_eq!(sparse.gain(p).to_bits(), dense.gain(p).to_bits());
+                assert_eq!(sparse.loss(p).to_bits(), dense.loss(p).to_bits());
+            }
+            if add {
+                assert_eq!(sparse.insert(v).to_bits(), dense.insert(v).to_bits());
+            } else {
+                assert_eq!(sparse.remove(v).to_bits(), dense.remove(v).to_bits());
+            }
+            assert_eq!(sparse.current_set(), dense.current_set());
+            assert!((sparse.value() - dense.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_value_survives_rebuild_cadence() {
+        let u = two_target_sum();
+        let mut e = u.evaluator();
+        // Far more mutations than the rebuild cadence.
+        for round in 0..(SparseSumEvaluator::REBUILD_CADENCE + 17) {
+            let v = SensorId((round % 4) as usize);
+            if e.contains(v) {
+                e.remove(v);
+            } else {
+                e.insert(v);
+            }
+            let direct: f64 = e.part_values().iter().sum();
+            assert!((e.value() - direct).abs() < 1e-9, "round {round}");
+        }
+    }
+
+    #[test]
+    fn eval_parts_matches_per_part_eval() {
+        let u = two_target_sum();
+        let s = SensorSet::from_indices(4, [1, 3]);
+        let via_evaluator = u.eval_parts(&s);
+        let direct: Vec<f64> = u.parts().iter().map(|p| p.eval(&s)).collect();
+        assert_eq!(via_evaluator.len(), direct.len());
+        for (a, b) in via_evaluator.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_wrapper_agrees_with_sparse_sum() {
+        let u = two_target_sum();
+        let dense = DenseSumUtility::new(u.clone());
+        let s = SensorSet::from_indices(4, [0, 2, 3]);
+        assert!((dense.eval(&s) - u.eval(&s)).abs() < 1e-12);
+        assert_eq!(dense.universe(), u.universe());
+        assert_eq!(dense.target_count(), u.target_count());
+        assert_eq!(dense.support(), u.support());
+        assert_eq!(dense.max_value(), u.max_value());
+        assert_eq!(dense.inner().n_targets(), 2);
+    }
+
+    #[test]
+    fn sparse_queries_advance_stats_counters() {
+        let u = two_target_sum();
+        let e = u.evaluator();
+        let before = crate::stats::snapshot();
+        let _ = e.gain(SensorId(1)); // deg 2
+        let after = crate::stats::snapshot();
+        assert!(after.gain_queries > before.gain_queries);
+        assert!(after.parts_touched >= before.parts_touched + 2);
+    }
+
     proptest! {
+        /// Sparse and dense evaluators agree on arbitrary mixed-family
+        /// traces (the in-crate twin of the COOL-E024 check relation).
+        #[test]
+        fn sparse_matches_dense_on_random_traces(
+            cov1 in proptest::collection::vec(0usize..6, 1..5),
+            weights in proptest::collection::vec(0.0f64..4.0, 6),
+            p in 0.05f64..0.95,
+            ops in proptest::collection::vec((any::<bool>(), 0usize..6), 0..40),
+        ) {
+            let u = SumUtility::new(vec![
+                DetectionUtility::uniform_on(
+                    &SensorSet::from_indices(6, cov1.iter().copied()), p).into(),
+                LinearUtility::new(weights.clone()).into(),
+                LogSumUtility::new(weights).into(),
+            ]);
+            let mut sparse = u.evaluator();
+            let mut dense = u.dense_evaluator();
+            for (add, raw) in ops {
+                let v = SensorId(raw % 6);
+                prop_assert_eq!(sparse.gain(v).to_bits(), dense.gain(v).to_bits());
+                prop_assert_eq!(sparse.loss(v).to_bits(), dense.loss(v).to_bits());
+                if add {
+                    prop_assert_eq!(sparse.insert(v).to_bits(), dense.insert(v).to_bits());
+                } else {
+                    prop_assert_eq!(sparse.remove(v).to_bits(), dense.remove(v).to_bits());
+                }
+                prop_assert!((sparse.value() - dense.value()).abs() < 1e-9);
+            }
+        }
+
         #[test]
         fn sum_evaluator_matches_eval(
             cov1 in proptest::collection::vec(0usize..5, 1..5),

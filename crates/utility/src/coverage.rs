@@ -8,6 +8,7 @@
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
 use cool_geometry::Arrangement;
+use std::sync::Arc;
 
 /// Eq. (2): weighted area covered by the active set.
 ///
@@ -30,12 +31,14 @@ use cool_geometry::Arrangement;
 #[derive(Clone, Debug)]
 pub struct CoverageUtility {
     universe: usize,
-    /// Weighted area `w_i · |A_i|` per subregion.
-    values: Vec<f64>,
+    /// Weighted area `w_i · |A_i|` per subregion. Shared with every
+    /// evaluator (evaluators carry only mutable state, so spawning one per
+    /// slot stays cheap at large part counts).
+    values: Arc<Vec<f64>>,
     /// Signature per subregion.
     signatures: Vec<SensorSet>,
-    /// Subregion indices covered by each sensor.
-    sensor_subregions: Vec<Vec<usize>>,
+    /// Subregion indices covered by each sensor. Shared with evaluators.
+    sensor_subregions: Arc<Vec<Vec<usize>>>,
 }
 
 impl CoverageUtility {
@@ -53,9 +56,9 @@ impl CoverageUtility {
         }
         CoverageUtility {
             universe,
-            values,
+            values: Arc::new(values),
             signatures,
-            sensor_subregions,
+            sensor_subregions: Arc::new(sensor_subregions),
         }
     }
 
@@ -84,9 +87,9 @@ impl CoverageUtility {
         }
         CoverageUtility {
             universe,
-            values,
+            values: Arc::new(values),
             signatures,
-            sensor_subregions,
+            sensor_subregions: Arc::new(sensor_subregions),
         }
     }
 
@@ -102,7 +105,7 @@ impl CoverageUtility {
     pub fn lp_items(&self) -> Vec<(f64, Vec<f64>)> {
         self.signatures
             .iter()
-            .zip(&self.values)
+            .zip(self.values.iter())
             .filter(|(_, &value)| value > 0.0)
             .map(|(sig, &value)| {
                 let mut q = vec![0.0; self.universe];
@@ -126,7 +129,7 @@ impl UtilityFunction for CoverageUtility {
         assert_eq!(set.universe(), self.universe, "set universe mismatch");
         self.signatures
             .iter()
-            .zip(&self.values)
+            .zip(self.values.iter())
             .filter(|(sig, _)| !sig.is_disjoint(set))
             .map(|(_, value)| value)
             .sum()
@@ -138,12 +141,25 @@ impl UtilityFunction for CoverageUtility {
 
     fn evaluator(&self) -> CoverageEvaluator {
         CoverageEvaluator {
-            values: self.values.clone(),
-            sensor_subregions: self.sensor_subregions.clone(),
+            values: Arc::clone(&self.values),
+            sensor_subregions: Arc::clone(&self.sensor_subregions),
             cover_counts: vec![0; self.values.len()],
             members: SensorSet::new(self.universe),
             covered_value: 0.0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        // A sensor matters only if it covers a subregion with positive
+        // weighted area (zero-area subregions contribute exactly 0.0).
+        SensorSet::from_indices(
+            self.universe,
+            self.sensor_subregions
+                .iter()
+                .enumerate()
+                .filter(|(_, subs)| subs.iter().any(|&s| self.values[s] > 0.0))
+                .map(|(v, _)| v),
+        )
     }
 }
 
@@ -151,8 +167,8 @@ impl UtilityFunction for CoverageUtility {
 /// counts.
 #[derive(Clone, Debug)]
 pub struct CoverageEvaluator {
-    values: Vec<f64>,
-    sensor_subregions: Vec<Vec<usize>>,
+    values: Arc<Vec<f64>>,
+    sensor_subregions: Arc<Vec<Vec<usize>>>,
     cover_counts: Vec<u32>,
     members: SensorSet,
     covered_value: f64,

@@ -12,6 +12,7 @@
 
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// `U(S) = 1 − Π_{v∈S}(1 − p_v)` for one target.
 ///
@@ -27,7 +28,9 @@ use cool_common::{SensorId, SensorSet};
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct DetectionUtility {
-    probs: Vec<f64>,
+    /// Shared with every evaluator (evaluators carry only mutable state,
+    /// so spawning one per slot stays cheap at large part counts).
+    probs: Arc<Vec<f64>>,
 }
 
 impl DetectionUtility {
@@ -44,7 +47,9 @@ impl DetectionUtility {
                 .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
             "detection probabilities must lie in [0, 1]"
         );
-        DetectionUtility { probs }
+        DetectionUtility {
+            probs: Arc::new(probs),
+        }
     }
 
     /// All `n` sensors monitor the target with the same probability `p` —
@@ -110,11 +115,15 @@ impl UtilityFunction for DetectionUtility {
 
     fn evaluator(&self) -> DetectionEvaluator {
         DetectionEvaluator {
-            probs: self.probs.clone(),
+            probs: Arc::clone(&self.probs),
             members: SensorSet::new(self.probs.len()),
             miss_product: 1.0,
             certain_members: 0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        self.coverage()
     }
 }
 
@@ -125,7 +134,7 @@ impl UtilityFunction for DetectionUtility {
 /// divided back out on removal).
 #[derive(Clone, Debug)]
 pub struct DetectionEvaluator {
-    probs: Vec<f64>,
+    probs: Arc<Vec<f64>>,
     members: SensorSet,
     /// Product of `(1 − p_v)` over members with `p_v < 1`.
     miss_product: f64,
@@ -191,18 +200,34 @@ impl Evaluator for DetectionEvaluator {
     }
 
     fn remove(&mut self, v: SensorId) -> f64 {
-        if !self.members.contains(v) {
+        if !self.members.remove(v) {
             return 0.0;
         }
-        let loss = self.loss(v);
-        self.members.remove(v);
+        // Single pass: the state update *is* the loss computation (the
+        // same `p ≥ 1` / certain-member branches `loss` walks), so the
+        // branch work is not done twice. Arithmetic is kept identical to
+        // `loss(v)` — a regression test pins `remove == prior loss`
+        // bit-for-bit.
         let p = self.probs[v.index()];
         if p >= 1.0 {
             self.certain_members -= 1;
+            if self.certain_members > 0 {
+                0.0
+            } else {
+                // v was the only certain member; removing it restores the
+                // finite product.
+                self.miss_product
+            }
         } else {
-            self.miss_product /= 1.0 - p;
+            let miss_without = self.miss_product / (1.0 - p);
+            let had_certain = self.certain_members > 0;
+            self.miss_product = miss_without;
+            if had_certain {
+                0.0
+            } else {
+                miss_without * p
+            }
         }
-        loss
     }
 
     fn contains(&self, v: SensorId) -> bool {
@@ -271,6 +296,30 @@ mod tests {
         let loss = e.remove(SensorId(0));
         assert!((e.value() - 0.5).abs() < 1e-12);
         assert!((loss - 0.5).abs() < 1e-12);
+    }
+
+    /// Regression for the single-pass `remove`: its return value must be
+    /// bit-for-bit the `loss(v)` observed immediately before, across
+    /// certain (`p = 1`) and fractional members in every order.
+    #[test]
+    fn remove_returns_exactly_prior_loss() {
+        let u = DetectionUtility::new(vec![1.0, 1.0, 0.5, 0.25, 0.0]);
+        for removal_order in [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 3, 1, 4]] {
+            let mut e = u.evaluator();
+            for v in 0..5 {
+                e.insert(SensorId(v));
+            }
+            for v in removal_order {
+                let prior_loss = e.loss(SensorId(v));
+                let removed = e.remove(SensorId(v));
+                assert_eq!(
+                    removed.to_bits(),
+                    prior_loss.to_bits(),
+                    "remove({v}) diverged from prior loss"
+                );
+            }
+            assert_eq!(e.value(), 0.0);
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// `U(S) = Σ_i max_{v∈S} b_{iv}` (with `max over ∅ = 0`), benefits
 /// non-negative.
@@ -28,8 +29,10 @@ use cool_common::{SensorId, SensorSet};
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct FacilityLocationUtility {
-    /// `benefits[i][v]`: value target `i` receives from sensor `v`.
-    benefits: Vec<Vec<f64>>,
+    /// `benefits[i][v]`: value target `i` receives from sensor `v`. Shared
+    /// with every evaluator (evaluators carry only mutable state, so
+    /// spawning one per slot stays cheap at large part counts).
+    benefits: Arc<Vec<Vec<f64>>>,
     universe: usize,
 }
 
@@ -54,7 +57,10 @@ impl FacilityLocationUtility {
                 .all(|b| b.is_finite() && *b >= 0.0),
             "benefits must be non-negative"
         );
-        FacilityLocationUtility { benefits, universe }
+        FacilityLocationUtility {
+            benefits: Arc::new(benefits),
+            universe,
+        }
     }
 
     /// Number of targets (rows).
@@ -97,10 +103,19 @@ impl UtilityFunction for FacilityLocationUtility {
 
     fn evaluator(&self) -> FacilityEvaluator {
         FacilityEvaluator {
-            benefits: self.benefits.clone(),
+            benefits: Arc::clone(&self.benefits),
             members: SensorSet::new(self.universe),
             best: vec![0.0; self.benefits.len()],
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        // A sensor matters only if some target receives a positive benefit
+        // from it (an all-zero column can never raise any per-target max).
+        SensorSet::from_indices(
+            self.universe,
+            (0..self.universe).filter(|&v| self.benefits.iter().any(|row| row[v] > 0.0)),
+        )
     }
 }
 
@@ -109,7 +124,7 @@ impl UtilityFunction for FacilityLocationUtility {
 /// remaining members for the targets `v` was best at, O(m·|S|) worst case.
 #[derive(Clone, Debug)]
 pub struct FacilityEvaluator {
-    benefits: Vec<Vec<f64>>,
+    benefits: Arc<Vec<Vec<f64>>>,
     members: SensorSet,
     best: Vec<f64>,
 }

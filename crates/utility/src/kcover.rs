@@ -16,6 +16,7 @@
 
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// `U(S) = Σ_i w_i · min(|S ∩ V(O_i)|, k_i)/k_i`.
 ///
@@ -38,8 +39,13 @@ use cool_common::{SensorId, SensorSet};
 #[derive(Clone, Debug, PartialEq)]
 pub struct KCoverageUtility {
     coverages: Vec<SensorSet>,
-    k: Vec<u32>,
-    weights: Vec<f64>,
+    /// Shared with every evaluator (evaluators carry only mutable state,
+    /// so spawning one per slot stays cheap at large part counts).
+    k: Arc<Vec<u32>>,
+    weights: Arc<Vec<f64>>,
+    /// Per-sensor target lists (inverted coverage index), built once here
+    /// rather than on every `evaluator()` call.
+    sensor_targets: Arc<Vec<Vec<usize>>>,
     universe: usize,
 }
 
@@ -65,10 +71,17 @@ impl KCoverageUtility {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be non-negative"
         );
+        let mut sensor_targets = vec![Vec::new(); universe];
+        for (i, cov) in coverages.iter().enumerate() {
+            for v in cov {
+                sensor_targets[v.index()].push(i);
+            }
+        }
         KCoverageUtility {
             coverages,
-            k,
-            weights,
+            k: Arc::new(k),
+            weights: Arc::new(weights),
+            sensor_targets: Arc::new(sensor_targets),
             universe,
         }
     }
@@ -94,8 +107,8 @@ impl KCoverageUtility {
     pub fn lp_items(&self) -> Vec<(f64, Vec<f64>)> {
         self.coverages
             .iter()
-            .zip(&self.k)
-            .zip(&self.weights)
+            .zip(self.k.iter())
+            .zip(self.weights.iter())
             .filter(|(_, &w)| w > 0.0)
             .map(|((cov, &k), &w)| {
                 let mut q = vec![0.0; self.universe];
@@ -119,8 +132,8 @@ impl UtilityFunction for KCoverageUtility {
         assert_eq!(set.universe(), self.universe, "set universe mismatch");
         self.coverages
             .iter()
-            .zip(&self.k)
-            .zip(&self.weights)
+            .zip(self.k.iter())
+            .zip(self.weights.iter())
             .map(|((cov, &k), &w)| {
                 let count = cov.intersection_len(set) as u32;
                 w * f64::from(count.min(k)) / f64::from(k)
@@ -133,21 +146,26 @@ impl UtilityFunction for KCoverageUtility {
     }
 
     fn evaluator(&self) -> KCoverageEvaluator {
-        // Per-sensor target lists for O(targets-touching-v) gains.
-        let mut sensor_targets = vec![Vec::new(); self.universe];
-        for (i, cov) in self.coverages.iter().enumerate() {
-            for v in cov {
-                sensor_targets[v.index()].push(i);
-            }
-        }
         KCoverageEvaluator {
-            k: self.k.clone(),
-            weights: self.weights.clone(),
-            sensor_targets,
+            k: Arc::clone(&self.k),
+            weights: Arc::clone(&self.weights),
+            sensor_targets: Arc::clone(&self.sensor_targets),
             counts: vec![0; self.coverages.len()],
             members: SensorSet::new(self.universe),
             value: 0.0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        // A sensor matters only if it covers a positively-weighted target.
+        SensorSet::from_indices(
+            self.universe,
+            self.sensor_targets
+                .iter()
+                .enumerate()
+                .filter(|(_, targets)| targets.iter().any(|&i| self.weights[i] > 0.0))
+                .map(|(v, _)| v),
+        )
     }
 }
 
@@ -155,9 +173,9 @@ impl UtilityFunction for KCoverageUtility {
 /// counts.
 #[derive(Clone, Debug)]
 pub struct KCoverageEvaluator {
-    k: Vec<u32>,
-    weights: Vec<f64>,
-    sensor_targets: Vec<Vec<usize>>,
+    k: Arc<Vec<u32>>,
+    weights: Arc<Vec<f64>>,
+    sensor_targets: Arc<Vec<Vec<usize>>>,
     counts: Vec<u32>,
     members: SensorSet,
     value: f64,

@@ -22,7 +22,12 @@
 //!   exact), and [`FacilityLocationUtility`] (a further classic submodular
 //!   instance);
 //! * [`SumUtility`] / [`AnyUtility`] — the multi-target composite
-//!   `Σᵢ U_i(S ∩ V(O_i))` ([`composite`]);
+//!   `Σᵢ U_i(S ∩ V(O_i))` ([`composite`]), evaluated sparsely: a CSR
+//!   incidence index over the parts' [support
+//!   sets](UtilityFunction::support) makes each marginal-gain query
+//!   O(deg(v)) instead of O(m) ([`SparseSumEvaluator`]), with the dense
+//!   [`SumEvaluator`] kept as the differential oracle and query counters
+//!   in [`stats`];
 //! * a numerical submodularity/monotonicity checker used by the property
 //!   tests ([`checker`]).
 //!
@@ -52,10 +57,14 @@ pub mod facility;
 pub mod kcover;
 pub mod linear;
 pub mod logsum;
+pub mod stats;
 pub mod traits;
 
 pub use checker::{check_utility, UtilityViolation};
-pub use composite::{AnyEvaluator, AnyUtility, SumEvaluator, SumUtility};
+pub use composite::{
+    AnyEvaluator, AnyUtility, DenseSumUtility, IncidenceIndex, SparseSumEvaluator, SumEvaluator,
+    SumUtility,
+};
 pub use coverage::{CoverageEvaluator, CoverageUtility};
 pub use detection::{DetectionEvaluator, DetectionUtility};
 pub use facility::{FacilityEvaluator, FacilityLocationUtility};

@@ -6,6 +6,7 @@
 
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// `U(S) = Σ_{v∈S} w_v` with non-negative weights.
 ///
@@ -20,7 +21,9 @@ use cool_common::{SensorId, SensorSet};
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct LinearUtility {
-    weights: Vec<f64>,
+    /// Shared with every evaluator (evaluators carry only mutable state,
+    /// so spawning one per slot stays cheap at large part counts).
+    weights: Arc<Vec<f64>>,
 }
 
 impl LinearUtility {
@@ -34,7 +37,9 @@ impl LinearUtility {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "linear weights must be non-negative"
         );
-        LinearUtility { weights }
+        LinearUtility {
+            weights: Arc::new(weights),
+        }
     }
 
     /// Per-sensor weights.
@@ -57,17 +62,28 @@ impl UtilityFunction for LinearUtility {
 
     fn evaluator(&self) -> LinearEvaluator {
         LinearEvaluator {
-            weights: self.weights.clone(),
+            weights: Arc::clone(&self.weights),
             members: SensorSet::new(self.weights.len()),
             sum: 0.0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        SensorSet::from_indices(
+            self.weights.len(),
+            self.weights
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(i, _)| i),
+        )
     }
 }
 
 /// Incremental evaluator for [`LinearUtility`].
 #[derive(Clone, Debug)]
 pub struct LinearEvaluator {
-    weights: Vec<f64>,
+    weights: Arc<Vec<f64>>,
     members: SensorSet,
     sum: f64,
 }

@@ -8,6 +8,7 @@
 
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
+use std::sync::Arc;
 
 /// `U(S) = ln(1 + Σ_{v∈S} w_v)` with non-negative weights.
 ///
@@ -23,7 +24,9 @@ use cool_common::{SensorId, SensorSet};
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct LogSumUtility {
-    weights: Vec<f64>,
+    /// Shared with every evaluator (evaluators carry only mutable state,
+    /// so spawning one per slot stays cheap at large part counts).
+    weights: Arc<Vec<f64>>,
 }
 
 impl LogSumUtility {
@@ -37,7 +40,9 @@ impl LogSumUtility {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "log-sum weights must be non-negative"
         );
-        LogSumUtility { weights }
+        LogSumUtility {
+            weights: Arc::new(weights),
+        }
     }
 
     /// Creates the §III hardness gadget from Subset-Sum integers.
@@ -71,10 +76,21 @@ impl UtilityFunction for LogSumUtility {
 
     fn evaluator(&self) -> LogSumEvaluator {
         LogSumEvaluator {
-            weights: self.weights.clone(),
+            weights: Arc::clone(&self.weights),
             members: SensorSet::new(self.weights.len()),
             sum: 0.0,
         }
+    }
+
+    fn support(&self) -> SensorSet {
+        SensorSet::from_indices(
+            self.weights.len(),
+            self.weights
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(i, _)| i),
+        )
     }
 }
 
@@ -82,7 +98,7 @@ impl UtilityFunction for LogSumUtility {
 /// sum.
 #[derive(Clone, Debug)]
 pub struct LogSumEvaluator {
-    weights: Vec<f64>,
+    weights: Arc<Vec<f64>>,
     members: SensorSet,
     sum: f64,
 }

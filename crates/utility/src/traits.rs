@@ -52,6 +52,19 @@ pub trait UtilityFunction {
         self.eval(&with_v) - self.eval(set)
     }
 
+    /// The **support set**: the sensors that can have a nonzero effect on
+    /// the function's value. For every `v` outside the support and every
+    /// set `S`, `U(S ∪ {v}) = U(S)` **exactly** (no tolerance) — the
+    /// contract the sparse incidence index in
+    /// [`SumUtility`](crate::SumUtility) is built on.
+    ///
+    /// The default is the full universe (always sound); concrete utilities
+    /// override it with the minimal set (sensors with positive probability,
+    /// weight, subregion value, or benefit).
+    fn support(&self) -> SensorSet {
+        SensorSet::full(self.universe())
+    }
+
     /// Creates a fresh incremental evaluator positioned at `S = ∅`.
     fn evaluator(&self) -> Self::Evaluator;
 }

@@ -1,0 +1,155 @@
+//! Property tests for the sparse incidence-indexed evaluation engine:
+//! support-set soundness and minimality, and CSR index round-trips under
+//! sensor relabeling.
+
+use cool_common::{SensorId, SensorSet};
+use cool_utility::{
+    AnyUtility, CoverageUtility, DetectionUtility, Evaluator, FacilityLocationUtility,
+    KCoverageUtility, LinearUtility, LogSumUtility, SumUtility, UtilityFunction,
+};
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+/// One instance of every family over `N` sensors, parameterised by a
+/// sensor subset that carries all the "mass" (probability, weight, value,
+/// benefit) — sensors outside `active` must fall outside every support.
+fn family_instances(active: &SensorSet, level: f64) -> Vec<AnyUtility> {
+    let weights: Vec<f64> = (0..N)
+        .map(|v| {
+            if active.contains(SensorId(v)) {
+                level
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let p = (level / 10.0).clamp(0.0, 1.0);
+    vec![
+        DetectionUtility::uniform_on(active, p).into(),
+        LinearUtility::new(weights.clone()).into(),
+        LogSumUtility::new(weights.clone()).into(),
+        CoverageUtility::from_parts(N, vec![active.clone()], vec![level]).into(),
+        KCoverageUtility::new(vec![active.clone()], vec![2], vec![level]).into(),
+        FacilityLocationUtility::new(vec![weights]).into(),
+    ]
+}
+
+fn set_from_bits(bits: &[bool]) -> SensorSet {
+    SensorSet::from_indices(
+        bits.len(),
+        bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+    )
+}
+
+proptest! {
+    /// Soundness: a sensor outside the reported support never changes the
+    /// value — `U(S ∪ {v}) == U(S)` **exactly**, for every family and
+    /// every set.
+    #[test]
+    fn support_is_sound(
+        active_bits in proptest::collection::vec(any::<bool>(), N),
+        s_bits in proptest::collection::vec(any::<bool>(), N),
+        level in 0.5f64..9.5,
+    ) {
+        let active = set_from_bits(&active_bits);
+        let s = set_from_bits(&s_bits);
+        for u in family_instances(&active, level) {
+            let support = u.support();
+            for raw in 0..N {
+                let v = SensorId(raw);
+                if support.contains(v) {
+                    continue;
+                }
+                let mut with_v = s.clone();
+                with_v.insert(v);
+                prop_assert_eq!(
+                    u.eval(&with_v).to_bits(),
+                    u.eval(&s).to_bits(),
+                    "family {:?} moved on out-of-support sensor {}",
+                    std::mem::discriminant(&u),
+                    raw
+                );
+                prop_assert_eq!(u.marginal_gain(&s, v), 0.0);
+            }
+        }
+    }
+
+    /// Minimality on exactly-representable (quantised) weights: every
+    /// sensor in the reported support has a strictly positive gain at the
+    /// empty set — the support contains no dead sensors.
+    #[test]
+    fn support_is_minimal_at_empty_set(
+        active_bits in proptest::collection::vec(any::<bool>(), N),
+        quarter_steps in 2u32..40,
+    ) {
+        let active = set_from_bits(&active_bits);
+        let level = f64::from(quarter_steps) * 0.25;
+        for u in family_instances(&active, level) {
+            let empty = SensorSet::new(N);
+            for v in &u.support() {
+                prop_assert!(
+                    u.marginal_gain(&empty, v) > 0.0,
+                    "family {:?} support contains dead sensor {}",
+                    std::mem::discriminant(&u),
+                    v.index()
+                );
+            }
+        }
+    }
+
+    /// The CSR index round-trips under sensor relabeling: relabeling the
+    /// sensors of every part by a permutation `π` relabels the index, with
+    /// `incident(π(v))` after == `incident(v)` before (same part ids, same
+    /// order).
+    #[test]
+    fn csr_round_trips_under_relabeling(
+        covs in proptest::collection::vec(
+            proptest::collection::vec(0usize..N, 1..4), 1..6),
+        seed_shuffle in proptest::collection::vec(0u32..1000, N),
+        p in 0.05f64..0.95,
+    ) {
+        // Build a permutation by sorting sensor ids by random keys.
+        let mut perm: Vec<usize> = (0..N).collect();
+        perm.sort_by_key(|&v| (seed_shuffle[v], v));
+
+        let coverages: Vec<SensorSet> = covs
+            .iter()
+            .map(|ids| SensorSet::from_indices(N, ids.iter().copied()))
+            .collect();
+        let relabeled: Vec<SensorSet> = coverages
+            .iter()
+            .map(|cov| SensorSet::from_indices(N, cov.iter().map(|v| perm[v.index()])))
+            .collect();
+
+        let u = SumUtility::multi_target_detection(&coverages, p);
+        let u_perm = SumUtility::multi_target_detection(&relabeled, p);
+
+        prop_assert_eq!(u.incidence().n_entries(), u_perm.incidence().n_entries());
+        for (v, &pv) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                u.incidence().incident(SensorId(v)),
+                u_perm.incidence().incident(SensorId(pv)),
+                "sensor {} vs relabeled {}", v, pv
+            );
+        }
+
+        // And the relabeled sparse evaluator computes relabeled gains.
+        let mut e = u.evaluator();
+        let mut e_perm = u_perm.evaluator();
+        for (v, &pv) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                e.gain(SensorId(v)).to_bits(),
+                e_perm.gain(SensorId(pv)).to_bits()
+            );
+        }
+        e.insert(SensorId(0));
+        e_perm.insert(SensorId(perm[0]));
+        for (v, &pv) in perm.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                e.gain(SensorId(v)).to_bits(),
+                e_perm.gain(SensorId(pv)).to_bits()
+            );
+        }
+    }
+}
