@@ -21,6 +21,7 @@
 //! | `scale-exact` | `COOL-E022` | scaling weights by a power of two scales the greedy value exactly and keeps the assignment |
 //! | `sparse-dense-equal` | `COOL-E024` | sparse (incidence-indexed) and dense sum evaluators agree on a random insert/remove/gain/loss trace — gains/losses bitwise, values within `EXACT_TOL` |
 //! | `support-zero-gain` | `COOL-E024` | sparse gain/loss is **exactly** 0 for every sensor outside the sum's support, at every trace state |
+//! | `abstract-unsound` | `COOL-E026` | the abstract energy interpreter's feasible regions agree with sampled concrete replays: verified-failing charges fail, charges ≥ θ replay clean, and a ∀-feasibility proof implies every sensor's region is `All` |
 //!
 //! A note on what is deliberately **not** asserted: the *value achieved by
 //! greedy* is not relabeling-invariant. On tie-heavy instances (e.g. the
@@ -32,7 +33,7 @@
 //! to one tie order instead.
 
 use crate::gen::CheckCase;
-use cool_common::{CoolCode, SeedSequence, SensorId};
+use cool_common::{CoolCode, Interval, SeedSequence, SensorId};
 use cool_core::greedy::{
     greedy_active_naive, greedy_passive_naive, try_greedy_schedule, try_greedy_schedule_lazy,
 };
@@ -40,7 +41,10 @@ use cool_core::horizon::greedy_horizon;
 use cool_core::lp::LpScheduler;
 use cool_core::optimal::exhaustive_optimal;
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
-use cool_lint::{lint_horizon, lint_schedule, Report};
+use cool_lint::{
+    feasible_region, lint_horizon, lint_schedule, lint_schedule_abstract, proves_feasible_for_all,
+    sensor_replay_clean, FeasibleRegion, Report,
+};
 use cool_utility::{Evaluator, SumUtility, UtilityFunction};
 use rand::Rng;
 use std::fmt;
@@ -431,6 +435,122 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
                     break 'trace;
                 }
             }
+        }
+    }
+
+    // --- E026: abstract energy interpreter vs. sampled concrete replay. ---
+    // `feasible_region` bisects each sensor's minimal feasible initial
+    // charge θ with concretely verified endpoints; differential sampling
+    // checks its claims against the shared `slot_transition` function:
+    // charges inside the verified-failing interval `[0, last_failing]`
+    // must fail the concrete replay, charges in `[θ, 1]` must replay
+    // clean, and an interval-interpreter ∀-feasibility proof must imply
+    // every sensor's region is `All`.
+    {
+        const REGION_SAMPLES: usize = 4;
+        let cycle = instance.cycle;
+        let mut abs_rng = SeedSequence::new(case.scenario.seed).nth_rng(17);
+        checked += 1;
+        let for_all = proves_feasible_for_all(&naive, cycle, Interval::UNIT);
+        let mut regions_all_clean = true;
+        'sensors: for sensor in 0..naive.n_sensors() {
+            let region = feasible_region(&naive, cycle, sensor);
+            if region != FeasibleRegion::All {
+                regions_all_clean = false;
+            }
+            match region {
+                FeasibleRegion::All => {
+                    // Clean from an empty battery: by the monotone-threshold
+                    // structure, every initial charge must replay clean.
+                    for _ in 0..REGION_SAMPLES {
+                        let init = abs_rng.random::<f64>();
+                        if !sensor_replay_clean(&naive, cycle, sensor, init) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: region is All but concrete replay \
+                                     fails from initial charge {init}"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                    }
+                }
+                FeasibleRegion::Above {
+                    theta,
+                    last_failing,
+                } => {
+                    for _ in 0..REGION_SAMPLES {
+                        let failing = abs_rng.random::<f64>() * last_failing;
+                        if sensor_replay_clean(&naive, cycle, sensor, failing) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: {failing} ≤ verified-failing bound \
+                                     {last_failing} but the concrete replay succeeds"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                        let clean = theta + abs_rng.random::<f64>() * (1.0 - theta);
+                        if !sensor_replay_clean(&naive, cycle, sensor, clean) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: {clean} ≥ θ = {theta} but the \
+                                     concrete replay fails"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                    }
+                }
+                FeasibleRegion::None => {
+                    // Fails even from a full battery ⇒ fails from every
+                    // initial charge (downward-closed failing set).
+                    for _ in 0..REGION_SAMPLES {
+                        let init = abs_rng.random::<f64>();
+                        if sensor_replay_clean(&naive, cycle, sensor, init) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: region is None but concrete replay \
+                                     succeeds from initial charge {init}"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                    }
+                }
+            }
+        }
+        if for_all && !regions_all_clean {
+            violations.push(Violation {
+                code: CoolCode::AbstractReplayUnsound,
+                relation: "abstract-unsound",
+                detail: "interval interpreter proved ∀-feasibility but some sensor's \
+                         bisected feasible region excludes low charges"
+                    .to_string(),
+            });
+        }
+        // E025 must fire over [0, 1] exactly when some region is not All.
+        let report = lint_schedule_abstract(&naive, cycle, Interval::UNIT);
+        let flagged = report.has_code(CoolCode::AbstractEnergyInfeasible);
+        if flagged == regions_all_clean {
+            violations.push(Violation {
+                code: CoolCode::AbstractReplayUnsound,
+                relation: "abstract-unsound",
+                detail: format!(
+                    "lint_schedule_abstract over [0, 1] {} COOL-E025 but bisection says \
+                     every region is {}",
+                    if flagged { "reports" } else { "omits" },
+                    if regions_all_clean { "All" } else { "not All" },
+                ),
+            });
         }
     }
 

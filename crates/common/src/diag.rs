@@ -111,6 +111,30 @@ pub enum CoolCode {
     ZeroWeightTarget,
     /// COOL-W006: a sensor deployed outside the declared region.
     SensorOutsideRegion,
+    /// COOL-E025: the interval abstract interpreter proved the schedule
+    /// energy-infeasible for some initial battery charge in the audited
+    /// interval (a strict generalisation of the single-trajectory
+    /// COOL-E004 replay, which starts from a full battery).
+    AbstractEnergyInfeasible,
+    /// COOL-E026: the abstract energy replay is unsound against the
+    /// concrete automaton — a sampled initial charge inside a reported
+    /// infeasible sub-interval replayed cleanly, or one inside the proven
+    /// feasible region failed (emitted by the `cool-check` differential
+    /// harness, never by the analyser itself).
+    AbstractReplayUnsound,
+    /// COOL-W007: a sensor whose incident utility parts are a subset of
+    /// another sensor's with pointwise no-larger contributions (and no
+    /// better energy position) — it can never beat its dominator.
+    DominatedSensor,
+    /// COOL-W008: a slot in which no sensor is active — the structure
+    /// (e.g. fewer sensors than slots under `ρ ≥ 1`) leaves it statically
+    /// dead and coverage drops to zero there.
+    StaticallyDeadSlot,
+    /// COOL-W009: a slot's active set is coverage-complete but disconnected
+    /// under the communication radius — detections cannot be relayed
+    /// (coverage implies connectivity only when `comms_radius ≥ 2 ×`
+    /// sensing radius, Khasteh et al.).
+    DisconnectedCover,
 }
 
 impl CoolCode {
@@ -142,12 +166,17 @@ impl CoolCode {
             CoolCode::MetamorphicVariance => "COOL-E022",
             CoolCode::FaultContractViolated => "COOL-E023",
             CoolCode::EvaluatorDivergence => "COOL-E024",
+            CoolCode::AbstractEnergyInfeasible => "COOL-E025",
+            CoolCode::AbstractReplayUnsound => "COOL-E026",
             CoolCode::UnknownScenarioKey => "COOL-W001",
             CoolCode::DuplicateScenarioKey => "COOL-W002",
             CoolCode::DiskCoversRegion => "COOL-W003",
             CoolCode::UnreachableTarget => "COOL-W004",
             CoolCode::ZeroWeightTarget => "COOL-W005",
             CoolCode::SensorOutsideRegion => "COOL-W006",
+            CoolCode::DominatedSensor => "COOL-W007",
+            CoolCode::StaticallyDeadSlot => "COOL-W008",
+            CoolCode::DisconnectedCover => "COOL-W009",
         }
     }
 
@@ -179,12 +208,96 @@ impl CoolCode {
             CoolCode::MetamorphicVariance => "metamorphic-variance",
             CoolCode::FaultContractViolated => "fault-contract-violated",
             CoolCode::EvaluatorDivergence => "evaluator-divergence",
+            CoolCode::AbstractEnergyInfeasible => "abstract-energy-infeasible",
+            CoolCode::AbstractReplayUnsound => "abstract-unsound",
             CoolCode::UnknownScenarioKey => "unknown-scenario-key",
             CoolCode::DuplicateScenarioKey => "duplicate-scenario-key",
             CoolCode::DiskCoversRegion => "disk-covers-region",
             CoolCode::UnreachableTarget => "unreachable-target",
             CoolCode::ZeroWeightTarget => "zero-weight-target",
             CoolCode::SensorOutsideRegion => "sensor-outside-region",
+            CoolCode::DominatedSensor => "dominated-sensor",
+            CoolCode::StaticallyDeadSlot => "statically-dead-slot",
+            CoolCode::DisconnectedCover => "disconnected-cover",
+        }
+    }
+
+    /// A one-line, instance-independent human summary of what the code
+    /// means — the `shortDescription` of the SARIF rule and the `summary`
+    /// field of the JSON diagnostics, so both renderings draw from the
+    /// same table.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            CoolCode::InfeasiblePeriodStructure => {
+                "schedule slot/period/mode structure contradicts the charge ratio rho"
+            }
+            CoolCode::EmptySlotCount => "schedule or horizon spans zero slots",
+            CoolCode::ActivationBudgetExceeded => {
+                "sensor activated more often per period than its energy budget sustains"
+            }
+            CoolCode::EnergyInfeasibleSchedule => {
+                "battery replay found an activation the battery cannot honour"
+            }
+            CoolCode::InvalidProbability => "detection probability outside [0, 1] or not finite",
+            CoolCode::DegenerateSensingDisk => {
+                "sensing disk has a non-positive or non-finite radius"
+            }
+            CoolCode::ScenarioFieldInvalid => {
+                "scenario field holds an out-of-range or unparsable value"
+            }
+            CoolCode::ScenarioLineMalformed => "scenario line is not `key = value` or a comment",
+            CoolCode::NonMonotoneUtility => "utility decreased when its argument set grew",
+            CoolCode::NonSubmodularUtility => "utility violated diminishing returns",
+            CoolCode::NonNormalizedUtility => "utility of the empty set is not zero",
+            CoolCode::NonIntegralRho => "neither rho nor 1/rho is an integer",
+            CoolCode::NonPositiveDuration => {
+                "charge/discharge duration is zero, negative, or not finite"
+            }
+            CoolCode::DegenerateHorizon => "working time spans zero whole charging periods",
+            CoolCode::NonFiniteUtility => "utility evaluation returned NaN or an infinity",
+            CoolCode::UniverseMismatch => "utility universe does not match the sensor count",
+            CoolCode::RequestTimeout => "service request exceeded its wall-clock budget",
+            CoolCode::ServiceOverloaded => "service work queue is full; request shed",
+            CoolCode::MalformedRequest => {
+                "service request body is malformed or names an unknown algorithm"
+            }
+            CoolCode::DifferentialMismatch => {
+                "two schedulers required to agree produced different schedules"
+            }
+            CoolCode::OracleBoundViolated => {
+                "a proven dominance or bound relation between schedulers failed"
+            }
+            CoolCode::MetamorphicVariance => {
+                "a value-preserving transformation changed a schedule's value"
+            }
+            CoolCode::FaultContractViolated => {
+                "the serving daemon violated its fault-handling contract"
+            }
+            CoolCode::EvaluatorDivergence => "sparse and dense utility evaluators diverged",
+            CoolCode::AbstractEnergyInfeasible => {
+                "interval replay proved the schedule infeasible for some initial charge"
+            }
+            CoolCode::AbstractReplayUnsound => {
+                "abstract energy replay contradicted a concrete battery replay"
+            }
+            CoolCode::UnknownScenarioKey => "unknown scenario key (ignored)",
+            CoolCode::DuplicateScenarioKey => "scenario key assigned more than once; last wins",
+            CoolCode::DiskCoversRegion => {
+                "sensing radius covers the whole region; geometry degenerates"
+            }
+            CoolCode::UnreachableTarget => "target no sensor can ever observe",
+            CoolCode::ZeroWeightTarget => "target whose weight or attainable value is zero",
+            CoolCode::SensorOutsideRegion => "sensor deployed outside the declared region",
+            CoolCode::DominatedSensor => {
+                "sensor covered pointwise by another sensor with the same energy position"
+            }
+            CoolCode::StaticallyDeadSlot => {
+                "slot in which no sensor is active; coverage is zero there"
+            }
+            CoolCode::DisconnectedCover => {
+                "active set is coverage-complete but disconnected under the communication radius"
+            }
         }
     }
 
@@ -223,12 +336,17 @@ impl CoolCode {
             CoolCode::MetamorphicVariance,
             CoolCode::FaultContractViolated,
             CoolCode::EvaluatorDivergence,
+            CoolCode::AbstractEnergyInfeasible,
+            CoolCode::AbstractReplayUnsound,
             CoolCode::UnknownScenarioKey,
             CoolCode::DuplicateScenarioKey,
             CoolCode::DiskCoversRegion,
             CoolCode::UnreachableTarget,
             CoolCode::ZeroWeightTarget,
             CoolCode::SensorOutsideRegion,
+            CoolCode::DominatedSensor,
+            CoolCode::StaticallyDeadSlot,
+            CoolCode::DisconnectedCover,
         ]
     }
 }
@@ -274,8 +392,18 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 24);
-        assert_eq!(warnings, 6);
+        assert_eq!(errors, 26);
+        assert_eq!(warnings, 9);
+    }
+
+    #[test]
+    fn every_code_has_a_nonempty_summary() {
+        for &code in CoolCode::all() {
+            let s = code.summary();
+            assert!(!s.is_empty(), "{code} has no summary");
+            assert!(!s.contains('\n'), "{code} summary must be one line");
+            assert!(s.len() < 100, "{code} summary too long for a rule table");
+        }
     }
 
     #[test]

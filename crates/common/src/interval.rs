@@ -1,0 +1,217 @@
+//! A closed-interval domain `[lo, hi] ⊆ ℝ` for abstract interpretation.
+//!
+//! The battery automaton of §II-B operates on a normalised charge fraction
+//! in `[0, 1]`; the abstract energy interpreter in `cool-lint` replays a
+//! schedule over a *set* of battery states represented as one closed
+//! interval. The operations here are the sound counterparts of the concrete
+//! arithmetic: for every concrete point `x ∈ I` and shift `d`,
+//! `x + d ∈ I.shift(d)`, `clamp(x, a, b) ∈ I.clamp(a, b)`, and joins only
+//! ever grow the set (`I ⊆ I.join(J)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cool_common::Interval;
+//!
+//! let charge = Interval::UNIT;           // every initial battery state
+//! let drained = charge.shift(-0.25).clamp(0.0, 1.0);
+//! assert!(drained.contains(0.0));
+//! assert!(drained.contains(0.75));
+//! assert!(!drained.contains(0.76));
+//! ```
+
+use std::fmt;
+
+/// A non-empty closed interval `[lo, hi]` with finite endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The unit interval `[0, 1]` — every normalised battery state.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the endpoints are not finite or `lo > hi` — an empty or
+    /// ill-formed interval is a caller bug, not a representable state.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "ill-formed interval [{lo}, {hi}]"
+        );
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is not finite.
+    #[must_use]
+    pub fn point(x: f64) -> Self {
+        Interval::new(x, x)
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// `hi − lo`.
+    #[must_use]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when `lo == hi`.
+    #[must_use]
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The arithmetic midpoint, computed without overflow.
+    #[must_use]
+    pub fn midpoint(self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// `x ∈ [lo, hi]`.
+    #[must_use]
+    pub fn contains(self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// `other ⊆ self`.
+    #[must_use]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Translates both endpoints by `d` — the abstract counterpart of a
+    /// fixed charge or discharge applied to every state in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is not finite.
+    #[must_use]
+    pub fn shift(self, d: f64) -> Self {
+        Interval::new(self.lo + d, self.hi + d)
+    }
+
+    /// Clamps both endpoints into `[min, max]` — the abstract counterpart
+    /// of battery depletion (floor) and refill (ceiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min > max` or either bound is not finite.
+    #[must_use]
+    pub fn clamp(self, min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min <= max,
+            "ill-formed clamp range [{min}, {max}]"
+        );
+        Interval::new(self.lo.clamp(min, max), self.hi.clamp(min, max))
+    }
+
+    /// The convex hull of both intervals — the smallest interval containing
+    /// every state of either. Joining is how the abstract interpreter stays
+    /// sound when a transition's branches diverge.
+    #[must_use]
+    pub fn join(self, other: Interval) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The intersection, or `None` when the intervals are disjoint.
+    #[must_use]
+    pub fn meet(self, other: Interval) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(0.25, 0.75);
+        assert_eq!(i.lo(), 0.25);
+        assert_eq!(i.hi(), 0.75);
+        assert_eq!(i.width(), 0.5);
+        assert_eq!(i.midpoint(), 0.5);
+        assert!(!i.is_point());
+        assert!(Interval::point(0.3).is_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "ill-formed interval")]
+    fn inverted_endpoints_panic() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ill-formed interval")]
+    fn nan_endpoint_panics() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn shift_and_clamp_model_charge_arithmetic() {
+        let i = Interval::new(0.2, 0.9).shift(0.3).clamp(0.0, 1.0);
+        assert_eq!(i, Interval::new(0.5, 1.0));
+        let d = Interval::new(0.2, 0.9).shift(-0.5).clamp(0.0, 1.0);
+        assert_eq!(d, Interval::new(0.0, 0.4));
+    }
+
+    #[test]
+    fn join_is_the_convex_hull() {
+        let a = Interval::new(0.0, 0.3);
+        let b = Interval::new(0.6, 1.0);
+        let j = a.join(b);
+        assert_eq!(j, Interval::UNIT);
+        assert!(j.contains_interval(a) && j.contains_interval(b));
+        assert_eq!(a.join(a), a, "join is idempotent");
+    }
+
+    #[test]
+    fn meet_is_the_intersection() {
+        let a = Interval::new(0.0, 0.5);
+        let b = Interval::new(0.3, 1.0);
+        assert_eq!(a.meet(b), Some(Interval::new(0.3, 0.5)));
+        assert_eq!(a.meet(Interval::new(0.6, 1.0)), None);
+        assert_eq!(
+            a.meet(Interval::new(0.5, 1.0)),
+            Some(Interval::point(0.5)),
+            "touching endpoints meet in a point"
+        );
+    }
+
+    #[test]
+    fn display_renders_both_endpoints() {
+        assert_eq!(Interval::new(0.0, 0.5).to_string(), "[0, 0.5]");
+    }
+}

@@ -1,0 +1,57 @@
+//! Hot-path invariant checks that CI can promote to hard assertions.
+//!
+//! The schedulers carry correctness invariants (monotone gains, CELF
+//! staleness, LP probability rows) that are too hot to assert in release
+//! builds but too valuable to only ever check in `debug_assertions`
+//! builds. [`invariant!`] is `debug_assert!` by default and becomes a hard
+//! `assert!` — in **every** profile, including `--release` — when
+//! `cool-common` is built with the `hard-invariants` cargo feature. CI runs
+//! a dedicated lane with the feature enabled so the release-optimised code
+//! paths are exercised with the invariants live.
+
+/// `true` when the `hard-invariants` feature is enabled on `cool-common`.
+///
+/// Exposed as a `const` (rather than gating the macro body on the consumer
+/// crate's own features) so one feature flag on `cool-common` switches every
+/// crate in the workspace at once.
+pub const HARD_INVARIANTS: bool = cfg!(feature = "hard-invariants");
+
+/// Asserts a scheduler invariant: `debug_assert!` in ordinary builds, a
+/// hard `assert!` when `cool-common`'s `hard-invariants` feature is on.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::invariant;
+///
+/// let gain = 0.25_f64;
+/// invariant!(gain >= -1e-9, "monotone utility produced negative gain {gain}");
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => {
+        if $crate::HARD_INVARIANTS {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_invariant_is_silent() {
+        invariant!(1 + 1 == 2, "arithmetic holds");
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(any(debug_assertions, feature = "hard-invariants")),
+        ignore = "invariants compiled out in plain release builds"
+    )]
+    #[should_panic(expected = "deliberate")]
+    fn failing_invariant_panics_when_checked() {
+        invariant!(false, "deliberate");
+    }
+}

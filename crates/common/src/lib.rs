@@ -29,6 +29,8 @@
 pub mod diag;
 pub mod hash;
 pub mod id;
+pub mod interval;
+pub mod invariant;
 pub mod json;
 pub mod metrics;
 pub mod parallel;
@@ -36,13 +38,17 @@ pub mod rng;
 pub mod set;
 pub mod stats;
 pub mod table;
+pub mod unionfind;
 
 pub use diag::CoolCode;
 pub use hash::{fnv1a_64, StableHasher};
 pub use id::{SensorId, SlotId, SubregionId, TargetId};
+pub use interval::Interval;
+pub use invariant::HARD_INVARIANTS;
 pub use metrics::{Counter, CounterVec, Gauge, Histogram};
 pub use parallel::{default_sweep_threads, parallel_map, SubmitError, WorkerPool};
 pub use rng::SeedSequence;
 pub use set::SensorSet;
 pub use stats::{OnlineStats, Summary};
 pub use table::Table;
+pub use unionfind::UnionFind;

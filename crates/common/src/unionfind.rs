@@ -1,0 +1,140 @@
+//! Disjoint-set forest (union-find) with path halving and union by size.
+//!
+//! Used by the `cool-lint` connectivity pass to count connected components
+//! of the communication graph restricted to a slot's active sensors
+//! (the coverage-implies-connectivity check after Khasteh et al.).
+
+/// A disjoint-set forest over `0..len` elements.
+///
+/// # Examples
+///
+/// ```
+/// use cool_common::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert_eq!(uf.components(), 4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert_eq!(uf.components(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton components.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the forest holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint components.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// The canonical representative of `x`'s component (path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` when they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a >= len` or `b >= len`.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a >= len` or `b >= len`.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_chain() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        for i in 0..4 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.components(), 1);
+        assert!(uf.connected(0, 4));
+        assert!(!uf.union(0, 4), "already connected");
+    }
+
+    #[test]
+    fn union_by_size_keeps_components_exact() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(4, 5);
+        assert_eq!(uf.components(), 3);
+        uf.union(1, 3);
+        assert_eq!(uf.components(), 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn empty_forest_is_degenerate_but_valid() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.components(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the [`Interval`] abstract domain.
+//!
+//! The abstract energy interpreter in `cool-lint` is sound only if every
+//! interval operation over-approximates its concrete counterpart; these
+//! properties pin exactly that contract, plus the lattice algebra (join as
+//! least upper bound, meet as greatest lower bound) the interpreter's
+//! branch handling relies on.
+
+use cool_common::Interval;
+use proptest::prelude::*;
+
+/// A well-formed interval inside a battery-sized range, plus a point in it
+/// (sampled as a convex combination of the endpoints, so every generated
+/// concrete state really belongs to the abstract one).
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (-2.0f64..2.0, -2.0f64..2.0, 0.0f64..=1.0).prop_map(|(a, b, t)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let iv = Interval::new(lo, hi);
+        (iv, lo + t * (hi - lo))
+    })
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    interval_with_point().prop_map(|(iv, _)| iv)
+}
+
+proptest! {
+    /// Soundness of `shift`: `x ∈ I ⇒ x + d ∈ I.shift(d)`.
+    #[test]
+    fn shift_is_sound((iv, x) in interval_with_point(), d in -1.0f64..1.0) {
+        prop_assert!(iv.shift(d).contains(x + d));
+    }
+
+    /// Soundness of `clamp`: `x ∈ I ⇒ clamp(x) ∈ I.clamp(..)`.
+    #[test]
+    fn clamp_is_sound((iv, x) in interval_with_point()) {
+        prop_assert!(iv.clamp(0.0, 1.0).contains(x.clamp(0.0, 1.0)));
+    }
+
+    /// `clamp` output always lies inside the clamp range.
+    #[test]
+    fn clamp_lands_in_range(iv in interval()) {
+        let c = iv.clamp(0.0, 1.0);
+        prop_assert!(Interval::UNIT.contains_interval(c));
+    }
+
+    /// `join` is an upper bound of both operands.
+    #[test]
+    fn join_is_an_upper_bound(a in interval(), b in interval()) {
+        let j = a.join(b);
+        prop_assert!(j.contains_interval(a));
+        prop_assert!(j.contains_interval(b));
+    }
+
+    /// `join` is the *least* upper bound: any interval containing both
+    /// operands contains their join.
+    #[test]
+    fn join_is_least(a in interval(), b in interval(), c in interval()) {
+        if c.contains_interval(a) && c.contains_interval(b) {
+            prop_assert!(c.contains_interval(a.join(b)));
+        }
+    }
+
+    /// Join is commutative, idempotent, and associative.
+    #[test]
+    fn join_algebra(a in interval(), b in interval(), c in interval()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    /// `meet` is a lower bound when it exists, and membership in both
+    /// operands is exactly membership in the meet.
+    #[test]
+    fn meet_is_the_intersection((a, x) in interval_with_point(), b in interval()) {
+        match a.meet(b) {
+            Some(m) => {
+                prop_assert!(a.contains_interval(m));
+                prop_assert!(b.contains_interval(m));
+                prop_assert_eq!(m.contains(x), b.contains(x));
+            }
+            None => prop_assert!(!b.contains(x)),
+        }
+    }
+
+    /// Absorption ties the lattice together: `a ⊓ (a ⊔ b) = a`.
+    #[test]
+    fn meet_absorbs_join(a in interval(), b in interval()) {
+        prop_assert_eq!(a.meet(a.join(b)), Some(a));
+    }
+
+    /// Points behave like their single member.
+    #[test]
+    fn point_membership(x in -2.0f64..2.0, y in -2.0f64..2.0) {
+        let p = Interval::point(x);
+        prop_assert!(p.contains(x));
+        prop_assert_eq!(p.contains(y), x == y);
+        prop_assert_eq!(p.midpoint(), x);
+        prop_assert_eq!(p.width(), 0.0);
+    }
+
+    /// The midpoint is a member, and containment is transitive through it.
+    #[test]
+    fn midpoint_is_a_member(iv in interval()) {
+        prop_assert!(iv.contains(iv.midpoint()));
+    }
+}

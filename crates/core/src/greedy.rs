@@ -206,7 +206,7 @@ pub fn greedy_active_naive<U: UtilityFunction>(
         };
         // Monotonicity invariant: marginal gains of a monotone utility are
         // never negative (beyond roundoff).
-        debug_assert!(
+        cool_common::invariant!(
             gain >= -1e-9,
             "negative marginal gain {gain} for sensor {v} in slot {t}"
         );
@@ -269,7 +269,7 @@ pub fn greedy_passive_naive<U: UtilityFunction>(
         let Some((loss, v, t)) = best else {
             break; // n == 0: nothing to assign
         };
-        debug_assert!(
+        cool_common::invariant!(
             loss >= -1e-9,
             "negative marginal loss {loss} for sensor {v} in slot {t}"
         );
@@ -373,7 +373,7 @@ where
                 });
             }
             // The CELF correctness invariant: stale entries only shrink.
-            debug_assert!(
+            cool_common::invariant!(
                 gain <= entry.gain + 1e-9,
                 "stale gain grew from {} to {gain}: utility is not submodular",
                 entry.gain
@@ -503,7 +503,7 @@ where
                 });
             }
             // The dual CELF correctness invariant: stale losses only grow.
-            debug_assert!(
+            cool_common::invariant!(
                 loss >= entry.loss - 1e-9,
                 "stale loss shrank from {} to {loss}: utility is not submodular",
                 entry.loss

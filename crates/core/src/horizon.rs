@@ -254,14 +254,14 @@ pub fn greedy_horizon<U: UtilityFunction>(
         match best {
             Some((gain, v, t)) if gain > 1e-15 => {
                 // Monotonicity: the chosen marginal gain is never negative.
-                debug_assert!(
+                cool_common::invariant!(
                     gain >= -1e-9,
                     "monotone utility produced negative gain {gain}"
                 );
                 schedule.activate(SensorId(v), t);
                 let realised = evaluators[t].insert(SensorId(v));
                 // Evaluator consistency: insert must realise the queried gain.
-                debug_assert!(
+                cool_common::invariant!(
                     (realised - gain).abs() <= 1e-9 * gain.abs().max(1.0),
                     "evaluator gain/insert mismatch: {gain} vs {realised}"
                 );

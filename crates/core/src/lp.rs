@@ -219,14 +219,14 @@ impl LpScheduler {
             for v in 0..n {
                 // The simplex solution must be a (sub-)probability row per
                 // sensor for the rounding below to be well-defined.
-                debug_assert!(
+                cool_common::invariant!(
                     (0..t_slots).all(|t| {
                         let p = x[v * t_slots + t];
                         (-1e-9..=1.0 + 1e-9).contains(&p)
                     }),
                     "LP slot-assignment variables for sensor {v} outside [0, 1]"
                 );
-                debug_assert!(
+                cool_common::invariant!(
                     (0..t_slots).map(|t| x[v * t_slots + t]).sum::<f64>() <= 1.0 + 1e-6,
                     "LP slot-assignment row for sensor {v} exceeds probability mass 1"
                 );
@@ -263,7 +263,7 @@ impl LpScheduler {
             unreachable!("trials >= 1, so at least one rounding attempt ran")
         };
         // The envelope relaxation dominates every integral assignment.
-        debug_assert!(
+        cool_common::invariant!(
             rounded_value <= solution.objective_value + 1e-6,
             "rounded value {rounded_value} exceeds LP bound {}",
             solution.objective_value
@@ -351,14 +351,14 @@ impl LpScheduler {
                 })
                 .collect();
             for v in 0..n {
-                debug_assert!(
+                cool_common::invariant!(
                     (0..t_slots).all(|t| {
                         let p = x[v * t_slots + t];
                         (-1e-9..=1.0 + 1e-9).contains(&p)
                     }),
                     "LP passive-slot variables for sensor {v} outside [0, 1]"
                 );
-                debug_assert!(
+                cool_common::invariant!(
                     ((0..t_slots).map(|t| x[v * t_slots + t]).sum::<f64>() - 1.0).abs() <= 1e-6,
                     "LP passive-slot row for sensor {v} is not a probability row"
                 );
@@ -393,7 +393,7 @@ impl LpScheduler {
         let Some((rounded_value, schedule)) = best else {
             unreachable!("trials >= 1, so at least one rounding attempt ran")
         };
-        debug_assert!(
+        cool_common::invariant!(
             rounded_value <= solution.objective_value + 1e-6,
             "rounded value {rounded_value} exceeds LP bound {}",
             solution.objective_value

@@ -49,5 +49,5 @@ pub use profile::{
 };
 pub use random_model::RandomChargeModel;
 pub use slots::{ChargeCycle, CycleError};
-pub use state::{NodeEnergyMachine, NodeState};
+pub use state::{slot_transition, NodeEnergyMachine, NodeState, SlotOutcome};
 pub use weather::{Weather, WeatherGenerator};

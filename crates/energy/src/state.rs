@@ -39,6 +39,89 @@ impl fmt::Display for NodeState {
     }
 }
 
+/// The result of advancing one node through one slot: the battery fraction
+/// at the slot boundary, whether the activation request was honoured, and
+/// the resulting lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlotOutcome {
+    /// Battery level as a fraction of capacity after the slot, in `[0, 1]`.
+    pub fraction: f64,
+    /// Whether the node was actually active this slot.
+    pub active: bool,
+    /// Lifecycle state at the end of the slot.
+    pub state: NodeState,
+}
+
+/// The §II-B battery automaton as a pure function of the battery fraction.
+///
+/// This is the single source of truth for the slot transition:
+/// [`NodeEnergyMachine::step`] delegates to it, and the `cool-lint`
+/// abstract interpreter replays it over intervals of initial charges —
+/// keeping the concrete and abstract semantics bit-identical by
+/// construction.
+///
+/// The arithmetic mirrors a capacity-1 [`Battery`] exactly:
+/// * activation honoured when `fraction + 1e-9 ≥ need × (1 − tolerance)`
+///   where `need` is [`ChargeCycle::discharge_fraction_per_slot`]; the slot
+///   drains `min(need, fraction)` and a residue below `1e-9` depletes to
+///   exactly `0` (passive);
+/// * otherwise a full battery (`≥ 1 − 1e-12`) idles ready, minus
+///   `ready_leakage`;
+/// * otherwise the node charges [`ChargeCycle::recharge_fraction_per_slot`]
+///   (clamped at capacity) and snaps to exactly `1` on reaching full.
+///
+/// # Panics
+///
+/// Panics when `fraction` is outside `[0, 1]` or not finite.
+#[must_use]
+pub fn slot_transition(
+    cycle: ChargeCycle,
+    fraction: f64,
+    activate: bool,
+    ready_leakage: f64,
+    activation_tolerance: f64,
+) -> SlotOutcome {
+    assert!(
+        fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+        "battery fraction {fraction} outside [0, 1]"
+    );
+    let need = cycle.discharge_fraction_per_slot();
+    if activate && fraction + 1e-9 >= need * (1.0 - activation_tolerance) {
+        let mut level = fraction - need.min(fraction);
+        let state = if level < 1e-9 {
+            level = 0.0;
+            NodeState::Passive
+        } else {
+            NodeState::Active
+        };
+        return SlotOutcome {
+            fraction: level,
+            active: true,
+            state,
+        };
+    }
+    if fraction >= 1.0 - 1e-12 {
+        SlotOutcome {
+            fraction: fraction - ready_leakage.min(fraction),
+            active: false,
+            state: NodeState::Ready,
+        }
+    } else {
+        let mut level = fraction + cycle.recharge_fraction_per_slot().min(1.0 - fraction);
+        let state = if level >= 1.0 - 1e-12 {
+            level = 1.0;
+            NodeState::Ready
+        } else {
+            NodeState::Passive
+        };
+        SlotOutcome {
+            fraction: level,
+            active: false,
+            state,
+        }
+    }
+}
+
 /// Per-node battery + state machine stepping in whole slots.
 ///
 /// # Examples
@@ -77,10 +160,31 @@ impl NodeEnergyMachine {
     /// Creates a node with a full (normalised, capacity-1) battery in the
     /// ready state.
     pub fn new(cycle: ChargeCycle) -> Self {
+        NodeEnergyMachine::with_initial_fraction(cycle, 1.0)
+    }
+
+    /// Creates a node whose battery starts at `fraction` of capacity — the
+    /// deployment reality the full-battery constructor idealises away. The
+    /// node starts ready when full and passive (recharging) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or not finite.
+    pub fn with_initial_fraction(cycle: ChargeCycle, fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "initial battery fraction {fraction} outside [0, 1]"
+        );
+        let battery = Battery::new(1.0, fraction);
+        let state = if battery.is_full() {
+            NodeState::Ready
+        } else {
+            NodeState::Passive
+        };
         NodeEnergyMachine {
             cycle,
-            battery: Battery::full(1.0),
-            state: NodeState::Ready,
+            battery,
+            state,
             ready_leakage: 0.0,
             activation_tolerance: 0.0,
             slots_active: 0,
@@ -177,36 +281,29 @@ impl NodeEnergyMachine {
     ///   depletion or by the scheduler designating this its passive slot),
     ///   exiting to ready when full.
     pub fn step(&mut self, activate: bool) -> bool {
-        let need = self.cycle.discharge_fraction_per_slot();
-        if activate && self.battery.fraction() + 1e-9 >= need * (1.0 - self.activation_tolerance) {
-            self.state = NodeState::Active;
+        let entry_full = self.battery.is_full();
+        let out = slot_transition(
+            self.cycle,
+            self.battery.fraction(),
+            activate,
+            self.ready_leakage,
+            self.activation_tolerance,
+        );
+        self.battery = Battery::new(1.0, out.fraction);
+        self.state = out.state;
+        if out.active {
             self.slots_active += 1;
-            self.battery.discharge(need.min(self.battery.level()));
-            if self.battery.fraction() < 1e-9 {
-                self.battery.deplete();
-                self.state = NodeState::Passive;
-            }
-            return true;
-        }
-        if activate {
-            self.refused_activations += 1;
-        }
-        if self.battery.is_full() {
-            self.state = NodeState::Ready;
-            self.slots_ready += 1;
-            if self.ready_leakage > 0.0 {
-                self.battery.discharge(self.ready_leakage);
-            }
         } else {
-            self.state = NodeState::Passive;
-            self.slots_passive += 1;
-            self.battery.charge(self.cycle.recharge_fraction_per_slot());
-            if self.battery.is_full() {
-                self.battery.refill();
-                self.state = NodeState::Ready;
+            if activate {
+                self.refused_activations += 1;
+            }
+            if entry_full {
+                self.slots_ready += 1;
+            } else {
+                self.slots_passive += 1;
             }
         }
-        false
+        out.active
     }
 }
 
@@ -342,6 +439,53 @@ mod tests {
     #[should_panic(expected = "fraction of the slot energy")]
     fn excessive_tolerance_panics() {
         let _ = NodeEnergyMachine::new(ChargeCycle::paper_sunny()).with_activation_tolerance(2.0);
+    }
+
+    #[test]
+    fn with_initial_fraction_starts_passive_below_full() {
+        let cycle = ChargeCycle::paper_sunny();
+        let node = NodeEnergyMachine::with_initial_fraction(cycle, 0.4);
+        assert_eq!(node.state(), NodeState::Passive);
+        assert!(!node.can_activate());
+        assert!((node.battery_fraction() - 0.4).abs() < 1e-12);
+        let full = NodeEnergyMachine::with_initial_fraction(cycle, 1.0);
+        assert_eq!(full, NodeEnergyMachine::new(cycle));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn overfull_initial_fraction_panics() {
+        let _ = NodeEnergyMachine::with_initial_fraction(ChargeCycle::paper_sunny(), 1.5);
+    }
+
+    proptest! {
+        /// The pure [`slot_transition`] and the stateful machine agree on
+        /// every slot for arbitrary initial charges and request streams —
+        /// the contract the `cool-lint` abstract interpreter relies on.
+        #[test]
+        fn pure_transition_matches_machine(
+            ratio in 1usize..6,
+            invert in any::<bool>(),
+            initial in 0.0f64..=1.0,
+            leakage in 0.0f64..0.1,
+            tolerance in 0.0f64..0.1,
+            requests in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let rho = if invert { 1.0 / ratio as f64 } else { ratio as f64 };
+            let cycle = ChargeCycle::from_rho(rho, 10.0).unwrap();
+            let mut node = NodeEnergyMachine::with_initial_fraction(cycle, initial)
+                .with_ready_leakage(leakage)
+                .with_activation_tolerance(tolerance);
+            let mut fraction = initial;
+            for &req in &requests {
+                let out = slot_transition(cycle, fraction, req, leakage, tolerance);
+                let was_active = node.step(req);
+                prop_assert_eq!(out.active, was_active);
+                prop_assert_eq!(out.fraction, node.battery_fraction(), "exact agreement");
+                prop_assert_eq!(out.state, node.state());
+                fraction = out.fraction;
+            }
+        }
     }
 
     proptest! {

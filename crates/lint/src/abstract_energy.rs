@@ -1,0 +1,423 @@
+//! Interval abstract interpretation of the §II-B battery automaton.
+//!
+//! The concrete schedule replay ([`crate::schedule::lint_schedule_from`])
+//! answers "is this schedule energy-feasible from *one* initial charge?".
+//! This module answers the quantified versions:
+//!
+//! * **∀-proof** — [`proves_feasible_for_all`] replays the schedule over an
+//!   abstract battery state `[lo, hi] ⊆ [0, 1]` using [`interval_step`], an
+//!   over-approximation of [`cool_energy::slot_transition`]. When every
+//!   scheduled activation is honoured by the *entire* abstract interval,
+//!   the schedule is feasible from **every** initial charge in the interval
+//!   — upgrading the single-trajectory `COOL-E004` replay to a proof.
+//! * **∃-refutation** — [`feasible_region`] computes, per sensor, the set
+//!   of initial charges from which the replay fails. The concrete
+//!   transition is branch-wise monotone (more charge never hurts), so the
+//!   failing set is downward-closed: `[0, θ)` for a minimal feasible
+//!   charge θ found by bisection on the concrete replay itself. Both
+//!   bisection endpoints are *verified concretely*, so a reported failing
+//!   sub-interval is witnessed at its boundary, and
+//!   [`lint_schedule_abstract`] emits `COOL-E025` only when the audited
+//!   initial-charge interval provably intersects it.
+//!
+//! Soundness is differentially tested from the outside: the `cool-check`
+//! harness samples initial charges inside reported regions and replays
+//! them concretely (`COOL-E026 abstract-unsound` when they disagree).
+//!
+//! A note on the full-charge sliver: the concrete automaton snaps a
+//! charging battery to exactly `1` once it crosses `1 − 1e-12`, so a
+//! charge *inside* that sliver can (in theory) trail one just below it by
+//! at most `1e-12`. The bisection is immune (it only trusts concretely
+//! verified points); the interval step simply keeps the hull.
+
+use crate::diag::{Diagnostic, Report};
+use cool_common::{CoolCode, Interval, SensorId};
+use cool_core::schedule::PeriodSchedule;
+use cool_energy::{slot_transition, ChargeCycle};
+
+/// Replay depth in periods — matches the concrete lint replay: wrap-around
+/// deficits appear in the second period, and the state at the end of period
+/// two equals the state at the end of period one for feasible schedules.
+const REPLAY_PERIODS: usize = 2;
+
+/// Bisection steps for [`feasible_region`]: 60 halvings pin θ to one part
+/// in 2⁻⁶⁰, far below every tolerance in the automaton.
+const BISECTION_STEPS: usize = 60;
+
+/// One abstract slot step: the image of the battery-fraction interval `iv`
+/// under [`cool_energy::slot_transition`], over-approximated by splitting
+/// at the branch boundaries (activation threshold, full-charge boundary),
+/// mapping each monotone piece by its endpoints, and joining the pieces.
+///
+/// Guarantees `concrete ∈ iv ⇒ step(concrete) ∈ interval_step(iv)`; the
+/// result may be wider than the true image (convex hull across branches).
+#[must_use]
+pub fn interval_step(cycle: ChargeCycle, iv: Interval, activate: bool) -> Interval {
+    let need = cycle.discharge_fraction_per_slot();
+    let mut pieces: Vec<Interval> = Vec::with_capacity(3);
+    let (idle_lo, mut idle_hi) = (iv.lo(), iv.hi());
+    if activate {
+        // Honoured iff fraction + 1e-9 >= need (lint replays use zero
+        // activation tolerance); the cut point lands in both pieces.
+        let cut = need - 1e-9;
+        if iv.hi() + 1e-9 >= need {
+            let a = iv.lo().max(cut).clamp(0.0, 1.0);
+            pieces.push(Interval::new(
+                active_image(a, need),
+                active_image(iv.hi(), need),
+            ));
+        }
+        if iv.lo() + 1e-9 < need {
+            // The refusing sub-interval falls through to idle semantics.
+            idle_hi = iv.hi().min(cut).clamp(0.0, 1.0);
+        } else {
+            idle_hi = f64::NEG_INFINITY; // nothing refuses
+        }
+    }
+    if idle_lo <= idle_hi {
+        let full = 1.0 - 1e-12;
+        if idle_hi >= full {
+            // Ready: level unchanged (zero leakage in lint replays).
+            pieces.push(Interval::new(idle_lo.max(full), idle_hi));
+        }
+        if idle_lo < full {
+            let r = cycle.recharge_fraction_per_slot();
+            let hi = idle_hi.min(full);
+            pieces.push(Interval::new(charge_image(idle_lo, r), charge_image(hi, r)));
+        }
+    }
+    let mut out = pieces[0];
+    for p in &pieces[1..] {
+        out = out.join(*p);
+    }
+    out
+}
+
+/// The honoured-activation branch of the transition (monotone in `b`).
+fn active_image(b: f64, need: f64) -> f64 {
+    let level = b - need.min(b);
+    if level < 1e-9 {
+        0.0
+    } else {
+        level
+    }
+}
+
+/// The passive-charging branch of the transition (monotone in `b`).
+fn charge_image(b: f64, recharge: f64) -> f64 {
+    let level = b + recharge.min(1.0 - b);
+    if level >= 1.0 - 1e-12 {
+        1.0
+    } else {
+        level
+    }
+}
+
+/// `true` when the abstract replay **proves** `schedule` energy-feasible
+/// for *every* initial charge in `init`: at each scheduled activation the
+/// whole abstract interval clears the activation threshold, so no concrete
+/// trajectory starting in `init` can refuse. `false` means "not proved"
+/// (the analysis is sound, not complete).
+///
+/// # Panics
+///
+/// Panics if `init ⊄ [0, 1]`.
+#[must_use]
+pub fn proves_feasible_for_all(
+    schedule: &PeriodSchedule,
+    cycle: ChargeCycle,
+    init: Interval,
+) -> bool {
+    assert!(
+        Interval::UNIT.contains_interval(init),
+        "initial-charge interval {init} outside [0, 1]"
+    );
+    let slots = schedule.slots_per_period();
+    if slots != cycle.slots_per_period() {
+        return false; // structurally broken: the concrete lint owns this
+    }
+    let need = cycle.discharge_fraction_per_slot();
+    for i in 0..schedule.n_sensors() {
+        let mut iv = init;
+        for _period in 0..REPLAY_PERIODS {
+            for t in 0..slots {
+                let want = schedule.is_active(SensorId(i), t);
+                if want && iv.lo() + 1e-9 < need {
+                    return false; // some initial charge may refuse here
+                }
+                iv = interval_step(cycle, iv, want);
+            }
+        }
+    }
+    true
+}
+
+/// The set of initial charges from which one sensor's replay succeeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FeasibleRegion {
+    /// Clean from an empty battery — clean from every initial charge.
+    All,
+    /// Clean from every charge ≥ `theta`; `last_failing` (< `theta`) is the
+    /// largest initial charge *concretely verified* to fail, so the failing
+    /// region provably contains `[0, last_failing]`.
+    Above {
+        /// Minimal initial charge verified to replay cleanly.
+        theta: f64,
+        /// Largest initial charge verified to fail (bisection witness).
+        last_failing: f64,
+    },
+    /// Fails even from a full battery — the schedule is infeasible outright
+    /// (the concrete `COOL-E004` replay already reports this).
+    None,
+}
+
+/// Concrete two-period replay of one sensor's row from `initial`: `true`
+/// when every scheduled activation is honoured.
+#[must_use]
+pub fn sensor_replay_clean(
+    schedule: &PeriodSchedule,
+    cycle: ChargeCycle,
+    sensor: usize,
+    initial: f64,
+) -> bool {
+    let slots = schedule.slots_per_period();
+    let mut fraction = initial;
+    for _period in 0..REPLAY_PERIODS {
+        for t in 0..slots {
+            let want = schedule.is_active(SensorId(sensor), t);
+            let out = slot_transition(cycle, fraction, want, 0.0, 0.0);
+            if want && !out.active {
+                return false;
+            }
+            fraction = out.fraction;
+        }
+    }
+    true
+}
+
+/// Bisects the minimal feasible initial charge θ for one sensor's row.
+///
+/// Relies on the monotone-threshold structure of the automaton: for a fixed
+/// request row, more initial charge never turns a clean replay into a
+/// failing one, so the failing set is an interval `[0, θ)`.
+///
+/// # Panics
+///
+/// Panics if `schedule`'s slot count disagrees with `cycle`'s.
+#[must_use]
+pub fn feasible_region(
+    schedule: &PeriodSchedule,
+    cycle: ChargeCycle,
+    sensor: usize,
+) -> FeasibleRegion {
+    assert_eq!(
+        schedule.slots_per_period(),
+        cycle.slots_per_period(),
+        "schedule/cycle slot mismatch"
+    );
+    if sensor_replay_clean(schedule, cycle, sensor, 0.0) {
+        return FeasibleRegion::All;
+    }
+    if !sensor_replay_clean(schedule, cycle, sensor, 1.0) {
+        return FeasibleRegion::None;
+    }
+    let (mut failing, mut clean) = (0.0_f64, 1.0_f64);
+    for _ in 0..BISECTION_STEPS {
+        let mid = failing + (clean - failing) / 2.0;
+        if mid <= failing || mid >= clean {
+            break; // interval narrower than one ulp
+        }
+        if sensor_replay_clean(schedule, cycle, sensor, mid) {
+            clean = mid;
+        } else {
+            failing = mid;
+        }
+    }
+    FeasibleRegion::Above {
+        theta: clean,
+        last_failing: failing,
+    }
+}
+
+/// Lints `schedule` for energy feasibility over a *range* of initial
+/// charges, emitting [`CoolCode::AbstractEnergyInfeasible`] for each sensor
+/// whose provably-failing region intersects `init`.
+///
+/// Structural errors (slot-count mismatch) are the concrete
+/// [`crate::schedule::lint_schedule`]'s job; this pass returns an empty
+/// report for structurally broken schedules instead of double-reporting.
+///
+/// # Panics
+///
+/// Panics if `init ⊄ [0, 1]`.
+#[must_use]
+pub fn lint_schedule_abstract(
+    schedule: &PeriodSchedule,
+    cycle: ChargeCycle,
+    init: Interval,
+) -> Report {
+    assert!(
+        Interval::UNIT.contains_interval(init),
+        "initial-charge interval {init} outside [0, 1]"
+    );
+    let mut report = Report::new();
+    if schedule.slots_per_period() != cycle.slots_per_period() {
+        return report;
+    }
+    if proves_feasible_for_all(schedule, cycle, init) {
+        return report; // ∀-proof: no sensor can fail anywhere in `init`
+    }
+    for i in 0..schedule.n_sensors() {
+        let failing_hi = match feasible_region(schedule, cycle, i) {
+            FeasibleRegion::All => continue,
+            FeasibleRegion::Above { last_failing, .. } => last_failing,
+            FeasibleRegion::None => 1.0,
+        };
+        // The failing region provably contains [0, failing_hi]; intersect
+        // with the audited interval and report only a verified range.
+        if init.lo() > failing_hi {
+            continue;
+        }
+        let lo = init.lo();
+        let hi = failing_hi.min(init.hi());
+        report.push(
+            Diagnostic::new(
+                CoolCode::AbstractEnergyInfeasible,
+                format!(
+                    "sensor {i}'s schedule is energy-infeasible for every initial charge in \
+                     [{lo:.6}, {hi:.6}]"
+                ),
+            )
+            .with_help(
+                "deploy the sensor with a fuller battery, or move its active slot later in \
+                 the period so passive slots can bank the energy first",
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_core::greedy::greedy_active_naive;
+    use cool_core::schedule::ScheduleMode;
+    use cool_energy::NodeEnergyMachine;
+    use cool_utility::DetectionUtility;
+
+    #[test]
+    fn point_interval_step_matches_concrete_transition() {
+        let cycle = ChargeCycle::paper_sunny();
+        for b in [0.0, 0.1, 1.0 / 3.0, 0.5, 0.999, 1.0 - 1e-13, 1.0] {
+            for activate in [false, true] {
+                let out = slot_transition(cycle, b, activate, 0.0, 0.0);
+                let iv = interval_step(cycle, Interval::point(b), activate);
+                assert!(
+                    iv.contains(out.fraction),
+                    "b={b} activate={activate}: {} not in {iv}",
+                    out.fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_step_is_a_sound_over_approximation() {
+        // Sampled containment: stepping any point of the interval lands
+        // inside the stepped interval, across both rho regimes.
+        for cycle in [
+            ChargeCycle::paper_sunny(),
+            ChargeCycle::from_rho(0.25, 10.0).unwrap(),
+        ] {
+            for activate in [false, true] {
+                let iv = Interval::new(0.2, 0.95);
+                let stepped = interval_step(cycle, iv, activate);
+                for k in 0..=100 {
+                    let b = 0.2 + 0.75 * f64::from(k) / 100.0;
+                    let out = slot_transition(cycle, b, activate, 0.0, 0.0);
+                    assert!(
+                        stepped.contains(out.fraction),
+                        "{cycle:?} activate={activate} b={b}: {} not in {stepped}",
+                        out.fraction
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn late_slot_schedule_proved_feasible_for_all_charges() {
+        // Slot 3 under rho = 3: three passive slots bank a full charge from
+        // any starting level, so the activation is honoured universally.
+        let cycle = ChargeCycle::paper_sunny();
+        let late = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![3]);
+        assert!(proves_feasible_for_all(&late, cycle, Interval::UNIT));
+        assert!(lint_schedule_abstract(&late, cycle, Interval::UNIT).is_clean());
+    }
+
+    #[test]
+    fn early_slot_schedule_fails_for_low_charges() {
+        let cycle = ChargeCycle::paper_sunny();
+        let early = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0]);
+        assert!(!proves_feasible_for_all(&early, cycle, Interval::UNIT));
+        let FeasibleRegion::Above {
+            theta,
+            last_failing,
+        } = feasible_region(&early, cycle, 0)
+        else {
+            panic!("expected a threshold region");
+        };
+        // Slot 0 is honoured iff b + 1e-9 >= 1, so theta sits just below 1.
+        assert!(theta > 0.9 && theta <= 1.0, "theta = {theta}");
+        assert!(last_failing < theta);
+        assert!(!sensor_replay_clean(&early, cycle, 0, last_failing));
+        assert!(sensor_replay_clean(&early, cycle, 0, theta));
+        let r = lint_schedule_abstract(&early, cycle, Interval::UNIT);
+        assert!(r.has_code(CoolCode::AbstractEnergyInfeasible), "{r}");
+        // From a full deployment charge the same schedule is clean.
+        assert!(lint_schedule_abstract(&early, cycle, Interval::point(1.0)).is_clean());
+    }
+
+    #[test]
+    fn greedy_schedules_are_clean_from_full_charge() {
+        let cycle = ChargeCycle::paper_sunny();
+        let u = DetectionUtility::uniform(8, 0.4);
+        let schedule = greedy_active_naive(&u, cycle.slots_per_period()).unwrap();
+        let r = lint_schedule_abstract(&schedule, cycle, Interval::point(1.0));
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn reported_region_boundary_is_concretely_witnessed() {
+        // Every initial charge the lint names at the interval boundary must
+        // fail a concrete machine replay — the E026 soundness contract.
+        let cycle = ChargeCycle::paper_sunny();
+        let early = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0, 2]);
+        for sensor in 0..2 {
+            if let FeasibleRegion::Above { last_failing, .. } =
+                feasible_region(&early, cycle, sensor)
+            {
+                let mut node = NodeEnergyMachine::with_initial_fraction(cycle, last_failing);
+                let mut refused = false;
+                for _ in 0..2 {
+                    for t in 0..4 {
+                        let want = early.is_active(SensorId(sensor), t);
+                        refused |= want && !node.step(want);
+                    }
+                }
+                assert!(
+                    refused,
+                    "sensor {sensor}: witness {last_failing} replays clean"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_interval_panics() {
+        let cycle = ChargeCycle::paper_sunny();
+        let s = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0]);
+        let _ = lint_schedule_abstract(&s, cycle, Interval::new(0.0, 1.5));
+    }
+}

@@ -1,0 +1,200 @@
+//! `cool audit`: the whole-scenario static-analysis bundle.
+//!
+//! Runs every lint pass over one scenario file in a fixed order and merges
+//! the findings into a single [`Report`]:
+//!
+//! 1. the scenario-file lint ([`crate::scenario::lint_scenario_text`]);
+//! 2. on lintable scenarios, the instance-derived passes, re-deriving the
+//!    exact instance and greedy schedule the scenario would run (same seed
+//!    path as `Scenario::run`):
+//!    * concrete schedule replay ([`crate::schedule::lint_schedule`]);
+//!    * abstract-interpretation energy audit over the configured
+//!      initial-charge interval
+//!      ([`crate::abstract_energy::lint_schedule_abstract`], `COOL-E025`)
+//!      plus the ∀-initial-charges feasibility proof;
+//!    * dominated sensors / dead slots
+//!      ([`crate::dominance`], `COOL-W007`/`W008`);
+//!    * communication-graph connectivity
+//!      ([`crate::connectivity`], `COOL-W009`, opt-in via `comms_radius`).
+//!
+//! Everything is deterministic: the same scenario text and options always
+//! produce the same report, byte for byte.
+
+use crate::abstract_energy::{lint_schedule_abstract, proves_feasible_for_all};
+use crate::connectivity::lint_connectivity;
+use crate::diag::Report;
+use crate::dominance::{lint_dead_slots, lint_dominance};
+use crate::scenario::{self, ScenarioSpec};
+use crate::schedule::lint_schedule;
+use cool_common::{Interval, SeedSequence};
+use cool_core::greedy::{greedy_active_naive, greedy_passive_naive};
+use cool_core::instances::geometric_multi_target;
+use cool_energy::ChargeCycle;
+use cool_geometry::Rect;
+
+/// Audit configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditOptions {
+    /// Initial battery charges the energy audit must prove the schedule
+    /// feasible for. The default, the point `[1, 1]`, is the deployment
+    /// contract (nodes ship fully charged) under which a clean `cool lint`
+    /// scenario also audits clean; widen it (`--initial-charge 0:1` in the
+    /// CLI) to audit cold-start deployments.
+    pub initial_charge: Interval,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            initial_charge: Interval::point(1.0),
+        }
+    }
+}
+
+/// The audit verdict: the merged report plus the energy-proof summary.
+#[derive(Clone, Debug)]
+pub struct AuditOutcome {
+    /// Every finding, in pass order.
+    pub report: Report,
+    /// `true` when the abstract interpreter proved the derived schedule
+    /// energy-feasible for **every** initial charge in `[0, 1]` — the
+    /// ∀-upgrade of the single-trajectory `COOL-E004` replay.
+    pub universally_feasible: bool,
+}
+
+/// Audits scenario text, attributing diagnostics to `file`.
+#[must_use]
+pub fn audit_scenario_text(text: &str, file: &str, options: &AuditOptions) -> AuditOutcome {
+    let mut report = scenario::lint_scenario_text(text, file);
+    let mut parse_scratch = Report::new();
+    let (spec, _lines, fields_usable) = scenario::parse_tolerant(text, &mut parse_scratch);
+    if !fields_usable || !report.is_clean() {
+        // Structural or field errors: the deep passes would re-derive an
+        // instance from unusable fields; the base lint already said why.
+        return AuditOutcome {
+            report,
+            universally_feasible: false,
+        };
+    }
+    let universally_feasible = run_instance_passes(&spec, options, &mut report);
+    AuditOutcome {
+        report,
+        universally_feasible,
+    }
+}
+
+/// Reads and audits a scenario file from disk.
+///
+/// # Errors
+///
+/// Returns the I/O error message when the file cannot be read.
+pub fn audit_scenario_path(path: &str, options: &AuditOptions) -> Result<AuditOutcome, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(audit_scenario_text(&text, path, options))
+}
+
+/// The instance-derived passes; returns the ∀-feasibility verdict.
+fn run_instance_passes(spec: &ScenarioSpec, options: &AuditOptions, report: &mut Report) -> bool {
+    let Ok(cycle) = ChargeCycle::from_minutes(spec.discharge_minutes, spec.recharge_minutes) else {
+        return false; // the field lint already reported the cycle error
+    };
+    let seeds = SeedSequence::new(spec.seed);
+    let mut rng = seeds.nth_rng(0);
+    let (utility, positions, targets) = geometric_multi_target(
+        Rect::square(spec.region),
+        spec.sensors,
+        spec.targets,
+        spec.radius,
+        spec.detection_p,
+        &mut rng,
+    );
+    let slots = cycle.slots_per_period();
+    let built = if cycle.rho() > 1.0 {
+        greedy_active_naive(&utility, slots)
+    } else {
+        greedy_passive_naive(&utility, slots)
+    };
+    let Ok(schedule) = built else {
+        return false; // unbuildable schedule: field lint owns the cause
+    };
+
+    report.merge(lint_schedule(&schedule, cycle));
+    report.merge(lint_schedule_abstract(
+        &schedule,
+        cycle,
+        options.initial_charge,
+    ));
+    report.merge(lint_dominance(&utility));
+    report.merge(lint_dead_slots(&schedule));
+    report.merge(lint_connectivity(
+        &positions,
+        &targets,
+        spec.radius,
+        spec.comms_radius,
+        &schedule,
+    ));
+    proves_feasible_for_all(&schedule, cycle, Interval::UNIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_common::CoolCode;
+
+    #[test]
+    fn default_scenario_audits_clean_under_deployment_contract() {
+        let out = audit_scenario_text("", "default.txt", &AuditOptions::default());
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert!(
+            !out.report.has_code(CoolCode::AbstractEnergyInfeasible),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn cold_start_audit_flags_early_slots() {
+        // From an empty battery, sensors assigned to early slots provably
+        // refuse their activation: widening the audited interval to [0, 1]
+        // must surface COOL-E025 on the paper testbed.
+        let options = AuditOptions {
+            initial_charge: Interval::UNIT,
+        };
+        let out = audit_scenario_text("", "default.txt", &options);
+        assert!(
+            out.report.has_code(CoolCode::AbstractEnergyInfeasible),
+            "{}",
+            out.report
+        );
+        assert!(
+            !out.universally_feasible,
+            "a schedule with cold-start failures is not universally feasible"
+        );
+    }
+
+    #[test]
+    fn broken_scenario_skips_instance_passes() {
+        let out = audit_scenario_text("sensors = lots\n", "bad.txt", &AuditOptions::default());
+        assert!(!out.report.is_clean());
+        assert!(!out.universally_feasible);
+        assert!(!out.report.has_code(CoolCode::DominatedSensor));
+    }
+
+    #[test]
+    fn audit_is_deterministic() {
+        let a = audit_scenario_text("sensors = 30\n", "s.txt", &AuditOptions::default());
+        let b = audit_scenario_text("sensors = 30\n", "s.txt", &AuditOptions::default());
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.universally_feasible, b.universally_feasible);
+    }
+
+    #[test]
+    fn connectivity_pass_is_wired_through_comms_radius() {
+        // A sparse deployment with a tiny comms radius: if the greedy's
+        // active sets are coverage-complete anywhere, W009 can fire; either
+        // way the audit must stay deterministic and warning-only.
+        let text = "sensors = 12\ntargets = 3\ncomms_radius = 1\n";
+        let out = audit_scenario_text(text, "s.txt", &AuditOptions::default());
+        assert!(out.report.is_clean(), "W009 is a warning: {}", out.report);
+    }
+}

@@ -200,6 +200,7 @@ impl Report {
             out.push('{');
             let _ = write!(out, "\"code\":{},", json_string(d.code.as_str()));
             let _ = write!(out, "\"name\":{},", json_string(d.code.name()));
+            let _ = write!(out, "\"summary\":{},", json_string(d.code.summary()));
             let _ = write!(out, "\"severity\":\"{}\",", d.severity());
             let _ = write!(out, "\"message\":{},", json_string(&d.message));
             match &d.file {
@@ -306,6 +307,10 @@ mod tests {
         assert!(json.contains("\\nbreak"));
         assert!(json.contains("\"status\":\"errors\""));
         assert!(json.contains("\"code\":\"COOL-E008\""));
+        assert!(
+            json.contains("\"summary\":\"scenario line is not `key = value` or a comment\""),
+            "every diagnostic carries its code's one-line summary: {json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Dominance and dead-structure analysis over the utility incidence index.
+//!
+//! Static "dead code" for sensor networks: a sensor whose every incident
+//! utility part is also incident to another sensor with pointwise
+//! no-smaller singleton contributions can never beat that sensor in any
+//! set the greedy (or any other scheduler) builds — it is *dominated*
+//! ([`CoolCode::DominatedSensor`]). A period slot no sensor is assigned to
+//! is *statically dead* ([`CoolCode::StaticallyDeadSlot`]): coverage there
+//! is identically zero whatever the batteries do.
+//!
+//! Both passes run on the CSR [`IncidenceIndex`] the sparse evaluator
+//! already maintains, so the whole analysis is `O(Σ deg)` up to the
+//! candidate cap: dominator candidates for `u` are probed only from `u`'s
+//! *smallest* incident part (a true dominator must appear in every one of
+//! `u`'s parts, hence also in the smallest), and at most
+//! [`CANDIDATE_CAP`] of them are tried.
+//!
+//! Energy positions are not compared: every scenario-derived instance runs
+//! all sensors on one homogeneous [`cool_energy::ChargeCycle`], so no
+//! sensor holds a better energy position by construction (documented in
+//! DESIGN.md §11).
+
+use crate::diag::{Diagnostic, Report};
+use cool_common::{CoolCode, SensorId, SensorSet};
+use cool_core::schedule::{PeriodSchedule, ScheduleMode};
+use cool_utility::{IncidenceIndex, SumUtility, UtilityFunction};
+
+/// Dominator candidates probed per sensor. A dominated sensor in practice
+/// shares its smallest part with few peers; the cap keeps the pass
+/// `O(Σ deg)` on adversarial instances at the price of (soundly) missing
+/// dominators ranked past the cap.
+const CANDIDATE_CAP: usize = 8;
+
+/// Flags sensors that can never out-contribute a peer
+/// ([`CoolCode::DominatedSensor`]): empty-support sensors (no incident
+/// part at all) and sensors pointwise-dominated by a candidate from their
+/// smallest incident part. On an exact tie (identical parts, identical
+/// contributions) only the higher-indexed sensor is flagged, so mutually
+/// identical sensors never knock each other out.
+#[must_use]
+pub fn lint_dominance(utility: &SumUtility) -> Report {
+    let mut report = Report::new();
+    let index = utility.incidence();
+    let n = index.universe();
+    let n_parts = utility.n_targets();
+
+    // Reverse lists: part id -> member sensors, O(Σ deg).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_parts];
+    for v in 0..n {
+        for &pid in index.incident(SensorId(v)) {
+            members[pid as usize].push(v);
+        }
+    }
+
+    for u in 0..n {
+        let parts_u = index.incident(SensorId(u));
+        if parts_u.is_empty() {
+            report.push(
+                Diagnostic::new(
+                    CoolCode::DominatedSensor,
+                    format!(
+                        "sensor {u} is outside every target's coverage: it contributes \
+                             zero utility in any set"
+                    ),
+                )
+                .with_help("remove the sensor or move it inside some target's sensing range"),
+            );
+            continue;
+        }
+        // A dominator must share u's smallest part.
+        let smallest = parts_u
+            .iter()
+            .min_by_key(|&&pid| members[pid as usize].len())
+            .copied()
+            .unwrap_or(parts_u[0]);
+        let contributions_u = singleton_contributions(utility, u, parts_u);
+        for &v in members[smallest as usize]
+            .iter()
+            .filter(|&&v| v != u)
+            .take(CANDIDATE_CAP)
+        {
+            if let Some(strict) = dominates(utility, index, v, parts_u, &contributions_u) {
+                if strict || v < u {
+                    report.push(
+                        Diagnostic::new(
+                            CoolCode::DominatedSensor,
+                            format!(
+                                "sensor {u} is dominated by sensor {v}: every part sensor {u} \
+                                 touches is also covered by sensor {v} with at least the same \
+                                 contribution"
+                            ),
+                        )
+                        .with_help(
+                            "the dominated sensor can never beat its dominator in any schedule; \
+                             consider redeploying it",
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// `Some(strict)` when `v` dominates `u`: `incident(u) ⊆ incident(v)` and
+/// `c(u, p) ≤ c(v, p)` on every shared part, with `strict` recording
+/// whether any containment or contribution is strict.
+fn dominates(
+    utility: &SumUtility,
+    index: &IncidenceIndex,
+    v: usize,
+    parts_u: &[u32],
+    contributions_u: &[f64],
+) -> Option<bool> {
+    let parts_v = index.incident(SensorId(v));
+    // Two-pointer subset test over the sorted CSR slices.
+    let mut iv = parts_v.iter();
+    for &pu in parts_u {
+        if !iv.by_ref().any(|&pv| pv == pu) {
+            return None;
+        }
+    }
+    let mut strict = parts_v.len() > parts_u.len();
+    for (&pid, &cu) in parts_u.iter().zip(contributions_u) {
+        let cv = singleton_eval(utility, v, pid);
+        if cu > cv {
+            return None;
+        }
+        strict |= cv > cu;
+    }
+    Some(strict)
+}
+
+/// `c(u, p)` for each of `u`'s incident parts.
+fn singleton_contributions(utility: &SumUtility, u: usize, parts_u: &[u32]) -> Vec<f64> {
+    parts_u
+        .iter()
+        .map(|&pid| singleton_eval(utility, u, pid))
+        .collect()
+}
+
+/// Part `pid`'s value on the singleton `{v}`.
+fn singleton_eval(utility: &SumUtility, v: usize, pid: u32) -> f64 {
+    let singleton = SensorSet::from_indices(utility.universe(), [v]);
+    utility.parts()[pid as usize].eval(&singleton)
+}
+
+/// Flags period slots with an empty active set
+/// ([`CoolCode::StaticallyDeadSlot`]): coverage in such a slot is zero no
+/// matter how the batteries evolve.
+#[must_use]
+pub fn lint_dead_slots(schedule: &PeriodSchedule) -> Report {
+    let mut report = Report::new();
+    let slots = schedule.slots_per_period();
+    for t in 0..slots {
+        if schedule.active_set(t).is_empty() {
+            let cause =
+                if schedule.mode() == ScheduleMode::ActiveSlot && schedule.n_sensors() < slots {
+                    format!(
+                        " (structural: {} sensors cannot populate {slots} active-slot positions)",
+                        schedule.n_sensors()
+                    )
+                } else {
+                    String::new()
+                };
+            report.push(
+                Diagnostic::new(
+                    CoolCode::StaticallyDeadSlot,
+                    format!("no sensor is active in slot {t}: coverage is zero there{cause}"),
+                )
+                .with_help("add sensors or rebalance assignments so every slot has coverage"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_utility::DetectionUtility;
+
+    /// Three-sensor instance: sensor 0 covers both targets at p = 0.5,
+    /// sensor 1 covers only target 0 at p = 0.3 (dominated by 0), sensor 2
+    /// covers target 1 at p = 0.9 (not dominated: higher contribution).
+    fn instance() -> SumUtility {
+        let t0 = DetectionUtility::new(vec![0.5, 0.3, 0.0]);
+        let t1 = DetectionUtility::new(vec![0.5, 0.0, 0.9]);
+        SumUtility::new(vec![t0.into(), t1.into()])
+    }
+
+    #[test]
+    fn dominated_sensor_is_w007() {
+        let r = lint_dominance(&instance());
+        assert!(r.has_code(CoolCode::DominatedSensor), "{r}");
+        let flagged: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == CoolCode::DominatedSensor)
+            .collect();
+        assert_eq!(flagged.len(), 1, "{r}");
+        assert!(flagged[0]
+            .message
+            .contains("sensor 1 is dominated by sensor 0"));
+    }
+
+    #[test]
+    fn exact_ties_flag_only_the_higher_index() {
+        let t0 = DetectionUtility::new(vec![0.4, 0.4]);
+        let u = SumUtility::new(vec![t0.into()]);
+        let r = lint_dominance(&u);
+        let flagged: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == CoolCode::DominatedSensor)
+            .collect();
+        assert_eq!(flagged.len(), 1, "{r}");
+        assert!(flagged[0]
+            .message
+            .contains("sensor 1 is dominated by sensor 0"));
+    }
+
+    #[test]
+    fn empty_support_sensor_is_w007() {
+        let t0 = DetectionUtility::new(vec![0.4, 0.0]);
+        let u = SumUtility::new(vec![t0.into()]);
+        let r = lint_dominance(&u);
+        assert!(r.has_code(CoolCode::DominatedSensor), "{r}");
+        assert!(r.diagnostics().iter().any(|d| d
+            .message
+            .contains("sensor 1 is outside every target's coverage")));
+    }
+
+    #[test]
+    fn incomparable_sensors_are_clean() {
+        let t0 = DetectionUtility::new(vec![0.5, 0.0]);
+        let t1 = DetectionUtility::new(vec![0.0, 0.5]);
+        let u = SumUtility::new(vec![t0.into(), t1.into()]);
+        assert!(lint_dominance(&u).is_clean());
+    }
+
+    #[test]
+    fn dead_slot_is_w008() {
+        // Two sensors over four slots: slots 2 and 3 are empty.
+        let s = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0, 1]);
+        let r = lint_dead_slots(&s);
+        let dead: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == CoolCode::StaticallyDeadSlot)
+            .collect();
+        assert_eq!(dead.len(), 2, "{r}");
+        assert!(dead[0].message.contains("structural"), "{r}");
+    }
+
+    #[test]
+    fn fully_populated_schedule_has_no_dead_slots() {
+        let s = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0, 1, 2, 3, 0]);
+        assert!(lint_dead_slots(&s).is_clean());
+    }
+}

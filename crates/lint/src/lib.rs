@@ -32,15 +32,28 @@
 //! assert!(report.to_json().contains("COOL-E005"));
 //! ```
 
+pub mod abstract_energy;
+pub mod audit;
+pub mod connectivity;
 pub mod diag;
+pub mod dominance;
+pub mod sarif;
 pub mod scenario;
 pub mod schedule;
 pub mod utility;
 
+pub use abstract_energy::{
+    feasible_region, interval_step, lint_schedule_abstract, proves_feasible_for_all,
+    sensor_replay_clean, FeasibleRegion,
+};
+pub use audit::{audit_scenario_path, audit_scenario_text, AuditOptions, AuditOutcome};
+pub use connectivity::lint_connectivity;
 pub use cool_common::CoolCode;
 pub use diag::{Diagnostic, Report, Severity};
+pub use dominance::{lint_dead_slots, lint_dominance};
+pub use sarif::to_sarif;
 pub use scenario::{lint_geometry, lint_scenario_path, lint_scenario_text, ScenarioSpec};
-pub use schedule::{lint_horizon, lint_schedule};
+pub use schedule::{lint_horizon, lint_schedule, lint_schedule_from};
 pub use utility::{lint_universe, lint_utility};
 
 use cool_common::SeedSequence;

@@ -1,0 +1,151 @@
+//! SARIF v2.1.0 rendering of lint/audit [`Report`]s.
+//!
+//! [Static Analysis Results Interchange Format][sarif] is the lingua
+//! franca of CI code-scanning UIs; emitting it lets `cool lint`/`cool
+//! audit` findings land in the same annotation pipelines as any other
+//! analyser. The emitter is hand-rolled (the workspace has no JSON
+//! dependency), byte-deterministic — fixed key order, no timestamps —
+//! and publishes **every** [`CoolCode`] in the rules table (with its
+//! [`CoolCode::summary`] as `shortDescription`) so `ruleIndex` is stable
+//! across runs and releases: rule order is the append-only order of
+//! [`CoolCode::all`].
+//!
+//! [sarif]: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use crate::diag::{Report, Severity};
+use cool_common::json::escape as json_string;
+use cool_common::CoolCode;
+use std::fmt::Write as _;
+
+/// Renders `report` as a single-run SARIF v2.1.0 log.
+///
+/// Severity maps `error → "error"`, `warning → "warning"`; a diagnostic's
+/// file/line (when present) becomes its `physicalLocation`. Output is
+/// byte-identical for equal reports.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    // Writing into a String is infallible; write! results are discarded.
+    let mut out = String::from("{");
+    out.push_str(
+        "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",",
+    );
+    out.push_str("\"runs\":[{\"tool\":{\"driver\":{\"name\":\"cool-lint\",");
+    let _ = write!(
+        out,
+        "\"version\":{},",
+        json_string(env!("CARGO_PKG_VERSION"))
+    );
+    out.push_str("\"informationUri\":\"https://github.com/cool-paper/cool\",\"rules\":[");
+    for (i, &code) in CoolCode::all().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = if code.is_error() { "error" } else { "warning" };
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"defaultConfiguration\":{{\"level\":\"{level}\"}}}}",
+            json_string(code.as_str()),
+            json_string(code.name()),
+            json_string(code.summary()),
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match d.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let rule_index = rule_index(d.code);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"ruleIndex\":{rule_index},\"level\":\"{level}\",",
+            json_string(d.code.as_str()),
+        );
+        let mut message = d.message.clone();
+        if let Some(help) = &d.help {
+            let _ = write!(message, " (help: {help})");
+        }
+        let _ = write!(out, "\"message\":{{\"text\":{}}}", json_string(&message));
+        if let Some(file) = &d.file {
+            let _ = write!(
+                out,
+                ",\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}}",
+                json_string(file)
+            );
+            if let Some(line) = d.line {
+                let _ = write!(out, ",\"region\":{{\"startLine\":{line}}}");
+            }
+            out.push_str("}}]");
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Index of `code` in the append-only [`CoolCode::all`] rules table.
+fn rule_index(code: CoolCode) -> usize {
+    // `all()` enumerates every variant (unit-tested in cool-common), so the
+    // fallback is unreachable; 0 keeps the emitter total without panicking.
+    CoolCode::all()
+        .iter()
+        .position(|&c| c == code)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn sample() -> Report {
+        let mut r = Report::for_file("scenarios/bad.txt");
+        r.push(
+            Diagnostic::new(CoolCode::InvalidProbability, "detection_p = 1.5")
+                .with_line(4)
+                .with_help("use a probability in [0, 1]"),
+        );
+        r.push(Diagnostic::new(CoolCode::ZeroWeightTarget, "target 3"));
+        r
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.starts_with("{\"$schema\":"));
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        // Every code appears as a rule, including ones with no result.
+        for &code in CoolCode::all() {
+            assert!(sarif.contains(&format!("\"id\":\"{}\"", code.as_str())));
+        }
+        assert!(sarif.contains("\"ruleId\":\"COOL-E005\""));
+        assert!(sarif.contains("\"level\":\"warning\""));
+        assert!(sarif.contains("\"startLine\":4"));
+        assert!(sarif.contains("\"uri\":\"scenarios/bad.txt\""));
+        assert!(sarif.contains("(help: use a probability in [0, 1])"));
+    }
+
+    #[test]
+    fn rule_index_matches_rules_array_order() {
+        let sarif = to_sarif(&sample());
+        let e005 = rule_index(CoolCode::InvalidProbability);
+        assert!(sarif.contains(&format!("\"ruleIndex\":{e005},")));
+        assert_eq!(rule_index(CoolCode::InfeasiblePeriodStructure), 0);
+    }
+
+    #[test]
+    fn sarif_is_byte_deterministic() {
+        assert_eq!(to_sarif(&sample()), to_sarif(&sample()));
+    }
+
+    #[test]
+    fn empty_report_has_empty_results() {
+        let sarif = to_sarif(&Report::new());
+        assert!(sarif.contains("\"results\":[]"));
+        assert!(sarif.ends_with("]}]}"));
+    }
+}

@@ -39,6 +39,9 @@ pub struct ScenarioSpec {
     pub region: f64,
     /// Sensing radius.
     pub radius: f64,
+    /// Communication radius for the connectivity lint; `0` disables the
+    /// check (the paper's model has no communication graph).
+    pub comms_radius: f64,
     /// Root random seed.
     pub seed: u64,
 }
@@ -54,6 +57,7 @@ impl Default for ScenarioSpec {
             hours: 12.0,
             region: 500.0,
             radius: 100.0,
+            comms_radius: 0.0,
             seed: 2011,
         }
     }
@@ -61,7 +65,7 @@ impl Default for ScenarioSpec {
 
 /// Which source line last assigned each field (for diagnostics).
 #[derive(Clone, Copy, Debug, Default)]
-struct FieldLines {
+pub(crate) struct FieldLines {
     sensors: Option<usize>,
     targets: Option<usize>,
     detection_p: Option<usize>,
@@ -70,9 +74,10 @@ struct FieldLines {
     hours: Option<usize>,
     region: Option<usize>,
     radius: Option<usize>,
+    comms_radius: Option<usize>,
 }
 
-const KNOWN_KEYS: [&str; 10] = [
+const KNOWN_KEYS: [&str; 11] = [
     "sensors",
     "targets",
     "detection_p",
@@ -81,6 +86,7 @@ const KNOWN_KEYS: [&str; 10] = [
     "hours",
     "region",
     "radius",
+    "comms_radius",
     "seed",
     "scheduler",
 ];
@@ -128,7 +134,7 @@ pub fn lint_scenario_path(path: &str) -> Result<Report, String> {
 /// duplicate key, and unparsable value becomes a diagnostic, and parsing
 /// continues. Returns the spec (defaults where a value was unusable), the
 /// per-field line map, and whether every *present* field parsed.
-fn parse_tolerant(text: &str, report: &mut Report) -> (ScenarioSpec, FieldLines, bool) {
+pub(crate) fn parse_tolerant(text: &str, report: &mut Report) -> (ScenarioSpec, FieldLines, bool) {
     let mut spec = ScenarioSpec::default();
     let mut lines = FieldLines::default();
     let mut seen: Vec<(String, usize)> = Vec::new();
@@ -244,6 +250,14 @@ fn apply_field(
         "radius" => {
             lines.radius = Some(lineno);
             parse_into!(radius, f64, "a radius > 0")
+        }
+        "comms_radius" => {
+            lines.comms_radius = Some(lineno);
+            parse_into!(
+                comms_radius,
+                f64,
+                "a radius >= 0 (0 disables the connectivity lint)"
+            )
         }
         "seed" => parse_into!(seed, u64, "an unsigned integer"),
         "scheduler" => {
@@ -375,6 +389,20 @@ fn check_fields(spec: &ScenarioSpec, lines: FieldLines, report: &mut Report) {
             ),
         );
         if let Some(line) = lines.region {
+            d = d.with_line(line);
+        }
+        report.push(d);
+    }
+    if !spec.comms_radius.is_finite() || spec.comms_radius < 0.0 {
+        let mut d = Diagnostic::new(
+            CoolCode::ScenarioFieldInvalid,
+            format!(
+                "comms_radius = {} must be a non-negative, finite radius",
+                spec.comms_radius
+            ),
+        )
+        .with_help("set comms_radius = 0 to disable the connectivity lint");
+        if let Some(line) = lines.comms_radius {
             d = d.with_line(line);
         }
         report.push(d);
@@ -610,6 +638,17 @@ mod tests {
     fn zero_radius_is_e006() {
         let r = lint("radius = 0\n");
         assert!(r.has_code(CoolCode::DegenerateSensingDisk));
+    }
+
+    #[test]
+    fn negative_comms_radius_is_e007() {
+        let r = lint("comms_radius = -5\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid), "{r}");
+        assert!(lint("comms_radius = 200\n").is_clean());
+        assert!(
+            lint("comms_radius = 0\n").is_clean(),
+            "0 disables the check"
+        );
     }
 
     #[test]

@@ -19,6 +19,24 @@ use cool_energy::{ChargeCycle, NodeEnergyMachine};
 /// Lints `schedule` against `cycle`. A clean report implies
 /// `schedule.is_feasible(cycle)`.
 pub fn lint_schedule(schedule: &PeriodSchedule, cycle: ChargeCycle) -> Report {
+    lint_schedule_from(schedule, cycle, 1.0)
+}
+
+/// Lints `schedule` against `cycle` with every battery starting at
+/// `initial_charge` (a fraction of capacity) instead of full — the
+/// deployment contract [`lint_schedule`] hard-codes. The energy replay
+/// shares the exact [`cool_energy::slot_transition`] semantics the abstract
+/// interpreter in [`crate::abstract_energy`] steps over intervals.
+///
+/// # Panics
+///
+/// Panics if `initial_charge` is outside `[0, 1]` or not finite.
+#[allow(clippy::too_many_lines)] // one structural check after another, linear and flat
+pub fn lint_schedule_from(
+    schedule: &PeriodSchedule,
+    cycle: ChargeCycle,
+    initial_charge: f64,
+) -> Report {
     let mut report = Report::new();
     let slots = schedule.slots_per_period();
 
@@ -106,18 +124,23 @@ pub fn lint_schedule(schedule: &PeriodSchedule, cycle: ChargeCycle) -> Report {
     // Energy replay over two periods (wrap-around deficits appear in the
     // second), sensor by sensor so the diagnostic can name the failure.
     for i in 0..schedule.n_sensors() {
-        let mut node = NodeEnergyMachine::new(cycle);
+        let mut node = NodeEnergyMachine::with_initial_fraction(cycle, initial_charge);
         'replay: for period in 0..2 {
             for t in 0..slots {
                 let want = schedule.is_active(SensorId(i), t);
                 let got = node.step(want);
                 if want && !got {
+                    let from = if initial_charge < 1.0 {
+                        format!(" (replay from initial charge {initial_charge})")
+                    } else {
+                        String::new()
+                    };
                     report.push(
                         Diagnostic::new(
                             CoolCode::EnergyInfeasibleSchedule,
                             format!(
                                 "sensor {i} is scheduled active in slot {t} of period {period} \
-                                 but its battery is depleted there"
+                                 but its battery is depleted there{from}"
                             ),
                         )
                         .with_help("the activation pattern demands energy the cycle never banks"),
@@ -225,6 +248,21 @@ mod tests {
         let r = lint_schedule(&schedule, cycle);
         assert!(r.is_clean(), "{r}");
         assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn initial_charge_threading_changes_the_verdict() {
+        // rho = 3: an early active slot is infeasible from an empty battery
+        // (nothing banked yet) but fine from full; a slot-3 assignment gives
+        // the node three passive slots to charge and passes from empty too.
+        let cycle = ChargeCycle::paper_sunny();
+        let early = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0]);
+        assert!(lint_schedule(&early, cycle).is_clean());
+        let r = lint_schedule_from(&early, cycle, 0.0);
+        assert!(r.has_code(CoolCode::EnergyInfeasibleSchedule), "{r}");
+        assert!(r.to_string().contains("initial charge 0"), "{r}");
+        let late = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![3]);
+        assert!(lint_schedule_from(&late, cycle, 0.0).is_clean());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! assignments must not drift silently. Regenerate the golden file by
 //! running the test with `UPDATE_GOLDEN=1` and reviewing the diff.
 
-use cool_lint::{lint_scenario_text, CoolCode};
+use cool_lint::{lint_scenario_text, to_sarif, CoolCode};
 
 #[test]
 fn bad_scenario_json_matches_golden() {
@@ -24,6 +24,28 @@ fn bad_scenario_json_matches_golden() {
         json,
         golden.trim_end(),
         "JSON diagnostics drifted from the golden file; \
+         rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn bad_scenario_sarif_matches_golden() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let scenario = std::fs::read_to_string(format!("{dir}/bad_scenario.txt"))
+        .expect("golden scenario readable");
+    let report = lint_scenario_text(&scenario, "tests/golden/bad_scenario.txt");
+    let sarif = to_sarif(&report);
+
+    let golden_path = format!("{dir}/bad_scenario.sarif");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{sarif}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden SARIF readable");
+    assert_eq!(
+        sarif,
+        golden.trim_end(),
+        "SARIF output drifted from the golden file; \
          rerun with UPDATE_GOLDEN=1 and review the diff"
     );
 }

@@ -150,6 +150,9 @@ pub struct Scenario {
     pub region: f64,
     /// Sensing radius.
     pub radius: f64,
+    /// Communication radius for the `cool audit` connectivity lint; `0`
+    /// (the default) disables the check.
+    pub comms_radius: f64,
     /// Root random seed.
     pub seed: u64,
     /// Scheduler to run.
@@ -169,6 +172,7 @@ impl Default for Scenario {
             hours: 12.0,
             region: 500.0,
             radius: 100.0,
+            comms_radius: 0.0,
             seed: 2011,
             scheduler: SchedulerKind::Greedy,
         }
@@ -261,6 +265,16 @@ impl Scenario {
             "hours" => self.hours = num(key, value, "hours > 0")?,
             "region" => self.region = num(key, value, "a side length > 0")?,
             "radius" => self.radius = num(key, value, "a radius > 0")?,
+            "comms_radius" => {
+                self.comms_radius = num(key, value, "a radius >= 0")?;
+                if !self.comms_radius.is_finite() || self.comms_radius < 0.0 {
+                    return Err(ScenarioError::BadValue {
+                        key: key.into(),
+                        value: value.into(),
+                        expected: "a radius >= 0".into(),
+                    });
+                }
+            }
             "seed" => self.seed = num(key, value, "an unsigned integer")?,
             "scheduler" => self.scheduler = value.parse()?,
             other => return Err(ScenarioError::UnknownKey { key: other.into() }),
@@ -281,6 +295,7 @@ impl Scenario {
              hours              = {}\n\
              region             = {}\n\
              radius             = {}\n\
+             comms_radius       = {}   # 0 disables the connectivity lint\n\
              seed               = {}\n\
              scheduler          = {}   # greedy | lazy | round-robin | random | static\n",
             d.sensors,
@@ -291,6 +306,7 @@ impl Scenario {
             d.hours,
             d.region,
             d.radius,
+            d.comms_radius,
             d.seed,
             d.scheduler
         )
@@ -304,7 +320,8 @@ impl Scenario {
     pub fn canonical(&self) -> String {
         format!(
             "sensors={}\ntargets={}\ndetection_p={}\ndischarge_minutes={}\n\
-             recharge_minutes={}\nhours={}\nregion={}\nradius={}\nseed={}\nscheduler={}\n",
+             recharge_minutes={}\nhours={}\nregion={}\nradius={}\ncomms_radius={}\nseed={}\n\
+             scheduler={}\n",
             self.sensors,
             self.targets,
             self.detection_p,
@@ -313,6 +330,7 @@ impl Scenario {
             self.hours,
             self.region,
             self.radius,
+            self.comms_radius,
             self.seed,
             self.scheduler
         )
@@ -581,11 +599,19 @@ mod tests {
             "hours",
             "region",
             "radius",
+            "comms_radius",
             "seed",
             "scheduler",
         ] {
             assert!(a.canonical().contains(&format!("{key}=")), "{key} missing");
         }
+    }
+
+    #[test]
+    fn comms_radius_parses_and_rejects_negatives() {
+        let s = Scenario::parse("comms_radius = 150\n").unwrap();
+        assert_eq!(s.comms_radius, 150.0);
+        assert!(Scenario::parse("comms_radius = -1\n").is_err());
     }
 
     #[test]

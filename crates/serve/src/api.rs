@@ -13,7 +13,7 @@ use cool_common::{CoolCode, SeedSequence};
 use cool_core::greedy::greedy_schedule_lazy;
 use cool_core::horizon::greedy_horizon;
 use cool_core::lp::LpScheduler;
-use cool_lint::lint_scenario_text;
+use cool_lint::{audit_scenario_text, lint_scenario_text, AuditOptions};
 use cool_scenario::{Scenario, ScenarioError};
 use cool_utility::UtilityFunction;
 use std::fmt::Write as _;
@@ -186,6 +186,10 @@ pub struct ScheduleItem {
     pub overrides: Vec<(String, String)>,
     /// Selected algorithm.
     pub algorithm: Algorithm,
+    /// When `true`, the pre-flight runs the full `cool audit` bundle
+    /// (abstract energy proof, dominance/dead-slot/connectivity passes)
+    /// over the resolved scenario instead of the scenario lint alone.
+    pub audit: bool,
 }
 
 /// A parsed `/v1/schedule` body: one item, or a batch.
@@ -217,6 +221,12 @@ fn item_from_value(v: &Value) -> Result<ScheduleItem, ApiError> {
         ),
     };
     let algorithm = Algorithm::from_request(algorithm_name, trials)?;
+    let audit = match v.get("audit") {
+        None => false,
+        Some(a) => a
+            .as_bool()
+            .ok_or_else(|| ApiError::malformed("`audit` must be a boolean"))?,
+    };
     let mut overrides = Vec::new();
     if let Some(set) = v.get("set") {
         let members = set
@@ -240,6 +250,7 @@ fn item_from_value(v: &Value) -> Result<ScheduleItem, ApiError> {
         scenario_text,
         overrides,
         algorithm,
+        audit,
     })
 }
 
@@ -305,13 +316,24 @@ pub fn resolve_and_lint(item: &ScheduleItem) -> Result<(Scenario, String), ApiEr
     }
 
     let raw_report = lint_scenario_text(&item.scenario_text, "request");
-    let report = if raw_report.is_clean() && !item.overrides.is_empty() {
+    let mut report = if raw_report.is_clean() && !item.overrides.is_empty() {
         // Overrides may re-introduce semantic problems (e.g. a non-integral
         // ρ) that the raw text did not have; lint the final normal form.
         lint_scenario_text(&scenario.canonical(), "request+overrides")
     } else {
         raw_report
     };
+    if item.audit && report.is_clean() {
+        // Opt-in deep pre-flight: the whole `cool audit` bundle over the
+        // resolved normal form, under the deployment contract (nodes ship
+        // fully charged). Deterministic, so cache soundness is unaffected.
+        report = audit_scenario_text(
+            &scenario.canonical(),
+            "request+audit",
+            &AuditOptions::default(),
+        )
+        .report;
+    }
     if !report.is_clean() {
         let code = report
             .diagnostics()
@@ -551,6 +573,33 @@ mod tests {
         assert_eq!(err.status, 422);
         assert_eq!(err.code, CoolCode::NonIntegralRho);
         assert!(err.body().contains("\"lint\":{"));
+    }
+
+    #[test]
+    fn audit_flag_parses_and_defaults_off() {
+        assert!(!item(r#"{"scenario":""}"#).audit);
+        assert!(item(r#"{"scenario":"","audit":true}"#).audit);
+        let err = parse_schedule_body(br#"{"scenario":"","audit":"yes"}"#).unwrap_err();
+        assert_eq!(err.code, CoolCode::MalformedRequest);
+    }
+
+    #[test]
+    fn audit_preflight_accepts_clean_scenarios_deterministically() {
+        // Under the deployment contract (default audit options) a clean
+        // scenario audits clean; the deep pre-flight must not reject it,
+        // and its warning rendering must be stable across calls.
+        let it = item(r#"{"scenario":"sensors = 12\n","audit":true}"#);
+        let (_, warnings_a) = resolve_and_lint(&it).unwrap();
+        let (_, warnings_b) = resolve_and_lint(&it).unwrap();
+        assert_eq!(warnings_a, warnings_b);
+    }
+
+    #[test]
+    fn audit_preflight_still_rejects_lint_errors() {
+        let it = item(r#"{"scenario":"recharge_minutes = 40\n","audit":true}"#);
+        let err = resolve_and_lint(&it).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.code, CoolCode::NonIntegralRho);
     }
 
     #[test]

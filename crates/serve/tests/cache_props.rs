@@ -22,6 +22,7 @@ fn item_with(sensors: usize, targets: usize, seed: u64, algorithm: Algorithm) ->
             ("seed".to_string(), seed.to_string()),
         ],
         algorithm,
+        audit: false,
     }
 }
 

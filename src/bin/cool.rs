@@ -3,7 +3,11 @@
 //!
 //! ```text
 //! cool run [scenario.txt] [--set key=value]...   # run a scenario
-//! cool lint <scenario.txt>... [--json]           # static checks, COOL-coded diagnostics
+//! cool lint <scenario.txt>... [--format text|json|sarif]
+//!                                                # static checks, COOL-coded diagnostics
+//! cool audit <scenario.txt>... [--format text|json|sarif] [--initial-charge LO[:HI]]
+//!                                                # deep static analysis: abstract energy
+//!                                                # proofs, dominance, connectivity
 //! cool template                                  # print a scenario template
 //! cool trace [--weather W] [--seed N] [--out F]  # synthesize a day's harvest trace (CSV)
 //! cool estimate <trace.csv> [--discharge M] [--capacity MAH]
@@ -17,10 +21,10 @@
 //! cool --version                                 # print the version
 //! ```
 //!
-//! `cool lint` exits 0 when every file is clean (warnings allowed), 1 when
-//! any carries errors, and 2 on usage or I/O problems. Malformed flag
-//! values (a non-numeric `--threads`, a `--set` without `key=value`, …)
-//! exit 2 with a message naming the offending flag.
+//! `cool lint` and `cool audit` exit 0 when every file is clean (warnings
+//! allowed), 1 when any carries errors, and 2 on usage or I/O problems.
+//! Malformed flag values (a non-numeric `--threads`, a `--set` without
+//! `key=value`, …) exit 2 with a message naming the offending flag.
 
 use cool::check::CheckConfig;
 use cool::common::SeedSequence;
@@ -61,6 +65,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("audit") => audit(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -69,12 +74,60 @@ fn main() -> ExitCode {
     }
 }
 
+/// Rendering for `cool lint` / `cool audit` reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutputFormat {
+    /// Human-readable text (the `Report` `Display` impl).
+    Text,
+    /// The stable JSON diagnostics contract.
+    Json,
+    /// SARIF v2.1.0 for CI code-scanning pipelines.
+    Sarif,
+}
+
+impl OutputFormat {
+    fn parse(s: &str) -> Option<OutputFormat> {
+        match s {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            "sarif" => Some(OutputFormat::Sarif),
+            _ => None,
+        }
+    }
+
+    /// Renders one report (text ends with its own newline already).
+    fn render(self, report: &cool::lint::Report) {
+        match self {
+            OutputFormat::Text => emit(&report.to_string()),
+            OutputFormat::Json => {
+                emit(&report.to_json());
+                emit("\n");
+            }
+            OutputFormat::Sarif => {
+                emit(&cool::lint::to_sarif(report));
+                emit("\n");
+            }
+        }
+    }
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = OutputFormat::Text;
     let mut paths: Vec<&String> = Vec::new();
-    for arg in args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = OutputFormat::Json, // legacy alias
+            "--format" => {
+                let Some(f) = iter
+                    .next()
+                    .map(String::as_str)
+                    .and_then(OutputFormat::parse)
+                else {
+                    return flag_error("--format needs text | json | sarif");
+                };
+                format = f;
+            }
             path if !path.starts_with('-') => paths.push(arg),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -90,13 +143,100 @@ fn lint(args: &[String]) -> ExitCode {
     for path in paths {
         match cool::lint::lint_scenario_path(path) {
             Ok(report) => {
-                if json {
-                    emit(&report.to_json());
-                    emit("\n");
-                } else {
-                    emit(&report.to_string());
-                }
+                format.render(&report);
                 if !report.is_clean() {
+                    worst = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    worst
+}
+
+/// Parses `--initial-charge LO[:HI]` into a battery-fraction interval.
+fn parse_charge_interval(spec: &str) -> Result<cool::common::Interval, String> {
+    let (lo_text, hi_text) = match spec.split_once(':') {
+        Some((lo, hi)) => (lo, hi),
+        None => (spec, spec),
+    };
+    let parse = |s: &str| -> Result<f64, String> {
+        s.trim()
+            .parse::<f64>()
+            .map_err(|_| format!("--initial-charge: `{s}` is not a number"))
+    };
+    let (lo, hi) = (parse(lo_text)?, parse(hi_text)?);
+    if !(lo.is_finite() && hi.is_finite() && (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0) {
+        return Err(format!(
+            "--initial-charge: need 0 <= LO <= HI <= 1, got `{spec}`"
+        ));
+    }
+    Ok(cool::common::Interval::new(lo, hi))
+}
+
+/// `cool audit` — the whole-scenario static-analysis bundle: scenario lint
+/// plus abstract-interpretation energy proofs (`COOL-E025`), dominance and
+/// dead-slot analysis (`COOL-W007`/`W008`), and the connectivity lint
+/// (`COOL-W009`). Exit codes match `cool lint`.
+fn audit(args: &[String]) -> ExitCode {
+    let mut format = OutputFormat::Text;
+    let mut options = cool::lint::AuditOptions::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => format = OutputFormat::Json,
+            "--format" => {
+                let Some(f) = iter
+                    .next()
+                    .map(String::as_str)
+                    .and_then(OutputFormat::parse)
+                else {
+                    return flag_error("--format needs text | json | sarif");
+                };
+                format = f;
+            }
+            "--initial-charge" => {
+                let Some(spec) = iter.next() else {
+                    return flag_error(
+                        "--initial-charge needs LO or LO:HI (battery fractions in [0, 1])",
+                    );
+                };
+                match parse_charge_interval(spec) {
+                    Ok(interval) => options.initial_charge = interval,
+                    Err(e) => return flag_error(e),
+                }
+            }
+            path if !path.starts_with('-') => paths.push(arg),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("audit needs at least one scenario file");
+        return usage();
+    }
+    let mut worst = ExitCode::SUCCESS;
+    for path in paths {
+        match cool::lint::audit_scenario_path(path, &options) {
+            Ok(outcome) => {
+                format.render(&outcome.report);
+                if format == OutputFormat::Text {
+                    eprintln!(
+                        "{path}: ∀-initial-charge feasibility {}",
+                        if outcome.universally_feasible {
+                            "proved"
+                        } else {
+                            "not proved"
+                        }
+                    );
+                }
+                if !outcome.report.is_clean() {
                     worst = ExitCode::FAILURE;
                 }
             }
@@ -449,7 +589,9 @@ fn check(args: &[String]) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cool run [scenario.txt] [--set key=value]... \
-         | cool lint <scenario.txt>... [--json] \
+         | cool lint <scenario.txt>... [--format text|json|sarif] \
+         | cool audit <scenario.txt>... [--format text|json|sarif] \
+         [--initial-charge LO[:HI]] \
          | cool template \
          | cool trace [--weather W] [--seed N] [--out F] \
          | cool estimate <trace.csv> [--discharge M] [--capacity MAH] \

@@ -73,6 +73,36 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring
+        /// `proptest::strategy::Strategy::prop_map`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
