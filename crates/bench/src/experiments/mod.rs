@@ -11,6 +11,7 @@ pub mod horizon;
 pub mod kcover;
 pub mod lp;
 pub mod perf_greedy;
+pub mod perf_session;
 pub mod perf_sparse;
 pub mod randmodel;
 pub mod region;
@@ -19,7 +20,7 @@ pub mod testbed30;
 use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "fig7",
     "fig8",
     "headline",
@@ -35,6 +36,7 @@ pub const ALL: [&str; 15] = [
     "kcover",
     "perf_greedy",
     "perf_sparse",
+    "perf_session",
 ];
 
 /// Dispatches an experiment by id.
@@ -57,6 +59,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
         "kcover" => Some(kcover::run(seed)),
         "perf_greedy" => Some(perf_greedy::run(seed)),
         "perf_sparse" => Some(perf_sparse::run(seed)),
+        "perf_session" => Some(perf_session::run(seed)),
         _ => None,
     }
 }

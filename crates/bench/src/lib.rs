@@ -26,6 +26,8 @@
 //! | `region` | region monitoring with Eq. 2 over the Fig. 3 arrangement | [`experiments::region`] |
 //! | `kcover` | k-coverage extension through the same scheduler | [`experiments::kcover`] |
 //! | `perf_greedy` | naive vs lazy vs lazy+parallel greedy wall-clock (emits `BENCH_PR3.json`) | [`experiments::perf_greedy`] |
+//! | `perf_sparse` | sparse vs dense sum-evaluator wall-clock (emits `BENCH_PR5.json`) | [`experiments::perf_sparse`] |
+//! | `perf_session` | warm-start session repair vs from-scratch re-solve (emits `BENCH_PR7.json`) | [`experiments::perf_session`] |
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::too_many_lines)]
 
 pub mod experiments;

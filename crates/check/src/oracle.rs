@@ -22,6 +22,7 @@
 //! | `sparse-dense-equal` | `COOL-E024` | sparse (incidence-indexed) and dense sum evaluators agree on a random insert/remove/gain/loss trace — gains/losses bitwise, values within `EXACT_TOL` |
 //! | `support-zero-gain` | `COOL-E024` | sparse gain/loss is **exactly** 0 for every sensor outside the sum's support, at every trace state |
 //! | `abstract-unsound` | `COOL-E026` | the abstract energy interpreter's feasible regions agree with sampled concrete replays: verified-failing charges fail, charges ≥ θ replay clean, and a ∀-feasibility proof implies every sensor's region is `All` |
+//! | `session-repair-equal` | `COOL-E027` | warm-start session repair tracks a from-scratch solve: an empty dirty set reproduces the previous schedule bit-for-bit at zero cost, every patched schedule stays energy-feasible with value ≥ ratio · scratch, and a full-mode repair **is** the scratch solve (identical assignment) |
 //!
 //! A note on what is deliberately **not** asserted: the *value achieved by
 //! greedy* is not relabeling-invariant. On tie-heavy instances (e.g. the
@@ -33,18 +34,20 @@
 //! to one tie order instead.
 
 use crate::gen::CheckCase;
-use cool_common::{CoolCode, Interval, SeedSequence, SensorId};
+use cool_common::{CoolCode, Interval, SeedSequence, SensorId, SensorSet};
 use cool_core::greedy::{
     greedy_active_naive, greedy_passive_naive, try_greedy_schedule, try_greedy_schedule_lazy,
 };
 use cool_core::horizon::greedy_horizon;
 use cool_core::lp::LpScheduler;
 use cool_core::optimal::exhaustive_optimal;
+use cool_core::repair::{repair_schedule, RepairConfig, RepairMode};
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
 use cool_lint::{
     feasible_region, lint_horizon, lint_schedule, lint_schedule_abstract, proves_feasible_for_all,
     sensor_replay_clean, FeasibleRegion, Report,
 };
+use cool_session::{Delta, SessionEntry, SessionInstance};
 use cool_utility::{Evaluator, SumUtility, UtilityFunction};
 use rand::Rng;
 use std::fmt;
@@ -554,6 +557,100 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
         }
     }
 
+    // --- E027: warm-start session repair vs. from-scratch solve. ---
+    // The scenario's own detection instance becomes a live session; a
+    // seeded delta script (stream 19 by workspace convention) mutates it
+    // patch by patch. Contracts: an empty dirty set reproduces the
+    // previous schedule bit-for-bit at zero cost; every patched schedule
+    // is energy-feasible and its value is within the greedy approximation
+    // ratio of a from-scratch solve of the *mutated* instance; and when
+    // the repair engine decided on a full re-solve, the result IS the
+    // scratch solve — identical assignment, not just equal value.
+    {
+        let mut entry = SessionInstance::from_scenario(&case.scenario)
+            .and_then(SessionEntry::solve)
+            .map_err(|e| format!("session solve failed: {e}"))?;
+        checked += 2;
+
+        let n = entry.instance().n();
+        let base_utility = entry.instance().utility();
+        let untouched = repair_schedule(
+            &base_utility,
+            entry.instance().cycle(),
+            entry.schedule(),
+            &SensorSet::new(n),
+            &RepairConfig::default(),
+        )
+        .map_err(|e| format!("empty-dirty repair failed: {e}"))?;
+        if untouched.schedule.assignment() != entry.schedule().assignment()
+            || untouched.mode != RepairMode::Incremental
+            || untouched.cells_touched != 0
+        {
+            violations.push(Violation {
+                code: CoolCode::SessionRepairMismatch,
+                relation: "session-repair-equal",
+                detail: format!(
+                    "empty dirty set was not a {}-cost bit-for-bit no-op (mode {:?}, {} cells)",
+                    0, untouched.mode, untouched.cells_touched
+                ),
+            });
+        }
+
+        let mut delta_rng = SeedSequence::new(case.scenario.seed).nth_rng(19);
+        let script_len = 1 + delta_rng.random_range(0..3usize);
+        'patches: for step in 0..script_len {
+            let delta = random_session_delta(&mut delta_rng, entry.instance());
+            let stats = entry
+                .patch(&delta, &RepairConfig::default())
+                .map_err(|e| format!("session patch `{}` failed: {e}", delta.render()))?;
+            let scratch = entry
+                .instance()
+                .solve()
+                .map_err(|e| format!("scratch solve failed: {e}"))?;
+            let scratch_value = scratch.period_utility(&entry.instance().utility());
+            if !entry.schedule().is_feasible(entry.instance().cycle()) {
+                violations.push(Violation {
+                    code: CoolCode::SessionRepairMismatch,
+                    relation: "session-repair-equal",
+                    detail: format!(
+                        "step {step} `{}`: repaired schedule is energy-infeasible",
+                        delta.render()
+                    ),
+                });
+                break 'patches;
+            }
+            if stats.value + VALUE_TOL < settings.ratio * scratch_value {
+                violations.push(Violation {
+                    code: CoolCode::SessionRepairMismatch,
+                    relation: "session-repair-equal",
+                    detail: format!(
+                        "step {step} `{}` ({}): repaired {} < {} × scratch {scratch_value}",
+                        delta.render(),
+                        stats.mode.as_str(),
+                        stats.value,
+                        settings.ratio
+                    ),
+                });
+                break 'patches;
+            }
+            if stats.mode == RepairMode::Full
+                && entry.schedule().assignment() != scratch.assignment()
+            {
+                violations.push(Violation {
+                    code: CoolCode::SessionRepairMismatch,
+                    relation: "session-repair-equal",
+                    detail: format!(
+                        "step {step} `{}`: full re-solve diverged from scratch: {:?} vs {:?}",
+                        delta.render(),
+                        entry.schedule().assignment(),
+                        scratch.assignment()
+                    ),
+                });
+                break 'patches;
+            }
+        }
+    }
+
     Ok(CaseOutcome {
         relations_checked: checked,
         violations,
@@ -561,6 +658,57 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
         greedy_value,
         lp_value: lp.lp_value,
     })
+}
+
+/// Draws one delta that is valid for the session's current state: sensor
+/// toggles respect liveness, target indices stay in range, the last
+/// target is never removed, and ρ changes stay on quantised minute pairs
+/// spanning both regimes (so period reshapes exercise the full-repair
+/// fallback).
+fn random_session_delta<R: Rng + ?Sized>(rng: &mut R, instance: &SessionInstance) -> Delta {
+    let n = instance.n();
+    let targets = instance.targets().len();
+    loop {
+        match rng.random_range(0..6u32) {
+            0 | 1 => {
+                // Toggle a random sensor's liveness (the common failure).
+                let sensor = rng.random_range(0..n);
+                return if instance.alive().contains(SensorId(sensor)) {
+                    Delta::RemoveSensor { sensor }
+                } else {
+                    Delta::AddSensor { sensor }
+                };
+            }
+            2 => {
+                return Delta::Reweight {
+                    target: rng.random_range(0..targets),
+                    p: [0.3, 0.45, 0.6][rng.random_range(0..3usize)],
+                }
+            }
+            3 => {
+                let size = 1 + rng.random_range(0..3usize);
+                return Delta::AddTarget {
+                    p: 0.4,
+                    coverage: (0..size).map(|_| rng.random_range(0..n)).collect(),
+                };
+            }
+            4 if targets > 1 => {
+                return Delta::RemoveTarget {
+                    target: rng.random_range(0..targets),
+                }
+            }
+            5 => {
+                let (discharge_minutes, recharge_minutes) =
+                    [(15.0, 30.0), (15.0, 45.0), (30.0, 15.0), (15.0, 15.0)]
+                        [rng.random_range(0..4usize)];
+                return Delta::RhoChange {
+                    discharge_minutes,
+                    recharge_minutes,
+                };
+            }
+            _ => {} // RemoveTarget drawn with a single target: redraw
+        }
+    }
 }
 
 #[cfg(test)]

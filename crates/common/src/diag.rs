@@ -135,6 +135,12 @@ pub enum CoolCode {
     /// (coverage implies connectivity only when `comms_radius ≥ 2 ×`
     /// sensing radius, Khasteh et al.).
     DisconnectedCover,
+    /// COOL-E027: warm-start session repair diverged from a from-scratch
+    /// solve — an empty delta did not reproduce the stored schedule
+    /// bit-for-bit, or a patched schedule fell below the approximation
+    /// bound of (or was infeasible against) a from-scratch solve of the
+    /// mutated instance.
+    SessionRepairMismatch,
 }
 
 impl CoolCode {
@@ -177,6 +183,7 @@ impl CoolCode {
             CoolCode::DominatedSensor => "COOL-W007",
             CoolCode::StaticallyDeadSlot => "COOL-W008",
             CoolCode::DisconnectedCover => "COOL-W009",
+            CoolCode::SessionRepairMismatch => "COOL-E027",
         }
     }
 
@@ -219,6 +226,7 @@ impl CoolCode {
             CoolCode::DominatedSensor => "dominated-sensor",
             CoolCode::StaticallyDeadSlot => "statically-dead-slot",
             CoolCode::DisconnectedCover => "disconnected-cover",
+            CoolCode::SessionRepairMismatch => "session-repair-mismatch",
         }
     }
 
@@ -298,6 +306,9 @@ impl CoolCode {
             CoolCode::DisconnectedCover => {
                 "active set is coverage-complete but disconnected under the communication radius"
             }
+            CoolCode::SessionRepairMismatch => {
+                "warm-start session repair diverged from a from-scratch solve"
+            }
         }
     }
 
@@ -347,6 +358,7 @@ impl CoolCode {
             CoolCode::DominatedSensor,
             CoolCode::StaticallyDeadSlot,
             CoolCode::DisconnectedCover,
+            CoolCode::SessionRepairMismatch,
         ]
     }
 }
@@ -392,7 +404,7 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 26);
+        assert_eq!(errors, 27);
         assert_eq!(warnings, 9);
     }
 

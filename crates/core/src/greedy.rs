@@ -530,10 +530,11 @@ where
     ))
 }
 
-/// Greedy tie-breaking total order, shared by the naive loop and the lazy
-/// heap so they produce identical schedules: larger gain wins; ties go to
-/// the lower sensor index, then the lower slot.
-fn max_by_gain(
+/// Greedy tie-breaking total order, shared by the naive loop, the lazy
+/// heap and the warm-start repair engine so they produce identical
+/// schedules: larger gain wins; ties go to the lower sensor index, then
+/// the lower slot.
+pub(crate) fn max_by_gain(
     current: (f64, usize, usize),
     candidate: (f64, usize, usize),
 ) -> (f64, usize, usize) {
@@ -548,7 +549,7 @@ fn max_by_gain(
 
 /// Dual order for the passive allocation: smaller loss wins; ties go to the
 /// lower sensor index, then the lower slot.
-fn min_by_loss(
+pub(crate) fn min_by_loss(
     current: (f64, usize, usize),
     candidate: (f64, usize, usize),
 ) -> (f64, usize, usize) {

@@ -62,6 +62,7 @@ pub mod lp_window;
 pub mod optimal;
 pub mod policy;
 pub mod problem;
+pub mod repair;
 pub mod schedule;
 pub mod simplex;
 pub mod stochastic;
@@ -79,6 +80,7 @@ pub use lp::{LpOutcome, LpScheduler};
 pub use lp_window::{solve_window_lp, RepairStrategy, WindowLpOutcome};
 pub use optimal::{branch_and_bound, exhaustive_optimal};
 pub use problem::{Problem, ProblemError};
+pub use repair::{repair_schedule, RepairConfig, RepairMode, RepairOutcome};
 pub use schedule::{PeriodSchedule, ScheduleMode};
 pub use simplex::{LinearProgram, SimplexError, SimplexSolution};
 pub use symmetric::{balanced_partition, optimal_partition_dp, SymmetricOptimum};

@@ -8,6 +8,10 @@
 //! |---|---|---|
 //! | `/v1/schedule` | POST | lint pre-flight → compute (greedy / lp-rounding / horizon) → schedule + per-slot utility JSON; `{"batch":[...]}` fans out over the worker pool |
 //! | `/v1/lint` | POST | the `cool-lint` pre-flight as a standalone check |
+//! | `/v1/scenario` | PUT | create a live session: lint, solve, store (LRU-bounded; evicted/deleted ids answer 410) |
+//! | `/v1/scenario/{id}` | PATCH | apply a delta sequence with warm-start schedule repair |
+//! | `/v1/scenario/{id}/schedule` | GET | the session's current schedule |
+//! | `/v1/scenario/{id}` | DELETE | drop the session |
 //! | `/healthz` | GET | liveness probe |
 //! | `/metrics` | GET | Prometheus text: request counts, latency histogram, cache hit/miss, queue depth |
 //! | `/v1/shutdown` | POST | graceful drain: stop intake, finish accepted work, exit |
@@ -29,9 +33,10 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod session_api;
 pub mod smoke;
 
 pub use api::{Algorithm, ApiError};
 pub use cache::{CacheKey, LruCache};
 pub use server::{Server, ServerConfig};
-pub use smoke::run_smoke;
+pub use smoke::{run_session_smoke, run_smoke};

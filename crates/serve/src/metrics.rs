@@ -32,6 +32,15 @@ pub struct ServeMetrics {
     pub queue_rejections: Counter,
     /// `cool_request_timeouts_total` — requests abandoned with 408.
     pub timeouts: Counter,
+    /// `cool_sessions_active` — live sessions in the session store.
+    pub sessions_active: Gauge,
+    /// `cool_session_repairs_total{mode="incremental|full"}`.
+    pub session_repairs: CounterVec,
+    /// `cool_session_cells_touched_total` — (sensor, slot) cells the
+    /// warm-start repairs re-evaluated.
+    pub session_cells_touched: Counter,
+    /// `cool_session_repair_seconds` — patch-to-repaired latency.
+    pub session_repair_seconds: Histogram,
     started: Instant,
 }
 
@@ -56,8 +65,20 @@ impl ServeMetrics {
             in_flight: Gauge::new(),
             queue_rejections: Counter::new(),
             timeouts: Counter::new(),
+            sessions_active: Gauge::new(),
+            session_repairs: CounterVec::new(),
+            session_cells_touched: Counter::new(),
+            session_repair_seconds: Histogram::latency_seconds(),
             started: Instant::now(),
         }
+    }
+
+    /// Records one session repair (shared by PUT scratch solves and
+    /// PATCH warm starts).
+    pub fn observe_repair(&self, mode: &str, cells_touched: u64, seconds: f64) {
+        self.session_repairs.inc(&format!("mode=\"{mode}\""));
+        self.session_cells_touched.add(cells_touched);
+        self.session_repair_seconds.observe(seconds);
     }
 
     /// Records one finished request.
@@ -121,6 +142,26 @@ impl ServeMetrics {
             "cool_request_timeouts_total",
             "Requests abandoned with HTTP 408 after the wall-clock budget.",
         );
+        self.sessions_active.render(
+            &mut out,
+            "cool_sessions_active",
+            "Live sessions currently held by the session store.",
+        );
+        self.session_repairs.render(
+            &mut out,
+            "cool_session_repairs_total",
+            "Session schedule repairs, by mode (incremental warm start vs full re-solve).",
+        );
+        self.session_cells_touched.render(
+            &mut out,
+            "cool_session_cells_touched_total",
+            "(sensor, slot) cells re-evaluated by session repairs.",
+        );
+        self.session_repair_seconds.render(
+            &mut out,
+            "cool_session_repair_seconds",
+            "Wall-clock seconds spent repairing session schedules.",
+        );
         // Sparse-evaluation observability: process-wide totals maintained by
         // cool-utility's SparseSumEvaluator. parts_touched / gain_queries is
         // the realised average degree — compare against the target count to
@@ -163,6 +204,9 @@ mod tests {
         m.cache_hits.inc();
         m.cache_misses.inc();
         m.queue_depth.set(3);
+        m.sessions_active.set(2);
+        m.observe_repair("incremental", 12, 0.004);
+        m.observe_repair("full", 40, 0.009);
         let page = m.render();
         for series in [
             "cool_requests_total{endpoint=\"schedule\",status=\"200\"} 1",
@@ -176,6 +220,11 @@ mod tests {
             "cool_inflight_requests 0",
             "cool_queue_rejections_total 0",
             "cool_request_timeouts_total 0",
+            "cool_sessions_active 2",
+            "cool_session_repairs_total{mode=\"incremental\"} 1",
+            "cool_session_repairs_total{mode=\"full\"} 1",
+            "cool_session_cells_touched_total 52",
+            "cool_session_repair_seconds_count 2",
             "cool_gain_queries_total",
             "cool_parts_touched_total",
             "cool_uptime_seconds",

@@ -13,9 +13,13 @@ use crate::api::{
 use crate::cache::{CacheKey, LruCache};
 use crate::http::{read_request, write_response, ReadError, Request};
 use crate::metrics::ServeMetrics;
+use crate::session_api;
 use cool_common::parallel::{default_sweep_threads, WorkerPool};
 use cool_common::CoolCode;
+use cool_core::RepairConfig;
 use cool_lint::lint_scenario_text;
+use cool_scenario::Scenario;
+use cool_session::{SessionEntry, SessionInstance, SessionStore, SessionStoreError};
 use std::fmt::Write as _;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,6 +43,12 @@ pub struct ServerConfig {
     pub cache_cap: usize,
     /// Per-request wall-clock budget in milliseconds (408 past it).
     pub timeout_ms: u64,
+    /// Maximum live sessions in the `/v1/scenario` store; past it the
+    /// least recently used session is evicted (its id answers 410).
+    pub session_cap: usize,
+    /// Dirty-sensor fraction above which a session PATCH abandons the
+    /// warm start and re-solves from scratch.
+    pub repair_threshold: f64,
     /// Honour `x-cool-test-sleep-ms` request headers (tests only) so e2e
     /// suites can deterministically saturate the queue or exceed budgets.
     pub test_hooks: bool,
@@ -52,6 +62,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_cap: 128,
             timeout_ms: 30_000,
+            session_cap: 64,
+            repair_threshold: RepairConfig::DEFAULT_FULL_THRESHOLD,
             test_hooks: false,
         }
     }
@@ -61,6 +73,7 @@ impl Default for ServerConfig {
 struct AppState {
     config: ServerConfig,
     cache: Mutex<LruCache<CacheKey, String>>,
+    sessions: Mutex<SessionStore>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
 }
@@ -68,6 +81,10 @@ struct AppState {
 impl AppState {
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache<CacheKey, String>> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, SessionStore> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -91,6 +108,7 @@ impl Server {
             listener,
             state: Arc::new(AppState {
                 cache: Mutex::new(LruCache::new(config.cache_cap)),
+                sessions: Mutex::new(SessionStore::new(config.session_cap)),
                 metrics: ServeMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 config,
@@ -186,6 +204,9 @@ fn reject_overloaded(state: &AppState, mut stream: TcpStream, accepted_at: Insta
 
 /// The endpoint label used in metrics for a request target.
 fn endpoint_label(target: &str) -> &'static str {
+    if target == "/v1/scenario" || target.starts_with("/v1/scenario/") {
+        return "session";
+    }
     match target {
         "/v1/schedule" => "schedule",
         "/v1/lint" => "lint",
@@ -329,6 +350,9 @@ fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
                 "{\"status\":\"ok\",\"message\":\"draining in-flight requests\"}".to_string(),
             )
         }
+        (_, target) if target == "/v1/scenario" || target.starts_with("/v1/scenario/") => {
+            route_session(state, request)
+        }
         (_, "/v1/schedule" | "/v1/lint" | "/healthz" | "/metrics" | "/v1/shutdown") => {
             let err = ApiError::malformed("method not allowed for this path");
             (405, Vec::new(), err.body())
@@ -445,6 +469,173 @@ fn handle_schedule(state: &AppState, request: &Request, accepted_at: Instant) ->
     routed
 }
 
+/// Dispatches the `/v1/scenario` session family:
+/// `PUT /v1/scenario`, `PATCH|DELETE /v1/scenario/{id}`,
+/// `GET /v1/scenario/{id}/schedule`.
+fn route_session(state: &AppState, request: &Request) -> Routed {
+    let method = request.method.as_str();
+    let rest = request
+        .target
+        .strip_prefix("/v1/scenario")
+        .unwrap_or_default();
+    match (method, rest) {
+        ("PUT", "") => handle_session_put(state, request),
+        (_, "") => {
+            let err = ApiError::malformed("use PUT to create a session");
+            (405, Vec::new(), err.body())
+        }
+        (_, _) => {
+            let id = rest.trim_start_matches('/');
+            if let Some(id) = id.strip_suffix("/schedule") {
+                if method == "GET" {
+                    return handle_session_schedule(state, id);
+                }
+                let err = ApiError::malformed("use GET on /schedule");
+                return (405, Vec::new(), err.body());
+            }
+            match method {
+                "PATCH" => handle_session_patch(state, request, id),
+                "DELETE" => handle_session_delete(state, id),
+                _ => {
+                    let err =
+                        ApiError::malformed("use PATCH or DELETE on a session, GET on /schedule");
+                    (405, Vec::new(), err.body())
+                }
+            }
+        }
+    }
+}
+
+/// Maps a store miss to its HTTP error.
+fn session_miss(id: &str, miss: SessionStoreError) -> Routed {
+    let err = match miss {
+        SessionStoreError::Gone => session_api::session_gone(id),
+        SessionStoreError::NotFound => session_api::session_not_found(id),
+    };
+    (err.status, Vec::new(), err.body())
+}
+
+/// `PUT /v1/scenario` — lint, solve from scratch, store as a session.
+fn handle_session_put(state: &AppState, request: &Request) -> Routed {
+    let text = match parse_lint_body(&request.body) {
+        Ok(text) => text,
+        Err(err) => return (err.status, Vec::new(), err.body()),
+    };
+    let report = lint_scenario_text(&text, "request");
+    if report.error_count() > 0 {
+        let code = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code.is_error())
+            .map_or(CoolCode::ScenarioFieldInvalid, |d| d.code);
+        let err = ApiError {
+            status: 422,
+            code,
+            message: "scenario rejected by cool-lint".to_string(),
+            lint_json: Some(report.to_json()),
+        };
+        return (err.status, Vec::new(), err.body());
+    }
+    let scenario = match Scenario::parse(&text) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            let err = ApiError::from(e);
+            return (err.status, Vec::new(), err.body());
+        }
+    };
+    let entry = SessionInstance::from_scenario(&scenario).and_then(SessionEntry::solve);
+    let entry = match entry {
+        Ok(entry) => entry,
+        Err(message) => {
+            let mut err = ApiError::malformed(message);
+            err.status = 422;
+            return (err.status, Vec::new(), err.body());
+        }
+    };
+    let mut sessions = state.lock_sessions();
+    let (id, evicted) = sessions.put(entry);
+    state
+        .metrics
+        .sessions_active
+        .set(i64::try_from(sessions.len()).unwrap_or(i64::MAX));
+    let body = match sessions.get(&id) {
+        Ok(entry) => session_api::render_put_response(&id, entry, evicted.as_deref()),
+        Err(miss) => return session_miss(&id, miss),
+    };
+    (200, Vec::new(), body)
+}
+
+/// `PATCH /v1/scenario/{id}` — apply deltas sequentially with warm-start
+/// repair. Deltas apply in order; the first invalid one aborts the
+/// remainder with 422 (earlier deltas in the body stay applied).
+fn handle_session_patch(state: &AppState, request: &Request, id: &str) -> Routed {
+    let deltas = match session_api::parse_patch_body(&request.body) {
+        Ok(deltas) => deltas,
+        Err(err) => return (err.status, Vec::new(), err.body()),
+    };
+    let config = RepairConfig {
+        full_threshold: state.config.repair_threshold,
+    };
+    let mut sessions = state.lock_sessions();
+    let entry = match sessions.get(id) {
+        Ok(entry) => entry,
+        Err(miss) => return session_miss(id, miss),
+    };
+    let mut repairs = Vec::with_capacity(deltas.len());
+    for (i, delta) in deltas.iter().enumerate() {
+        let started = Instant::now();
+        match entry.patch(delta, &config) {
+            Ok(stats) => {
+                state.metrics.observe_repair(
+                    stats.mode.as_str(),
+                    stats.cells_touched,
+                    started.elapsed().as_secs_f64(),
+                );
+                repairs.push(stats);
+            }
+            Err(message) => {
+                let mut err = ApiError::malformed(format!(
+                    "delta {} rejected after {} applied: {message}",
+                    i + 1,
+                    repairs.len()
+                ));
+                err.status = 422;
+                return (err.status, Vec::new(), err.body());
+            }
+        }
+    }
+    let body = session_api::render_patch_response(id, entry, &repairs);
+    (200, Vec::new(), body)
+}
+
+/// `GET /v1/scenario/{id}/schedule` — the session's current schedule.
+fn handle_session_schedule(state: &AppState, id: &str) -> Routed {
+    let mut sessions = state.lock_sessions();
+    match sessions.get(id) {
+        Ok(entry) => (
+            200,
+            Vec::new(),
+            session_api::render_schedule_response(id, entry),
+        ),
+        Err(miss) => session_miss(id, miss),
+    }
+}
+
+/// `DELETE /v1/scenario/{id}` — drop the session, leaving a tombstone.
+fn handle_session_delete(state: &AppState, id: &str) -> Routed {
+    let mut sessions = state.lock_sessions();
+    match sessions.delete(id) {
+        Ok(()) => {
+            state
+                .metrics
+                .sessions_active
+                .set(i64::try_from(sessions.len()).unwrap_or(i64::MAX));
+            (200, Vec::new(), session_api::render_delete_response(id))
+        }
+        Err(miss) => session_miss(id, miss),
+    }
+}
+
 /// `POST /v1/lint` — the pre-flight as a standalone endpoint.
 fn handle_lint(request: &Request) -> Routed {
     let text = match parse_lint_body(&request.body) {
@@ -481,6 +672,7 @@ mod tests {
     fn test_state(config: ServerConfig) -> AppState {
         AppState {
             cache: Mutex::new(LruCache::new(config.cache_cap)),
+            sessions: Mutex::new(SessionStore::new(config.session_cap)),
             metrics: ServeMetrics::new(),
             shutdown: AtomicBool::new(false),
             config,
@@ -643,6 +835,160 @@ mod tests {
         let (status, _, _) = route(&state, &request("POST", "/v1/shutdown", ""), Instant::now());
         assert_eq!(status, 200);
         assert!(state.shutdown.load(Ordering::SeqCst));
+    }
+
+    /// Pulls the `"session"` id out of a PUT/PATCH response body.
+    fn session_id_of(body: &str) -> String {
+        cool_common::json::parse(body)
+            .unwrap()
+            .get("session")
+            .and_then(cool_common::json::Value::as_str)
+            .unwrap_or_else(|| panic!("no session id in {body}"))
+            .to_string()
+    }
+
+    #[test]
+    fn session_lifecycle_over_routes() {
+        let state = test_state(ServerConfig::default());
+        let put_body = r#"{"scenario":"sensors = 12\ntargets = 2\n"}"#;
+        let (status, _, body) = route(
+            &state,
+            &request("PUT", "/v1/scenario", put_body),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"evicted\":null"));
+        let id = session_id_of(&body);
+        assert_eq!(state.metrics.sessions_active.get(), 1);
+
+        // An identical PUT re-derives the same content address.
+        let (_, _, again) = route(
+            &state,
+            &request("PUT", "/v1/scenario", put_body),
+            Instant::now(),
+        );
+        assert_eq!(session_id_of(&again), id);
+
+        let patch_body = r#"{"deltas":"remove_sensor 0\nreweight 0 0.9\n"}"#;
+        let (status, _, body) = route(
+            &state,
+            &request("PATCH", &format!("/v1/scenario/{id}"), patch_body),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"applied\":2"), "{body}");
+        assert!(body.contains("\"repairs\":["), "{body}");
+
+        let (status, _, body) = route(
+            &state,
+            &request("GET", &format!("/v1/scenario/{id}/schedule"), ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"assignment\":["), "{body}");
+
+        let (status, _, _) = route(
+            &state,
+            &request("DELETE", &format!("/v1/scenario/{id}"), ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(state.metrics.sessions_active.get(), 0);
+
+        let (status, _, body) = route(
+            &state,
+            &request("GET", &format!("/v1/scenario/{id}/schedule"), ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 410, "{body}");
+        let (status, _, _) = route(
+            &state,
+            &request("GET", "/v1/scenario/ffffffffffffffff/schedule", ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn session_put_rejects_what_lint_rejects() {
+        let state = test_state(ServerConfig::default());
+        let (status, _, body) = route(
+            &state,
+            &request(
+                "PUT",
+                "/v1/scenario",
+                r#"{"scenario":"recharge_minutes = 40\n"}"#,
+            ),
+            Instant::now(),
+        );
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("COOL-E"), "{body}");
+        assert_eq!(state.metrics.sessions_active.get(), 0);
+    }
+
+    #[test]
+    fn session_patch_applies_a_prefix_then_rejects() {
+        let state = test_state(ServerConfig::default());
+        let (_, _, body) = route(
+            &state,
+            &request(
+                "PUT",
+                "/v1/scenario",
+                r#"{"scenario":"sensors = 12\ntargets = 2\n"}"#,
+            ),
+            Instant::now(),
+        );
+        let id = session_id_of(&body);
+
+        // Malformed grammar never touches the session.
+        let (status, _, body) = route(
+            &state,
+            &request(
+                "PATCH",
+                &format!("/v1/scenario/{id}"),
+                r#"{"deltas":"warp 9"}"#,
+            ),
+            Instant::now(),
+        );
+        assert_eq!(status, 400, "{body}");
+
+        // Well-formed but invalid second delta: the first stays applied.
+        let (status, _, body) = route(
+            &state,
+            &request(
+                "PATCH",
+                &format!("/v1/scenario/{id}"),
+                r#"{"deltas":"remove_sensor 3\nremove_sensor 3\n"}"#,
+            ),
+            Instant::now(),
+        );
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("delta 2 rejected after 1 applied"), "{body}");
+        let (_, _, body) = route(
+            &state,
+            &request("GET", &format!("/v1/scenario/{id}/schedule"), ""),
+            Instant::now(),
+        );
+        assert!(body.contains("\"alive\":11"), "{body}");
+    }
+
+    #[test]
+    fn session_family_rejects_wrong_methods() {
+        let state = test_state(ServerConfig::default());
+        let (status, _, _) = route(&state, &request("POST", "/v1/scenario", ""), Instant::now());
+        assert_eq!(status, 405);
+        let (status, _, _) = route(
+            &state,
+            &request("POST", "/v1/scenario/abc/schedule", ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 405);
+        let (status, _, _) = route(
+            &state,
+            &request("GET", "/v1/scenario/abc", ""),
+            Instant::now(),
+        );
+        assert_eq!(status, 405);
     }
 
     #[test]

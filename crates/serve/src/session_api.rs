@@ -1,0 +1,198 @@
+//! Request parsing and response rendering for the `/v1/scenario` session
+//! endpoints (the handlers live in [`crate::server`], next to the other
+//! routes, because they need the shared `AppState`).
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/v1/scenario` | PUT | lint + solve a scenario, store it as a live session (LRU-bounded) |
+//! | `/v1/scenario/{id}` | PATCH | apply a delta sequence, warm-start repair the schedule |
+//! | `/v1/scenario/{id}/schedule` | GET | the session's current schedule |
+//! | `/v1/scenario/{id}` | DELETE | drop the session (id answers `410 Gone` afterwards) |
+//!
+//! All bodies are deterministic JSON: fixed key order, no timestamps, so
+//! byte-identical state renders byte-identical responses.
+
+use crate::api::ApiError;
+use cool_common::json::{self, Value};
+use cool_core::ScheduleMode;
+use cool_session::{parse_deltas, Delta, PatchStats, SessionEntry};
+use std::fmt::Write as _;
+
+/// Parses a `PATCH /v1/scenario/{id}` body: `{"deltas": "<replay text>"}`
+/// in the grammar of [`cool_session::parse_deltas`].
+///
+/// # Errors
+///
+/// `COOL-E019` (400) for non-UTF-8, invalid JSON, a missing `deltas`
+/// field, or a malformed delta line.
+pub fn parse_patch_body(body: &[u8]) -> Result<Vec<Delta>, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::malformed("request body is not UTF-8"))?;
+    let doc =
+        json::parse(text).map_err(|e| ApiError::malformed(format!("invalid JSON body: {e}")))?;
+    let script = doc
+        .get("deltas")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ApiError::malformed("missing required string field `deltas`"))?;
+    let deltas =
+        parse_deltas(script).map_err(|e| ApiError::malformed(format!("bad delta: {e}")))?;
+    if deltas.is_empty() {
+        return Err(ApiError::malformed("`deltas` contains no delta lines"));
+    }
+    Ok(deltas)
+}
+
+/// `404 Not Found` for a session id that was never stored.
+#[must_use]
+pub fn session_not_found(id: &str) -> ApiError {
+    let mut err = ApiError::malformed(format!("no session {id}"));
+    err.status = 404;
+    err
+}
+
+/// `410 Gone` for a session id that was deleted or LRU-evicted.
+#[must_use]
+pub fn session_gone(id: &str) -> ApiError {
+    let mut err = ApiError::malformed(format!("session {id} was deleted or evicted"));
+    err.status = 410;
+    err
+}
+
+/// The stable wire label of a schedule mode.
+fn mode_label(mode: ScheduleMode) -> &'static str {
+    match mode {
+        ScheduleMode::ActiveSlot => "active-slot",
+        ScheduleMode::PassiveSlot => "passive-slot",
+    }
+}
+
+/// Renders the session summary common to the PUT and PATCH responses.
+fn write_session_summary(out: &mut String, id: &str, entry: &SessionEntry) {
+    let instance = entry.instance();
+    let _ = write!(
+        out,
+        "\"session\":\"{id}\",\"sensors\":{},\"targets\":{},\"alive\":{},\
+         \"rho\":{},\"slots_per_period\":{},\"periods\":{},\"value\":{:?},\
+         \"patches\":{}",
+        instance.n(),
+        instance.targets().len(),
+        instance.alive().len(),
+        instance.cycle().rho(),
+        instance.cycle().slots_per_period(),
+        instance.periods(),
+        entry.value(),
+        entry.patches(),
+    );
+}
+
+/// `PUT /v1/scenario` response body.
+#[must_use]
+pub fn render_put_response(id: &str, entry: &SessionEntry, evicted: Option<&str>) -> String {
+    let mut out = String::from("{\"status\":\"ok\",");
+    write_session_summary(&mut out, id, entry);
+    match evicted {
+        Some(dead) => {
+            let _ = write!(out, ",\"evicted\":\"{dead}\"");
+        }
+        None => out.push_str(",\"evicted\":null"),
+    }
+    out.push('}');
+    out
+}
+
+/// `PATCH /v1/scenario/{id}` response body: per-delta repair telemetry
+/// plus the final session summary.
+#[must_use]
+pub fn render_patch_response(id: &str, entry: &SessionEntry, repairs: &[PatchStats]) -> String {
+    let mut out = String::from("{\"status\":\"ok\",");
+    write_session_summary(&mut out, id, entry);
+    let _ = write!(out, ",\"applied\":{},\"repairs\":[", repairs.len());
+    for (i, stats) in repairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"mode\":\"{}\",\"cells_touched\":{},\"dirty_sensors\":{},\"value\":{:?}}}",
+            stats.mode.as_str(),
+            stats.cells_touched,
+            stats.dirty_sensors,
+            stats.value,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `GET /v1/scenario/{id}/schedule` response body.
+#[must_use]
+pub fn render_schedule_response(id: &str, entry: &SessionEntry) -> String {
+    let schedule = entry.schedule();
+    let slots = schedule.slots_per_period();
+    let mut out = String::from("{\"status\":\"ok\",");
+    write_session_summary(&mut out, id, entry);
+    let _ = write!(
+        out,
+        ",\"schedule\":{{\"mode\":\"{}\",",
+        mode_label(schedule.mode())
+    );
+    out.push_str("\"per_slot_active\":[");
+    for t in 0..slots {
+        if t > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", schedule.active_set(t).len());
+    }
+    out.push_str("],\"assignment\":[");
+    for (v, t) in schedule.assignment().iter().enumerate() {
+        if v > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// `DELETE /v1/scenario/{id}` response body.
+#[must_use]
+pub fn render_delete_response(id: &str) -> String {
+    format!("{{\"status\":\"ok\",\"deleted\":\"{id}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_body_round_trips_the_replay_grammar() {
+        let body = br#"{"deltas":"add_sensor 3\nreweight 0 0.5\n"}"#;
+        let deltas = parse_patch_body(body).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0], Delta::AddSensor { sensor: 3 });
+    }
+
+    #[test]
+    fn patch_body_rejections_are_typed() {
+        assert_eq!(parse_patch_body(b"not json").unwrap_err().status, 400);
+        assert_eq!(parse_patch_body(br#"{"nope":1}"#).unwrap_err().status, 400);
+        assert_eq!(
+            parse_patch_body(br#"{"deltas":"warp 9"}"#)
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_patch_body(br##"{"deltas":"# only a comment"}"##)
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn missing_session_errors_carry_http_semantics() {
+        assert_eq!(session_not_found("abc").status, 404);
+        assert_eq!(session_gone("abc").status, 410);
+    }
+}

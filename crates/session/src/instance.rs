@@ -1,0 +1,385 @@
+//! The live, mutable instance a session schedules.
+//!
+//! A [`SessionInstance`] is an **explicit** multi-target detection
+//! instance: unlike [`cool_scenario::Scenario`] (a generator recipe), it
+//! stores every target's full coverage set plus an `alive` mask over the
+//! fixed sensor universe, so deltas are cheap set operations and
+//! `Remove∘Add` of the same sensor round-trips to the exact original
+//! canonical form. The effective utility is built from
+//! `coverage ∩ alive` per target, leaving the full coverage sets intact
+//! for later resurrection.
+
+use cool_common::{SensorId, SensorSet};
+use cool_core::{greedy::try_greedy_schedule, PeriodSchedule, Problem};
+use cool_energy::ChargeCycle;
+use cool_scenario::Scenario;
+use cool_utility::{AnyUtility, DetectionUtility, SumUtility, UtilityFunction};
+
+/// One watched target: who can see it, and with what per-sensor
+/// detection probability (the target's weight in the sum utility).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSpec {
+    /// Full coverage set over the fixed sensor universe (dead sensors
+    /// included — aliveness is applied at utility-build time).
+    pub coverage: SensorSet,
+    /// Per-sensor detection probability `p ∈ [0, 1]`.
+    pub p: f64,
+}
+
+/// A live scheduling instance: fixed sensor universe, mutable target
+/// list, alive mask, and charge-cycle parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInstance {
+    n: usize,
+    targets: Vec<TargetSpec>,
+    alive: SensorSet,
+    discharge_minutes: f64,
+    recharge_minutes: f64,
+    hours: f64,
+}
+
+impl SessionInstance {
+    /// Builds an instance directly from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty universe, an empty target list, a coverage set
+    /// over the wrong universe, an out-of-range probability, or cycle
+    /// parameters `ChargeCycle` refuses.
+    pub fn new(
+        n: usize,
+        targets: Vec<TargetSpec>,
+        discharge_minutes: f64,
+        recharge_minutes: f64,
+        hours: f64,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("session instance needs at least one sensor".into());
+        }
+        if targets.is_empty() {
+            return Err("session instance needs at least one target".into());
+        }
+        for (i, t) in targets.iter().enumerate() {
+            if t.coverage.universe() != n {
+                return Err(format!(
+                    "target {i} coverage universe {} != n {n}",
+                    t.coverage.universe()
+                ));
+            }
+            if !(0.0..=1.0).contains(&t.p) {
+                return Err(format!("target {i} probability {} outside [0, 1]", t.p));
+            }
+        }
+        ChargeCycle::from_minutes(discharge_minutes, recharge_minutes)
+            .map_err(|e| e.to_string())?;
+        if !(hours.is_finite() && hours > 0.0) {
+            return Err(format!("working time {hours} h must be positive"));
+        }
+        Ok(SessionInstance {
+            n,
+            targets,
+            alive: SensorSet::full(n),
+            discharge_minutes,
+            recharge_minutes,
+            hours,
+        })
+    }
+
+    /// Materialises a [`Scenario`] into an explicit instance: the
+    /// scenario's geometric build is run once and its per-target
+    /// coverage sets are extracted verbatim, so the instance's scratch
+    /// solve matches the scenario's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scenario::build`] failures as rendered strings.
+    pub fn from_scenario(scenario: &Scenario) -> Result<Self, String> {
+        let built = scenario.build()?;
+        let targets: Vec<TargetSpec> = built
+            .problem
+            .utility()
+            .parts()
+            .iter()
+            .map(|part| match part {
+                AnyUtility::Detection(d) => Ok(TargetSpec {
+                    coverage: d.coverage(),
+                    p: scenario.detection_p,
+                }),
+                other => Err(format!(
+                    "scenario produced a non-detection part ({}-universe); \
+                     sessions only speak multi-target detection",
+                    other.universe()
+                )),
+            })
+            .collect::<Result<_, _>>()?;
+        SessionInstance::new(
+            scenario.sensors,
+            targets,
+            scenario.discharge_minutes,
+            scenario.recharge_minutes,
+            scenario.hours,
+        )
+    }
+
+    /// Sensor universe size `n` (fixed for the session's lifetime).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The watched targets.
+    pub fn targets(&self) -> &[TargetSpec] {
+        &self.targets
+    }
+
+    /// The alive mask (sensors currently deployed).
+    pub fn alive(&self) -> &SensorSet {
+        &self.alive
+    }
+
+    /// Working time in hours.
+    pub fn hours(&self) -> f64 {
+        self.hours
+    }
+
+    /// The current charge cycle.
+    ///
+    /// # Panics
+    ///
+    /// Never: constructors and [`crate::Delta`] application validate the
+    /// minutes before storing them.
+    pub fn cycle(&self) -> ChargeCycle {
+        match ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes) {
+            Ok(c) => c,
+            Err(_) => unreachable!("stored cycle parameters are pre-validated"),
+        }
+    }
+
+    /// Whole charging periods in the working time (at least 1).
+    pub fn periods(&self) -> usize {
+        self.cycle().periods_in_hours(self.hours).max(1)
+    }
+
+    /// The effective utility: one detection part per target over
+    /// `coverage ∩ alive`. Dead sensors contribute exact zeros.
+    pub fn utility(&self) -> SumUtility {
+        SumUtility::new(
+            self.targets
+                .iter()
+                .map(|t| {
+                    DetectionUtility::uniform_on(&t.coverage.intersection(&self.alive), t.p).into()
+                })
+                .collect(),
+        )
+    }
+
+    /// Runs the full `cool-lint` pre-flight over the effective utility,
+    /// including the sampled utility-axiom conformance check. This is the
+    /// session-creation gate; per-patch revalidation uses the cheap
+    /// [`SessionInstance::validate_structure`] instead, because every
+    /// delta maps a sum-of-detection-parts utility to another one and
+    /// that family satisfies the axioms by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered report when it contains any `COOL-E` error.
+    pub fn validate(&self) -> Result<(), String> {
+        let report = cool_lint::preflight(&self.utility(), self.n, self.cycle().slots_per_period());
+        if report.error_count() > 0 {
+            return Err(format!("instance fails lint pre-flight: {report}"));
+        }
+        Ok(())
+    }
+
+    /// The structural subset of the `cool-lint` pre-flight — universe
+    /// consistency and a non-degenerate period — without the sampled
+    /// axiom check. O(targets) instead of O(trials × targets × n); the
+    /// warm-start patch path runs this after every delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered report when it contains any `COOL-E` error.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        let slots = self.cycle().slots_per_period();
+        let mut report = cool_lint::lint_universe(&self.utility(), self.n);
+        if slots == 0 {
+            report.push(cool_lint::Diagnostic::new(
+                cool_common::CoolCode::EmptySlotCount,
+                "charge cycle yields zero slots per period",
+            ));
+        }
+        if report.error_count() > 0 {
+            return Err(format!("instance fails structural lint: {report}"));
+        }
+        Ok(())
+    }
+
+    /// Solves the instance from scratch with the naive greedy — the
+    /// reference the warm-start repair is measured against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler build errors as rendered strings.
+    pub fn solve(&self) -> Result<PeriodSchedule, String> {
+        let problem = Problem::new(self.utility(), self.cycle(), self.periods())
+            .map_err(|e| e.to_string())?;
+        try_greedy_schedule(&problem).map_err(|e| e.to_string())
+    }
+
+    /// Sets the cycle minutes (pre-validated by the caller via
+    /// [`ChargeCycle::from_minutes`]).
+    pub(crate) fn set_cycle_minutes(&mut self, discharge: f64, recharge: f64) {
+        self.discharge_minutes = discharge;
+        self.recharge_minutes = recharge;
+    }
+
+    pub(crate) fn alive_mut(&mut self) -> &mut SensorSet {
+        &mut self.alive
+    }
+
+    pub(crate) fn targets_mut(&mut self) -> &mut Vec<TargetSpec> {
+        &mut self.targets
+    }
+
+    /// Sensors whose marginal contribution a change to target `j` can
+    /// affect: the target's live coverage.
+    pub(crate) fn live_coverage(&self, j: usize) -> SensorSet {
+        self.targets[j].coverage.intersection(&self.alive)
+    }
+
+    /// Sensors incident (through any shared target) to sensor `v`,
+    /// including `v` itself — the O(deg) dirty neighbourhood of a sensor
+    /// delta.
+    pub(crate) fn neighbourhood(&self, v: usize) -> SensorSet {
+        let mut dirty = SensorSet::new(self.n);
+        dirty.insert(SensorId(v));
+        for t in &self.targets {
+            if t.coverage.contains(SensorId(v)) {
+                dirty.union_with(&t.coverage.intersection(&self.alive));
+            }
+        }
+        dirty
+    }
+
+    /// The deterministic canonical normal form: fixed key order, one
+    /// line per field, targets in list order with sorted member lists.
+    /// Two instances with equal state always render identically, so this
+    /// string is the content-addressing key for session ids.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "session_v1");
+        let _ = writeln!(out, "n={}", self.n);
+        let _ = writeln!(out, "discharge_minutes={}", self.discharge_minutes);
+        let _ = writeln!(out, "recharge_minutes={}", self.recharge_minutes);
+        let _ = writeln!(out, "hours={}", self.hours);
+        let _ = writeln!(out, "alive={}", render_members(&self.alive));
+        for t in &self.targets {
+            let _ = writeln!(
+                out,
+                "target p={} cover={}",
+                t.p,
+                render_members(&t.coverage)
+            );
+        }
+        out
+    }
+}
+
+/// Renders a set's members as a sorted space-separated list (`-` when
+/// empty, so the line shape stays fixed).
+fn render_members(set: &SensorSet) -> String {
+    if set.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::new();
+    for (i, v) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&v.0.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SessionInstance {
+        SessionInstance::new(
+            6,
+            vec![
+                TargetSpec {
+                    coverage: SensorSet::from_indices(6, [0, 1, 2]),
+                    p: 0.5,
+                },
+                TargetSpec {
+                    coverage: SensorSet::from_indices(6, [2, 3, 4, 5]),
+                    p: 0.25,
+                },
+            ],
+            15.0,
+            45.0,
+            12.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_is_deterministic_and_complete() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.canonical(), b.canonical());
+        let c = a.canonical();
+        assert!(c.contains("n=6"));
+        assert!(c.contains("alive=0 1 2 3 4 5"));
+        assert!(c.contains("target p=0.5 cover=0 1 2"));
+    }
+
+    #[test]
+    fn from_scenario_matches_scratch_solve() {
+        let scenario = Scenario {
+            sensors: 20,
+            targets: 3,
+            ..Default::default()
+        };
+        let instance = SessionInstance::from_scenario(&scenario).unwrap();
+        assert_eq!(instance.n(), 20);
+        assert_eq!(instance.targets().len(), 3);
+        let session_schedule = instance.solve().unwrap();
+        let built = scenario.build().unwrap();
+        let scratch = try_greedy_schedule(&built.problem).unwrap();
+        assert_eq!(session_schedule.assignment(), scratch.assignment());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_instance() {
+        small().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_probability_and_universe() {
+        let bad_p = SessionInstance::new(
+            3,
+            vec![TargetSpec {
+                coverage: SensorSet::full(3),
+                p: 1.5,
+            }],
+            15.0,
+            45.0,
+            12.0,
+        );
+        assert!(bad_p.is_err());
+        let bad_universe = SessionInstance::new(
+            3,
+            vec![TargetSpec {
+                coverage: SensorSet::full(4),
+                p: 0.5,
+            }],
+            15.0,
+            45.0,
+            12.0,
+        );
+        assert!(bad_universe.is_err());
+    }
+}

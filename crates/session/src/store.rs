@@ -1,0 +1,370 @@
+//! Live session entries and the bounded content-addressed store.
+
+use crate::delta::Delta;
+use crate::instance::SessionInstance;
+use cool_common::fnv1a_64;
+use cool_core::{repair_schedule, PeriodSchedule, RepairConfig, RepairMode};
+use cool_utility::{Evaluator, SparseSumEvaluator, SumUtility, UtilityFunction};
+use std::collections::VecDeque;
+
+/// Rebuild cadence for a session's long-lived evaluator: long sessions
+/// mutate for hours, so the running Kahan value is re-anchored far more
+/// often than the solver default (bit-identical either way — pinned by
+/// the `rebuild_cadence` regression test in `cool-utility`).
+pub const SESSION_REBUILD_CADENCE: u32 = 64;
+
+/// Telemetry from one [`SessionEntry::patch`] call, surfaced on
+/// `/metrics` by cool-serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatchStats {
+    /// Which repair path ran.
+    pub mode: RepairMode,
+    /// Marginal-utility queries the repair performed.
+    pub cells_touched: u64,
+    /// Dirty sensors the delta produced.
+    pub dirty_sensors: usize,
+    /// Period utility of the repaired schedule.
+    pub value: f64,
+}
+
+/// A live session: the instance, its current schedule, and the
+/// long-lived sparse evaluator tracking the all-alive coverage value.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    instance: SessionInstance,
+    utility: SumUtility,
+    evaluator: SparseSumEvaluator,
+    schedule: PeriodSchedule,
+    value: f64,
+    patches: u64,
+}
+
+impl SessionEntry {
+    /// Validates the instance through the lint pre-flight and solves it
+    /// from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and scheduler failures as rendered strings.
+    pub fn solve(instance: SessionInstance) -> Result<SessionEntry, String> {
+        instance.validate()?;
+        let schedule = instance.solve()?;
+        let utility = instance.utility();
+        let evaluator = live_evaluator(&utility, &instance);
+        let value = schedule.period_utility(&utility);
+        Ok(SessionEntry {
+            instance,
+            utility,
+            evaluator,
+            schedule,
+            value,
+            patches: 0,
+        })
+    }
+
+    /// The live instance.
+    pub fn instance(&self) -> &SessionInstance {
+        &self.instance
+    }
+
+    /// The current schedule.
+    pub fn schedule(&self) -> &PeriodSchedule {
+        &self.schedule
+    }
+
+    /// Period utility of the current schedule.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Utility of the instance with every alive sensor active at once —
+    /// the O(1) running value of the session's sparse evaluator.
+    pub fn all_active_value(&self) -> f64 {
+        self.evaluator.value()
+    }
+
+    /// Deltas successfully applied since the session was created.
+    pub fn patches(&self) -> u64 {
+        self.patches
+    }
+
+    /// Applies one delta: validates it against the live instance, runs
+    /// the mutated instance through the structural lint (the sampled
+    /// axiom check already passed at creation and every delta preserves
+    /// the sum-of-detection-parts family), and warm-start repairs the
+    /// schedule. The entry is unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message for an invalid delta, a lint error on
+    /// the mutated instance, or a scheduler failure.
+    pub fn patch(&mut self, delta: &Delta, config: &RepairConfig) -> Result<PatchStats, String> {
+        let mut next = self.instance.clone();
+        let dirty = next.apply(delta)?;
+        next.validate_structure()?;
+        let utility = next.utility();
+        let outcome = repair_schedule(&utility, next.cycle(), &self.schedule, &dirty, config)
+            .map_err(|e| e.to_string())?;
+        let value = outcome.schedule.period_utility(&utility);
+        self.evaluator = live_evaluator(&utility, &next);
+        self.instance = next;
+        self.utility = utility;
+        self.schedule = outcome.schedule;
+        self.value = value;
+        self.patches += 1;
+        Ok(PatchStats {
+            mode: outcome.mode,
+            cells_touched: outcome.cells_touched,
+            dirty_sensors: outcome.dirty_sensors,
+            value,
+        })
+    }
+}
+
+/// Builds the session's long-lived evaluator: all alive sensors
+/// inserted, rebuild cadence lowered to [`SESSION_REBUILD_CADENCE`].
+fn live_evaluator(utility: &SumUtility, instance: &SessionInstance) -> SparseSumEvaluator {
+    let mut evaluator = utility
+        .evaluator()
+        .with_rebuild_cadence(SESSION_REBUILD_CADENCE);
+    for v in instance.alive() {
+        evaluator.insert(v);
+    }
+    evaluator
+}
+
+/// Why a session id could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStoreError {
+    /// The id once existed but was deleted or evicted — HTTP `410 Gone`.
+    Gone,
+    /// The id was never seen — HTTP `404 Not Found`.
+    NotFound,
+}
+
+/// Bounded LRU map from content-addressed session ids to live entries.
+///
+/// Ids are derived from the instance's canonical form at `put` time and
+/// stay fixed for the session's lifetime (patches mutate the instance
+/// but not the handle). Deleted and evicted ids are remembered in a
+/// bounded tombstone ring so clients get `Gone` instead of `NotFound`.
+#[derive(Debug)]
+pub struct SessionStore {
+    capacity: usize,
+    /// LRU order: least recently used first.
+    entries: Vec<(String, SessionEntry)>,
+    tombstones: VecDeque<String>,
+    max_tombstones: usize,
+}
+
+impl SessionStore {
+    /// Creates a store holding at most `capacity` live sessions
+    /// (clamped to at least 1) and remembering up to `4 × capacity`
+    /// dead ids.
+    pub fn new(capacity: usize) -> SessionStore {
+        let capacity = capacity.max(1);
+        SessionStore {
+            capacity,
+            entries: Vec::new(),
+            tombstones: VecDeque::new(),
+            max_tombstones: capacity * 4,
+        }
+    }
+
+    /// The content-addressed session id of an instance: the FNV-1a hash
+    /// of its canonical form, rendered as 16 hex digits.
+    pub fn session_id(instance: &SessionInstance) -> String {
+        format!("{:016x}", fnv1a_64(instance.canonical().as_bytes()))
+    }
+
+    /// Maximum number of live sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) an entry under its content-addressed id and
+    /// returns `(id, evicted)` where `evicted` names the LRU session
+    /// pushed out to make room, if any.
+    pub fn put(&mut self, entry: SessionEntry) -> (String, Option<String>) {
+        let id = Self::session_id(entry.instance());
+        self.tombstones.retain(|t| t != &id);
+        if let Some(pos) = self.position(&id) {
+            self.entries.remove(pos);
+            self.entries.push((id.clone(), entry));
+            return (id, None);
+        }
+        self.entries.push((id.clone(), entry));
+        let evicted = if self.entries.len() > self.capacity {
+            let (dead, _) = self.entries.remove(0);
+            self.bury(dead.clone());
+            Some(dead)
+        } else {
+            None
+        };
+        (id, evicted)
+    }
+
+    /// Looks up a live session, refreshing its LRU recency.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionStoreError::Gone`] for a deleted/evicted id,
+    /// [`SessionStoreError::NotFound`] for an unknown one.
+    pub fn get(&mut self, id: &str) -> Result<&mut SessionEntry, SessionStoreError> {
+        let Some(pos) = self.position(id) else {
+            return Err(self.missing(id));
+        };
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        match self.entries.last_mut() {
+            Some((_, e)) => Ok(e),
+            None => unreachable!("entry was just pushed"),
+        }
+    }
+
+    /// Deletes a live session, leaving a tombstone.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionStore::get`].
+    pub fn delete(&mut self, id: &str) -> Result<(), SessionStoreError> {
+        let Some(pos) = self.position(id) else {
+            return Err(self.missing(id));
+        };
+        let (dead, _) = self.entries.remove(pos);
+        self.bury(dead);
+        Ok(())
+    }
+
+    fn position(&self, id: &str) -> Option<usize> {
+        self.entries.iter().position(|(k, _)| k == id)
+    }
+
+    fn missing(&self, id: &str) -> SessionStoreError {
+        if self.tombstones.iter().any(|t| t == id) {
+            SessionStoreError::Gone
+        } else {
+            SessionStoreError::NotFound
+        }
+    }
+
+    fn bury(&mut self, id: String) {
+        if self.tombstones.len() == self.max_tombstones {
+            self.tombstones.pop_front();
+        }
+        self.tombstones.push_back(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TargetSpec;
+    use cool_common::SensorSet;
+
+    fn instance(seed_target: usize) -> SessionInstance {
+        SessionInstance::new(
+            8,
+            vec![
+                TargetSpec {
+                    coverage: SensorSet::from_indices(8, [seed_target % 8, 1, 2]),
+                    p: 0.5,
+                },
+                TargetSpec {
+                    coverage: SensorSet::from_indices(8, [3, 4, 5, 6, 7]),
+                    p: 0.25,
+                },
+            ],
+            15.0,
+            45.0,
+            12.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn entry_patch_updates_schedule_and_counts() {
+        let mut entry = SessionEntry::solve(instance(0)).unwrap();
+        let before = entry.value();
+        let stats = entry
+            .patch(
+                &Delta::Reweight { target: 0, p: 1.0 },
+                &RepairConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(entry.patches(), 1);
+        assert!(stats.value >= before - 1e-9, "reweighting up cannot hurt");
+        assert!(stats.dirty_sensors > 0);
+    }
+
+    #[test]
+    fn entry_patch_rejects_invalid_delta_without_mutating() {
+        let mut entry = SessionEntry::solve(instance(0)).unwrap();
+        let canonical = entry.instance().canonical();
+        assert!(entry
+            .patch(
+                &Delta::RemoveSensor { sensor: 99 },
+                &RepairConfig::default()
+            )
+            .is_err());
+        assert_eq!(entry.instance().canonical(), canonical);
+        assert_eq!(entry.patches(), 0);
+    }
+
+    #[test]
+    fn store_round_trip_and_recency() {
+        let mut store = SessionStore::new(2);
+        let (id, evicted) = store.put(SessionEntry::solve(instance(0)).unwrap());
+        assert!(evicted.is_none());
+        assert_eq!(id.len(), 16);
+        assert!(store.get(&id).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_evicts_lru_and_remembers_tombstones() {
+        let mut store = SessionStore::new(2);
+        let (id0, _) = store.put(SessionEntry::solve(instance(0)).unwrap());
+        let (id1, _) = store.put(SessionEntry::solve(instance(6)).unwrap());
+        // Touch id0 so id1 is the LRU victim.
+        store.get(&id0).unwrap();
+        let (_id2, evicted) = store.put(SessionEntry::solve(instance(7)).unwrap());
+        assert_eq!(evicted.as_deref(), Some(id1.as_str()));
+        assert!(matches!(store.get(&id1), Err(SessionStoreError::Gone)));
+        assert!(matches!(
+            store.get("0000000000000000"),
+            Err(SessionStoreError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn delete_tombstones_and_re_put_resurrects() {
+        let mut store = SessionStore::new(2);
+        let (id, _) = store.put(SessionEntry::solve(instance(0)).unwrap());
+        store.delete(&id).unwrap();
+        assert!(matches!(store.get(&id), Err(SessionStoreError::Gone)));
+        assert_eq!(store.delete(&id), Err(SessionStoreError::Gone));
+        let (again, _) = store.put(SessionEntry::solve(instance(0)).unwrap());
+        assert_eq!(again, id);
+        assert!(store.get(&id).is_ok());
+    }
+
+    #[test]
+    fn session_id_is_stable_content_address() {
+        let a = SessionStore::session_id(&instance(0));
+        let b = SessionStore::session_id(&instance(0));
+        let c = SessionStore::session_id(&instance(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -338,6 +338,7 @@ impl UtilityFunction for SumUtility {
             value: 0.0,
             comp: 0.0,
             mutations: 0,
+            cadence: SparseSumEvaluator::REBUILD_CADENCE,
         }
     }
 
@@ -442,12 +443,40 @@ pub struct SparseSumEvaluator {
     comp: f64,
     /// Mutations since the last full rebuild.
     mutations: u32,
+    /// Mutations between rebuilds for *this* evaluator; defaults to
+    /// [`REBUILD_CADENCE`](SparseSumEvaluator::REBUILD_CADENCE).
+    cadence: u32,
 }
 
 impl SparseSumEvaluator {
-    /// Mutations between full accumulator rebuilds — bounds worst-case
-    /// drift at roughly `CADENCE · ulp(value)` between rebuilds.
+    /// Default mutations between full accumulator rebuilds — bounds
+    /// worst-case drift at roughly `CADENCE · ulp(value)` between rebuilds.
+    /// Long-lived evaluators (e.g. `cool-session` state that survives many
+    /// patches) should lower it with
+    /// [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
     pub const REBUILD_CADENCE: u32 = 4096;
+
+    /// The current rebuild cadence.
+    #[must_use]
+    pub fn rebuild_cadence(&self) -> u32 {
+        self.cadence
+    }
+
+    /// Sets the rebuild cadence (clamped to at least 1). Gain/loss queries
+    /// and insert/remove deltas are computed from the part evaluators, so
+    /// they are bitwise independent of the cadence; only the drift bound of
+    /// the O(1) running [`value`](Evaluator::value) changes. Takes effect
+    /// from the next mutation.
+    pub fn set_rebuild_cadence(&mut self, cadence: u32) {
+        self.cadence = cadence.max(1);
+    }
+
+    /// Builder form of [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
+    #[must_use]
+    pub fn with_rebuild_cadence(mut self, cadence: u32) -> Self {
+        self.set_rebuild_cadence(cadence);
+        self
+    }
 
     /// Per-part values of the current set — the per-target breakdown.
     pub fn part_values(&self) -> Vec<f64> {
@@ -466,7 +495,7 @@ impl SparseSumEvaluator {
 
     fn after_mutation(&mut self) {
         self.mutations += 1;
-        if self.mutations >= Self::REBUILD_CADENCE {
+        if self.mutations >= self.cadence {
             self.rebuild();
         }
     }
@@ -802,6 +831,62 @@ mod tests {
             let direct: f64 = e.part_values().iter().sum();
             assert!((e.value() - direct).abs() < 1e-9, "round {round}");
         }
+    }
+
+    /// Satellite of the configurable-cadence change: whatever cadence an
+    /// evaluator rebuilds at, the Kahan chain must stay bit-identical on
+    /// families whose deltas are exact in binary (detection with `p = 0.5`:
+    /// every per-part value is a dyadic rational). Cadence 1 rebuilds after
+    /// every mutation; `u32::MAX` effectively never rebuilds — the running
+    /// value, the realised deltas, and the gain/loss queries must agree
+    /// bitwise across all of them at every trace step.
+    #[test]
+    fn rebuild_cadence_is_observationally_bit_identical() {
+        let u = SumUtility::multi_target_detection(
+            &[
+                SensorSet::from_indices(5, [0, 1, 2]),
+                SensorSet::from_indices(5, [1, 3]),
+                SensorSet::from_indices(5, [2, 3, 4]),
+            ],
+            0.5,
+        );
+        let mut evals: Vec<SparseSumEvaluator> =
+            [1, 3, SparseSumEvaluator::REBUILD_CADENCE, u32::MAX]
+                .iter()
+                .map(|&c| u.evaluator().with_rebuild_cadence(c))
+                .collect();
+        assert_eq!(evals[0].rebuild_cadence(), 1);
+        for round in 0..64u32 {
+            let v = SensorId((round as usize * 7 + 3) % 5);
+            let deltas: Vec<u64> = evals
+                .iter_mut()
+                .map(|e| {
+                    if e.contains(v) {
+                        e.remove(v).to_bits()
+                    } else {
+                        e.insert(v).to_bits()
+                    }
+                })
+                .collect();
+            let values: Vec<u64> = evals.iter().map(|e| e.value().to_bits()).collect();
+            let gains: Vec<u64> = evals
+                .iter()
+                .map(|e| e.gain(SensorId(0)).to_bits())
+                .collect();
+            for i in 1..evals.len() {
+                assert_eq!(deltas[0], deltas[i], "delta diverged at round {round}");
+                assert_eq!(values[0], values[i], "value diverged at round {round}");
+                assert_eq!(gains[0], gains[i], "gain diverged at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_cadence_clamps_to_one() {
+        let u = two_target_sum();
+        let mut e = u.evaluator();
+        e.set_rebuild_cadence(0);
+        assert_eq!(e.rebuild_cadence(), 1);
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! cool estimate <trace.csv> [--discharge M] [--capacity MAH]
 //!                                                # fit (T_d, T_r, rho) from a trace
 //! cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N]
-//!            [--timeout-ms N] [--smoke scenario.txt]
+//!            [--timeout-ms N] [--session-cap N] [--repair-threshold R]
+//!            [--smoke scenario.txt] [--session-smoke scenario.txt]
 //!                                                # HTTP scheduling daemon
+//! cool session --replay <deltas.txt> [scenario.txt] [--set key=value]...
+//!              [--threshold R]                    # replay a delta script with
+//!                                                # warm-start schedule repair
 //! cool check [--seed N] [--cases N] [--lp-trials N] [--ratio R]
 //!            [--no-serve] [--out DIR] [--replay FILE]
 //!                                                # differential-testing harness
@@ -28,11 +32,13 @@
 
 use cool::check::CheckConfig;
 use cool::common::SeedSequence;
+use cool::core::RepairConfig;
 use cool::energy::{
     core_window_stability, estimate_pattern, fit_pattern, HarvestConfig, HarvestTrace, Weather,
 };
 use cool::scenario::Scenario;
-use cool::serve::{run_smoke, Server, ServerConfig};
+use cool::serve::{run_session_smoke, run_smoke, Server, ServerConfig};
+use cool::session::{parse_deltas, SessionEntry, SessionInstance};
 use std::process::ExitCode;
 
 /// Writes to stdout, exiting quietly if the reader closed the pipe early
@@ -69,6 +75,7 @@ fn main() -> ExitCode {
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("session") => session(&args[1..]),
         Some("check") => check(&args[1..]),
         _ => usage(),
     }
@@ -434,6 +441,7 @@ fn estimate(args: &[String]) -> ExitCode {
 fn serve(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     let mut smoke: Option<String> = None;
+    let mut session_smoke: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -459,11 +467,25 @@ fn serve(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => config.timeout_ms = n,
                 _ => return flag_error("--timeout-ms needs a positive integer"),
             },
+            "--session-cap" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.session_cap = n,
+                _ => return flag_error("--session-cap needs a positive integer"),
+            },
+            "--repair-threshold" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => config.repair_threshold = r,
+                _ => return flag_error("--repair-threshold needs a fraction in [0, 1]"),
+            },
             "--smoke" => {
                 let Some(path) = iter.next() else {
                     return flag_error("--smoke needs a scenario path");
                 };
                 smoke = Some(path.clone());
+            }
+            "--session-smoke" => {
+                let Some(path) = iter.next() else {
+                    return flag_error("--session-smoke needs a scenario path");
+                };
+                session_smoke = Some(path.clone());
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -483,6 +505,23 @@ fn serve(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("serve smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(path) = session_smoke {
+        // The session-lifecycle CI probe: PUT → PATCH (with a full-repair
+        // forcing ρ change) → GET must match an offline from-scratch
+        // solve bit-for-bit → DELETE answers 410 afterwards.
+        return match run_session_smoke(&path) {
+            Ok(page) => {
+                emit(&page);
+                eprintln!("session smoke: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("session smoke failed: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -508,6 +547,140 @@ fn serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses the `cool session` arguments into (scenario, delta-file path,
+/// repair config), or the exit code to bail with.
+fn parse_session_args(args: &[String]) -> Result<(Scenario, String, RepairConfig), ExitCode> {
+    let mut scenario = Scenario::default();
+    let mut replay_path: Option<String> = None;
+    let mut config = RepairConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--replay" => {
+                let Some(path) = iter.next() else {
+                    return Err(flag_error("--replay needs a delta file"));
+                };
+                replay_path = Some(path.clone());
+            }
+            "--threshold" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => config.full_threshold = r,
+                _ => return Err(flag_error("--threshold needs a fraction in [0, 1]")),
+            },
+            "--set" => {
+                let Some(pair) = iter.next() else {
+                    return Err(flag_error("--set needs key=value"));
+                };
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(flag_error(format!("--set needs key=value, got `{pair}`")));
+                };
+                if let Err(e) = scenario.set(key.trim(), value.trim()) {
+                    return Err(flag_error(format!("--set {pair}: {e}")));
+                }
+            }
+            path if !path.starts_with('-') => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return Err(ExitCode::FAILURE);
+                    }
+                };
+                scenario = match Scenario::parse(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error in {path}: {e}");
+                        return Err(ExitCode::FAILURE);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    let Some(replay_path) = replay_path else {
+        eprintln!("session needs --replay <delta-file>");
+        return Err(usage());
+    };
+    Ok((scenario, replay_path, config))
+}
+
+/// `cool session` — replay a delta script against a scenario with
+/// warm-start schedule repair, printing per-delta repair telemetry.
+/// Exit codes: 0 when every delta applies, 1 when one is rejected or the
+/// instance cannot be solved, 2 on usage problems.
+fn session(args: &[String]) -> ExitCode {
+    use std::fmt::Write as _;
+    let (scenario, replay_path, config) = match parse_session_args(args) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let script = match std::fs::read_to_string(&replay_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {replay_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deltas = match parse_deltas(&script) {
+        Ok(deltas) => deltas,
+        Err(e) => {
+            eprintln!("error in {replay_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut entry = match SessionInstance::from_scenario(&scenario).and_then(SessionEntry::solve) {
+        Ok(entry) => entry,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = format!(
+        "session: {} sensors, {} targets, rho {}, initial value {:.6}\n",
+        entry.instance().n(),
+        entry.instance().targets().len(),
+        entry.instance().cycle().rho(),
+        entry.value(),
+    );
+    for (i, delta) in deltas.iter().enumerate() {
+        match entry.patch(delta, &config) {
+            Ok(stats) => {
+                let _ = writeln!(
+                    out,
+                    "  delta {:>3}  {:<28} {:>11}  cells {:>8}  dirty {:>4}  value {:.6}",
+                    i + 1,
+                    delta.render(),
+                    stats.mode.as_str(),
+                    stats.cells_touched,
+                    stats.dirty_sensors,
+                    stats.value,
+                );
+            }
+            Err(e) => {
+                emit(&out);
+                eprintln!(
+                    "error: delta {} (`{}`) rejected: {e}",
+                    i + 1,
+                    delta.render()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "applied {} deltas; final value {:.6} over {} sensors alive",
+        deltas.len(),
+        entry.value(),
+        entry.instance().alive().len(),
+    );
+    emit(&out);
+    ExitCode::SUCCESS
 }
 
 /// `cool check` — the deterministic differential-testing harness.
@@ -596,7 +769,10 @@ fn usage() -> ExitCode {
          | cool trace [--weather W] [--seed N] [--out F] \
          | cool estimate <trace.csv> [--discharge M] [--capacity MAH] \
          | cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N] \
-         [--timeout-ms N] [--smoke scenario.txt] \
+         [--timeout-ms N] [--session-cap N] [--repair-threshold R] \
+         [--smoke scenario.txt] [--session-smoke scenario.txt] \
+         | cool session --replay <deltas.txt> [scenario.txt] [--set key=value]... \
+         [--threshold R] \
          | cool check [--seed N] [--cases N] [--lp-trials N] [--ratio R] \
          [--no-serve] [--out DIR] [--replay FILE] \
          | cool --version"

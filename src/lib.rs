@@ -17,6 +17,7 @@
 //! | [`core`] | `cool-core` | greedy / LP / exact schedulers, bounds, baselines |
 //! | [`lint`] | `cool-lint` | static invariant analysis with `COOL-Exxx` diagnostics |
 //! | [`scenario`] | `cool-scenario` | declarative `key = value` scenario files |
+//! | [`session`] | `cool-session` | live instances, delta patches, warm-start repair |
 //! | [`serve`] | `cool-serve` | HTTP/1.1 JSON scheduling daemon with caching + metrics |
 //! | [`check`] | `cool-check` | differential-testing + fault-injection harness |
 //! | [`testbed`] | `cool-testbed` | the simulated rooftop testbed |
@@ -52,5 +53,6 @@ pub use cool_geometry as geometry;
 pub use cool_lint as lint;
 pub use cool_scenario as scenario;
 pub use cool_serve as serve;
+pub use cool_session as session;
 pub use cool_testbed as testbed;
 pub use cool_utility as utility;
