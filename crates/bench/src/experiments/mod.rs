@@ -11,6 +11,7 @@ pub mod horizon;
 pub mod kcover;
 pub mod lp;
 pub mod perf_greedy;
+pub mod perf_serve;
 pub mod perf_session;
 pub mod perf_sparse;
 pub mod randmodel;
@@ -20,7 +21,7 @@ pub mod testbed30;
 use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "fig7",
     "fig8",
     "headline",
@@ -37,6 +38,7 @@ pub const ALL: [&str; 16] = [
     "perf_greedy",
     "perf_sparse",
     "perf_session",
+    "perf_serve",
 ];
 
 /// Dispatches an experiment by id.
@@ -60,6 +62,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
         "perf_greedy" => Some(perf_greedy::run(seed)),
         "perf_sparse" => Some(perf_sparse::run(seed)),
         "perf_session" => Some(perf_session::run(seed)),
+        "perf_serve" => Some(perf_serve::run(seed)),
         _ => None,
     }
 }

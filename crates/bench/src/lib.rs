@@ -28,6 +28,7 @@
 //! | `perf_greedy` | naive vs lazy vs lazy+parallel greedy wall-clock (emits `BENCH_PR3.json`) | [`experiments::perf_greedy`] |
 //! | `perf_sparse` | sparse vs dense sum-evaluator wall-clock (emits `BENCH_PR5.json`) | [`experiments::perf_sparse`] |
 //! | `perf_session` | warm-start session repair vs from-scratch re-solve (emits `BENCH_PR7.json`) | [`experiments::perf_session`] |
+//! | `perf_serve` | event-loop keep-alive daemon vs thread-per-connection baseline (emits `BENCH_PR8.json`) | [`experiments::perf_serve`] |
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::too_many_lines)]
 
 pub mod experiments;

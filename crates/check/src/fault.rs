@@ -113,6 +113,70 @@ fn schedule_body(scenario_escaped: &str) -> String {
     format!("{{\"scenario\":\"{scenario_escaped}\"}}")
 }
 
+/// A well-formed request carrying an explicit `connection:` token
+/// (`keep-alive` to hold the connection open, `close` to end it).
+fn framed_request(method: &str, path: &str, connection: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: check\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Writes one request on a live keep-alive connection and reads exactly one
+/// `Content-Length`-framed response, leaving the connection open (bytes past
+/// the frame stay in `pending` for the next call).
+fn framed_exchange(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    request: &[u8],
+) -> Result<Exchange, String> {
+    stream
+        .write_all(request)
+        .map_err(|e| format!("write: {e}"))?;
+    let mut chunk = [0u8; 4096];
+    let (head_end, content_length) = loop {
+        if let Some(pos) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head =
+                std::str::from_utf8(&pending[..pos]).map_err(|e| format!("head utf-8: {e}"))?;
+            let mut length = 0usize;
+            for line in head.lines().skip(1) {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        length = value
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("content-length: {e}"))?;
+                    }
+                }
+            }
+            break (pos, length);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-head".to_string());
+        }
+        pending.extend_from_slice(&chunk[..n]);
+    };
+    let total = head_end + 4 + content_length;
+    while pending.len() < total {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        pending.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&pending[..head_end]).to_string();
+    let body = String::from_utf8_lossy(&pending[head_end + 4..total]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head:?}"))?;
+    pending.drain(..total);
+    Ok(Exchange { status, head, body })
+}
+
 /// Runs the full fault-probe battery and reports contract violations.
 #[allow(clippy::too_many_lines)] // one probe after another, linear and flat
 pub fn run_fault_probes() -> FaultReport {
@@ -276,7 +340,90 @@ pub fn run_fault_probes() -> FaultReport {
         Err(e) => violations.push(fail("fault-cache-integrity", format!("healthz: {e}"))),
     }
 
-    // --- Probe 6: mid-request shutdown — an accepted slow request must
+    // --- Probe 6: keep-alive reuse — one connection carries a cache hit,
+    // a route-level 400 (which must NOT kill the connection), a replay of
+    // the baseline, and finally a `connection: close` that does. ---
+    probes += 1;
+    let keep_alive = (|| -> Result<(), String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(CLIENT_TIMEOUT))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut pending = Vec::new();
+        let hit = framed_exchange(
+            &mut stream,
+            &mut pending,
+            &framed_request(
+                "POST",
+                "/v1/schedule",
+                "keep-alive",
+                &schedule_body(BASELINE_SCENARIO),
+            ),
+        )?;
+        if hit.status != 200 || !hit.head.contains("connection: keep-alive") {
+            return Err(format!(
+                "first keep-alive request: expected 200 keep-alive, got {} ({})",
+                hit.status, hit.head
+            ));
+        }
+        let bad = framed_exchange(
+            &mut stream,
+            &mut pending,
+            &framed_request("POST", "/v1/schedule", "keep-alive", "not json"),
+        )?;
+        if bad.status != 400 || !bad.body.contains("COOL-E019") {
+            return Err(format!(
+                "bad body on live connection: expected typed 400 COOL-E019, got {} ({})",
+                bad.status, bad.body
+            ));
+        }
+        if !bad.head.contains("connection: keep-alive") {
+            return Err("route-level 400 closed the keep-alive connection".to_string());
+        }
+        let replay = framed_exchange(
+            &mut stream,
+            &mut pending,
+            &framed_request(
+                "POST",
+                "/v1/schedule",
+                "keep-alive",
+                &schedule_body(BASELINE_SCENARIO),
+            ),
+        )?;
+        if replay.status != 200
+            || !replay.head.contains("x-cool-cache: hit")
+            || baseline.as_ref().is_some_and(|b| b.body != replay.body)
+        {
+            return Err(format!(
+                "replay after 4xx on the same connection degraded: status {}, head {}",
+                replay.status, replay.head
+            ));
+        }
+        let last = framed_exchange(
+            &mut stream,
+            &mut pending,
+            &framed_request("GET", "/healthz", "close", ""),
+        )?;
+        if last.status != 200 || !last.head.contains("connection: close") {
+            return Err(format!(
+                "connection: close not honoured: {} ({})",
+                last.status, last.head
+            ));
+        }
+        let mut sink = [0u8; 64];
+        match stream.read(&mut sink) {
+            Ok(0) => Ok(()),
+            Ok(n) => Err(format!(
+                "expected EOF after connection: close, read {n} bytes"
+            )),
+            Err(e) => Err(format!("expected clean EOF after connection: close: {e}")),
+        }
+    })();
+    if let Err(e) = keep_alive {
+        violations.push(fail("fault-keep-alive", e));
+    }
+
+    // --- Probe 7: mid-request shutdown — an accepted slow request must
     // drain to 200, and the listener must actually close. ---
     probes += 1;
     let slow = std::thread::spawn(move || {
@@ -333,7 +480,7 @@ pub fn run_fault_probes() -> FaultReport {
         ));
     }
 
-    // --- Probe 7: slow loris against a short-budget daemon — a stalled
+    // --- Probe 8: slow loris against a short-budget daemon — a stalled
     // request must get a typed 408 when its budget expires. ---
     probes += 1;
     match boot(ServerConfig {
@@ -398,7 +545,7 @@ mod tests {
     #[test]
     fn fault_battery_is_clean_on_a_healthy_daemon() {
         let report = run_fault_probes();
-        assert_eq!(report.probes_run, 7);
+        assert_eq!(report.probes_run, 8);
         assert!(
             report.is_clean(),
             "fault contract violations: {:#?}",

@@ -1,8 +1,11 @@
 //! A minimal HTTP/1.1 client over `std::net::TcpStream`, used by the smoke
-//! harness, the e2e suite, and anyone scripting the daemon without curl.
+//! harness, the e2e suite, `cool loadgen`, and anyone scripting the daemon
+//! without curl.
 //!
-//! One request per connection, mirroring the server's `Connection: close`
-//! discipline: write the request, read until EOF, parse the response.
+//! Two disciplines: [`request`] does one `Connection: close` request per
+//! connection (write, read to EOF, parse), while [`ClientConn`] holds a
+//! keep-alive connection and frames responses by `Content-Length`, so many
+//! requests ride one TCP connection.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -108,6 +111,149 @@ pub fn parse_response(raw: &[u8]) -> io::Result<Response> {
     })
 }
 
+/// Finds the header/body separator (`\r\n\r\n`, tolerating bare `\n\n`),
+/// returning `(head_end, separator_len)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some((l, 2)),
+        (Some(c), _) => Some((c, 4)),
+        (None, Some(l)) => Some((l, 2)),
+        (None, None) => None,
+    }
+}
+
+/// The `content-length` advertised in a response head (0 when absent).
+fn head_content_length(head: &str) -> io::Result<usize> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_data("invalid response Content-Length"));
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// A keep-alive HTTP/1.1 connection.
+///
+/// Responses are framed by `Content-Length` rather than EOF, so the
+/// connection survives across requests; bytes past one response (from the
+/// server answering pipelined requests) are buffered for the next
+/// [`ClientConn::read_response`].
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connects with the same timeouts as [`request`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_read_timeout(Some(Duration::from_mins(1)))?;
+        stream.set_write_timeout(Some(Duration::from_mins(1)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ClientConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes one request without waiting for the response (callers may
+    /// pipeline several before reading).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<()> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: keep-alive\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an unexpectedly closed connection, or a
+    /// malformed response.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut chunk = [0u8; 8 * 1024];
+        let (head_end, sep) = loop {
+            if let Some(found) = find_head_end(&self.buf) {
+                break found;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| bad_data("non-UTF-8 response head"))?;
+        let content_length = head_content_length(head)?;
+        let total = head_end + sep + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let response = parse_response(&self.buf[..total])?;
+        self.buf.drain(..total);
+        Ok(response)
+    }
+
+    /// One request/response round trip on the live connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientConn::send`] and [`ClientConn::read_response`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<Response> {
+        self.send(method, path, extra_headers, body)?;
+        self.read_response()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +273,33 @@ mod tests {
         assert!(parse_response(b"\r\n\r\n").is_err());
         assert!(parse_response(b"ICMP boo\r\n\r\n").is_err());
         assert!(parse_response(b"HTTP/1.1 ok\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn client_conn_frames_pipelined_keep_alive_responses() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 1024];
+            let _ = s.read(&mut sink);
+            // Two framed responses in one burst — the client must split
+            // them by content-length, not EOF.
+            s.write_all(
+                b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\none\
+                  HTTP/1.1 404 Not Found\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\ntwo",
+            )
+            .unwrap();
+        });
+        let mut conn = ClientConn::connect(addr).unwrap();
+        conn.send("GET", "/a", &[], "").unwrap();
+        let first = conn.read_response().unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, "one");
+        let second = conn.read_response().unwrap();
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, "two");
+        server.join().unwrap();
     }
 
     #[test]

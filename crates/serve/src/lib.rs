@@ -16,27 +16,39 @@
 //! | `/metrics` | GET | Prometheus text: request counts, latency histogram, cache hit/miss, queue depth |
 //! | `/v1/shutdown` | POST | graceful drain: stop intake, finish accepted work, exit |
 //!
-//! Architecture (DESIGN.md §8): a nonblocking acceptor feeds a **bounded**
-//! queue drained by a [`cool_common::parallel::WorkerPool`]; a full queue
-//! sheds load with HTTP 429 (`COOL-E018`), requests past their wall-clock
-//! budget answer 408 (`COOL-E017`), and successful schedule bodies are
-//! memoised in a content-addressed LRU cache — sound because bodies are
-//! pure functions of (canonical scenario, algorithm).
+//! Architecture (DESIGN.md §8/§13): a non-blocking `poll(2)` event loop
+//! multiplexes HTTP/1.1 keep-alive connections (request pipelining, idle
+//! timeout, per-connection request cap) and feeds parsed requests to
+//! **bounded** worker-queue shards backed by
+//! [`cool_common::parallel::WorkerPool`]; a full shard sheds load with
+//! HTTP 429 (`COOL-E018`), requests past their wall-clock budget answer
+//! 408 (`COOL-E017`), and successful schedule bodies are memoised in a
+//! content-addressed, N-way-sharded LRU cache — sound because bodies are
+//! pure functions of (canonical scenario, algorithm). The legacy
+//! thread-per-connection transport ([`server::ServeMode::Threaded`])
+//! remains as the measured baseline and non-unix fallback.
 //!
 //! Everything here is `std`-only: no TLS, no async runtime, no serde. The
-//! protocol subset (one request per connection, `Content-Length` bodies)
+//! protocol subset (`Content-Length` bodies only, bounded lines/headers)
 //! is deliberately small and fully bounded.
 
 pub mod api;
 pub mod cache;
 pub mod client;
+#[cfg(unix)]
+pub(crate) mod event;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
+#[cfg(unix)]
+pub mod poll;
 pub mod server;
 pub mod session_api;
+pub mod shard;
 pub mod smoke;
 
 pub use api::{Algorithm, ApiError};
 pub use cache::{CacheKey, LruCache};
-pub use server::{Server, ServerConfig};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{ServeMode, Server, ServerConfig};
 pub use smoke::{run_session_smoke, run_smoke};

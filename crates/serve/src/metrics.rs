@@ -7,6 +7,7 @@
 //! counters, and live queue/in-flight gauges.
 
 use cool_common::metrics::{Counter, CounterVec, Gauge, Histogram};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// All metrics the service exports.
@@ -41,6 +42,15 @@ pub struct ServeMetrics {
     pub session_cells_touched: Counter,
     /// `cool_session_repair_seconds` — patch-to-repaired latency.
     pub session_repair_seconds: Histogram,
+    /// `cool_connections_total` — TCP connections accepted.
+    pub connections: Counter,
+    /// `cool_keepalive_reuses_total` — requests served on an
+    /// already-established keep-alive connection (second and later).
+    pub keepalive_reuses: Counter,
+    /// `cool_shard_queue_depth{shard=...}` — queued jobs per worker shard.
+    pub shard_queue_depth: Vec<Gauge>,
+    /// `cool_shard_cache_entries{shard=...}` — entries per cache shard.
+    pub shard_cache_entries: Vec<Gauge>,
     started: Instant,
 }
 
@@ -51,9 +61,16 @@ impl Default for ServeMetrics {
 }
 
 impl ServeMetrics {
-    /// A fresh registry; uptime counts from now.
+    /// A fresh registry with one shard; uptime counts from now.
     #[must_use]
     pub fn new() -> Self {
+        ServeMetrics::with_shards(1, 1)
+    }
+
+    /// A fresh registry sized for `worker_shards` queue gauges and
+    /// `cache_shards` cache gauges.
+    #[must_use]
+    pub fn with_shards(worker_shards: usize, cache_shards: usize) -> Self {
         ServeMetrics {
             requests: CounterVec::new(),
             latency: Histogram::latency_seconds(),
@@ -69,7 +86,21 @@ impl ServeMetrics {
             session_repairs: CounterVec::new(),
             session_cells_touched: Counter::new(),
             session_repair_seconds: Histogram::latency_seconds(),
+            connections: Counter::new(),
+            keepalive_reuses: Counter::new(),
+            shard_queue_depth: (0..worker_shards.max(1)).map(|_| Gauge::new()).collect(),
+            shard_cache_entries: (0..cache_shards.max(1)).map(|_| Gauge::new()).collect(),
             started: Instant::now(),
+        }
+    }
+
+    /// Renders a labeled per-shard gauge family in the same exposition
+    /// format the shared primitives emit.
+    fn render_shard_gauges(out: &mut String, name: &str, help: &str, shards: &[Gauge]) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (shard, gauge) in shards.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {}", gauge.get());
         }
     }
 
@@ -90,6 +121,7 @@ impl ServeMetrics {
 
     /// The full Prometheus text page.
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
         self.requests.render(
@@ -141,6 +173,28 @@ impl ServeMetrics {
             &mut out,
             "cool_request_timeouts_total",
             "Requests abandoned with HTTP 408 after the wall-clock budget.",
+        );
+        self.connections.render(
+            &mut out,
+            "cool_connections_total",
+            "TCP connections accepted by the daemon.",
+        );
+        self.keepalive_reuses.render(
+            &mut out,
+            "cool_keepalive_reuses_total",
+            "Requests served on an already-established keep-alive connection.",
+        );
+        Self::render_shard_gauges(
+            &mut out,
+            "cool_shard_queue_depth",
+            "Queued jobs per worker shard.",
+            &self.shard_queue_depth,
+        );
+        Self::render_shard_gauges(
+            &mut out,
+            "cool_shard_cache_entries",
+            "Schedule-cache entries per cache shard.",
+            &self.shard_cache_entries,
         );
         self.sessions_active.render(
             &mut out,
@@ -225,12 +279,37 @@ mod tests {
             "cool_session_repairs_total{mode=\"full\"} 1",
             "cool_session_cells_touched_total 52",
             "cool_session_repair_seconds_count 2",
+            "cool_connections_total 0",
+            "cool_keepalive_reuses_total 0",
+            "cool_shard_queue_depth{shard=\"0\"} 0",
+            "cool_shard_cache_entries{shard=\"0\"} 0",
             "cool_gain_queries_total",
             "cool_parts_touched_total",
             "cool_uptime_seconds",
         ] {
             assert!(page.contains(series), "missing `{series}` in:\n{page}");
         }
+    }
+
+    #[test]
+    fn shard_gauges_render_one_series_per_shard() {
+        let m = ServeMetrics::with_shards(2, 3);
+        m.shard_queue_depth[1].set(4);
+        m.shard_cache_entries[2].set(9);
+        let page = m.render();
+        assert!(
+            page.contains("cool_shard_queue_depth{shard=\"0\"} 0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("cool_shard_queue_depth{shard=\"1\"} 4"),
+            "{page}"
+        );
+        assert!(
+            page.contains("cool_shard_cache_entries{shard=\"2\"} 9"),
+            "{page}"
+        );
+        assert!(!page.contains("cool_shard_queue_depth{shard=\"2\"}"));
     }
 
     /// The sparse-evaluation counters on the page reflect

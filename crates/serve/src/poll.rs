@@ -1,0 +1,176 @@
+//! A minimal `poll(2)` readiness interface for the event-loop server.
+//!
+//! `std` offers no readiness API, and the workspace takes no external
+//! dependencies, so this module declares the one libc symbol it needs
+//! (`std` already links libc on every unix target) and wraps the single
+//! unsafe call site behind a safe, bounds-checked API. The workspace-wide
+//! `unsafe_code = "deny"` lint is overridden for exactly that call.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_ulong};
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` fd array — layout fixed by POSIX.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled in by the kernel.
+    pub revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one fd in `fds` is ready, the timeout elapses
+/// (`Ok(0)`), or a signal interrupts the wait (retried internally).
+///
+/// `timeout_ms < 0` means wait indefinitely, `0` means poll and return.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice whose layout
+        // matches the POSIX `struct pollfd` (repr(C), i32/i16/i16), and
+        // `nfds` is exactly its length, so the kernel writes only within
+        // bounds. No other invariants are required of poll(2).
+        #[allow(unsafe_code)]
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            #[allow(clippy::cast_sign_loss)]
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A reusable fd set: `register` interests each iteration, `wait`, then
+/// read back per-token readiness.
+#[derive(Default)]
+pub struct PollSet {
+    fds: Vec<PollFd>,
+    tokens: Vec<usize>,
+}
+
+impl PollSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    /// Drops all registered interests (capacity is retained).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+        self.tokens.clear();
+    }
+
+    /// Watches `fd` for readability and/or writability, tagged `token`.
+    pub fn register(&mut self, fd: RawFd, token: usize, read: bool, write: bool) {
+        let mut events = 0i16;
+        if read {
+            events |= POLLIN;
+        }
+        if write {
+            events |= POLLOUT;
+        }
+        self.fds.push(PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.tokens.push(token);
+    }
+
+    /// Waits for readiness; see [`poll_fds`] for timeout semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures.
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<usize> {
+        for fd in &mut self.fds {
+            fd.revents = 0;
+        }
+        poll_fds(&mut self.fds, timeout_ms)
+    }
+
+    /// Iterates `(token, readable, writable)` for every fd with returned
+    /// events. Error conditions (`POLLERR`/`POLLHUP`/`POLLNVAL`) are
+    /// reported as readable so the owner reads the EOF/error and tears the
+    /// connection down through the normal path.
+    pub fn ready(&self) -> impl Iterator<Item = (usize, bool, bool)> + '_ {
+        self.fds
+            .iter()
+            .zip(self.tokens.iter())
+            .filter(|(fd, _)| fd.revents != 0)
+            .map(|(fd, &token)| {
+                let fail = fd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                (
+                    token,
+                    fd.revents & POLLIN != 0 || fail,
+                    fd.revents & POLLOUT != 0 || fail,
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn times_out_with_no_ready_fds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut set = PollSet::new();
+        set.register(listener.as_raw_fd(), 7, true, false);
+        let n = set.wait(10).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(set.ready().count(), 0);
+    }
+
+    #[test]
+    fn reports_readable_listener_and_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let mut set = PollSet::new();
+        set.register(listener.as_raw_fd(), 1, true, false);
+        assert!(set.wait(1000).unwrap() >= 1, "pending accept is readable");
+        assert!(set.ready().any(|(token, read, _)| token == 1 && read));
+
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"hi").unwrap();
+        set.clear();
+        set.register(server_side.as_raw_fd(), 2, true, false);
+        // The client socket should also be writable immediately.
+        set.register(client.as_raw_fd(), 3, false, true);
+        assert!(set.wait(1000).unwrap() >= 1);
+        let ready: Vec<_> = set.ready().collect();
+        assert!(ready.iter().any(|&(token, read, _)| token == 2 && read));
+        assert!(ready.iter().any(|&(token, _, write)| token == 3 && write));
+    }
+}

@@ -1,34 +1,75 @@
-//! The daemon itself: a nonblocking acceptor feeding a bounded
-//! [`WorkerPool`], per-request wall-clock budgets, the content-addressed
-//! schedule cache, and graceful drain on shutdown.
+//! The daemon itself: request routing, the sharded content-addressed
+//! schedule cache and session store, per-request wall-clock budgets, and
+//! graceful drain on shutdown — behind either of two transports.
 //!
-//! Request flow (DESIGN.md §8): accept → bounded queue (429 when full) →
-//! worker thread → route → lint pre-flight → cache lookup → `cool-core`
+//! Request flow (DESIGN.md §8/§13): accept → parse → bounded worker queue
+//! (429 when full) → route → lint pre-flight → cache lookup → `cool-core`
 //! compute → cache fill → response. `POST /v1/shutdown` flips a flag the
 //! acceptor polls; accepted work is drained before the listener closes.
+//!
+//! [`ServeMode::Event`] (default, unix) runs the non-blocking `poll(2)`
+//! event loop in [`crate::event`] with HTTP/1.1 keep-alive and request
+//! pipelining. [`ServeMode::Threaded`] is the legacy thread-per-connection
+//! transport (one `connection: close` request per connection), retained as
+//! the measured baseline for `perf_serve` and as the non-unix fallback.
 
 use crate::api::{
     self, parse_lint_body, parse_schedule_body, ApiError, ScheduleBody, ScheduleItem,
 };
-use crate::cache::{CacheKey, LruCache};
 use crate::http::{read_request, write_response, ReadError, Request};
 use crate::metrics::ServeMetrics;
 use crate::session_api;
+use crate::shard::{ShardedCache, ShardedSessions};
 use cool_common::parallel::{default_sweep_threads, WorkerPool};
 use cool_common::CoolCode;
 use cool_core::RepairConfig;
 use cool_lint::lint_scenario_text;
 use cool_scenario::Scenario;
-use cool_session::{SessionEntry, SessionInstance, SessionStore, SessionStoreError};
+use cool_session::{SessionEntry, SessionInstance, SessionStoreError};
 use std::fmt::Write as _;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long the acceptor sleeps when no connection is pending.
+/// How long the legacy threaded acceptor sleeps when no connection is
+/// pending (the event loop has no such idle latency — it blocks in
+/// `poll(2)` until work arrives).
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Which transport serves requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Non-blocking `poll(2)` event loop with keep-alive and pipelining
+    /// (unix only; falls back to [`ServeMode::Threaded`] elsewhere).
+    #[default]
+    Event,
+    /// Legacy thread-per-connection, one `connection: close` request per
+    /// connection — the PR 2 baseline.
+    Threaded,
+}
+
+impl ServeMode {
+    /// Parses the `--mode` flag value.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<ServeMode> {
+        match value {
+            "event" => Some(ServeMode::Event),
+            "threaded" => Some(ServeMode::Threaded),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeMode::Event => "event",
+            ServeMode::Threaded => "threaded",
+        }
+    }
+}
 
 /// Tunables for one daemon instance.
 #[derive(Clone, Debug)]
@@ -38,8 +79,9 @@ pub struct ServerConfig {
     /// Worker threads executing requests.
     pub threads: usize,
     /// Bounded queue capacity; beyond it requests are shed with 429.
+    /// Split evenly across worker shards.
     pub queue_cap: usize,
-    /// Schedule-cache capacity in entries.
+    /// Schedule-cache capacity in entries (split across cache shards).
     pub cache_cap: usize,
     /// Per-request wall-clock budget in milliseconds (408 past it).
     pub timeout_ms: u64,
@@ -49,6 +91,18 @@ pub struct ServerConfig {
     /// Dirty-sensor fraction above which a session PATCH abandons the
     /// warm start and re-solves from scratch.
     pub repair_threshold: f64,
+    /// Transport: `poll(2)` event loop (default) or legacy threaded.
+    pub mode: ServeMode,
+    /// Shards for the cache, session store, and worker queue (worker
+    /// shards are additionally capped by `threads`). One shard reproduces
+    /// the single-lock PR 2 behaviour exactly.
+    pub shards: usize,
+    /// Requests served per keep-alive connection before the server closes
+    /// it (event mode).
+    pub keep_alive_max: usize,
+    /// Milliseconds a keep-alive connection may sit idle between requests
+    /// before the server closes it (event mode).
+    pub idle_timeout_ms: u64,
     /// Honour `x-cool-test-sleep-ms` request headers (tests only) so e2e
     /// suites can deterministically saturate the queue or exceed budgets.
     pub test_hooks: bool,
@@ -64,27 +118,48 @@ impl Default for ServerConfig {
             timeout_ms: 30_000,
             session_cap: 64,
             repair_threshold: RepairConfig::DEFAULT_FULL_THRESHOLD,
+            mode: ServeMode::default(),
+            shards: default_sweep_threads(),
+            keep_alive_max: 100,
+            idle_timeout_ms: 5_000,
             test_hooks: false,
         }
     }
 }
 
+impl ServerConfig {
+    /// Worker-queue shards: never more than worker threads (a shard with
+    /// no thread would queue jobs nobody drains), never less than one.
+    #[must_use]
+    pub fn worker_shards(&self) -> usize {
+        self.shards.clamp(1, self.threads.max(1))
+    }
+
+    /// Cache/session shards.
+    #[must_use]
+    pub fn cache_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
 /// State shared by the acceptor and every worker.
-struct AppState {
-    config: ServerConfig,
-    cache: Mutex<LruCache<CacheKey, String>>,
-    sessions: Mutex<SessionStore>,
-    metrics: ServeMetrics,
-    shutdown: AtomicBool,
+pub(crate) struct AppState {
+    pub(crate) config: ServerConfig,
+    pub(crate) cache: ShardedCache,
+    pub(crate) sessions: ShardedSessions,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl AppState {
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache<CacheKey, String>> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, SessionStore> {
-        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    pub(crate) fn new(config: ServerConfig) -> AppState {
+        AppState {
+            cache: ShardedCache::new(config.cache_shards(), config.cache_cap),
+            sessions: ShardedSessions::new(config.cache_shards(), config.session_cap),
+            metrics: ServeMetrics::with_shards(config.worker_shards(), config.cache_shards()),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
     }
 }
 
@@ -106,13 +181,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
-            state: Arc::new(AppState {
-                cache: Mutex::new(LruCache::new(config.cache_cap)),
-                sessions: Mutex::new(SessionStore::new(config.session_cap)),
-                metrics: ServeMetrics::new(),
-                shutdown: AtomicBool::new(false),
-                config,
-            }),
+            state: Arc::new(AppState::new(config)),
         })
     }
 
@@ -133,6 +202,17 @@ impl Server {
     /// Only setup failures surface here; per-connection I/O errors are
     /// contained within their worker.
     pub fn run(self) -> io::Result<()> {
+        #[cfg(unix)]
+        if self.state.config.mode == ServeMode::Event {
+            return crate::event::run(self.listener, self.state);
+        }
+        self.run_threaded()
+    }
+
+    /// The legacy thread-per-connection transport. `io::Result` keeps the
+    /// signature parallel to the event transport's fallible run.
+    #[allow(clippy::unnecessary_wraps)]
+    fn run_threaded(self) -> io::Result<()> {
         let state = Arc::clone(&self.state);
         let worker_state = Arc::clone(&self.state);
         let pool: WorkerPool<(TcpStream, Instant)> = WorkerPool::new(
@@ -152,6 +232,7 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    state.metrics.connections.inc();
                     state.metrics.queue_depth.inc();
                     if let Err(rejected) = pool.try_submit((stream, Instant::now())) {
                         state.metrics.queue_depth.dec();
@@ -182,10 +263,13 @@ impl Server {
 /// The peer's request is consumed (bounded by the parser's size limits)
 /// before the response goes out: closing a socket with unread bytes in its
 /// receive buffer sends RST, which would tear the 429 off the wire before
-/// the client reads it.
+/// the client reads it. The consuming read is bounded by the configured
+/// request budget, not a hardcoded constant, so `--timeout-ms 50` really
+/// does shed in ~50 ms.
 fn reject_overloaded(state: &AppState, mut stream: TcpStream, accepted_at: Instant) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let budget = Duration::from_millis(state.config.timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(budget));
     if let Ok(clone) = stream.try_clone() {
         let _ = read_request(&mut BufReader::new(clone));
     }
@@ -203,7 +287,7 @@ fn reject_overloaded(state: &AppState, mut stream: TcpStream, accepted_at: Insta
 }
 
 /// The endpoint label used in metrics for a request target.
-fn endpoint_label(target: &str) -> &'static str {
+pub(crate) fn endpoint_label(target: &str) -> &'static str {
     if target == "/v1/scenario" || target.starts_with("/v1/scenario/") {
         return "session";
     }
@@ -217,7 +301,8 @@ fn endpoint_label(target: &str) -> &'static str {
     }
 }
 
-/// Reads one request off `stream`, routes it, writes one response.
+/// Reads one request off `stream`, routes it, writes one response
+/// (threaded transport).
 fn handle_connection(state: &AppState, stream: TcpStream, accepted_at: Instant) {
     let budget = Duration::from_millis(state.config.timeout_ms);
     // Bound blocking reads by the request budget so a silent peer cannot
@@ -301,6 +386,15 @@ fn handle_connection(state: &AppState, stream: TcpStream, accepted_at: Instant) 
     );
 }
 
+/// The content type for a routed response.
+pub(crate) fn content_type_for(endpoint: &str, status: u16) -> &'static str {
+    if endpoint == "metrics" && status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    }
+}
+
 /// Writes the response and records the request metric.
 fn respond(
     state: &AppState,
@@ -311,21 +405,17 @@ fn respond(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) {
-    let content_type = if endpoint == "metrics" && status == 200 {
-        "text/plain; version=0.0.4"
-    } else {
-        "application/json"
-    };
+    let content_type = content_type_for(endpoint, status);
     let _ = write_response(stream, status, content_type, extra_headers, body.as_bytes());
     state
         .metrics
         .observe_request(endpoint, status, accepted_at.elapsed().as_secs_f64());
 }
 
-type Routed = (u16, Vec<(String, String)>, String);
+pub(crate) type Routed = (u16, Vec<(String, String)>, String);
 
 /// Dispatches a parsed request to its handler.
-fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
+pub(crate) fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
     match (request.method.as_str(), request.target.as_str()) {
         ("POST", "/v1/schedule") => handle_schedule(state, request, accepted_at),
         ("POST", "/v1/lint") => handle_lint(request),
@@ -335,11 +425,15 @@ fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
             "{\"status\":\"ok\",\"service\":\"cool-serve\"}".to_string(),
         ),
         ("GET", "/metrics") => {
-            let entries = state.lock_cache().len();
+            let entries = state.cache.len();
             state
                 .metrics
                 .cache_entries
                 .set(i64::try_from(entries).unwrap_or(i64::MAX));
+            for shard in 0..state.cache.shard_count() {
+                state.metrics.shard_cache_entries[shard]
+                    .set(i64::try_from(state.cache.shard_len(shard)).unwrap_or(i64::MAX));
+            }
             (200, Vec::new(), state.metrics.render())
         }
         ("POST", "/v1/shutdown") => {
@@ -369,22 +463,44 @@ fn route(state: &AppState, request: &Request, accepted_at: Instant) -> Routed {
 fn process_item(state: &AppState, item: &ScheduleItem) -> Result<(String, bool), ApiError> {
     let (scenario, warnings) = api::resolve_and_lint(item)?;
     let key = api::cache_key(&scenario, &item.algorithm);
-    if let Some(body) = state.lock_cache().get(&key) {
+    if let Some(body) = state.cache.get(&key) {
         state.metrics.cache_hits.inc();
         return Ok((body, true));
     }
     let body = api::compute_response(&scenario, &item.algorithm, &warnings)?;
     state.metrics.cache_misses.inc();
-    let mut cache = state.lock_cache();
-    if cache.insert(key, body.clone()).is_some() {
+    let shard = state.cache.shard_of(&key);
+    let (evicted, shard_len) = state.cache.insert(key, body.clone());
+    if evicted.is_some() {
         state.metrics.cache_evictions.inc();
     }
+    state.metrics.shard_cache_entries[shard].set(i64::try_from(shard_len).unwrap_or(i64::MAX));
     state
         .metrics
         .cache_entries
-        .set(i64::try_from(cache.len()).unwrap_or(i64::MAX));
-    drop(cache);
+        .set(i64::try_from(state.cache.len()).unwrap_or(i64::MAX));
     Ok((body, false))
+}
+
+/// The event transport's IO-thread fast path: a single-item
+/// `POST /v1/schedule` whose response is already memoised is answered
+/// without the worker handoff (two context switches saved per request on
+/// the hot cache-hit path). Anything else — misses, batches, other
+/// endpoints, or a daemon running with test hooks — returns `None` and
+/// takes the queued path with its usual 429 backpressure.
+#[cfg(unix)]
+pub(crate) fn schedule_cache_hit(state: &AppState, request: &Request) -> Option<String> {
+    if state.config.test_hooks || request.method != "POST" || request.target != "/v1/schedule" {
+        return None;
+    }
+    let ScheduleBody::Single(item) = parse_schedule_body(&request.body).ok()? else {
+        return None;
+    };
+    let (scenario, _warnings) = api::resolve_and_lint(&item).ok()?;
+    let key = api::cache_key(&scenario, &item.algorithm);
+    let body = state.cache.get(&key)?;
+    state.metrics.cache_hits.inc();
+    Some(body)
 }
 
 /// `POST /v1/schedule` — single or batch.
@@ -552,12 +668,12 @@ fn handle_session_put(state: &AppState, request: &Request) -> Routed {
             return (err.status, Vec::new(), err.body());
         }
     };
-    let mut sessions = state.lock_sessions();
-    let (id, evicted) = sessions.put(entry);
+    let (id, evicted) = state.sessions.put(entry);
     state
         .metrics
         .sessions_active
-        .set(i64::try_from(sessions.len()).unwrap_or(i64::MAX));
+        .set(i64::try_from(state.sessions.len()).unwrap_or(i64::MAX));
+    let mut sessions = state.sessions.lock_for(&id);
     let body = match sessions.get(&id) {
         Ok(entry) => session_api::render_put_response(&id, entry, evicted.as_deref()),
         Err(miss) => return session_miss(&id, miss),
@@ -576,7 +692,7 @@ fn handle_session_patch(state: &AppState, request: &Request, id: &str) -> Routed
     let config = RepairConfig {
         full_threshold: state.config.repair_threshold,
     };
-    let mut sessions = state.lock_sessions();
+    let mut sessions = state.sessions.lock_for(id);
     let entry = match sessions.get(id) {
         Ok(entry) => entry,
         Err(miss) => return session_miss(id, miss),
@@ -610,7 +726,7 @@ fn handle_session_patch(state: &AppState, request: &Request, id: &str) -> Routed
 
 /// `GET /v1/scenario/{id}/schedule` — the session's current schedule.
 fn handle_session_schedule(state: &AppState, id: &str) -> Routed {
-    let mut sessions = state.lock_sessions();
+    let mut sessions = state.sessions.lock_for(id);
     match sessions.get(id) {
         Ok(entry) => (
             200,
@@ -623,13 +739,12 @@ fn handle_session_schedule(state: &AppState, id: &str) -> Routed {
 
 /// `DELETE /v1/scenario/{id}` — drop the session, leaving a tombstone.
 fn handle_session_delete(state: &AppState, id: &str) -> Routed {
-    let mut sessions = state.lock_sessions();
-    match sessions.delete(id) {
+    match state.sessions.delete(id) {
         Ok(()) => {
             state
                 .metrics
                 .sessions_active
-                .set(i64::try_from(sessions.len()).unwrap_or(i64::MAX));
+                .set(i64::try_from(state.sessions.len()).unwrap_or(i64::MAX));
             (200, Vec::new(), session_api::render_delete_response(id))
         }
         Err(miss) => session_miss(id, miss),
@@ -670,13 +785,7 @@ mod tests {
     use super::*;
 
     fn test_state(config: ServerConfig) -> AppState {
-        AppState {
-            cache: Mutex::new(LruCache::new(config.cache_cap)),
-            sessions: Mutex::new(SessionStore::new(config.session_cap)),
-            metrics: ServeMetrics::new(),
-            shutdown: AtomicBool::new(false),
-            config,
-        }
+        AppState::new(config)
     }
 
     fn request(method: &str, target: &str, body: &str) -> Request {
@@ -686,6 +795,33 @@ mod tests {
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    #[test]
+    fn serve_mode_flag_round_trips() {
+        assert_eq!(ServeMode::parse("event"), Some(ServeMode::Event));
+        assert_eq!(ServeMode::parse("threaded"), Some(ServeMode::Threaded));
+        assert_eq!(ServeMode::parse("fibers"), None);
+        assert_eq!(ServeMode::Event.as_str(), "event");
+        assert_eq!(ServeMode::default(), ServeMode::Event);
+    }
+
+    #[test]
+    fn worker_shards_are_capped_by_threads() {
+        let config = ServerConfig {
+            threads: 1,
+            shards: 8,
+            ..ServerConfig::default()
+        };
+        assert_eq!(config.worker_shards(), 1, "no shard without a thread");
+        assert_eq!(config.cache_shards(), 8);
+        let config = ServerConfig {
+            threads: 8,
+            shards: 0,
+            ..ServerConfig::default()
+        };
+        assert_eq!(config.worker_shards(), 1);
+        assert_eq!(config.cache_shards(), 1);
     }
 
     #[test]
@@ -1004,5 +1140,9 @@ mod tests {
         assert_eq!(status, 200);
         assert!(page.contains("cool_cache_entries 1"), "{page}");
         assert!(page.contains("cool_cache_misses_total 1"));
+        assert!(
+            page.contains("cool_shard_cache_entries{shard=\"0\"}"),
+            "{page}"
+        );
     }
 }

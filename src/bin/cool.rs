@@ -14,8 +14,15 @@
 //!                                                # fit (T_d, T_r, rho) from a trace
 //! cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N]
 //!            [--timeout-ms N] [--session-cap N] [--repair-threshold R]
+//!            [--mode event|threaded] [--shards N] [--keep-alive-max N]
+//!            [--idle-timeout-ms N]
 //!            [--smoke scenario.txt] [--session-smoke scenario.txt]
 //!                                                # HTTP scheduling daemon
+//! cool loadgen [--addr A] [--duration-ms N] [--concurrency N] [--rate R]
+//!              [--session-ratio F] [--distinct N] [--seed N]
+//!              [--no-keep-alive] [--shutdown] [--json]
+//!                                                # drive load at a daemon,
+//!                                                # report throughput + latency
 //! cool session --replay <deltas.txt> [scenario.txt] [--set key=value]...
 //!              [--threshold R]                    # replay a delta script with
 //!                                                # warm-start schedule repair
@@ -37,7 +44,9 @@ use cool::energy::{
     core_window_stability, estimate_pattern, fit_pattern, HarvestConfig, HarvestTrace, Weather,
 };
 use cool::scenario::Scenario;
-use cool::serve::{run_session_smoke, run_smoke, Server, ServerConfig};
+use cool::serve::{
+    run_loadgen, run_session_smoke, run_smoke, LoadgenConfig, ServeMode, Server, ServerConfig,
+};
 use cool::session::{parse_deltas, SessionEntry, SessionInstance};
 use std::process::ExitCode;
 
@@ -75,6 +84,7 @@ fn main() -> ExitCode {
         Some("trace") => trace(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("loadgen") => loadgen(&args[1..]),
         Some("session") => session(&args[1..]),
         Some("check") => check(&args[1..]),
         _ => usage(),
@@ -438,6 +448,7 @@ fn estimate(args: &[String]) -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_lines)]
 fn serve(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     let mut smoke: Option<String> = None;
@@ -474,6 +485,24 @@ fn serve(args: &[String]) -> ExitCode {
             "--repair-threshold" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
                 Some(r) if (0.0..=1.0).contains(&r) => config.repair_threshold = r,
                 _ => return flag_error("--repair-threshold needs a fraction in [0, 1]"),
+            },
+            "--mode" => {
+                let Some(mode) = iter.next().map(String::as_str).and_then(ServeMode::parse) else {
+                    return flag_error("--mode needs event | threaded");
+                };
+                config.mode = mode;
+            }
+            "--shards" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.shards = n,
+                _ => return flag_error("--shards needs a positive integer"),
+            },
+            "--keep-alive-max" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.keep_alive_max = n,
+                _ => return flag_error("--keep-alive-max needs a positive integer"),
+            },
+            "--idle-timeout-ms" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.idle_timeout_ms = n,
+                _ => return flag_error("--idle-timeout-ms needs a positive integer"),
             },
             "--smoke" => {
                 let Some(path) = iter.next() else {
@@ -527,6 +556,7 @@ fn serve(args: &[String]) -> ExitCode {
         };
     }
 
+    let mode = config.mode;
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -535,7 +565,10 @@ fn serve(args: &[String]) -> ExitCode {
         }
     };
     if let Ok(addr) = server.local_addr() {
-        eprintln!("cool-serve listening on http://{addr} (POST /v1/shutdown to stop)");
+        eprintln!(
+            "cool-serve listening on http://{addr} ({} mode, POST /v1/shutdown to stop)",
+            mode.as_str()
+        );
     }
     match server.run() {
         Ok(()) => {
@@ -544,6 +577,72 @@ fn serve(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cool loadgen` — drive deterministic schedule/session traffic at a
+/// running daemon and report throughput and latency percentiles.
+/// Exit codes: 0 on a completed run, 1 when the daemon is unreachable,
+/// 2 on usage problems.
+fn loadgen(args: &[String]) -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(addr) = iter.next() else {
+                    return flag_error("--addr needs host:port");
+                };
+                config.addr.clone_from(addr);
+            }
+            "--duration-ms" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.duration_ms = n,
+                _ => return flag_error("--duration-ms needs a positive integer"),
+            },
+            "--concurrency" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.concurrency = n,
+                _ => return flag_error("--concurrency needs a positive integer"),
+            },
+            "--rate" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 && r.is_finite() => config.rate = Some(r),
+                _ => return flag_error("--rate needs positive requests/second"),
+            },
+            "--session-ratio" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if (0.0..=1.0).contains(&f) => config.session_ratio = f,
+                _ => return flag_error("--session-ratio needs a fraction in [0, 1]"),
+            },
+            "--distinct" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.distinct = n,
+                _ => return flag_error("--distinct needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => return flag_error("--seed needs a non-negative integer"),
+            },
+            "--no-keep-alive" => config.keep_alive = false,
+            "--shutdown" => config.shutdown_after = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    match run_loadgen(&config) {
+        Ok(report) => {
+            if json {
+                emit(&report.to_json());
+                emit("\n");
+            } else {
+                emit(&report.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -770,7 +869,12 @@ fn usage() -> ExitCode {
          | cool estimate <trace.csv> [--discharge M] [--capacity MAH] \
          | cool serve [--addr A] [--threads N] [--queue-cap N] [--cache-cap N] \
          [--timeout-ms N] [--session-cap N] [--repair-threshold R] \
+         [--mode event|threaded] [--shards N] [--keep-alive-max N] \
+         [--idle-timeout-ms N] \
          [--smoke scenario.txt] [--session-smoke scenario.txt] \
+         | cool loadgen [--addr A] [--duration-ms N] [--concurrency N] [--rate R] \
+         [--session-ratio F] [--distinct N] [--seed N] [--no-keep-alive] \
+         [--shutdown] [--json] \
          | cool session --replay <deltas.txt> [scenario.txt] [--set key=value]... \
          [--threshold R] \
          | cool check [--seed N] [--cases N] [--lp-trials N] [--ratio R] \

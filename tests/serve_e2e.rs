@@ -11,7 +11,7 @@
 // transport failures is exactly what an e2e harness should do.
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
-use cool::serve::{Server, ServerConfig};
+use cool::serve::{ServeMode, Server, ServerConfig};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -65,6 +65,56 @@ fn raw_request(
 
 fn schedule_body(scenario: &str) -> String {
     format!("{{\"scenario\":{}}}", cool::common::json::escape(scenario))
+}
+
+/// One hand-written request that asks to keep the connection open (or pass
+/// `connection: "close"` to end it).
+fn keep_alive_bytes(method: &str, path: &str, connection: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one `Content-Length`-framed response off a live keep-alive
+/// connection; surplus bytes stay in `pending` for the next call.
+fn read_framed(stream: &mut TcpStream, pending: &mut Vec<u8>) -> (u16, String, String) {
+    let mut chunk = [0u8; 4096];
+    let (head_end, content_length) = loop {
+        if let Some(pos) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&pending[..pos]).expect("utf-8 head");
+            let length = head
+                .lines()
+                .skip(1)
+                .find_map(|line| {
+                    let (name, value) = line.split_once(':')?;
+                    name.trim()
+                        .eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().expect("content-length"))
+                })
+                .unwrap_or(0);
+            break (pos, length);
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-head: {pending:?}");
+        pending.extend_from_slice(&chunk[..n]);
+    };
+    let total = head_end + 4 + content_length;
+    while pending.len() < total {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        pending.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&pending[..head_end]).to_string();
+    let body = String::from_utf8_lossy(&pending[head_end + 4..total]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    pending.drain(..total);
+    (status, head, body)
 }
 
 fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
@@ -216,6 +266,174 @@ fn requests_past_their_budget_answer_408() {
     assert!(response.contains("COOL-E017"), "{response}");
     let (_, _, page) = raw_request(addr, "GET", "/metrics", &[], "");
     assert!(page.contains("cool_request_timeouts_total 1"), "{page}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn pipelined_request_after_a_4xx_is_still_answered() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // One burst, two requests: the first draws a route-level 400 (bad
+    // JSON), which must not tear down the connection before the pipelined
+    // follower is answered.
+    let mut burst = keep_alive_bytes("POST", "/v1/schedule", "keep-alive", "not json");
+    burst.extend_from_slice(&keep_alive_bytes("GET", "/healthz", "keep-alive", ""));
+    stream.write_all(&burst).expect("write burst");
+
+    let mut pending = Vec::new();
+    let (status, head, body) = read_framed(&mut stream, &mut pending);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("COOL-E019"), "{body}");
+    assert!(head.contains("connection: keep-alive"), "{head}");
+    let (status, _, body) = read_framed(&mut stream, &mut pending);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""));
+
+    drop(stream);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_by_the_idle_timeout() {
+    let (addr, handle) = boot(ServerConfig {
+        idle_timeout_ms: 100,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(&keep_alive_bytes("GET", "/healthz", "keep-alive", ""))
+        .expect("write");
+    let mut pending = Vec::new();
+    let (status, head, _) = read_framed(&mut stream, &mut pending);
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: keep-alive"), "{head}");
+
+    // Then silence: the daemon must close the idle connection on its own.
+    let start = std::time::Instant::now();
+    let mut sink = [0u8; 64];
+    let n = stream.read(&mut sink).expect("EOF, not a reset or timeout");
+    assert_eq!(n, 0, "expected idle-timeout close, read {n} bytes");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "idle close took {:?}",
+        start.elapsed()
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn connection_close_overrides_the_http11_keep_alive_default() {
+    let (addr, handle) = boot(ServerConfig::default());
+    // raw_request sends HTTP/1.1 with `connection: close`; the response
+    // must advertise the close and actually end the connection (the
+    // read_to_string inside raw_request only returns on EOF).
+    let (status, head, _) = raw_request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: close"), "{head}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn keep_alive_request_cap_forces_a_close() {
+    let (addr, handle) = boot(ServerConfig {
+        keep_alive_max: 2,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut pending = Vec::new();
+
+    stream
+        .write_all(&keep_alive_bytes("GET", "/healthz", "keep-alive", ""))
+        .expect("write first");
+    let (status, head, _) = read_framed(&mut stream, &mut pending);
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: keep-alive"), "{head}");
+
+    // The capping request is still answered, but with `connection: close`.
+    stream
+        .write_all(&keep_alive_bytes("GET", "/healthz", "keep-alive", ""))
+        .expect("write second");
+    let (status, head, _) = read_framed(&mut stream, &mut pending);
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: close"), "{head}");
+    let mut sink = [0u8; 64];
+    assert_eq!(
+        stream.read(&mut sink).expect("EOF after cap"),
+        0,
+        "connection must close once the request cap is reached"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn threaded_429_path_honours_the_configured_budget() {
+    // Regression: `reject_overloaded` used to consume the request under a
+    // hardcoded 500 ms read timeout, ignoring `--timeout-ms`.
+    let (addr, handle) = boot(ServerConfig {
+        mode: ServeMode::Threaded,
+        threads: 1,
+        queue_cap: 1,
+        timeout_ms: 120,
+        test_hooks: true,
+        ..ServerConfig::default()
+    });
+
+    // Saturate the one worker and then the one queue slot, staggered so
+    // the first slow request is on the worker before the second queues.
+    let send_slow = move || {
+        std::thread::spawn(move || {
+            let body = schedule_body("sensors = 6\n");
+            raw_request(
+                addr,
+                "POST",
+                "/v1/schedule",
+                &[("x-cool-test-sleep-ms", "600")],
+                &body,
+            )
+        })
+    };
+    let first = send_slow();
+    std::thread::sleep(Duration::from_millis(100));
+    let second = send_slow();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A shed connection that never finishes its request: the consuming
+    // read must give up after ~120 ms, not the old hardcoded 500 ms.
+    let start = std::time::Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/schedule HTTP/1.1\r\nhost: test\r\ncontent-length: 64\r\n\r\npartial")
+        .expect("write partial");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read 429");
+    let elapsed = start.elapsed();
+    assert!(raw.contains("429"), "{raw}");
+    assert!(raw.contains("COOL-E018"), "{raw}");
+    assert!(
+        elapsed < Duration::from_millis(450),
+        "429 took {elapsed:?}; the configured 120 ms budget was not honoured"
+    );
+
+    // The saturating requests overshoot the same 120 ms budget and answer
+    // a typed 408 — the point is they were accepted and answered, not shed.
+    for worker in [first, second] {
+        let (status, _, body) = worker.join().expect("slow request thread");
+        assert_eq!(status, 408, "{body}");
+        assert!(body.contains("COOL-E017"), "{body}");
+    }
     shutdown(addr, handle);
 }
 
