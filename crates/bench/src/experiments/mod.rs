@@ -11,6 +11,7 @@ pub mod horizon;
 pub mod kcover;
 pub mod lp;
 pub mod perf_greedy;
+pub mod perf_hetero;
 pub mod perf_serve;
 pub mod perf_session;
 pub mod perf_sparse;
@@ -21,7 +22,7 @@ pub mod testbed30;
 use crate::ExperimentReport;
 
 /// All experiment ids, in suggested running order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "fig7",
     "fig8",
     "headline",
@@ -39,6 +40,7 @@ pub const ALL: [&str; 17] = [
     "perf_sparse",
     "perf_session",
     "perf_serve",
+    "perf_hetero",
 ];
 
 /// Dispatches an experiment by id.
@@ -63,6 +65,7 @@ pub fn run(id: &str, seed: u64) -> Option<ExperimentReport> {
         "perf_sparse" => Some(perf_sparse::run(seed)),
         "perf_session" => Some(perf_session::run(seed)),
         "perf_serve" => Some(perf_serve::run(seed)),
+        "perf_hetero" => Some(perf_hetero::run(seed)),
         _ => None,
     }
 }

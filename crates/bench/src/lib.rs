@@ -29,6 +29,7 @@
 //! | `perf_sparse` | sparse vs dense sum-evaluator wall-clock (emits `BENCH_PR5.json`) | [`experiments::perf_sparse`] |
 //! | `perf_session` | warm-start session repair vs from-scratch re-solve (emits `BENCH_PR7.json`) | [`experiments::perf_session`] |
 //! | `perf_serve` | event-loop keep-alive daemon vs thread-per-connection baseline (emits `BENCH_PR8.json`) | [`experiments::perf_serve`] |
+//! | `perf_hetero` | heterogeneous greedy vs RSC/Set-Once/HEF across ρ mixtures (emits `BENCH_PR9.json`) | [`experiments::perf_hetero`] |
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::too_many_lines)]
 
 pub mod experiments;

@@ -13,7 +13,7 @@
 use cool_common::{SeedSequence, SensorSet};
 use cool_core::instances::geometric_multi_target;
 use cool_core::problem::Problem;
-use cool_energy::ChargeCycle;
+use cool_energy::{ChargeCycle, Fleet, FleetGrid};
 use cool_geometry::Rect;
 use cool_scenario::Scenario;
 use cool_utility::{
@@ -31,6 +31,22 @@ const FAMILY_STREAM: u64 = 7;
 
 /// Child-sequence index for the per-case scenario-parameter draws.
 const CASE_STREAM: u64 = 11;
+
+/// Child-sequence index for the heterogeneous-fleet profile draws.
+const FLEET_STREAM: u64 = 23;
+
+/// Per-sensor profile palette `(battery Wh, μ_d W, μ_r W, solar_eff)` for
+/// heterogeneous cases. Every entry lands on a 15-minute tick and every
+/// combination keeps the LCM hyperperiod at ≤ 24 ticks (periods 4, 8, 2,
+/// 3, 4, 4), so hetero schedules stay cheap to cross-examine.
+const FLEET_PALETTE: [(f64, f64, f64, f64); 6] = [
+    (30.0, 120.0, 40.0, 1.0),  // (15, 45): the paper's sunny cycle
+    (60.0, 120.0, 40.0, 1.0),  // (30, 90): double capacity, period 8
+    (30.0, 120.0, 120.0, 1.0), // (15, 15): ρ = 1, period 2
+    (30.0, 60.0, 120.0, 1.0),  // (30, 15): ρ = 1/2, period 3
+    (45.0, 180.0, 60.0, 1.0),  // (15, 45) again but a 45 Wh battery
+    (30.0, 120.0, 80.0, 0.5),  // (15, 45) via half solar efficiency
+];
 
 /// Which utility family a check case materialises over the scenario's
 /// deployment geometry.
@@ -138,6 +154,21 @@ pub struct CheckInstance {
     pub periods: usize,
     /// Small enough for the `T^n` exhaustive enumerator.
     pub tiny: bool,
+}
+
+/// A materialised heterogeneous case: the family's utility over the
+/// scenario's deployment geometry plus the fleet's LCM tick grid. Built
+/// only for cases whose scenario sets per-sensor profile lists — the
+/// oracle runs its heterogeneous battery on these instead of the
+/// homogeneous relations.
+#[derive(Clone, Debug)]
+pub struct FleetCheckInstance {
+    /// The family utility (same materials path as the homogeneous build).
+    pub utility: SumUtility,
+    /// The per-sensor energy profiles and cycles.
+    pub fleet: Fleet,
+    /// The LCM tick grid all per-sensor periods embed into.
+    pub grid: FleetGrid,
 }
 
 /// The deterministic raw materials a family's utility is assembled from.
@@ -322,6 +353,29 @@ impl CheckCase {
         })
     }
 
+    /// Materialises a heterogeneous case: the scenario's profile lists
+    /// become a [`Fleet`] and its LCM tick grid, and the family utility is
+    /// assembled by the same materials path as [`CheckCase::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message when the scenario has no profile lists,
+    /// a profile is invalid, or the fleet does not embed into a grid (the
+    /// generator's palette never produces these; hand-edited replays can).
+    pub fn build_fleet(&self) -> Result<FleetCheckInstance, String> {
+        if !self.scenario.has_profiles() {
+            return Err("scenario has no per-sensor profile lists".into());
+        }
+        let fleet = self.scenario.fleet()?;
+        let grid = FleetGrid::build(&fleet).map_err(|e| e.to_string())?;
+        let utility = utility_from(self.family, &materials(self), None, 1.0);
+        Ok(FleetCheckInstance {
+            utility,
+            fleet,
+            grid,
+        })
+    }
+
     /// The case's utility relabeled by `perm` (old index → new index).
     pub fn permuted_utility(&self, perm: &[usize]) -> SumUtility {
         utility_from(self.family, &materials(self), Some(perm), 1.0)
@@ -382,7 +436,7 @@ pub fn generate_cases(seed: u64, count: usize) -> Vec<CheckCase> {
             // `periods` despite float division.
             let hours = (periods as f64 * (discharge + recharge) + 1.0) / 60.0;
 
-            let scenario = Scenario {
+            let mut scenario = Scenario {
                 sensors,
                 targets,
                 detection_p,
@@ -394,6 +448,28 @@ pub fn generate_cases(seed: u64, count: usize) -> Vec<CheckCase> {
                 seed: seeds.nth_seed(1_000_000 + i as u64),
                 ..Scenario::default()
             };
+            if i % 4 == 3 {
+                // Heterogeneous fleet: per-sensor profile lists drawn from
+                // the palette (assigned cyclically over the sensors). The
+                // profiles then define the energy model; the duration keys
+                // above are ignored by the builder.
+                let mut fleet_rng = SeedSequence::new(seed)
+                    .child(FLEET_STREAM)
+                    .nth_rng(i as u64);
+                let k = 2 + fleet_rng.random_range(0..3usize);
+                for _ in 0..k {
+                    let (b, d, r, e) =
+                        FLEET_PALETTE[fleet_rng.random_range(0..FLEET_PALETTE.len())];
+                    scenario.battery.push(b);
+                    scenario.mu_d.push(d);
+                    scenario.mu_r.push(r);
+                    scenario.solar_eff.push(e);
+                }
+                // One spare minute past the worst-case hyperperiod
+                // (24 ticks × 15 minutes) so at least one whole
+                // hyperperiod always fits the working time.
+                scenario.hours = (24.0 * 15.0 + 1.0) / 60.0;
+            }
             CheckCase {
                 index: i,
                 scenario,
@@ -478,6 +554,36 @@ mod tests {
             (permuted.eval(&full) - base.problem.utility().eval(&full)).abs() < 1e-12,
             "full-set value is relabeling-invariant"
         );
+    }
+
+    #[test]
+    fn every_fourth_case_is_a_heterogeneous_fleet() {
+        let cases = generate_cases(9, 12);
+        for case in &cases {
+            assert_eq!(
+                case.index % 4 == 3,
+                case.scenario.has_profiles(),
+                "case {}",
+                case.index
+            );
+        }
+        for case in cases.iter().filter(|c| c.scenario.has_profiles()) {
+            let instance = case
+                .build_fleet()
+                .unwrap_or_else(|e| panic!("case {}: {e}", case.index));
+            assert_eq!(instance.fleet.len(), case.scenario.sensors);
+            assert!(
+                instance.grid.hyperperiod() <= 24,
+                "palette promises a small hyperperiod, got {}",
+                instance.grid.hyperperiod()
+            );
+            // Fleet cases survive the counterexample round trip: profile
+            // lists are part of the canonical grammar.
+            let parsed = Scenario::parse(&case.scenario.canonical()).unwrap();
+            assert_eq!(parsed, case.scenario);
+        }
+        assert!(generate_cases(9, 4)[3].build_fleet().is_ok());
+        assert!(generate_cases(9, 1)[0].build_fleet().is_err());
     }
 
     #[test]

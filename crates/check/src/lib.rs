@@ -28,7 +28,7 @@ pub mod oracle;
 pub mod shrink;
 
 pub use fault::{run_fault_probes, FaultReport};
-pub use gen::{generate_cases, CheckCase, CheckInstance, UtilityFamily};
+pub use gen::{generate_cases, CheckCase, CheckInstance, FleetCheckInstance, UtilityFamily};
 pub use oracle::{check_case, CaseOutcome, OracleSettings, Violation};
 pub use shrink::{parse_counterexample, render_counterexample, shrink_case};
 

@@ -23,6 +23,16 @@
 //! | `support-zero-gain` | `COOL-E024` | sparse gain/loss is **exactly** 0 for every sensor outside the sum's support, at every trace state |
 //! | `abstract-unsound` | `COOL-E026` | the abstract energy interpreter's feasible regions agree with sampled concrete replays: verified-failing charges fail, charges ≥ θ replay clean, and a ∀-feasibility proof implies every sensor's region is `All` |
 //! | `session-repair-equal` | `COOL-E027` | warm-start session repair tracks a from-scratch solve: an empty dirty set reproduces the previous schedule bit-for-bit at zero cost, every patched schedule stays energy-feasible with value ≥ ratio · scratch, and a full-mode repair **is** the scratch solve (identical assignment) |
+//! | `hetero-homog-reduce` | `COOL-E028` | on a uniform fleet synthesised from the case's own cycle, the heterogeneous greedy (naive **and** lazy) reproduces the homogeneous greedy's schedule bit-for-bit through the phase embedding |
+//! | `baseline-sound` | `COOL-E029` | every grid baseline (RSC, Set-Once, HEF) replays clean through the per-sensor energy automaton and never beats the duty-cycle upper bound (nor, on uniform fleets, the LP relaxation) |
+//! | `greedy-le-duty` | `COOL-E021` | the heterogeneous greedy's hyperperiod value ≤ the duty-cycle upper bound |
+//!
+//! Cases whose scenario sets per-sensor profile lists run a dedicated
+//! heterogeneous battery instead of the homogeneous relations: naive/lazy
+//! fleet-greedy equality (`naive-lazy-equal`), concrete grid replay
+//! (`schedule-replay`), the duty bound, `baseline-sound`, and a sampled
+//! soundness check of the per-sensor abstract interpreter
+//! (`abstract-unsound`).
 //!
 //! A note on what is deliberately **not** asserted: the *value achieved by
 //! greedy* is not relabeling-invariant. On tie-heavy instances (e.g. the
@@ -38,14 +48,18 @@ use cool_common::{CoolCode, Interval, SeedSequence, SensorId, SensorSet};
 use cool_core::greedy::{
     greedy_active_naive, greedy_passive_naive, try_greedy_schedule, try_greedy_schedule_lazy,
 };
+use cool_core::hetero::{hetero_greedy_lazy, hetero_greedy_naive, phases_from_period_schedule};
 use cool_core::horizon::greedy_horizon;
 use cool_core::lp::LpScheduler;
 use cool_core::optimal::exhaustive_optimal;
 use cool_core::repair::{repair_schedule, RepairConfig, RepairMode};
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
+use cool_core::{grid_duty_upper_bound, hef_schedule, rsc_schedule, set_once_schedule};
+use cool_energy::{Fleet, FleetGrid};
 use cool_lint::{
-    feasible_region, lint_horizon, lint_schedule, lint_schedule_abstract, proves_feasible_for_all,
-    sensor_replay_clean, FeasibleRegion, Report,
+    feasible_region, grid_feasible_region, grid_sensor_replay_clean, lint_grid_schedule,
+    lint_horizon, lint_schedule, lint_schedule_abstract, proves_feasible_for_all,
+    proves_grid_feasible_for_all, sensor_replay_clean, FeasibleRegion, Report,
 };
 use cool_session::{Delta, SessionEntry, SessionInstance};
 use cool_utility::{Evaluator, SumUtility, UtilityFunction};
@@ -157,6 +171,48 @@ fn replay(violations: &mut Vec<Violation>, relation: &'static str, label: &str, 
     }
 }
 
+/// The `baseline-sound` (`COOL-E029`) contract for one grid baseline: a
+/// clean per-sensor energy replay, a hyperperiod value at or below the
+/// duty-cycle upper bound, and — when `lp_cap` applies (uniform fleets,
+/// whose hyperperiod is one period) — at or below the LP relaxation value.
+fn check_baseline_sound(
+    violations: &mut Vec<Violation>,
+    name: &str,
+    schedule: &cool_core::GridSchedule,
+    grid: &FleetGrid,
+    utility: &SumUtility,
+    bound: f64,
+    lp_cap: Option<f64>,
+) {
+    let report = lint_grid_schedule(schedule, grid);
+    for d in report.diagnostics() {
+        if d.severity() == cool_lint::Severity::Error {
+            violations.push(Violation {
+                code: CoolCode::BaselineUnsound,
+                relation: "baseline-sound",
+                detail: format!("{name}: {}", d.message),
+            });
+        }
+    }
+    let value = schedule.hyperperiod_utility(utility);
+    if value > bound + VALUE_TOL {
+        violations.push(Violation {
+            code: CoolCode::BaselineUnsound,
+            relation: "baseline-sound",
+            detail: format!("{name}: value {value} > duty bound {bound}"),
+        });
+    }
+    if let Some(cap) = lp_cap {
+        if value > cap + VALUE_TOL {
+            violations.push(Violation {
+                code: CoolCode::BaselineUnsound,
+                relation: "baseline-sound",
+                detail: format!("{name}: value {value} > lp {cap}"),
+            });
+        }
+    }
+}
+
 /// Runs every applicable relation on one case.
 ///
 /// # Errors
@@ -167,6 +223,9 @@ fn replay(violations: &mut Vec<Violation>, relation: &'static str, label: &str, 
 /// at the call site).
 #[allow(clippy::too_many_lines)] // one relation after another, linear and flat
 pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOutcome, String> {
+    if case.scenario.has_profiles() {
+        return check_fleet_case(case);
+    }
     let instance = case.build()?;
     let problem = &instance.problem;
     let utility = problem.utility();
@@ -557,6 +616,56 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
         }
     }
 
+    // --- E028/E029: the heterogeneous layer against the uniform fleet. ---
+    // A fleet synthesised from the case's own cycle must reduce the
+    // heterogeneous greedy — naive AND lazy — to the homogeneous schedule
+    // bit-for-bit through the phase embedding (this is the new code path
+    // homogeneous scenarios take, so the reduction IS the compatibility
+    // guarantee). The grid baselines must be sound: clean per-sensor
+    // replays, below the duty-cycle bound, and — because a uniform fleet's
+    // hyperperiod is exactly one period — below the LP relaxation value.
+    {
+        let fleet = Fleet::uniform_from_cycle(problem.n_sensors(), instance.cycle)
+            .map_err(|e| e.to_string())?;
+        let grid = FleetGrid::build(&fleet).map_err(|e| e.to_string())?;
+        let hetero_naive = hetero_greedy_naive(utility, &grid).map_err(|e| e.to_string())?;
+        let hetero_lazy = hetero_greedy_lazy(utility, &grid).map_err(|e| e.to_string())?;
+        let expected = phases_from_period_schedule(&grid, &naive);
+        checked += 1;
+        if hetero_naive.phases() != expected.as_slice()
+            || hetero_lazy.phases() != expected.as_slice()
+        {
+            violations.push(Violation {
+                code: CoolCode::HeteroReductionMismatch,
+                relation: "hetero-homog-reduce",
+                detail: format!(
+                    "homogeneous phases {:?} vs hetero naive {:?} / lazy {:?}",
+                    expected,
+                    hetero_naive.phases(),
+                    hetero_lazy.phases()
+                ),
+            });
+        }
+        let bound = grid_duty_upper_bound(utility, &grid);
+        let hef = hef_schedule(utility, &fleet, &grid)
+            .map_err(|e| e.to_string())?
+            .to_grid_schedule();
+        let rsc = rsc_schedule(utility, &grid).map_err(|e| e.to_string())?;
+        let once = set_once_schedule(&grid);
+        checked += 9; // three baselines × (replay, duty bound, LP cap)
+        for (name, schedule) in [("hef", &hef), ("rsc", &rsc), ("set-once", &once)] {
+            check_baseline_sound(
+                &mut violations,
+                name,
+                schedule,
+                &grid,
+                utility,
+                bound,
+                Some(lp.lp_value),
+            );
+        }
+    }
+
     // --- E027: warm-start session repair vs. from-scratch solve. ---
     // The scenario's own detection instance becomes a live session; a
     // seeded delta script (stream 19 by workspace convention) mutates it
@@ -660,6 +769,192 @@ pub fn check_case(case: &CheckCase, settings: &OracleSettings) -> Result<CaseOut
     })
 }
 
+/// The heterogeneous battery run on profile-list cases (see module docs):
+/// naive/lazy fleet-greedy equality, concrete per-sensor grid replay, the
+/// duty-cycle bound, baseline soundness, a sampled soundness check of the
+/// per-sensor abstract interpreter, and — when the drawn palette happens
+/// to be cycle-uniform — the homogeneous reduction.
+#[allow(clippy::too_many_lines)] // one relation after another, linear and flat
+fn check_fleet_case(case: &CheckCase) -> Result<CaseOutcome, String> {
+    let instance = case.build_fleet()?;
+    let utility = &instance.utility;
+    let grid = &instance.grid;
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+
+    // --- E020: naive and lazy fleet greedy are interchangeable. ---
+    let naive = hetero_greedy_naive(utility, grid).map_err(|e| e.to_string())?;
+    let lazy = hetero_greedy_lazy(utility, grid).map_err(|e| e.to_string())?;
+    checked += 1;
+    if naive.phases() != lazy.phases() {
+        violations.push(Violation {
+            code: CoolCode::DifferentialMismatch,
+            relation: "naive-lazy-equal",
+            detail: format!(
+                "naive phases {:?} vs lazy {:?}",
+                naive.phases(),
+                lazy.phases()
+            ),
+        });
+    }
+    let greedy = naive.to_grid_schedule();
+    let greedy_value = greedy.hyperperiod_utility(utility);
+
+    // --- Per-sensor energy replay through cool-lint. ---
+    checked += 1;
+    replay(
+        &mut violations,
+        "schedule-replay",
+        "hetero-greedy",
+        &lint_grid_schedule(&greedy, grid),
+    );
+
+    // --- E021: the duty-cycle upper bound dominates greedy. ---
+    let bound = grid_duty_upper_bound(utility, grid);
+    checked += 1;
+    if greedy_value > bound + VALUE_TOL {
+        violations.push(Violation {
+            code: CoolCode::OracleBoundViolated,
+            relation: "greedy-le-duty",
+            detail: format!("greedy {greedy_value} > duty bound {bound}"),
+        });
+    }
+
+    // --- E029: the literature baselines are sound. ---
+    let hef = hef_schedule(utility, &instance.fleet, grid)
+        .map_err(|e| e.to_string())?
+        .to_grid_schedule();
+    let rsc = rsc_schedule(utility, grid).map_err(|e| e.to_string())?;
+    let once = set_once_schedule(grid);
+    checked += 6; // three baselines × (replay, duty bound)
+    for (name, schedule) in [("hef", &hef), ("rsc", &rsc), ("set-once", &once)] {
+        check_baseline_sound(&mut violations, name, schedule, grid, utility, bound, None);
+    }
+
+    // --- E026: per-sensor abstract interpreter vs. sampled replays. ---
+    // Same contract as the homogeneous relation, but every sensor is
+    // bisected against its own drain/refill rates (fractions of its own
+    // capacity). Stream 17 by workspace convention.
+    {
+        const REGION_SAMPLES: usize = 4;
+        let mut abs_rng = SeedSequence::new(case.scenario.seed).nth_rng(17);
+        checked += 1;
+        let for_all = proves_grid_feasible_for_all(&greedy, grid, Interval::UNIT);
+        let mut regions_all_clean = true;
+        'sensors: for sensor in 0..grid.n_sensors() {
+            let region = grid_feasible_region(&greedy, grid, sensor);
+            if region != FeasibleRegion::All {
+                regions_all_clean = false;
+            }
+            match region {
+                FeasibleRegion::All => {
+                    for _ in 0..REGION_SAMPLES {
+                        let init = abs_rng.random::<f64>();
+                        if !grid_sensor_replay_clean(&greedy, grid, sensor, init) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: region is All but concrete replay \
+                                     fails from initial charge {init}"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                    }
+                }
+                FeasibleRegion::Above {
+                    theta,
+                    last_failing,
+                } => {
+                    for _ in 0..REGION_SAMPLES {
+                        let failing = abs_rng.random::<f64>() * last_failing;
+                        if grid_sensor_replay_clean(&greedy, grid, sensor, failing) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: {failing} ≤ verified-failing bound \
+                                     {last_failing} but the concrete replay succeeds"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                        let clean = theta + abs_rng.random::<f64>() * (1.0 - theta);
+                        if !grid_sensor_replay_clean(&greedy, grid, sensor, clean) {
+                            violations.push(Violation {
+                                code: CoolCode::AbstractReplayUnsound,
+                                relation: "abstract-unsound",
+                                detail: format!(
+                                    "sensor {sensor}: {clean} ≥ θ = {theta} but the \
+                                     concrete replay fails"
+                                ),
+                            });
+                            break 'sensors;
+                        }
+                    }
+                }
+                FeasibleRegion::None => {
+                    violations.push(Violation {
+                        code: CoolCode::AbstractReplayUnsound,
+                        relation: "abstract-unsound",
+                        detail: format!(
+                            "sensor {sensor}: greedy schedule fails even from a full \
+                             battery, yet its replay lint was clean"
+                        ),
+                    });
+                    break 'sensors;
+                }
+            }
+        }
+        if for_all && !regions_all_clean {
+            violations.push(Violation {
+                code: CoolCode::AbstractReplayUnsound,
+                relation: "abstract-unsound",
+                detail: "interval interpreter proved ∀-feasibility but some sensor's \
+                         bisected feasible region excludes low charges"
+                    .to_string(),
+            });
+        }
+    }
+
+    // --- E028 when the drawn palette is cycle-uniform. ---
+    // Profiles may differ (battery 30 vs 45, or a solar_eff rescale) while
+    // inducing the same charge cycle; the schedulers only see the cycles,
+    // so the homogeneous reduction must still hold bit-for-bit.
+    if let Some(cycle) = instance.fleet.uniform_cycle() {
+        let mode = if cycle.rho() > 1.0 {
+            ScheduleMode::ActiveSlot
+        } else {
+            ScheduleMode::PassiveSlot
+        };
+        let homog = naive_for_mode(utility, cycle.slots_per_period(), mode)?;
+        let expected = phases_from_period_schedule(grid, &homog);
+        checked += 1;
+        if naive.phases() != expected.as_slice() {
+            violations.push(Violation {
+                code: CoolCode::HeteroReductionMismatch,
+                relation: "hetero-homog-reduce",
+                detail: format!(
+                    "uniform-cycle fleet: homogeneous phases {:?} vs hetero {:?}",
+                    expected,
+                    naive.phases()
+                ),
+            });
+        }
+    }
+
+    Ok(CaseOutcome {
+        relations_checked: checked,
+        violations,
+        tiny: false,
+        greedy_value,
+        // No LP relaxation runs on the heterogeneous path; the duty-cycle
+        // bound is the reported upper envelope.
+        lp_value: bound,
+    })
+}
+
 /// Draws one delta that is valid for the session's current state: sensor
 /// toggles respect liveness, target indices stay in range, the last
 /// target is never removed, and ρ changes stay on quantised minute pairs
@@ -757,6 +1052,50 @@ mod tests {
             .map(|c| check_case(c, &settings).unwrap())
             .any(|o| o.violations.iter().any(|v| v.relation == "greedy-ratio"));
         assert!(flagged, "no tiny case flagged an impossible ratio");
+    }
+
+    #[test]
+    fn fleet_cases_run_the_hetero_battery_clean() {
+        let cases = generate_cases(42, 12);
+        let fleet_cases: Vec<_> = cases.iter().filter(|c| c.scenario.has_profiles()).collect();
+        assert_eq!(fleet_cases.len(), 3, "every fourth case is a fleet");
+        for case in fleet_cases {
+            let outcome = check_case(case, &OracleSettings::default())
+                .unwrap_or_else(|e| panic!("case {} ({}): {e}", case.index, case.family));
+            assert!(
+                outcome.is_clean(),
+                "case {} ({}): {:?}",
+                case.index,
+                case.family,
+                outcome.violations
+            );
+            assert!(outcome.relations_checked >= 6);
+            assert!(!outcome.tiny, "fleet cases skip the exhaustive oracle");
+            assert!(
+                outcome.greedy_value <= outcome.lp_value + VALUE_TOL,
+                "greedy must sit below the duty envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_sound_relation_is_live() {
+        // An always-on "baseline" violates both halves of the contract:
+        // the per-sensor replay refuses and the value beats the duty
+        // bound. Every resulting violation must carry COOL-E029.
+        use cool_energy::ChargeCycle;
+        use cool_utility::LinearUtility;
+        let fleet = Fleet::uniform_from_cycle(3, ChargeCycle::paper_sunny()).unwrap();
+        let grid = FleetGrid::build(&fleet).unwrap();
+        let utility = SumUtility::new(vec![LinearUtility::new(vec![1.0; 3]).into()]);
+        let bad = cool_core::GridSchedule::new(vec![SensorSet::full(3); grid.hyperperiod()]);
+        let bound = grid_duty_upper_bound(&utility, &grid);
+        let mut violations = Vec::new();
+        check_baseline_sound(&mut violations, "bogus", &bad, &grid, &utility, bound, None);
+        assert!(!violations.is_empty());
+        assert!(violations
+            .iter()
+            .all(|v| v.relation == "baseline-sound" && v.code == CoolCode::BaselineUnsound));
     }
 
     #[test]

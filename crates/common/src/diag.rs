@@ -141,6 +141,15 @@ pub enum CoolCode {
     /// bound of (or was infeasible against) a from-scratch solve of the
     /// mutated instance.
     SessionRepairMismatch,
+    /// COOL-E028: a heterogeneous-fleet instance whose per-sensor profiles
+    /// are all identical did not reduce bit-for-bit to the homogeneous
+    /// scheduling path (LCM-grid schedule differs from the uniform-slot
+    /// schedule under the canonical phase mapping).
+    HeteroReductionMismatch,
+    /// COOL-E029: a literature baseline (RSC, Set-Once Strip Cover, HEF)
+    /// produced a schedule that is energy-infeasible under replay or whose
+    /// value exceeds a proven upper bound.
+    BaselineUnsound,
 }
 
 impl CoolCode {
@@ -184,6 +193,8 @@ impl CoolCode {
             CoolCode::StaticallyDeadSlot => "COOL-W008",
             CoolCode::DisconnectedCover => "COOL-W009",
             CoolCode::SessionRepairMismatch => "COOL-E027",
+            CoolCode::HeteroReductionMismatch => "COOL-E028",
+            CoolCode::BaselineUnsound => "COOL-E029",
         }
     }
 
@@ -227,6 +238,8 @@ impl CoolCode {
             CoolCode::StaticallyDeadSlot => "statically-dead-slot",
             CoolCode::DisconnectedCover => "disconnected-cover",
             CoolCode::SessionRepairMismatch => "session-repair-mismatch",
+            CoolCode::HeteroReductionMismatch => "hetero-reduction-mismatch",
+            CoolCode::BaselineUnsound => "baseline-unsound",
         }
     }
 
@@ -309,6 +322,12 @@ impl CoolCode {
             CoolCode::SessionRepairMismatch => {
                 "warm-start session repair diverged from a from-scratch solve"
             }
+            CoolCode::HeteroReductionMismatch => {
+                "uniform-profile fleet did not reduce bit-for-bit to the homogeneous path"
+            }
+            CoolCode::BaselineUnsound => {
+                "baseline schedule is energy-infeasible or exceeds a proven upper bound"
+            }
         }
     }
 
@@ -359,6 +378,8 @@ impl CoolCode {
             CoolCode::StaticallyDeadSlot,
             CoolCode::DisconnectedCover,
             CoolCode::SessionRepairMismatch,
+            CoolCode::HeteroReductionMismatch,
+            CoolCode::BaselineUnsound,
         ]
     }
 }
@@ -404,7 +425,7 @@ mod tests {
         assert!(!CoolCode::ZeroWeightTarget.is_error());
         let errors = CoolCode::all().iter().filter(|c| c.is_error()).count();
         let warnings = CoolCode::all().iter().filter(|c| !c.is_error()).count();
-        assert_eq!(errors, 27);
+        assert_eq!(errors, 29);
         assert_eq!(warnings, 9);
     }
 

@@ -9,7 +9,8 @@
 //! safe: we use the trivially-valid `OPT ≤ T · U(V)` cap plus the
 //! cardinality bound when the utility exposes symmetric structure.
 
-use cool_utility::UtilityFunction;
+use cool_energy::FleetGrid;
+use cool_utility::{AnyUtility, SumUtility, UtilityFunction};
 
 /// The paper's single-target per-slot upper bound on **average utility per
 /// slot**: `1 − (1−p)^⌈n/T⌉` (§VI-B).
@@ -85,6 +86,83 @@ pub fn trivial_period_bound<U: UtilityFunction>(utility: &U, slots: usize) -> f6
     slots as f64 * utility.max_value()
 }
 
+/// Sensor `v`'s maximum fraction of hyperperiod ticks it can spend active,
+/// by battery accounting from a full charge: `a/d_v ≤ 1 + (H−a)/r_v` gives
+/// `a ≤ d_v(r_v + H)/P_v`, i.e. the steady-state duty cycle `d_v/P_v` plus
+/// the one-off full-battery slack `d_v·r_v/(P_v·H)`.
+fn duty_fraction(grid: &FleetGrid, v: usize) -> f64 {
+    let d = grid.discharge_ticks(v) as f64;
+    let r = grid.recharge_ticks(v) as f64;
+    let p = grid.period_ticks(v) as f64;
+    let h = grid.hyperperiod() as f64;
+    (d / p + d * r / (p * h)).min(1.0)
+}
+
+/// Jensen/duty-cycle upper bound on the **hyperperiod total utility** of
+/// ANY energy-feasible schedule on a heterogeneous grid — periodic or not.
+///
+/// Per detection part with per-sensor probabilities `p_v`, write the
+/// per-tick value as `h(Σ_{v active} c_v)` with `c_v = −ln(1−p_v)` and
+/// `h(y) = 1 − e^{−y}` concave increasing. Averaging over the `H` ticks
+/// and applying Jensen, the per-tick average is at most
+/// `h(Σ_v c_v·x_v)` where `x_v` is the sensor's maximum active fraction
+/// ([`duty_fraction`]). Non-detection parts are capped by their
+/// `max_value()`. The bound needs no schedule — it dominates the optimum,
+/// so it is what `cool-check` holds the baselines to (COOL-E029).
+///
+/// # Examples
+///
+/// ```
+/// use cool_core::bounds::grid_duty_upper_bound;
+/// use cool_core::hetero::hetero_greedy_naive;
+/// use cool_energy::{ChargeCycle, Fleet, FleetGrid};
+/// use cool_utility::{AnyUtility, DetectionUtility, SumUtility};
+///
+/// let fleet = Fleet::from_cycles(vec![
+///     ChargeCycle::from_minutes(15.0, 45.0).unwrap(),
+///     ChargeCycle::from_minutes(30.0, 90.0).unwrap(),
+/// ]).unwrap();
+/// let grid = FleetGrid::build(&fleet).unwrap();
+/// let u = SumUtility::new(vec![
+///     AnyUtility::Detection(DetectionUtility::uniform(2, 0.7)),
+/// ]);
+/// let greedy = hetero_greedy_naive(&u, &grid).unwrap();
+/// assert!(greedy.hyperperiod_utility(&u) <= grid_duty_upper_bound(&u, &grid));
+/// ```
+pub fn grid_duty_upper_bound(utility: &SumUtility, grid: &FleetGrid) -> f64 {
+    let h = grid.hyperperiod() as f64;
+    let mut per_tick_total = 0.0;
+    for part in utility.parts() {
+        let per_tick = match part {
+            AnyUtility::Detection(d) => {
+                let mut y = 0.0;
+                let mut saturated = false;
+                for (v, &p) in d.probs().iter().enumerate() {
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    if p >= 1.0 {
+                        // x_v > 0 always (d_v ≥ 1), so a certain detector
+                        // saturates the part outright; summing would hit
+                        // ∞ · x and NaN.
+                        saturated = true;
+                        break;
+                    }
+                    y += -(1.0 - p).ln() * duty_fraction(grid, v);
+                }
+                if saturated {
+                    1.0
+                } else {
+                    1.0 - (-y).exp()
+                }
+            }
+            other => other.max_value(),
+        };
+        per_tick_total += per_tick;
+    }
+    h * per_tick_total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +224,71 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
         let _ = single_target_upper_bound(5, 0, 0.4);
+    }
+
+    fn mixed_grid() -> cool_energy::FleetGrid {
+        use cool_energy::{ChargeCycle, Fleet, FleetGrid};
+        FleetGrid::build(
+            &Fleet::from_cycles(vec![
+                ChargeCycle::from_minutes(15.0, 45.0).unwrap(),
+                ChargeCycle::from_minutes(30.0, 90.0).unwrap(),
+                ChargeCycle::from_minutes(15.0, 15.0).unwrap(),
+                ChargeCycle::from_minutes(30.0, 15.0).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duty_bound_dominates_greedy_and_baselines() {
+        let grid = mixed_grid();
+        let mut rng = SeedSequence::new(21).nth_rng(0);
+        let u = crate::instances::random_multi_target(4, 3, 0.6, 0.5, &mut rng);
+        let bound = grid_duty_upper_bound(&u, &grid);
+        let greedy = crate::hetero::hetero_greedy_naive(&u, &grid)
+            .unwrap()
+            .hyperperiod_utility(&u);
+        let rsc = crate::baselines::rsc_schedule(&u, &grid)
+            .unwrap()
+            .hyperperiod_utility(&u);
+        let so = crate::baselines::set_once_schedule(&grid).hyperperiod_utility(&u);
+        assert!(greedy <= bound + 1e-9, "greedy {greedy} > bound {bound}");
+        assert!(rsc <= bound + 1e-9, "rsc {rsc} > bound {bound}");
+        assert!(so <= bound + 1e-9, "set-once {so} > bound {bound}");
+    }
+
+    #[test]
+    fn duty_bound_survives_certain_detection() {
+        // p = 1 makes c_v = ∞; the bound must saturate at H per part, not
+        // go NaN.
+        let grid = mixed_grid();
+        let u = cool_utility::SumUtility::multi_target_detection(
+            &[cool_common::SensorSet::full(4)],
+            1.0,
+        );
+        let bound = grid_duty_upper_bound(&u, &grid);
+        assert!(bound.is_finite());
+        assert!((bound - grid.hyperperiod() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_bound_on_uniform_grid_matches_slot_intuition() {
+        // Uniform ρ = 3 fleet: x_v = (1 + 3/H)/4; one target covering
+        // everyone. With H = P the bound is h(n·c·x) on a per-tick basis.
+        use cool_energy::{ChargeCycle, Fleet, FleetGrid};
+        let n = 8;
+        let grid =
+            FleetGrid::build(&Fleet::uniform_from_cycle(n, ChargeCycle::paper_sunny()).unwrap())
+                .unwrap();
+        let u = cool_utility::SumUtility::multi_target_detection(
+            &[cool_common::SensorSet::full(n)],
+            0.4,
+        );
+        let bound = grid_duty_upper_bound(&u, &grid);
+        let x: f64 = (0.25 + 0.75 / 4.0_f64).min(1.0);
+        let expected = 4.0 * (1.0 - (0.6f64.ln() * 8.0 * x).exp());
+        assert!((bound - expected).abs() < 1e-12, "{bound} vs {expected}");
     }
 
     proptest! {

@@ -54,6 +54,7 @@ pub mod baselines;
 pub mod bounds;
 pub mod errors;
 pub mod greedy;
+pub mod hetero;
 pub mod horizon;
 pub mod instances;
 pub mod local_search;
@@ -68,11 +69,18 @@ pub mod simplex;
 pub mod stochastic;
 pub mod symmetric;
 
-pub use baselines::{random_schedule, round_robin_schedule, static_schedule};
-pub use bounds::single_target_upper_bound;
+pub use baselines::{
+    hef_schedule, random_schedule, round_robin_schedule, rsc_schedule, set_once_schedule,
+    static_schedule,
+};
+pub use bounds::{grid_duty_upper_bound, single_target_upper_bound};
 pub use errors::ScheduleBuildError;
 pub use greedy::{
     greedy_schedule, greedy_schedule_lazy, try_greedy_schedule, try_greedy_schedule_lazy,
+};
+pub use hetero::{
+    hetero_greedy_lazy, hetero_greedy_naive, phases_from_period_schedule, repair_fleet_schedule,
+    FleetRepairOutcome, FleetSchedule, GridSchedule,
 };
 pub use horizon::{greedy_horizon, HorizonSchedule};
 pub use local_search::{improve_schedule, LocalSearchOutcome};

@@ -1,0 +1,670 @@
+//! Heterogeneous fleets: per-sensor energy profiles and the LCM tick grid.
+//!
+//! The paper assumes a homogeneous deployment — one battery capacity `B`,
+//! discharge rate `μ_d`, and recharge rate `μ_r` for every sensor, so one
+//! global `ρ` and one slot grid. [`SensorProfile`] lifts that: each sensor
+//! carries its own `(B, μ_d, μ_r, solar_eff)`, yielding per-sensor
+//! `T_d = 60·B/μ_d`, `T_r = 60·B/(μ_r·solar_eff)` and `ρ_v = T_r/T_d`.
+//!
+//! Mixed durations break the uniform slot grid, so a [`Fleet`] is
+//! scheduled on the **LCM grid** ([`FleetGrid`]): the tick length is the
+//! (tolerance-aware) GCD of every sensor's slot length, each sensor's
+//! period spans `P_v = d_v + r_v` ticks, and the grid repeats after the
+//! hyperperiod `H = lcm(P_v)`. Per-sensor slot boundaries embed losslessly
+//! into the grid — pinned by this module's round-trip property test.
+//!
+//! A fleet whose profiles are all identical degenerates to the paper's
+//! model: the grid tick is the homogeneous slot, `H` is the charging
+//! period `T`, and per-tick energy rates are bitwise equal to
+//! [`ChargeCycle::discharge_fraction_per_slot`] /
+//! [`ChargeCycle::recharge_fraction_per_slot`] — the foundation of the
+//! `hetero-homog-reduce` (COOL-E028) relation in `cool-check`.
+
+use crate::{ChargeCycle, CycleError};
+use std::fmt;
+
+/// One sensor's energy hardware: battery capacity in watt-hours, discharge
+/// and recharge power in milliwatts, and a solar-efficiency derating on the
+/// recharge path.
+///
+/// The defaults reproduce the paper's sunny-day testbed pattern
+/// (`T_d = 15 min`, `T_r = 45 min`, `ρ = 3`).
+///
+/// # Examples
+///
+/// ```
+/// use cool_energy::SensorProfile;
+///
+/// let p = SensorProfile::default();
+/// assert_eq!(p.discharge_minutes(), 15.0);
+/// assert_eq!(p.recharge_minutes(), 45.0);
+/// assert_eq!(p.cycle().unwrap().rho(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SensorProfile {
+    /// Battery capacity in watt-hours.
+    pub battery: f64,
+    /// Discharge power draw while active, in milliwatts.
+    pub mu_d: f64,
+    /// Recharge power while passive under full sun, in milliwatts.
+    pub mu_r: f64,
+    /// Solar efficiency in `(0, 1]`: derates the effective recharge power
+    /// (panel ageing, shading, conversion losses).
+    pub solar_eff: f64,
+}
+
+impl Default for SensorProfile {
+    fn default() -> Self {
+        SensorProfile {
+            battery: 30.0,
+            mu_d: 120.0,
+            mu_r: 40.0,
+            solar_eff: 1.0,
+        }
+    }
+}
+
+impl SensorProfile {
+    /// Discharge time `T_d = 60·B/μ_d` in minutes.
+    pub fn discharge_minutes(&self) -> f64 {
+        60.0 * self.battery / self.mu_d
+    }
+
+    /// Recharge time `T_r = 60·B/(μ_r·solar_eff)` in minutes.
+    pub fn recharge_minutes(&self) -> f64 {
+        60.0 * self.battery / (self.mu_r * self.solar_eff)
+    }
+
+    /// The per-sensor ratio `ρ_v = T_r/T_d = μ_d/(μ_r·solar_eff)`.
+    pub fn rho(&self) -> f64 {
+        self.recharge_minutes() / self.discharge_minutes()
+    }
+
+    /// `true` when every field is finite and positive (and `solar_eff ≤ 1`).
+    pub fn is_valid(&self) -> bool {
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        positive(self.battery)
+            && positive(self.mu_d)
+            && positive(self.mu_r)
+            && positive(self.solar_eff)
+            && self.solar_eff <= 1.0
+    }
+
+    /// The sensor's own charge cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`CycleError`] when the profile is degenerate or its `ρ_v` is not
+    /// slot-decomposable (neither `ρ_v` nor `1/ρ_v` integral).
+    pub fn cycle(&self) -> Result<ChargeCycle, CycleError> {
+        if !self.is_valid() {
+            return Err(CycleError::NonPositiveDuration);
+        }
+        ChargeCycle::from_minutes(self.discharge_minutes(), self.recharge_minutes())
+    }
+}
+
+impl fmt::Display for SensorProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "B={}Wh mu_d={}mW mu_r={}mW eff={}",
+            self.battery, self.mu_d, self.mu_r, self.solar_eff
+        )
+    }
+}
+
+/// Error constructing a [`Fleet`] or its [`FleetGrid`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FleetError {
+    /// A fleet needs at least one sensor.
+    EmptyFleet,
+    /// Sensor `sensor`'s profile is degenerate or not slot-decomposable.
+    BadProfile {
+        /// The offending sensor index.
+        sensor: usize,
+        /// Why its cycle could not be built.
+        source: CycleError,
+    },
+    /// Sensor `sensor`'s durations do not share a common tick with the
+    /// rest of the fleet (within tolerance).
+    NonCommensurable {
+        /// The offending sensor index.
+        sensor: usize,
+    },
+    /// The hyperperiod `lcm(P_v)` exceeds
+    /// [`FleetGrid::MAX_HYPERPERIOD_TICKS`].
+    HyperperiodTooLarge {
+        /// The computed hyperperiod in ticks.
+        ticks: u128,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::EmptyFleet => write!(f, "a fleet needs at least one sensor"),
+            FleetError::BadProfile { sensor, source } => {
+                write!(f, "sensor {sensor}: {source}")
+            }
+            FleetError::NonCommensurable { sensor } => write!(
+                f,
+                "sensor {sensor}: durations share no common tick with the fleet"
+            ),
+            FleetError::HyperperiodTooLarge { ticks } => write!(
+                f,
+                "hyperperiod of {ticks} ticks exceeds the {} cap",
+                FleetGrid::MAX_HYPERPERIOD_TICKS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// A heterogeneous deployment: one [`SensorProfile`] per sensor, with the
+/// derived per-sensor [`ChargeCycle`]s validated up front.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fleet {
+    profiles: Vec<SensorProfile>,
+    cycles: Vec<ChargeCycle>,
+}
+
+impl Fleet {
+    /// Builds a fleet from per-sensor profiles, deriving and validating
+    /// each sensor's cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::EmptyFleet`] for zero sensors;
+    /// [`FleetError::BadProfile`] when a profile is degenerate or not
+    /// slot-decomposable.
+    pub fn new(profiles: Vec<SensorProfile>) -> Result<Self, FleetError> {
+        if profiles.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        let mut cycles = Vec::with_capacity(profiles.len());
+        for (sensor, profile) in profiles.iter().enumerate() {
+            let cycle = profile
+                .cycle()
+                .map_err(|source| FleetError::BadProfile { sensor, source })?;
+            cycles.push(cycle);
+        }
+        Ok(Fleet { profiles, cycles })
+    }
+
+    /// Builds a fleet directly from per-sensor cycles (profiles are
+    /// synthesised at the default battery capacity). The given cycles are
+    /// stored **verbatim** — no round-trip through profile arithmetic — so
+    /// a uniform fleet built from a homogeneous cycle reproduces that
+    /// cycle's rates bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::EmptyFleet`] for zero sensors.
+    pub fn from_cycles(cycles: Vec<ChargeCycle>) -> Result<Self, FleetError> {
+        if cycles.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        let profiles = cycles
+            .iter()
+            .map(|c| {
+                let battery = SensorProfile::default().battery;
+                SensorProfile {
+                    battery,
+                    mu_d: 60.0 * battery / c.discharge_minutes(),
+                    mu_r: 60.0 * battery / c.recharge_minutes(),
+                    solar_eff: 1.0,
+                }
+            })
+            .collect();
+        Ok(Fleet { profiles, cycles })
+    }
+
+    /// A fleet of `n` sensors all governed by `cycle` — the homogeneous
+    /// special case, stored bit-exactly (see [`Fleet::from_cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::EmptyFleet`] when `n == 0`.
+    pub fn uniform_from_cycle(n: usize, cycle: ChargeCycle) -> Result<Self, FleetError> {
+        Fleet::from_cycles(vec![cycle; n])
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` for a zero-sensor fleet (unreachable through constructors).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The per-sensor profiles.
+    pub fn profiles(&self) -> &[SensorProfile] {
+        &self.profiles
+    }
+
+    /// The per-sensor cycles.
+    pub fn cycles(&self) -> &[ChargeCycle] {
+        &self.cycles
+    }
+
+    /// Sensor `v`'s cycle.
+    pub fn cycle(&self, v: usize) -> ChargeCycle {
+        self.cycles[v]
+    }
+
+    /// `Some(cycle)` when every sensor's cycle is identical (bitwise on
+    /// both durations) — the homogeneous reduction gate.
+    pub fn uniform_cycle(&self) -> Option<ChargeCycle> {
+        let first = self.cycles[0];
+        self.cycles
+            .iter()
+            .all(|c| {
+                c.discharge_minutes() == first.discharge_minutes()
+                    && c.recharge_minutes() == first.recharge_minutes()
+            })
+            .then_some(first)
+    }
+}
+
+/// Relative tolerance for the duration-GCD and tick-rounding checks.
+const COMMENSURABILITY_TOL: f64 = 1e-6;
+
+/// Tolerance-aware GCD of two positive durations (centred Euclid: the
+/// remainder is folded into `[-b/2, b/2]` so near-multiples terminate).
+fn gcd_minutes(a: f64, b: f64) -> f64 {
+    let tol = 1e-9 * a.max(b);
+    let (mut a, mut b) = if a >= b { (a, b) } else { (b, a) };
+    while b > tol {
+        let r = (a - (a / b).round() * b).abs();
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// The LCM slot grid of a heterogeneous fleet.
+///
+/// * one **tick** is the GCD of every sensor's `T_d` and `T_r`;
+/// * sensor `v` discharges over `d_v` ticks and recharges over `r_v`,
+///   a period of `P_v = d_v + r_v` ticks;
+/// * the whole fleet's activity repeats after the **hyperperiod**
+///   `H = lcm(P_v)` ticks (capped at
+///   [`FleetGrid::MAX_HYPERPERIOD_TICKS`]).
+///
+/// Per-tick energy rates are `1/d_v` (drain) and `1/r_v` (refill) of the
+/// sensor's own capacity — for a uniform fleet these are bitwise the
+/// homogeneous [`ChargeCycle::discharge_fraction_per_slot`] /
+/// [`ChargeCycle::recharge_fraction_per_slot`].
+///
+/// # Examples
+///
+/// ```
+/// use cool_energy::{ChargeCycle, Fleet, FleetGrid};
+///
+/// // Battery 30 Wh vs 60 Wh at the same currents: cycles (15,45), (30,90).
+/// let fleet = Fleet::from_cycles(vec![
+///     ChargeCycle::from_minutes(15.0, 45.0).unwrap(),
+///     ChargeCycle::from_minutes(30.0, 90.0).unwrap(),
+/// ]).unwrap();
+/// let grid = FleetGrid::build(&fleet).unwrap();
+/// assert_eq!(grid.tick_minutes(), 15.0);
+/// assert_eq!(grid.period_ticks(0), 4);  // 1 + 3
+/// assert_eq!(grid.period_ticks(1), 8);  // 2 + 6
+/// assert_eq!(grid.hyperperiod(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetGrid {
+    tick_minutes: f64,
+    cycles: Vec<ChargeCycle>,
+    discharge_ticks: Vec<usize>,
+    recharge_ticks: Vec<usize>,
+    hyperperiod: usize,
+}
+
+impl FleetGrid {
+    /// Upper bound on the hyperperiod, in ticks. Fleets of wildly coprime
+    /// periods would otherwise explode the grid; `cool-scenario` surfaces
+    /// the error as a field diagnostic.
+    pub const MAX_HYPERPERIOD_TICKS: usize = 4096;
+
+    /// Derives the grid from a fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NonCommensurable`] when a sensor's durations do not
+    /// round cleanly onto the common tick;
+    /// [`FleetError::HyperperiodTooLarge`] when `lcm(P_v)` exceeds the cap.
+    pub fn build(fleet: &Fleet) -> Result<Self, FleetError> {
+        let cycles = fleet.cycles().to_vec();
+        let mut tick = cycles[0].discharge_minutes();
+        for c in &cycles {
+            tick = gcd_minutes(tick, c.discharge_minutes());
+            tick = gcd_minutes(tick, c.recharge_minutes());
+        }
+        let to_ticks = |minutes: f64, sensor: usize| -> Result<usize, FleetError> {
+            let raw = minutes / tick;
+            let ticks = raw.round();
+            if ticks < 1.0 || (raw - ticks).abs() > COMMENSURABILITY_TOL * raw.max(1.0) {
+                return Err(FleetError::NonCommensurable { sensor });
+            }
+            Ok(ticks as usize)
+        };
+        let mut discharge_ticks = Vec::with_capacity(cycles.len());
+        let mut recharge_ticks = Vec::with_capacity(cycles.len());
+        let mut hyper: u128 = 1;
+        for (v, c) in cycles.iter().enumerate() {
+            let d = to_ticks(c.discharge_minutes(), v)?;
+            let r = to_ticks(c.recharge_minutes(), v)?;
+            let p = (d + r) as u128;
+            hyper = hyper / gcd_u128(hyper, p) * p;
+            if hyper > Self::MAX_HYPERPERIOD_TICKS as u128 {
+                return Err(FleetError::HyperperiodTooLarge { ticks: hyper });
+            }
+            discharge_ticks.push(d);
+            recharge_ticks.push(r);
+        }
+        Ok(FleetGrid {
+            tick_minutes: tick,
+            cycles,
+            discharge_ticks,
+            recharge_ticks,
+            hyperperiod: hyper as usize,
+        })
+    }
+
+    /// Number of sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.discharge_ticks.len()
+    }
+
+    /// Length of one grid tick in minutes.
+    pub fn tick_minutes(&self) -> f64 {
+        self.tick_minutes
+    }
+
+    /// The hyperperiod `H = lcm(P_v)` in ticks.
+    pub fn hyperperiod(&self) -> usize {
+        self.hyperperiod
+    }
+
+    /// Sensor `v`'s cycle (as given to [`FleetGrid::build`], verbatim).
+    pub fn cycle(&self, v: usize) -> ChargeCycle {
+        self.cycles[v]
+    }
+
+    /// Discharge ticks `d_v` (length of one active run).
+    pub fn discharge_ticks(&self, v: usize) -> usize {
+        self.discharge_ticks[v]
+    }
+
+    /// Recharge ticks `r_v` (length of one passive run).
+    pub fn recharge_ticks(&self, v: usize) -> usize {
+        self.recharge_ticks[v]
+    }
+
+    /// Sensor `v`'s period `P_v = d_v + r_v` in ticks.
+    pub fn period_ticks(&self, v: usize) -> usize {
+        self.discharge_ticks[v] + self.recharge_ticks[v]
+    }
+
+    /// How many periods of sensor `v` fit in one hyperperiod: `H / P_v`.
+    pub fn runs_per_hyperperiod(&self, v: usize) -> usize {
+        self.hyperperiod / self.period_ticks(v)
+    }
+
+    /// Energy drained per active tick, as a fraction of sensor `v`'s own
+    /// capacity: `1/d_v`.
+    pub fn need_per_tick(&self, v: usize) -> f64 {
+        1.0 / self.discharge_ticks[v] as f64
+    }
+
+    /// Energy restored per passive tick: `1/r_v` of `v`'s own capacity.
+    pub fn refill_per_tick(&self, v: usize) -> f64 {
+        1.0 / self.recharge_ticks[v] as f64
+    }
+
+    /// The unified periodic activity pattern: sensor `v`, whose active run
+    /// starts at `phase ∈ 0..P_v` within each of its periods, is active at
+    /// grid tick `tick` iff `(tick − phase) mod P_v < d_v`.
+    pub fn active_at(&self, v: usize, phase: usize, tick: usize) -> bool {
+        let p = self.period_ticks(v);
+        debug_assert!(phase < p, "phase {phase} outside period {p}");
+        (tick + p - phase) % p < self.discharge_ticks[v]
+    }
+
+    /// Minutes offset of grid tick `k`.
+    pub fn ticks_to_minutes(&self, ticks: usize) -> f64 {
+        ticks as f64 * self.tick_minutes
+    }
+
+    /// The grid tick at minute offset `minutes`, when `minutes` lies on a
+    /// tick boundary (within tolerance); `None` otherwise.
+    pub fn minutes_to_ticks(&self, minutes: f64) -> Option<usize> {
+        let raw = minutes / self.tick_minutes;
+        let ticks = raw.round();
+        (ticks >= 0.0 && (raw - ticks).abs() <= COMMENSURABILITY_TOL * raw.abs().max(1.0))
+            .then_some(ticks as usize)
+    }
+}
+
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl fmt::Display for FleetGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FleetGrid: {} sensors, tick {}min, hyperperiod {} ticks",
+            self.n_sensors(),
+            self.tick_minutes,
+            self.hyperperiod
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_profile_is_the_paper_testbed() {
+        let cycle = SensorProfile::default().cycle().unwrap();
+        assert_eq!(cycle, ChargeCycle::paper_sunny());
+    }
+
+    #[test]
+    fn solar_eff_stretches_recharge_only() {
+        let p = SensorProfile {
+            solar_eff: 0.5,
+            ..SensorProfile::default()
+        };
+        assert_eq!(p.discharge_minutes(), 15.0);
+        assert_eq!(p.recharge_minutes(), 90.0);
+        assert_eq!(p.cycle().unwrap().rho(), 6.0);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let bad = SensorProfile {
+            battery: 0.0,
+            ..SensorProfile::default()
+        };
+        assert!(!bad.is_valid());
+        assert_eq!(bad.cycle(), Err(CycleError::NonPositiveDuration));
+        let overeff = SensorProfile {
+            solar_eff: 1.5,
+            ..SensorProfile::default()
+        };
+        assert!(!overeff.is_valid());
+        let err = Fleet::new(vec![SensorProfile::default(), bad]).unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::BadProfile {
+                sensor: 1,
+                source: CycleError::NonPositiveDuration
+            }
+        );
+        assert!(err.to_string().contains("sensor 1"));
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert_eq!(Fleet::new(vec![]), Err(FleetError::EmptyFleet));
+        assert_eq!(Fleet::from_cycles(vec![]), Err(FleetError::EmptyFleet));
+    }
+
+    #[test]
+    fn uniform_fleet_grid_is_the_homogeneous_slot_structure() {
+        for cycle in [
+            ChargeCycle::paper_sunny(),
+            ChargeCycle::from_minutes(40.0, 10.0).unwrap(),
+            ChargeCycle::from_minutes(20.0, 20.0).unwrap(),
+        ] {
+            let fleet = Fleet::uniform_from_cycle(5, cycle).unwrap();
+            assert_eq!(fleet.uniform_cycle(), Some(cycle));
+            let grid = FleetGrid::build(&fleet).unwrap();
+            assert_eq!(grid.tick_minutes(), cycle.slot_minutes());
+            assert_eq!(grid.hyperperiod(), cycle.slots_per_period());
+            for v in 0..5 {
+                assert_eq!(grid.discharge_ticks(v), cycle.active_slots_per_period());
+                assert_eq!(grid.recharge_ticks(v), cycle.passive_slots_per_period());
+                // Bitwise: the homogeneous reduction depends on exact equality.
+                assert_eq!(grid.need_per_tick(v), cycle.discharge_fraction_per_slot());
+                assert_eq!(grid.refill_per_tick(v), cycle.recharge_fraction_per_slot());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_capacity_grid() {
+        // Battery 30 vs 60 Wh at identical currents: (15,45) and (30,90).
+        let fleet = Fleet::new(vec![
+            SensorProfile::default(),
+            SensorProfile {
+                battery: 60.0,
+                ..SensorProfile::default()
+            },
+        ])
+        .unwrap();
+        assert!(fleet.uniform_cycle().is_none());
+        let grid = FleetGrid::build(&fleet).unwrap();
+        assert_eq!(grid.tick_minutes(), 15.0);
+        assert_eq!((grid.discharge_ticks(0), grid.recharge_ticks(0)), (1, 3));
+        assert_eq!((grid.discharge_ticks(1), grid.recharge_ticks(1)), (2, 6));
+        assert_eq!(grid.hyperperiod(), 8);
+        assert_eq!(grid.runs_per_hyperperiod(0), 2);
+        assert_eq!(grid.runs_per_hyperperiod(1), 1);
+        assert_eq!(grid.need_per_tick(1), 0.5);
+        assert_eq!(grid.refill_per_tick(1), 1.0 / 6.0);
+    }
+
+    #[test]
+    fn active_at_traces_the_periodic_run() {
+        let fleet = Fleet::uniform_from_cycle(1, ChargeCycle::paper_sunny()).unwrap();
+        let grid = FleetGrid::build(&fleet).unwrap();
+        // d=1, r=3, P=4; phase 2 → active at ticks 2, 6, 10, …
+        let active: Vec<usize> = (0..8).filter(|&t| grid.active_at(0, 2, t)).collect();
+        assert_eq!(active, [2, 6]);
+    }
+
+    #[test]
+    fn coprime_periods_overflow_the_hyperperiod_cap() {
+        // Periods 3, 5, 7, 11, 13 ticks → lcm 15015 > 4096.
+        let cycles: Vec<ChargeCycle> = [2.0, 4.0, 6.0, 10.0, 12.0]
+            .iter()
+            .map(|&r| ChargeCycle::from_minutes(1.0, r).unwrap())
+            .collect();
+        let fleet = Fleet::from_cycles(cycles).unwrap();
+        let err = FleetGrid::build(&fleet).unwrap_err();
+        assert!(matches!(err, FleetError::HyperperiodTooLarge { ticks } if ticks > 4096));
+        assert!(err.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn tick_round_trip() {
+        let fleet = Fleet::uniform_from_cycle(2, ChargeCycle::paper_sunny()).unwrap();
+        let grid = FleetGrid::build(&fleet).unwrap();
+        assert_eq!(grid.minutes_to_ticks(grid.ticks_to_minutes(7)), Some(7));
+        assert_eq!(grid.minutes_to_ticks(7.5), None, "off-boundary minute");
+    }
+
+    proptest! {
+        /// Lossless embedding: every sensor's own slot boundaries land on
+        /// grid ticks exactly (refine), and coarsening the grid pattern
+        /// back recovers the same active/passive intervals — each sensor
+        /// is active in H/P_v maximal runs of exactly d_v ticks, totalling
+        /// d_v·H/P_v active ticks per hyperperiod.
+        #[test]
+        fn grid_embeds_slot_boundaries_losslessly(
+            specs in proptest::collection::vec(
+                (1usize..=4, any::<bool>(), 1usize..=3),
+                1..5,
+            ),
+            phase_seed in any::<u64>(),
+        ) {
+            let cycles: Vec<ChargeCycle> = specs
+                .iter()
+                .map(|&(ratio, invert, slot_scale)| {
+                    let rho = if invert { 1.0 / ratio as f64 } else { ratio as f64 };
+                    ChargeCycle::from_rho(rho, 5.0 * slot_scale as f64).unwrap()
+                })
+                .collect();
+            let fleet = Fleet::from_cycles(cycles.clone()).unwrap();
+            // Coprime-period draws can exceed the hyperperiod cap; that
+            // rejection path has its own unit test, so skip those here.
+            let Ok(grid) = FleetGrid::build(&fleet) else { return };
+            let h = grid.hyperperiod();
+            for (v, cycle) in cycles.iter().enumerate() {
+                // Refine: the sensor's own slot boundaries are grid ticks.
+                let d = grid.discharge_ticks(v);
+                let r = grid.recharge_ticks(v);
+                prop_assert!((d as f64 * grid.tick_minutes() - cycle.discharge_minutes()).abs()
+                    < 1e-6 * cycle.discharge_minutes());
+                prop_assert!((r as f64 * grid.tick_minutes() - cycle.recharge_minutes()).abs()
+                    < 1e-6 * cycle.recharge_minutes());
+                prop_assert_eq!(
+                    grid.minutes_to_ticks(cycle.slot_minutes() * 2.0),
+                    Some(if cycle.rho() >= 1.0 { 2 * d } else { 2 * r })
+                );
+                // Coarsen: the periodic pattern over one hyperperiod is
+                // H/P_v runs of exactly d_v consecutive active ticks.
+                let p = grid.period_ticks(v);
+                prop_assert_eq!(h % p, 0, "hyperperiod must cover whole periods");
+                let phase = (phase_seed as usize).wrapping_mul(v + 1) % p;
+                let pattern: Vec<bool> =
+                    (0..h).map(|t| grid.active_at(v, phase, t)).collect();
+                let active = pattern.iter().filter(|&&a| a).count();
+                prop_assert_eq!(active, d * (h / p));
+                // Every maximal cyclic run has length exactly d_v.
+                let doubled: Vec<bool> = pattern.iter().chain(pattern.iter()).copied().collect();
+                let mut t = 0;
+                while t < doubled.len() {
+                    if doubled[t] && (t == 0 || !doubled[t - 1]) {
+                        let mut len = 0;
+                        while t + len < doubled.len() && doubled[t + len] {
+                            len += 1;
+                        }
+                        if t > 0 && t + len < doubled.len() {
+                            prop_assert_eq!(len, d, "run at tick {} of sensor {}", t, v);
+                        }
+                        t += len;
+                    } else {
+                        t += 1;
+                    }
+                }
+            }
+        }
+    }
+}

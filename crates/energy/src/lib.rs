@@ -33,6 +33,7 @@
 //! ```
 
 pub mod battery;
+pub mod fleet;
 pub mod harvest;
 pub mod profile;
 pub mod random_model;
@@ -41,6 +42,7 @@ pub mod state;
 pub mod weather;
 
 pub use battery::Battery;
+pub use fleet::{Fleet, FleetError, FleetGrid, SensorProfile};
 pub use harvest::{
     HarvestConfig, HarvestSample, HarvestTrace, SolarCell, SolarDay, TraceParseError,
 };
@@ -49,5 +51,5 @@ pub use profile::{
 };
 pub use random_model::RandomChargeModel;
 pub use slots::{ChargeCycle, CycleError};
-pub use state::{slot_transition, NodeEnergyMachine, NodeState, SlotOutcome};
+pub use state::{slot_transition, tick_transition, NodeEnergyMachine, NodeState, SlotOutcome};
 pub use weather::{Weather, WeatherGenerator};

@@ -81,11 +81,39 @@ pub fn slot_transition(
     ready_leakage: f64,
     activation_tolerance: f64,
 ) -> SlotOutcome {
+    tick_transition(
+        cycle.discharge_fraction_per_slot(),
+        cycle.recharge_fraction_per_slot(),
+        fraction,
+        activate,
+        ready_leakage,
+        activation_tolerance,
+    )
+}
+
+/// [`slot_transition`] generalised to explicit per-tick rates, for
+/// heterogeneous fleets on the LCM tick grid where each sensor drains
+/// `need` and refills `refill` (fractions of its own capacity) per tick.
+/// With `need = discharge_fraction_per_slot()` and
+/// `refill = recharge_fraction_per_slot()` this is bit-identical to the
+/// homogeneous transition — [`slot_transition`] delegates here.
+///
+/// # Panics
+///
+/// Panics when `fraction` is outside `[0, 1]` or not finite.
+#[must_use]
+pub fn tick_transition(
+    need: f64,
+    refill: f64,
+    fraction: f64,
+    activate: bool,
+    ready_leakage: f64,
+    activation_tolerance: f64,
+) -> SlotOutcome {
     assert!(
         fraction.is_finite() && (0.0..=1.0).contains(&fraction),
         "battery fraction {fraction} outside [0, 1]"
     );
-    let need = cycle.discharge_fraction_per_slot();
     if activate && fraction + 1e-9 >= need * (1.0 - activation_tolerance) {
         let mut level = fraction - need.min(fraction);
         let state = if level < 1e-9 {
@@ -107,7 +135,7 @@ pub fn slot_transition(
             state: NodeState::Ready,
         }
     } else {
-        let mut level = fraction + cycle.recharge_fraction_per_slot().min(1.0 - fraction);
+        let mut level = fraction + refill.min(1.0 - fraction);
         let state = if level >= 1.0 - 1e-12 {
             level = 1.0;
             NodeState::Ready
@@ -485,6 +513,34 @@ mod tests {
                 prop_assert_eq!(out.state, node.state());
                 fraction = out.fraction;
             }
+        }
+    }
+
+    proptest! {
+        /// The rate-parameterised tick transition with a cycle's own rates
+        /// is the slot transition — the contract the heterogeneous-fleet
+        /// grid replay relies on.
+        #[test]
+        fn tick_transition_generalises_slot_transition(
+            ratio in 1usize..6,
+            invert in any::<bool>(),
+            fraction in 0.0f64..=1.0,
+            activate in any::<bool>(),
+            leakage in 0.0f64..0.1,
+            tolerance in 0.0f64..0.1,
+        ) {
+            let rho = if invert { 1.0 / ratio as f64 } else { ratio as f64 };
+            let cycle = ChargeCycle::from_rho(rho, 10.0).unwrap();
+            let via_cycle = slot_transition(cycle, fraction, activate, leakage, tolerance);
+            let via_rates = tick_transition(
+                cycle.discharge_fraction_per_slot(),
+                cycle.recharge_fraction_per_slot(),
+                fraction,
+                activate,
+                leakage,
+                tolerance,
+            );
+            prop_assert_eq!(via_cycle, via_rates);
         }
     }
 

@@ -33,7 +33,8 @@
 use crate::diag::{Diagnostic, Report};
 use cool_common::{CoolCode, Interval, SensorId};
 use cool_core::schedule::PeriodSchedule;
-use cool_energy::{slot_transition, ChargeCycle};
+use cool_core::GridSchedule;
+use cool_energy::{slot_transition, tick_transition, ChargeCycle, FleetGrid};
 
 /// Replay depth in periods — matches the concrete lint replay: wrap-around
 /// deficits appear in the second period, and the state at the end of period
@@ -53,7 +54,23 @@ const BISECTION_STEPS: usize = 60;
 /// result may be wider than the true image (convex hull across branches).
 #[must_use]
 pub fn interval_step(cycle: ChargeCycle, iv: Interval, activate: bool) -> Interval {
-    let need = cycle.discharge_fraction_per_slot();
+    interval_tick(
+        cycle.discharge_fraction_per_slot(),
+        cycle.recharge_fraction_per_slot(),
+        iv,
+        activate,
+    )
+}
+
+/// Rate-parameterised abstract step: the image of `iv` under
+/// [`cool_energy::tick_transition`] with per-tick drain `need` and refill
+/// `refill` (fractions of the node's **own** capacity). [`interval_step`]
+/// is this function with a [`ChargeCycle`]'s slot rates; heterogeneous
+/// fleet-grid replays call it with each sensor's own rates.
+///
+/// Guarantees `concrete ∈ iv ⇒ tick(concrete) ∈ interval_tick(iv)`.
+#[must_use]
+pub fn interval_tick(need: f64, refill: f64, iv: Interval, activate: bool) -> Interval {
     let mut pieces: Vec<Interval> = Vec::with_capacity(3);
     let (idle_lo, mut idle_hi) = (iv.lo(), iv.hi());
     if activate {
@@ -81,9 +98,11 @@ pub fn interval_step(cycle: ChargeCycle, iv: Interval, activate: bool) -> Interv
             pieces.push(Interval::new(idle_lo.max(full), idle_hi));
         }
         if idle_lo < full {
-            let r = cycle.recharge_fraction_per_slot();
             let hi = idle_hi.min(full);
-            pieces.push(Interval::new(charge_image(idle_lo, r), charge_image(hi, r)));
+            pieces.push(Interval::new(
+                charge_image(idle_lo, refill),
+                charge_image(hi, refill),
+            ));
         }
     }
     let mut out = pieces[0];
@@ -297,13 +316,188 @@ pub fn lint_schedule_abstract(
     report
 }
 
+/// Concrete cyclic two-hyperperiod replay of one sensor's row of a
+/// heterogeneous grid schedule from `initial` (a fraction of that sensor's
+/// **own** capacity): `true` when every scheduled activation is honoured.
+/// The per-tick rates come from the sensor's own profile via
+/// [`FleetGrid::need_per_tick`] / [`FleetGrid::refill_per_tick`] — there is
+/// no global battery here.
+#[must_use]
+pub fn grid_sensor_replay_clean(
+    schedule: &GridSchedule,
+    grid: &FleetGrid,
+    sensor: usize,
+    initial: f64,
+) -> bool {
+    let h = schedule.hyperperiod();
+    let need = grid.need_per_tick(sensor);
+    let refill = grid.refill_per_tick(sensor);
+    let mut fraction = initial;
+    for tick in 0..REPLAY_PERIODS * h {
+        let want = schedule.is_active(sensor, tick % h);
+        let out = tick_transition(need, refill, fraction, want, 0.0, 0.0);
+        if want && !out.active {
+            return false;
+        }
+        fraction = out.fraction;
+    }
+    true
+}
+
+/// `true` when the abstract replay **proves** the grid schedule
+/// energy-feasible for every per-sensor initial charge in `init` — the
+/// heterogeneous analogue of [`proves_feasible_for_all`], stepping each
+/// sensor's interval with its own rates via [`interval_tick`].
+///
+/// # Panics
+///
+/// Panics if `init ⊄ [0, 1]`.
+#[must_use]
+pub fn proves_grid_feasible_for_all(
+    schedule: &GridSchedule,
+    grid: &FleetGrid,
+    init: Interval,
+) -> bool {
+    assert!(
+        Interval::UNIT.contains_interval(init),
+        "initial-charge interval {init} outside [0, 1]"
+    );
+    let h = schedule.hyperperiod();
+    if grid.n_sensors() != schedule.n_sensors() || grid.hyperperiod() != h {
+        return false; // structurally broken: the concrete lint owns this
+    }
+    for v in 0..schedule.n_sensors() {
+        let need = grid.need_per_tick(v);
+        let refill = grid.refill_per_tick(v);
+        let mut iv = init;
+        for tick in 0..REPLAY_PERIODS * h {
+            let want = schedule.is_active(v, tick % h);
+            if want && iv.lo() + 1e-9 < need {
+                return false; // some initial charge may refuse here
+            }
+            iv = interval_tick(need, refill, iv, want);
+        }
+    }
+    true
+}
+
+/// Bisects the minimal feasible initial charge θ (a fraction of the
+/// sensor's **own** capacity) for one sensor's row of a grid schedule —
+/// the heterogeneous analogue of [`feasible_region`]. Each sensor is
+/// bisected against its own drain/refill rates, so fleets mixing battery
+/// capacities get per-sensor thresholds rather than one global one.
+///
+/// # Panics
+///
+/// Panics if the schedule's universe or hyperperiod disagrees with the
+/// grid's.
+#[must_use]
+pub fn grid_feasible_region(
+    schedule: &GridSchedule,
+    grid: &FleetGrid,
+    sensor: usize,
+) -> FeasibleRegion {
+    assert_eq!(
+        schedule.n_sensors(),
+        grid.n_sensors(),
+        "schedule/grid universe mismatch"
+    );
+    assert_eq!(
+        schedule.hyperperiod(),
+        grid.hyperperiod(),
+        "schedule/grid hyperperiod mismatch"
+    );
+    if grid_sensor_replay_clean(schedule, grid, sensor, 0.0) {
+        return FeasibleRegion::All;
+    }
+    if !grid_sensor_replay_clean(schedule, grid, sensor, 1.0) {
+        return FeasibleRegion::None;
+    }
+    let (mut failing, mut clean) = (0.0_f64, 1.0_f64);
+    for _ in 0..BISECTION_STEPS {
+        let mid = failing + (clean - failing) / 2.0;
+        if mid <= failing || mid >= clean {
+            break; // interval narrower than one ulp
+        }
+        if grid_sensor_replay_clean(schedule, grid, sensor, mid) {
+            clean = mid;
+        } else {
+            failing = mid;
+        }
+    }
+    FeasibleRegion::Above {
+        theta: clean,
+        last_failing: failing,
+    }
+}
+
+/// Lints a heterogeneous grid schedule for energy feasibility over a range
+/// of initial charges, emitting [`CoolCode::AbstractEnergyInfeasible`] for
+/// each sensor whose provably-failing region intersects `init`. The
+/// audited interval is interpreted **per sensor**: a charge of `0.5` means
+/// half of *that sensor's* battery, whatever its capacity.
+///
+/// Structural errors (universe or hyperperiod mismatch) are the concrete
+/// [`crate::schedule::lint_grid_schedule`]'s job; this pass returns an
+/// empty report for structurally broken schedules.
+///
+/// # Panics
+///
+/// Panics if `init ⊄ [0, 1]`.
+#[must_use]
+pub fn lint_grid_schedule_abstract(
+    schedule: &GridSchedule,
+    grid: &FleetGrid,
+    init: Interval,
+) -> Report {
+    assert!(
+        Interval::UNIT.contains_interval(init),
+        "initial-charge interval {init} outside [0, 1]"
+    );
+    let mut report = Report::new();
+    if grid.n_sensors() != schedule.n_sensors() || grid.hyperperiod() != schedule.hyperperiod() {
+        return report;
+    }
+    if proves_grid_feasible_for_all(schedule, grid, init) {
+        return report; // ∀-proof: no sensor can fail anywhere in `init`
+    }
+    for v in 0..schedule.n_sensors() {
+        let failing_hi = match grid_feasible_region(schedule, grid, v) {
+            FeasibleRegion::All => continue,
+            FeasibleRegion::Above { last_failing, .. } => last_failing,
+            FeasibleRegion::None => 1.0,
+        };
+        if init.lo() > failing_hi {
+            continue;
+        }
+        let lo = init.lo();
+        let hi = failing_hi.min(init.hi());
+        report.push(
+            Diagnostic::new(
+                CoolCode::AbstractEnergyInfeasible,
+                format!(
+                    "sensor {v}'s schedule is energy-infeasible for every initial charge in \
+                     [{lo:.6}, {hi:.6}] of its own capacity"
+                ),
+            )
+            .with_help(
+                "deploy the sensor with a fuller battery, or move its active run later in its \
+                 period so passive ticks can bank the energy first",
+            ),
+        );
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cool_common::SensorSet;
     use cool_core::greedy::greedy_active_naive;
     use cool_core::schedule::ScheduleMode;
-    use cool_energy::NodeEnergyMachine;
+    use cool_energy::{Fleet, NodeEnergyMachine, SensorProfile};
     use cool_utility::DetectionUtility;
+    use proptest::prelude::*;
 
     #[test]
     fn point_interval_step_matches_concrete_transition() {
@@ -419,5 +613,187 @@ mod tests {
         let cycle = ChargeCycle::paper_sunny();
         let s = PeriodSchedule::new(ScheduleMode::ActiveSlot, 4, vec![0]);
         let _ = lint_schedule_abstract(&s, cycle, Interval::new(0.0, 1.5));
+    }
+
+    /// Two profiles differing only in battery capacity: 30 Wh → cycle
+    /// (15, 45), d = 1, r = 3, P = 4; 60 Wh → cycle (30, 90), d = 2,
+    /// r = 6, P = 8. Hyperperiod 8 ticks of 15 minutes.
+    fn two_capacity_grid() -> FleetGrid {
+        let profiles = vec![
+            SensorProfile::default(),
+            SensorProfile {
+                battery: 60.0,
+                ..SensorProfile::default()
+            },
+        ];
+        FleetGrid::build(&Fleet::new(profiles).unwrap()).unwrap()
+    }
+
+    /// Sensor 0 active at ticks {3, 7} (late in each of its periods);
+    /// sensor 1 active at ticks {0, 1} (its full run right at the start).
+    fn two_capacity_schedule() -> GridSchedule {
+        let active = (0..8)
+            .map(|t| {
+                let mut s = SensorSet::new(2);
+                if t % 4 == 3 {
+                    s.insert(SensorId(0));
+                }
+                if t < 2 {
+                    s.insert(SensorId(1));
+                }
+                s
+            })
+            .collect();
+        GridSchedule::new(active)
+    }
+
+    #[test]
+    fn grid_bisection_uses_each_sensors_own_capacity() {
+        // The E025 regression: the bisection must normalise initial-charge
+        // fractions against each sensor's OWN battery. Sensor 0 (30 Wh,
+        // active after three passive ticks) is clean even from empty;
+        // sensor 1 (60 Wh, active for its whole 2-tick run from tick 0)
+        // needs essentially a full battery of its own.
+        let grid = two_capacity_grid();
+        let schedule = two_capacity_schedule();
+        assert!(schedule.is_feasible(&grid), "feasible from full charge");
+        assert_eq!(
+            grid_feasible_region(&schedule, &grid, 0),
+            FeasibleRegion::All
+        );
+        let FeasibleRegion::Above {
+            theta,
+            last_failing,
+        } = grid_feasible_region(&schedule, &grid, 1)
+        else {
+            panic!("expected a threshold region for the 60 Wh sensor");
+        };
+        // Both run ticks drain need = 1/2 of its own capacity, so theta
+        // sits just below 1 — NOT at the 30 Wh sensor's threshold.
+        assert!(theta > 0.9 && theta <= 1.0, "theta = {theta}");
+        assert!(!grid_sensor_replay_clean(&schedule, &grid, 1, last_failing));
+        assert!(grid_sensor_replay_clean(&schedule, &grid, 1, theta));
+
+        // The lint names exactly the failing sensor, per-capacity.
+        let r = lint_grid_schedule_abstract(&schedule, &grid, Interval::UNIT);
+        assert!(r.has_code(CoolCode::AbstractEnergyInfeasible), "{r}");
+        let text = r.to_string();
+        assert!(text.contains("sensor 1"), "{text}");
+        assert!(!text.contains("sensor 0"), "{text}");
+        // From the deployment contract (every battery full) it is clean.
+        assert!(lint_grid_schedule_abstract(&schedule, &grid, Interval::point(1.0)).is_clean());
+        assert!(proves_grid_feasible_for_all(
+            &schedule,
+            &grid,
+            Interval::point(1.0)
+        ));
+        assert!(!proves_grid_feasible_for_all(
+            &schedule,
+            &grid,
+            Interval::UNIT
+        ));
+    }
+
+    #[test]
+    fn grid_abstract_lint_skips_structural_mismatches() {
+        let grid = two_capacity_grid();
+        let wrong_universe = GridSchedule::new(vec![SensorSet::new(3); 8]);
+        assert!(lint_grid_schedule_abstract(&wrong_universe, &grid, Interval::UNIT).is_clean());
+        let wrong_h = GridSchedule::new(vec![SensorSet::new(2); 5]);
+        assert!(lint_grid_schedule_abstract(&wrong_h, &grid, Interval::UNIT).is_clean());
+        assert!(!proves_grid_feasible_for_all(
+            &wrong_h,
+            &grid,
+            Interval::UNIT
+        ));
+    }
+
+    proptest! {
+        /// Interval-domain soundness of the rate-parameterised step:
+        /// stepping any concrete point of the interval with
+        /// [`cool_energy::tick_transition`] lands inside the stepped
+        /// interval, for arbitrary per-sensor drain/refill rates.
+        #[test]
+        fn interval_tick_is_a_sound_over_approximation(
+            d in 1usize..7,
+            r in 1usize..7,
+            lo in 0.0f64..=1.0,
+            width in 0.0f64..=1.0,
+            activate in any::<bool>(),
+        ) {
+            let need = 1.0 / d as f64;
+            let refill = 1.0 / r as f64;
+            let hi = (lo + width).min(1.0);
+            let iv = Interval::new(lo, hi);
+            let stepped = interval_tick(need, refill, iv, activate);
+            for k in 0..=64 {
+                let b = lo + (hi - lo) * f64::from(k) / 64.0;
+                let out = tick_transition(need, refill, b, activate, 0.0, 0.0);
+                prop_assert!(
+                    stepped.contains(out.fraction),
+                    "need={need} refill={refill} activate={activate} b={b}: {} not in {stepped}",
+                    out.fraction
+                );
+            }
+        }
+
+        /// Per-sensor abstract replay soundness: whenever
+        /// [`proves_grid_feasible_for_all`] says yes, every sampled
+        /// concrete initial charge replays clean; and every bisection
+        /// threshold is concretely witnessed on both sides.
+        #[test]
+        fn grid_abstract_replay_is_sound(
+            batteries in proptest::collection::vec(
+                proptest::sample::select(vec![30.0f64, 60.0, 45.0]), 1..4),
+            phase_seed in 0usize..64,
+            lo in 0.0f64..=1.0,
+            width in 0.0f64..=0.5,
+        ) {
+            let profiles: Vec<SensorProfile> = batteries
+                .iter()
+                .map(|&b| SensorProfile {
+                    battery: b,
+                    ..SensorProfile::default()
+                })
+                .collect();
+            let grid = FleetGrid::build(&Fleet::new(profiles).unwrap()).unwrap();
+            let h = grid.hyperperiod();
+            let n = grid.n_sensors();
+            // One active run per sensor at a pseudo-random phase.
+            let active = (0..h)
+                .map(|t| {
+                    let mut s = SensorSet::new(n);
+                    for v in 0..n {
+                        let p = grid.period_ticks(v);
+                        let d = grid.discharge_ticks(v);
+                        let phase = (phase_seed * (v + 1)) % p;
+                        if (t + p - phase) % p < d {
+                            s.insert(SensorId(v));
+                        }
+                    }
+                    s
+                })
+                .collect();
+            let schedule = GridSchedule::new(active);
+            let init = Interval::new(lo, (lo + width).min(1.0));
+            let proved = proves_grid_feasible_for_all(&schedule, &grid, init);
+            for k in 0..=16 {
+                let b = init.lo() + init.width() * f64::from(k) / 16.0;
+                let clean: bool = (0..n)
+                    .all(|v| grid_sensor_replay_clean(&schedule, &grid, v, b));
+                if proved {
+                    prop_assert!(clean, "proved ∀-feasible but {b} fails concretely");
+                }
+            }
+            for v in 0..n {
+                if let FeasibleRegion::Above { theta, last_failing } =
+                    grid_feasible_region(&schedule, &grid, v)
+                {
+                    prop_assert!(grid_sensor_replay_clean(&schedule, &grid, v, theta));
+                    prop_assert!(!grid_sensor_replay_clean(&schedule, &grid, v, last_failing));
+                    prop_assert!(last_failing < theta);
+                }
+            }
+        }
     }
 }

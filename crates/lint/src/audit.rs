@@ -16,20 +16,32 @@
 //!      ([`crate::dominance`], `COOL-W007`/`W008`);
 //!    * communication-graph connectivity
 //!      ([`crate::connectivity`], `COOL-W009`, opt-in via `comms_radius`).
+//! 3. on scenarios with per-sensor profile lists (`battery`, `mu_d`,
+//!    `mu_r`, `solar_eff`), the heterogeneous passes instead: the fleet
+//!    grid and heterogeneous greedy schedule are derived, replayed
+//!    concretely ([`crate::schedule::lint_grid_schedule`]) and abstractly
+//!    ([`crate::abstract_energy::lint_grid_schedule_abstract`]) with each
+//!    sensor's **own** drain/refill rates — the `--initial-charge`
+//!    interval is a fraction of each sensor's own capacity, never of one
+//!    global battery.
 //!
 //! Everything is deterministic: the same scenario text and options always
 //! produce the same report, byte for byte.
 
-use crate::abstract_energy::{lint_schedule_abstract, proves_feasible_for_all};
+use crate::abstract_energy::{
+    lint_grid_schedule_abstract, lint_schedule_abstract, proves_feasible_for_all,
+    proves_grid_feasible_for_all,
+};
 use crate::connectivity::lint_connectivity;
 use crate::diag::Report;
 use crate::dominance::{lint_dead_slots, lint_dominance};
 use crate::scenario::{self, ScenarioSpec};
-use crate::schedule::lint_schedule;
+use crate::schedule::{lint_grid_schedule, lint_schedule};
 use cool_common::{Interval, SeedSequence};
 use cool_core::greedy::{greedy_active_naive, greedy_passive_naive};
+use cool_core::hetero::hetero_greedy_naive;
 use cool_core::instances::geometric_multi_target;
-use cool_energy::ChargeCycle;
+use cool_energy::{ChargeCycle, FleetGrid};
 use cool_geometry::Rect;
 
 /// Audit configuration.
@@ -95,6 +107,9 @@ pub fn audit_scenario_path(path: &str, options: &AuditOptions) -> Result<AuditOu
 
 /// The instance-derived passes; returns the ∀-feasibility verdict.
 fn run_instance_passes(spec: &ScenarioSpec, options: &AuditOptions, report: &mut Report) -> bool {
+    if spec.has_profiles() {
+        return run_fleet_passes(spec, options, report);
+    }
     let Ok(cycle) = ChargeCycle::from_minutes(spec.discharge_minutes, spec.recharge_minutes) else {
         return false; // the field lint already reported the cycle error
     };
@@ -134,6 +149,44 @@ fn run_instance_passes(spec: &ScenarioSpec, options: &AuditOptions, report: &mut
         &schedule,
     ));
     proves_feasible_for_all(&schedule, cycle, Interval::UNIT)
+}
+
+/// The heterogeneous analogue of the instance passes: when the scenario
+/// sets per-sensor profile lists, the audit derives the fleet grid and the
+/// heterogeneous greedy schedule, replays it concretely and abstractly
+/// with each sensor's **own** drain/refill rates, and interprets the
+/// `--initial-charge` interval as a fraction of each sensor's own battery
+/// capacity (not one global capacity). Dead-slot and connectivity passes
+/// are slot-grid-shaped and do not apply here.
+fn run_fleet_passes(spec: &ScenarioSpec, options: &AuditOptions, report: &mut Report) -> bool {
+    let Ok(fleet) = spec.fleet() else {
+        return false; // the field lint already reported the profile error
+    };
+    let Ok(grid) = FleetGrid::build(&fleet) else {
+        return false; // non-commensurable or oversized: field lint owns it
+    };
+    let seeds = SeedSequence::new(spec.seed);
+    let mut rng = seeds.nth_rng(0);
+    let (utility, _positions, _targets) = geometric_multi_target(
+        Rect::square(spec.region),
+        spec.sensors,
+        spec.targets,
+        spec.radius,
+        spec.detection_p,
+        &mut rng,
+    );
+    let Ok(schedule) = hetero_greedy_naive(&utility, &grid) else {
+        return false; // non-finite utility gain: nothing sound to replay
+    };
+    let schedule = schedule.to_grid_schedule();
+    report.merge(lint_grid_schedule(&schedule, &grid));
+    report.merge(lint_grid_schedule_abstract(
+        &schedule,
+        &grid,
+        options.initial_charge,
+    ));
+    report.merge(lint_dominance(&utility));
+    proves_grid_feasible_for_all(&schedule, &grid, Interval::UNIT)
 }
 
 #[cfg(test)]
@@ -186,6 +239,60 @@ mod tests {
         let b = audit_scenario_text("sensors = 30\n", "s.txt", &AuditOptions::default());
         assert_eq!(a.report, b.report);
         assert_eq!(a.universally_feasible, b.universally_feasible);
+    }
+
+    #[test]
+    fn mixed_fleet_audit_normalises_charge_to_each_sensors_capacity() {
+        // Two profiles differing only in battery (30 Wh vs 60 Wh): the
+        // deployment contract audits clean, and widening the audited
+        // interval surfaces per-sensor COOL-E025 thresholds expressed as
+        // fractions of each sensor's OWN capacity. The greedy tie-break
+        // pins the first run at tick 0, so a cold start provably fails.
+        let text = "sensors = 2\nbattery = 30, 60\n";
+        let out = audit_scenario_text(text, "fleet.txt", &AuditOptions::default());
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert!(
+            !out.universally_feasible,
+            "a tick-0 run cannot be honoured from an empty battery"
+        );
+        let options = AuditOptions {
+            initial_charge: Interval::UNIT,
+        };
+        let cold = audit_scenario_text(text, "fleet.txt", &options);
+        assert!(
+            cold.report.has_code(CoolCode::AbstractEnergyInfeasible),
+            "{}",
+            cold.report
+        );
+        assert!(
+            cold.report.to_string().contains("of its own capacity"),
+            "{}",
+            cold.report
+        );
+    }
+
+    #[test]
+    fn mixed_fleet_audit_is_deterministic() {
+        let text = "sensors = 3\nbattery = 30, 60\nsolar_eff = 1, 1, 0.5\n";
+        let options = AuditOptions {
+            initial_charge: Interval::new(0.25, 1.0),
+        };
+        let a = audit_scenario_text(text, "fleet.txt", &options);
+        let b = audit_scenario_text(text, "fleet.txt", &options);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.universally_feasible, b.universally_feasible);
+    }
+
+    #[test]
+    fn broken_profile_list_skips_fleet_passes() {
+        let out = audit_scenario_text(
+            "sensors = 2\nbattery = 30, nope\n",
+            "bad.txt",
+            &AuditOptions::default(),
+        );
+        assert!(!out.report.is_clean());
+        assert!(!out.universally_feasible);
+        assert!(!out.report.has_code(CoolCode::AbstractEnergyInfeasible));
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub mod schedule;
 pub mod utility;
 
 pub use abstract_energy::{
-    feasible_region, interval_step, lint_schedule_abstract, proves_feasible_for_all,
-    sensor_replay_clean, FeasibleRegion,
+    feasible_region, grid_feasible_region, grid_sensor_replay_clean, interval_step, interval_tick,
+    lint_grid_schedule_abstract, lint_schedule_abstract, proves_feasible_for_all,
+    proves_grid_feasible_for_all, sensor_replay_clean, FeasibleRegion,
 };
 pub use audit::{audit_scenario_path, audit_scenario_text, AuditOptions, AuditOutcome};
 pub use connectivity::lint_connectivity;
@@ -53,7 +54,7 @@ pub use diag::{Diagnostic, Report, Severity};
 pub use dominance::{lint_dead_slots, lint_dominance};
 pub use sarif::to_sarif;
 pub use scenario::{lint_geometry, lint_scenario_path, lint_scenario_text, ScenarioSpec};
-pub use schedule::{lint_horizon, lint_schedule, lint_schedule_from};
+pub use schedule::{lint_grid_schedule, lint_horizon, lint_schedule, lint_schedule_from};
 pub use utility::{lint_universe, lint_utility};
 
 use cool_common::SeedSequence;

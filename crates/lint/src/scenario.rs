@@ -14,7 +14,7 @@ use crate::diag::{Diagnostic, Report};
 use crate::utility::{lint_universe, lint_utility};
 use cool_common::{CoolCode, SeedSequence};
 use cool_core::instances::geometric_multi_target;
-use cool_energy::{ChargeCycle, CycleError};
+use cool_energy::{ChargeCycle, CycleError, Fleet, FleetError, FleetGrid, SensorProfile};
 use cool_geometry::deployment::{disks_at, sensors_covering};
 use cool_geometry::{Point, Rect};
 use cool_utility::AnyUtility;
@@ -44,6 +44,16 @@ pub struct ScenarioSpec {
     pub comms_radius: f64,
     /// Root random seed.
     pub seed: u64,
+    /// Per-sensor battery capacities (comma list, cyclic). When any of the
+    /// four profile lists is non-empty the profiles define the energy
+    /// model and the homogeneous duration keys are ignored.
+    pub battery: Vec<f64>,
+    /// Per-sensor active draws in milliwatts (comma list, cyclic).
+    pub mu_d: Vec<f64>,
+    /// Per-sensor recharge powers in milliwatts (comma list, cyclic).
+    pub mu_r: Vec<f64>,
+    /// Per-sensor solar efficiencies in `(0, 1]` (comma list, cyclic).
+    pub solar_eff: Vec<f64>,
 }
 
 impl Default for ScenarioSpec {
@@ -59,6 +69,54 @@ impl Default for ScenarioSpec {
             radius: 100.0,
             comms_radius: 0.0,
             seed: 2011,
+            battery: Vec::new(),
+            mu_d: Vec::new(),
+            mu_r: Vec::new(),
+            solar_eff: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// `true` when any per-sensor profile list is set.
+    pub fn has_profiles(&self) -> bool {
+        !self.battery.is_empty()
+            || !self.mu_d.is_empty()
+            || !self.mu_r.is_empty()
+            || !self.solar_eff.is_empty()
+    }
+
+    /// The fleet the scenario describes: per-sensor profiles (cyclic
+    /// assignment, unset fields at their defaults) when any profile list
+    /// is set, else `sensors` copies of the homogeneous cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError`] for degenerate or non-decomposable profiles;
+    /// a [`CycleError`] is wrapped as `BadProfile` on the legacy path.
+    pub fn fleet(&self) -> Result<Fleet, FleetError> {
+        if self.has_profiles() {
+            let defaults = SensorProfile::default();
+            let pick = |values: &[f64], v: usize, default: f64| {
+                if values.is_empty() {
+                    default
+                } else {
+                    values[v % values.len()]
+                }
+            };
+            let profiles = (0..self.sensors)
+                .map(|v| SensorProfile {
+                    battery: pick(&self.battery, v, defaults.battery),
+                    mu_d: pick(&self.mu_d, v, defaults.mu_d),
+                    mu_r: pick(&self.mu_r, v, defaults.mu_r),
+                    solar_eff: pick(&self.solar_eff, v, defaults.solar_eff),
+                })
+                .collect();
+            Fleet::new(profiles)
+        } else {
+            let cycle = ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
+                .map_err(|source| FleetError::BadProfile { sensor: 0, source })?;
+            Fleet::uniform_from_cycle(self.sensors, cycle)
         }
     }
 }
@@ -75,9 +133,13 @@ pub(crate) struct FieldLines {
     region: Option<usize>,
     radius: Option<usize>,
     comms_radius: Option<usize>,
+    battery: Option<usize>,
+    mu_d: Option<usize>,
+    mu_r: Option<usize>,
+    solar_eff: Option<usize>,
 }
 
-const KNOWN_KEYS: [&str; 11] = [
+const KNOWN_KEYS: [&str; 15] = [
     "sensors",
     "targets",
     "detection_p",
@@ -89,15 +151,23 @@ const KNOWN_KEYS: [&str; 11] = [
     "comms_radius",
     "seed",
     "scheduler",
+    "battery",
+    "mu_d",
+    "mu_r",
+    "solar_eff",
 ];
 
-const SCHEDULERS: [&str; 6] = [
+const SCHEDULERS: [&str; 10] = [
     "greedy",
     "lazy",
     "round-robin",
     "round_robin",
     "random",
     "static",
+    "rsc",
+    "set-once",
+    "set_once",
+    "hef",
 ];
 
 /// Trials for the sampled utility-axiom conformance check.
@@ -188,6 +258,7 @@ pub(crate) fn parse_tolerant(text: &str, report: &mut Report) -> (ScenarioSpec, 
 
 /// Parses one field value into `spec`; returns `false` (after reporting)
 /// when the value does not parse at all.
+#[allow(clippy::too_many_lines)] // one flat match arm per scenario key
 fn apply_field(
     spec: &mut ScenarioSpec,
     lines: &mut FieldLines,
@@ -214,6 +285,31 @@ fn apply_field(
                 Err(_) => {
                     report.push(bad(key, value, $expected, lineno));
                     false
+                }
+            }
+        };
+    }
+    // Comma-separated per-sensor profile lists; an empty value clears the
+    // list (range checks come later in `check_fields`).
+    macro_rules! parse_list {
+        ($field:ident, $expected:expr) => {
+            if value.is_empty() {
+                spec.$field = Vec::new();
+                true
+            } else {
+                match value
+                    .split(',')
+                    .map(|item| item.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+                {
+                    Ok(v) => {
+                        spec.$field = v;
+                        true
+                    }
+                    Err(_) => {
+                        report.push(bad(key, value, $expected, lineno));
+                        false
+                    }
                 }
             }
         };
@@ -267,11 +363,30 @@ fn apply_field(
                 report.push(bad(
                     key,
                     value,
-                    "greedy | lazy | round-robin | random | static",
+                    "greedy | lazy | round-robin | random | static | rsc | set-once | hef",
                     lineno,
                 ));
                 false
             }
+        }
+        "battery" => {
+            lines.battery = Some(lineno);
+            parse_list!(battery, "a comma-separated list of watt-hours > 0")
+        }
+        "mu_d" => {
+            lines.mu_d = Some(lineno);
+            parse_list!(mu_d, "a comma-separated list of milliwatts > 0")
+        }
+        "mu_r" => {
+            lines.mu_r = Some(lineno);
+            parse_list!(mu_r, "a comma-separated list of milliwatts > 0")
+        }
+        "solar_eff" => {
+            lines.solar_eff = Some(lineno);
+            parse_list!(
+                solar_eff,
+                "a comma-separated list of efficiencies in (0, 1]"
+            )
         }
         _ => unreachable!("caller filtered to KNOWN_KEYS"),
     }
@@ -339,7 +454,90 @@ fn check_fields(spec: &ScenarioSpec, lines: FieldLines, report: &mut Report) {
             report.push(d);
         }
     }
-    if durations_ok {
+    // Per-sensor profiles: range-check each list, then the per-sensor slot
+    // algebra and the LCM grid (profiles override the duration keys).
+    if spec.has_profiles() {
+        let mut profiles_ok = spec.sensors > 0;
+        for (label, values, line, max) in [
+            ("battery", &spec.battery, lines.battery, f64::INFINITY),
+            ("mu_d", &spec.mu_d, lines.mu_d, f64::INFINITY),
+            ("mu_r", &spec.mu_r, lines.mu_r, f64::INFINITY),
+            ("solar_eff", &spec.solar_eff, lines.solar_eff, 1.0),
+        ] {
+            for (i, &x) in values.iter().enumerate() {
+                if !x.is_finite() || x <= 0.0 || x > max {
+                    profiles_ok = false;
+                    let bound = if max.is_finite() {
+                        " and at most 1"
+                    } else {
+                        ""
+                    };
+                    let mut d = Diagnostic::new(
+                        CoolCode::ScenarioFieldInvalid,
+                        format!("{label}[{i}] = {x} must be positive and finite{bound}"),
+                    );
+                    if let Some(line) = line {
+                        d = d.with_line(line);
+                    }
+                    report.push(d);
+                }
+            }
+        }
+        if profiles_ok && durations_ok {
+            let profile_line = lines
+                .battery
+                .or(lines.mu_d)
+                .or(lines.mu_r)
+                .or(lines.solar_eff);
+            match spec.fleet().and_then(|fleet| FleetGrid::build(&fleet)) {
+                Ok(grid) => {
+                    let hyper_minutes = grid.ticks_to_minutes(grid.hyperperiod());
+                    if spec.hours * 60.0 < hyper_minutes {
+                        let mut d = Diagnostic::new(
+                            CoolCode::DegenerateHorizon,
+                            format!(
+                                "working time of {} h is shorter than one fleet hyperperiod \
+                                 ({hyper_minutes} min)",
+                                spec.hours
+                            ),
+                        )
+                        .with_help("extend `hours` to cover at least one full hyperperiod");
+                        if let Some(line) = lines.hours {
+                            d = d.with_line(line);
+                        }
+                        report.push(d);
+                    }
+                }
+                Err(FleetError::BadProfile {
+                    sensor,
+                    source: CycleError::NonIntegralRatio,
+                }) => {
+                    let mut d = Diagnostic::new(
+                        CoolCode::NonIntegralRho,
+                        format!(
+                            "sensor {sensor}'s profile gives a non-slot-decomposable \
+                             rho_v (neither rho_v nor 1/rho_v is an integer)"
+                        ),
+                    )
+                    .with_help(
+                        "pick mu_d, mu_r and solar_eff so mu_d/(mu_r*solar_eff) \
+                                or its reciprocal is integral",
+                    );
+                    if let Some(line) = profile_line {
+                        d = d.with_line(line);
+                    }
+                    report.push(d);
+                }
+                Err(err) => {
+                    let mut d = Diagnostic::new(CoolCode::ScenarioFieldInvalid, err.to_string());
+                    if let Some(line) = profile_line {
+                        d = d.with_line(line);
+                    }
+                    report.push(d);
+                }
+            }
+        }
+    } else if durations_ok {
         match ChargeCycle::from_minutes(spec.discharge_minutes, spec.recharge_minutes) {
             Ok(cycle) => {
                 if cycle.periods_in_hours(spec.hours) == 0 {
@@ -672,6 +870,56 @@ mod tests {
     fn bad_scheduler_is_e007() {
         let r = lint("scheduler = quantum\n");
         assert!(r.has_code(CoolCode::ScenarioFieldInvalid));
+    }
+
+    #[test]
+    fn profile_lists_lint_clean() {
+        let r = lint("battery = 30,60\nmu_d = 120\nmu_r = 40\nsolar_eff = 1,0.5\n");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn grid_schedulers_are_known() {
+        for s in ["rsc", "set-once", "hef"] {
+            let r = lint(&format!("scheduler = {s}\n"));
+            assert!(r.is_clean(), "{s}: {r}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_profile_entry_is_e007() {
+        let r = lint("solar_eff = 1.5\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid), "{r}");
+        let r = lint("battery = 30,-2\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid), "{r}");
+        let r = lint("mu_d = 120,abc\n");
+        assert!(r.has_code(CoolCode::ScenarioFieldInvalid), "{r}");
+    }
+
+    #[test]
+    fn non_decomposable_profile_is_e012() {
+        // mu_d/mu_r = 120/50 = 2.4: neither integral nor reciprocal.
+        let r = lint("mu_r = 50\n");
+        assert!(r.has_code(CoolCode::NonIntegralRho), "{r}");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn mixed_fleet_horizon_checks_the_hyperperiod() {
+        // Batteries 30 and 60 Wh: hyperperiod 8 ticks of 15 min = 2 h.
+        let r = lint("battery = 30,60\nhours = 1\n");
+        assert!(r.has_code(CoolCode::DegenerateHorizon), "{r}");
+        let r = lint("battery = 30,60\nhours = 2\n");
+        assert!(!r.has_code(CoolCode::DegenerateHorizon), "{r}");
+    }
+
+    #[test]
+    fn profiles_override_duration_keys() {
+        // Non-integral legacy ratio must NOT be flagged when profiles
+        // define the energy model.
+        let r = lint("discharge_minutes = 15\nrecharge_minutes = 40\nbattery = 30\n");
+        assert!(!r.has_code(CoolCode::NonIntegralRho), "{r}");
+        assert!(r.is_clean(), "{r}");
     }
 
     #[test]

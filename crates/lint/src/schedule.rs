@@ -14,7 +14,8 @@ use crate::diag::{Diagnostic, Report};
 use cool_common::{CoolCode, SensorId};
 use cool_core::horizon::HorizonSchedule;
 use cool_core::schedule::{PeriodSchedule, ScheduleMode};
-use cool_energy::{ChargeCycle, NodeEnergyMachine};
+use cool_core::GridSchedule;
+use cool_energy::{tick_transition, ChargeCycle, FleetGrid, NodeEnergyMachine};
 
 /// Lints `schedule` against `cycle`. A clean report implies
 /// `schedule.is_feasible(cycle)`.
@@ -233,11 +234,114 @@ pub fn lint_horizon(schedule: &HorizonSchedule, cycles: &[ChargeCycle]) -> Repor
     report
 }
 
+/// Lints a heterogeneous [`GridSchedule`] against its [`FleetGrid`]: the
+/// universe and hyperperiod must line up
+/// ([`CoolCode::UniverseMismatch`] / [`CoolCode::InfeasiblePeriodStructure`]),
+/// each sensor's activation count per aligned `P_v`-tick period window must
+/// fit its duty budget `d_v` ([`CoolCode::ActivationBudgetExceeded`]), and a
+/// cyclic two-hyperperiod replay of every sensor's battery automaton with
+/// its **own** per-tick rates must honour every activation
+/// ([`CoolCode::EnergyInfeasibleSchedule`]). A clean report implies
+/// `schedule.is_feasible(grid)`.
+pub fn lint_grid_schedule(schedule: &GridSchedule, grid: &FleetGrid) -> Report {
+    let mut report = Report::new();
+    if schedule.n_sensors() != grid.n_sensors() {
+        report.push(
+            Diagnostic::new(
+                CoolCode::UniverseMismatch,
+                format!(
+                    "schedule covers {} sensors but the fleet grid has {}",
+                    schedule.n_sensors(),
+                    grid.n_sensors()
+                ),
+            )
+            .with_help("build the schedule against the same fleet it is audited with"),
+        );
+        return report;
+    }
+    let h = schedule.hyperperiod();
+    if h != grid.hyperperiod() {
+        report.push(
+            Diagnostic::new(
+                CoolCode::InfeasiblePeriodStructure,
+                format!(
+                    "schedule spans {h} ticks but the fleet's hyperperiod is {} ticks",
+                    grid.hyperperiod()
+                ),
+            )
+            .with_help("a fleet schedule covers exactly one LCM hyperperiod of all sensor periods"),
+        );
+        return report;
+    }
+
+    // Per-sensor duty budget over each aligned period window: H is an exact
+    // multiple of every P_v, so the windows tile the hyperperiod.
+    for v in 0..grid.n_sensors() {
+        let p = grid.period_ticks(v);
+        let budget = grid.discharge_ticks(v);
+        for window in 0..h / p {
+            let start = window * p;
+            let active = (start..start + p)
+                .filter(|&t| schedule.is_active(v, t))
+                .count();
+            if active > budget {
+                report.push(
+                    Diagnostic::new(
+                        CoolCode::ActivationBudgetExceeded,
+                        format!(
+                            "sensor {v} is active {active} ticks in window {start}..{}, but its \
+                             profile sustains at most {budget} per {p}-tick period",
+                            start + p
+                        ),
+                    )
+                    .with_help("its battery drains in d_v ticks and needs r_v ticks to refill"),
+                );
+                break;
+            }
+        }
+    }
+    if !report.is_clean() {
+        return report;
+    }
+
+    // Cyclic two-hyperperiod energy replay, sensor by sensor, each with the
+    // drain/refill rates of its own profile.
+    for v in 0..grid.n_sensors() {
+        let need = grid.need_per_tick(v);
+        let refill = grid.refill_per_tick(v);
+        let mut fraction = 1.0;
+        for tick in 0..2 * h {
+            let want = schedule.is_active(v, tick % h);
+            let out = tick_transition(need, refill, fraction, want, 0.0, 0.0);
+            if want && !out.active {
+                report.push(
+                    Diagnostic::new(
+                        CoolCode::EnergyInfeasibleSchedule,
+                        format!(
+                            "sensor {v} is scheduled active at tick {} of hyperperiod {} but \
+                             its battery is depleted there",
+                            tick % h,
+                            tick / h
+                        ),
+                    )
+                    .with_help("the activation pattern demands energy the profile never banks"),
+                );
+                break;
+            }
+            fraction = out.fraction;
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cool_common::SensorSet;
     use cool_core::greedy::greedy_active_naive;
+    use cool_core::hetero::hetero_greedy_naive;
     use cool_core::horizon::greedy_horizon;
+    use cool_energy::{Fleet, SensorProfile};
     use cool_utility::DetectionUtility;
 
     #[test]
@@ -348,5 +452,75 @@ mod tests {
         let schedule = HorizonSchedule::empty(3, 4);
         let r = lint_horizon(&schedule, &cycles);
         assert!(r.has_code(CoolCode::UniverseMismatch), "{r}");
+    }
+
+    /// 30 Wh and 60 Wh profiles: periods 4 and 8 ticks, hyperperiod 8.
+    fn two_capacity_grid() -> FleetGrid {
+        let profiles = vec![
+            SensorProfile::default(),
+            SensorProfile {
+                battery: 60.0,
+                ..SensorProfile::default()
+            },
+        ];
+        FleetGrid::build(&Fleet::new(profiles).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn hetero_greedy_grid_schedule_is_clean() {
+        let grid = two_capacity_grid();
+        let u = DetectionUtility::uniform(2, 0.4);
+        let schedule = hetero_greedy_naive(&u, &grid).unwrap().to_grid_schedule();
+        let r = lint_grid_schedule(&schedule, &grid);
+        assert!(r.is_clean(), "{r}");
+        assert!(schedule.is_feasible(&grid), "clean report implies feasible");
+    }
+
+    #[test]
+    fn grid_universe_mismatch_is_e016() {
+        let grid = two_capacity_grid();
+        let schedule = GridSchedule::new(vec![SensorSet::new(3); 8]);
+        let r = lint_grid_schedule(&schedule, &grid);
+        assert!(r.has_code(CoolCode::UniverseMismatch), "{r}");
+    }
+
+    #[test]
+    fn grid_hyperperiod_mismatch_is_e001() {
+        let grid = two_capacity_grid();
+        let schedule = GridSchedule::new(vec![SensorSet::new(2); 5]);
+        let r = lint_grid_schedule(&schedule, &grid);
+        assert!(r.has_code(CoolCode::InfeasiblePeriodStructure), "{r}");
+    }
+
+    #[test]
+    fn grid_over_budget_is_e003() {
+        // Sensor 0 (d = 1, P = 4) always on: 4 active ticks in a window
+        // that sustains 1.
+        let grid = two_capacity_grid();
+        let schedule = GridSchedule::new(vec![SensorSet::from_indices(2, [0]); 8]);
+        let r = lint_grid_schedule(&schedule, &grid);
+        assert!(r.has_code(CoolCode::ActivationBudgetExceeded), "{r}");
+        assert!(!schedule.is_feasible(&grid), "lint agrees with is_feasible");
+    }
+
+    #[test]
+    fn grid_cross_period_deficit_is_e004() {
+        // One activation per aligned window for sensor 0, but at ticks 3
+        // and 4 — only one refill tick apart, when it needs three.
+        let grid = two_capacity_grid();
+        let active = (0..8)
+            .map(|t| {
+                if t == 3 || t == 4 {
+                    SensorSet::from_indices(2, [0])
+                } else {
+                    SensorSet::new(2)
+                }
+            })
+            .collect();
+        let schedule = GridSchedule::new(active);
+        let r = lint_grid_schedule(&schedule, &grid);
+        assert!(r.has_code(CoolCode::EnergyInfeasibleSchedule), "{r}");
+        assert!(r.to_string().contains("sensor 0"), "{r}");
+        assert!(!schedule.is_feasible(&grid), "lint agrees with is_feasible");
     }
 }

@@ -25,13 +25,17 @@
 //! ```
 
 use cool_common::{SeedSequence, Table};
-use cool_core::baselines::{random_schedule, round_robin_schedule, static_schedule};
-use cool_core::bounds::single_target_upper_bound_with_budget;
+use cool_core::baselines::{
+    hef_schedule, random_schedule, round_robin_schedule, rsc_schedule, set_once_schedule,
+    static_schedule,
+};
+use cool_core::bounds::{grid_duty_upper_bound, single_target_upper_bound_with_budget};
 use cool_core::greedy::{greedy_schedule, greedy_schedule_lazy};
+use cool_core::hetero::{hetero_greedy_lazy, hetero_greedy_naive, GridSchedule};
 use cool_core::instances::geometric_multi_target;
 use cool_core::problem::Problem;
 use cool_core::schedule::PeriodSchedule;
-use cool_energy::ChargeCycle;
+use cool_energy::{ChargeCycle, Fleet, FleetGrid, SensorProfile};
 use cool_geometry::Rect;
 use cool_utility::{AnyUtility, SumUtility};
 use std::fmt;
@@ -51,6 +55,24 @@ pub enum SchedulerKind {
     Random,
     /// Everyone-in-slot-0 baseline.
     Static,
+    /// Restricted Strip Covering baseline (grid path).
+    Rsc,
+    /// Set-Once Strip Cover baseline (grid path).
+    SetOnce,
+    /// High-Energy-First baseline (grid path).
+    Hef,
+}
+
+impl SchedulerKind {
+    /// `true` for the schedulers that run on the heterogeneous LCM tick
+    /// grid ([`Scenario::run_fleet`]) rather than the homogeneous
+    /// period-schedule path.
+    pub fn is_grid_scheduler(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::Rsc | SchedulerKind::SetOnce | SchedulerKind::Hef
+        )
+    }
 }
 
 impl FromStr for SchedulerKind {
@@ -63,10 +85,14 @@ impl FromStr for SchedulerKind {
             "round-robin" | "round_robin" => Ok(SchedulerKind::RoundRobin),
             "random" => Ok(SchedulerKind::Random),
             "static" => Ok(SchedulerKind::Static),
+            "rsc" => Ok(SchedulerKind::Rsc),
+            "set-once" | "set_once" => Ok(SchedulerKind::SetOnce),
+            "hef" => Ok(SchedulerKind::Hef),
             other => Err(ScenarioError::BadValue {
                 key: "scheduler".into(),
                 value: other.into(),
-                expected: "greedy | lazy | round-robin | random | static".into(),
+                expected: "greedy | lazy | round-robin | random | static | rsc | set-once | hef"
+                    .into(),
             }),
         }
     }
@@ -80,6 +106,9 @@ impl fmt::Display for SchedulerKind {
             SchedulerKind::RoundRobin => "round-robin",
             SchedulerKind::Random => "random",
             SchedulerKind::Static => "static",
+            SchedulerKind::Rsc => "rsc",
+            SchedulerKind::SetOnce => "set-once",
+            SchedulerKind::Hef => "hef",
         };
         f.write_str(s)
     }
@@ -131,6 +160,39 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
+/// Parses a comma-separated list of positive finite numbers (each `≤ max`).
+/// An empty value clears the list back to "unset".
+fn list(key: &str, value: &str, expected: &str, max: f64) -> Result<Vec<f64>, ScenarioError> {
+    if value.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let bad = || ScenarioError::BadValue {
+        key: key.into(),
+        value: value.into(),
+        expected: format!("a comma-separated list of {expected}"),
+    };
+    value
+        .split(',')
+        .map(|item| {
+            let x: f64 = item.trim().parse().map_err(|_| bad())?;
+            if !x.is_finite() || x <= 0.0 || x > max {
+                return Err(bad());
+            }
+            Ok(x)
+        })
+        .collect()
+}
+
+/// Renders a profile list for [`Scenario::canonical`]: comma-joined, empty
+/// when unset.
+fn render_list(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// A declarative scheduling run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -157,6 +219,18 @@ pub struct Scenario {
     pub seed: u64,
     /// Scheduler to run.
     pub scheduler: SchedulerKind,
+    /// Per-sensor battery capacities in watt-hours (comma list, assigned
+    /// cyclically: sensor `v` gets `battery[v mod len]`). Empty = the
+    /// default capacity. When ANY of the four profile lists is non-empty,
+    /// the profiles define the energy model and `discharge_minutes` /
+    /// `recharge_minutes` are ignored.
+    pub battery: Vec<f64>,
+    /// Per-sensor active power draws in milliwatts (comma list, cyclic).
+    pub mu_d: Vec<f64>,
+    /// Per-sensor recharge powers in milliwatts (comma list, cyclic).
+    pub mu_r: Vec<f64>,
+    /// Per-sensor solar efficiencies in `(0, 1]` (comma list, cyclic).
+    pub solar_eff: Vec<f64>,
 }
 
 impl Default for Scenario {
@@ -175,6 +249,10 @@ impl Default for Scenario {
             comms_radius: 0.0,
             seed: 2011,
             scheduler: SchedulerKind::Greedy,
+            battery: Vec::new(),
+            mu_d: Vec::new(),
+            mu_r: Vec::new(),
+            solar_eff: Vec::new(),
         }
     }
 }
@@ -189,6 +267,71 @@ pub struct BuiltScenario {
     pub cycle: ChargeCycle,
     /// Whole charging periods in the working time (at least 1).
     pub periods: usize,
+}
+
+/// A scenario materialised onto the heterogeneous LCM tick grid.
+#[derive(Clone, Debug)]
+pub struct BuiltFleetScenario {
+    /// The geometric utility instance.
+    pub utility: SumUtility,
+    /// The per-sensor energy profiles and cycles.
+    pub fleet: Fleet,
+    /// The LCM tick grid.
+    pub grid: FleetGrid,
+    /// Whole hyperperiods in the working time (at least 1).
+    pub hyperperiods: usize,
+}
+
+/// The result of running a [`Scenario`] on the fleet grid
+/// ([`Scenario::run_fleet`]).
+#[derive(Clone, Debug)]
+pub struct FleetScenarioOutcome {
+    /// The scenario that produced this outcome.
+    pub scenario: Scenario,
+    /// The LCM tick grid the schedule lives on.
+    pub grid: FleetGrid,
+    /// The produced (feasible) per-tick schedule.
+    pub schedule: GridSchedule,
+    /// Average utility per target per tick.
+    pub average: f64,
+    /// The duty-cycle upper bound, averaged the same way.
+    pub bound: f64,
+}
+
+impl fmt::Display for FleetScenarioOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario: {} sensors, {} targets, p = {}, {} scheduler (fleet grid)",
+            self.scenario.sensors,
+            self.scenario.targets,
+            self.scenario.detection_p,
+            self.scenario.scheduler
+        )?;
+        writeln!(f, "grid:     {}", self.grid)?;
+        writeln!(f)?;
+        let mut table = Table::new(["metric", "value"]);
+        table.row([
+            "avg utility / target / tick",
+            &format!("{:.6}", self.average),
+        ]);
+        table.row(["duty-cycle upper bound", &format!("{:.6}", self.bound)]);
+        table.row([
+            "fraction of bound",
+            &format!("{:.2}%", self.average / self.bound * 100.0),
+        ]);
+        write!(f, "{table}")?;
+        writeln!(f)?;
+        writeln!(f, "per-tick active counts (one hyperperiod):")?;
+        for t in 0..self.grid.hyperperiod() {
+            writeln!(
+                f,
+                "  t{t}: {:>4} sensors",
+                self.schedule.active_set(t).len()
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl Scenario {
@@ -277,9 +420,23 @@ impl Scenario {
             }
             "seed" => self.seed = num(key, value, "an unsigned integer")?,
             "scheduler" => self.scheduler = value.parse()?,
+            "battery" => self.battery = list(key, value, "watt-hours > 0", f64::INFINITY)?,
+            "mu_d" => self.mu_d = list(key, value, "milliwatts > 0", f64::INFINITY)?,
+            "mu_r" => self.mu_r = list(key, value, "milliwatts > 0", f64::INFINITY)?,
+            "solar_eff" => self.solar_eff = list(key, value, "efficiencies in (0, 1]", 1.0)?,
             other => return Err(ScenarioError::UnknownKey { key: other.into() }),
         }
         Ok(())
+    }
+
+    /// `true` when any per-sensor profile list is set — the scenario then
+    /// describes a (possibly heterogeneous) fleet and the profile fields,
+    /// not `discharge_minutes`/`recharge_minutes`, define the energy model.
+    pub fn has_profiles(&self) -> bool {
+        !self.battery.is_empty()
+            || !self.mu_d.is_empty()
+            || !self.mu_r.is_empty()
+            || !self.solar_eff.is_empty()
     }
 
     /// A template scenario file with the defaults spelled out.
@@ -297,7 +454,15 @@ impl Scenario {
              radius             = {}\n\
              comms_radius       = {}   # 0 disables the connectivity lint\n\
              seed               = {}\n\
-             scheduler          = {}   # greedy | lazy | round-robin | random | static\n",
+             scheduler          = {}   # greedy | lazy | round-robin | random | static | rsc | set-once | hef\n\
+             # Heterogeneous fleets: uncomment any of the four per-sensor\n\
+             # profile lists (comma-separated, assigned cyclically). When\n\
+             # any is set, the profiles define the energy model and the\n\
+             # discharge/recharge keys above are ignored.\n\
+             # battery          = 30,60       # watt-hours\n\
+             # mu_d             = 120         # active draw, mW\n\
+             # mu_r             = 40          # recharge power, mW\n\
+             # solar_eff        = 1,0.5       # panel derating in (0, 1]\n",
             d.sensors,
             d.targets,
             d.detection_p,
@@ -321,7 +486,7 @@ impl Scenario {
         format!(
             "sensors={}\ntargets={}\ndetection_p={}\ndischarge_minutes={}\n\
              recharge_minutes={}\nhours={}\nregion={}\nradius={}\ncomms_radius={}\nseed={}\n\
-             scheduler={}\n",
+             scheduler={}\nbattery={}\nmu_d={}\nmu_r={}\nsolar_eff={}\n",
             self.sensors,
             self.targets,
             self.detection_p,
@@ -332,7 +497,11 @@ impl Scenario {
             self.radius,
             self.comms_radius,
             self.seed,
-            self.scheduler
+            self.scheduler,
+            render_list(&self.battery),
+            render_list(&self.mu_d),
+            render_list(&self.mu_r),
+            render_list(&self.solar_eff),
         )
     }
 
@@ -345,10 +514,30 @@ impl Scenario {
     /// Returns a rendered error string for invalid cycle parameters (e.g. a
     /// non-integral ρ) or degenerate horizons.
     pub fn build(&self) -> Result<BuiltScenario, String> {
-        let cycle = ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
-            .map_err(|e| e.to_string())?;
+        let cycle = if self.has_profiles() {
+            let fleet = self.fleet()?;
+            fleet.uniform_cycle().ok_or_else(|| {
+                "scenario defines a mixed fleet; homogeneous consumers cannot run it — \
+                 use build_fleet()/run_fleet() (CLI: cool run with scheduler = greedy | \
+                 lazy | rsc | set-once | hef)"
+                    .to_string()
+            })?
+        } else {
+            ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
+                .map_err(|e| e.to_string())?
+        };
         let periods = cycle.periods_in_hours(self.hours).max(1);
 
+        let problem = Problem::new(self.utility(), cycle, periods).map_err(|e| e.to_string())?;
+        Ok(BuiltScenario {
+            problem,
+            cycle,
+            periods,
+        })
+    }
+
+    /// The scenario's geometric utility instance (deterministic in `seed`).
+    fn utility(&self) -> SumUtility {
         let seeds = SeedSequence::new(self.seed);
         let mut rng = seeds.nth_rng(0);
         let (utility, _positions, _targets) = geometric_multi_target(
@@ -359,11 +548,110 @@ impl Scenario {
             self.detection_p,
             &mut rng,
         );
-        let problem = Problem::new(utility, cycle, periods).map_err(|e| e.to_string())?;
-        Ok(BuiltScenario {
-            problem,
-            cycle,
-            periods,
+        utility
+    }
+
+    /// The scenario's fleet: per-sensor profiles when any profile list is
+    /// set (values assigned cyclically, unset fields at their defaults),
+    /// otherwise `sensors` copies of the homogeneous cycle stored verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error string for degenerate profiles or cycles.
+    pub fn fleet(&self) -> Result<Fleet, String> {
+        if self.has_profiles() {
+            let defaults = SensorProfile::default();
+            let pick = |values: &[f64], v: usize, default: f64| {
+                if values.is_empty() {
+                    default
+                } else {
+                    values[v % values.len()]
+                }
+            };
+            let profiles = (0..self.sensors)
+                .map(|v| SensorProfile {
+                    battery: pick(&self.battery, v, defaults.battery),
+                    mu_d: pick(&self.mu_d, v, defaults.mu_d),
+                    mu_r: pick(&self.mu_r, v, defaults.mu_r),
+                    solar_eff: pick(&self.solar_eff, v, defaults.solar_eff),
+                })
+                .collect();
+            Fleet::new(profiles).map_err(|e| e.to_string())
+        } else {
+            let cycle = ChargeCycle::from_minutes(self.discharge_minutes, self.recharge_minutes)
+                .map_err(|e| e.to_string())?;
+            Fleet::uniform_from_cycle(self.sensors, cycle).map_err(|e| e.to_string())
+        }
+    }
+
+    /// Materialises the scenario onto the heterogeneous LCM tick grid —
+    /// the entry point for mixed fleets and the grid schedulers
+    /// (`rsc`/`set-once`/`hef`), which work on homogeneous scenarios too.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::fleet`], plus grid-construction failures
+    /// (non-commensurable durations, hyperperiod over the cap).
+    pub fn build_fleet(&self) -> Result<BuiltFleetScenario, String> {
+        let fleet = self.fleet()?;
+        let grid = FleetGrid::build(&fleet).map_err(|e| e.to_string())?;
+        let hyperperiod_minutes = grid.ticks_to_minutes(grid.hyperperiod());
+        let hyperperiods = ((self.hours * 60.0 / hyperperiod_minutes).floor() as usize).max(1);
+        Ok(BuiltFleetScenario {
+            utility: self.utility(),
+            fleet,
+            grid,
+            hyperperiods,
+        })
+    }
+
+    /// Executes the scenario on the LCM tick grid with its own scheduler
+    /// selection — the heterogeneous counterpart of [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::build_fleet`]; also rejects the homogeneous-only
+    /// baselines (`round-robin`/`random`/`static`) and infeasible output.
+    pub fn run_fleet(&self) -> Result<FleetScenarioOutcome, String> {
+        let built = self.build_fleet()?;
+        let BuiltFleetScenario {
+            utility,
+            fleet,
+            grid,
+            ..
+        } = &built;
+        let schedule: GridSchedule = match self.scheduler {
+            SchedulerKind::Greedy => hetero_greedy_naive(utility, grid)
+                .map_err(|e| e.to_string())?
+                .to_grid_schedule(),
+            SchedulerKind::Lazy => hetero_greedy_lazy(utility, grid)
+                .map_err(|e| e.to_string())?
+                .to_grid_schedule(),
+            SchedulerKind::Rsc => rsc_schedule(utility, grid).map_err(|e| e.to_string())?,
+            SchedulerKind::SetOnce => set_once_schedule(grid),
+            SchedulerKind::Hef => hef_schedule(utility, fleet, grid)
+                .map_err(|e| e.to_string())?
+                .to_grid_schedule(),
+            other => {
+                return Err(format!(
+                    "scheduler `{other}` does not support fleet scheduling; \
+                     use greedy | lazy | rsc | set-once | hef"
+                ))
+            }
+        };
+        if !schedule.is_feasible(grid) {
+            return Err("scheduler produced an energy-infeasible fleet schedule".into());
+        }
+        let h = grid.hyperperiod() as f64;
+        let m = utility.n_targets() as f64;
+        let average = schedule.hyperperiod_utility(utility) / (h * m);
+        let bound = grid_duty_upper_bound(utility, grid) / (h * m);
+        Ok(FleetScenarioOutcome {
+            scenario: self.clone(),
+            grid: grid.clone(),
+            schedule,
+            average,
+            bound,
         })
     }
 
@@ -384,6 +672,12 @@ impl Scenario {
             SchedulerKind::RoundRobin => round_robin_schedule(problem),
             SchedulerKind::Random => random_schedule(problem, &mut seeds.nth_rng(1)),
             SchedulerKind::Static => static_schedule(problem),
+            grid @ (SchedulerKind::Rsc | SchedulerKind::SetOnce | SchedulerKind::Hef) => {
+                return Err(format!(
+                    "scheduler `{grid}` runs on the fleet grid; use run_fleet() \
+                     (CLI: cool run dispatches it automatically)"
+                ))
+            }
         };
         if !schedule.is_feasible(*cycle) {
             return Err("scheduler produced an infeasible schedule".into());
@@ -602,6 +896,10 @@ mod tests {
             "comms_radius",
             "seed",
             "scheduler",
+            "battery",
+            "mu_d",
+            "mu_r",
+            "solar_eff",
         ] {
             assert!(a.canonical().contains(&format!("{key}=")), "{key} missing");
         }
@@ -612,6 +910,99 @@ mod tests {
         let s = Scenario::parse("comms_radius = 150\n").unwrap();
         assert_eq!(s.comms_radius, 150.0);
         assert!(Scenario::parse("comms_radius = -1\n").is_err());
+    }
+
+    #[test]
+    fn profile_lists_parse_and_canonicalise() {
+        let s = Scenario::parse("battery = 30, 60\nsolar_eff = 0.5\n").unwrap();
+        assert_eq!(s.battery, vec![30.0, 60.0]);
+        assert_eq!(s.solar_eff, vec![0.5]);
+        assert!(s.has_profiles());
+        assert!(s.canonical().contains("battery=30,60\n"));
+        assert!(s.canonical().contains("solar_eff=0.5\n"));
+        // Empty value clears a list back to unset.
+        let mut s = s;
+        s.set("battery", "").unwrap();
+        s.set("solar_eff", "").unwrap();
+        assert!(!s.has_profiles());
+        assert!(s.canonical().contains("battery=\n"));
+        // Bad entries are rejected.
+        assert!(Scenario::parse("battery = 30,zero\n").is_err());
+        assert!(Scenario::parse("mu_d = -5\n").is_err());
+        assert!(Scenario::parse("solar_eff = 1.5\n").is_err());
+    }
+
+    #[test]
+    fn uniform_profiles_take_the_homogeneous_path() {
+        // battery=60 at default currents: T_d = 30, T_r = 90 — same ρ = 3,
+        // longer period. build() must accept it and derive the cycle from
+        // the profiles, ignoring discharge/recharge_minutes.
+        let mut s = Scenario::default();
+        s.set("sensors", "12").unwrap();
+        s.set("targets", "2").unwrap();
+        s.set("battery", "60").unwrap();
+        s.set("discharge_minutes", "999").unwrap(); // must be ignored
+        let built = s.build().unwrap();
+        assert_eq!(built.cycle.discharge_minutes(), 30.0);
+        assert_eq!(built.cycle.recharge_minutes(), 90.0);
+        let outcome = s.run().unwrap();
+        assert!(outcome.schedule.is_feasible(outcome.cycle));
+    }
+
+    #[test]
+    fn mixed_fleet_is_rejected_on_the_homogeneous_path() {
+        let mut s = Scenario::default();
+        s.set("sensors", "8").unwrap();
+        s.set("battery", "30,60").unwrap();
+        let err = s.build().unwrap_err();
+        assert!(err.contains("mixed fleet"), "{err}");
+        // ...and therefore by everything that goes through build():
+        let err = s.run().unwrap_err();
+        assert!(err.contains("mixed fleet"), "{err}");
+    }
+
+    #[test]
+    fn run_fleet_handles_mixed_fleets_and_grid_schedulers() {
+        for kind in ["greedy", "lazy", "rsc", "set-once", "hef"] {
+            let mut s = Scenario::default();
+            s.set("sensors", "10").unwrap();
+            s.set("targets", "2").unwrap();
+            s.set("region", "100").unwrap();
+            s.set("radius", "60").unwrap();
+            s.set("battery", "30,60").unwrap();
+            s.set("solar_eff", "1,1,0.5").unwrap();
+            s.set("scheduler", kind).unwrap();
+            let outcome = s.run_fleet().unwrap();
+            assert!(outcome.schedule.is_feasible(&outcome.grid), "{kind}");
+            assert!(
+                outcome.average <= outcome.bound + 1e-9,
+                "{kind}: {} > {}",
+                outcome.average,
+                outcome.bound
+            );
+            let text = outcome.to_string();
+            assert!(text.contains("fleet grid"), "{kind}");
+        }
+        // The homogeneous-only baselines refuse the fleet path.
+        let mut s = Scenario::default();
+        s.set("battery", "30,60").unwrap();
+        s.set("scheduler", "static").unwrap();
+        assert!(s.run_fleet().unwrap_err().contains("fleet"));
+    }
+
+    #[test]
+    fn grid_schedulers_work_on_homogeneous_scenarios_too() {
+        let mut s = Scenario::default();
+        s.set("sensors", "9").unwrap();
+        s.set("targets", "2").unwrap();
+        s.set("scheduler", "rsc").unwrap();
+        assert!(s.scheduler.is_grid_scheduler());
+        // run() refuses and points at the grid path...
+        assert!(s.run().unwrap_err().contains("fleet grid"));
+        // ...which synthesises a uniform fleet from the legacy cycle keys.
+        let outcome = s.run_fleet().unwrap();
+        assert_eq!(outcome.grid.hyperperiod(), 4);
+        assert!(outcome.schedule.is_feasible(&outcome.grid));
     }
 
     #[test]

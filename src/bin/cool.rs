@@ -2,7 +2,9 @@
 //! and run the charging-pattern measurement pipeline on harvest traces.
 //!
 //! ```text
-//! cool run [scenario.txt] [--set key=value]...   # run a scenario
+//! cool run [scenario.txt] [--set key=value]...   # run a scenario (mixed fleets
+//!                                                # and rsc/set-once/hef go to
+//!                                                # the LCM tick grid)
 //! cool lint <scenario.txt>... [--format text|json|sarif]
 //!                                                # static checks, COOL-coded diagnostics
 //! cool audit <scenario.txt>... [--format text|json|sarif] [--initial-charge LO[:HI]]
@@ -303,6 +305,21 @@ fn run(args: &[String]) -> ExitCode {
                 return usage();
             }
         }
+    }
+    // Mixed fleets (per-sensor profile lists) and the strip-cover
+    // schedulers live on the LCM tick grid; everything else keeps the
+    // homogeneous slot path bit-for-bit.
+    if scenario.has_profiles() || scenario.scheduler.is_grid_scheduler() {
+        return match scenario.run_fleet() {
+            Ok(outcome) => {
+                emit(&outcome.to_string());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match scenario.run() {
         Ok(outcome) => {

@@ -32,11 +32,22 @@ fn scenario_text(
 /// Runs the full CLI pipeline the linter vouches for.
 fn execute(text: &str) -> Result<(), String> {
     let scenario = Scenario::parse(text).map_err(|e| e.to_string())?;
-    let outcome = scenario.run()?;
-    if outcome.schedule.is_feasible(outcome.cycle) {
-        Ok(())
+    // Mirror the CLI dispatch: profile lists and strip-cover schedulers
+    // run on the LCM tick grid, everything else on the slot path.
+    if scenario.has_profiles() || scenario.scheduler.is_grid_scheduler() {
+        let outcome = scenario.run_fleet()?;
+        if outcome.schedule.is_feasible(&outcome.grid) {
+            Ok(())
+        } else {
+            Err("grid schedule infeasible".into())
+        }
     } else {
-        Err("schedule infeasible".into())
+        let outcome = scenario.run()?;
+        if outcome.schedule.is_feasible(outcome.cycle) {
+            Ok(())
+        } else {
+            Err("schedule infeasible".into())
+        }
     }
 }
 
