@@ -15,7 +15,7 @@ use cool_core::horizon::greedy_horizon;
 use cool_core::lp::LpScheduler;
 use cool_lint::{audit_scenario_text, lint_scenario_text, AuditOptions};
 use cool_scenario::{Scenario, ScenarioError};
-use cool_utility::UtilityFunction;
+use cool_utility::{Evaluator, UtilityFunction};
 use std::fmt::Write as _;
 
 /// Default rounding passes for `lp-rounding` when the request omits
@@ -461,8 +461,19 @@ pub fn compute_response(
             };
             let average = problem.average_utility_per_target_slot(&schedule);
             let t_slots = schedule.slots_per_period();
+            // One evaluator reused across slots (reset() clears the arena in
+            // place): bitwise the same as per-slot `eval`, which builds its
+            // evaluator from the identical empty state, without re-allocating
+            // scratch state per slot on the batch path.
+            let mut slot_eval = problem.utility().evaluator();
             let per_slot_utility: Vec<f64> = (0..t_slots)
-                .map(|t| problem.utility().eval(&schedule.active_set(t)) / targets as f64)
+                .map(|t| {
+                    slot_eval.reset();
+                    for v in &schedule.active_set(t) {
+                        slot_eval.insert(v);
+                    }
+                    slot_eval.value() / targets as f64
+                })
                 .collect();
             let _ = write!(
                 out,

@@ -228,6 +228,17 @@ impl ServeMetrics {
             "cool_gain_queries_total",
             "Marginal gain/loss queries answered by sparse sum evaluators.",
         );
+        // Per-family attribution from the SoA kernels (a mixed-family query
+        // counts once per family it reached, so the labeled series can sum
+        // to more than the bare total). All six labels are always emitted so
+        // scrapes see a stable series set.
+        for (i, label) in cool_utility::stats::FAMILY_LABELS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "cool_gain_queries_total{{family=\"{label}\"}} {}",
+                stats.family_queries[i]
+            );
+        }
         let parts_touched = Counter::new();
         parts_touched.add(stats.parts_touched);
         parts_touched.render(
@@ -284,6 +295,12 @@ mod tests {
             "cool_shard_queue_depth{shard=\"0\"} 0",
             "cool_shard_cache_entries{shard=\"0\"} 0",
             "cool_gain_queries_total",
+            "cool_gain_queries_total{family=\"detection\"}",
+            "cool_gain_queries_total{family=\"logsum\"}",
+            "cool_gain_queries_total{family=\"linear\"}",
+            "cool_gain_queries_total{family=\"coverage\"}",
+            "cool_gain_queries_total{family=\"facility\"}",
+            "cool_gain_queries_total{family=\"kcover\"}",
             "cool_parts_touched_total",
             "cool_uptime_seconds",
         ] {
@@ -343,6 +360,20 @@ mod tests {
         // Global counters shared with concurrently-running tests: the page
         // must report at least everything recorded up to the render.
         assert!(rendered >= after.gain_queries);
+        // The detection-family series advanced too (the query above only
+        // touched detection parts) and reports at least the snapshot value.
+        assert!(after.family_queries[0] > before.family_queries[0]);
+        let family_line = page
+            .lines()
+            .find(|l| l.starts_with("cool_gain_queries_total{family=\"detection\"}"))
+            .expect("family series rendered");
+        let rendered: u64 = family_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rendered >= after.family_queries[0]);
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //! other part contributes **exactly** `0.0`. [`SumUtility`] therefore builds
 //! a CSR inverted index `sensor → incident part ids` ([`IncidenceIndex`]) at
 //! construction, and its evaluator ([`SparseSumEvaluator`]) answers
-//! `gain`/`loss`/`insert`/`remove` in O(deg(v)) part visits instead of O(m).
+//! `gain`/`loss`/`insert`/`remove` in O(deg(v)) work instead of O(m).
 //! Incident parts are visited in increasing part-id order — the same
 //! relative order as the dense walk — so sparse gains and losses are
 //! *bitwise equal* to the dense ones and every scheduler produces identical
-//! assignments. The dense [`SumEvaluator`] is kept as the differential
-//! oracle ([`SumUtility::dense_evaluator`], COOL-E024 in `cool check`).
+//! assignments.
+//!
+//! Since PR 10 the sparse evaluator runs on the struct-of-arrays engine in
+//! [`soa`](crate::soa): parts are grouped by family at construction and
+//! queries execute six family-batched kernels over contiguous scalar state
+//! instead of enum-dispatching into per-part evaluators. Two oracles are
+//! retained and checked bitwise against it: the per-part enum walk over the
+//! same incidence index ([`PartWalkSumEvaluator`],
+//! [`SumUtility::part_walk_evaluator`]) and the dense all-parts walk
+//! ([`SumEvaluator`], [`SumUtility::dense_evaluator`], COOL-E024 in
+//! `cool check`).
 
 use crate::coverage::{CoverageEvaluator, CoverageUtility};
 use crate::detection::{DetectionEvaluator, DetectionUtility};
@@ -26,6 +35,7 @@ use crate::facility::{FacilityEvaluator, FacilityLocationUtility};
 use crate::kcover::{KCoverageEvaluator, KCoverageUtility};
 use crate::linear::{LinearEvaluator, LinearUtility};
 use crate::logsum::{LogSumEvaluator, LogSumUtility};
+use crate::soa::{SoaLayout, SparseSumEvaluator};
 use crate::stats;
 use crate::traits::{Evaluator, UtilityFunction};
 use cool_common::{SensorId, SensorSet};
@@ -228,6 +238,9 @@ pub struct SumUtility {
     /// CSR inverted index `sensor → incident part ids`, shared with every
     /// evaluator.
     index: Arc<IncidenceIndex>,
+    /// Struct-of-arrays layout of the parts (family grouping, per-sensor
+    /// family runs, flat scalar state), shared with every evaluator.
+    soa: Arc<SoaLayout>,
 }
 
 impl SumUtility {
@@ -244,10 +257,12 @@ impl SumUtility {
             "all parts must share one universe"
         );
         let index = Arc::new(IncidenceIndex::build(universe, &parts));
+        let soa = Arc::new(SoaLayout::build(universe, &parts, &index));
         SumUtility {
             parts,
             universe,
             index,
+            soa,
         }
     }
 
@@ -288,12 +303,21 @@ impl SumUtility {
     /// only its incident parts, so the breakdown costs
     /// O(m + Σ_{v∈S} deg(v)) instead of O(m·eval).
     pub fn eval_parts(&self, set: &SensorSet) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.parts.len());
+        self.eval_parts_into(set, &mut out);
+        out
+    }
+
+    /// [`eval_parts`](SumUtility::eval_parts) into a caller-provided buffer
+    /// (cleared first) — the allocation-free form for batch paths that
+    /// request the breakdown repeatedly.
+    pub fn eval_parts_into(&self, set: &SensorSet, out: &mut Vec<f64>) {
         assert_eq!(set.universe(), self.universe, "set universe mismatch");
         let mut e = self.evaluator();
         for v in set {
             e.insert(v);
         }
-        e.part_values()
+        e.part_values_into(out);
     }
 
     /// A dense (all-parts-per-query) evaluator — the differential oracle
@@ -303,6 +327,29 @@ impl SumUtility {
             parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
             members: SensorSet::new(self.universe),
         }
+    }
+
+    /// The pre-SoA sparse evaluator: a per-part enum-dispatch walk over the
+    /// same incidence index. Retained as the second differential oracle and
+    /// the baseline arm of the `perf_sparse` benchmark; schedulers should
+    /// use [`evaluator`](UtilityFunction::evaluator).
+    pub fn part_walk_evaluator(&self) -> PartWalkSumEvaluator {
+        PartWalkSumEvaluator {
+            parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
+            index: Arc::clone(&self.index),
+            members: SensorSet::new(self.universe),
+            value: 0.0,
+            comp: 0.0,
+            mutations: 0,
+            cadence: SparseSumEvaluator::REBUILD_CADENCE,
+        }
+    }
+
+    /// The shared struct-of-arrays layout (crate-internal seam to the
+    /// kernel engine in [`soa`](crate::soa)).
+    #[cfg(test)]
+    pub(crate) fn soa_layout(&self) -> &SoaLayout {
+        &self.soa
     }
 }
 
@@ -331,15 +378,11 @@ impl UtilityFunction for SumUtility {
     }
 
     fn evaluator(&self) -> SparseSumEvaluator {
-        SparseSumEvaluator {
-            parts: self.parts.iter().map(UtilityFunction::evaluator).collect(),
-            index: Arc::clone(&self.index),
-            members: SensorSet::new(self.universe),
-            value: 0.0,
-            comp: 0.0,
-            mutations: 0,
-            cadence: SparseSumEvaluator::REBUILD_CADENCE,
-        }
+        SparseSumEvaluator::new(
+            Arc::clone(&self.soa),
+            Arc::clone(&self.index),
+            self.universe,
+        )
     }
 
     fn support(&self) -> SensorSet {
@@ -423,17 +466,17 @@ impl IncidenceIndex {
     }
 }
 
-/// Sparse evaluator companion of [`SumUtility`]: O(deg(v)) marginal-gain
-/// queries plus an O(1) running [`value`](Evaluator::value).
+/// The pre-SoA sparse evaluator: O(deg(v)) per-part enum-dispatch walks
+/// over the incidence index, with the same Kahan-compensated running value
+/// as [`SparseSumEvaluator`].
 ///
-/// The running value uses Kahan-compensated summation of insert/remove
-/// deltas and is rebuilt from the part evaluators every
-/// [`REBUILD_CADENCE`](SparseSumEvaluator::REBUILD_CADENCE) mutations, so it
-/// tracks the dense from-scratch value to well under the pinned `1e-9`
-/// differential tolerance (and exactly on integer-weight families, where
-/// every delta is exact).
+/// Superseded as [`SumUtility`]'s evaluator by the family-batched kernels
+/// in [`soa`](crate::soa), but retained — and checked bitwise against them
+/// — as the structurally-closest oracle (identical part visit order,
+/// independent state representation) and as the baseline arm of the
+/// `perf_sparse`/PR 10 benchmarks.
 #[derive(Clone, Debug)]
-pub struct SparseSumEvaluator {
+pub struct PartWalkSumEvaluator {
     parts: Vec<AnyEvaluator>,
     index: Arc<IncidenceIndex>,
     members: SensorSet,
@@ -448,14 +491,7 @@ pub struct SparseSumEvaluator {
     cadence: u32,
 }
 
-impl SparseSumEvaluator {
-    /// Default mutations between full accumulator rebuilds — bounds
-    /// worst-case drift at roughly `CADENCE · ulp(value)` between rebuilds.
-    /// Long-lived evaluators (e.g. `cool-session` state that survives many
-    /// patches) should lower it with
-    /// [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
-    pub const REBUILD_CADENCE: u32 = 4096;
-
+impl PartWalkSumEvaluator {
     /// The current rebuild cadence.
     #[must_use]
     pub fn rebuild_cadence(&self) -> u32 {
@@ -471,7 +507,7 @@ impl SparseSumEvaluator {
         self.cadence = cadence.max(1);
     }
 
-    /// Builder form of [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
+    /// Builder form of [`set_rebuild_cadence`](PartWalkSumEvaluator::set_rebuild_cadence).
     #[must_use]
     pub fn with_rebuild_cadence(mut self, cadence: u32) -> Self {
         self.set_rebuild_cadence(cadence);
@@ -481,6 +517,13 @@ impl SparseSumEvaluator {
     /// Per-part values of the current set — the per-target breakdown.
     pub fn part_values(&self) -> Vec<f64> {
         self.parts.iter().map(Evaluator::value).collect()
+    }
+
+    /// Writes the per-part breakdown into `out` (cleared first), reusing
+    /// its capacity.
+    pub fn part_values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.parts.iter().map(Evaluator::value));
     }
 
     fn kahan_add(&mut self, x: f64) {
@@ -509,7 +552,7 @@ impl SparseSumEvaluator {
     }
 }
 
-impl Evaluator for SparseSumEvaluator {
+impl Evaluator for PartWalkSumEvaluator {
     fn value(&self) -> f64 {
         self.value + self.comp
     }
@@ -617,6 +660,60 @@ impl UtilityFunction for DenseSumUtility {
 
     fn evaluator(&self) -> SumEvaluator {
         self.inner.dense_evaluator()
+    }
+
+    fn support(&self) -> SensorSet {
+        self.inner.support()
+    }
+}
+
+/// Part-walk wrapper around a [`SumUtility`] — every query goes through
+/// the retained per-part enum-dispatch evaluator
+/// ([`PartWalkSumEvaluator`]). The "current sparse" baseline arm of the
+/// PR 10 benchmark; schedulers should use [`SumUtility`] directly.
+#[derive(Clone, Debug)]
+pub struct PartWalkSumUtility {
+    inner: SumUtility,
+}
+
+impl PartWalkSumUtility {
+    /// Wraps the sum.
+    pub fn new(inner: SumUtility) -> Self {
+        PartWalkSumUtility { inner }
+    }
+
+    /// The wrapped sum.
+    pub fn inner(&self) -> &SumUtility {
+        &self.inner
+    }
+}
+
+impl UtilityFunction for PartWalkSumUtility {
+    type Evaluator = PartWalkSumEvaluator;
+
+    fn universe(&self) -> usize {
+        self.inner.universe
+    }
+
+    fn eval(&self, set: &SensorSet) -> f64 {
+        assert_eq!(set.universe(), self.inner.universe, "set universe mismatch");
+        let mut e = self.evaluator();
+        for v in set {
+            e.insert(v);
+        }
+        e.value()
+    }
+
+    fn max_value(&self) -> f64 {
+        self.inner.max_value()
+    }
+
+    fn target_count(&self) -> usize {
+        self.inner.parts.len()
+    }
+
+    fn evaluator(&self) -> PartWalkSumEvaluator {
+        self.inner.part_walk_evaluator()
     }
 
     fn support(&self) -> SensorSet {
@@ -782,13 +879,14 @@ mod tests {
     }
 
     /// The load-bearing property of the sparse representation: gains and
-    /// losses are **bitwise** equal to the dense walk's (non-incident parts
+    /// losses are **bitwise** equal to both oracles' (non-incident parts
     /// contribute an exact `0.0`, incident parts are visited in the same
     /// relative order), so schedulers produce identical assignments.
     #[test]
     fn sparse_matches_dense_bitwise_on_trace() {
         let u = two_target_sum();
         let mut sparse = u.evaluator();
+        let mut walk = u.part_walk_evaluator();
         let mut dense = u.dense_evaluator();
         let trace: Vec<(bool, usize)> = vec![
             (true, 1),
@@ -804,14 +902,22 @@ mod tests {
             for probe in 0..4 {
                 let p = SensorId(probe);
                 assert_eq!(sparse.gain(p).to_bits(), dense.gain(p).to_bits());
+                assert_eq!(sparse.gain(p).to_bits(), walk.gain(p).to_bits());
                 assert_eq!(sparse.loss(p).to_bits(), dense.loss(p).to_bits());
+                assert_eq!(sparse.loss(p).to_bits(), walk.loss(p).to_bits());
             }
             if add {
-                assert_eq!(sparse.insert(v).to_bits(), dense.insert(v).to_bits());
+                let d = sparse.insert(v);
+                assert_eq!(d.to_bits(), dense.insert(v).to_bits());
+                assert_eq!(d.to_bits(), walk.insert(v).to_bits());
             } else {
-                assert_eq!(sparse.remove(v).to_bits(), dense.remove(v).to_bits());
+                let d = sparse.remove(v);
+                assert_eq!(d.to_bits(), dense.remove(v).to_bits());
+                assert_eq!(d.to_bits(), walk.remove(v).to_bits());
             }
             assert_eq!(sparse.current_set(), dense.current_set());
+            assert_eq!(sparse.current_set(), walk.current_set());
+            assert_eq!(sparse.value().to_bits(), walk.value().to_bits());
             assert!((sparse.value() - dense.value()).abs() < 1e-12);
         }
     }

@@ -98,6 +98,16 @@ impl CoverageUtility {
         self.values.len()
     }
 
+    /// Weighted area per subregion (SoA layout seam).
+    pub(crate) fn subregion_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Subregion indices covered by sensor `v` (SoA layout seam).
+    pub(crate) fn subregions_of(&self, v: SensorId) -> &[usize] {
+        &self.sensor_subregions[v.index()]
+    }
+
     /// Concave-envelope LP items `(cap, per-sensor mass)` with
     /// `U(S) = Σ_k cap_k · min(1, Σ_{v∈S} q_{k,v})` **exactly** for this
     /// utility (one item per subregion, indicator masses) — consumed by the

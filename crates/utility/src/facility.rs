@@ -68,6 +68,16 @@ impl FacilityLocationUtility {
         self.benefits.len()
     }
 
+    /// The benefit matrix rows (SoA layout seam).
+    pub(crate) fn benefit_rows(&self) -> &[Vec<f64>] {
+        &self.benefits
+    }
+
+    /// The shared benefit matrix (SoA layout seam).
+    pub(crate) fn benefit_rows_arc(&self) -> &Arc<Vec<Vec<f64>>> {
+        &self.benefits
+    }
+
     /// Concave-envelope LP items `(cap, per-sensor mass)` with
     /// `U(S) ≤ Σ_k cap_k · min(1, Σ_{v∈S} q_{k,v})`: per target,
     /// `cap = max_v b_v` and `q_v = b_v / cap` (valid because

@@ -101,6 +101,21 @@ impl KCoverageUtility {
         self.coverages.len()
     }
 
+    /// Per-target requirements `k_i` (SoA layout seam).
+    pub(crate) fn requirements(&self) -> &[u32] {
+        &self.k
+    }
+
+    /// Per-target weights `w_i` (SoA layout seam).
+    pub(crate) fn target_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Target indices covered by sensor `v` (SoA layout seam).
+    pub(crate) fn targets_of(&self, v: SensorId) -> &[usize] {
+        &self.sensor_targets[v.index()]
+    }
+
     /// Concave-envelope LP items `(cap, per-sensor mass)`: per target,
     /// `cap = w_i` and `q_v = 1/k_i` for covering sensors — **exact** for
     /// this utility, since `w·min(count, k)/k = cap·min(1, Σ q)`.

@@ -25,9 +25,11 @@
 //!   `Σᵢ U_i(S ∩ V(O_i))` ([`composite`]), evaluated sparsely: a CSR
 //!   incidence index over the parts' [support
 //!   sets](UtilityFunction::support) makes each marginal-gain query
-//!   O(deg(v)) instead of O(m) ([`SparseSumEvaluator`]), with the dense
-//!   [`SumEvaluator`] kept as the differential oracle and query counters
-//!   in [`stats`];
+//!   O(deg(v)) instead of O(m), and the struct-of-arrays engine in [`soa`]
+//!   answers it with family-batched kernels over contiguous scalar state
+//!   ([`SparseSumEvaluator`]). The per-part enum walk
+//!   ([`PartWalkSumEvaluator`]) and the dense [`SumEvaluator`] are kept as
+//!   bitwise differential oracles, with query counters in [`stats`];
 //! * a numerical submodularity/monotonicity checker used by the property
 //!   tests ([`checker`]).
 //!
@@ -57,13 +59,14 @@ pub mod facility;
 pub mod kcover;
 pub mod linear;
 pub mod logsum;
+pub mod soa;
 pub mod stats;
 pub mod traits;
 
 pub use checker::{check_utility, UtilityViolation};
 pub use composite::{
-    AnyEvaluator, AnyUtility, DenseSumUtility, IncidenceIndex, SparseSumEvaluator, SumEvaluator,
-    SumUtility,
+    AnyEvaluator, AnyUtility, DenseSumUtility, IncidenceIndex, PartWalkSumEvaluator,
+    PartWalkSumUtility, SumEvaluator, SumUtility,
 };
 pub use coverage::{CoverageEvaluator, CoverageUtility};
 pub use detection::{DetectionEvaluator, DetectionUtility};
@@ -71,4 +74,5 @@ pub use facility::{FacilityEvaluator, FacilityLocationUtility};
 pub use kcover::{KCoverageEvaluator, KCoverageUtility};
 pub use linear::{LinearEvaluator, LinearUtility};
 pub use logsum::{LogSumEvaluator, LogSumUtility};
+pub use soa::{Family, SparseSumEvaluator};
 pub use traits::{Evaluator, UtilityFunction};

@@ -1,0 +1,1265 @@
+//! Struct-of-arrays engine behind [`SparseSumEvaluator`]: family-batched
+//! marginal-gain kernels over contiguous scalar state.
+//!
+//! The part-walk evaluator
+//! ([`PartWalkSumEvaluator`](crate::PartWalkSumEvaluator)) answers each
+//! query by dispatching into a `Vec<AnyEvaluator>` one part at a time:
+//! every visit is an enum `match`, an `Arc` deref, and a pointer chase
+//! into that part's own heap allocations. At large part counts the memory
+//! layout — not the O(deg) algorithm — dominates the query cost.
+//!
+//! [`SoaLayout`] regroups the same parts **by family** at construction:
+//!
+//! * a stable permutation `part id → (family, family slot)` keeps part
+//!   identities (`eval_parts`, `support()`, COOL-E024 traces and check
+//!   output are unchanged);
+//! * each family's immutable per-part scalars live in flat arrays with
+//!   CSR-style per-part offsets (detection probabilities, linear/log-sum
+//!   weights, coverage subregion values, k-cover `k` and `w/k`, facility
+//!   benefit rows);
+//! * per-sensor incidence is pre-resolved into **family runs**: the
+//!   incident parts of a sensor, in increasing part-id order, split into
+//!   maximal runs of consecutive same-family parts. A query loops over the
+//!   runs and does **one `match` per run** (one per family in the common
+//!   grouped case) instead of one per part, streaming through contiguous
+//!   entry slices the autovectorizer can chew on;
+//! * all mutable scalar state (miss products, weight sums, cover counts,
+//!   facility bests, …) lives in one arena — a single `Vec<f64>` plus a
+//!   single `Vec<u32>` — allocated once per evaluator and reused across
+//!   every `gain`/`loss`/`insert`/`remove`, so hot-path queries are
+//!   allocation-free and a reset never reallocates.
+//!
+//! # Bitwise equality with the oracles
+//!
+//! The kernels replicate the exact floating-point expressions, operand
+//! order and accumulator seeds of the per-part evaluators, and runs are
+//! visited in the original increasing part-id order, so every `gain`,
+//! `loss`, `insert` and `remove` is **bit-for-bit** equal to both the
+//! part-walk evaluator and the dense [`SumEvaluator`](crate::SumEvaluator)
+//! oracle (the COOL-E024 relation in `cool check`). Per-part subtotals are
+//! folded into the +0.0-seeded composite chain exactly as before, and the
+//! running value keeps the same Kahan-compensated accumulation and rebuild
+//! cadence.
+
+use crate::composite::{AnyUtility, IncidenceIndex};
+use crate::stats;
+use crate::traits::{Evaluator, UtilityFunction};
+use cool_common::{invariant, SensorId, SensorSet};
+use std::sync::Arc;
+
+/// The six part families of [`AnyUtility`], in variant order.
+///
+/// The discriminant doubles as the bit index of the per-family query
+/// counters in [`stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Family {
+    /// Detection probability `1 − Π(1−p)`.
+    Detection = 0,
+    /// Log-sum `ln(1 + Σw)`.
+    LogSum = 1,
+    /// Modular `Σw`.
+    Linear = 2,
+    /// Weighted-area coverage.
+    Coverage = 3,
+    /// Facility location `Σ max`.
+    Facility = 4,
+    /// k-coverage `Σ w·min(count, k)/k`.
+    KCover = 5,
+}
+
+impl Family {
+    /// Classifies a part.
+    pub fn of(part: &AnyUtility) -> Family {
+        match part {
+            AnyUtility::Detection(_) => Family::Detection,
+            AnyUtility::LogSum(_) => Family::LogSum,
+            AnyUtility::Linear(_) => Family::Linear,
+            AnyUtility::Coverage(_) => Family::Coverage,
+            AnyUtility::Facility(_) => Family::Facility,
+            AnyUtility::KCover(_) => Family::KCover,
+        }
+    }
+
+    /// Prometheus label of the family (shared with `cool-serve`).
+    pub fn label(self) -> &'static str {
+        stats::FAMILY_LABELS[self as usize]
+    }
+}
+
+/// A section of the scratch arena: `off..off + len` into the `f64` or
+/// `u32` backing vector.
+#[derive(Clone, Copy, Debug, Default)]
+struct Sect {
+    off: usize,
+    len: usize,
+}
+
+impl Sect {
+    fn of<T>(self, backing: &[T]) -> &[T] {
+        &backing[self.off..self.off + self.len]
+    }
+
+    fn of_mut<T>(self, backing: &mut [T]) -> &mut [T] {
+        &mut backing[self.off..self.off + self.len]
+    }
+}
+
+/// One maximal run of consecutive same-family incident parts of a sensor;
+/// `start..start + len` indexes that family's entry array.
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    family: Family,
+    start: u32,
+    len: u32,
+}
+
+/// A scalar incidence entry: the part's family slot plus the per-sensor
+/// scalar (detection probability or linear/log-sum weight).
+#[derive(Clone, Copy, Debug)]
+struct ScalarEntry {
+    slot: u32,
+    x: f64,
+}
+
+/// A list incidence entry: the part's family slot plus `start..start+len`
+/// into the family's flat per-sensor id list.
+#[derive(Clone, Copy, Debug)]
+struct ListEntry {
+    slot: u32,
+    start: u32,
+    len: u32,
+}
+
+/// A facility incidence item: the global benefit-row id and the queried
+/// sensor's (positive) benefit in that row.
+#[derive(Clone, Copy, Debug)]
+struct FacInc {
+    row: u32,
+    benefit: f64,
+}
+
+/// Per-part facility data kept for the loss/removal member scans (the only
+/// kernel that must look beyond the incident slices).
+#[derive(Clone, Debug)]
+struct FacPart {
+    benefits: Arc<Vec<Vec<f64>>>,
+    support: SensorSet,
+}
+
+/// The immutable struct-of-arrays layout of a
+/// [`SumUtility`](crate::SumUtility)'s parts, shared (via `Arc`) by every
+/// [`SparseSumEvaluator`] spawned from it.
+#[derive(Clone, Debug)]
+pub(crate) struct SoaLayout {
+    n_parts: usize,
+    /// Stable permutation: part id → (family, family slot). Family slots
+    /// are assigned in increasing part-id order, so the grouping is a
+    /// stable sort by family.
+    part_map: Vec<(Family, u32)>,
+
+    /// `run_off[v]..run_off[v+1]` brackets sensor `v`'s runs.
+    run_off: Vec<u32>,
+    runs: Vec<Run>,
+
+    /// Family incidence entries, sensor-major (a run's entries are
+    /// contiguous).
+    det: Vec<ScalarEntry>,
+    log: Vec<ScalarEntry>,
+    lin: Vec<ScalarEntry>,
+    cov: Vec<ListEntry>,
+    /// Global subregion ids covered by (sensor, coverage-part) pairs.
+    cov_inc: Vec<u32>,
+    kc: Vec<ListEntry>,
+    /// Global target ids covered by (sensor, k-cover-part) pairs.
+    kc_inc: Vec<u32>,
+    fac: Vec<ListEntry>,
+    /// Positive-benefit rows of (sensor, facility-part) pairs.
+    fac_inc: Vec<FacInc>,
+
+    /// Flat weighted subregion areas, concatenated in part order (global
+    /// subregion ids index directly into it).
+    cov_values: Vec<f64>,
+    /// Flat per-target `k` and precomputed `w/k` (the same division the
+    /// part-walk evaluator performs per query, hoisted to construction).
+    kc_k: Vec<u32>,
+    kc_wk: Vec<f64>,
+    /// Per-part facility data plus global benefit-row offsets.
+    fac_parts: Vec<FacPart>,
+    fac_part_off: Vec<u32>,
+
+    /// Arena sections into the `f64` scratch vector.
+    f_len: usize,
+    det_miss: Sect,
+    log_sum: Sect,
+    lin_sum: Sect,
+    cov_value: Sect,
+    kc_value: Sect,
+    fac_best: Sect,
+    /// Arena sections into the `u32` scratch vector.
+    u_len: usize,
+    det_cert: Sect,
+    cov_counts: Sect,
+    kc_counts: Sect,
+}
+
+impl SoaLayout {
+    /// Groups `parts` by family and pre-resolves the per-sensor family
+    /// runs from the incidence index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry count overflows `u32` (the incidence index
+    /// already guarantees the part count fits).
+    #[allow(clippy::too_many_lines)] // two linear passes: group parts by family, then lay out per-sensor runs
+    pub(crate) fn build(
+        universe: usize,
+        parts: &[AnyUtility],
+        index: &IncidenceIndex,
+    ) -> SoaLayout {
+        // Pass 1: the stable family permutation plus per-family immutable
+        // part data.
+        let mut part_map = Vec::with_capacity(parts.len());
+        let (mut n_det, mut n_log, mut n_lin) = (0u32, 0u32, 0u32);
+        let mut cov_values = Vec::new();
+        let mut cov_part_off = vec![0u32];
+        let mut kc_k = Vec::new();
+        let mut kc_wk = Vec::new();
+        let mut kc_part_off = vec![0u32];
+        let mut fac_parts: Vec<FacPart> = Vec::new();
+        let mut fac_part_off = vec![0u32];
+        for part in parts {
+            match part {
+                AnyUtility::Detection(_) => {
+                    part_map.push((Family::Detection, n_det));
+                    n_det += 1;
+                }
+                AnyUtility::LogSum(_) => {
+                    part_map.push((Family::LogSum, n_log));
+                    n_log += 1;
+                }
+                AnyUtility::Linear(_) => {
+                    part_map.push((Family::Linear, n_lin));
+                    n_lin += 1;
+                }
+                AnyUtility::Coverage(c) => {
+                    part_map.push((Family::Coverage, cov_part_off.len() as u32 - 1));
+                    cov_values.extend_from_slice(c.subregion_values());
+                    cov_part_off.push(as_u32(cov_values.len()));
+                }
+                AnyUtility::Facility(f) => {
+                    part_map.push((Family::Facility, fac_part_off.len() as u32 - 1));
+                    let rows = as_u32(f.benefit_rows().len());
+                    fac_part_off.push(fac_part_off.last().copied().unwrap_or(0) + rows);
+                    fac_parts.push(FacPart {
+                        benefits: Arc::clone(f.benefit_rows_arc()),
+                        support: f.support(),
+                    });
+                }
+                AnyUtility::KCover(k) => {
+                    part_map.push((Family::KCover, kc_part_off.len() as u32 - 1));
+                    kc_k.extend_from_slice(k.requirements());
+                    kc_wk.extend(
+                        k.target_weights()
+                            .iter()
+                            .zip(k.requirements())
+                            .map(|(&w, &ki)| w / f64::from(ki)),
+                    );
+                    kc_part_off.push(as_u32(kc_k.len()));
+                }
+            }
+        }
+
+        // Pass 2: per-sensor family runs and the per-family incidence
+        // entries, sensor-major so a run's entries stream contiguously.
+        let mut run_off = Vec::with_capacity(universe + 1);
+        run_off.push(0u32);
+        let mut runs = Vec::new();
+        let mut det = Vec::new();
+        let mut log = Vec::new();
+        let mut lin = Vec::new();
+        let mut cov = Vec::new();
+        let mut cov_inc = Vec::new();
+        let mut kc = Vec::new();
+        let mut kc_inc = Vec::new();
+        let mut fac = Vec::new();
+        let mut fac_inc = Vec::new();
+        for raw in 0..universe {
+            let mut last: Option<Family> = None;
+            for &pid in index.incident(SensorId(raw)) {
+                let (family, slot) = part_map[pid as usize];
+                if last != Some(family) {
+                    let start = match family {
+                        Family::Detection => det.len(),
+                        Family::LogSum => log.len(),
+                        Family::Linear => lin.len(),
+                        Family::Coverage => cov.len(),
+                        Family::Facility => fac.len(),
+                        Family::KCover => kc.len(),
+                    };
+                    runs.push(Run {
+                        family,
+                        start: as_u32(start),
+                        len: 0,
+                    });
+                    last = Some(family);
+                }
+                if let Some(run) = runs.last_mut() {
+                    run.len += 1;
+                }
+                match &parts[pid as usize] {
+                    AnyUtility::Detection(d) => det.push(ScalarEntry {
+                        slot,
+                        x: d.probs()[raw],
+                    }),
+                    AnyUtility::LogSum(u) => log.push(ScalarEntry {
+                        slot,
+                        x: u.weights()[raw],
+                    }),
+                    AnyUtility::Linear(u) => lin.push(ScalarEntry {
+                        slot,
+                        x: u.weights()[raw],
+                    }),
+                    AnyUtility::Coverage(c) => {
+                        let base = cov_part_off[slot as usize];
+                        let start = as_u32(cov_inc.len());
+                        cov_inc.extend(
+                            c.subregions_of(SensorId(raw))
+                                .iter()
+                                .map(|&s| base + as_u32(s)),
+                        );
+                        cov.push(ListEntry {
+                            slot,
+                            start,
+                            len: as_u32(cov_inc.len()) - start,
+                        });
+                    }
+                    AnyUtility::Facility(f) => {
+                        let base = fac_part_off[slot as usize];
+                        let start = as_u32(fac_inc.len());
+                        for (i, row) in f.benefit_rows().iter().enumerate() {
+                            let benefit = row[raw];
+                            if benefit > 0.0 {
+                                fac_inc.push(FacInc {
+                                    row: base + as_u32(i),
+                                    benefit,
+                                });
+                            }
+                        }
+                        fac.push(ListEntry {
+                            slot,
+                            start,
+                            len: as_u32(fac_inc.len()) - start,
+                        });
+                    }
+                    AnyUtility::KCover(k) => {
+                        let base = kc_part_off[slot as usize];
+                        let start = as_u32(kc_inc.len());
+                        kc_inc.extend(
+                            k.targets_of(SensorId(raw))
+                                .iter()
+                                .map(|&i| base + as_u32(i)),
+                        );
+                        kc.push(ListEntry {
+                            slot,
+                            start,
+                            len: as_u32(kc_inc.len()) - start,
+                        });
+                    }
+                }
+            }
+            run_off.push(as_u32(runs.len()));
+        }
+        invariant!(
+            det.len() + log.len() + lin.len() + cov.len() + fac.len() + kc.len()
+                == index.n_entries(),
+            "family runs must cover every incidence entry exactly once"
+        );
+
+        // The arena: one f64 section and one u32 section per family state.
+        let mut f_len = 0usize;
+        let mut fsect = |len: usize| {
+            let s = Sect { off: f_len, len };
+            f_len += len;
+            s
+        };
+        let det_miss = fsect(n_det as usize);
+        let log_sum = fsect(n_log as usize);
+        let lin_sum = fsect(n_lin as usize);
+        let cov_value = fsect(cov_part_off.len() - 1);
+        let kc_value = fsect(kc_part_off.len() - 1);
+        let fac_best = fsect(fac_part_off.last().copied().unwrap_or(0) as usize);
+        let mut u_len = 0usize;
+        let mut usect = |len: usize| {
+            let s = Sect { off: u_len, len };
+            u_len += len;
+            s
+        };
+        let det_cert = usect(n_det as usize);
+        let cov_counts = usect(cov_values.len());
+        let kc_counts = usect(kc_k.len());
+
+        SoaLayout {
+            n_parts: parts.len(),
+            part_map,
+            run_off,
+            runs,
+            det,
+            log,
+            lin,
+            cov,
+            cov_inc,
+            kc,
+            kc_inc,
+            fac,
+            fac_inc,
+            cov_values,
+            kc_k,
+            kc_wk,
+            fac_parts,
+            fac_part_off,
+            f_len,
+            det_miss,
+            log_sum,
+            lin_sum,
+            cov_value,
+            kc_value,
+            fac_best,
+            u_len,
+            det_cert,
+            cov_counts,
+            kc_counts,
+        }
+    }
+
+    /// The stable part-id permutation: part id → (family, family slot).
+    #[cfg(test)]
+    pub(crate) fn family_of(&self, pid: usize) -> (Family, u32) {
+        self.part_map[pid]
+    }
+
+    fn runs_for(&self, v: SensorId) -> &[Run] {
+        &self.runs[self.run_off[v.index()] as usize..self.run_off[v.index() + 1] as usize]
+    }
+
+    /// A freshly initialised scratch arena (detection miss products start
+    /// at 1.0, everything else at zero).
+    fn fresh_arena(&self) -> Arena {
+        let mut arena = Arena {
+            f: vec![0.0; self.f_len],
+            u: vec![0; self.u_len],
+        };
+        self.det_miss.of_mut(&mut arena.f).fill(1.0);
+        arena
+    }
+
+    /// Re-initialises an existing arena without reallocating.
+    fn reset_arena(&self, arena: &mut Arena) {
+        arena.f.fill(0.0);
+        self.det_miss.of_mut(&mut arena.f).fill(1.0);
+        arena.u.fill(0);
+    }
+
+    /// The current value of part `pid` — bitwise the per-part evaluator's
+    /// `value()`.
+    fn part_value(&self, pid: usize, arena: &Arena) -> f64 {
+        let (family, slot) = self.part_map[pid];
+        let s = slot as usize;
+        match family {
+            Family::Detection => {
+                let eff = if self.det_cert.of(&arena.u)[s] > 0 {
+                    0.0
+                } else {
+                    self.det_miss.of(&arena.f)[s]
+                };
+                1.0 - eff
+            }
+            Family::LogSum => (1.0 + self.log_sum.of(&arena.f)[s]).ln(),
+            Family::Linear => self.lin_sum.of(&arena.f)[s],
+            Family::Coverage => self.cov_value.of(&arena.f)[s],
+            Family::KCover => self.kc_value.of(&arena.f)[s],
+            Family::Facility => {
+                let best = self.fac_best.of(&arena.f);
+                best[self.fac_part_off[s] as usize..self.fac_part_off[s + 1] as usize]
+                    .iter()
+                    .sum()
+            }
+        }
+    }
+}
+
+#[allow(clippy::expect_used)] // entry counts are bounded by the incidence index, already u32-sized
+fn as_u32(x: usize) -> u32 {
+    u32::try_from(x).expect("SoA layout size fits in u32")
+}
+
+/// The scratch buffer of one evaluator: every family's mutable scalar
+/// state, packed into one `f64` and one `u32` vector. Allocated once and
+/// reused across all queries and mutations.
+#[derive(Clone, Debug)]
+struct Arena {
+    f: Vec<f64>,
+    u: Vec<u32>,
+}
+
+/// Sparse evaluator companion of [`SumUtility`](crate::SumUtility):
+/// O(deg(v)) marginal-gain queries answered by family-batched kernels over
+/// the struct-of-arrays layout, plus an O(1) running
+/// [`value`](Evaluator::value).
+///
+/// Queries walk the sensor's pre-resolved family runs — one `match` per
+/// run instead of one per part — and stream through contiguous entry
+/// slices; all mutable state lives in a per-evaluator arena, so the hot
+/// path never allocates. Results are bit-for-bit equal to the part-walk
+/// evaluator ([`PartWalkSumEvaluator`](crate::PartWalkSumEvaluator)) and
+/// the dense [`SumEvaluator`](crate::SumEvaluator) oracle.
+///
+/// The running value uses Kahan-compensated summation of insert/remove
+/// deltas and is rebuilt from the per-part state every
+/// [`REBUILD_CADENCE`](SparseSumEvaluator::REBUILD_CADENCE) mutations, so
+/// it tracks the dense from-scratch value to well under the pinned `1e-9`
+/// differential tolerance (and exactly on integer-weight families, where
+/// every delta is exact).
+#[derive(Clone, Debug)]
+pub struct SparseSumEvaluator {
+    layout: Arc<SoaLayout>,
+    index: Arc<IncidenceIndex>,
+    members: SensorSet,
+    arena: Arena,
+    /// Kahan-compensated running sum of realised deltas.
+    value: f64,
+    /// Kahan compensation term.
+    comp: f64,
+    /// Mutations since the last full rebuild.
+    mutations: u32,
+    /// Mutations between rebuilds for *this* evaluator; defaults to
+    /// [`REBUILD_CADENCE`](SparseSumEvaluator::REBUILD_CADENCE).
+    cadence: u32,
+}
+
+impl SparseSumEvaluator {
+    /// Default mutations between full accumulator rebuilds — bounds
+    /// worst-case drift at roughly `CADENCE · ulp(value)` between rebuilds.
+    /// Long-lived evaluators (e.g. `cool-session` state that survives many
+    /// patches) should lower it with
+    /// [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
+    pub const REBUILD_CADENCE: u32 = 4096;
+
+    pub(crate) fn new(
+        layout: Arc<SoaLayout>,
+        index: Arc<IncidenceIndex>,
+        universe: usize,
+    ) -> SparseSumEvaluator {
+        let arena = layout.fresh_arena();
+        SparseSumEvaluator {
+            layout,
+            index,
+            members: SensorSet::new(universe),
+            arena,
+            value: 0.0,
+            comp: 0.0,
+            mutations: 0,
+            cadence: SparseSumEvaluator::REBUILD_CADENCE,
+        }
+    }
+
+    /// The current rebuild cadence.
+    #[must_use]
+    pub fn rebuild_cadence(&self) -> u32 {
+        self.cadence
+    }
+
+    /// Sets the rebuild cadence (clamped to at least 1). Gain/loss queries
+    /// and insert/remove deltas are computed from the per-part state, so
+    /// they are bitwise independent of the cadence; only the drift bound of
+    /// the O(1) running [`value`](Evaluator::value) changes. Takes effect
+    /// from the next mutation.
+    pub fn set_rebuild_cadence(&mut self, cadence: u32) {
+        self.cadence = cadence.max(1);
+    }
+
+    /// Builder form of [`set_rebuild_cadence`](SparseSumEvaluator::set_rebuild_cadence).
+    #[must_use]
+    pub fn with_rebuild_cadence(mut self, cadence: u32) -> Self {
+        self.set_rebuild_cadence(cadence);
+        self
+    }
+
+    /// Per-part values of the current set — the per-target breakdown, in
+    /// part-id order.
+    pub fn part_values(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.layout.n_parts);
+        self.part_values_into(&mut out);
+        out
+    }
+
+    /// Writes the per-part breakdown into `out` (cleared first), reusing
+    /// its capacity — the allocation-free form for batch paths that read
+    /// the breakdown repeatedly.
+    pub fn part_values_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.layout.n_parts).map(|pid| self.layout.part_value(pid, &self.arena)));
+    }
+
+    /// Returns the evaluator to `S = ∅` without reallocating: the arena,
+    /// the member set and the running value are cleared in place. The
+    /// rebuild cadence is preserved.
+    pub fn reset(&mut self) {
+        self.members.clear();
+        self.layout.reset_arena(&mut self.arena);
+        self.value = 0.0;
+        self.comp = 0.0;
+        self.mutations = 0;
+    }
+
+    fn kahan_add(&mut self, x: f64) {
+        let t = self.value + x;
+        if self.value.abs() >= x.abs() {
+            self.comp += (self.value - t) + x;
+        } else {
+            self.comp += (x - t) + self.value;
+        }
+        self.value = t;
+    }
+
+    fn after_mutation(&mut self) {
+        self.mutations += 1;
+        if self.mutations >= self.cadence {
+            self.rebuild();
+        }
+    }
+
+    /// Recomputes the running value from the per-part state (same part
+    /// order as the dense walk), discarding accumulated drift.
+    fn rebuild(&mut self) {
+        self.value = (0..self.layout.n_parts)
+            .map(|pid| self.layout.part_value(pid, &self.arena))
+            .sum();
+        self.comp = 0.0;
+        self.mutations = 0;
+    }
+}
+
+impl Evaluator for SparseSumEvaluator {
+    fn value(&self) -> f64 {
+        self.value + self.comp
+    }
+
+    fn gain(&self, v: SensorId) -> f64 {
+        if self.members.contains(v) {
+            return 0.0;
+        }
+        let l = &*self.layout;
+        stats::record_query(self.index.degree(v));
+        let mut families = 0u8;
+        // Seeded with +0.0 rather than `.sum()`: f64's `Sum` identity is
+        // -0.0, which would leak a negative zero out of empty (or all-zero)
+        // incident slices and break bitwise agreement with the dense walk.
+        let mut acc = 0.0f64;
+        for run in l.runs_for(v) {
+            families |= 1 << run.family as u8;
+            let (s, e) = (run.start as usize, (run.start + run.len) as usize);
+            match run.family {
+                Family::Detection => {
+                    let miss = l.det_miss.of(&self.arena.f);
+                    let cert = l.det_cert.of(&self.arena.u);
+                    for ent in &l.det[s..e] {
+                        let i = ent.slot as usize;
+                        let eff = if cert[i] > 0 { 0.0 } else { miss[i] };
+                        acc += eff * ent.x;
+                    }
+                }
+                Family::LogSum => {
+                    let sum = l.log_sum.of(&self.arena.f);
+                    for ent in &l.log[s..e] {
+                        let ws = sum[ent.slot as usize];
+                        acc += (1.0 + ws + ent.x).ln() - (1.0 + ws).ln();
+                    }
+                }
+                Family::Linear => {
+                    for ent in &l.lin[s..e] {
+                        acc += ent.x;
+                    }
+                }
+                Family::Coverage => {
+                    let counts = l.cov_counts.of(&self.arena.u);
+                    for ent in &l.cov[s..e] {
+                        let subs = &l.cov_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let part: f64 = subs
+                            .iter()
+                            .filter(|&&sub| counts[sub as usize] == 0)
+                            .map(|&sub| l.cov_values[sub as usize])
+                            .sum();
+                        acc += part;
+                    }
+                }
+                Family::Facility => {
+                    let best = l.fac_best.of(&self.arena.f);
+                    for ent in &l.fac[s..e] {
+                        let rows = &l.fac_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut part = 0.0f64;
+                        for inc in rows {
+                            part += (inc.benefit - best[inc.row as usize]).max(0.0);
+                        }
+                        acc += part;
+                    }
+                }
+                Family::KCover => {
+                    let counts = l.kc_counts.of(&self.arena.u);
+                    for ent in &l.kc[s..e] {
+                        let tgts = &l.kc_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let part: f64 = tgts
+                            .iter()
+                            .filter(|&&i| counts[i as usize] < l.kc_k[i as usize])
+                            .map(|&i| l.kc_wk[i as usize])
+                            .sum();
+                        acc += part;
+                    }
+                }
+            }
+        }
+        stats::record_family_queries(families);
+        acc
+    }
+
+    fn loss(&self, v: SensorId) -> f64 {
+        if !self.members.contains(v) {
+            return 0.0;
+        }
+        let l = &*self.layout;
+        stats::record_query(self.index.degree(v));
+        let mut families = 0u8;
+        let mut acc = 0.0f64;
+        for run in l.runs_for(v) {
+            families |= 1 << run.family as u8;
+            let (s, e) = (run.start as usize, (run.start + run.len) as usize);
+            match run.family {
+                Family::Detection => {
+                    let miss = l.det_miss.of(&self.arena.f);
+                    let cert = l.det_cert.of(&self.arena.u);
+                    for ent in &l.det[s..e] {
+                        let i = ent.slot as usize;
+                        let p = ent.x;
+                        acc += if p >= 1.0 {
+                            if cert[i] > 1 {
+                                0.0
+                            } else {
+                                miss[i]
+                            }
+                        } else if cert[i] > 0 {
+                            0.0
+                        } else {
+                            miss[i] / (1.0 - p) * p
+                        };
+                    }
+                }
+                Family::LogSum => {
+                    let sum = l.log_sum.of(&self.arena.f);
+                    for ent in &l.log[s..e] {
+                        let ws = sum[ent.slot as usize];
+                        acc += (1.0 + ws).ln() - (1.0 + ws - ent.x).max(1.0).ln();
+                    }
+                }
+                Family::Linear => {
+                    for ent in &l.lin[s..e] {
+                        acc += ent.x;
+                    }
+                }
+                Family::Coverage => {
+                    let counts = l.cov_counts.of(&self.arena.u);
+                    for ent in &l.cov[s..e] {
+                        let subs = &l.cov_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let part: f64 = subs
+                            .iter()
+                            .filter(|&&sub| counts[sub as usize] == 1)
+                            .map(|&sub| l.cov_values[sub as usize])
+                            .sum();
+                        acc += part;
+                    }
+                }
+                Family::Facility => {
+                    let best = l.fac_best.of(&self.arena.f);
+                    for ent in &l.fac[s..e] {
+                        let fp = &l.fac_parts[ent.slot as usize];
+                        let base = l.fac_part_off[ent.slot as usize] as usize;
+                        let rows = &l.fac_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut part = 0.0f64;
+                        for inc in rows {
+                            let i = inc.row as usize;
+                            if inc.benefit >= best[i] && best[i] > 0.0 {
+                                let row = &fp.benefits[i - base];
+                                let next = self
+                                    .members
+                                    .iter()
+                                    .filter(|&u| u != v && fp.support.contains(u))
+                                    .map(|u| row[u.index()])
+                                    .fold(0.0, f64::max);
+                                part += best[i] - next;
+                            }
+                        }
+                        acc += part;
+                    }
+                }
+                Family::KCover => {
+                    let counts = l.kc_counts.of(&self.arena.u);
+                    for ent in &l.kc[s..e] {
+                        let tgts = &l.kc_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let part: f64 = tgts
+                            .iter()
+                            .filter(|&&i| counts[i as usize] <= l.kc_k[i as usize])
+                            .map(|&i| l.kc_wk[i as usize])
+                            .sum();
+                        acc += part;
+                    }
+                }
+            }
+        }
+        stats::record_family_queries(families);
+        acc
+    }
+
+    fn insert(&mut self, v: SensorId) -> f64 {
+        if !self.members.insert(v) {
+            return 0.0;
+        }
+        let SparseSumEvaluator { layout, arena, .. } = self;
+        let l = &**layout;
+        let mut delta = 0.0;
+        for run in l.runs_for(v) {
+            let (s, e) = (run.start as usize, (run.start + run.len) as usize);
+            match run.family {
+                Family::Detection => {
+                    let miss = l.det_miss.of_mut(&mut arena.f);
+                    let cert = l.det_cert.of_mut(&mut arena.u);
+                    for ent in &l.det[s..e] {
+                        let i = ent.slot as usize;
+                        let p = ent.x;
+                        let eff = if cert[i] > 0 { 0.0 } else { miss[i] };
+                        delta += eff * p;
+                        if p >= 1.0 {
+                            cert[i] += 1;
+                        } else {
+                            miss[i] *= 1.0 - p;
+                        }
+                    }
+                }
+                Family::LogSum => {
+                    let sum = l.log_sum.of_mut(&mut arena.f);
+                    for ent in &l.log[s..e] {
+                        let i = ent.slot as usize;
+                        let before = (1.0 + sum[i]).ln();
+                        sum[i] += ent.x;
+                        delta += (1.0 + sum[i]).ln() - before;
+                    }
+                }
+                Family::Linear => {
+                    let sum = l.lin_sum.of_mut(&mut arena.f);
+                    for ent in &l.lin[s..e] {
+                        sum[ent.slot as usize] += ent.x;
+                        delta += ent.x;
+                    }
+                }
+                Family::Coverage => {
+                    let value = l.cov_value.of_mut(&mut arena.f);
+                    let counts = l.cov_counts.of_mut(&mut arena.u);
+                    for ent in &l.cov[s..e] {
+                        let subs = &l.cov_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut gained = 0.0;
+                        for &sub in subs {
+                            let j = sub as usize;
+                            if counts[j] == 0 {
+                                gained += l.cov_values[j];
+                            }
+                            counts[j] += 1;
+                        }
+                        value[ent.slot as usize] += gained;
+                        delta += gained;
+                    }
+                }
+                Family::Facility => {
+                    let best = l.fac_best.of_mut(&mut arena.f);
+                    for ent in &l.fac[s..e] {
+                        let rows = &l.fac_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut gained = 0.0;
+                        for inc in rows {
+                            let i = inc.row as usize;
+                            if inc.benefit > best[i] {
+                                gained += inc.benefit - best[i];
+                                best[i] = inc.benefit;
+                            }
+                        }
+                        delta += gained;
+                    }
+                }
+                Family::KCover => {
+                    let value = l.kc_value.of_mut(&mut arena.f);
+                    let counts = l.kc_counts.of_mut(&mut arena.u);
+                    for ent in &l.kc[s..e] {
+                        let tgts = &l.kc_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut gained = 0.0;
+                        for &t in tgts {
+                            let j = t as usize;
+                            if counts[j] < l.kc_k[j] {
+                                gained += l.kc_wk[j];
+                            }
+                            counts[j] += 1;
+                        }
+                        value[ent.slot as usize] += gained;
+                        delta += gained;
+                    }
+                }
+            }
+        }
+        invariant!(
+            delta >= 0.0,
+            "insert delta must be non-negative (monotone utility)"
+        );
+        self.kahan_add(delta);
+        self.after_mutation();
+        delta
+    }
+
+    #[allow(clippy::too_many_lines)] // one kernel per family, linear and flat
+    fn remove(&mut self, v: SensorId) -> f64 {
+        if !self.members.remove(v) {
+            return 0.0;
+        }
+        let SparseSumEvaluator {
+            layout,
+            arena,
+            members,
+            ..
+        } = self;
+        let l = &**layout;
+        let mut delta = 0.0;
+        for run in l.runs_for(v) {
+            let (s, e) = (run.start as usize, (run.start + run.len) as usize);
+            match run.family {
+                Family::Detection => {
+                    let miss = l.det_miss.of_mut(&mut arena.f);
+                    let cert = l.det_cert.of_mut(&mut arena.u);
+                    for ent in &l.det[s..e] {
+                        let i = ent.slot as usize;
+                        let p = ent.x;
+                        delta += if p >= 1.0 {
+                            invariant!(cert[i] > 0, "certain-member count must not underflow");
+                            cert[i] -= 1;
+                            if cert[i] > 0 {
+                                0.0
+                            } else {
+                                miss[i]
+                            }
+                        } else {
+                            let miss_without = miss[i] / (1.0 - p);
+                            let had_certain = cert[i] > 0;
+                            miss[i] = miss_without;
+                            if had_certain {
+                                0.0
+                            } else {
+                                miss_without * p
+                            }
+                        };
+                    }
+                }
+                Family::LogSum => {
+                    let sum = l.log_sum.of_mut(&mut arena.f);
+                    for ent in &l.log[s..e] {
+                        let i = ent.slot as usize;
+                        let before = (1.0 + sum[i]).ln();
+                        sum[i] = (sum[i] - ent.x).max(0.0);
+                        delta += before - (1.0 + sum[i]).ln();
+                    }
+                }
+                Family::Linear => {
+                    let sum = l.lin_sum.of_mut(&mut arena.f);
+                    for ent in &l.lin[s..e] {
+                        sum[ent.slot as usize] -= ent.x;
+                        delta += ent.x;
+                    }
+                }
+                Family::Coverage => {
+                    let value = l.cov_value.of_mut(&mut arena.f);
+                    let counts = l.cov_counts.of_mut(&mut arena.u);
+                    for ent in &l.cov[s..e] {
+                        let subs = &l.cov_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut lost = 0.0;
+                        for &sub in subs {
+                            let j = sub as usize;
+                            invariant!(counts[j] > 0, "cover count must not underflow");
+                            counts[j] -= 1;
+                            if counts[j] == 0 {
+                                lost += l.cov_values[j];
+                            }
+                        }
+                        value[ent.slot as usize] -= lost;
+                        delta += lost;
+                    }
+                }
+                Family::Facility => {
+                    let best = l.fac_best.of_mut(&mut arena.f);
+                    for ent in &l.fac[s..e] {
+                        let fp = &l.fac_parts[ent.slot as usize];
+                        let base = l.fac_part_off[ent.slot as usize] as usize;
+                        let rows = &l.fac_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut lost = 0.0;
+                        for inc in rows {
+                            let i = inc.row as usize;
+                            if inc.benefit >= best[i] && best[i] > 0.0 {
+                                let row = &fp.benefits[i - base];
+                                // `v` is already out of the member set, so
+                                // the scan needs no `u != v` filter — the
+                                // same shape as the part-walk removal.
+                                let next = members
+                                    .iter()
+                                    .filter(|&u| fp.support.contains(u))
+                                    .map(|u| row[u.index()])
+                                    .fold(0.0, f64::max);
+                                lost += best[i] - next;
+                                best[i] = next;
+                            }
+                        }
+                        delta += lost;
+                    }
+                }
+                Family::KCover => {
+                    let value = l.kc_value.of_mut(&mut arena.f);
+                    let counts = l.kc_counts.of_mut(&mut arena.u);
+                    for ent in &l.kc[s..e] {
+                        let tgts = &l.kc_inc[ent.start as usize..(ent.start + ent.len) as usize];
+                        let mut lost = 0.0;
+                        for &t in tgts {
+                            let j = t as usize;
+                            invariant!(counts[j] > 0, "coverer count must not underflow");
+                            counts[j] -= 1;
+                            if counts[j] < l.kc_k[j] {
+                                lost += l.kc_wk[j];
+                            }
+                        }
+                        value[ent.slot as usize] -= lost;
+                        delta += lost;
+                    }
+                }
+            }
+        }
+        invariant!(
+            delta >= 0.0,
+            "remove delta must be non-negative (monotone utility)"
+        );
+        self.kahan_add(-delta);
+        self.after_mutation();
+        delta
+    }
+
+    fn contains(&self, v: SensorId) -> bool {
+        self.members.contains(v)
+    }
+
+    fn current_set(&self) -> SensorSet {
+        self.members.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CoverageUtility, DetectionUtility, FacilityLocationUtility, KCoverageUtility,
+        LinearUtility, LogSumUtility, SumUtility,
+    };
+
+    fn six_family_sum() -> SumUtility {
+        SumUtility::new(vec![
+            DetectionUtility::new(vec![0.4, 0.0, 0.9, 0.0, 0.25]).into(),
+            LogSumUtility::new(vec![0.0, 2.0, 0.0, 1.0, 0.0]).into(),
+            LinearUtility::new(vec![1.0, 0.0, 0.0, 0.5, 0.0]).into(),
+            CoverageUtility::from_parts(
+                5,
+                vec![
+                    SensorSet::from_indices(5, [0, 1]),
+                    SensorSet::from_indices(5, [1, 4]),
+                    SensorSet::from_indices(5, [2]),
+                ],
+                vec![2.0, 0.0, 3.0],
+            )
+            .into(),
+            FacilityLocationUtility::new(vec![
+                vec![0.9, 0.0, 0.4, 0.0, 0.0],
+                vec![0.0, 0.8, 0.0, 0.0, 0.5],
+            ])
+            .into(),
+            KCoverageUtility::new(
+                vec![
+                    SensorSet::from_indices(5, [0, 2, 3]),
+                    SensorSet::from_indices(5, [3, 4]),
+                ],
+                vec![2, 1],
+                vec![1.0, 3.0],
+            )
+            .into(),
+            DetectionUtility::new(vec![0.0, 0.3, 0.0, 0.3, 0.0]).into(),
+        ])
+    }
+
+    #[test]
+    fn permutation_is_stable_within_each_family() {
+        let u = six_family_sum();
+        let l = u.soa_layout();
+        assert_eq!(l.family_of(0), (Family::Detection, 0));
+        assert_eq!(l.family_of(1), (Family::LogSum, 0));
+        assert_eq!(l.family_of(2), (Family::Linear, 0));
+        assert_eq!(l.family_of(3), (Family::Coverage, 0));
+        assert_eq!(l.family_of(4), (Family::Facility, 0));
+        assert_eq!(l.family_of(5), (Family::KCover, 0));
+        // The second detection part keeps part-id order within the family.
+        assert_eq!(l.family_of(6), (Family::Detection, 1));
+    }
+
+    #[test]
+    fn runs_split_on_family_change_and_cover_all_entries() {
+        let u = six_family_sum();
+        let l = u.soa_layout();
+        let total: u32 = l.runs.iter().map(|r| r.len).sum();
+        assert_eq!(total as usize, u.incidence().n_entries());
+        // Sensor 3 is incident to LogSum(1), Linear(2), KCover(5), Det(6):
+        // four single-part runs (families alternate along the id order).
+        let runs = l.runs_for(SensorId(3));
+        let fams: Vec<Family> = runs.iter().map(|r| r.family).collect();
+        assert_eq!(
+            fams,
+            vec![
+                Family::LogSum,
+                Family::Linear,
+                Family::KCover,
+                Family::Detection
+            ]
+        );
+        assert!(runs.iter().all(|r| r.len == 1));
+    }
+
+    #[test]
+    fn kernels_match_part_walk_bitwise_on_a_trace() {
+        let u = six_family_sum();
+        let mut soa = u.evaluator();
+        let mut walk = u.part_walk_evaluator();
+        let trace = [
+            (true, 1),
+            (true, 3),
+            (true, 0),
+            (false, 3),
+            (true, 4),
+            (true, 2),
+            (false, 1),
+            (true, 3),
+            (false, 0),
+        ];
+        for (step, (add, raw)) in trace.into_iter().enumerate() {
+            let v = SensorId(raw);
+            for probe in 0..5 {
+                let p = SensorId(probe);
+                assert_eq!(
+                    soa.gain(p).to_bits(),
+                    walk.gain(p).to_bits(),
+                    "gain({probe}) diverged at step {step}"
+                );
+                assert_eq!(
+                    soa.loss(p).to_bits(),
+                    walk.loss(p).to_bits(),
+                    "loss({probe}) diverged at step {step}"
+                );
+            }
+            let (a, b) = if add {
+                (soa.insert(v), walk.insert(v))
+            } else {
+                (soa.remove(v), walk.remove(v))
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "delta diverged at step {step}");
+            assert_eq!(soa.value().to_bits(), walk.value().to_bits());
+            let pv_soa = soa.part_values();
+            let pv_walk = walk.part_values();
+            for (pid, (x, y)) in pv_soa.iter().zip(&pv_walk).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "part {pid} value diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_evaluator_without_reallocating() {
+        let u = six_family_sum();
+        let mut e = u.evaluator().with_rebuild_cadence(2);
+        for v in 0..5 {
+            e.insert(SensorId(v));
+        }
+        let f_ptr = e.arena.f.as_ptr();
+        let u_ptr = e.arena.u.as_ptr();
+        e.reset();
+        assert_eq!(e.arena.f.as_ptr(), f_ptr, "f64 arena must not reallocate");
+        assert_eq!(e.arena.u.as_ptr(), u_ptr, "u32 arena must not reallocate");
+        assert_eq!(e.rebuild_cadence(), 2, "cadence survives reset");
+        assert_eq!(e.value().to_bits(), 0.0f64.to_bits());
+        assert_eq!(e.current_set(), SensorSet::new(5));
+        let fresh = u.evaluator();
+        for v in 0..5 {
+            let p = SensorId(v);
+            assert_eq!(e.gain(p).to_bits(), fresh.gain(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn part_values_into_reuses_the_buffer() {
+        let u = six_family_sum();
+        let mut e = u.evaluator();
+        e.insert(SensorId(1));
+        let mut buf = Vec::new();
+        e.part_values_into(&mut buf);
+        assert_eq!(buf.len(), 7);
+        let cap_ptr = buf.as_ptr();
+        e.insert(SensorId(0));
+        e.part_values_into(&mut buf);
+        assert_eq!(buf.as_ptr(), cap_ptr, "buffer must be reused, not regrown");
+        assert_eq!(buf, e.part_values());
+    }
+
+    #[test]
+    fn family_labels_line_up_with_discriminants() {
+        for (i, fam) in [
+            Family::Detection,
+            Family::LogSum,
+            Family::Linear,
+            Family::Coverage,
+            Family::Facility,
+            Family::KCover,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert_eq!(fam as usize, i);
+            assert_eq!(fam.label(), stats::FAMILY_LABELS[i]);
+        }
+    }
+
+    #[test]
+    fn gain_records_per_family_counters() {
+        let u = six_family_sum();
+        let e = u.evaluator();
+        let before = stats::snapshot();
+        // Sensor 3 touches LogSum, Linear, KCover and Detection parts.
+        let _ = e.gain(SensorId(3));
+        let after = stats::snapshot();
+        for fam in [
+            Family::LogSum,
+            Family::Linear,
+            Family::KCover,
+            Family::Detection,
+        ] {
+            assert!(
+                after.family_queries[fam as usize] > before.family_queries[fam as usize],
+                "{} counter did not advance",
+                fam.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! PR 10 satellite: the struct-of-arrays grouping permutation round-trips.
+//!
+//! [`SumUtility`] reorders its parts by family internally (stable
+//! permutation, family-batched kernels); these properties pin that the
+//! reordering is observationally invisible — `eval`, `eval_parts`, and
+//! `support()` are **bit-identical** to the part-order construction (the
+//! retained [`PartWalkSumUtility`] enum walk) across random mixes of all
+//! six families, as are marginal gains/losses/deltas along random traces.
+
+use cool_common::{SensorId, SensorSet};
+use cool_utility::{
+    AnyUtility, CoverageUtility, DenseSumUtility, DetectionUtility, Evaluator,
+    FacilityLocationUtility, KCoverageUtility, LinearUtility, LogSumUtility, PartWalkSumUtility,
+    SumUtility, UtilityFunction,
+};
+use proptest::prelude::*;
+
+const N: usize = 7;
+
+/// One random part of any of the six families over `N` sensors (the first
+/// tuple element selects the family; the vendored proptest shim has no
+/// `prop_oneof`, so the unused payloads are simply discarded).
+fn any_part() -> impl Strategy<Value = AnyUtility> {
+    let probs = proptest::collection::vec(0.0f64..0.95, N);
+    let weights = proptest::collection::vec(0.0f64..4.0, N);
+    let subregions = proptest::collection::vec(
+        (proptest::collection::vec(0usize..N, 1..4), 0.0f64..5.0),
+        1..6,
+    );
+    let rows = proptest::collection::vec(proptest::collection::vec(0.0f64..3.0, N), 1..4);
+    let targets = proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..N, 1..5),
+            1u32..4,
+            0.0f64..3.0,
+        ),
+        1..4,
+    );
+    (0u8..6, probs, weights, subregions, rows, targets).prop_map(
+        |(kind, p, w, subs, rows, tgts)| match kind {
+            0 => DetectionUtility::new(p).into(),
+            1 => LogSumUtility::new(w).into(),
+            2 => LinearUtility::new(w).into(),
+            3 => {
+                let signatures = subs
+                    .iter()
+                    .map(|(ids, _)| SensorSet::from_indices(N, ids.iter().copied()))
+                    .collect();
+                let values = subs.iter().map(|&(_, v)| v).collect();
+                CoverageUtility::from_parts(N, signatures, values).into()
+            }
+            4 => FacilityLocationUtility::new(rows).into(),
+            _ => {
+                let coverages = tgts
+                    .iter()
+                    .map(|(ids, _, _)| SensorSet::from_indices(N, ids.iter().copied()))
+                    .collect();
+                let k = tgts.iter().map(|&(_, ki, _)| ki).collect();
+                let wt = tgts.iter().map(|&(_, _, wi)| wi).collect();
+                KCoverageUtility::new(coverages, k, wt).into()
+            }
+        },
+    )
+}
+
+fn mixed_sum() -> impl Strategy<Value = SumUtility> {
+    proptest::collection::vec(any_part(), 1..10).prop_map(SumUtility::new)
+}
+
+fn sensor_sets() -> impl Strategy<Value = SensorSet> {
+    proptest::collection::vec(any::<bool>(), N).prop_map(|bits| {
+        SensorSet::from_indices(
+            N,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        )
+    })
+}
+
+proptest! {
+    /// `eval` is bit-identical to the part-order walk and agrees with the
+    /// dense from-scratch sum to the pinned tolerance.
+    #[test]
+    fn eval_round_trips_through_the_grouping(u in mixed_sum(), set in sensor_sets()) {
+        let walk = PartWalkSumUtility::new(u.clone());
+        prop_assert_eq!(u.eval(&set).to_bits(), walk.eval(&set).to_bits());
+        let dense = DenseSumUtility::new(u.clone());
+        prop_assert!((u.eval(&set) - dense.eval(&set)).abs() < 1e-9);
+    }
+
+    /// `eval_parts` (the per-target breakdown, in part-id order) is
+    /// bit-identical to the part evaluators' own values.
+    #[test]
+    fn eval_parts_round_trips_through_the_grouping(u in mixed_sum(), set in sensor_sets()) {
+        let soa = u.eval_parts(&set);
+        let mut walk = u.part_walk_evaluator();
+        for v in &set {
+            walk.insert(v);
+        }
+        let expected = walk.part_values();
+        prop_assert_eq!(soa.len(), expected.len());
+        for (pid, (a, b)) in soa.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "part {} diverged", pid);
+        }
+        // The reusable-buffer form returns the same bits.
+        let mut buf = vec![f64::NAN; 3];
+        u.eval_parts_into(&set, &mut buf);
+        prop_assert_eq!(buf.len(), soa.len());
+        for (a, b) in buf.iter().zip(&soa) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `support()` is unchanged by the grouping.
+    #[test]
+    fn support_round_trips_through_the_grouping(u in mixed_sum()) {
+        let walk = PartWalkSumUtility::new(u.clone());
+        prop_assert_eq!(u.support(), walk.support());
+        let dense = DenseSumUtility::new(u.clone());
+        prop_assert_eq!(u.support(), dense.support());
+    }
+
+    /// Gains, losses, insert/remove deltas and the running value are
+    /// bit-identical to both oracles along random mixed-family traces.
+    #[test]
+    fn kernels_match_both_oracles_on_random_traces(
+        u in mixed_sum(),
+        ops in proptest::collection::vec((any::<bool>(), 0usize..N), 0..30),
+    ) {
+        let mut soa = u.evaluator();
+        let mut walk = u.part_walk_evaluator();
+        let mut dense = u.dense_evaluator();
+        for (add, raw) in ops {
+            let v = SensorId(raw);
+            prop_assert_eq!(soa.gain(v).to_bits(), walk.gain(v).to_bits());
+            prop_assert_eq!(soa.gain(v).to_bits(), dense.gain(v).to_bits());
+            prop_assert_eq!(soa.loss(v).to_bits(), walk.loss(v).to_bits());
+            prop_assert_eq!(soa.loss(v).to_bits(), dense.loss(v).to_bits());
+            if add {
+                let d = soa.insert(v);
+                prop_assert_eq!(d.to_bits(), walk.insert(v).to_bits());
+                prop_assert_eq!(d.to_bits(), dense.insert(v).to_bits());
+            } else {
+                let d = soa.remove(v);
+                prop_assert_eq!(d.to_bits(), walk.remove(v).to_bits());
+                prop_assert_eq!(d.to_bits(), dense.remove(v).to_bits());
+            }
+            prop_assert_eq!(soa.value().to_bits(), walk.value().to_bits());
+            prop_assert_eq!(soa.current_set(), dense.current_set());
+        }
+    }
+}
